@@ -1,0 +1,279 @@
+//! AutoHist: a periodically-rebuilt equi-width multidimensional histogram
+//! (§5.1 method 5 of the QuickSel paper).
+//!
+//! The scan-based counterpart to the query-driven methods: it ignores
+//! query feedback entirely and instead re-scans the table whenever more
+//! than 20% of the rows changed since the last build — SQL Server's
+//! `AUTO_UPDATE_STATISTICS` heuristic.
+
+use quicksel_data::{SelectivityEstimator, Table};
+use quicksel_geometry::{Domain, Interval, Rect};
+
+/// The AutoHist estimator.
+pub struct AutoHist {
+    domain: Domain,
+    /// Bins per dimension (equi-width).
+    bins_per_dim: usize,
+    /// Flattened d-dimensional cell frequencies (normalized), row-major by
+    /// dimension order; empty until the first scan.
+    cells: Vec<f64>,
+    /// Rows in the table at the last build.
+    rows_at_build: usize,
+    /// Rows changed since the last build.
+    changed_since_build: usize,
+    /// Rebuild threshold as a fraction of `rows_at_build` (paper: 20%).
+    rebuild_fraction: f64,
+    /// Number of rebuilds performed (diagnostics for Figure 5b).
+    pub rebuild_count: usize,
+}
+
+impl AutoHist {
+    /// Creates an AutoHist with a total parameter budget: bins per
+    /// dimension is `floor(budget^(1/d))`, at least 1.
+    pub fn with_budget(domain: Domain, budget: usize) -> Self {
+        let d = domain.dim() as f64;
+        let bins = (budget as f64).powf(1.0 / d).floor().max(1.0) as usize;
+        Self::with_bins(domain, bins)
+    }
+
+    /// Creates an AutoHist with an explicit bin count per dimension.
+    pub fn with_bins(domain: Domain, bins_per_dim: usize) -> Self {
+        assert!(bins_per_dim >= 1);
+        Self {
+            domain,
+            bins_per_dim,
+            cells: Vec::new(),
+            rows_at_build: 0,
+            changed_since_build: 0,
+            rebuild_fraction: 0.20,
+            rebuild_count: 0,
+        }
+    }
+
+    /// Bins per dimension.
+    pub fn bins_per_dim(&self) -> usize {
+        self.bins_per_dim
+    }
+
+    /// Scans the table and rebuilds all cell frequencies.
+    pub fn rebuild(&mut self, table: &Table) {
+        let d = self.domain.dim();
+        let total_cells = self.bins_per_dim.pow(d as u32);
+        let mut counts = vec![0u64; total_cells];
+        let n = table.row_count();
+        for r in 0..n {
+            let mut idx = 0usize;
+            for c in 0..d {
+                let b = self.domain.bounds(c);
+                let v = table.column(c)[r];
+                let bin = (((v - b.lo) / b.length()) * self.bins_per_dim as f64)
+                    .floor()
+                    .clamp(0.0, (self.bins_per_dim - 1) as f64) as usize;
+                idx = idx * self.bins_per_dim + bin;
+            }
+            counts[idx] += 1;
+        }
+        let inv = if n > 0 { 1.0 / n as f64 } else { 0.0 };
+        self.cells = counts.into_iter().map(|c| c as f64 * inv).collect();
+        self.rows_at_build = n;
+        self.changed_since_build = 0;
+        self.rebuild_count += 1;
+    }
+
+    /// The box of flattened cell `idx` (diagnostics / tests).
+    pub fn cell_rect(&self, mut idx: usize) -> Rect {
+        let d = self.domain.dim();
+        let mut bins = vec![0usize; d];
+        for c in (0..d).rev() {
+            bins[c] = idx % self.bins_per_dim;
+            idx /= self.bins_per_dim;
+        }
+        Rect::new(
+            (0..d)
+                .map(|c| {
+                    let b = self.domain.bounds(c);
+                    let w = b.length() / self.bins_per_dim as f64;
+                    Interval::new(b.lo + bins[c] as f64 * w, b.lo + (bins[c] + 1) as f64 * w)
+                })
+                .collect(),
+        )
+    }
+}
+
+impl SelectivityEstimator for AutoHist {
+    fn name(&self) -> &'static str {
+        "AutoHist"
+    }
+
+    fn sync_data(&mut self, table: &Table, changed_rows: usize) {
+        self.changed_since_build += changed_rows;
+        let threshold = (self.rows_at_build as f64 * self.rebuild_fraction) as usize;
+        if self.cells.is_empty() || self.changed_since_build > threshold {
+            self.rebuild(table);
+        }
+    }
+
+    fn estimate(&self, rect: &Rect) -> f64 {
+        if self.cells.is_empty() {
+            // Never scanned: uniformity assumption.
+            let b0 = self.domain.full_rect();
+            return (rect.intersection_volume(&b0) / b0.volume()).clamp(0.0, 1.0);
+        }
+        // Accumulate fractional overlap cell by cell; iterate only cells
+        // whose index ranges intersect the query.
+        let d = self.domain.dim();
+        let mut ranges = Vec::with_capacity(d);
+        for c in 0..d {
+            let b = self.domain.bounds(c);
+            let s = rect.side(c).intersect(&b);
+            if s.is_empty() {
+                return 0.0;
+            }
+            let w = b.length() / self.bins_per_dim as f64;
+            let lo = (((s.lo - b.lo) / w).floor()).clamp(0.0, (self.bins_per_dim - 1) as f64)
+                as usize;
+            let hi = (((s.hi - b.lo) / w).ceil()).clamp(1.0, self.bins_per_dim as f64) as usize;
+            ranges.push((lo, hi));
+        }
+        // Odometer over the sub-grid.
+        let mut idx: Vec<usize> = ranges.iter().map(|&(lo, _)| lo).collect();
+        let mut total = 0.0;
+        'outer: loop {
+            // Flatten index and compute fractional overlap of this cell.
+            let mut flat = 0usize;
+            let mut frac = 1.0f64;
+            for c in 0..d {
+                flat = flat * self.bins_per_dim + idx[c];
+                let b = self.domain.bounds(c);
+                let w = b.length() / self.bins_per_dim as f64;
+                let cell = Interval::new(b.lo + idx[c] as f64 * w, b.lo + (idx[c] + 1) as f64 * w);
+                frac *= cell.overlap_length(&rect.side(c)) / w;
+            }
+            if frac > 0.0 {
+                total += self.cells[flat] * frac;
+            }
+            for c in (0..d).rev() {
+                idx[c] += 1;
+                if idx[c] < ranges[c].1 {
+                    continue 'outer;
+                }
+                idx[c] = ranges[c].0;
+            }
+            break;
+        }
+        total.clamp(0.0, 1.0)
+    }
+
+    fn param_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_data::datasets::gaussian::gaussian_table;
+
+    fn grid_table() -> Table {
+        let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+        let mut t = Table::new(domain);
+        for i in 0..10 {
+            for j in 0..10 {
+                t.push_row(&[i as f64 + 0.5, j as f64 + 0.5]);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn budget_sets_bins_per_dim() {
+        let d = Domain::of_reals(&[("x", 0.0, 1.0), ("y", 0.0, 1.0)]);
+        assert_eq!(AutoHist::with_budget(d.clone(), 100).bins_per_dim(), 10);
+        assert_eq!(AutoHist::with_budget(d.clone(), 1000).bins_per_dim(), 31);
+        assert_eq!(AutoHist::with_budget(d, 1).bins_per_dim(), 1);
+    }
+
+    #[test]
+    fn exact_on_aligned_uniform_grid() {
+        let t = grid_table();
+        let mut h = AutoHist::with_bins(t.domain().clone(), 10);
+        h.sync_data(&t, t.row_count());
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]);
+        assert!((h.estimate(&q) - 0.25).abs() < 1e-9);
+        assert!((h.estimate(&t.domain().full_rect()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_overlap_interpolates() {
+        let t = grid_table();
+        let mut h = AutoHist::with_bins(t.domain().clone(), 10);
+        h.sync_data(&t, t.row_count());
+        // Half of the first column of cells.
+        let q = Rect::from_bounds(&[(0.0, 0.5), (0.0, 10.0)]);
+        assert!((h.estimate(&q) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuild_only_after_threshold() {
+        let t0 = gaussian_table(2, 0.0, 1000, 50);
+        let mut h = AutoHist::with_budget(t0.domain().clone(), 100);
+        h.sync_data(&t0, t0.row_count());
+        assert_eq!(h.rebuild_count, 1);
+        // 10% churn: below the 20% threshold — no rebuild.
+        h.sync_data(&t0, 100);
+        assert_eq!(h.rebuild_count, 1);
+        // Another 15%: cumulative 25% — rebuild.
+        h.sync_data(&t0, 150);
+        assert_eq!(h.rebuild_count, 2);
+    }
+
+    #[test]
+    fn staleness_between_rebuilds() {
+        // Build on uniform lower-left mass, then shift the data without
+        // crossing the rebuild threshold; estimates must remain stale.
+        let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+        let mut t = Table::new(domain.clone());
+        for _ in 0..100 {
+            t.push_row(&[2.0, 2.0]);
+        }
+        let mut h = AutoHist::with_bins(domain, 5);
+        h.sync_data(&t, 100);
+        let hot = Rect::from_bounds(&[(0.0, 4.0), (0.0, 4.0)]);
+        assert!((h.estimate(&hot) - 1.0).abs() < 1e-9);
+        // Insert 10 rows elsewhere (10% < 20% threshold).
+        for _ in 0..10 {
+            t.push_row(&[8.0, 8.0]);
+        }
+        h.sync_data(&t, 10);
+        // Still reports the old distribution.
+        assert!((h.estimate(&hot) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn param_count_is_total_cells() {
+        let t = grid_table();
+        let mut h = AutoHist::with_bins(t.domain().clone(), 7);
+        h.sync_data(&t, t.row_count());
+        assert_eq!(h.param_count(), 49);
+    }
+
+    #[test]
+    fn cell_rect_round_trip() {
+        let t = grid_table();
+        let mut h = AutoHist::with_bins(t.domain().clone(), 4);
+        h.sync_data(&t, t.row_count());
+        // Cell 0 is the low corner; last cell is the high corner.
+        let first = h.cell_rect(0);
+        assert_eq!(first, Rect::from_bounds(&[(0.0, 2.5), (0.0, 2.5)]));
+        let last = h.cell_rect(15);
+        assert_eq!(last, Rect::from_bounds(&[(7.5, 10.0), (7.5, 10.0)]));
+    }
+
+    #[test]
+    fn estimate_before_any_scan_is_uniform_prior() {
+        let d = Domain::of_reals(&[("x", 0.0, 10.0)]);
+        let h = AutoHist::with_bins(d, 10);
+        let q = Rect::from_bounds(&[(0.0, 5.0)]);
+        assert!((h.estimate(&q) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! AutoSample: a periodically-refreshed uniform row sample (§5.1 method 6
+//! of the QuickSel paper).
+//!
+//! Estimates are the fraction of sampled rows satisfying the predicate;
+//! the sample is redrawn whenever more than 10% of the table changed since
+//! the last draw.
+
+use quicksel_data::{SelectivityEstimator, Table};
+use quicksel_geometry::{Domain, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The AutoSample estimator.
+pub struct AutoSample {
+    domain: Domain,
+    /// Sample size (the paper's "space budget" for this method is the
+    /// number of sampled tuples).
+    sample_size: usize,
+    /// Sampled rows (row-major).
+    sample: Vec<Vec<f64>>,
+    rows_at_build: usize,
+    changed_since_build: usize,
+    /// Refresh threshold as a fraction of `rows_at_build` (paper: 10%).
+    refresh_fraction: f64,
+    rng: StdRng,
+    /// Number of refreshes performed (diagnostics for Figure 5b).
+    pub refresh_count: usize,
+}
+
+impl AutoSample {
+    /// Creates an AutoSample holding `sample_size` tuples.
+    pub fn new(domain: Domain, sample_size: usize, seed: u64) -> Self {
+        assert!(sample_size >= 1);
+        Self {
+            domain,
+            sample_size,
+            sample: Vec::new(),
+            rows_at_build: 0,
+            changed_since_build: 0,
+            refresh_fraction: 0.10,
+            rng: StdRng::seed_from_u64(seed),
+            refresh_count: 0,
+        }
+    }
+
+    /// Redraws the sample from the current table (uniform without
+    /// replacement via Floyd's algorithm when the table is larger than the
+    /// sample, otherwise takes everything).
+    pub fn refresh(&mut self, table: &Table) {
+        let n = table.row_count();
+        self.sample.clear();
+        if n == 0 {
+            // Keep empty; estimates fall back to the prior.
+        } else if n <= self.sample_size {
+            for r in 0..n {
+                self.sample.push(table.row(r));
+            }
+        } else {
+            // Floyd's sampling: k distinct indices in O(k) expected time.
+            let k = self.sample_size;
+            let mut chosen = std::collections::HashSet::with_capacity(k);
+            for j in (n - k)..n {
+                let t = self.rng.gen_range(0..=j);
+                let idx = if chosen.contains(&t) { j } else { t };
+                chosen.insert(idx);
+            }
+            for idx in chosen {
+                self.sample.push(table.row(idx));
+            }
+        }
+        self.rows_at_build = n;
+        self.changed_since_build = 0;
+        self.refresh_count += 1;
+    }
+
+    /// Rows currently in the sample.
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+}
+
+impl SelectivityEstimator for AutoSample {
+    fn name(&self) -> &'static str {
+        "AutoSample"
+    }
+
+    fn sync_data(&mut self, table: &Table, changed_rows: usize) {
+        self.changed_since_build += changed_rows;
+        let threshold = (self.rows_at_build as f64 * self.refresh_fraction) as usize;
+        if self.sample.is_empty() || self.changed_since_build > threshold {
+            self.refresh(table);
+        }
+    }
+
+    fn estimate(&self, rect: &Rect) -> f64 {
+        if self.sample.is_empty() {
+            let b0 = self.domain.full_rect();
+            return (rect.intersection_volume(&b0) / b0.volume()).clamp(0.0, 1.0);
+        }
+        let hits = self.sample.iter().filter(|r| rect.contains_point(r)).count();
+        hits as f64 / self.sample.len() as f64
+    }
+
+    fn param_count(&self) -> usize {
+        // The paper's budget accounting: one parameter per sampled tuple.
+        self.sample.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_data::datasets::gaussian::gaussian_table;
+
+    fn grid_table() -> Table {
+        let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+        let mut t = Table::new(domain);
+        for i in 0..10 {
+            for j in 0..10 {
+                t.push_row(&[i as f64 + 0.5, j as f64 + 0.5]);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let t = grid_table();
+        let mut s = AutoSample::new(t.domain().clone(), 1000, 7);
+        s.sync_data(&t, t.row_count());
+        assert_eq!(s.sample_len(), 100); // table smaller than budget
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]);
+        assert!((s.estimate(&q) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsample_approximates() {
+        let t = gaussian_table(2, 0.0, 20_000, 60);
+        let mut s = AutoSample::new(t.domain().clone(), 500, 8);
+        s.sync_data(&t, t.row_count());
+        assert_eq!(s.sample_len(), 500);
+        let q = Rect::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let truth = t.selectivity(&q);
+        let est = s.estimate(&q);
+        assert!((est - truth).abs() < 0.08, "est {est} vs {truth}");
+    }
+
+    #[test]
+    fn refresh_threshold_is_ten_percent() {
+        let t = gaussian_table(2, 0.0, 1000, 61);
+        let mut s = AutoSample::new(t.domain().clone(), 50, 9);
+        s.sync_data(&t, t.row_count());
+        assert_eq!(s.refresh_count, 1);
+        s.sync_data(&t, 50); // 5% — no refresh
+        assert_eq!(s.refresh_count, 1);
+        s.sync_data(&t, 60); // cumulative 11% — refresh
+        assert_eq!(s.refresh_count, 2);
+    }
+
+    #[test]
+    fn estimate_before_refresh_is_uniform_prior() {
+        let d = Domain::of_reals(&[("x", 0.0, 4.0)]);
+        let s = AutoSample::new(d, 10, 1);
+        let q = Rect::from_bounds(&[(0.0, 1.0)]);
+        assert!((s.estimate(&q) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_indices_are_distinct() {
+        let t = grid_table();
+        let mut s = AutoSample::new(t.domain().clone(), 30, 2);
+        s.refresh(&t);
+        assert_eq!(s.sample_len(), 30);
+        // Rows of the grid table are unique, so distinct indices ⇒ distinct rows.
+        let mut rows = s.sample.clone();
+        rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rows.dedup();
+        assert_eq!(rows.len(), 30);
+    }
+
+    #[test]
+    fn param_count_equals_sample_len() {
+        let t = grid_table();
+        let mut s = AutoSample::new(t.domain().clone(), 25, 3);
+        s.sync_data(&t, t.row_count());
+        assert_eq!(s.param_count(), 25);
+    }
+}

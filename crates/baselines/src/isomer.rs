@@ -1,0 +1,278 @@
+//! ISOMER: maximum-entropy query-driven histogram trained with iterative
+//! scaling (Srivastava et al., ICDE 2006; §2.3 + Appendix B of the
+//! QuickSel paper).
+//!
+//! Buckets come from the shared disjoint [`Partition`]; frequencies are the
+//! maximum-entropy distribution consistent with all observed selectivities,
+//! found by **iterative proportional fitting**: repeatedly, for each
+//! constraint `i`, scale the mass of every bucket inside region `i` by
+//! `s_i / (current mass inside i)`. Because every bucket is fully inside or
+//! outside every constraint region (the zero/one-`A` property of
+//! Appendix B), this multiplicative update is exactly Equation (8) of the
+//! paper's appendix.
+
+use crate::partition::Partition;
+use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_geometry::{Domain, Rect};
+
+/// Tuning parameters for ISOMER.
+#[derive(Debug, Clone)]
+pub struct IsomerConfig {
+    /// Iterative-scaling sweep budget per refinement.
+    pub max_sweeps: usize,
+    /// Convergence tolerance on the max constraint violation.
+    pub tol: f64,
+    /// Bucket-count safety cap (the real ISOMER has none; the cap guards
+    /// memory in pathological workloads).
+    pub max_buckets: usize,
+    /// Warm-start iterative scaling from the previous frequencies instead
+    /// of reseeding from the uniform distribution. The fixed point is the
+    /// same max-entropy-form solution (volume-proportional splitting
+    /// preserves all established constraint sums), but convergence takes
+    /// far fewer sweeps.
+    pub warm_start: bool,
+}
+
+impl Default for IsomerConfig {
+    fn default() -> Self {
+        Self { max_sweeps: 200, tol: 1e-5, max_buckets: 1_000_000, warm_start: true }
+    }
+}
+
+/// The ISOMER estimator.
+pub struct Isomer {
+    domain: Domain,
+    partition: Partition,
+    constraints: Vec<ObservedQuery>,
+    config: IsomerConfig,
+    /// Sweeps used by the last training run (diagnostics).
+    last_sweeps: usize,
+}
+
+impl Isomer {
+    /// Creates an ISOMER instance with default configuration.
+    pub fn new(domain: Domain) -> Self {
+        Self::with_config(domain, IsomerConfig::default())
+    }
+
+    /// Creates an ISOMER instance with an explicit configuration.
+    pub fn with_config(domain: Domain, config: IsomerConfig) -> Self {
+        let partition = Partition::with_max_buckets(&domain, config.max_buckets);
+        Self { domain, partition, constraints: Vec::new(), config, last_sweeps: 0 }
+    }
+
+    /// The estimator's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of histogram buckets (the paper's Limitation-1 metric).
+    pub fn bucket_count(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Sweeps used by the last iterative-scaling run.
+    pub fn last_sweeps(&self) -> usize {
+        self.last_sweeps
+    }
+
+    /// The live constraints.
+    pub fn constraints(&self) -> &[ObservedQuery] {
+        &self.constraints
+    }
+
+    /// Runs iterative scaling to convergence (or the sweep budget).
+    pub fn retrain(&mut self) {
+        let memberships: Vec<Vec<u32>> = self
+            .constraints
+            .iter()
+            .map(|c| self.partition.buckets_inside(&c.rect))
+            .collect();
+        let volumes: Vec<f64> =
+            self.partition.buckets().iter().map(|b| b.rect.volume()).collect();
+        let total_volume: f64 = volumes.iter().sum();
+
+        // Seed from the uniform distribution (the max-entropy prior), or —
+        // when warm-starting — keep the current frequencies, which the
+        // partition's volume-proportional splitting has preserved.
+        let current_mass: f64 = self.partition.buckets().iter().map(|b| b.freq).sum();
+        if !self.config.warm_start || current_mass < 0.5 || !current_mass.is_finite() {
+            let buckets = self.partition.buckets_mut();
+            for (b, &v) in buckets.iter_mut().zip(&volumes) {
+                b.freq = v / total_volume;
+            }
+        }
+
+        self.last_sweeps = 0;
+        for sweep in 0..self.config.max_sweeps {
+            self.last_sweeps = sweep + 1;
+            let mut max_violation = 0.0f64;
+
+            // Normalization constraint (B0, 1): rescale everything.
+            {
+                let buckets = self.partition.buckets_mut();
+                let total: f64 = buckets.iter().map(|b| b.freq).sum();
+                if total > f64::MIN_POSITIVE {
+                    let inv = 1.0 / total;
+                    for b in buckets.iter_mut() {
+                        b.freq *= inv;
+                    }
+                }
+                max_violation = max_violation.max((total - 1.0).abs());
+            }
+
+            for (c, member) in self.constraints.iter().zip(&memberships) {
+                let buckets = self.partition.buckets_mut();
+                let cur: f64 = member.iter().map(|&j| buckets[j as usize].freq).sum();
+                max_violation = max_violation.max((cur - c.selectivity).abs());
+                if cur > f64::MIN_POSITIVE {
+                    let factor = c.selectivity / cur;
+                    for &j in member {
+                        buckets[j as usize].freq *= factor;
+                    }
+                } else if c.selectivity > 0.0 && !member.is_empty() {
+                    // Region was zeroed by an earlier constraint; re-seed
+                    // it uniformly so the multiplicative chain can recover.
+                    let vol_in: f64 = member.iter().map(|&j| volumes[j as usize]).sum();
+                    if vol_in > 0.0 {
+                        for &j in member {
+                            buckets[j as usize].freq =
+                                c.selectivity * volumes[j as usize] / vol_in;
+                        }
+                    }
+                }
+            }
+
+            if max_violation < self.config.tol {
+                break;
+            }
+        }
+    }
+}
+
+impl SelectivityEstimator for Isomer {
+    fn name(&self) -> &'static str {
+        "ISOMER"
+    }
+
+    fn observe(&mut self, query: &ObservedQuery) {
+        if self.partition.can_refine() {
+            self.partition.refine(&query.rect);
+        }
+        self.constraints.push(query.clone());
+        self.retrain();
+    }
+
+    fn estimate(&self, rect: &Rect) -> f64 {
+        self.partition.estimate(rect)
+    }
+
+    fn param_count(&self) -> usize {
+        self.partition.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn oq(b: [(f64, f64); 2], s: f64) -> ObservedQuery {
+        ObservedQuery::new(Rect::from_bounds(&b), s)
+    }
+
+    #[test]
+    fn prior_estimate_is_uniform() {
+        let iso = Isomer::new(domain());
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 10.0)]);
+        assert!((iso.estimate(&q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_constraint_is_satisfied_exactly() {
+        let mut iso = Isomer::new(domain());
+        let q = oq([(0.0, 5.0), (0.0, 5.0)], 0.8);
+        iso.observe(&q);
+        assert!((iso.estimate(&q.rect) - 0.8).abs() < 1e-4);
+        // Mass conservation.
+        let all = domain().full_rect();
+        assert!((iso.estimate(&all) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_constraints_converge_to_consistency() {
+        let mut iso = Isomer::new(domain());
+        // Two overlapping regions with consistent selectivities from a
+        // hypothetical distribution concentrated lower-left.
+        iso.observe(&oq([(0.0, 6.0), (0.0, 6.0)], 0.7));
+        iso.observe(&oq([(3.0, 10.0), (3.0, 10.0)], 0.4));
+        iso.observe(&oq([(3.0, 6.0), (3.0, 6.0)], 0.2));
+        for (rect, s) in [
+            (Rect::from_bounds(&[(0.0, 6.0), (0.0, 6.0)]), 0.7),
+            (Rect::from_bounds(&[(3.0, 10.0), (3.0, 10.0)]), 0.4),
+            (Rect::from_bounds(&[(3.0, 6.0), (3.0, 6.0)]), 0.2),
+        ] {
+            let e = iso.estimate(&rect);
+            assert!((e - s).abs() < 5e-3, "estimate {e} vs constraint {s}");
+        }
+    }
+
+    #[test]
+    fn max_entropy_spreads_mass_uniformly_within_regions() {
+        let mut iso = Isomer::new(domain());
+        iso.observe(&oq([(0.0, 4.0), (0.0, 10.0)], 0.8));
+        // Within the region, max-entropy is uniform: half the region holds
+        // half its mass.
+        let half = Rect::from_bounds(&[(0.0, 2.0), (0.0, 10.0)]);
+        assert!((iso.estimate(&half) - 0.4).abs() < 1e-3);
+        // Outside, the remaining 0.2 spreads uniformly too.
+        let out_half = Rect::from_bounds(&[(4.0, 7.0), (0.0, 10.0)]);
+        assert!((iso.estimate(&out_half) - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_selectivity_constraint_empties_region() {
+        let mut iso = Isomer::new(domain());
+        iso.observe(&oq([(0.0, 5.0), (0.0, 5.0)], 0.0));
+        assert!(iso.estimate(&Rect::from_bounds(&[(1.0, 4.0), (1.0, 4.0)])) < 1e-9);
+        let all = domain().full_rect();
+        assert!((iso.estimate(&all) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bucket_count_grows_with_overlapping_queries() {
+        let mut iso = Isomer::new(domain());
+        let before = iso.bucket_count();
+        for i in 0..10 {
+            let o = i as f64 * 0.4;
+            iso.observe(&oq([(o, o + 3.0), (o, o + 3.0)], 0.3));
+        }
+        assert!(iso.bucket_count() > before + 10, "buckets {}", iso.bucket_count());
+        assert_eq!(iso.param_count(), iso.bucket_count());
+    }
+
+    #[test]
+    fn bucket_cap_stops_splitting() {
+        let cfg = IsomerConfig { max_buckets: 8, ..Default::default() };
+        let mut iso = Isomer::with_config(domain(), cfg);
+        for i in 0..20 {
+            let o = i as f64 * 0.3;
+            iso.observe(&oq([(o, o + 2.0), (o, o + 2.0)], 0.2));
+        }
+        // The cap only halts future refinement once exceeded; allow the
+        // final refine's pieces.
+        assert!(iso.bucket_count() <= 8 + 8, "buckets {}", iso.bucket_count());
+    }
+
+    #[test]
+    fn estimates_clamped_to_unit_interval() {
+        let mut iso = Isomer::new(domain());
+        iso.observe(&oq([(0.0, 2.0), (0.0, 2.0)], 1.0));
+        let tiny = Rect::from_bounds(&[(0.5, 0.6), (0.5, 0.6)]);
+        let e = iso.estimate(&tiny);
+        assert!((0.0..=1.0).contains(&e));
+    }
+}

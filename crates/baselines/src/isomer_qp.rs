@@ -1,0 +1,198 @@
+//! ISOMER+QP: ISOMER's bucket structure trained with QuickSel's penalized
+//! least-squares objective (§5.1 method 3 of the paper).
+//!
+//! For a disjoint partition, the `Q` matrix of Theorem 1 is **diagonal**
+//! (`Q_jj = 1/|G_j|`, off-diagonals vanish), so the analytic solution
+//! `w* = (D + λAᵀA)⁻¹ λAᵀs` collapses via the Woodbury identity to
+//!
+//! ```text
+//! w* = D⁻¹ Aᵀ (I/λ + A D⁻¹ Aᵀ)⁻¹ s
+//! ```
+//!
+//! where the inner system is only `n × n` (`n` = #constraints) and
+//! `(A D⁻¹ Aᵀ)_{ik} = |B_i ∩ B_k|` — plain rectangle intersections,
+//! because the buckets tile each constraint region exactly. Training cost
+//! is therefore `O(n³ + n·#buckets)` instead of `O(#buckets³)`.
+
+use crate::partition::Partition;
+use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_geometry::{Domain, Rect};
+use quicksel_linalg::{lu::solve_general, DMatrix};
+
+/// The ISOMER+QP estimator.
+pub struct IsomerQp {
+    domain: Domain,
+    partition: Partition,
+    constraints: Vec<ObservedQuery>,
+    /// Penalty weight λ (QuickSel's default 10⁶).
+    lambda: f64,
+}
+
+impl IsomerQp {
+    /// Creates an instance with the paper-default λ = 10⁶.
+    pub fn new(domain: Domain) -> Self {
+        Self::with_params(domain, 1e6, 1_000_000)
+    }
+
+    /// Creates an instance with explicit λ and bucket cap.
+    pub fn with_params(domain: Domain, lambda: f64, max_buckets: usize) -> Self {
+        let partition = Partition::with_max_buckets(&domain, max_buckets);
+        Self { domain, partition, constraints: Vec::new(), lambda }
+    }
+
+    /// Number of histogram buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Solves the penalized QP through the Woodbury closed form and writes
+    /// the weights into the partition's bucket frequencies.
+    pub fn retrain(&mut self) {
+        let n = self.constraints.len() + 1; // + (B0, 1)
+        let b0 = self.domain.full_rect();
+
+        // Inner matrix M_ik = |B_i ∩ B_k| over constraint rects (B0 first).
+        // Rects are clamped to B0: the identity `M_ik = Σ vol of buckets
+        // inside both regions` relies on the buckets tiling B_i ∩ B_k,
+        // and the partition only tiles the domain box.
+        let rects: Vec<Rect> = std::iter::once(b0.clone())
+            .chain(self.constraints.iter().map(|c| c.rect.clamp_to(&b0)))
+            .collect();
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for k in i..n {
+                let v = rects[i].intersection_volume(&rects[k]);
+                m.set(i, k, v);
+                m.set(k, i, v);
+            }
+        }
+        // (I/λ + M) u = s
+        m.add_diagonal(1.0 / self.lambda);
+        let mut s = Vec::with_capacity(n);
+        s.push(1.0);
+        s.extend(self.constraints.iter().map(|c| c.selectivity));
+        let u = match solve_general(&m, &s) {
+            Ok(u) => u,
+            Err(_) => return, // keep previous weights on numerical failure
+        };
+
+        // w_j = |G_j| · Σ_{i : G_j ⊆ B_i} u_i.
+        // Accumulate per-bucket constraint sums: all buckets get u_0 (B0),
+        // then each constraint adds u_i to its member buckets.
+        let memberships: Vec<Vec<u32>> = self
+            .constraints
+            .iter()
+            .map(|c| self.partition.buckets_inside(&c.rect))
+            .collect();
+        let nb = self.partition.len();
+        let mut acc = vec![u[0]; nb];
+        for (ci, member) in memberships.iter().enumerate() {
+            let ui = u[ci + 1];
+            for &j in member {
+                acc[j as usize] += ui;
+            }
+        }
+        let buckets = self.partition.buckets_mut();
+        for (b, a) in buckets.iter_mut().zip(&acc) {
+            b.freq = b.rect.volume() * a;
+        }
+    }
+}
+
+impl SelectivityEstimator for IsomerQp {
+    fn name(&self) -> &'static str {
+        "ISOMER+QP"
+    }
+
+    fn observe(&mut self, query: &ObservedQuery) {
+        if self.partition.can_refine() {
+            self.partition.refine(&query.rect);
+        }
+        self.constraints.push(query.clone());
+        self.retrain();
+    }
+
+    fn estimate(&self, rect: &Rect) -> f64 {
+        self.partition.estimate(rect)
+    }
+
+    fn param_count(&self) -> usize {
+        self.partition.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn oq(b: [(f64, f64); 2], s: f64) -> ObservedQuery {
+        ObservedQuery::new(Rect::from_bounds(&b), s)
+    }
+
+    #[test]
+    fn single_constraint_is_satisfied() {
+        let mut e = IsomerQp::new(domain());
+        let q = oq([(0.0, 5.0), (0.0, 5.0)], 0.8);
+        e.observe(&q);
+        assert!((e.estimate(&q.rect) - 0.8).abs() < 1e-3, "est {}", e.estimate(&q.rect));
+        assert!((e.estimate(&domain().full_rect()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overlapping_constraints_satisfied() {
+        let mut e = IsomerQp::new(domain());
+        e.observe(&oq([(0.0, 6.0), (0.0, 6.0)], 0.7));
+        e.observe(&oq([(3.0, 10.0), (3.0, 10.0)], 0.4));
+        e.observe(&oq([(3.0, 6.0), (3.0, 6.0)], 0.2));
+        for (rect, s) in [
+            (Rect::from_bounds(&[(0.0, 6.0), (0.0, 6.0)]), 0.7),
+            (Rect::from_bounds(&[(3.0, 10.0), (3.0, 10.0)]), 0.4),
+            (Rect::from_bounds(&[(3.0, 6.0), (3.0, 6.0)]), 0.2),
+        ] {
+            let est = e.estimate(&rect);
+            assert!((est - s).abs() < 1e-2, "estimate {est} vs constraint {s}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_isomer_on_training_constraints() {
+        use crate::isomer::Isomer;
+        let queries = [
+            oq([(0.0, 6.0), (0.0, 6.0)], 0.7),
+            oq([(4.0, 10.0), (2.0, 9.0)], 0.3),
+        ];
+        let mut a = IsomerQp::new(domain());
+        let mut b = Isomer::new(domain());
+        for q in &queries {
+            a.observe(q);
+            b.observe(q);
+        }
+        for q in &queries {
+            assert!((a.estimate(&q.rect) - b.estimate(&q.rect)).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn shares_isomer_bucket_growth() {
+        let mut e = IsomerQp::new(domain());
+        for i in 0..8 {
+            let o = i as f64 * 0.5;
+            e.observe(&oq([(o, o + 3.0), (o, o + 3.0)], 0.3));
+        }
+        assert!(e.bucket_count() > 16);
+        assert_eq!(e.param_count(), e.bucket_count());
+    }
+
+    #[test]
+    fn estimates_clamped() {
+        let mut e = IsomerQp::new(domain());
+        e.observe(&oq([(0.0, 1.0), (0.0, 1.0)], 1.0));
+        let q = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+        let est = e.estimate(&q);
+        assert!((0.0..=1.0).contains(&est));
+    }
+}

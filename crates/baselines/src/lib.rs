@@ -1,0 +1,30 @@
+//! Baseline selectivity estimators from the QuickSel paper's evaluation
+//! (§5.1), implemented from scratch:
+//!
+//! | Method | Kind | Model | Training |
+//! |---|---|---|---|
+//! | [`STHoles`] | query-driven | nested-bucket histogram | error-feedback splitting + merging |
+//! | [`Isomer`] | query-driven | disjoint-partition histogram | maximum entropy via iterative scaling |
+//! | [`IsomerQp`] | query-driven | ISOMER's buckets | QuickSel's penalized QP (Woodbury closed form) |
+//! | [`QueryModel`] | query-driven | kernel regression over queries | none (lazy) |
+//! | [`AutoHist`] | scan-based | equi-width d-dim histogram | rebuild at 20% data churn |
+//! | [`AutoSample`] | scan-based | uniform row sample | resample at 10% data churn |
+//!
+//! All of them implement
+//! [`SelectivityEstimator`](quicksel_data::SelectivityEstimator), so the
+//! experiment harness treats them interchangeably with QuickSel.
+
+pub mod auto_hist;
+pub mod auto_sample;
+pub mod isomer;
+pub mod isomer_qp;
+pub mod partition;
+pub mod query_model;
+pub mod sthole;
+
+pub use auto_hist::AutoHist;
+pub use auto_sample::AutoSample;
+pub use isomer::Isomer;
+pub use isomer_qp::IsomerQp;
+pub use query_model::QueryModel;
+pub use sthole::STHoles;

@@ -1,0 +1,264 @@
+//! The disjoint-bucket partition underlying ISOMER (§2.3 of the QuickSel
+//! paper; Srivastava et al., ICDE 2006).
+//!
+//! Invariant maintained for every observed query region `B_i`: **each
+//! bucket is either fully inside `B_i` or fully outside it** — the paper's
+//! Appendix B shows iterative scaling relies on this zero/one-overlap
+//! property. The invariant is established by splitting every partially
+//! overlapped bucket into `bucket ∩ B_i` plus the ≤ 2d-piece guillotine
+//! complement, which is exactly the mechanism whose bucket count grows
+//! superlinearly with the number of observed queries (Limitation 1,
+//! §2.3: 22,370 buckets after 100 queries, 318,936 after 300).
+
+use quicksel_geometry::{Domain, Rect};
+
+/// One bucket of the partition: a box plus its current frequency mass
+/// (normalized: all frequencies sum to 1).
+#[derive(Debug, Clone)]
+pub struct PartitionBucket {
+    /// The bucket's box. Disjoint from all sibling buckets.
+    pub rect: Rect,
+    /// Probability mass assigned to the bucket.
+    pub freq: f64,
+}
+
+/// A disjoint partition of the domain box refined by observed queries.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    buckets: Vec<PartitionBucket>,
+    /// Splitting stops once this many buckets exist (memory guard; the
+    /// paper's ISOMER has no such cap, so the default is high).
+    max_buckets: usize,
+    /// True once the cap was hit (estimates may degrade afterwards).
+    saturated: bool,
+}
+
+impl Partition {
+    /// Starts from the trivial partition `{B0}` carrying all the mass.
+    pub fn new(domain: &Domain) -> Self {
+        Self::with_max_buckets(domain, 1_000_000)
+    }
+
+    /// Starts with an explicit bucket-count cap.
+    pub fn with_max_buckets(domain: &Domain, max_buckets: usize) -> Self {
+        Self {
+            buckets: vec![PartitionBucket { rect: domain.full_rect(), freq: 1.0 }],
+            max_buckets,
+            saturated: false,
+        }
+    }
+
+    /// Current buckets.
+    pub fn buckets(&self) -> &[PartitionBucket] {
+        &self.buckets
+    }
+
+    /// Mutable bucket access (for the training passes).
+    pub fn buckets_mut(&mut self) -> &mut [PartitionBucket] {
+        &mut self.buckets
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// A partition always holds at least the root bucket.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the bucket cap was reached at some point.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Refines the partition so `region` is exactly a union of buckets.
+    ///
+    /// Frequencies are split proportionally to volume (the uniform
+    /// assumption within a bucket), which preserves total mass and keeps
+    /// every previously established constraint sum unchanged.
+    pub fn refine(&mut self, region: &Rect) {
+        let mut out: Vec<PartitionBucket> = Vec::with_capacity(self.buckets.len() + 8);
+        for b in self.buckets.drain(..) {
+            // Fully outside or fully inside: keep as is.
+            let inter = b.rect.intersection_volume(region);
+            let vol = b.rect.volume();
+            if inter <= 0.0 || (vol - inter).abs() < 1e-12 * vol.max(1.0) {
+                out.push(b);
+                continue;
+            }
+            if out.len() >= usize::MAX - 8 {
+                out.push(b);
+                continue;
+            }
+            // Partial overlap: split into (b ∩ region) + complement pieces.
+            let inside = b
+                .rect
+                .intersect(region)
+                .expect("positive intersection volume implies non-empty overlap");
+            let outside_pieces = b.rect.subtract(region);
+            let denom = vol.max(f64::MIN_POSITIVE);
+            let inside_freq = b.freq * inside.volume() / denom;
+            let mut rest = b.freq - inside_freq;
+            let outside_total: f64 = outside_pieces.iter().map(Rect::volume).sum();
+            out.push(PartitionBucket { rect: inside, freq: inside_freq });
+            for (k, piece) in outside_pieces.iter().enumerate() {
+                let f = if outside_total > 0.0 {
+                    if k + 1 == outside_pieces.len() {
+                        rest // assign the remainder exactly (mass conservation)
+                    } else {
+                        let share = b.freq * piece.volume() / denom;
+                        rest -= share;
+                        share
+                    }
+                } else {
+                    0.0
+                };
+                out.push(PartitionBucket { rect: piece.clone(), freq: f });
+            }
+        }
+        if out.len() > self.max_buckets {
+            self.saturated = true;
+        }
+        self.buckets = out;
+    }
+
+    /// True when more refinement is allowed under the cap.
+    pub fn can_refine(&self) -> bool {
+        self.buckets.len() < self.max_buckets
+    }
+
+    /// Indices of buckets fully inside `region`.
+    ///
+    /// After [`refine`](Self::refine) has been called with this region,
+    /// containment is exact: a bucket is inside iff its center is.
+    pub fn buckets_inside(&self, region: &Rect) -> Vec<u32> {
+        let mut v = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            if region.contains_point(&b.rect.center()) && region.overlaps(&b.rect) {
+                v.push(i as u32);
+            }
+        }
+        v
+    }
+
+    /// Histogram selectivity estimate
+    /// `Σ_b freq_b · |q ∩ rect_b| / |rect_b|`.
+    pub fn estimate(&self, query: &Rect) -> f64 {
+        let mut s = 0.0;
+        for b in &self.buckets {
+            if b.freq == 0.0 {
+                continue;
+            }
+            let inter = b.rect.intersection_volume(query);
+            if inter > 0.0 {
+                s += b.freq * inter / b.rect.volume();
+            }
+        }
+        s.clamp(0.0, 1.0)
+    }
+
+    /// Total probability mass (should stay ≈ 1).
+    pub fn total_mass(&self) -> f64 {
+        self.buckets.iter().map(|b| b.freq).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_geometry::Domain;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    #[test]
+    fn starts_with_root_bucket() {
+        let p = Partition::new(&domain());
+        assert_eq!(p.len(), 1);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_splits_partial_buckets() {
+        let mut p = Partition::new(&domain());
+        let q = Rect::from_bounds(&[(2.0, 5.0), (2.0, 5.0)]);
+        p.refine(&q);
+        // Inside box + ≤4 complement pieces.
+        assert!(p.len() >= 2 && p.len() <= 5, "{} buckets", p.len());
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+        // Every bucket is now fully in or out of q.
+        for b in p.buckets() {
+            let inter = b.rect.intersection_volume(&q);
+            let vol = b.rect.volume();
+            assert!(inter < 1e-12 || (inter - vol).abs() < 1e-9, "partial bucket {}", b.rect);
+        }
+    }
+
+    #[test]
+    fn buckets_stay_disjoint_and_cover_domain() {
+        let mut p = Partition::new(&domain());
+        let queries = [
+            Rect::from_bounds(&[(1.0, 4.0), (1.0, 4.0)]),
+            Rect::from_bounds(&[(3.0, 8.0), (2.0, 6.0)]),
+            Rect::from_bounds(&[(0.0, 10.0), (5.0, 7.0)]),
+            Rect::from_bounds(&[(6.0, 9.0), (0.0, 9.0)]),
+        ];
+        for q in &queries {
+            p.refine(q);
+        }
+        let total_vol: f64 = p.buckets().iter().map(|b| b.rect.volume()).sum();
+        assert!((total_vol - 100.0).abs() < 1e-6, "covered {total_vol}");
+        for (i, a) in p.buckets().iter().enumerate() {
+            for b in &p.buckets()[i + 1..] {
+                assert!(a.rect.intersection_volume(&b.rect) < 1e-9);
+            }
+        }
+        assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refine_is_idempotent_for_same_region() {
+        let mut p = Partition::new(&domain());
+        let q = Rect::from_bounds(&[(2.0, 5.0), (2.0, 5.0)]);
+        p.refine(&q);
+        let n1 = p.len();
+        p.refine(&q);
+        assert_eq!(p.len(), n1, "re-refining an aligned region must not split");
+    }
+
+    #[test]
+    fn buckets_inside_matches_geometry() {
+        let mut p = Partition::new(&domain());
+        let q = Rect::from_bounds(&[(2.0, 5.0), (2.0, 5.0)]);
+        p.refine(&q);
+        let inside = p.buckets_inside(&q);
+        let vol: f64 = inside.iter().map(|&i| p.buckets()[i as usize].rect.volume()).sum();
+        assert!((vol - 9.0).abs() < 1e-9, "inside volume {vol}");
+    }
+
+    #[test]
+    fn estimate_uniform_prior_before_learning() {
+        let p = Partition::new(&domain());
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 10.0)]);
+        assert!((p.estimate(&q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_count_grows_superlinearly_with_overlapping_queries() {
+        // The Limitation-1 behaviour: staircase of overlapping rects.
+        let mut p = Partition::new(&domain());
+        let mut counts = Vec::new();
+        for i in 0..12 {
+            let o = i as f64 * 0.5;
+            let q = Rect::from_bounds(&[(o, o + 3.0), (o, o + 3.0)]);
+            p.refine(&q);
+            counts.push(p.len());
+        }
+        // Strictly growing, and clearly faster than one bucket per query.
+        assert!(counts.windows(2).all(|w| w[1] > w[0]));
+        assert!(*counts.last().unwrap() > 3 * counts.len(), "counts {counts:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! QueryModel: query-centric selectivity prediction
+//! (Anagnostopoulos & Triantafillou, IEEE Big Data 2015; §5.1 method 4 of
+//! the QuickSel paper).
+//!
+//! Instead of modelling the data distribution, QueryModel treats observed
+//! queries themselves as the model: a new query's selectivity is the
+//! similarity-weighted average of the observed selectivities, with
+//! similarity measured by a Gaussian kernel over query feature vectors
+//! (per-dimension center ⊕ width, normalized by the domain).
+
+use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_geometry::{Domain, Rect};
+
+/// The QueryModel estimator.
+pub struct QueryModel {
+    domain: Domain,
+    /// Stored training queries as (features, selectivity).
+    memory: Vec<(Vec<f64>, f64)>,
+    /// Kernel bandwidth in normalized feature space.
+    bandwidth: f64,
+}
+
+impl QueryModel {
+    /// Creates a QueryModel with the default bandwidth 0.15.
+    pub fn new(domain: Domain) -> Self {
+        Self::with_bandwidth(domain, 0.15)
+    }
+
+    /// Creates a QueryModel with an explicit kernel bandwidth.
+    pub fn with_bandwidth(domain: Domain, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Self { domain, memory: Vec::new(), bandwidth }
+    }
+
+    /// Number of stored observations.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// The feature vector of a query rectangle: per-dimension normalized
+    /// center and width (`2d` features).
+    fn features(&self, rect: &Rect) -> Vec<f64> {
+        let d = self.domain.dim();
+        let mut f = Vec::with_capacity(2 * d);
+        for i in 0..d {
+            let b = self.domain.bounds(i);
+            let s = rect.side(i);
+            f.push((s.center() - b.lo) / b.length());
+        }
+        for i in 0..d {
+            let b = self.domain.bounds(i);
+            let s = rect.side(i);
+            f.push(s.length() / b.length());
+        }
+        f
+    }
+}
+
+impl SelectivityEstimator for QueryModel {
+    fn name(&self) -> &'static str {
+        "QueryModel"
+    }
+
+    fn observe(&mut self, query: &ObservedQuery) {
+        let f = self.features(&query.rect);
+        self.memory.push((f, query.selectivity));
+    }
+
+    fn estimate(&self, rect: &Rect) -> f64 {
+        if self.memory.is_empty() {
+            // Uninformed prior: uniformity assumption.
+            let b0 = self.domain.full_rect();
+            return (rect.intersection_volume(&b0) / b0.volume()).clamp(0.0, 1.0);
+        }
+        let f = self.features(rect);
+        let inv_2h2 = 1.0 / (2.0 * self.bandwidth * self.bandwidth);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut best = (f64::INFINITY, 0.0); // nearest-neighbour fallback
+        for (g, s) in &self.memory {
+            let d2: f64 = f.iter().zip(g).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d2 < best.0 {
+                best = (d2, *s);
+            }
+            let w = (-d2 * inv_2h2).exp();
+            num += w * s;
+            den += w;
+        }
+        if den > 1e-300 {
+            (num / den).clamp(0.0, 1.0)
+        } else {
+            // All kernels underflowed: fall back to the nearest query.
+            best.1.clamp(0.0, 1.0)
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        // Each stored query holds 2d features + 1 selectivity.
+        self.memory.len() * (2 * self.domain.dim() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn oq(b: [(f64, f64); 2], s: f64) -> ObservedQuery {
+        ObservedQuery::new(Rect::from_bounds(&b), s)
+    }
+
+    #[test]
+    fn prior_is_uniform() {
+        let qm = QueryModel::new(domain());
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 10.0)]);
+        assert!((qm.estimate(&q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeating_a_training_query_returns_its_selectivity() {
+        let mut qm = QueryModel::new(domain());
+        let q = oq([(1.0, 3.0), (2.0, 4.0)], 0.42);
+        qm.observe(&q);
+        assert!((qm.estimate(&q.rect) - 0.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearby_queries_interpolate() {
+        let mut qm = QueryModel::new(domain());
+        qm.observe(&oq([(0.0, 2.0), (0.0, 2.0)], 0.1));
+        qm.observe(&oq([(8.0, 10.0), (8.0, 10.0)], 0.9));
+        // Close to the first query → close to 0.1.
+        let near_first = qm.estimate(&Rect::from_bounds(&[(0.2, 2.2), (0.2, 2.2)]));
+        assert!((near_first - 0.1).abs() < 0.05, "near_first {near_first}");
+        // Halfway between: somewhere in between.
+        let mid = qm.estimate(&Rect::from_bounds(&[(4.0, 6.0), (4.0, 6.0)]));
+        assert!(mid > 0.1 && mid < 0.9, "mid {mid}");
+    }
+
+    #[test]
+    fn distant_query_falls_back_to_nearest_neighbor() {
+        let mut qm = QueryModel::with_bandwidth(domain(), 0.01); // very narrow kernel
+        qm.observe(&oq([(0.0, 1.0), (0.0, 1.0)], 0.2));
+        // Far query: kernels underflow, NN fallback returns 0.2.
+        let far = qm.estimate(&Rect::from_bounds(&[(9.0, 10.0), (9.0, 10.0)]));
+        assert!((far - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn param_count_grows_linearly() {
+        let mut qm = QueryModel::new(domain());
+        assert_eq!(qm.param_count(), 0);
+        for i in 0..5 {
+            qm.observe(&oq([(0.0, 1.0 + i as f64), (0.0, 2.0)], 0.1));
+        }
+        // 2d + 1 = 5 params per stored query.
+        assert_eq!(qm.param_count(), 25);
+        assert_eq!(qm.memory_len(), 5);
+    }
+
+    #[test]
+    fn width_matters_not_just_position() {
+        let mut qm = QueryModel::new(domain());
+        // Same center, very different widths → different selectivities.
+        qm.observe(&oq([(4.0, 6.0), (4.0, 6.0)], 0.1));
+        qm.observe(&oq([(0.0, 10.0), (0.0, 10.0)], 1.0));
+        let narrow = qm.estimate(&Rect::from_bounds(&[(4.0, 6.0), (4.0, 6.0)]));
+        let wide = qm.estimate(&Rect::from_bounds(&[(0.5, 9.5), (0.5, 9.5)]));
+        assert!(narrow < 0.3, "narrow {narrow}");
+        assert!(wide > 0.7, "wide {wide}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Bucket arena for STHoles: a tree of nested boxes ("holes") stored in a
+//! slab with an explicit free list (merging removes buckets frequently).
+
+use quicksel_geometry::Rect;
+
+/// One STHoles bucket: a box, the probability mass of its *region*
+/// (the box minus its children's boxes), and tree links.
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    /// Bounding box of the bucket (children are nested inside).
+    pub rect: Rect,
+    /// Mass assigned to the bucket region (box minus child boxes).
+    pub freq: f64,
+    /// Arena indices of the child holes (disjoint, fully inside `rect`).
+    pub children: Vec<usize>,
+    /// Arena index of the parent (`None` for the root).
+    pub parent: Option<usize>,
+}
+
+/// Slab of buckets with a free list.
+#[derive(Debug, Clone, Default)]
+pub struct Arena {
+    slots: Vec<Option<Bucket>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a bucket, reusing a free slot when available.
+    pub fn insert(&mut self, b: Bucket) -> usize {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            self.slots[i] = Some(b);
+            i
+        } else {
+            self.slots.push(Some(b));
+            self.slots.len() - 1
+        }
+    }
+
+    /// Removes a bucket (its slot is recycled).
+    pub fn remove(&mut self, i: usize) -> Bucket {
+        let b = self.slots[i].take().expect("removing a live bucket");
+        self.free.push(i);
+        self.live -= 1;
+        b
+    }
+
+    /// Shared access.
+    pub fn get(&self, i: usize) -> &Bucket {
+        self.slots[i].as_ref().expect("live bucket")
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, i: usize) -> &mut Bucket {
+        self.slots[i].as_mut().expect("live bucket")
+    }
+
+    /// Number of live buckets.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no buckets are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over `(index, bucket)` pairs of live buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Bucket)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|b| (i, b)))
+    }
+
+    /// The volume of the bucket's *region*: its box minus child boxes.
+    pub fn region_volume(&self, i: usize) -> f64 {
+        let b = self.get(i);
+        let child_vol: f64 = b.children.iter().map(|&c| self.get(c).rect.volume()).sum();
+        (b.rect.volume() - child_vol).max(0.0)
+    }
+
+    /// Volume of `query ∩ region(i)`: overlap with the box minus overlaps
+    /// with child boxes (children are disjoint and nested, so subtraction
+    /// is exact).
+    pub fn region_overlap(&self, i: usize, query: &Rect) -> f64 {
+        let b = self.get(i);
+        let mut v = b.rect.intersection_volume(query);
+        if v <= 0.0 {
+            return 0.0;
+        }
+        for &c in &b.children {
+            v -= self.get(c).rect.intersection_volume(query);
+        }
+        v.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(b: [(f64, f64); 2]) -> Rect {
+        Rect::from_bounds(&b)
+    }
+
+    #[test]
+    fn insert_remove_reuses_slots() {
+        let mut a = Arena::new();
+        let i0 = a.insert(Bucket { rect: boxed([(0.0, 1.0), (0.0, 1.0)]), freq: 1.0, children: vec![], parent: None });
+        let i1 = a.insert(Bucket { rect: boxed([(1.0, 2.0), (0.0, 1.0)]), freq: 0.5, children: vec![], parent: Some(i0) });
+        assert_eq!(a.len(), 2);
+        a.remove(i1);
+        assert_eq!(a.len(), 1);
+        let i2 = a.insert(Bucket { rect: boxed([(2.0, 3.0), (0.0, 1.0)]), freq: 0.1, children: vec![], parent: None });
+        assert_eq!(i2, i1, "slot recycled");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn region_volume_excludes_children() {
+        let mut a = Arena::new();
+        let root = a.insert(Bucket { rect: boxed([(0.0, 4.0), (0.0, 4.0)]), freq: 1.0, children: vec![], parent: None });
+        let hole = a.insert(Bucket { rect: boxed([(1.0, 2.0), (1.0, 2.0)]), freq: 0.2, children: vec![], parent: Some(root) });
+        a.get_mut(root).children.push(hole);
+        assert!((a.region_volume(root) - 15.0).abs() < 1e-12);
+        assert!((a.region_volume(hole) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_overlap_subtracts_children() {
+        let mut a = Arena::new();
+        let root = a.insert(Bucket { rect: boxed([(0.0, 4.0), (0.0, 4.0)]), freq: 1.0, children: vec![], parent: None });
+        let hole = a.insert(Bucket { rect: boxed([(1.0, 2.0), (1.0, 2.0)]), freq: 0.2, children: vec![], parent: Some(root) });
+        a.get_mut(root).children.push(hole);
+        // Query covering the hole and some surrounding region.
+        let q = boxed([(0.0, 2.0), (0.0, 2.0)]);
+        assert!((a.region_overlap(root, &q) - 3.0).abs() < 1e-12);
+        assert!((a.region_overlap(hole, &q) - 1.0).abs() < 1e-12);
+        // Disjoint query.
+        assert_eq!(a.region_overlap(hole, &boxed([(3.0, 4.0), (3.0, 4.0)])), 0.0);
+    }
+
+    #[test]
+    fn iter_visits_only_live() {
+        let mut a = Arena::new();
+        let i0 = a.insert(Bucket { rect: boxed([(0.0, 1.0), (0.0, 1.0)]), freq: 1.0, children: vec![], parent: None });
+        let i1 = a.insert(Bucket { rect: boxed([(1.0, 2.0), (0.0, 1.0)]), freq: 0.5, children: vec![], parent: None });
+        a.remove(i0);
+        let live: Vec<usize> = a.iter().map(|(i, _)| i).collect();
+        assert_eq!(live, vec![i1]);
+    }
+}

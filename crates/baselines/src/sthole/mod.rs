@@ -1,0 +1,453 @@
+//! STHoles: a workload-aware histogram with nested buckets
+//! (Bruno, Chaudhuri, Gravano — SIGMOD 2001), as used for the QuickSel
+//! paper's baseline (§5.1 method 1).
+//!
+//! Buckets form a tree: each bucket's *region* is its box minus its
+//! children's boxes ("holes"). Observing a query proceeds in three steps:
+//!
+//! 1. **drill** — for every bucket partially overlapped by the query, carve
+//!    a candidate hole `box ∩ query`, shrunk until it no longer partially
+//!    intersects any child, and add it as a new child whose frequency is
+//!    the parent's uniform share (the QuickSel paper's description:
+//!    "the frequency of an existing bucket is distributed uniformly among
+//!    the newly created buckets");
+//! 2. **calibrate** — error-feedback: rescale the mass inside the query
+//!    region to the observed selectivity and the mass outside to its
+//!    complement (this is what makes STHoles an *error-feedback* histogram
+//!    per §2.3 — it fixes the latest query, not the historical average);
+//! 3. **merge** — parent–child merges with the smallest density-difference
+//!    penalty until the bucket budget is met.
+
+pub mod bucket;
+
+use bucket::{Arena, Bucket};
+use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_geometry::{Domain, Rect};
+
+/// The STHoles estimator.
+pub struct STHoles {
+    domain: Domain,
+    arena: Arena,
+    root: usize,
+    /// Bucket budget maintained by merging (the original paper's fixed
+    /// histogram size). Default 2000.
+    max_buckets: usize,
+}
+
+impl STHoles {
+    /// Creates an STHoles histogram with the default budget of 2000
+    /// buckets.
+    pub fn new(domain: Domain) -> Self {
+        Self::with_budget(domain, 2000)
+    }
+
+    /// Creates an STHoles histogram with an explicit bucket budget.
+    pub fn with_budget(domain: Domain, max_buckets: usize) -> Self {
+        assert!(max_buckets >= 1);
+        let mut arena = Arena::new();
+        let root = arena.insert(Bucket {
+            rect: domain.full_rect(),
+            freq: 1.0,
+            children: Vec::new(),
+            parent: None,
+        });
+        Self { domain, arena, root, max_buckets }
+    }
+
+    /// The estimator's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Arena index of the root bucket (spans the whole domain).
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of live buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total probability mass (should remain ≈ 1).
+    pub fn total_mass(&self) -> f64 {
+        self.arena.iter().map(|(_, b)| b.freq).sum()
+    }
+
+    /// Raw histogram estimate `Σ_b freq_b · |q ∩ region_b| / |region_b|`.
+    fn estimate_raw(&self, query: &Rect) -> f64 {
+        let mut s = 0.0;
+        for (i, b) in self.arena.iter() {
+            if b.freq == 0.0 {
+                continue;
+            }
+            let overlap = self.arena.region_overlap(i, query);
+            if overlap > 0.0 {
+                let rv = self.arena.region_volume(i);
+                if rv > 0.0 {
+                    s += b.freq * overlap / rv;
+                }
+            }
+        }
+        s
+    }
+
+    /// Shrinks the candidate hole `c` inside bucket `b` until it partially
+    /// intersects no child of `b` (children fully inside `c` are fine).
+    /// Returns `None` when the candidate collapses to zero volume.
+    fn shrink_candidate(&self, b: usize, mut c: Rect) -> Option<Rect> {
+        'outer: loop {
+            if c.volume() <= 0.0 {
+                return None;
+            }
+            let children = &self.arena.get(b).children;
+            for &ch in children {
+                let chr = &self.arena.get(ch).rect;
+                let inter = c.intersection_volume(chr);
+                if inter <= 0.0 || c.contains_rect(chr) {
+                    continue; // disjoint or fully swallowed: fine
+                }
+                // Partial overlap: cut `c` along the best dimension/side.
+                let mut best: Option<(f64, usize, bool)> = None; // (volume, dim, keep_low_side)
+                for d in 0..c.dim() {
+                    let cs = c.side(d);
+                    let hs = chr.side(d);
+                    // Keep the low part [cs.lo, hs.lo).
+                    if hs.lo > cs.lo && hs.lo < cs.hi {
+                        let vol = c.volume() / cs.length() * (hs.lo - cs.lo);
+                        if best.map_or(true, |(bv, _, _)| vol > bv) {
+                            best = Some((vol, d, true));
+                        }
+                    }
+                    // Keep the high part [hs.hi, cs.hi).
+                    if hs.hi < cs.hi && hs.hi > cs.lo {
+                        let vol = c.volume() / cs.length() * (cs.hi - hs.hi);
+                        if best.map_or(true, |(bv, _, _)| vol > bv) {
+                            best = Some((vol, d, false));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, d, keep_low)) => {
+                        let cs = c.side(d);
+                        let hs = chr.side(d);
+                        *c.side_mut(d) = if keep_low {
+                            quicksel_geometry::Interval::new(cs.lo, hs.lo)
+                        } else {
+                            quicksel_geometry::Interval::new(hs.hi, cs.hi)
+                        };
+                        continue 'outer;
+                    }
+                    None => return None, // child covers c in every dimension
+                }
+            }
+            return Some(c);
+        }
+    }
+
+    /// Drill step: carve holes for `query` in every partially-overlapped
+    /// bucket.
+    fn drill(&mut self, query: &Rect) {
+        // Snapshot: newly created holes (subsets of `query`) need no drilling.
+        let targets: Vec<usize> = self
+            .arena
+            .iter()
+            .filter(|(_, b)| {
+                let inter = b.rect.intersection_volume(query);
+                inter > 0.0 && !query.contains_rect(&b.rect)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for bi in targets {
+            let brect = self.arena.get(bi).rect.clone();
+            let candidate = match brect.intersect(query) {
+                Some(c) => c,
+                None => continue,
+            };
+            // A candidate equal to the whole box would be a degenerate hole.
+            if candidate == brect {
+                continue;
+            }
+            let Some(hole) = self.shrink_candidate(bi, candidate) else { continue };
+            if hole.volume() <= 0.0 || hole == brect {
+                continue;
+            }
+            // Uniform share of the parent's region mass.
+            let region_vol = self.arena.region_volume(bi);
+            let overlap = self.arena.region_overlap(bi, &hole);
+            let parent_freq = self.arena.get(bi).freq;
+            let hole_freq = if region_vol > 0.0 {
+                (parent_freq * overlap / region_vol).min(parent_freq)
+            } else {
+                0.0
+            };
+            // Children of b fully inside the hole migrate into it.
+            let adopted: Vec<usize> = self
+                .arena
+                .get(bi)
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| hole.contains_rect(&self.arena.get(c).rect))
+                .collect();
+            let hi = self.arena.insert(Bucket {
+                rect: hole,
+                freq: hole_freq,
+                children: adopted.clone(),
+                parent: Some(bi),
+            });
+            {
+                let pb = self.arena.get_mut(bi);
+                pb.freq -= hole_freq;
+                pb.children.retain(|c| !adopted.contains(c));
+                pb.children.push(hi);
+            }
+            for c in adopted {
+                self.arena.get_mut(c).parent = Some(hi);
+            }
+        }
+    }
+
+    /// Calibrate step: error-feedback scaling so the histogram reproduces
+    /// the observed selectivity while conserving total mass.
+    ///
+    /// Each bucket's mass is split into its in-query part
+    /// `freq · overlap/region` and its complement; the in-parts are scaled
+    /// toward the observed selectivity, the out-parts toward its
+    /// complement. Because a bucket's two parts cannot be scaled
+    /// independently (a bucket is uniform over its whole region), a single
+    /// proportional pass is exact only when every bucket lies fully inside
+    /// or outside the query; drilling makes that mostly true, and a short
+    /// fixed-point loop absorbs the remaining partial buckets.
+    fn calibrate(&mut self, query: &Rect, observed: f64) {
+        let target_in = observed.clamp(0.0, 1.0);
+        for _ in 0..16 {
+            // Snapshot per-bucket geometry fractions and masses.
+            let mut entries: Vec<(usize, f64, f64)> = Vec::new(); // (id, freq, in_frac)
+            for (i, b) in self.arena.iter() {
+                let rv = self.arena.region_volume(i);
+                let frac = if rv > 0.0 {
+                    (self.arena.region_overlap(i, query) / rv).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                entries.push((i, b.freq, frac));
+            }
+            let inside_mass: f64 = entries.iter().map(|&(_, f, a)| f * a).sum();
+            let outside_mass: f64 = entries.iter().map(|&(_, f, a)| f * (1.0 - a)).sum();
+            if (inside_mass - target_in).abs() < 1e-12 {
+                break;
+            }
+            if inside_mass <= f64::MIN_POSITIVE {
+                if target_in <= 0.0 {
+                    break;
+                }
+                // Query region holds no mass yet: seed it proportionally to
+                // geometric overlap, taking the mass from outside.
+                let overlap_sum: f64 = entries
+                    .iter()
+                    .map(|&(i, _, _)| self.arena.region_overlap(i, query))
+                    .sum();
+                if overlap_sum <= 0.0 {
+                    break;
+                }
+                for &(i, _, _) in &entries {
+                    let ov = self.arena.region_overlap(i, query);
+                    if ov > 0.0 {
+                        self.arena.get_mut(i).freq += target_in * ov / overlap_sum;
+                    }
+                }
+                // Fall through; the next iteration rescales the outside.
+                continue;
+            }
+            let f_in = target_in / inside_mass;
+            let f_out = if outside_mass > f64::MIN_POSITIVE {
+                (1.0 - target_in) / outside_mass
+            } else {
+                1.0
+            };
+            for &(i, freq, a) in &entries {
+                let new = (freq * a * f_in + freq * (1.0 - a) * f_out).max(0.0);
+                self.arena.get_mut(i).freq = new;
+            }
+        }
+    }
+
+    /// Merge step: parent–child merges with the smallest penalty until the
+    /// budget is met. Penalty = |density(parent) − density(child)| ×
+    /// |child box| (how much approximation quality the merge costs).
+    fn merge_to_budget(&mut self) {
+        while self.arena.len() > self.max_buckets {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, b) in self.arena.iter() {
+                let Some(p) = b.parent else { continue };
+                let dv_c = self.arena.region_volume(i);
+                let dv_p = self.arena.region_volume(p);
+                if dv_c <= 0.0 || dv_p <= 0.0 {
+                    best = Some((0.0, i));
+                    break;
+                }
+                let dens_c = b.freq / dv_c;
+                let dens_p = self.arena.get(p).freq / dv_p;
+                let penalty = (dens_c - dens_p).abs() * b.rect.volume();
+                if best.map_or(true, |(bp, _)| penalty < bp) {
+                    best = Some((penalty, i));
+                }
+            }
+            let Some((_, child)) = best else { return };
+            self.merge_child_into_parent(child);
+        }
+    }
+
+    fn merge_child_into_parent(&mut self, child: usize) {
+        let b = self.arena.remove(child);
+        let parent = b.parent.expect("merge target has a parent");
+        {
+            let pb = self.arena.get_mut(parent);
+            pb.freq += b.freq;
+            pb.children.retain(|&c| c != child);
+            pb.children.extend(&b.children);
+        }
+        for c in b.children {
+            self.arena.get_mut(c).parent = Some(parent);
+        }
+    }
+}
+
+impl SelectivityEstimator for STHoles {
+    fn name(&self) -> &'static str {
+        "STHoles"
+    }
+
+    fn observe(&mut self, query: &ObservedQuery) {
+        self.drill(&query.rect);
+        self.calibrate(&query.rect, query.selectivity);
+        self.merge_to_budget();
+    }
+
+    fn estimate(&self, rect: &Rect) -> f64 {
+        self.estimate_raw(rect).clamp(0.0, 1.0)
+    }
+
+    fn param_count(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn oq(b: [(f64, f64); 2], s: f64) -> ObservedQuery {
+        ObservedQuery::new(Rect::from_bounds(&b), s)
+    }
+
+    #[test]
+    fn starts_with_uniform_root() {
+        let st = STHoles::new(domain());
+        assert_eq!(st.bucket_count(), 1);
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 10.0)]);
+        assert!((st.estimate(&q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_is_reproduced() {
+        let mut st = STHoles::new(domain());
+        let q = oq([(0.0, 5.0), (0.0, 5.0)], 0.8);
+        st.observe(&q);
+        assert!((st.estimate(&q.rect) - 0.8).abs() < 1e-6, "est {}", st.estimate(&q.rect));
+        assert!((st.total_mass() - 1.0).abs() < 1e-9);
+        assert_eq!(st.bucket_count(), 2);
+    }
+
+    #[test]
+    fn nested_observations_build_tree() {
+        let mut st = STHoles::new(domain());
+        st.observe(&oq([(0.0, 6.0), (0.0, 6.0)], 0.9));
+        st.observe(&oq([(1.0, 3.0), (1.0, 3.0)], 0.5));
+        // Inner query is inside the first hole.
+        assert!(st.bucket_count() >= 3);
+        let inner = Rect::from_bounds(&[(1.0, 3.0), (1.0, 3.0)]);
+        assert!((st.estimate(&inner) - 0.5).abs() < 1e-6);
+        assert!((st.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partially_overlapping_observations_shrink_candidates() {
+        let mut st = STHoles::new(domain());
+        st.observe(&oq([(0.0, 4.0), (0.0, 4.0)], 0.6));
+        // Overlaps the previous hole partially.
+        st.observe(&oq([(2.0, 6.0), (2.0, 6.0)], 0.5));
+        // The last query is always reproduced exactly by error-feedback.
+        let q2 = Rect::from_bounds(&[(2.0, 6.0), (2.0, 6.0)]);
+        assert!((st.estimate(&q2) - 0.5).abs() < 1e-6);
+        assert!((st.total_mass() - 1.0).abs() < 1e-9);
+        // All children nest inside their parents and siblings are disjoint.
+        for (i, b) in st.arena.iter() {
+            for &c in &b.children {
+                assert!(b.rect.contains_rect(&st.arena.get(c).rect), "child escapes parent");
+                assert_eq!(st.arena.get(c).parent, Some(i));
+            }
+            for (xi, &c1) in b.children.iter().enumerate() {
+                for &c2 in &b.children[xi + 1..] {
+                    let r1 = &st.arena.get(c1).rect;
+                    let r2 = &st.arena.get(c2).rect;
+                    assert!(r1.intersection_volume(r2) < 1e-9, "sibling overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced_by_merging() {
+        let mut st = STHoles::with_budget(domain(), 6);
+        for i in 0..20 {
+            let o = (i % 8) as f64;
+            st.observe(&oq([(o, o + 2.0), (o, o + 2.0)], 0.25));
+        }
+        assert!(st.bucket_count() <= 6, "{} buckets", st.bucket_count());
+        assert!((st.total_mass() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_feedback_fixes_latest_query_only() {
+        // §2.3: error-feedback histograms minimize the error of the latest
+        // query, potentially at the expense of older ones.
+        let mut st = STHoles::new(domain());
+        let q1 = oq([(0.0, 5.0), (0.0, 10.0)], 0.9);
+        let q2 = oq([(0.0, 10.0), (0.0, 5.0)], 0.9);
+        st.observe(&q1);
+        st.observe(&q2);
+        assert!((st.estimate(&q2.rect) - 0.9).abs() < 1e-6, "latest exact");
+        // q1 may now be off — that's the documented behaviour, just ensure
+        // it stays sane.
+        let e1 = st.estimate(&q1.rect);
+        assert!((0.0..=1.0).contains(&e1));
+    }
+
+    #[test]
+    fn zero_selectivity_hole() {
+        let mut st = STHoles::new(domain());
+        st.observe(&oq([(4.0, 6.0), (4.0, 6.0)], 0.0));
+        assert!(st.estimate(&Rect::from_bounds(&[(4.5, 5.5), (4.5, 5.5)])) < 1e-9);
+        assert!((st.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_stay_in_unit_interval() {
+        let mut st = STHoles::new(domain());
+        for i in 0..15 {
+            let o = (i as f64 * 0.7) % 8.0;
+            st.observe(&oq([(o, o + 2.0), (0.0, 10.0)], (i as f64 / 15.0).min(1.0)));
+        }
+        for i in 0..20 {
+            let o = (i as f64 * 0.5) % 9.0;
+            let e = st.estimate(&Rect::from_bounds(&[(o, o + 1.0), (1.0, 9.0)]));
+            assert!((0.0..=1.0).contains(&e), "estimate {e}");
+        }
+    }
+}

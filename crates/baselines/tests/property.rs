@@ -1,0 +1,149 @@
+//! Property-based tests over random workloads for the baseline
+//! estimators' structural invariants.
+
+use proptest::prelude::*;
+use quicksel_baselines::partition::Partition;
+use quicksel_baselines::{Isomer, IsomerQp, QueryModel, STHoles};
+use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_geometry::{Domain, Rect};
+
+fn domain() -> Domain {
+    Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+}
+
+/// Random query rectangles inside the 10×10 domain.
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..8.0f64, 0.5..4.0f64, 0.0..8.0f64, 0.5..4.0f64)
+        .prop_map(|(x, wx, y, wy)| Rect::from_bounds(&[(x, x + wx), (y, y + wy)]))
+}
+
+/// Random observations with arbitrary (not necessarily consistent)
+/// selectivities — estimators must stay well-formed regardless.
+fn arb_observation() -> impl Strategy<Value = ObservedQuery> {
+    (arb_rect(), 0.0..1.0f64).prop_map(|(r, s)| ObservedQuery::new(r, s))
+}
+
+/// Observations consistent with a fixed synthetic distribution
+/// (uniform over the lower-left 6×6 square).
+fn consistent_observation() -> impl Strategy<Value = ObservedQuery> {
+    arb_rect().prop_map(|r| {
+        let mass = Rect::from_bounds(&[(0.0, 6.0), (0.0, 6.0)]);
+        let s = r.intersection_volume(&mass) / mass.volume();
+        ObservedQuery::new(r, s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partition refinement conserves mass and tiles the domain exactly.
+    #[test]
+    fn partition_conserves_mass_and_volume(rects in prop::collection::vec(arb_rect(), 1..12)) {
+        let d = domain();
+        let mut p = Partition::new(&d);
+        for r in &rects {
+            p.refine(r);
+        }
+        let mass: f64 = p.buckets().iter().map(|b| b.freq).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-6, "mass {}", mass);
+        let vol: f64 = p.buckets().iter().map(|b| b.rect.volume()).sum();
+        prop_assert!((vol - d.volume()).abs() < 1e-6, "volume {}", vol);
+    }
+
+    /// After refinement, every query region is exactly a union of buckets
+    /// (the zero/one-overlap property iterative scaling needs).
+    #[test]
+    fn partition_zero_one_overlap(rects in prop::collection::vec(arb_rect(), 1..10)) {
+        let d = domain();
+        let mut p = Partition::new(&d);
+        for r in &rects {
+            p.refine(r);
+        }
+        for r in &rects {
+            for b in p.buckets() {
+                let inter = b.rect.intersection_volume(r);
+                let vol = b.rect.volume();
+                prop_assert!(
+                    inter < 1e-9 || (inter - vol).abs() < 1e-6 * vol.max(1.0),
+                    "partial bucket {} vs query {}", b.rect, r
+                );
+            }
+        }
+    }
+
+    /// STHoles: mass conservation + bounded estimates under arbitrary
+    /// (even inconsistent) feedback.
+    #[test]
+    fn stholes_total_mass_and_bounds(obs in prop::collection::vec(arb_observation(), 1..15)) {
+        let mut st = STHoles::new(domain());
+        for q in &obs {
+            st.observe(q);
+        }
+        prop_assert!((st.total_mass() - 1.0).abs() < 1e-6, "mass {}", st.total_mass());
+        for q in &obs {
+            let e = st.estimate(&q.rect);
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+    }
+
+    /// STHoles reproduces the most recent observation (error feedback).
+    #[test]
+    fn stholes_fits_latest_observation(obs in prop::collection::vec(arb_observation(), 1..10)) {
+        let mut st = STHoles::new(domain());
+        for q in &obs {
+            st.observe(q);
+        }
+        let last = obs.last().expect("non-empty");
+        let e = st.estimate(&last.rect);
+        prop_assert!((e - last.selectivity).abs() < 5e-3,
+            "estimate {} vs observed {}", e, last.selectivity);
+    }
+
+    /// ISOMER satisfies *all* constraints when they are mutually
+    /// consistent (generated from one underlying distribution).
+    #[test]
+    fn isomer_satisfies_consistent_constraints(obs in prop::collection::vec(consistent_observation(), 1..8)) {
+        let mut iso = Isomer::new(domain());
+        for q in &obs {
+            iso.observe(q);
+        }
+        for q in &obs {
+            let e = iso.estimate(&q.rect);
+            prop_assert!((e - q.selectivity).abs() < 2e-2,
+                "estimate {} vs constraint {}", e, q.selectivity);
+        }
+    }
+
+    /// ISOMER+QP likewise (same buckets, different optimizer).
+    #[test]
+    fn isomer_qp_satisfies_consistent_constraints(obs in prop::collection::vec(consistent_observation(), 1..8)) {
+        let mut e = IsomerQp::new(domain());
+        for q in &obs {
+            e.observe(q);
+        }
+        for q in &obs {
+            let est = e.estimate(&q.rect);
+            prop_assert!((est - q.selectivity).abs() < 3e-2,
+                "estimate {} vs constraint {}", est, q.selectivity);
+        }
+    }
+
+    /// QueryModel's estimates are convex combinations of observed
+    /// selectivities: always within the observed range.
+    #[test]
+    fn query_model_stays_in_observed_range(
+        obs in prop::collection::vec(arb_observation(), 1..12),
+        probe in arb_rect(),
+    ) {
+        let mut qm = QueryModel::new(domain());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for q in &obs {
+            qm.observe(q);
+            lo = lo.min(q.selectivity);
+            hi = hi.max(q.selectivity);
+        }
+        let e = qm.estimate(&probe);
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "{} outside [{}, {}]", e, lo, hi);
+    }
+}

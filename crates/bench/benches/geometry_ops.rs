@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the geometric kernels QuickSel's training is built
+//! from (§3.1: "only min, max, and multiplication operations").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use quicksel_geometry::{union_volume, Interval, Rect};
+
+fn rects(n: usize, dim: usize) -> Vec<Rect> {
+    // Deterministic pseudo-random boxes (no rng dependency needed).
+    let mut x = 0.123456789f64;
+    let mut next = move || {
+        x = (x * 997.0 + 0.314159).fract();
+        x
+    };
+    (0..n)
+        .map(|_| {
+            Rect::new(
+                (0..dim)
+                    .map(|_| {
+                        let lo = next() * 80.0;
+                        Interval::new(lo, lo + 1.0 + next() * 19.0)
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_intersection_volume(c: &mut Criterion) {
+    let rs = rects(256, 3);
+    c.bench_function("intersection_volume_3d_pairwise_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..rs.len() {
+                for j in (i + 1)..rs.len() {
+                    acc += rs[i].intersection_volume(&rs[j]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_union_volume(c: &mut Criterion) {
+    let rs = rects(8, 2);
+    c.bench_function("union_volume_2d_8rects", |b| {
+        b.iter(|| black_box(union_volume(black_box(&rs))))
+    });
+}
+
+fn bench_subtract(c: &mut Criterion) {
+    let rs = rects(64, 3);
+    let hole = &rs[0];
+    c.bench_function("rect_subtract_3d_64", |b| {
+        b.iter(|| {
+            let mut count = 0;
+            for r in &rs[1..] {
+                count += r.subtract(hole).len();
+            }
+            black_box(count)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_intersection_volume, bench_union_volume, bench_subtract
+}
+criterion_main!(benches);

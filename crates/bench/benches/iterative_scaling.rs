@@ -1,0 +1,49 @@
+//! Iterative-scaling cost as a function of bucket count — the mechanism
+//! behind the paper's Limitation 1: per-sweep cost grows linearly with
+//! the number of buckets, and the bucket count itself grows superlinearly
+//! with the observed queries.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use quicksel_baselines::Isomer;
+use quicksel_data::datasets::gaussian::gaussian_table;
+use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
+use quicksel_data::{ObservedQuery, SelectivityEstimator};
+
+fn bench_ipf(c: &mut Criterion) {
+    let table = gaussian_table(2, 0.5, 20_000, 1234);
+    let mut gen = RectWorkload::new(
+        table.domain().clone(),
+        1235,
+        ShiftMode::Random,
+        CenterMode::DataRow,
+    )
+    .with_width_frac(0.1, 0.4);
+    let queries: Vec<ObservedQuery> = gen.take_queries(&table, 80);
+
+    let mut group = c.benchmark_group("iterative_scaling_observe");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[20usize, 40, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut iso = Isomer::new(table.domain().clone());
+                    for q in &queries[..n - 1] {
+                        iso.observe(q);
+                    }
+                    (iso, queries[n - 1].clone())
+                },
+                |(mut iso, q)| {
+                    iso.observe(&q);
+                    black_box(iso.param_count())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipf);
+criterion_main!(benches);

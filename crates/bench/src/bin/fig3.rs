@@ -1,0 +1,115 @@
+//! Figure 3: QuickSel vs. state-of-the-art query-driven histograms.
+//!
+//! * (a)/(d) — number of observed queries vs. per-query training time,
+//! * (b)/(e) — per-query time budget vs. relative error,
+//! * (c)/(f) — target error vs. time required (ISOMER vs. QuickSel).
+//!
+//! Datasets: DMV-like (a–c) and Instacart-like (d–f). Run with
+//! `cargo run -p quicksel-bench --release --bin fig3` (`QS_FAST=1` for a
+//! coarser grid).
+
+use quicksel_bench::driver::stream_with_checkpoints;
+use quicksel_bench::methods::{make_estimator, MethodKind, MethodOptions};
+use quicksel_bench::{fmt_duration_ms, fmt_pct, Scale, TextTable};
+use quicksel_data::datasets::{dmv_table, instacart_table};
+use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
+use quicksel_data::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let datasets: Vec<(&str, Table)> = vec![
+        ("DMV", dmv_table(scale.dmv_rows(), 101)),
+        ("Instacart", instacart_table(scale.instacart_rows(), 102)),
+    ];
+    let max_n = if scale.fast { 40 } else { 100 };
+    let step = if scale.fast { 10 } else { 10 };
+    let checkpoints: Vec<usize> = (step..=max_n).step_by(step).collect();
+
+    for (name, table) in &datasets {
+        println!("=== Figure 3 — dataset: {name} ({} rows) ===\n", table.row_count());
+        let mut gen = RectWorkload::new(
+            table.domain().clone(),
+            7 + name.len() as u64,
+            ShiftMode::Random,
+            CenterMode::DataRow,
+        )
+        .with_width_frac(0.1, 0.4);
+        let train = gen.take_queries(table, max_n);
+        let test = gen.take_queries(table, 100);
+
+        let mut results = Vec::new();
+        for kind in MethodKind::query_driven() {
+            let opts = MethodOptions { budget: 2000, ..Default::default() };
+            let mut est = make_estimator(kind, table.domain(), &opts);
+            let cps = stream_with_checkpoints(est.as_mut(), &train, &test, &checkpoints);
+            results.push((kind, cps));
+        }
+
+        // (a)/(d): #queries vs per-query training time.
+        println!("--- Fig 3{}: #observed queries vs per-query train time ---",
+            if *name == "DMV" { "a" } else { "d" });
+        let mut t = TextTable::new(
+            std::iter::once("n".to_string())
+                .chain(results.iter().map(|(k, _)| k.label().to_string()))
+                .collect(),
+        );
+        for (ci, &n) in checkpoints.iter().enumerate() {
+            let mut row = vec![n.to_string()];
+            for (_, cps) in &results {
+                row.push(cps.get(ci).map_or("-".into(), |c| {
+                    fmt_duration_ms(c.window_per_query_ms)
+                }));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+
+        // (b)/(e): per-query time vs error.
+        println!("--- Fig 3{}: mean per-query time vs relative error ---",
+            if *name == "DMV" { "b" } else { "e" });
+        let mut t = TextTable::new(vec!["method", "mean ms/query", "rel error"]);
+        for (kind, cps) in &results {
+            if let Some(last) = cps.last() {
+                t.row(vec![
+                    kind.label().to_string(),
+                    fmt_duration_ms(last.cumulative_ms / last.n as f64),
+                    fmt_pct(last.stats.mean_rel_pct),
+                ]);
+            }
+        }
+        t.print();
+        println!();
+
+        // (c)/(f): error target vs time required (ISOMER vs QuickSel).
+        println!("--- Fig 3{}: target error vs training time needed ---",
+            if *name == "DMV" { "c" } else { "f" });
+        let mut t = TextTable::new(vec!["target err", "ISOMER", "QuickSel"]);
+        let iso = &results.iter().find(|(k, _)| *k == MethodKind::Isomer).unwrap().1;
+        let qs = &results.iter().find(|(k, _)| *k == MethodKind::QuickSel).unwrap().1;
+        for target in [30.0, 25.0, 20.0, 15.0, 10.0] {
+            let time_for = |cps: &[quicksel_bench::driver::StreamCheckpoint]| {
+                cps.iter()
+                    .find(|c| c.stats.mean_rel_pct <= target)
+                    .map(|c| fmt_duration_ms(c.cumulative_ms))
+                    .unwrap_or_else(|| "not reached".into())
+            };
+            t.row(vec![fmt_pct(target), time_for(iso), time_for(qs)]);
+        }
+        t.print();
+        println!();
+
+        // Paper-shape summary.
+        let iso_last = iso.last().unwrap();
+        let qs_last = qs.last().unwrap();
+        println!(
+            "shape check: at n={} — ISOMER {:.3} ms/query ({} params), QuickSel {:.3} ms/query ({} params), speedup {:.1}x\n",
+            qs_last.n,
+            iso_last.cumulative_ms / iso_last.n as f64,
+            iso_last.params,
+            qs_last.cumulative_ms / qs_last.n as f64,
+            qs_last.params,
+            iso_last.cumulative_ms / qs_last.cumulative_ms.max(1e-9),
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 5: QuickSel vs. periodically-updated scan-based methods under
+//! data drift (§5.3).
+//!
+//! Protocol: Gaussian table (correlation 0); every 100 queries a batch of
+//! new tuples with correlation +0.1 is inserted. AutoHist/AutoSample react
+//! through their auto-update rules; QuickSel refines from query feedback
+//! every 100 queries. All methods get the same 100-parameter budget.
+//!
+//! * (a) — rolling relative error per 100-query window,
+//! * (b) — mean model-update time per method.
+//!
+//! Run with `cargo run -p quicksel-bench --release --bin fig5`.
+
+use quicksel_bench::methods::{make_estimator, MethodKind, MethodOptions};
+use quicksel_bench::{fmt_duration_ms, fmt_pct, Scale, TextTable};
+use quicksel_core::RefinePolicy;
+use quicksel_data::drift::{DriftEvent, GaussianDrift};
+use quicksel_data::{mean_rel_error_pct, ObservedQuery, SelectivityEstimator};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let drift = GaussianDrift {
+        initial_rows: scale.gaussian_rows(),
+        batch_rows: scale.gaussian_rows() / 5,
+        queries_per_phase: 100,
+        phases: if scale.fast { 4 } else { 10 },
+        rho_step: 0.1,
+        seed: 1802,
+    };
+    let mut table = drift.initial_table();
+    println!(
+        "=== Figure 5 — Gaussian drift: {} initial rows, {}-row batches, {} phases ===\n",
+        drift.initial_rows, drift.batch_rows, drift.phases
+    );
+
+    let budget = 100;
+    let kinds = [MethodKind::AutoHist, MethodKind::AutoSample, MethodKind::QuickSel];
+    let mut ests: Vec<Box<dyn SelectivityEstimator>> = kinds
+        .iter()
+        .map(|&k| {
+            let opts = MethodOptions {
+                budget,
+                fixed_params: Some(budget),
+                refine_policy: RefinePolicy::EveryK(100),
+                ..Default::default()
+            };
+            make_estimator(k, table.domain(), &opts)
+        })
+        .collect();
+
+    // Initial statistics builds for the scan-based methods.
+    let mut update_ms: Vec<Vec<f64>> = vec![Vec::new(); ests.len()];
+    for (e, times) in ests.iter_mut().zip(&mut update_ms) {
+        let t = Instant::now();
+        e.sync_data(&table, table.row_count());
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if ms > 1e-6 {
+            times.push(ms);
+        }
+    }
+
+    // Stream the drift timeline.
+    let mut window_pairs: Vec<Vec<(f64, f64)>> = vec![Vec::new(); ests.len()];
+    let mut windows: Vec<Vec<f64>> = vec![Vec::new(); ests.len()]; // per-window errors
+    let mut q_seen = 0usize;
+    for event in drift.events() {
+        match event {
+            DriftEvent::Query(rect) => {
+                let truth = table.selectivity(&rect);
+                for (ei, e) in ests.iter_mut().enumerate() {
+                    let est = e.estimate(&rect);
+                    window_pairs[ei].push((truth, est));
+                    // Query feedback: only query-driven methods use it. The
+                    // observe call is timed since QuickSel's periodic refine
+                    // runs inside it.
+                    let t = Instant::now();
+                    e.observe(&ObservedQuery::new(rect.clone(), truth));
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    if ms > 0.01 {
+                        update_ms[ei].push(ms);
+                    }
+                }
+                q_seen += 1;
+                if q_seen % 100 == 0 {
+                    for (ei, pairs) in window_pairs.iter_mut().enumerate() {
+                        windows[ei].push(mean_rel_error_pct(pairs));
+                        pairs.clear();
+                    }
+                }
+            }
+            DriftEvent::Insert(rows) => {
+                for r in &rows {
+                    table.push_row(r);
+                }
+                for (ei, e) in ests.iter_mut().enumerate() {
+                    let t = Instant::now();
+                    e.sync_data(&table, rows.len());
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    if ms > 0.01 {
+                        update_ms[ei].push(ms);
+                    }
+                }
+            }
+        }
+    }
+
+    println!("--- Fig 5a: rolling relative error per 100-query window ---");
+    let mut t = TextTable::new(
+        std::iter::once("queries".to_string())
+            .chain(kinds.iter().map(|k| k.label().to_string()))
+            .collect(),
+    );
+    for w in 0..windows[0].len() {
+        let mut row = vec![format!("{}-{}", w * 100 + 1, (w + 1) * 100)];
+        for errs in &windows {
+            row.push(fmt_pct(errs[w]));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+
+    println!("--- Fig 5b: mean model-update time ---");
+    let mut t = TextTable::new(vec!["method", "updates", "mean update time"]);
+    for ((k, times), _) in kinds.iter().zip(&update_ms).zip(0..) {
+        let mean = if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        t.row(vec![k.label().to_string(), times.len().to_string(), fmt_duration_ms(mean)]);
+    }
+    t.print();
+
+    // Shape summary: QuickSel should overtake both scan-based methods.
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let (ah, asmp, qs) = (avg(&windows[0]), avg(&windows[1]), avg(&windows[2]));
+    println!(
+        "\nshape check: mean error AutoHist {} / AutoSample {} / QuickSel {} (paper: QuickSel 57.3% better than AutoHist, 91.1% than AutoSample)",
+        fmt_pct(ah),
+        fmt_pct(asmp),
+        fmt_pct(qs)
+    );
+}

@@ -1,0 +1,176 @@
+//! Figure 7: robustness studies (§5.6).
+//!
+//! * (a) — error vs. data correlation,
+//! * (b) — error under workload shift (random / sliding / none),
+//! * (c) — error vs. model parameter count (fixed-m QuickSel),
+//! * (d) — error vs. data dimension (AutoHist / AutoSample / QuickSel).
+//!
+//! Run with `cargo run -p quicksel-bench --release --bin fig7`.
+
+use quicksel_bench::driver::evaluate;
+use quicksel_bench::methods::{make_estimator, MethodKind, MethodOptions};
+use quicksel_bench::{fmt_pct, Scale, TextTable};
+use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
+use quicksel_data::datasets::gaussian::gaussian_table;
+use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
+use quicksel_data::{mean_rel_error_pct, SelectivityEstimator};
+
+fn main() {
+    let scale = Scale::from_env();
+    fig7a(&scale);
+    fig7b(&scale);
+    fig7c(&scale);
+    fig7d(&scale);
+}
+
+/// (a) Data correlation sweep: 100 training queries, 100 test queries.
+fn fig7a(scale: &Scale) {
+    println!("=== Fig 7a — data correlation vs error ===");
+    let mut t = TextTable::new(vec!["correlation", "rel error"]);
+    for rho in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
+        let table = gaussian_table(2, rho, scale.gaussian_rows(), 701);
+        let mut gen = RectWorkload::new(
+            table.domain().clone(),
+            51,
+            ShiftMode::Random,
+            CenterMode::DataRow,
+        )
+        .with_width_frac(0.1, 0.4);
+        let train = gen.take_queries(&table, 100);
+        let test = gen.take_queries(&table, 100);
+        let mut cfg = QuickSelConfig::default();
+        cfg.refine_policy = RefinePolicy::EveryK(100);
+        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        for q in &train {
+            qs.observe(q);
+        }
+        let stats = evaluate(&qs, &test);
+        t.row(vec![format!("{rho:.2}"), fmt_pct(stats.mean_rel_pct)]);
+    }
+    t.print();
+    println!("(paper: flat, low error across all correlations)\n");
+}
+
+/// (b) Workload shifts over 1000 queries, testing on the next 10 after
+/// each 100-query training prefix.
+fn fig7b(scale: &Scale) {
+    println!("=== Fig 7b — workload shift vs error ===");
+    let total = if scale.fast { 300 } else { 1000 };
+    let table = gaussian_table(2, 0.5, scale.gaussian_rows(), 702);
+    let modes: [(&str, ShiftMode); 3] = [
+        ("random shift", ShiftMode::Random),
+        ("sliding shift", ShiftMode::Sliding { total }),
+        ("no shift", ShiftMode::NoShift),
+    ];
+    let mut series: Vec<(&str, Vec<(usize, f64)>)> = Vec::new();
+    for (label, mode) in modes {
+        // Centers target the ±3σ box: the paper's rectangles sweep the
+        // populated range of the normal distribution.
+        let mut gen = RectWorkload::new(table.domain().clone(), 52, mode, CenterMode::Uniform)
+            .with_width_frac(0.15, 0.5)
+            .with_center_box(quicksel_geometry::Rect::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]));
+        let all = gen.take_queries(&table, total + 10);
+        let mut cfg = QuickSelConfig::default();
+        cfg.refine_policy = RefinePolicy::EveryK(100);
+        cfg.max_subpops = 1600; // keep the single-threaded solve tractable
+        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        let mut points = Vec::new();
+        for n in (100..=total).step_by(100) {
+            for q in &all[n - 100..n] {
+                qs.observe(q);
+            }
+            let test = &all[n..(n + 10).min(all.len())];
+            let pairs: Vec<(f64, f64)> =
+                test.iter().map(|q| (q.selectivity, qs.estimate(&q.rect))).collect();
+            points.push((n, mean_rel_error_pct(&pairs)));
+        }
+        series.push((label, points));
+    }
+    let mut t = TextTable::new(
+        std::iter::once("n".to_string())
+            .chain(series.iter().map(|(l, _)| l.to_string()))
+            .collect(),
+    );
+    for i in 0..series[0].1.len() {
+        let mut row = vec![series[0].1[i].0.to_string()];
+        for (_, pts) in &series {
+            row.push(fmt_pct(pts[i].1));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("(paper: random shift worst but converging; all low after ~100 queries)\n");
+}
+
+/// (c) Fixed model-parameter sweep.
+fn fig7c(scale: &Scale) {
+    println!("=== Fig 7c — model parameter count vs error ===");
+    let table = gaussian_table(2, 0.5, scale.gaussian_rows(), 703);
+    let train_n = if scale.fast { 100 } else { 400 };
+    let mut gen = RectWorkload::new(
+        table.domain().clone(),
+        53,
+        ShiftMode::Random,
+        CenterMode::DataRow,
+    )
+    .with_width_frac(0.1, 0.4);
+    let train = gen.take_queries(&table, train_n);
+    let test = gen.take_queries(&table, 100);
+    let mut t = TextTable::new(vec!["params (m)", "rel error"]);
+    for m in [10usize, 25, 50, 100, 200, 400, 1000] {
+        let mut cfg = QuickSelConfig::default().with_fixed_subpops(m);
+        cfg.refine_policy = RefinePolicy::Manual;
+        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        for q in &train {
+            qs.observe(q);
+        }
+        qs.refine().expect("training");
+        let stats = evaluate(&qs, &test);
+        t.row(vec![m.to_string(), fmt_pct(stats.mean_rel_pct)]);
+    }
+    t.print();
+    println!("(paper: high error at m=10, flat once m ≥ 50)\n");
+}
+
+/// (d) Data-dimension sweep with equal budgets.
+fn fig7d(scale: &Scale) {
+    println!("=== Fig 7d — data dimension vs error (AutoHist/AutoSample/QuickSel) ===");
+    let dims: &[usize] = if scale.fast { &[1, 2, 4, 6] } else { &[1, 2, 4, 6, 8, 10] };
+    let budget = 1000;
+    let train_n = if scale.fast { 200 } else { 500 };
+    let mut t = TextTable::new(vec!["dim", "AutoHist", "AutoSample", "QuickSel"]);
+    for &d in dims {
+        let table = gaussian_table(d, 0.5, scale.gaussian_rows(), 704 + d as u64);
+        let mut gen = RectWorkload::new(
+            table.domain().clone(),
+            54,
+            ShiftMode::Random,
+            CenterMode::DataRow,
+        )
+        .with_width_frac(0.2, 0.6);
+        let train = gen.take_queries(&table, train_n);
+        let test = gen.take_queries(&table, 100);
+        let mut row = vec![d.to_string()];
+        for kind in [MethodKind::AutoHist, MethodKind::AutoSample, MethodKind::QuickSel] {
+            let err = if kind == MethodKind::QuickSel {
+                let mut cfg = QuickSelConfig::default().with_fixed_subpops(budget);
+                cfg.refine_policy = RefinePolicy::Manual;
+                let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+                for q in &train {
+                    qs.observe(q);
+                }
+                qs.refine().expect("training");
+                evaluate(&qs, &test).mean_rel_pct
+            } else {
+                let opts = MethodOptions { budget, ..Default::default() };
+                let mut est = make_estimator(kind, table.domain(), &opts);
+                est.sync_data(&table, table.row_count());
+                evaluate(est.as_ref(), &test).mean_rel_pct
+            };
+            row.push(fmt_pct(err));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("(paper: AutoHist degrades sharply with dimension; QuickSel stays lowest)");
+}

@@ -1,0 +1,122 @@
+//! Plain-text table output matching the paper's rows/series.
+
+/// Formats milliseconds compactly (µs under 1 ms, seconds over 10 s).
+pub fn fmt_duration_ms(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{:.1} µs", ms * 1e3)
+    } else if ms < 10_000.0 {
+        format!("{ms:.1} ms")
+    } else {
+        format!("{:.2} s", ms / 1e3)
+    }
+}
+
+/// Formats a percentage with adaptive precision.
+pub fn fmt_pct(p: f64) -> String {
+    if p < 10.0 {
+        format!("{p:.2}%")
+    } else {
+        format!("{p:.1}%")
+    }
+}
+
+/// A simple aligned text table (headers + rows).
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Adds one row (must match header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration_ms(0.5), "500.0 µs");
+        assert_eq!(fmt_duration_ms(12.34), "12.3 ms");
+        assert_eq!(fmt_duration_ms(15_000.0), "15.00 s");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(fmt_pct(4.678), "4.68%");
+        assert_eq!(fmt_pct(46.78), "46.8%");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["method", "err"]);
+        t.row(vec!["QuickSel", "4.68%"]);
+        t.row(vec!["ISOMER", "14.0%"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[2].starts_with("QuickSel"));
+        // Columns align: 'err' column starts at the same offset everywhere.
+        let col = lines[0].find("err").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "4");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Experiment scaling knobs.
+//!
+//! The paper's runs use millions of rows and hours of machine time; the
+//! defaults here reproduce every curve shape in minutes on one core. Set
+//! the `QS_SCALE` environment variable (a float multiplier on row counts)
+//! or `QS_FAST=1` (coarser experiment grids) to trade fidelity for time.
+
+/// Scaling configuration resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier applied to dataset row counts.
+    pub rows: f64,
+    /// Whether to use the reduced experiment grid.
+    pub fast: bool,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Scale {
+    /// Reads `QS_SCALE` and `QS_FAST` from the environment.
+    pub fn from_env() -> Self {
+        let rows = std::env::var("QS_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| *v > 0.0)
+            .unwrap_or(1.0);
+        let fast = std::env::var("QS_FAST").map(|v| v == "1" || v == "true").unwrap_or(false);
+        Self { rows, fast }
+    }
+
+    /// Applies the row multiplier to a base row count (min 1000).
+    pub fn rows(&self, base: usize) -> usize {
+        ((base as f64 * self.rows) as usize).max(1000)
+    }
+
+    /// Default DMV-like row count (paper: 11.9M).
+    pub fn dmv_rows(&self) -> usize {
+        self.rows(if self.fast { 20_000 } else { 100_000 })
+    }
+
+    /// Default Instacart-like row count (paper: 3.4M).
+    pub fn instacart_rows(&self) -> usize {
+        self.rows(if self.fast { 20_000 } else { 100_000 })
+    }
+
+    /// Default Gaussian row count (paper: 1M).
+    pub fn gaussian_rows(&self) -> usize {
+        self.rows(if self.fast { 20_000 } else { 100_000 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_values() {
+        let s = Scale { rows: 0.5, fast: false };
+        assert_eq!(s.rows(100_000), 50_000);
+        // Floors at 1000.
+        assert_eq!(s.rows(100), 1000);
+    }
+
+    #[test]
+    fn fast_mode_shrinks_defaults() {
+        let slow = Scale { rows: 1.0, fast: false };
+        let fast = Scale { rows: 1.0, fast: true };
+        assert!(fast.dmv_rows() < slow.dmv_rows());
+        assert!(fast.gaussian_rows() < slow.gaussian_rows());
+    }
+}

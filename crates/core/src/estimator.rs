@@ -1,0 +1,344 @@
+//! The [`QuickSel`] estimator: observation buffer + refine loop.
+
+use crate::config::{QuickSelConfig, RefinePolicy};
+use crate::model::UniformMixtureModel;
+use crate::subpop::{build_subpopulations, workload_points};
+use crate::train::{train, TrainReport};
+use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_geometry::{Domain, Predicate, Rect};
+use quicksel_linalg::LinalgError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Query-driven selectivity learner backed by a uniform mixture model.
+///
+/// Feed it `(predicate, actual selectivity)` pairs with
+/// [`observe`](SelectivityEstimator::observe); depending on the configured
+/// [`RefinePolicy`] it retrains immediately, every `k` observations, or on
+/// explicit [`refine`](QuickSel::refine) calls. Estimates come from the
+/// last trained model; before any training, the estimator falls back to
+/// the uniform prior `|B ∩ B0| / |B0|`.
+pub struct QuickSel {
+    domain: Domain,
+    config: QuickSelConfig,
+    queries: Vec<ObservedQuery>,
+    /// Workload-aware points, `points_per_query` per observation (§3.3
+    /// step 1); generated once at observe time so refines are stable.
+    point_pool: Vec<Vec<f64>>,
+    model: Option<UniformMixtureModel>,
+    rng: StdRng,
+    pending_since_refine: usize,
+    last_report: Option<TrainReport>,
+}
+
+impl QuickSel {
+    /// Creates an estimator with the paper-default configuration.
+    pub fn new(domain: Domain) -> Self {
+        Self::with_config(domain, QuickSelConfig::default())
+    }
+
+    /// Creates an estimator with an explicit configuration.
+    pub fn with_config(domain: Domain, config: QuickSelConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            domain,
+            config,
+            queries: Vec::new(),
+            point_pool: Vec::new(),
+            model: None,
+            rng,
+            pending_since_refine: 0,
+            last_report: None,
+        }
+    }
+
+    /// The estimator's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &QuickSelConfig {
+        &self.config
+    }
+
+    /// Number of queries observed so far.
+    pub fn observed_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The observed queries so far, in arrival order.
+    pub fn observed(&self) -> &[ObservedQuery] {
+        &self.queries
+    }
+
+    /// Diagnostics from the most recent training run.
+    pub fn last_report(&self) -> Option<&TrainReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The current model, if trained.
+    pub fn model(&self) -> Option<&UniformMixtureModel> {
+        self.model.as_ref()
+    }
+
+    /// Retrains the mixture model on everything observed so far.
+    ///
+    /// Runs the full §3.3 + §4 pipeline: sample `m = min(4n, 4000)`
+    /// centers from the workload point pool, size their supports, assemble
+    /// the QP, solve. A no-op when nothing has been observed.
+    pub fn refine(&mut self) -> Result<(), LinalgError> {
+        if self.queries.is_empty() {
+            return Ok(());
+        }
+        let m = self.config.target_subpops(self.queries.len());
+        let subpops = build_subpopulations(
+            &self.domain,
+            &self.point_pool,
+            m,
+            self.config.size_neighbors,
+            self.config.overlap_factor,
+            &mut self.rng,
+        );
+        if subpops.is_empty() {
+            // All observed predicates were degenerate; keep the prior.
+            return Ok(());
+        }
+        let (model, report) = train(
+            &self.domain,
+            subpops,
+            &self.queries,
+            self.config.training,
+            self.config.lambda,
+            self.config.ridge_rel,
+        )?;
+        self.model = Some(model);
+        self.last_report = Some(report);
+        self.pending_since_refine = 0;
+        Ok(())
+    }
+
+    /// Convenience: estimate a conjunctive [`Predicate`].
+    pub fn estimate_pred(&self, pred: &Predicate) -> f64 {
+        self.estimate(&pred.to_rect(&self.domain))
+    }
+
+    /// The uniform-prior estimate used before the first training run.
+    fn prior(&self, rect: &Rect) -> f64 {
+        let b0 = self.domain.full_rect();
+        (rect.intersection_volume(&b0) / b0.volume()).clamp(0.0, 1.0)
+    }
+}
+
+impl SelectivityEstimator for QuickSel {
+    fn name(&self) -> &'static str {
+        "QuickSel"
+    }
+
+    fn observe(&mut self, query: &ObservedQuery) {
+        let pts = workload_points(&query.rect, self.config.points_per_query, &mut self.rng);
+        self.point_pool.extend(pts);
+        self.queries.push(query.clone());
+        self.pending_since_refine += 1;
+        let retrain = match self.config.refine_policy {
+            RefinePolicy::EveryQuery => true,
+            RefinePolicy::EveryK(k) => self.pending_since_refine >= k.max(1),
+            RefinePolicy::Manual => false,
+        };
+        if retrain {
+            // Training failures (pathological degenerate workloads) keep
+            // the previous model rather than panicking the host DBMS.
+            let _ = self.refine();
+        }
+    }
+
+    fn estimate(&self, rect: &Rect) -> f64 {
+        match &self.model {
+            Some(m) => m.estimate(rect),
+            None => self.prior(rect),
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        // The learned parameters are the subpopulation weights (m of them,
+        // = min(4n, 4000) under the default policy) — Figure 4's y-axis.
+        self.model.as_ref().map_or(0, UniformMixtureModel::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingMethod;
+    use quicksel_data::datasets::gaussian::gaussian_table;
+    use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
+    use quicksel_data::{mean_rel_error_pct, Table};
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    #[test]
+    fn prior_is_uniform_before_observations() {
+        let qs = QuickSel::new(domain());
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 10.0)]);
+        assert!((qs.estimate(&q) - 0.5).abs() < 1e-12);
+        assert_eq!(qs.param_count(), 0);
+    }
+
+    #[test]
+    fn observing_retrains_under_default_policy() {
+        let mut qs = QuickSel::new(domain());
+        let q = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9);
+        qs.observe(&q);
+        assert_eq!(qs.observed_count(), 1);
+        assert!(qs.model().is_some());
+        assert_eq!(qs.param_count(), 4); // min(4·1, 4000)
+        // The training constraint is reproduced.
+        assert!((qs.estimate(&q.rect) - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn manual_policy_defers_training() {
+        let mut cfg = QuickSelConfig::default();
+        cfg.refine_policy = RefinePolicy::Manual;
+        let mut qs = QuickSel::with_config(domain(), cfg);
+        let q = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9);
+        qs.observe(&q);
+        assert!(qs.model().is_none());
+        qs.refine().unwrap();
+        assert!(qs.model().is_some());
+    }
+
+    #[test]
+    fn every_k_policy_batches() {
+        let mut cfg = QuickSelConfig::default();
+        cfg.refine_policy = RefinePolicy::EveryK(3);
+        let mut qs = QuickSel::with_config(domain(), cfg);
+        let q = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9);
+        qs.observe(&q);
+        qs.observe(&q);
+        assert!(qs.model().is_none());
+        qs.observe(&q);
+        assert!(qs.model().is_some());
+    }
+
+    #[test]
+    fn degenerate_observations_keep_prior() {
+        let mut qs = QuickSel::new(domain());
+        let degenerate = ObservedQuery::new(Rect::from_bounds(&[(5.0, 5.0), (0.0, 10.0)]), 0.0);
+        qs.observe(&degenerate);
+        // No points could be generated, so we remain on the prior.
+        assert!(qs.model().is_none());
+        let q = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+        assert_eq!(qs.estimate(&q), 1.0);
+    }
+
+    fn learning_run(table: &Table, train_n: usize, cfg: QuickSelConfig) -> f64 {
+        let mut gen = RectWorkload::new(
+            table.domain().clone(),
+            7,
+            ShiftMode::Random,
+            CenterMode::DataRow,
+        )
+        .with_width_frac(0.15, 0.45);
+        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        for q in gen.take_queries(table, train_n) {
+            qs.observe(&q);
+        }
+        let test = gen.take_queries(table, 50);
+        let pairs: Vec<(f64, f64)> =
+            test.iter().map(|q| (q.selectivity, qs.estimate(&q.rect))).collect();
+        mean_rel_error_pct(&pairs)
+    }
+
+    #[test]
+    fn learns_gaussian_distribution() {
+        let table = gaussian_table(2, 0.4, 20_000, 31);
+        let mut cfg = QuickSelConfig::default();
+        cfg.refine_policy = RefinePolicy::Manual;
+        let mut gen = RectWorkload::new(
+            table.domain().clone(),
+            7,
+            ShiftMode::Random,
+            CenterMode::DataRow,
+        )
+        .with_width_frac(0.15, 0.45);
+        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        for q in gen.take_queries(&table, 100) {
+            qs.observe(&q);
+        }
+        qs.refine().unwrap();
+        let test = gen.take_queries(&table, 50);
+        let pairs: Vec<(f64, f64)> =
+            test.iter().map(|q| (q.selectivity, qs.estimate(&q.rect))).collect();
+        let err = mean_rel_error_pct(&pairs);
+        // Paper reports low-single-digit % on the Gaussian workload after
+        // 100 queries (Fig 7a); allow generous slack for the synthetic rig.
+        assert!(err < 30.0, "relative error {err}%");
+        // And we must beat the uninformed uniform prior by a wide margin.
+        let prior_pairs: Vec<(f64, f64)> = test
+            .iter()
+            .map(|q| {
+                let b0 = table.domain().full_rect();
+                (q.selectivity, q.rect.volume() / b0.volume())
+            })
+            .collect();
+        let prior_err = mean_rel_error_pct(&prior_pairs);
+        assert!(err < 0.5 * prior_err, "learned {err}% vs prior {prior_err}%");
+    }
+
+    #[test]
+    fn error_decreases_with_more_observations() {
+        let table = gaussian_table(2, 0.4, 20_000, 33);
+        let mut cfg = QuickSelConfig::default();
+        cfg.refine_policy = RefinePolicy::EveryK(25);
+        let few = learning_run(&table, 10, cfg.clone());
+        let many = learning_run(&table, 150, cfg);
+        assert!(
+            many < few * 0.9,
+            "error should drop with data: 10 queries → {few}%, 150 queries → {many}%"
+        );
+    }
+
+    #[test]
+    fn standard_qp_training_also_learns() {
+        let table = gaussian_table(2, 0.4, 10_000, 35);
+        let mut cfg = QuickSelConfig::default();
+        cfg.training = TrainingMethod::StandardQp;
+        cfg.refine_policy = RefinePolicy::EveryK(30);
+        let err = learning_run(&table, 60, cfg);
+        assert!(err < 60.0, "relative error {err}%");
+    }
+
+    #[test]
+    fn estimates_always_in_unit_interval() {
+        let table = gaussian_table(2, 0.6, 5_000, 37);
+        let mut gen = RectWorkload::new(
+            table.domain().clone(),
+            11,
+            ShiftMode::Random,
+            CenterMode::Uniform,
+        );
+        let mut qs = QuickSel::new(table.domain().clone());
+        for q in gen.take_queries(&table, 30) {
+            qs.observe(&q);
+        }
+        for q in gen.take_queries(&table, 100) {
+            let e = qs.estimate(&q.rect);
+            assert!((0.0..=1.0).contains(&e), "estimate {e}");
+        }
+    }
+
+    #[test]
+    fn param_count_follows_four_n_rule() {
+        let table = gaussian_table(2, 0.0, 2_000, 39);
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 13, ShiftMode::Random, CenterMode::DataRow);
+        let mut qs = QuickSel::new(table.domain().clone());
+        for (i, q) in gen.take_queries(&table, 20).iter().enumerate() {
+            qs.observe(q);
+            assert_eq!(qs.param_count(), 4 * (i + 1));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # QuickSel — selectivity learning with uniform mixture models
+//!
+//! A Rust implementation of *"QuickSel: Quick Selectivity Learning with
+//! Mixture Models"* (Park, Zhong, Mozafari — SIGMOD 2020).
+//!
+//! QuickSel is a **query-driven** selectivity estimator: it never scans the
+//! data. Instead it observes `(predicate, actual selectivity)` pairs that a
+//! DBMS collects for free at query-execution time and fits a *uniform
+//! mixture model* of the joint tuple distribution:
+//!
+//! ```text
+//! f(x) = Σ_z  w_z · g_z(x),      g_z uniform on hyperrectangle G_z
+//! ```
+//!
+//! Estimation of a new predicate `B` is then just box intersections (§3.2):
+//!
+//! ```text
+//! ŝ(B) = Σ_z  w_z · |G_z ∩ B| / |G_z|
+//! ```
+//!
+//! Training finds the weights minimizing the L2 distance from the uniform
+//! distribution subject to consistency with the observed selectivities
+//! (§4.1), which reduces to the quadratic program of Theorem 1 and is
+//! solved **analytically** through the penalized form of Problem 3:
+//! `w* = (Q + λAᵀA)⁻¹ λAᵀs`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use quicksel_core::QuickSel;
+//! use quicksel_data::{ObservedQuery, SelectivityEstimator};
+//! use quicksel_geometry::{Domain, Predicate};
+//!
+//! let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+//! let mut qs = QuickSel::new(domain.clone());
+//!
+//! // Feed query feedback: "x < 5" selected 50% of the rows.
+//! let half = Predicate::new().less_than(0, 5.0).to_rect(&domain);
+//! qs.observe(&ObservedQuery::new(half, 0.5));
+//!
+//! // Ask for an estimate of a new predicate.
+//! let q = Predicate::new().range(0, 0.0, 2.5).to_rect(&domain);
+//! let est = qs.estimate(&q);
+//! assert!(est >= 0.0 && est <= 1.0);
+//! ```
+
+pub mod config;
+pub mod estimator;
+pub mod model;
+pub mod subpop;
+pub mod train;
+
+pub use config::{QuickSelConfig, RefinePolicy, TrainingMethod};
+pub use estimator::QuickSel;
+pub use model::UniformMixtureModel;
+pub use train::{build_qp, train, TrainReport};

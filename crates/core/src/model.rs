@@ -1,0 +1,179 @@
+//! The uniform mixture model (§3.1–§3.2).
+
+use quicksel_geometry::Rect;
+
+/// A trained uniform mixture model: subpopulation supports `G_z` plus
+/// their weights `w_z = h(z)`.
+///
+/// `f(x) = Σ_z w_z / |G_z| · I(x ∈ G_z)`; selectivity of a predicate
+/// rectangle `B` is `Σ_z w_z |G_z ∩ B| / |G_z|` (§3.2) — evaluated here
+/// with precomputed `1/|G_z|` so estimation is a single pass of min/max
+/// arithmetic.
+#[derive(Debug, Clone)]
+pub struct UniformMixtureModel {
+    rects: Vec<Rect>,
+    weights: Vec<f64>,
+    inv_volumes: Vec<f64>,
+}
+
+impl UniformMixtureModel {
+    /// Builds a model from supports and weights.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or any support has zero volume.
+    pub fn new(rects: Vec<Rect>, weights: Vec<f64>) -> Self {
+        assert_eq!(rects.len(), weights.len(), "supports/weights length mismatch");
+        let inv_volumes = rects
+            .iter()
+            .map(|r| {
+                let v = r.volume();
+                assert!(v > 0.0, "subpopulation support must have positive volume");
+                1.0 / v
+            })
+            .collect();
+        Self { rects, weights, inv_volumes }
+    }
+
+    /// Number of subpopulations `m`.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True when the model has no subpopulations.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Subpopulation supports.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Subpopulation weights (may contain small negatives: the paper drops
+    /// the positivity constraint in Problem 3 and relies on the model
+    /// approximating a true, non-negative distribution).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Sum of weights — ≈ 1 when training included the `(B0, 1)` row.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Raw (unclamped) selectivity estimate `Σ_z w_z |G_z∩B| / |G_z|`.
+    pub fn estimate_raw(&self, query: &Rect) -> f64 {
+        let mut s = 0.0;
+        for ((r, &w), &inv) in self.rects.iter().zip(&self.weights).zip(&self.inv_volumes) {
+            if w == 0.0 {
+                continue;
+            }
+            let overlap = r.intersection_volume(query);
+            if overlap > 0.0 {
+                s += w * overlap * inv;
+            }
+        }
+        s
+    }
+
+    /// Selectivity estimate clamped into `[0, 1]`.
+    pub fn estimate(&self, query: &Rect) -> f64 {
+        self.estimate_raw(query).clamp(0.0, 1.0)
+    }
+
+    /// Probability density at a point, `f(x) = Σ w_z/|G_z| · I(x∈G_z)`.
+    pub fn density(&self, point: &[f64]) -> f64 {
+        let mut f = 0.0;
+        for ((r, &w), &inv) in self.rects.iter().zip(&self.weights).zip(&self.inv_volumes) {
+            if r.contains_point(point) {
+                f += w * inv;
+            }
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_component_model() -> UniformMixtureModel {
+        // Two disjoint unit squares with weights 0.3 / 0.7.
+        let g1 = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let g2 = Rect::from_bounds(&[(2.0, 3.0), (2.0, 3.0)]);
+        UniformMixtureModel::new(vec![g1, g2], vec![0.3, 0.7])
+    }
+
+    #[test]
+    fn estimate_of_each_component() {
+        let m = two_component_model();
+        let q1 = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let q2 = Rect::from_bounds(&[(2.0, 3.0), (2.0, 3.0)]);
+        assert!((m.estimate(&q1) - 0.3).abs() < 1e-12);
+        assert!((m.estimate(&q2) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_scales_with_fractional_overlap() {
+        let m = two_component_model();
+        // Half of the first component.
+        let q = Rect::from_bounds(&[(0.0, 0.5), (0.0, 1.0)]);
+        assert!((m.estimate(&q) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_of_everything_is_total_weight() {
+        let m = two_component_model();
+        let all = Rect::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)]);
+        assert!((m.estimate(&all) - 1.0).abs() < 1e-12);
+        assert!((m.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_clamps_negative_artifacts() {
+        let g = Rect::from_bounds(&[(0.0, 1.0)]);
+        let m = UniformMixtureModel::new(vec![g.clone()], vec![-0.2]);
+        assert_eq!(m.estimate(&g), 0.0);
+        assert!((m.estimate_raw(&g) + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_adds_over_overlapping_components() {
+        let g1 = Rect::from_bounds(&[(0.0, 2.0)]);
+        let g2 = Rect::from_bounds(&[(1.0, 3.0)]);
+        let m = UniformMixtureModel::new(vec![g1, g2], vec![0.5, 0.5]);
+        // In the overlap, both components contribute w/|G| = 0.25 each.
+        assert!((m.density(&[1.5]) - 0.5).abs() < 1e-12);
+        assert!((m.density(&[0.5]) - 0.25).abs() < 1e-12);
+        assert_eq!(m.density(&[10.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive volume")]
+    fn zero_volume_support_rejected() {
+        let g = Rect::from_bounds(&[(1.0, 1.0)]);
+        UniformMixtureModel::new(vec![g], vec![1.0]);
+    }
+
+    proptest! {
+        /// Estimates are monotone in the query rectangle (for non-negative
+        /// weights): growing the query can't shrink the estimate.
+        #[test]
+        fn prop_monotone_in_query(cut in 0.0..1.0f64) {
+            let m = two_component_model();
+            let small = Rect::from_bounds(&[(0.0, cut), (0.0, 1.0)]);
+            let big = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+            prop_assert!(m.estimate(&small) <= m.estimate(&big) + 1e-12);
+        }
+
+        /// Estimates stay in [0, 1] whatever the query.
+        #[test]
+        fn prop_estimate_in_unit_interval(lo in -5.0..5.0f64, len in 0.0..10.0f64) {
+            let m = two_component_model();
+            let q = Rect::from_bounds(&[(lo, lo + len), (lo, lo + len)]);
+            let e = m.estimate(&q);
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+    }
+}

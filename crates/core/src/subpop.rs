@@ -1,0 +1,239 @@
+//! Subpopulation generation from observed queries (§3.3).
+//!
+//! The paper's recipe:
+//!
+//! 1. generate 10 random points inside every observed predicate rectangle
+//!    ("workload-aware points"),
+//! 2. simple-random-sample the pool down to `m = min(4n, 4000)` centers,
+//! 3. size each subpopulation from the average distance to its 10 nearest
+//!    sibling centers so neighbours slightly overlap,
+//!
+//! clipping everything to the domain box `B0`. Distances are computed in
+//! **domain-normalized** coordinates (each column rescaled to `[0,1]`) so
+//! that wildly different column scales — e.g. DMV's `model_year` (spanning
+//! 60) vs. `registration_date` (spanning 8000) — do not drown each other.
+
+use quicksel_geometry::{Domain, Interval, Rect};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates `points_per_query` uniform points inside a predicate rect.
+///
+/// Degenerate (zero-volume) rectangles yield no points.
+pub fn workload_points<R: Rng>(rect: &Rect, points_per_query: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    if rect.is_empty() {
+        return Vec::new();
+    }
+    (0..points_per_query)
+        .map(|_| {
+            rect.sides()
+                .iter()
+                .map(|s| rng.gen_range(s.lo..s.hi))
+                .collect()
+        })
+        .collect()
+}
+
+/// Simple random sampling without replacement down to `m` centers
+/// (§3.3 step 2). Returns the pool itself when it is already small enough.
+pub fn sample_centers<R: Rng>(pool: &[Vec<f64>], m: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    if pool.len() <= m {
+        return pool.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    idx.shuffle(rng);
+    idx.truncate(m);
+    idx.into_iter().map(|i| pool[i].clone()).collect()
+}
+
+/// Sizes each center into a hyperrectangle `G_z` (§3.3 step 3).
+///
+/// For each center, the scalar size is the mean normalized Euclidean
+/// distance to the `k` nearest sibling centers; the rectangle's normalized
+/// half-width is `overlap_factor · size / 2` in every dimension, mapped
+/// back to column units and clipped to `B0`.
+pub fn size_subpopulations(
+    domain: &Domain,
+    centers: &[Vec<f64>],
+    k_neighbors: usize,
+    overlap_factor: f64,
+) -> Vec<Rect> {
+    let d = domain.dim();
+    let m = centers.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let lengths: Vec<f64> = (0..d).map(|i| domain.bounds(i).length()).collect();
+    let lows: Vec<f64> = (0..d).map(|i| domain.bounds(i).lo).collect();
+    // Normalize centers into the unit cube.
+    let norm: Vec<Vec<f64>> = centers
+        .iter()
+        .map(|c| c.iter().zip(&lengths).zip(&lows).map(|((&x, &l), &lo)| (x - lo) / l).collect())
+        .collect();
+
+    let mut rects = Vec::with_capacity(m);
+    let mut dists: Vec<f64> = Vec::with_capacity(m.saturating_sub(1));
+    for (zi, cz) in norm.iter().enumerate() {
+        let half_norm = if m == 1 {
+            // Single subpopulation: cover a quarter of each dimension.
+            0.25
+        } else {
+            dists.clear();
+            for (zj, cj) in norm.iter().enumerate() {
+                if zi == zj {
+                    continue;
+                }
+                let d2: f64 = cz.iter().zip(cj).map(|(a, b)| (a - b) * (a - b)).sum();
+                dists.push(d2.sqrt());
+            }
+            let k = k_neighbors.min(dists.len());
+            // Partial selection of the k smallest distances.
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            let mean: f64 = dists[..k].iter().sum::<f64>() / k as f64;
+            (overlap_factor * mean * 0.5).max(1e-6)
+        };
+        let sides: Vec<Interval> = (0..d)
+            .map(|dim| {
+                let half = half_norm * lengths[dim];
+                Interval::new(centers[zi][dim] - half, centers[zi][dim] + half)
+                    .clamp_to(&domain.bounds(dim))
+            })
+            .collect();
+        let mut rect = Rect::new(sides);
+        // Clamping at the domain edge can collapse a side; re-inflate
+        // minimally so every support has positive volume.
+        for dim in 0..d {
+            if rect.side(dim).is_empty() {
+                let b = domain.bounds(dim);
+                let eps = 1e-6 * lengths[dim];
+                let c = centers[zi][dim].clamp(b.lo + eps, b.hi - eps);
+                *rect.side_mut(dim) = Interval::new(c - eps, c + eps);
+            }
+        }
+        rects.push(rect);
+    }
+    rects
+}
+
+/// Full §3.3 pipeline: per-query point clouds → sampled centers → sized
+/// supports.
+pub fn build_subpopulations<R: Rng>(
+    domain: &Domain,
+    point_pool: &[Vec<f64>],
+    m: usize,
+    k_neighbors: usize,
+    overlap_factor: f64,
+    rng: &mut R,
+) -> Vec<Rect> {
+    let centers = sample_centers(point_pool, m, rng);
+    size_subpopulations(domain, &centers, k_neighbors, overlap_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    #[test]
+    fn points_fall_inside_their_predicate() {
+        let r = Rect::from_bounds(&[(2.0, 4.0), (6.0, 9.0)]);
+        let pts = workload_points(&r, 10, &mut rng());
+        assert_eq!(pts.len(), 10);
+        for p in &pts {
+            assert!(r.contains_point(p), "{p:?} outside {r}");
+        }
+    }
+
+    #[test]
+    fn empty_rect_yields_no_points() {
+        let r = Rect::from_bounds(&[(2.0, 2.0), (6.0, 9.0)]);
+        assert!(workload_points(&r, 10, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn sampling_caps_pool_size() {
+        let pool: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 0.0]).collect();
+        let s = sample_centers(&pool, 30, &mut rng());
+        assert_eq!(s.len(), 30);
+        // All sampled points come from the pool (no duplicates fabricated).
+        for p in &s {
+            assert!(pool.contains(p));
+        }
+        // Small pools are passed through.
+        let s2 = sample_centers(&pool[..5], 30, &mut rng());
+        assert_eq!(s2.len(), 5);
+    }
+
+    #[test]
+    fn sized_supports_have_positive_volume_inside_domain() {
+        let d = domain();
+        let pool: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5])
+            .collect();
+        let rects = build_subpopulations(&d, &pool, 20, 10, 1.2, &mut rng());
+        assert_eq!(rects.len(), 20);
+        let b0 = d.full_rect();
+        for r in &rects {
+            assert!(r.volume() > 0.0);
+            assert!(b0.contains_rect(r), "{r} escapes domain");
+        }
+    }
+
+    #[test]
+    fn single_center_covers_a_chunk_of_domain() {
+        let d = domain();
+        let rects = size_subpopulations(&d, &[vec![5.0, 5.0]], 10, 1.2, );
+        assert_eq!(rects.len(), 1);
+        // Quarter-width per dimension → half the length per side.
+        assert!((rects[0].volume() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn denser_clusters_get_smaller_supports() {
+        let d = domain();
+        // Tight cluster near the origin + one far outlier.
+        let mut centers: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![0.5 + 0.01 * i as f64, 0.5 + 0.01 * i as f64])
+            .collect();
+        centers.push(vec![9.0, 9.0]);
+        let rects = size_subpopulations(&d, &centers, 5, 1.2);
+        let cluster_vol = rects[0].volume();
+        let outlier_vol = rects[10].volume();
+        assert!(
+            outlier_vol > 10.0 * cluster_vol,
+            "outlier {outlier_vol} vs cluster {cluster_vol}"
+        );
+    }
+
+    #[test]
+    fn edge_centers_are_clamped_not_dropped() {
+        let d = domain();
+        let centers = vec![vec![0.0, 0.0], vec![10.0, 10.0], vec![5.0, 5.0]];
+        let rects = size_subpopulations(&d, &centers, 2, 1.2);
+        for r in &rects {
+            assert!(r.volume() > 0.0);
+            assert!(d.full_rect().contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn anisotropic_domains_scale_per_dimension() {
+        // One dimension is 1000× wider; supports should follow suit.
+        let d = Domain::of_reals(&[("narrow", 0.0, 1.0), ("wide", 0.0, 1000.0)]);
+        let centers: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![0.05 * i as f64, 50.0 * i as f64]).collect();
+        let rects = size_subpopulations(&d, &centers, 5, 1.2);
+        for r in &rects {
+            let ratio = r.side(1).length() / r.side(0).length();
+            assert!(ratio > 100.0, "aspect ratio {ratio} too small");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Training: matrix assembly (Theorem 1) and weight solving (§4.2).
+
+use crate::config::TrainingMethod;
+use crate::model::UniformMixtureModel;
+use quicksel_data::ObservedQuery;
+use quicksel_geometry::{Domain, Rect};
+use quicksel_linalg::{solve_analytic, AdmmQp, DMatrix, LinalgError, QpProblem};
+use std::time::{Duration, Instant};
+
+/// Diagnostics from one training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Number of subpopulations `m`.
+    pub num_subpops: usize,
+    /// Number of constraints (observed queries + the implicit `(B0, 1)`).
+    pub num_constraints: usize,
+    /// Time spent assembling `Q` and `A`.
+    pub assemble_time: Duration,
+    /// Time spent in the solver.
+    pub solve_time: Duration,
+    /// Constraint violation `‖Aw − s‖∞` of the returned weights.
+    pub constraint_violation: f64,
+    /// Iterations used (0 for the analytic path).
+    pub iterations: usize,
+}
+
+/// Assembles the QP of Theorem 1 from subpopulation supports and observed
+/// queries:
+///
+/// * `Q_ij = |G_i ∩ G_j| / (|G_i|·|G_j|)` — m×m, symmetric PSD,
+/// * `A_ij = |B_i ∩ G_j| / |G_j|` — one row per constraint, with row 0 the
+///   implicit full-domain query `(B0, 1)` (every weight fully inside `B0`),
+/// * `s_i` — the observed selectivities.
+pub fn build_qp(_domain: &Domain, subpops: &[Rect], queries: &[ObservedQuery]) -> QpProblem {
+    let m = subpops.len();
+    let n = queries.len() + 1; // +1 for (B0, 1)
+    let inv_vol: Vec<f64> = subpops.iter().map(|g| 1.0 / g.volume()).collect();
+
+    // Q matrix: symmetric, diagonal = 1/|G_i|.
+    let mut q = DMatrix::zeros(m, m);
+    for i in 0..m {
+        q.set(i, i, inv_vol[i]);
+        for j in (i + 1)..m {
+            let inter = subpops[i].intersection_volume(&subpops[j]);
+            if inter > 0.0 {
+                let v = inter * inv_vol[i] * inv_vol[j];
+                q.set(i, j, v);
+                q.set(j, i, v);
+            }
+        }
+    }
+
+    // A matrix and rhs; row 0 is (B0, 1): subpops are clipped to B0 so the
+    // overlap fraction is exactly 1.
+    let mut a = DMatrix::zeros(n, m);
+    let mut s = Vec::with_capacity(n);
+    for j in 0..m {
+        a.set(0, j, 1.0);
+    }
+    s.push(1.0);
+    for (qi, query) in queries.iter().enumerate() {
+        let row = a.row_mut(qi + 1);
+        for j in 0..m {
+            let inter = query.rect.intersection_volume(&subpops[j]);
+            if inter > 0.0 {
+                row[j] = inter * inv_vol[j];
+            }
+        }
+        s.push(query.selectivity);
+    }
+
+    QpProblem::new(q, a, s).expect("assembled shapes are consistent by construction")
+}
+
+/// Trains a uniform mixture model on `subpops` against `queries`.
+///
+/// `method` selects the paper's analytic penalty solution or the iterative
+/// standard-QP baseline; `lambda` and `ridge_rel` only apply to the
+/// former.
+pub fn train(
+    domain: &Domain,
+    subpops: Vec<Rect>,
+    queries: &[ObservedQuery],
+    method: TrainingMethod,
+    lambda: f64,
+    ridge_rel: f64,
+) -> Result<(UniformMixtureModel, TrainReport), LinalgError> {
+    let t0 = Instant::now();
+    let qp = build_qp(domain, &subpops, queries);
+    let assemble_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let (weights, iterations) = match method {
+        TrainingMethod::AnalyticPenalty => (solve_analytic(&qp, lambda, ridge_rel)?, 0),
+        TrainingMethod::StandardQp => {
+            let report = AdmmQp::default().solve(&qp)?;
+            (report.w, report.iterations)
+        }
+    };
+    let solve_time = t1.elapsed();
+
+    let report = TrainReport {
+        num_subpops: subpops.len(),
+        num_constraints: qp.num_constraints(),
+        assemble_time,
+        solve_time,
+        constraint_violation: qp.constraint_violation(&weights),
+        iterations,
+    };
+    Ok((UniformMixtureModel::new(subpops, weights), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_geometry::Domain;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn quadrant_queries(_d: &Domain) -> Vec<ObservedQuery> {
+        // Data entirely in the lower-left quadrant.
+        vec![
+            ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 1.0),
+            ObservedQuery::new(Rect::from_bounds(&[(5.0, 10.0), (0.0, 10.0)]), 0.0),
+            ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 2.5)]), 0.5),
+        ]
+    }
+
+    fn grid_subpops(d: &Domain) -> Vec<Rect> {
+        // 4×4 grid of overlapping boxes covering the domain.
+        let mut v = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let cx = 1.25 + 2.5 * i as f64;
+                let cy = 1.25 + 2.5 * j as f64;
+                v.push(
+                    Rect::from_bounds(&[(cx - 1.5, cx + 1.5), (cy - 1.5, cy + 1.5)])
+                        .clamp_to(&d.full_rect()),
+                );
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn qp_shapes_and_symmetry() {
+        let d = domain();
+        let subs = grid_subpops(&d);
+        let queries = quadrant_queries(&d);
+        let qp = build_qp(&d, &subs, &queries);
+        assert_eq!(qp.num_params(), 16);
+        assert_eq!(qp.num_constraints(), 4); // 3 + B0 row
+        for i in 0..16 {
+            // Diagonal = 1/|G_i| > 0.
+            assert!(qp.q.get(i, i) > 0.0);
+            for j in 0..16 {
+                assert!((qp.q.get(i, j) - qp.q.get(j, i)).abs() < 1e-12);
+                assert!(qp.q.get(i, j) >= 0.0);
+            }
+        }
+        // A row 0 is all ones (supports clipped inside B0).
+        for j in 0..16 {
+            assert_eq!(qp.a.get(0, j), 1.0);
+        }
+        // A entries are overlap fractions in [0, 1].
+        for i in 0..4 {
+            for j in 0..16 {
+                let v = qp.a.get(i, j);
+                assert!((0.0..=1.0 + 1e-12).contains(&v), "A[{i}][{j}] = {v}");
+            }
+        }
+        assert_eq!(qp.s[0], 1.0);
+    }
+
+    #[test]
+    fn analytic_training_satisfies_observations() {
+        let d = domain();
+        let queries = quadrant_queries(&d);
+        let (model, report) = train(
+            &d,
+            grid_subpops(&d),
+            &queries,
+            TrainingMethod::AnalyticPenalty,
+            1e6,
+            0.0,
+        )
+        .unwrap();
+        assert!(report.constraint_violation < 1e-3, "violation {}", report.constraint_violation);
+        assert_eq!(report.iterations, 0);
+        // The model reproduces each training selectivity.
+        for q in &queries {
+            let est = model.estimate(&q.rect);
+            assert!(
+                (est - q.selectivity).abs() < 1e-2,
+                "est {est} vs true {}",
+                q.selectivity
+            );
+        }
+        // Total mass ≈ 1 from the (B0, 1) row.
+        assert!((model.total_weight() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn standard_qp_training_agrees_with_analytic() {
+        let d = domain();
+        let queries = quadrant_queries(&d);
+        let (ma, _) =
+            train(&d, grid_subpops(&d), &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+        let (ms, rs) =
+            train(&d, grid_subpops(&d), &queries, TrainingMethod::StandardQp, 1e6, 0.0).unwrap();
+        assert!(rs.iterations > 0, "ADMM must iterate");
+        // Both models should reproduce the training constraints.
+        for q in &queries {
+            assert!((ms.estimate(&q.rect) - q.selectivity).abs() < 2e-2);
+            assert!((ma.estimate(&q.rect) - ms.estimate(&q.rect)).abs() < 5e-2);
+        }
+    }
+
+    #[test]
+    fn generalization_interpolates_quadrant() {
+        let d = domain();
+        let queries = quadrant_queries(&d);
+        let (model, _) =
+            train(&d, grid_subpops(&d), &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+        // Unseen query inside the data quadrant should estimate high…
+        let inside = Rect::from_bounds(&[(0.0, 5.0), (2.5, 5.0)]);
+        // (true value would be 0.5 for uniform-in-quadrant data)
+        let e_in = model.estimate(&inside);
+        assert!(e_in > 0.3, "inside estimate {e_in}");
+        // …and a query in the empty quadrant should estimate low.
+        let outside = Rect::from_bounds(&[(6.0, 9.0), (6.0, 9.0)]);
+        let e_out = model.estimate(&outside);
+        assert!(e_out < 0.15, "outside estimate {e_out}");
+    }
+
+    #[test]
+    fn training_with_no_queries_spreads_mass_uniformly() {
+        let d = domain();
+        let (model, _) =
+            train(&d, grid_subpops(&d), &[], TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+        assert!((model.total_weight() - 1.0).abs() < 1e-4);
+        // Symmetric supports + only the (B0,1) constraint ⇒ roughly equal
+        // per-quadrant mass.
+        let q1 = model.estimate(&Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]));
+        let q2 = model.estimate(&Rect::from_bounds(&[(5.0, 10.0), (5.0, 10.0)]));
+        assert!((q1 - q2).abs() < 0.05, "q1={q1} q2={q2}");
+    }
+}

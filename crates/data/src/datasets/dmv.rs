@@ -1,0 +1,141 @@
+//! DMV-like synthetic dataset.
+//!
+//! The paper evaluates on the New York State vehicle-registration dump
+//! (11,944,194 rows) with predicates over `model_year`,
+//! `registration_date`, and `expiration_date`. That dataset is not
+//! available offline, so this generator produces a table with the same
+//! schema and the statistical features the experiments exercise:
+//!
+//! * `model_year` — discrete (integer) with strong recency skew,
+//! * `registration_date` — continuous, positively correlated with
+//!   `model_year` (new cars register soon after their model year) plus a
+//!   seasonal ripple,
+//! * `expiration_date` — `registration_date` + a right-skewed renewal term
+//!   (1- or 2-year registrations dominate).
+//!
+//! Dates are encoded as fractional days since 2000-01-01. Row count is a
+//! parameter; the paper's experiments depend only on selectivities, which
+//! are row-count invariant.
+
+use crate::rng::{seeded, standard_normal};
+use crate::table::Table;
+use quicksel_geometry::Domain;
+use rand::Rng;
+
+/// First representable model year.
+pub const YEAR_MIN: i64 = 1960;
+/// Last representable model year.
+pub const YEAR_MAX: i64 = 2019;
+/// Upper bound (exclusive) of the date columns, in days since 2000-01-01.
+pub const DATE_MAX: f64 = 8000.0;
+
+/// The DMV-like domain: `model_year` (integer), `registration_date`,
+/// `expiration_date` (days since 2000-01-01).
+pub fn dmv_domain() -> Domain {
+    use quicksel_geometry::{ColumnMeta, ColumnType, Interval};
+    Domain::new(vec![
+        ColumnMeta {
+            name: "model_year".into(),
+            ty: ColumnType::Integer,
+            bounds: Interval::new(YEAR_MIN as f64, (YEAR_MAX + 1) as f64),
+        },
+        ColumnMeta {
+            name: "registration_date".into(),
+            ty: ColumnType::Real,
+            bounds: Interval::new(0.0, DATE_MAX),
+        },
+        ColumnMeta {
+            name: "expiration_date".into(),
+            ty: ColumnType::Real,
+            bounds: Interval::new(0.0, DATE_MAX + 1200.0),
+        },
+    ])
+}
+
+/// Generates the DMV-like table with `n` rows.
+pub fn dmv_table(n: usize, seed: u64) -> Table {
+    let mut rng = seeded(seed);
+    let mut t = Table::with_capacity(dmv_domain(), n);
+    for _ in 0..n {
+        // Recency-skewed model year: geometric decay back from YEAR_MAX,
+        // with a small uniform floor so old years still appear.
+        let year = if rng.gen::<f64>() < 0.9 {
+            let back = sample_geometric(&mut rng, 0.12).min((YEAR_MAX - YEAR_MIN) as u64);
+            YEAR_MAX - back as i64
+        } else {
+            rng.gen_range(YEAR_MIN..=YEAR_MAX)
+        };
+        // Registration happens around the model year (cars registered when
+        // roughly new), with heavy right noise for used-car re-registrations.
+        let year_day = ((year - 2000) as f64) * 365.25;
+        let noise = standard_normal(&mut rng) * 200.0 + rng.gen::<f64>() * 900.0;
+        let seasonal = 120.0 * (rng.gen::<f64>() * std::f64::consts::TAU).sin();
+        let reg = (year_day + noise + seasonal).clamp(0.0, DATE_MAX - 1e-6);
+        // Expiration: mostly 1y or 2y terms, occasionally longer.
+        let term = match rng.gen_range(0..10) {
+            0..=5 => 365.25,
+            6..=8 => 730.5,
+            _ => 365.25 * rng.gen_range(3.0..5.0),
+        } + standard_normal(&mut rng).abs() * 30.0;
+        let exp = (reg + term).clamp(0.0, DATE_MAX + 1200.0 - 1e-6);
+        t.push_row(&[year as f64 + rng.gen::<f64>() * 0.999, reg, exp]);
+    }
+    t
+}
+
+/// Geometric(p) sample (number of failures before first success).
+fn sample_geometric<R: Rng>(rng: &mut R, p: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_geometry::{Predicate, Rect};
+
+    #[test]
+    fn shape_and_domain() {
+        let t = dmv_table(2000, 7);
+        assert_eq!(t.row_count(), 2000);
+        assert_eq!(t.domain().dim(), 3);
+        assert_eq!(t.selectivity(&t.domain().full_rect()), 1.0);
+    }
+
+    #[test]
+    fn recent_years_dominate() {
+        let t = dmv_table(20_000, 8);
+        let recent = Predicate::new().range(0, 2010.0, 2020.0).to_rect(t.domain());
+        let old = Predicate::new().range(0, 1960.0, 1970.0).to_rect(t.domain());
+        assert!(t.selectivity(&recent) > 5.0 * t.selectivity(&old));
+    }
+
+    #[test]
+    fn expiration_follows_registration() {
+        let t = dmv_table(5000, 9);
+        // expiration < registration is impossible by construction:
+        // count rows with expiration in [0, 300) but registration in [4000, 8000).
+        let bad = Rect::from_bounds(&[
+            (YEAR_MIN as f64, (YEAR_MAX + 1) as f64),
+            (4000.0, DATE_MAX),
+            (0.0, 300.0),
+        ]);
+        assert_eq!(t.count(&bad), 0);
+    }
+
+    #[test]
+    fn year_and_registration_are_correlated() {
+        let t = dmv_table(20_000, 10);
+        // New model years should register late in the date range.
+        let new_late = Rect::from_bounds(&[(2015.0, 2020.0), (4000.0, DATE_MAX), (0.0, DATE_MAX + 1200.0)]);
+        let new_early = Rect::from_bounds(&[(2015.0, 2020.0), (0.0, 2000.0), (0.0, DATE_MAX + 1200.0)]);
+        assert!(t.selectivity(&new_late) > 3.0 * t.selectivity(&new_early));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = dmv_table(100, 42);
+        let b = dmv_table(100, 42);
+        assert_eq!(a.row(50), b.row(50));
+    }
+}

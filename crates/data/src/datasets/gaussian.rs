@@ -1,0 +1,95 @@
+//! The paper's synthetic Gaussian dataset (§5.1): `d`-dimensional normal
+//! tuples with a configurable pairwise correlation, clamped into a fixed
+//! bounding box so the domain `B0` is well defined.
+
+use crate::rng::{seeded, CorrelatedNormal};
+use crate::table::Table;
+use quicksel_geometry::Domain;
+
+/// Half-width of the Gaussian domain: values live in `[-B, B]^d`.
+///
+/// Standard-normal mass beyond ±5σ is ≈ 5.7e-7, so clamping is
+/// statistically invisible while keeping `|B0|` finite.
+pub const GAUSSIAN_BOUND: f64 = 5.0;
+
+/// The domain `[-B, B]^d` with columns `x0..x{d-1}`.
+pub fn gaussian_domain(dim: usize) -> Domain {
+    let names: Vec<String> = (0..dim).map(|i| format!("x{i}")).collect();
+    let cols: Vec<(&str, f64, f64)> = names
+        .iter()
+        .map(|n| (n.as_str(), -GAUSSIAN_BOUND, GAUSSIAN_BOUND))
+        .collect();
+    Domain::of_reals(&cols)
+}
+
+/// Generates `n` correlated-normal rows (clamped to the domain box).
+pub fn gaussian_rows(dim: usize, rho: f64, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let sampler = CorrelatedNormal::new(dim, rho);
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| {
+            sampler
+                .sample(&mut rng)
+                .into_iter()
+                .map(|v| v.clamp(-GAUSSIAN_BOUND, GAUSSIAN_BOUND - 1e-9))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds a full table of `n` Gaussian tuples with correlation `rho`.
+pub fn gaussian_table(dim: usize, rho: f64, n: usize, seed: u64) -> Table {
+    let mut t = Table::with_capacity(gaussian_domain(dim), n);
+    for row in gaussian_rows(dim, rho, n, seed) {
+        t.push_row(&row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_geometry::Rect;
+
+    #[test]
+    fn table_has_requested_shape() {
+        let t = gaussian_table(3, 0.5, 1000, 1);
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(t.domain().dim(), 3);
+    }
+
+    #[test]
+    fn rows_stay_in_domain() {
+        let t = gaussian_table(2, 0.9, 5000, 2);
+        assert_eq!(t.selectivity(&t.domain().full_rect()), 1.0);
+    }
+
+    #[test]
+    fn center_mass_dominates() {
+        // ~68% of a standard normal lies within ±1σ per dimension;
+        // jointly (with correlation 0) about 0.68² ≈ 0.46.
+        let t = gaussian_table(2, 0.0, 20_000, 3);
+        let centre = Rect::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let s = t.selectivity(&centre);
+        assert!((s - 0.466).abs() < 0.03, "selectivity {s}");
+    }
+
+    #[test]
+    fn correlation_concentrates_diagonal() {
+        let t0 = gaussian_table(2, 0.0, 20_000, 4);
+        let t9 = gaussian_table(2, 0.95, 20_000, 4);
+        // Off-diagonal quadrant (x>1, y<-1) shrinks with correlation.
+        let off = Rect::from_bounds(&[(1.0, 5.0), (-5.0, -1.0)]);
+        assert!(t9.selectivity(&off) < t0.selectivity(&off));
+        // Diagonal quadrant grows with correlation.
+        let diag = Rect::from_bounds(&[(1.0, 5.0), (1.0, 5.0)]);
+        assert!(t9.selectivity(&diag) > t0.selectivity(&diag));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gaussian_rows(2, 0.3, 16, 99);
+        let b = gaussian_rows(2, 0.3, 16, 99);
+        assert_eq!(a, b);
+    }
+}

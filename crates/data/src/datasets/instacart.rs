@@ -1,0 +1,117 @@
+//! Instacart-like synthetic dataset.
+//!
+//! The paper uses the Instacart `orders` table (3.4M rows) with predicates
+//! on `order_hour_of_day` and `days_since_prior`. This generator
+//! reproduces the well-known shape of those two attributes:
+//!
+//! * `order_hour_of_day` — bimodal over the day (morning peak around
+//!   10:00, afternoon peak around 15:00), almost no overnight orders,
+//! * `days_since_prior` — weekly re-order spikes at 7/14/21/30 days on top
+//!   of a decaying base, capped at 30 (the dataset's cap).
+//!
+//! A mild correlation links the two (frequent re-orderers skew toward the
+//! morning peak), giving the estimators a 2-D joint structure to learn.
+
+use crate::rng::{seeded, standard_normal};
+use crate::table::Table;
+use quicksel_geometry::Domain;
+use rand::Rng;
+
+/// The Instacart-like domain: `order_hour_of_day ∈ [0, 24)`,
+/// `days_since_prior ∈ [0, 31)`.
+pub fn instacart_domain() -> Domain {
+    Domain::of_reals(&[("order_hour_of_day", 0.0, 24.0), ("days_since_prior", 0.0, 31.0)])
+}
+
+/// Generates the Instacart-like table with `n` rows.
+pub fn instacart_table(n: usize, seed: u64) -> Table {
+    let mut rng = seeded(seed);
+    let mut t = Table::with_capacity(instacart_domain(), n);
+    for _ in 0..n {
+        let days = sample_days_since_prior(&mut rng);
+        // Frequent re-orderers (small gap) lean to the morning peak.
+        let morning_bias = if days <= 7.0 { 0.62 } else { 0.45 };
+        let hour = sample_hour(&mut rng, morning_bias);
+        t.push_row(&[hour, days]);
+    }
+    t
+}
+
+fn sample_hour<R: Rng>(rng: &mut R, morning_weight: f64) -> f64 {
+    let u: f64 = rng.gen();
+    let h = if u < morning_weight {
+        10.0 + standard_normal(rng) * 1.8 // morning peak
+    } else if u < morning_weight + 0.42 {
+        15.0 + standard_normal(rng) * 2.3 // afternoon peak
+    } else {
+        rng.gen_range(6.0..23.0) // background daytime
+    };
+    h.clamp(0.0, 24.0 - 1e-9)
+}
+
+fn sample_days_since_prior<R: Rng>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen();
+    let d = if u < 0.28 {
+        // Weekly habit spikes, wider at longer horizons.
+        let (centre, sd) = match rng.gen_range(0..10) {
+            0..=4 => (7.0, 0.6),
+            5..=7 => (14.0, 0.9),
+            8 => (21.0, 1.1),
+            _ => (30.0, 0.4),
+        };
+        centre + standard_normal(rng) * sd
+    } else if u < 0.92 {
+        // Decaying base: exponential with mean ≈ 8 days.
+        -8.0 * (rng.gen_range(f64::MIN_POSITIVE..1.0f64)).ln()
+    } else {
+        // "30+" cap bucket of the real dataset.
+        30.0 + rng.gen::<f64>() * 0.999
+    };
+    d.clamp(0.0, 31.0 - 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_geometry::Rect;
+
+    #[test]
+    fn shape_and_domain() {
+        let t = instacart_table(3000, 11);
+        assert_eq!(t.row_count(), 3000);
+        assert_eq!(t.domain().dim(), 2);
+        assert_eq!(t.selectivity(&t.domain().full_rect()), 1.0);
+    }
+
+    #[test]
+    fn daytime_dominates_overnight() {
+        let t = instacart_table(20_000, 12);
+        let day = Rect::from_bounds(&[(8.0, 20.0), (0.0, 31.0)]);
+        let night = Rect::from_bounds(&[(0.0, 5.0), (0.0, 31.0)]);
+        assert!(t.selectivity(&day) > 10.0 * t.selectivity(&night));
+    }
+
+    #[test]
+    fn weekly_spike_at_seven_days() {
+        let t = instacart_table(30_000, 13);
+        let at7 = Rect::from_bounds(&[(0.0, 24.0), (6.5, 7.5)]);
+        let at10 = Rect::from_bounds(&[(0.0, 24.0), (9.5, 10.5)]);
+        assert!(t.selectivity(&at7) > 1.5 * t.selectivity(&at10));
+    }
+
+    #[test]
+    fn bimodal_hours() {
+        let t = instacart_table(30_000, 14);
+        let morning = Rect::from_bounds(&[(9.0, 11.0), (0.0, 31.0)]);
+        let lunch_dip = Rect::from_bounds(&[(12.0, 13.0), (0.0, 31.0)]);
+        // Peaks are denser per-hour than the dip between them.
+        assert!(t.selectivity(&morning) / 2.0 > t.selectivity(&lunch_dip));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = instacart_table(64, 5);
+        let b = instacart_table(64, 5);
+        assert_eq!(a.row(10), b.row(10));
+    }
+}

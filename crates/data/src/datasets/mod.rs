@@ -1,0 +1,18 @@
+//! Synthetic dataset generators standing in for the paper's datasets.
+//!
+//! * [`gaussian`] — the paper's own synthetic Gaussian data (§5.1): a
+//!   multivariate normal with a correlation knob, used for the robustness
+//!   (§5.6) and drift (§5.3) studies.
+//! * [`dmv`] — a DMV-like table replacing the NY vehicle-registration dump
+//!   (three correlated attributes: `model_year`, `registration_date`,
+//!   `expiration_date`).
+//! * [`instacart`] — an Instacart-like orders table (bimodal
+//!   `order_hour_of_day`, spiky `days_since_prior`).
+
+pub mod dmv;
+pub mod gaussian;
+pub mod instacart;
+
+pub use dmv::dmv_table;
+pub use gaussian::{gaussian_rows, gaussian_table, GAUSSIAN_BOUND};
+pub use instacart::instacart_table;

@@ -1,0 +1,162 @@
+//! The §5.3 data-drift scenario (Figure 5).
+//!
+//! The paper's protocol: start from a Gaussian table with correlation 0;
+//! after every 100 processed queries, insert a batch of fresh tuples drawn
+//! with a correlation 0.1 higher than the previous batch. Scan-based
+//! estimators see the churn through their auto-update rules; query-driven
+//! estimators keep learning from the (now drifted) selectivity feedback.
+
+use crate::datasets::gaussian::{gaussian_domain, gaussian_rows};
+use crate::table::Table;
+use quicksel_geometry::Rect;
+
+/// One step of the drift timeline.
+#[derive(Debug, Clone)]
+pub enum DriftEvent {
+    /// Run a query with this predicate (estimate, compare, observe).
+    Query(Rect),
+    /// Insert these rows, then notify estimators via `sync_data`.
+    Insert(Vec<Vec<f64>>),
+}
+
+/// Deterministic generator of the Figure 5 timeline.
+#[derive(Debug, Clone)]
+pub struct GaussianDrift {
+    /// Rows in the initial correlation-0 table (paper: 1M).
+    pub initial_rows: usize,
+    /// Rows per inserted batch (paper: 200k).
+    pub batch_rows: usize,
+    /// Queries processed between batches (paper: 100).
+    pub queries_per_phase: usize,
+    /// Number of phases (paper: 10 → 1000 queries total).
+    pub phases: usize,
+    /// Correlation increment per phase (paper: 0.1).
+    pub rho_step: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaussianDrift {
+    fn default() -> Self {
+        Self {
+            initial_rows: 100_000,
+            batch_rows: 20_000,
+            queries_per_phase: 100,
+            phases: 10,
+            rho_step: 0.1,
+            seed: 1802,
+        }
+    }
+}
+
+impl GaussianDrift {
+    /// The initial correlation-0 table.
+    pub fn initial_table(&self) -> Table {
+        let mut t = Table::with_capacity(gaussian_domain(2), self.initial_rows);
+        for row in gaussian_rows(2, 0.0, self.initial_rows, self.seed) {
+            t.push_row(&row);
+        }
+        t
+    }
+
+    /// The full event timeline: `queries_per_phase` queries, then an
+    /// insert, repeated for `phases` phases.
+    ///
+    /// Queries are random rectangles with data-mass-friendly widths; the
+    /// caller evaluates true selectivities against the *current* table
+    /// state, so drift shows up as staleness in scan-based estimators.
+    pub fn events(&self) -> Vec<DriftEvent> {
+        use crate::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
+        use quicksel_geometry::Rect;
+        let domain = gaussian_domain(2);
+        // Query shapes don't depend on the table for Uniform centers, so a
+        // throwaway empty table is fine here. Centers target the ±2.5σ box
+        // holding ~99% of the mass — the paper's "randomly generated
+        // rectangles" are over the data range, not the padded ±5σ domain.
+        let empty = Table::new(domain.clone());
+        let mut gen =
+            RectWorkload::new(domain, self.seed ^ 0x9e3779b9, ShiftMode::Random, CenterMode::Uniform)
+                .with_width_frac(0.15, 0.5)
+                .with_center_box(Rect::from_bounds(&[(-2.5, 2.5), (-2.5, 2.5)]));
+        let mut events = Vec::new();
+        for phase in 0..self.phases {
+            for _ in 0..self.queries_per_phase {
+                events.push(DriftEvent::Query(gen.next_rect(&empty)));
+            }
+            if phase + 1 < self.phases {
+                let rho = (self.rho_step * (phase + 1) as f64).min(0.99);
+                let rows =
+                    gaussian_rows(2, rho, self.batch_rows, self.seed.wrapping_add(phase as u64 + 1));
+                events.push(DriftEvent::Insert(rows));
+            }
+        }
+        events
+    }
+
+    /// Total number of query events in the timeline.
+    pub fn total_queries(&self) -> usize {
+        self.phases * self.queries_per_phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_shape() {
+        let d = GaussianDrift {
+            initial_rows: 1000,
+            batch_rows: 100,
+            queries_per_phase: 10,
+            phases: 3,
+            rho_step: 0.1,
+            seed: 1,
+        };
+        let evs = d.events();
+        // 3 phases × 10 queries + 2 inserts (none after the last phase).
+        assert_eq!(evs.len(), 32);
+        let queries = evs.iter().filter(|e| matches!(e, DriftEvent::Query(_))).count();
+        let inserts = evs.iter().filter(|e| matches!(e, DriftEvent::Insert(_))).count();
+        assert_eq!(queries, 30);
+        assert_eq!(inserts, 2);
+        assert_eq!(d.total_queries(), 30);
+    }
+
+    #[test]
+    fn inserts_have_batch_size() {
+        let d = GaussianDrift {
+            initial_rows: 500,
+            batch_rows: 77,
+            queries_per_phase: 5,
+            phases: 2,
+            rho_step: 0.1,
+            seed: 2,
+        };
+        for e in d.events() {
+            if let DriftEvent::Insert(rows) = e {
+                assert_eq!(rows.len(), 77);
+                assert_eq!(rows[0].len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn initial_table_matches_config() {
+        let d = GaussianDrift { initial_rows: 1234, ..Default::default() };
+        assert_eq!(d.initial_table().row_count(), 1234);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = GaussianDrift::default();
+        let a = d.events();
+        let b = d.events();
+        assert_eq!(a.len(), b.len());
+        if let (DriftEvent::Query(ra), DriftEvent::Query(rb)) = (&a[0], &b[0]) {
+            assert_eq!(ra, rb);
+        } else {
+            panic!("first event should be a query");
+        }
+    }
+}

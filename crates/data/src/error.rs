@@ -1,0 +1,104 @@
+//! Error metrics used throughout the paper's evaluation (§5.1).
+
+/// The paper's relative-error guard: `max(true_sel, ε)` with `ε = 0.001`
+/// protects against division by (near) zero selectivities.
+pub const REL_ERROR_EPSILON: f64 = 0.001;
+
+/// Relative error of a single estimate, in percent:
+/// `|true − est| / max(true, ε) × 100` (§5.1 Metrics).
+pub fn rel_error_pct(true_sel: f64, est_sel: f64) -> f64 {
+    (true_sel - est_sel).abs() / true_sel.max(REL_ERROR_EPSILON) * 100.0
+}
+
+/// Mean relative error (percent) over `(true, est)` pairs.
+pub fn mean_rel_error_pct(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(t, e)| rel_error_pct(t, e)).sum::<f64>() / pairs.len() as f64
+}
+
+/// Mean absolute error over `(true, est)` pairs (Table 3b's metric).
+pub fn mean_abs_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(t, e)| (t - e).abs()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Aggregate error statistics for one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean relative error in percent.
+    pub mean_rel_pct: f64,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Largest single relative error in percent.
+    pub max_rel_pct: f64,
+    /// Number of evaluated queries.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Computes all statistics from `(true, est)` pairs.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        let max_rel_pct = pairs
+            .iter()
+            .map(|&(t, e)| rel_error_pct(t, e))
+            .fold(0.0f64, f64::max);
+        Self {
+            mean_rel_pct: mean_rel_error_pct(pairs),
+            mean_abs: mean_abs_error(pairs),
+            max_rel_pct,
+            count: pairs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        assert_eq!(rel_error_pct(0.5, 0.5), 0.0);
+        assert_eq!(mean_abs_error(&[(0.5, 0.5)]), 0.0);
+    }
+
+    #[test]
+    fn rel_error_basic() {
+        assert!((rel_error_pct(0.5, 0.4) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_guards_tiny_selectivities() {
+        // true=0 would divide by zero without the guard.
+        let e = rel_error_pct(0.0, 0.001);
+        assert!((e - 100.0).abs() < 1e-9);
+        // A tiny true selectivity uses epsilon, not itself.
+        let e2 = rel_error_pct(0.0001, 0.0011);
+        assert!((e2 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn means_average_over_queries() {
+        let pairs = [(0.5, 0.4), (0.5, 0.6)];
+        assert!((mean_rel_error_pct(&pairs) - 20.0).abs() < 1e-12);
+        assert!((mean_abs_error(&pairs) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_zero() {
+        assert_eq!(mean_rel_error_pct(&[]), 0.0);
+        assert_eq!(mean_abs_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn stats_struct_aggregates() {
+        let s = ErrorStats::from_pairs(&[(0.5, 0.4), (0.2, 0.2)]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean_rel_pct - 10.0).abs() < 1e-12);
+        assert!((s.max_rel_pct - 20.0).abs() < 1e-12);
+        assert!((s.mean_abs - 0.05).abs() < 1e-12);
+    }
+}

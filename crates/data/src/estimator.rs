@@ -1,0 +1,131 @@
+//! The estimator abstraction shared by QuickSel and every baseline.
+
+use crate::table::Table;
+use quicksel_geometry::{DnfRects, Rect};
+
+/// An observed query: a predicate rectangle `B_i` together with the exact
+/// selectivity `s_i` the execution engine reported (§2.2, Problem 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedQuery {
+    /// The predicate's hyperrectangle.
+    pub rect: Rect,
+    /// The true selectivity in `[0, 1]`.
+    pub selectivity: f64,
+}
+
+impl ObservedQuery {
+    /// Bundles a rectangle with its measured selectivity.
+    pub fn new(rect: Rect, selectivity: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&selectivity), "selectivity {selectivity} out of range");
+        Self { rect, selectivity }
+    }
+
+    /// Convenience: evaluates the true selectivity against `table`.
+    pub fn from_table(table: &Table, rect: Rect) -> Self {
+        let s = table.selectivity(&rect);
+        Self { rect, selectivity: s }
+    }
+}
+
+/// A selectivity estimator under the paper's evaluation protocol.
+///
+/// Two information channels exist:
+///
+/// * **query feedback** — [`observe`](Self::observe) delivers an
+///   `(predicate, selectivity)` pair after a query executes. Query-driven
+///   methods (QuickSel, STHoles, ISOMER, …) learn from this; scan-based
+///   methods ignore it.
+/// * **data change notifications** — [`sync_data`](Self::sync_data) tells
+///   the estimator how much the underlying table has churned. Scan-based
+///   methods (AutoHist, AutoSample) decide here whether to re-scan
+///   (SQL Server's 20%/10% auto-update rules); query-driven methods ignore
+///   it.
+pub trait SelectivityEstimator {
+    /// Short stable identifier used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Feeds one observed query. Default: no-op (scan-based methods).
+    fn observe(&mut self, _query: &ObservedQuery) {}
+
+    /// Notifies that `changed_rows` rows were inserted/updated in `table`
+    /// since the last notification. Default: no-op (query-driven methods).
+    fn sync_data(&mut self, _table: &Table, _changed_rows: usize) {}
+
+    /// Estimates the selectivity of a new predicate rectangle, in `[0, 1]`.
+    fn estimate(&self, rect: &Rect) -> f64;
+
+    /// Estimates the selectivity of a DNF region (disjunctions/negations
+    /// lowered by [`BoolExpr::to_dnf`](quicksel_geometry::BoolExpr::to_dnf)).
+    ///
+    /// The default sums per-rectangle estimates, which is exact for the
+    /// *disjoint* rectangles `to_dnf` produces (§2.2 of the paper:
+    /// disjunctions reduce to rectangle unions). Callers passing
+    /// hand-built overlapping rect sets should dedupe them first.
+    fn estimate_dnf(&self, dnf: &DnfRects) -> f64 {
+        dnf.rects().iter().map(|r| self.estimate(r)).sum::<f64>().clamp(0.0, 1.0)
+    }
+
+    /// Number of model parameters currently held (buckets, subpopulation
+    /// weights, sampled rows, …) — the x-axis of Figure 4.
+    fn param_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_geometry::Domain;
+
+    /// A trivial estimator used to exercise trait defaults.
+    struct Constant(f64);
+    impl SelectivityEstimator for Constant {
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+        fn estimate(&self, _rect: &Rect) -> f64 {
+            self.0
+        }
+        fn param_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn default_channels_are_noops() {
+        let domain = Domain::of_reals(&[("x", 0.0, 1.0)]);
+        let mut e = Constant(0.5);
+        let q = ObservedQuery::new(domain.full_rect(), 1.0);
+        e.observe(&q);
+        let t = Table::new(domain.clone());
+        e.sync_data(&t, 0);
+        assert_eq!(e.estimate(&domain.full_rect()), 0.5);
+        assert_eq!(e.param_count(), 1);
+        assert_eq!(e.name(), "constant");
+    }
+
+    #[test]
+    fn estimate_dnf_sums_disjoint_rects() {
+        use quicksel_geometry::{BoolExpr, Predicate};
+        let domain = Domain::of_reals(&[("x", 0.0, 10.0)]);
+        // Constant estimator returns 0.3 per rect; a 2-term DNF sums to 0.6.
+        let e = Constant(0.3);
+        let expr = BoolExpr::pred(Predicate::new().range(0, 0.0, 2.0))
+            .or(BoolExpr::pred(Predicate::new().range(0, 5.0, 7.0)));
+        let dnf = expr.to_dnf(&domain);
+        assert_eq!(dnf.rects().len(), 2);
+        assert!((e.estimate_dnf(&dnf) - 0.6).abs() < 1e-12);
+        // And the sum clamps at 1.
+        let e = Constant(0.8);
+        assert_eq!(e.estimate_dnf(&dnf), 1.0);
+    }
+
+    #[test]
+    fn observed_query_from_table() {
+        let domain = Domain::of_reals(&[("x", 0.0, 10.0)]);
+        let mut t = Table::new(domain);
+        for i in 0..10 {
+            t.push_row(&[i as f64 + 0.5]);
+        }
+        let q = ObservedQuery::from_table(&t, Rect::from_bounds(&[(0.0, 5.0)]));
+        assert_eq!(q.selectivity, 0.5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Seeded randomness helpers: every experiment in the repo is
+//! deterministic given its seed.
+//!
+//! `rand 0.8` ships uniform sampling only; the Gaussian machinery the
+//! datasets need (Box–Muller transform, correlated multivariate normals
+//! via Cholesky of the correlation matrix) lives here.
+
+use quicksel_linalg::{CholeskyFactor, DMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Draw u1 away from 0 to keep ln finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills `out` with iid standard normals.
+pub fn standard_normal_fill<R: Rng>(rng: &mut R, out: &mut [f64]) {
+    for v in out.iter_mut() {
+        *v = standard_normal(rng);
+    }
+}
+
+/// A sampler of `d`-dimensional normals with unit variances and constant
+/// pairwise correlation `rho` (the paper's Gaussian dataset, §5.1/§5.6).
+///
+/// Internally holds the Cholesky factor `L` of the correlation matrix
+/// `Σ = (1−ρ)I + ρ·11ᵀ`; each sample is `L·z` with `z ~ N(0, I)`.
+pub struct CorrelatedNormal {
+    l: DMatrix,
+    dim: usize,
+}
+
+impl CorrelatedNormal {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics when `rho` is outside `[0, 1)` (the equicorrelation matrix is
+    /// not positive definite outside `(-1/(d-1), 1)`; the experiments only
+    /// use `[0, 1)`).
+    pub fn new(dim: usize, rho: f64) -> Self {
+        assert!((0.0..1.0).contains(&rho), "correlation must be in [0, 1), got {rho}");
+        let mut sigma = DMatrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                sigma.set(i, j, if i == j { 1.0 } else { rho });
+            }
+        }
+        let chol = CholeskyFactor::new(&sigma)
+            .expect("equicorrelation matrix is positive definite for rho in [0,1)");
+        Self { l: chol.l().clone(), dim }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Draws one correlated sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let mut z = vec![0.0; self.dim];
+        standard_normal_fill(rng, &mut z);
+        // x = L z (L lower triangular).
+        let mut x = vec![0.0; self.dim];
+        for i in 0..self.dim {
+            let row = self.l.row(i);
+            let mut v = 0.0;
+            for k in 0..=i {
+                v += row[k] * z[k];
+            }
+            x[i] = v;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(42);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn correlated_normal_hits_target_correlation() {
+        for &rho in &[0.0, 0.3, 0.7, 0.95] {
+            let sampler = CorrelatedNormal::new(2, rho);
+            let mut rng = seeded(13);
+            let n = 40_000;
+            let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for _ in 0..n {
+                let v = sampler.sample(&mut rng);
+                sx += v[0];
+                sy += v[1];
+                sxx += v[0] * v[0];
+                syy += v[1] * v[1];
+                sxy += v[0] * v[1];
+            }
+            let nf = n as f64;
+            let cov = sxy / nf - (sx / nf) * (sy / nf);
+            let vx = sxx / nf - (sx / nf).powi(2);
+            let vy = syy / nf - (sy / nf).powi(2);
+            let r = cov / (vx * vy).sqrt();
+            assert!((r - rho).abs() < 0.03, "target {rho}, got {r}");
+        }
+    }
+
+    #[test]
+    fn correlated_normal_dim10() {
+        let sampler = CorrelatedNormal::new(10, 0.5);
+        let mut rng = seeded(5);
+        let v = sampler.sample(&mut rng);
+        assert_eq!(v.len(), 10);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation must be in [0, 1)")]
+    fn invalid_correlation_rejected() {
+        CorrelatedNormal::new(2, 1.0);
+    }
+}

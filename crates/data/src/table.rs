@@ -1,0 +1,233 @@
+//! In-memory column-store table — the "database" substrate.
+//!
+//! QuickSel is a *standalone* query-driven estimator (§6 of the paper): it
+//! consumes `(predicate, actual selectivity)` pairs that a DBMS would
+//! collect at query time. This table supplies exactly that infrastructure:
+//! it stores tuples column-major and computes exact selectivities by
+//! scanning, playing the role of the execution engine's feedback loop.
+
+use quicksel_geometry::{DnfRects, Domain, Predicate, Rect};
+
+/// A d-column in-memory table over a [`Domain`].
+#[derive(Debug, Clone)]
+pub struct Table {
+    domain: Domain,
+    columns: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table for `domain`.
+    pub fn new(domain: Domain) -> Self {
+        let d = domain.dim();
+        Self { domain, columns: vec![Vec::new(); d] }
+    }
+
+    /// Creates an empty table with row capacity pre-reserved.
+    pub fn with_capacity(domain: Domain, rows: usize) -> Self {
+        let d = domain.dim();
+        Self { domain, columns: vec![Vec::with_capacity(rows); d] }
+    }
+
+    /// The table's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of rows `N = |T|`.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_count() == 0
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics when the row arity differs from the domain.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.domain.dim(), "row arity mismatch");
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Appends many rows.
+    pub fn extend_rows<'a, I: IntoIterator<Item = &'a [f64]>>(&mut self, rows: I) {
+        for r in rows {
+            self.push_row(r);
+        }
+    }
+
+    /// Returns column `c` as a slice.
+    pub fn column(&self, c: usize) -> &[f64] {
+        &self.columns[c]
+    }
+
+    /// Returns row `r` as an owned vector (columns are the native layout).
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[r]).collect()
+    }
+
+    /// Number of rows satisfying the rectangle predicate.
+    ///
+    /// Column-at-a-time evaluation: dimension 0 seeds a candidate list,
+    /// subsequent dimensions filter it — cheap for selective predicates.
+    pub fn count(&self, rect: &Rect) -> usize {
+        assert_eq!(rect.dim(), self.domain.dim(), "predicate arity mismatch");
+        let n = self.row_count();
+        if n == 0 || rect.is_empty() {
+            return 0;
+        }
+        let mut candidates: Vec<u32> = Vec::new();
+        let s0 = rect.side(0);
+        let col0 = &self.columns[0];
+        for (i, &v) in col0.iter().enumerate() {
+            if s0.contains_point(v) {
+                candidates.push(i as u32);
+            }
+        }
+        for d in 1..self.domain.dim() {
+            if candidates.is_empty() {
+                return 0;
+            }
+            let s = rect.side(d);
+            let col = &self.columns[d];
+            candidates.retain(|&i| s.contains_point(col[i as usize]));
+        }
+        candidates.len()
+    }
+
+    /// Exact selectivity of a rectangle predicate (`s_i` of the paper).
+    pub fn selectivity(&self, rect: &Rect) -> f64 {
+        let n = self.row_count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.count(rect) as f64 / n as f64
+    }
+
+    /// Exact selectivity of a conjunctive [`Predicate`].
+    pub fn selectivity_pred(&self, pred: &Predicate) -> f64 {
+        self.selectivity(&pred.to_rect(&self.domain))
+    }
+
+    /// Exact selectivity of a DNF region (union of rectangles).
+    ///
+    /// The DNF construction produces disjoint rectangles, but this method
+    /// stays correct for overlapping inputs by testing row membership.
+    pub fn selectivity_dnf(&self, dnf: &DnfRects) -> f64 {
+        let n = self.row_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let d = self.domain.dim();
+        let mut row = vec![0.0; d];
+        let mut hits = 0usize;
+        for r in 0..n {
+            for c in 0..d {
+                row[c] = self.columns[c][r];
+            }
+            if dnf.contains_point(&row) {
+                hits += 1;
+            }
+        }
+        hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_geometry::BoolExpr;
+
+    fn grid_table() -> Table {
+        // 10x10 integer grid over [0,10)².
+        let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+        let mut t = Table::new(domain);
+        for i in 0..10 {
+            for j in 0..10 {
+                t.push_row(&[i as f64 + 0.5, j as f64 + 0.5]);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn empty_table_has_zero_selectivity() {
+        let t = Table::new(Domain::of_reals(&[("x", 0.0, 1.0)]));
+        assert_eq!(t.selectivity(&Rect::from_bounds(&[(0.0, 1.0)])), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn full_rect_selects_everything() {
+        let t = grid_table();
+        assert_eq!(t.selectivity(&t.domain().full_rect()), 1.0);
+        assert_eq!(t.row_count(), 100);
+    }
+
+    #[test]
+    fn quadrant_selects_quarter() {
+        let t = grid_table();
+        let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]);
+        assert_eq!(t.selectivity(&q), 0.25);
+        assert_eq!(t.count(&q), 25);
+    }
+
+    #[test]
+    fn predicate_selectivity_matches_rect() {
+        let t = grid_table();
+        let p = Predicate::new().range(0, 0.0, 5.0).range(1, 0.0, 5.0);
+        assert_eq!(t.selectivity_pred(&p), 0.25);
+    }
+
+    #[test]
+    fn one_sided_predicate() {
+        let t = grid_table();
+        let p = Predicate::new().at_least(0, 8.0);
+        assert_eq!(t.selectivity_pred(&p), 0.2);
+    }
+
+    #[test]
+    fn dnf_selectivity_of_disjunction() {
+        let t = grid_table();
+        let a = Predicate::new().range(0, 0.0, 2.0);
+        let b = Predicate::new().range(0, 8.0, 10.0);
+        let e = BoolExpr::pred(a).or(BoolExpr::pred(b));
+        let dnf = e.to_dnf(t.domain());
+        assert_eq!(t.selectivity_dnf(&dnf), 0.4);
+    }
+
+    #[test]
+    fn dnf_selectivity_of_negation() {
+        let t = grid_table();
+        let a = Predicate::new().range(0, 0.0, 2.0).range(1, 0.0, 2.0);
+        let e = BoolExpr::pred(a).not();
+        let dnf = e.to_dnf(t.domain());
+        assert!((t.selectivity_dnf(&dnf) - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let t = grid_table();
+        assert_eq!(t.row(0), vec![0.5, 0.5]);
+        assert_eq!(t.row(99), vec![9.5, 9.5]);
+    }
+
+    #[test]
+    fn empty_rect_counts_zero() {
+        let t = grid_table();
+        let e = Rect::from_bounds(&[(5.0, 5.0), (0.0, 10.0)]);
+        assert_eq!(t.count(&e), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(Domain::of_reals(&[("x", 0.0, 1.0)]));
+        t.push_row(&[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,137 @@
+//! The system catalog: table, indexes, and the statistics module.
+
+use quicksel_data::{SelectivityEstimator, Table};
+
+/// A sorted single-column index: `(value, row_id)` pairs ordered by value,
+/// supporting `O(log N + K)` range probes.
+#[derive(Debug, Clone)]
+pub struct SortedIndex {
+    /// Indexed column.
+    pub column: usize,
+    entries: Vec<(f64, u32)>,
+}
+
+impl SortedIndex {
+    /// Builds the index by sorting the column.
+    pub fn build(table: &Table, column: usize) -> Self {
+        let mut entries: Vec<(f64, u32)> = table
+            .column(column)
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite column values"));
+        Self { column, entries }
+    }
+
+    /// Row ids with `lo <= value < hi`, in index order.
+    pub fn range(&self, lo: f64, hi: f64) -> impl Iterator<Item = u32> + '_ {
+        let start = self.entries.partition_point(|&(v, _)| v < lo);
+        self.entries[start..]
+            .iter()
+            .take_while(move |&&(v, _)| v < hi)
+            .map(|&(_, r)| r)
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The catalog owns the table, its indexes, and the estimator — the three
+/// integration points the paper's §6 identifies in existing engines.
+pub struct Catalog {
+    /// The base table.
+    pub table: Table,
+    /// Available single-column indexes.
+    pub indexes: Vec<SortedIndex>,
+    /// The pluggable statistics module (QuickSel or any baseline).
+    pub estimator: Box<dyn SelectivityEstimator>,
+}
+
+impl Catalog {
+    /// Creates a catalog around a table and an estimator.
+    pub fn new(table: Table, estimator: Box<dyn SelectivityEstimator>) -> Self {
+        Self { table, indexes: Vec::new(), estimator }
+    }
+
+    /// Adds a sorted index on `column` (builder style).
+    pub fn with_index(mut self, column: usize) -> Self {
+        self.indexes.push(SortedIndex::build(&self.table, column));
+        self
+    }
+
+    /// The index on `column`, if one exists.
+    pub fn index_on(&self, column: usize) -> Option<&SortedIndex> {
+        self.indexes.iter().find(|i| i.column == column)
+    }
+
+    /// Appends rows and notifies the estimator of the churn (drives the
+    /// scan-based estimators' auto-update rules).
+    pub fn insert_rows(&mut self, rows: &[Vec<f64>]) {
+        for r in rows {
+            self.table.push_row(r);
+        }
+        // Indexes are rebuilt eagerly; a production engine would merge.
+        for i in 0..self.indexes.len() {
+            let col = self.indexes[i].column;
+            self.indexes[i] = SortedIndex::build(&self.table, col);
+        }
+        self.estimator.sync_data(&self.table, rows.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_core::QuickSel;
+    use quicksel_geometry::Domain;
+
+    fn table() -> Table {
+        let d = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+        let mut t = Table::new(d);
+        for i in 0..100 {
+            t.push_row(&[(i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5]);
+        }
+        t
+    }
+
+    #[test]
+    fn index_range_probe_matches_scan() {
+        let t = table();
+        let idx = SortedIndex::build(&t, 0);
+        assert_eq!(idx.len(), 100);
+        let hits: Vec<u32> = idx.range(2.0, 5.0).collect();
+        assert_eq!(hits.len(), 30); // 3 of 10 distinct values × 10 rows
+        for r in hits {
+            let v = t.column(0)[r as usize];
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_range_probe() {
+        let t = table();
+        let idx = SortedIndex::build(&t, 1);
+        assert_eq!(idx.range(20.0, 30.0).count(), 0);
+        assert_eq!(idx.range(5.0, 5.0).count(), 0);
+    }
+
+    #[test]
+    fn catalog_lookup_and_insert() {
+        let t = table();
+        let est = QuickSel::new(t.domain().clone());
+        let mut cat = Catalog::new(t, Box::new(est)).with_index(0);
+        assert!(cat.index_on(0).is_some());
+        assert!(cat.index_on(1).is_none());
+        cat.insert_rows(&[vec![3.3, 4.4], vec![6.6, 7.7]]);
+        assert_eq!(cat.table.row_count(), 102);
+        assert_eq!(cat.index_on(0).unwrap().len(), 102);
+    }
+}

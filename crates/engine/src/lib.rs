@@ -1,0 +1,44 @@
+//! Mini query engine demonstrating the paper's §6: integrating
+//! query-driven selectivity estimation into a DBMS.
+//!
+//! The paper observes that most engines already have the three pieces a
+//! query-driven estimator needs — a module that computes *actual*
+//! selectivities during execution (Spark's `FilterExec`), a module that
+//! consumes selectivity *estimates* during planning, and a catalog to
+//! persist statistics. This crate wires those pieces around the in-memory
+//! [`Table`](quicksel_data::Table) substrate:
+//!
+//! * [`Catalog`] — tables plus per-table sorted-column indexes and the
+//!   selectivity estimator (any [`SelectivityEstimator`](quicksel_data::SelectivityEstimator)),
+//! * [`planner`] — cost-based access-path selection (sequential scan vs.
+//!   index range probe) driven by the estimator,
+//! * [`executor`] — runs the chosen plan, counts the rows that actually
+//!   satisfied the predicate, and **feeds the observation back** into the
+//!   estimator — closing the paper's learning loop.
+//!
+//! ```
+//! use quicksel_engine::{Catalog, Engine};
+//! use quicksel_core::QuickSel;
+//! use quicksel_geometry::Predicate;
+//!
+//! let table = quicksel_data::datasets::gaussian_table(2, 0.4, 5_000, 3);
+//! let estimator = QuickSel::new(table.domain().clone());
+//! let mut engine = Engine::new(Catalog::new(table, Box::new(estimator)).with_index(0));
+//!
+//! let pred = Predicate::new().range(0, -0.5, 0.5);
+//! let result = engine.execute(&pred);
+//! assert!(result.rows_returned > 0);
+//! // The estimator has now observed the query's true selectivity.
+//! ```
+
+pub mod catalog;
+pub mod cost;
+pub mod executor;
+pub mod join;
+pub mod planner;
+
+pub use catalog::Catalog;
+pub use cost::CostModel;
+pub use executor::{Engine, QueryResult};
+pub use join::{estimate_join_cardinality, exact_equijoin_cardinality};
+pub use planner::{plan, AccessPath};

@@ -1,0 +1,169 @@
+//! Column domains: the bounding box `B0` of the paper plus the §2.2
+//! real-line encodings of integer and categorical columns.
+
+use crate::interval::Interval;
+use crate::rect::Rect;
+
+/// The logical type of a column, determining how constraints map onto the
+/// real line (§2.2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnType {
+    /// Real-valued column over `[lo, hi)`.
+    Real,
+    /// Integer column; value `k` occupies `[k, k+1)`.
+    Integer,
+    /// Categorical column with an ordered dictionary; category `i` occupies
+    /// `[i, i+1)`.
+    Categorical(Vec<String>),
+}
+
+/// Metadata for one column: name, type, and value bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column name (used by builder APIs and error messages).
+    pub name: String,
+    /// Logical type.
+    pub ty: ColumnType,
+    /// Bounds `[l_i, u_i)` of the column on the real line.
+    pub bounds: Interval,
+}
+
+/// A table schema's numeric domain: `B0 = [l_1,u_1) × … × [l_d,u_d)`.
+///
+/// Every predicate and every estimator is scoped to one `Domain`; the
+/// domain supplies the default (unconstrained) range per column and the
+/// total volume `|B0|` that normalizes the uniform distribution `g_0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Domain {
+    /// Builds a domain from column metadata.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        assert!(!columns.is_empty(), "domain must have at least one column");
+        for c in &columns {
+            assert!(
+                c.bounds.length() > 0.0,
+                "column {} has an empty domain {}",
+                c.name,
+                c.bounds
+            );
+        }
+        Self { columns }
+    }
+
+    /// Convenience constructor for all-real columns from `(name, lo, hi)`.
+    pub fn of_reals(cols: &[(&str, f64, f64)]) -> Self {
+        Self::new(
+            cols.iter()
+                .map(|&(name, lo, hi)| ColumnMeta {
+                    name: name.to_string(),
+                    ty: ColumnType::Real,
+                    bounds: Interval::new(lo, hi),
+                })
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for integer columns from `(name, lo, hi)`
+    /// where values are the integers `lo..=hi` (occupying `[lo, hi+1)`).
+    pub fn of_integers(cols: &[(&str, i64, i64)]) -> Self {
+        Self::new(
+            cols.iter()
+                .map(|&(name, lo, hi)| ColumnMeta {
+                    name: name.to_string(),
+                    ty: ColumnType::Integer,
+                    bounds: Interval::new(lo as f64, (hi + 1) as f64),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of columns `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column metadata in declaration order.
+    #[inline]
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Bounds of column `i`.
+    #[inline]
+    pub fn bounds(&self, i: usize) -> Interval {
+        self.columns[i].bounds
+    }
+
+    /// The full bounding rectangle `B0`.
+    pub fn full_rect(&self) -> Rect {
+        Rect::new(self.columns.iter().map(|c| c.bounds).collect())
+    }
+
+    /// Volume `|B0|`.
+    pub fn volume(&self) -> f64 {
+        self.full_rect().volume()
+    }
+
+    /// Resolves a categorical value to its dictionary index, if the column
+    /// is categorical and the value exists.
+    pub fn category_index(&self, col: usize, value: &str) -> Option<usize> {
+        match &self.columns[col].ty {
+            ColumnType::Categorical(dict) => dict.iter().position(|v| v == value),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_domain_full_rect_and_volume() {
+        let d = Domain::of_reals(&[("x", 0.0, 10.0), ("y", -1.0, 1.0)]);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.volume(), 20.0);
+        assert_eq!(d.full_rect(), Rect::from_bounds(&[(0.0, 10.0), (-1.0, 1.0)]));
+    }
+
+    #[test]
+    fn integer_domain_covers_inclusive_range() {
+        // Integers 1..=10 occupy [1, 11).
+        let d = Domain::of_integers(&[("year", 1, 10)]);
+        assert_eq!(d.bounds(0), Interval::new(1.0, 11.0));
+        assert_eq!(d.volume(), 10.0);
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let d = Domain::of_reals(&[("a", 0.0, 1.0), ("b", 0.0, 1.0)]);
+        assert_eq!(d.column_index("b"), Some(1));
+        assert_eq!(d.column_index("missing"), None);
+    }
+
+    #[test]
+    fn categorical_dictionary_lookup() {
+        let d = Domain::new(vec![ColumnMeta {
+            name: "state".into(),
+            ty: ColumnType::Categorical(vec!["CA".into(), "MI".into(), "NY".into()]),
+            bounds: Interval::new(0.0, 3.0),
+        }]);
+        assert_eq!(d.category_index(0, "MI"), Some(1));
+        assert_eq!(d.category_index(0, "TX"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_column_bounds_rejected() {
+        Domain::of_reals(&[("x", 1.0, 1.0)]);
+    }
+}

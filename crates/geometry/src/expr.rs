@@ -1,0 +1,350 @@
+//! Boolean predicate trees and disjunctive-normal-form conversion.
+//!
+//! §2.2 of the paper: "negations and disjunctions can also be easily
+//! supported … by converting `P_i ∧ P_j` into a disjunctive normal form and
+//! then using the inclusion–exclusion principle to compute its size."
+//!
+//! [`BoolExpr`] is an arbitrary and/or/not tree over conjunctive
+//! [`Predicate`]s; [`BoolExpr::to_dnf`] lowers it to a [`DnfRects`] — a
+//! union of hyperrectangles — on which volumes, intersections, and
+//! point-membership are exact.
+
+use crate::domain::Domain;
+use crate::predicate::Predicate;
+use crate::rect::Rect;
+use crate::volume::{intersection_volume_of_unions, union_volume};
+
+/// An arbitrary boolean combination of conjunctive predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    /// A conjunctive predicate leaf.
+    Pred(Predicate),
+    /// Conjunction of sub-expressions.
+    And(Vec<BoolExpr>),
+    /// Disjunction of sub-expressions.
+    Or(Vec<BoolExpr>),
+    /// Negation of a sub-expression.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Leaf constructor.
+    pub fn pred(p: Predicate) -> Self {
+        BoolExpr::Pred(p)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: BoolExpr) -> Self {
+        match self {
+            BoolExpr::And(mut v) => {
+                v.push(other);
+                BoolExpr::And(v)
+            }
+            s => BoolExpr::And(vec![s, other]),
+        }
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: BoolExpr) -> Self {
+        match self {
+            BoolExpr::Or(mut v) => {
+                v.push(other);
+                BoolExpr::Or(v)
+            }
+            s => BoolExpr::Or(vec![s, other]),
+        }
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// True when a point satisfies the expression (evaluated on the tree —
+    /// used to cross-check the DNF lowering).
+    pub fn eval(&self, domain: &Domain, point: &[f64]) -> bool {
+        match self {
+            BoolExpr::Pred(p) => p.to_rect(domain).contains_point(point),
+            BoolExpr::And(xs) => xs.iter().all(|x| x.eval(domain, point)),
+            BoolExpr::Or(xs) => xs.iter().any(|x| x.eval(domain, point)),
+            BoolExpr::Not(x) => !x.eval(domain, point),
+        }
+    }
+
+    /// Lowers the expression to a union of disjoint-where-possible
+    /// hyperrectangles inside `domain`.
+    ///
+    /// Negation is handled by box subtraction against the running union
+    /// (`¬U = B0 \ U`), conjunction by pairwise intersection, disjunction by
+    /// a disjoint-union construction (later terms subtract earlier ones), so
+    /// the resulting rectangles are **pairwise disjoint** and their volumes
+    /// simply add.
+    pub fn to_dnf(&self, domain: &Domain) -> DnfRects {
+        let rects = self.lower(domain);
+        DnfRects { rects }
+    }
+
+    fn lower(&self, domain: &Domain) -> Vec<Rect> {
+        match self {
+            BoolExpr::Pred(p) => {
+                let r = p.to_rect(domain);
+                if r.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![r]
+                }
+            }
+            BoolExpr::And(xs) => {
+                let mut acc = vec![domain.full_rect()];
+                for x in xs {
+                    let rhs = x.lower(domain);
+                    acc = intersect_unions(&acc, &rhs);
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+            BoolExpr::Or(xs) => {
+                let mut acc: Vec<Rect> = Vec::new();
+                for x in xs {
+                    for r in x.lower(domain) {
+                        // Keep the union disjoint: add only the part of `r`
+                        // not already covered.
+                        let mut fresh = vec![r];
+                        for existing in &acc {
+                            fresh = fresh
+                                .into_iter()
+                                .flat_map(|p| p.subtract(existing))
+                                .collect();
+                            if fresh.is_empty() {
+                                break;
+                            }
+                        }
+                        acc.extend(fresh);
+                    }
+                }
+                acc
+            }
+            BoolExpr::Not(x) => {
+                let inner = x.lower(domain);
+                let mut acc = vec![domain.full_rect()];
+                for r in &inner {
+                    acc = acc.into_iter().flat_map(|p| p.subtract(r)).collect();
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+}
+
+fn intersect_unions(a: &[Rect], b: &[Rect]) -> Vec<Rect> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b {
+            if let Some(i) = x.intersect(y) {
+                if !i.is_empty() {
+                    out.push(i);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A predicate lowered to a union of hyperrectangles (DNF form).
+///
+/// The construction in [`BoolExpr::to_dnf`] guarantees the rectangles are
+/// pairwise disjoint, so [`DnfRects::volume`] is a plain sum; intersections
+/// with other unions still go through inclusion–exclusion to stay correct
+/// for externally-constructed (possibly overlapping) rect sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnfRects {
+    rects: Vec<Rect>,
+}
+
+impl DnfRects {
+    /// Wraps an arbitrary set of rectangles (they may overlap).
+    pub fn from_rects(rects: Vec<Rect>) -> Self {
+        Self { rects }
+    }
+
+    /// A single-rectangle DNF.
+    pub fn single(rect: Rect) -> Self {
+        Self { rects: vec![rect] }
+    }
+
+    /// The component rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of conjunctive terms.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.iter().all(Rect::is_empty)
+    }
+
+    /// Exact volume of the union.
+    pub fn volume(&self) -> f64 {
+        union_volume(&self.rects)
+    }
+
+    /// Exact volume of the intersection with another union of rectangles.
+    pub fn intersection_volume(&self, other: &DnfRects) -> f64 {
+        intersection_volume_of_unions(&self.rects, &other.rects)
+    }
+
+    /// True when the point lies in the region.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        self.rects.iter().any(|r| r.contains_point(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn leaf(x: (f64, f64), y: (f64, f64)) -> BoolExpr {
+        BoolExpr::pred(Predicate::new().range(0, x.0, x.1).range(1, y.0, y.1))
+    }
+
+    #[test]
+    fn single_predicate_volume() {
+        let d = domain();
+        let dnf = leaf((1.0, 3.0), (1.0, 3.0)).to_dnf(&d);
+        assert!((dnf.volume() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunction_of_disjoint_preds_adds() {
+        let d = domain();
+        let e = leaf((0.0, 2.0), (0.0, 2.0)).or(leaf((5.0, 7.0), (5.0, 7.0)));
+        assert!((e.to_dnf(&d).volume() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunction_of_overlapping_preds_counts_overlap_once() {
+        let d = domain();
+        let e = leaf((0.0, 2.0), (0.0, 2.0)).or(leaf((1.0, 3.0), (1.0, 3.0)));
+        assert!((e.to_dnf(&d).volume() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negation_complements_volume() {
+        let d = domain();
+        let e = leaf((1.0, 3.0), (1.0, 3.0)).not();
+        assert!((e.to_dnf(&d).volume() - (100.0 - 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_negation_restores_volume() {
+        let d = domain();
+        let e = leaf((1.0, 4.0), (2.0, 5.0)).not().not();
+        assert!((e.to_dnf(&d).volume() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let d = domain();
+        let e = leaf((0.0, 5.0), (0.0, 5.0)).and(leaf((3.0, 8.0), (3.0, 8.0)));
+        assert!((e.to_dnf(&d).volume() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_volume() {
+        let d = domain();
+        let a = leaf((0.0, 4.0), (0.0, 4.0));
+        let b = leaf((2.0, 6.0), (2.0, 6.0));
+        // ¬(a ∧ b) vs ¬a ∨ ¬b
+        let lhs = a.clone().and(b.clone()).not().to_dnf(&d).volume();
+        let rhs = a.not().or(b.not()).to_dnf(&d).volume();
+        assert!((lhs - rhs).abs() < 1e-9, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn dnf_rects_are_disjoint() {
+        let d = domain();
+        let e = leaf((0.0, 3.0), (0.0, 3.0))
+            .or(leaf((1.0, 5.0), (1.0, 5.0)))
+            .or(leaf((2.0, 6.0), (0.0, 2.0)));
+        let dnf = e.to_dnf(&d);
+        let rs = dnf.rects();
+        for (i, a) in rs.iter().enumerate() {
+            for b in &rs[i + 1..] {
+                assert!(a.intersection_volume(b) < 1e-12);
+            }
+        }
+        // Disjointness means the sum equals the union volume.
+        let sum: f64 = rs.iter().map(Rect::volume).sum();
+        assert!((sum - dnf.volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_volume_of_two_dnfs() {
+        let d = domain();
+        let a = leaf((0.0, 4.0), (0.0, 4.0)).or(leaf((6.0, 8.0), (6.0, 8.0))).to_dnf(&d);
+        let b = leaf((2.0, 7.0), (2.0, 7.0)).to_dnf(&d);
+        // a∩b = [2,4)x[2,4) ∪ [6,7)x[6,7) → 4 + 1
+        assert!((a.intersection_volume(&b) - 5.0).abs() < 1e-9);
+    }
+
+    /// Random boolean expression strategy (depth ≤ 3).
+    fn arb_expr() -> impl Strategy<Value = BoolExpr> {
+        let leaf_strategy = (0.0..8.0f64, 0.5..4.0f64, 0.0..8.0f64, 0.5..4.0f64)
+            .prop_map(|(x, wx, y, wy)| leaf((x, x + wx), (y, y + wy)));
+        leaf_strategy.prop_recursive(3, 12, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 2..3).prop_map(BoolExpr::And),
+                prop::collection::vec(inner.clone(), 2..3).prop_map(BoolExpr::Or),
+                inner.prop_map(|e| e.not()),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The DNF lowering agrees pointwise with direct tree evaluation.
+        #[test]
+        fn prop_dnf_matches_tree_eval(e in arb_expr(), pts in prop::collection::vec((0.0..10.0f64, 0.0..10.0f64), 32)) {
+            let d = domain();
+            let dnf = e.to_dnf(&d);
+            for (x, y) in pts {
+                let p = [x, y];
+                prop_assert_eq!(dnf.contains_point(&p), e.eval(&d, &p),
+                    "point ({}, {})", x, y);
+            }
+        }
+
+        /// DNF volume is within the domain volume.
+        #[test]
+        fn prop_dnf_volume_bounded(e in arb_expr()) {
+            let d = domain();
+            let v = e.to_dnf(&d).volume();
+            prop_assert!(v >= -1e-9 && v <= d.volume() + 1e-9, "v={}", v);
+        }
+
+        /// Complement volumes add to the domain volume.
+        #[test]
+        fn prop_complement_volumes_add(e in arb_expr()) {
+            let d = domain();
+            let v = e.clone().to_dnf(&d).volume();
+            let nv = e.not().to_dnf(&d).volume();
+            prop_assert!((v + nv - d.volume()).abs() < 1e-6, "v={} nv={}", v, nv);
+        }
+    }
+}

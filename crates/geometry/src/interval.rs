@@ -1,0 +1,240 @@
+//! One-dimensional intervals with measure-based emptiness.
+
+use std::fmt;
+
+/// A one-dimensional interval `[lo, hi)`.
+///
+/// Intervals are the per-column building block of hyperrectangles. All
+/// interval arithmetic in QuickSel is *measure*-oriented: an interval with
+/// `hi <= lo` has zero length and is treated as empty. The half-open
+/// convention matches the paper's encoding of integer equality constraints
+/// (`C = k` becomes `[k, k+1)`, §2.2) and makes adjacent integer buckets
+/// tile the line without double counting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Inclusive lower endpoint.
+    pub lo: f64,
+    /// Exclusive upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi)`.
+    ///
+    /// `lo > hi` is permitted and yields an empty interval; this keeps
+    /// intersection code branch-free.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The degenerate empty interval.
+    #[inline]
+    pub fn empty() -> Self {
+        Self { lo: 0.0, hi: 0.0 }
+    }
+
+    /// Interval covering a single integer value `k`, i.e. `[k, k+1)`.
+    ///
+    /// This is the paper's §2.2 encoding of equality constraints on
+    /// discrete columns.
+    #[inline]
+    pub fn integer_point(k: i64) -> Self {
+        Self { lo: k as f64, hi: (k + 1) as f64 }
+    }
+
+    /// Length (Lebesgue measure) of the interval; zero when empty.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        (self.hi - self.lo).max(0.0)
+    }
+
+    /// True when the interval has zero measure.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// Intersection `self ∩ other` (possibly empty).
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Length of `self ∩ other` without materializing the interval.
+    #[inline]
+    pub fn overlap_length(&self, other: &Interval) -> f64 {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0.0)
+    }
+
+    /// True when the intersection has positive measure.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo.max(other.lo) < self.hi.min(other.hi)
+    }
+
+    /// True when `other` is fully contained in `self` (measure-wise).
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// True when the point `x` lies in `[lo, hi)`.
+    #[inline]
+    pub fn contains_point(&self, x: f64) -> bool {
+        self.lo <= x && x < self.hi
+    }
+
+    /// Smallest interval covering both `self` and `other`.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Midpoint of the interval.
+    #[inline]
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Clamps `self` into `bounds`, returning the (possibly empty) result.
+    #[inline]
+    pub fn clamp_to(&self, bounds: &Interval) -> Interval {
+        self.intersect(bounds)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn length_of_regular_interval() {
+        assert_eq!(Interval::new(1.0, 4.0).length(), 3.0);
+    }
+
+    #[test]
+    fn length_of_inverted_interval_is_zero() {
+        assert_eq!(Interval::new(4.0, 1.0).length(), 0.0);
+        assert!(Interval::new(4.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn empty_interval_is_empty() {
+        assert!(Interval::empty().is_empty());
+        assert_eq!(Interval::empty().length(), 0.0);
+    }
+
+    #[test]
+    fn integer_point_has_unit_length() {
+        let iv = Interval::integer_point(7);
+        assert_eq!(iv.length(), 1.0);
+        assert!(iv.contains_point(7.0));
+        assert!(iv.contains_point(7.999));
+        assert!(!iv.contains_point(8.0));
+    }
+
+    #[test]
+    fn intersect_partial_overlap() {
+        let a = Interval::new(0.0, 5.0);
+        let b = Interval::new(3.0, 8.0);
+        let i = a.intersect(&b);
+        assert_eq!((i.lo, i.hi), (3.0, 5.0));
+        assert_eq!(a.overlap_length(&b), 2.0);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert!(a.intersect(&b).is_empty());
+        assert_eq!(a.overlap_length(&b), 0.0);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn touching_intervals_do_not_overlap() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.0, 2.0);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.overlap_length(&b), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Interval::new(0.0, 10.0);
+        assert!(outer.contains(&Interval::new(2.0, 3.0)));
+        assert!(outer.contains(&outer));
+        assert!(!outer.contains(&Interval::new(-1.0, 3.0)));
+        // Empty intervals are contained everywhere.
+        assert!(outer.contains(&Interval::empty()));
+    }
+
+    #[test]
+    fn hull_spans_both() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(5.0, 6.0);
+        let h = a.hull(&b);
+        assert_eq!((h.lo, h.hi), (0.0, 6.0));
+        // Hull with an empty interval returns the other operand.
+        assert_eq!(a.hull(&Interval::empty()), a);
+        assert_eq!(Interval::empty().hull(&b), b);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        assert_eq!(Interval::new(2.0, 6.0).center(), 4.0);
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-100.0..100.0f64, 0.0..50.0f64).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overlap_is_symmetric(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.overlap_length(&b), b.overlap_length(&a));
+        }
+
+        #[test]
+        fn prop_overlap_bounded_by_lengths(a in arb_interval(), b in arb_interval()) {
+            let o = a.overlap_length(&b);
+            prop_assert!(o <= a.length() + 1e-12);
+            prop_assert!(o <= b.length() + 1e-12);
+            prop_assert!(o >= 0.0);
+        }
+
+        #[test]
+        fn prop_self_intersection_is_identity(a in arb_interval()) {
+            let i = a.intersect(&a);
+            prop_assert_eq!(i.length(), a.length());
+        }
+
+        #[test]
+        fn prop_hull_contains_both(a in arb_interval(), b in arb_interval()) {
+            let h = a.hull(&b);
+            prop_assert!(h.contains(&a));
+            prop_assert!(h.contains(&b));
+        }
+
+        #[test]
+        fn prop_intersection_contained_in_operands(a in arb_interval(), b in arb_interval()) {
+            let i = a.intersect(&b);
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+        }
+    }
+}

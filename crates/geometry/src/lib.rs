@@ -1,0 +1,34 @@
+//! Hyperrectangle geometry and predicate algebra for QuickSel.
+//!
+//! This crate implements the geometric substrate of the QuickSel paper
+//! (Park, Zhong, Mozafari — SIGMOD 2020, §2.1–§2.2):
+//!
+//! * [`Interval`] — a one-dimensional range `[lo, hi)` with zero-measure
+//!   emptiness semantics,
+//! * [`Rect`] — a d-dimensional hyperrectangle (the `B_i` / `G_z` of the
+//!   paper) with volume, intersection, and box-subtraction operations,
+//! * [`Domain`] — column metadata defining the bounding box `B0`, including
+//!   integer and categorical columns mapped onto the reals (§2.2),
+//! * [`Predicate`] — a conjunction of per-column range constraints,
+//! * [`BoolExpr`] — arbitrary and/or/not combinations of predicates with
+//!   conversion to disjunctive normal form ([`DnfRects`]),
+//! * [`union_volume`] / [`DnfRects::intersection_volume`] — exact volumes of
+//!   unions and intersections of rectangle sets via cell decomposition and
+//!   inclusion–exclusion.
+//!
+//! Every selectivity estimator in the workspace (QuickSel itself and all
+//! baselines) speaks in terms of these types.
+
+pub mod domain;
+pub mod expr;
+pub mod interval;
+pub mod predicate;
+pub mod rect;
+pub mod volume;
+
+pub use domain::{ColumnMeta, ColumnType, Domain};
+pub use expr::{BoolExpr, DnfRects};
+pub use interval::Interval;
+pub use predicate::{Constraint, Predicate};
+pub use rect::Rect;
+pub use volume::{intersection_volume_of_unions, union_volume};

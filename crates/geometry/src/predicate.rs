@@ -1,0 +1,233 @@
+//! Conjunctive predicates over a [`Domain`] — the `P_i` of the paper.
+//!
+//! A predicate is a conjunction of per-column range constraints, each of
+//! which can be one-sided (`3 <= C1`), two-sided (`-3 <= C1 <= 10`), or an
+//! equality on an integer/categorical column (`C1 = k`, encoded as
+//! `[k, k+1)` per §2.2). Unconstrained columns default to the full column
+//! domain, so every predicate maps to exactly one hyperrectangle `B_i`.
+
+use crate::domain::Domain;
+use crate::interval::Interval;
+use crate::rect::Rect;
+use std::fmt;
+
+/// A single per-column constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Index of the constrained column.
+    pub column: usize,
+    /// Allowed range on the real-line encoding of the column.
+    pub range: Interval,
+}
+
+/// A conjunction of range constraints (`P_i` in the paper).
+///
+/// Build predicates fluently:
+///
+/// ```
+/// use quicksel_geometry::{Domain, Predicate};
+///
+/// let domain = Domain::of_reals(&[("x", 0.0, 100.0), ("y", 0.0, 10.0)]);
+/// let pred = Predicate::new()
+///     .range(0, 10.0, 20.0)   // 10 <= x < 20
+///     .at_least(1, 5.0);      // y >= 5
+/// let rect = pred.to_rect(&domain);
+/// assert_eq!(rect.volume(), 10.0 * 5.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Predicate {
+    constraints: Vec<Constraint>,
+}
+
+impl Predicate {
+    /// An empty predicate (selects everything; the paper's `P_0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The constraints of this predicate.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// True when no column is constrained (selects all tuples).
+    pub fn is_trivial(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Adds a two-sided constraint `lo <= C_col < hi`.
+    ///
+    /// Repeated constraints on the same column intersect.
+    pub fn range(mut self, col: usize, lo: f64, hi: f64) -> Self {
+        self.push(col, Interval::new(lo, hi));
+        self
+    }
+
+    /// Adds a one-sided constraint `C_col >= lo`.
+    pub fn at_least(mut self, col: usize, lo: f64) -> Self {
+        self.push(col, Interval::new(lo, f64::INFINITY));
+        self
+    }
+
+    /// Adds a one-sided constraint `C_col < hi`.
+    pub fn less_than(mut self, col: usize, hi: f64) -> Self {
+        self.push(col, Interval::new(f64::NEG_INFINITY, hi));
+        self
+    }
+
+    /// Adds an integer equality constraint `C_col = k` (encoded `[k, k+1)`).
+    pub fn eq_int(mut self, col: usize, k: i64) -> Self {
+        self.push(col, Interval::integer_point(k));
+        self
+    }
+
+    /// Adds a categorical equality constraint by dictionary value.
+    ///
+    /// # Panics
+    /// Panics if the column is not categorical or the value is unknown.
+    pub fn eq_category(mut self, domain: &Domain, col: usize, value: &str) -> Self {
+        let idx = domain
+            .category_index(col, value)
+            .unwrap_or_else(|| panic!("unknown category {value:?} for column {col}"));
+        self.push(col, Interval::integer_point(idx as i64));
+        self
+    }
+
+    /// Adds a raw interval constraint.
+    pub fn with_interval(mut self, col: usize, range: Interval) -> Self {
+        self.push(col, range);
+        self
+    }
+
+    fn push(&mut self, col: usize, range: Interval) {
+        if let Some(c) = self.constraints.iter_mut().find(|c| c.column == col) {
+            c.range = c.range.intersect(&range);
+        } else {
+            self.constraints.push(Constraint { column: col, range });
+        }
+    }
+
+    /// Materializes the predicate as a hyperrectangle `B_i` in `domain`,
+    /// clamping every constraint to the column bounds (so one-sided
+    /// constraints pick up the domain endpoint).
+    pub fn to_rect(&self, domain: &Domain) -> Rect {
+        let mut sides: Vec<Interval> = (0..domain.dim()).map(|i| domain.bounds(i)).collect();
+        for c in &self.constraints {
+            assert!(c.column < domain.dim(), "constraint on column {} out of range", c.column);
+            sides[c.column] = sides[c.column].intersect(&c.range);
+        }
+        Rect::new(sides)
+    }
+
+    /// Builds the predicate whose rectangle is exactly `rect` (used by
+    /// workload generators that produce rectangles directly).
+    pub fn from_rect(rect: &Rect) -> Self {
+        Self {
+            constraints: rect
+                .sides()
+                .iter()
+                .enumerate()
+                .map(|(column, &range)| Constraint { column, range })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "C{} ∈ {}", c.column, c.range)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{ColumnMeta, ColumnType};
+
+    fn domain2() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 100.0), ("y", 0.0, 10.0)])
+    }
+
+    #[test]
+    fn trivial_predicate_selects_everything() {
+        let d = domain2();
+        let p = Predicate::new();
+        assert!(p.is_trivial());
+        assert_eq!(p.to_rect(&d), d.full_rect());
+    }
+
+    #[test]
+    fn two_sided_range() {
+        let d = domain2();
+        let r = Predicate::new().range(0, 10.0, 20.0).to_rect(&d);
+        assert_eq!(r, Rect::from_bounds(&[(10.0, 20.0), (0.0, 10.0)]));
+    }
+
+    #[test]
+    fn one_sided_ranges_clamp_to_domain() {
+        let d = domain2();
+        let r = Predicate::new().at_least(0, 90.0).less_than(1, 3.0).to_rect(&d);
+        assert_eq!(r, Rect::from_bounds(&[(90.0, 100.0), (0.0, 3.0)]));
+    }
+
+    #[test]
+    fn repeated_constraints_intersect() {
+        let d = domain2();
+        let r = Predicate::new()
+            .range(0, 10.0, 50.0)
+            .range(0, 30.0, 80.0)
+            .to_rect(&d);
+        assert_eq!(r.side(0), Interval::new(30.0, 50.0));
+    }
+
+    #[test]
+    fn integer_equality_is_unit_interval() {
+        let d = Domain::of_integers(&[("year", 2000, 2020)]);
+        let r = Predicate::new().eq_int(0, 2005).to_rect(&d);
+        assert_eq!(r.side(0), Interval::new(2005.0, 2006.0));
+        assert_eq!(r.volume(), 1.0);
+    }
+
+    #[test]
+    fn categorical_equality() {
+        let d = Domain::new(vec![ColumnMeta {
+            name: "color".into(),
+            ty: ColumnType::Categorical(vec!["red".into(), "green".into(), "blue".into()]),
+            bounds: Interval::new(0.0, 3.0),
+        }]);
+        let r = Predicate::new().eq_category(&d, 0, "green").to_rect(&d);
+        assert_eq!(r.side(0), Interval::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn contradictory_constraints_have_zero_volume() {
+        let d = domain2();
+        let r = Predicate::new().range(0, 10.0, 20.0).range(0, 30.0, 40.0).to_rect(&d);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn round_trip_through_rect() {
+        let d = domain2();
+        let p = Predicate::new().range(0, 5.0, 15.0).range(1, 1.0, 2.0);
+        let r = p.to_rect(&d);
+        let p2 = Predicate::from_rect(&r);
+        assert_eq!(p2.to_rect(&d), r);
+    }
+
+    #[test]
+    fn display_formats_constraints() {
+        let p = Predicate::new().range(0, 1.0, 2.0);
+        assert_eq!(p.to_string(), "C0 ∈ [1, 2)");
+        assert_eq!(Predicate::new().to_string(), "TRUE");
+    }
+}

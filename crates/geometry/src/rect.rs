@@ -1,0 +1,376 @@
+//! d-dimensional hyperrectangles — the `B_i` (predicate ranges) and `G_z`
+//! (subpopulation supports) of the QuickSel paper.
+
+use crate::interval::Interval;
+use std::fmt;
+
+/// An axis-aligned d-dimensional hyperrectangle.
+///
+/// The paper's core computational claim (§3.1) is that uniform mixture
+/// models only ever need `min`, `max`, and multiplication: every quantity
+/// used during training and estimation is a volume of an intersection of
+/// two `Rect`s. This type keeps those operations allocation-free where
+/// possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    sides: Vec<Interval>,
+}
+
+impl Rect {
+    /// Builds a rectangle from per-dimension intervals.
+    pub fn new(sides: Vec<Interval>) -> Self {
+        Self { sides }
+    }
+
+    /// Builds a rectangle from `(lo, hi)` pairs.
+    pub fn from_bounds(bounds: &[(f64, f64)]) -> Self {
+        Self { sides: bounds.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect() }
+    }
+
+    /// Axis-aligned cube centered at `center` with half-width `half` in
+    /// every dimension.
+    pub fn cube(center: &[f64], half: f64) -> Self {
+        Self {
+            sides: center.iter().map(|&c| Interval::new(c - half, c + half)).collect(),
+        }
+    }
+
+    /// Rectangle centered at `center` with per-dimension half-widths.
+    pub fn centered(center: &[f64], half_widths: &[f64]) -> Self {
+        assert_eq!(center.len(), half_widths.len());
+        Self {
+            sides: center
+                .iter()
+                .zip(half_widths)
+                .map(|(&c, &h)| Interval::new(c - h, c + h))
+                .collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// Per-dimension intervals.
+    #[inline]
+    pub fn sides(&self) -> &[Interval] {
+        &self.sides
+    }
+
+    /// Mutable access to one side (used by STHoles hole-shrinking).
+    #[inline]
+    pub fn side_mut(&mut self, d: usize) -> &mut Interval {
+        &mut self.sides[d]
+    }
+
+    /// The interval of dimension `d`.
+    #[inline]
+    pub fn side(&self, d: usize) -> Interval {
+        self.sides[d]
+    }
+
+    /// Volume `∏ length_d`; zero when any side is empty.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let mut v = 1.0;
+        for s in &self.sides {
+            v *= s.length();
+            if v == 0.0 {
+                return 0.0;
+            }
+        }
+        v
+    }
+
+    /// True when the rectangle has zero volume.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sides.iter().any(Interval::is_empty)
+    }
+
+    /// Volume of `self ∩ other` without allocating the intersection.
+    ///
+    /// This is the hot kernel of QuickSel's training: the `Q` and `A`
+    /// matrices (§4.2, Theorem 1) are dense matrices of these values.
+    #[inline]
+    pub fn intersection_volume(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut v = 1.0;
+        for (a, b) in self.sides.iter().zip(&other.sides) {
+            v *= a.overlap_length(b);
+            if v == 0.0 {
+                return 0.0;
+            }
+        }
+        v
+    }
+
+    /// Materialized intersection, or `None` when the overlap has zero measure.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut sides = Vec::with_capacity(self.dim());
+        for (a, b) in self.sides.iter().zip(&other.sides) {
+            let i = a.intersect(b);
+            if i.is_empty() {
+                return None;
+            }
+            sides.push(i);
+        }
+        Some(Rect { sides })
+    }
+
+    /// True when the intersection with `other` has positive volume.
+    #[inline]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.sides.iter().zip(&other.sides).all(|(a, b)| a.overlaps(b))
+    }
+
+    /// True when `other ⊆ self` (measure-wise; empty rects are contained
+    /// everywhere).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.sides.iter().zip(&other.sides).all(|(a, b)| a.contains(b))
+    }
+
+    /// True when the point lies inside the half-open box.
+    #[inline]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(self.dim(), p.len());
+        self.sides.iter().zip(p).all(|(s, &x)| s.contains_point(x))
+    }
+
+    /// Center point of the rectangle.
+    pub fn center(&self) -> Vec<f64> {
+        self.sides.iter().map(Interval::center).collect()
+    }
+
+    /// Smallest rectangle containing both operands.
+    pub fn hull(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), other.dim());
+        Rect {
+            sides: self.sides.iter().zip(&other.sides).map(|(a, b)| a.hull(b)).collect(),
+        }
+    }
+
+    /// Clamps `self` into `bounds` dimension-wise.
+    pub fn clamp_to(&self, bounds: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), bounds.dim());
+        Rect {
+            sides: self
+                .sides
+                .iter()
+                .zip(&bounds.sides)
+                .map(|(a, b)| a.clamp_to(b))
+                .collect(),
+        }
+    }
+
+    /// Decomposes `self \ other` into at most `2·d` disjoint boxes.
+    ///
+    /// Standard guillotine decomposition: sweep dimensions in order and
+    /// slice off the part of `self` below/above `other` in each dimension,
+    /// shrinking the remainder as we go. Used by ISOMER's bucket splitting
+    /// (each partially-overlapped bucket is replaced by `bucket ∩ query`
+    /// plus this complement) and by negation handling in [`crate::expr`].
+    ///
+    /// Returns an empty vector when `other ⊇ self`; returns `vec![self]`
+    /// when the rects do not overlap.
+    pub fn subtract(&self, other: &Rect) -> Vec<Rect> {
+        if !self.overlaps(other) {
+            return if self.is_empty() { Vec::new() } else { vec![self.clone()] };
+        }
+        let mut pieces = Vec::new();
+        let mut remainder = self.clone();
+        for d in 0..self.dim() {
+            let r = remainder.sides[d];
+            let o = other.sides[d];
+            // Slice below `other` in dimension d.
+            if r.lo < o.lo {
+                let mut below = remainder.clone();
+                below.sides[d] = Interval::new(r.lo, o.lo.min(r.hi));
+                if !below.is_empty() {
+                    pieces.push(below);
+                }
+            }
+            // Slice above `other` in dimension d.
+            if r.hi > o.hi {
+                let mut above = remainder.clone();
+                above.sides[d] = Interval::new(o.hi.max(r.lo), r.hi);
+                if !above.is_empty() {
+                    pieces.push(above);
+                }
+            }
+            // Shrink the remainder to the overlapping slab and continue.
+            remainder.sides[d] = r.intersect(&o);
+            if remainder.sides[d].is_empty() {
+                break;
+            }
+        }
+        pieces
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rect(")?;
+        for (i, s) in self.sides.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_square() -> Rect {
+        Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)])
+    }
+
+    #[test]
+    fn volume_of_box() {
+        let r = Rect::from_bounds(&[(0.0, 2.0), (0.0, 3.0), (0.0, 4.0)]);
+        assert_eq!(r.volume(), 24.0);
+    }
+
+    #[test]
+    fn volume_of_empty_box_is_zero() {
+        let r = Rect::from_bounds(&[(0.0, 2.0), (3.0, 3.0)]);
+        assert_eq!(r.volume(), 0.0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn intersection_volume_matches_materialized_intersection() {
+        let a = Rect::from_bounds(&[(0.0, 2.0), (0.0, 2.0)]);
+        let b = Rect::from_bounds(&[(1.0, 3.0), (1.0, 3.0)]);
+        assert_eq!(a.intersection_volume(&b), 1.0);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.volume(), 1.0);
+        assert_eq!(i, Rect::from_bounds(&[(1.0, 2.0), (1.0, 2.0)]));
+    }
+
+    #[test]
+    fn disjoint_rects_have_no_intersection() {
+        let a = Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]);
+        let b = Rect::from_bounds(&[(2.0, 3.0), (2.0, 3.0)]);
+        assert_eq!(a.intersection_volume(&b), 0.0);
+        assert!(a.intersect(&b).is_none());
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn containment_of_rects_and_points() {
+        let big = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+        let small = Rect::from_bounds(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(big.contains_rect(&small));
+        assert!(!small.contains_rect(&big));
+        assert!(big.contains_point(&[5.0, 5.0]));
+        assert!(!big.contains_point(&[10.0, 5.0])); // half-open upper bound
+    }
+
+    #[test]
+    fn cube_and_centered_constructors() {
+        let c = Rect::cube(&[1.0, 2.0], 0.5);
+        assert_eq!(c, Rect::from_bounds(&[(0.5, 1.5), (1.5, 2.5)]));
+        let r = Rect::centered(&[0.0, 0.0], &[1.0, 2.0]);
+        assert_eq!(r, Rect::from_bounds(&[(-1.0, 1.0), (-2.0, 2.0)]));
+        assert_eq!(r.center(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn subtract_non_overlapping_returns_self() {
+        let a = unit_square();
+        let b = Rect::from_bounds(&[(5.0, 6.0), (5.0, 6.0)]);
+        let parts = a.subtract(&b);
+        assert_eq!(parts, vec![a]);
+    }
+
+    #[test]
+    fn subtract_covering_returns_empty() {
+        let a = unit_square();
+        let b = Rect::from_bounds(&[(-1.0, 2.0), (-1.0, 2.0)]);
+        assert!(a.subtract(&b).is_empty());
+    }
+
+    #[test]
+    fn subtract_center_hole_yields_four_disjoint_pieces_in_2d() {
+        let a = Rect::from_bounds(&[(0.0, 3.0), (0.0, 3.0)]);
+        let hole = Rect::from_bounds(&[(1.0, 2.0), (1.0, 2.0)]);
+        let parts = a.subtract(&hole);
+        // ≤ 2d pieces.
+        assert!(parts.len() <= 4);
+        let total: f64 = parts.iter().map(Rect::volume).sum();
+        assert!((total - (9.0 - 1.0)).abs() < 1e-12);
+        // Pieces are pairwise disjoint and disjoint from the hole.
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.intersection_volume(&hole), 0.0);
+            for q in &parts[i + 1..] {
+                assert_eq!(p.intersection_volume(q), 0.0);
+            }
+        }
+    }
+
+    fn arb_rect(dim: usize) -> impl Strategy<Value = Rect> {
+        prop::collection::vec((-50.0..50.0f64, 0.01..25.0f64), dim).prop_map(|v| {
+            Rect::new(v.into_iter().map(|(lo, len)| Interval::new(lo, lo + len)).collect())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_volume_symmetric(a in arb_rect(3), b in arb_rect(3)) {
+            let ab = a.intersection_volume(&b);
+            let ba = b.intersection_volume(&a);
+            prop_assert!((ab - ba).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_intersection_volume_bounded(a in arb_rect(3), b in arb_rect(3)) {
+            let v = a.intersection_volume(&b);
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= a.volume() + 1e-9);
+            prop_assert!(v <= b.volume() + 1e-9);
+        }
+
+        #[test]
+        fn prop_subtract_partitions_volume(a in arb_rect(2), b in arb_rect(2)) {
+            let parts = a.subtract(&b);
+            let sum: f64 = parts.iter().map(Rect::volume).sum();
+            let expect = a.volume() - a.intersection_volume(&b);
+            prop_assert!((sum - expect).abs() < 1e-6,
+                "sum={sum} expected={expect}");
+            // Pieces stay inside `a` and avoid `b`.
+            for p in &parts {
+                prop_assert!(a.contains_rect(p));
+                prop_assert!(p.intersection_volume(&b) < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_subtract_pieces_disjoint(a in arb_rect(2), b in arb_rect(2)) {
+            let parts = a.subtract(&b);
+            for (i, p) in parts.iter().enumerate() {
+                for q in &parts[i + 1..] {
+                    prop_assert!(p.intersection_volume(q) < 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_hull_contains_operands(a in arb_rect(3), b in arb_rect(3)) {
+            let h = a.hull(&b);
+            prop_assert!(h.contains_rect(&a));
+            prop_assert!(h.contains_rect(&b));
+        }
+    }
+}

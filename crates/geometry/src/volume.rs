@@ -1,0 +1,263 @@
+//! Exact volumes of unions and intersections of rectangle sets.
+//!
+//! QuickSel's training only needs pairwise rectangle intersections, but
+//! supporting disjunctions and negations (§2.2: "converting `P_i ∧ P_j`
+//! into a disjunctive normal form and then using the inclusion–exclusion
+//! principle") requires volumes of *unions* of rectangles. Two exact
+//! algorithms are provided:
+//!
+//! * **cell decomposition** — project all rectangle endpoints per
+//!   dimension, then sum the volume of every elementary cell covered by at
+//!   least one rectangle. Cost `O((2k)^d · k)` for `k` rects in `d` dims;
+//!   polynomial in `k`, exponential in `d`.
+//! * **inclusion–exclusion** — `|∪R_i| = Σ|R_i| − Σ|R_i∩R_j| + …`. Cost
+//!   `O(2^k · d)`; exponential in `k`, linear in `d`.
+//!
+//! [`union_volume`] picks whichever is cheaper for the input shape.
+
+use crate::rect::Rect;
+
+/// Exact volume of `∪ rects` (rectangles may overlap arbitrarily).
+pub fn union_volume(rects: &[Rect]) -> f64 {
+    let live: Vec<&Rect> = rects.iter().filter(|r| !r.is_empty()).collect();
+    match live.len() {
+        0 => 0.0,
+        1 => live[0].volume(),
+        2 => {
+            live[0].volume() + live[1].volume() - live[0].intersection_volume(live[1])
+        }
+        k => {
+            let d = live[0].dim();
+            // Estimated work: cells method is ((2k)^d * k); incl-excl is 2^k * d * k.
+            let cells_work = (2.0 * k as f64).powi(d as i32) * k as f64;
+            let ie_work = (1u64 << k.min(62)) as f64 * (d * k) as f64;
+            if k <= 20 && ie_work <= cells_work {
+                inclusion_exclusion_volume(&live)
+            } else {
+                cell_decomposition_volume(&live)
+            }
+        }
+    }
+}
+
+/// Volume of `(∪ as) ∩ (∪ bs)` — the intersection of two rectangle unions,
+/// which is the union of all pairwise intersections.
+///
+/// This is what the inclusion–exclusion support for disjunctive predicates
+/// boils down to: `|B_i ∩ B_j|` where each `B` is a DNF (a union of
+/// conjunctive rectangles).
+pub fn intersection_volume_of_unions(asr: &[Rect], bsr: &[Rect]) -> f64 {
+    let mut pairwise = Vec::with_capacity(asr.len() * bsr.len());
+    for a in asr {
+        for b in bsr {
+            if let Some(i) = a.intersect(b) {
+                pairwise.push(i);
+            }
+        }
+    }
+    union_volume(&pairwise)
+}
+
+/// Inclusion–exclusion over all non-empty subsets. Caller guarantees
+/// `rects.len() <= ~20`.
+fn inclusion_exclusion_volume(rects: &[&Rect]) -> f64 {
+    let k = rects.len();
+    debug_assert!(k <= 62);
+    let mut total = 0.0;
+    // Iterate over non-empty subsets encoded as bitmasks.
+    for mask in 1u64..(1u64 << k) {
+        let mut iter = (0..k).filter(|&i| mask >> i & 1 == 1);
+        let first = iter.next().expect("non-empty mask");
+        let mut inter = Some(rects[first].clone());
+        for i in iter {
+            inter = inter.and_then(|r| r.intersect(rects[i]));
+            if inter.is_none() {
+                break;
+            }
+        }
+        if let Some(r) = inter {
+            let v = r.volume();
+            if mask.count_ones() % 2 == 1 {
+                total += v;
+            } else {
+                total -= v;
+            }
+        }
+    }
+    total.max(0.0)
+}
+
+/// Cell-decomposition union volume: exact, polynomial in the number of
+/// rectangles.
+fn cell_decomposition_volume(rects: &[&Rect]) -> f64 {
+    let d = rects[0].dim();
+    // Sorted unique endpoints per dimension.
+    let mut coords: Vec<Vec<f64>> = vec![Vec::with_capacity(rects.len() * 2); d];
+    for r in rects {
+        for (dim, s) in r.sides().iter().enumerate() {
+            coords[dim].push(s.lo);
+            coords[dim].push(s.hi);
+        }
+    }
+    for c in &mut coords {
+        c.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        c.dedup();
+    }
+    // Walk the elementary grid; a cell belongs to the union iff its center
+    // is inside some rectangle.
+    let mut idx = vec![0usize; d];
+    let mut total = 0.0;
+    let mut center = vec![0.0; d];
+    'outer: loop {
+        let mut cell_volume = 1.0;
+        for dim in 0..d {
+            let lo = coords[dim][idx[dim]];
+            let hi = coords[dim][idx[dim] + 1];
+            cell_volume *= hi - lo;
+            center[dim] = 0.5 * (lo + hi);
+        }
+        if cell_volume > 0.0 && rects.iter().any(|r| r.contains_point(&center)) {
+            total += cell_volume;
+        }
+        // Odometer increment over cells.
+        for dim in 0..d {
+            idx[dim] += 1;
+            if idx[dim] + 1 < coords[dim].len() {
+                continue 'outer;
+            }
+            idx[dim] = 0;
+        }
+        break;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use crate::interval::Interval;
+
+    fn rect2(b: &[(f64, f64); 2]) -> Rect {
+        Rect::from_bounds(b)
+    }
+
+    #[test]
+    fn union_of_nothing_is_zero() {
+        assert_eq!(union_volume(&[]), 0.0);
+    }
+
+    #[test]
+    fn union_of_one() {
+        let r = rect2(&[(0.0, 2.0), (0.0, 2.0)]);
+        assert_eq!(union_volume(&[r]), 4.0);
+    }
+
+    #[test]
+    fn union_of_two_overlapping() {
+        let a = rect2(&[(0.0, 2.0), (0.0, 2.0)]);
+        let b = rect2(&[(1.0, 3.0), (1.0, 3.0)]);
+        // 4 + 4 - 1
+        assert!((union_volume(&[a, b]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_of_identical_rects_counts_once() {
+        let a = rect2(&[(0.0, 2.0), (0.0, 2.0)]);
+        assert!((union_volume(&[a.clone(), a.clone(), a]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_three_rects_exact() {
+        // Three unit squares in a diagonal chain overlapping by quarter.
+        let a = rect2(&[(0.0, 1.0), (0.0, 1.0)]);
+        let b = rect2(&[(0.5, 1.5), (0.5, 1.5)]);
+        let c = rect2(&[(1.0, 2.0), (1.0, 2.0)]);
+        // |a|+|b|+|c| - |ab| - |bc| - |ac| + |abc| = 3 - .25 - .25 - 0 + 0
+        let v = union_volume(&[a, b, c]);
+        assert!((v - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_of_unions_matches_manual() {
+        let u1 = vec![rect2(&[(0.0, 2.0), (0.0, 2.0)]), rect2(&[(4.0, 6.0), (0.0, 2.0)])];
+        let u2 = vec![rect2(&[(1.0, 5.0), (0.0, 2.0)])];
+        // u1 ∩ u2 = [1,2)x[0,2) ∪ [4,5)x[0,2) → 2 + 2
+        let v = intersection_volume_of_unions(&u1, &u2);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_methods_agree_on_fixed_input() {
+        let rects: Vec<Rect> = vec![
+            rect2(&[(0.0, 3.0), (0.0, 1.0)]),
+            rect2(&[(1.0, 2.0), (0.0, 3.0)]),
+            rect2(&[(0.5, 2.5), (0.5, 2.5)]),
+            rect2(&[(-1.0, 0.6), (-1.0, 0.6)]),
+        ];
+        let refs: Vec<&Rect> = rects.iter().collect();
+        let ie = inclusion_exclusion_volume(&refs);
+        let cd = cell_decomposition_volume(&refs);
+        assert!((ie - cd).abs() < 1e-9, "ie={ie} cd={cd}");
+    }
+
+    fn arb_rect(dim: usize) -> impl Strategy<Value = Rect> {
+        prop::collection::vec((-10.0..10.0f64, 0.1..8.0f64), dim).prop_map(|v| {
+            Rect::new(v.into_iter().map(|(lo, len)| Interval::new(lo, lo + len)).collect())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_methods_agree(rects in prop::collection::vec(arb_rect(2), 1..7)) {
+            let refs: Vec<&Rect> = rects.iter().collect();
+            let ie = inclusion_exclusion_volume(&refs);
+            let cd = cell_decomposition_volume(&refs);
+            prop_assert!((ie - cd).abs() < 1e-6, "ie={} cd={}", ie, cd);
+        }
+
+        #[test]
+        fn prop_union_bounds(rects in prop::collection::vec(arb_rect(3), 1..6)) {
+            let v = union_volume(&rects);
+            let max_single = rects.iter().map(Rect::volume).fold(0.0, f64::max);
+            let sum: f64 = rects.iter().map(Rect::volume).sum();
+            prop_assert!(v >= max_single - 1e-9);
+            prop_assert!(v <= sum + 1e-9);
+        }
+
+        #[test]
+        fn prop_union_monotone(rects in prop::collection::vec(arb_rect(2), 2..6)) {
+            let v_all = union_volume(&rects);
+            let v_fewer = union_volume(&rects[..rects.len() - 1]);
+            prop_assert!(v_all >= v_fewer - 1e-9);
+        }
+
+        #[test]
+        fn prop_union_vs_monte_carlo(rects in prop::collection::vec(arb_rect(2), 1..5)) {
+            // Monte-Carlo estimate over the hull; coarse tolerance.
+            let hull = rects.iter().skip(1).fold(rects[0].clone(), |h, r| h.hull(r));
+            let hv = hull.volume();
+            prop_assume!(hv > 1e-6);
+            let exact = union_volume(&rects);
+            let n = 20_000usize;
+            let mut hit = 0usize;
+            // Deterministic low-discrepancy-ish sweep (no rng dependency here).
+            let mut x = 0.5f64;
+            let mut y = 0.5f64;
+            for _ in 0..n {
+                x = (x + 0.754877666246693).fract();
+                y = (y + 0.569840290998053).fract();
+                let px = hull.side(0).lo + x * hull.side(0).length();
+                let py = hull.side(1).lo + y * hull.side(1).length();
+                if rects.iter().any(|r| r.contains_point(&[px, py])) {
+                    hit += 1;
+                }
+            }
+            let mc = hv * hit as f64 / n as f64;
+            prop_assert!((mc - exact).abs() <= 0.08 * hv + 1e-6,
+                "mc={} exact={} hull={}", mc, exact, hv);
+        }
+    }
+}

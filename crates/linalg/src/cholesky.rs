@@ -1,0 +1,218 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! QuickSel's analytic training step (§4.2) solves
+//! `(Q + λAᵀA) w = λAᵀs` where the system matrix is symmetric positive
+//! *semi*-definite; a tiny trace-scaled ridge is added on failure so the
+//! factorization always succeeds on real workloads.
+
+use crate::matrix::DMatrix;
+use crate::LinalgError;
+
+/// A lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: DMatrix,
+}
+
+impl CholeskyFactor {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    pub fn new(a: &DMatrix) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch { context: "cholesky requires square matrix" });
+        }
+        let mut l = DMatrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a.get(j, j);
+            let lj = l.row(j);
+            for k in 0..j {
+                d -= lj[k] * lj[k];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let djs = d.sqrt();
+            l.set(j, j, djs);
+            // Column below the diagonal. Row-major access pattern: for each
+            // i > j compute L[i][j] from rows i and j.
+            let inv = 1.0 / djs;
+            for i in (j + 1)..n {
+                let mut v = a.get(i, j);
+                // dot of the first j entries of rows i and j of L
+                let (ri, rj) = {
+                    // Split borrows: rows are disjoint slices of the backing vec.
+                    let cols = n;
+                    let data = l.as_slice();
+                    (&data[i * cols..i * cols + j], &data[j * cols..j * cols + j])
+                };
+                for k in 0..j {
+                    v -= ri[k] * rj[k];
+                }
+                l.set(i, j, v * inv);
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DMatrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward: L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut v = y[i];
+            for k in 0..i {
+                v -= row[k] * y[k];
+            }
+            y[i] = v / row[i];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut v = x[i];
+            for k in (i + 1)..n {
+                v -= self.l.get(k, i) * x[k];
+            }
+            x[i] = v / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Log-determinant of `A` (`2 Σ log L_ii`); occasionally useful for
+    /// diagnostics.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Solves the SPD system `A x = b`, retrying with progressively larger
+/// trace-scaled ridge terms when `A` is only semi-definite.
+///
+/// The ridge sequence is `tr(A)/n · 10^{-10, -8, -6, -4}`; QuickSel's
+/// system matrix `Q + λAᵀA` is PSD by construction, so in practice the
+/// first or second attempt succeeds.
+pub fn solve_spd(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    match CholeskyFactor::new(a) {
+        Ok(f) => return Ok(f.solve(b)),
+        Err(LinalgError::ShapeMismatch { context }) => {
+            return Err(LinalgError::ShapeMismatch { context })
+        }
+        Err(_) => {}
+    }
+    let n = a.rows().max(1);
+    let scale = (a.trace().abs() / n as f64).max(f64::MIN_POSITIVE);
+    let mut last = LinalgError::NotPositiveDefinite { pivot: 0 };
+    for exp in [-10i32, -8, -6, -4] {
+        let mut aj = a.clone();
+        aj.add_diagonal(scale * 10f64.powi(exp));
+        match CholeskyFactor::new(&aj) {
+            Ok(f) => return Ok(f.solve(b)),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd3() -> DMatrix {
+        DMatrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let f = CholeskyFactor::new(&a).unwrap();
+        let rec = f.l().matmul(&f.l().transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = CholeskyFactor::new(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DMatrix::zeros(2, 3);
+        assert!(matches!(CholeskyFactor::new(&a), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_spd_handles_semidefinite_via_jitter() {
+        // Rank-1 PSD matrix: xxᵀ with x = (1, 1).
+        let a = DMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let b = vec![2.0, 2.0];
+        let x = solve_spd(&a, &b).unwrap();
+        // Any solution with x0 + x1 ≈ 2 satisfies the (regularized) system.
+        let r = a.matvec(&x);
+        assert!((r[0] - 2.0).abs() < 1e-3 && (r[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let mut a = DMatrix::zeros(2, 2);
+        a.set(0, 0, 4.0);
+        a.set(1, 1, 9.0);
+        let f = CholeskyFactor::new(&a).unwrap();
+        assert!((f.log_det() - (36.0f64).ln()).abs() < 1e-12);
+    }
+
+    /// Random SPD matrices via Gram products of random rectangular matrices.
+    fn arb_spd(n: usize) -> impl Strategy<Value = DMatrix> {
+        prop::collection::vec(-2.0..2.0f64, (n + 3) * n).prop_map(move |d| {
+            let b = DMatrix::from_vec(n + 3, n, d);
+            let mut g = b.gram();
+            g.add_diagonal(0.5); // keep comfortably definite
+            g
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_solve_round_trip(a in arb_spd(5), x in prop::collection::vec(-3.0..3.0f64, 5)) {
+            let b = a.matvec(&x);
+            let xr = CholeskyFactor::new(&a).unwrap().solve(&b);
+            for (u, v) in xr.iter().zip(&x) {
+                prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+            }
+        }
+
+        #[test]
+        fn prop_factor_reconstructs(a in arb_spd(6)) {
+            let f = CholeskyFactor::new(&a).unwrap();
+            let rec = f.l().matmul(&f.l().transpose());
+            prop_assert!(rec.max_abs_diff(&a) < 1e-8);
+        }
+    }
+}

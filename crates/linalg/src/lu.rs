@@ -1,0 +1,167 @@
+//! LU factorization with partial pivoting for general square systems.
+//!
+//! Used by the Woodbury path of ISOMER+QP (the `(I/λ + A D⁻¹Aᵀ)` inner
+//! system is symmetric but can be poorly conditioned after data drift, so
+//! pivoting beats plain Cholesky there) and as an independent oracle for
+//! testing the Cholesky solver.
+
+use crate::matrix::DMatrix;
+use crate::LinalgError;
+
+/// A partially-pivoted LU factorization `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Packed LU: unit-lower triangle below the diagonal, U on/above it.
+    lu: DMatrix,
+    /// Row permutation.
+    perm: Vec<usize>,
+}
+
+impl LuFactor {
+    /// Factors a square matrix.
+    pub fn new(a: &DMatrix) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch { context: "lu requires square matrix" });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut p = k;
+            let mut pmax = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(k, p);
+                // Swap rows k and p.
+                for c in 0..n {
+                    let t = lu.get(k, c);
+                    lu.set(k, c, lu.get(p, c));
+                    lu.set(p, c, t);
+                }
+            }
+            let inv = 1.0 / lu.get(k, k);
+            for i in (k + 1)..n {
+                let m = lu.get(i, k) * inv;
+                lu.set(i, k, m);
+                if m == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let v = lu.get(i, c) - m * lu.get(k, c);
+                    lu.set(i, c, v);
+                }
+            }
+        }
+        Ok(Self { lu, perm })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut v = x[i];
+            for k in 0..i {
+                v -= row[k] * x[k];
+            }
+            x[i] = v;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut v = x[i];
+            for k in (i + 1)..n {
+                v -= row[k] * x[k];
+            }
+            x[i] = v / row[i];
+        }
+        x
+    }
+}
+
+/// One-shot general solve `A x = b`.
+pub fn solve_general(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    Ok(LuFactor::new(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve_general(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_row_swaps() {
+        // Leading zero forces pivoting.
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve_general(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(LuFactor::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DMatrix::zeros(2, 3);
+        assert!(matches!(LuFactor::new(&a), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    fn arb_well_conditioned(n: usize) -> impl Strategy<Value = DMatrix> {
+        prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |d| {
+            let mut a = DMatrix::from_vec(n, n, d);
+            a.add_diagonal(n as f64); // diagonal dominance ⇒ invertible
+            a
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_round_trip(a in arb_well_conditioned(6), x in prop::collection::vec(-3.0..3.0f64, 6)) {
+            let b = a.matvec(&x);
+            let xr = solve_general(&a, &b).unwrap();
+            for (u, v) in xr.iter().zip(&x) {
+                prop_assert!((u - v).abs() < 1e-8);
+            }
+        }
+
+        /// LU agrees with the Cholesky solver on SPD inputs.
+        #[test]
+        fn prop_agrees_with_cholesky(data in prop::collection::vec(-2.0..2.0f64, 8 * 5), b in prop::collection::vec(-2.0..2.0f64, 5)) {
+            let m = DMatrix::from_vec(8, 5, data);
+            let mut spd = m.gram();
+            spd.add_diagonal(0.5);
+            let x_lu = solve_general(&spd, &b).unwrap();
+            let x_ch = crate::cholesky::solve_spd(&spd, &b).unwrap();
+            for (u, v) in x_lu.iter().zip(&x_ch) {
+                prop_assert!((u - v).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Dense row-major matrices with the handful of kernels QuickSel needs.
+
+use crate::vector::dot;
+use std::fmt;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// The training path of QuickSel only needs a few operations — Gram
+/// products (`AᵀA`), matrix–vector products, symmetric assembly, and
+/// factorizations — so the API is intentionally small and allocation
+/// behaviour explicit.
+#[derive(Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Builds from nested row slices (test/helper convenience).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// In-place element update.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> DMatrix {
+        let mut t = DMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs` using an ikj loop order (streaming rows
+    /// of `rhs`, cache-friendly for row-major storage).
+    pub fn matmul(&self, rhs: &DMatrix) -> DMatrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let mut out = DMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue; // A matrices are often sparse-ish (disjoint rects)
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec shape mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · x`.
+    pub fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "t_matvec shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * a;
+            }
+        }
+        out
+    }
+
+    /// Gram product `selfᵀ · self` (an SPD `cols × cols` matrix), computed
+    /// as a symmetric rank-k accumulation over rows.
+    pub fn gram(&self) -> DMatrix {
+        let n = self.cols;
+        let mut g = DMatrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let v = row[i];
+                if v == 0.0 {
+                    continue;
+                }
+                let g_row = &mut g.data[i * n..(i + 1) * n];
+                for j in i..n {
+                    g_row[j] += v * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..n {
+            for j in 0..i {
+                g.data[i * n + j] = g.data[j * n + i];
+            }
+        }
+        g
+    }
+
+    /// `self += alpha * rhs` (element-wise).
+    pub fn add_scaled(&mut self, alpha: f64, rhs: &DMatrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds `alpha` to the diagonal (ridge / jitter).
+    pub fn add_diagonal(&mut self, alpha: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self.data[i * self.cols + i] += alpha;
+        }
+    }
+
+    /// Trace (sum of diagonal entries).
+    pub fn trace(&self) -> f64 {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        dot(&self.data, &self.data).sqrt()
+    }
+
+    /// Max absolute element difference against `other` (test helper).
+    pub fn max_abs_diff(&self, other: &DMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+impl fmt::Debug for DMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMatrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for r in 0..show {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_times_anything_is_identity_mapping() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DMatrix::identity(2);
+        assert_eq!(i.matmul(&a), a);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, DMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matvec_and_t_matvec() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.t_matvec(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a);
+        assert!(g.max_abs_diff(&g2) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn diagonal_and_trace() {
+        let mut a = DMatrix::zeros(3, 3);
+        a.add_diagonal(2.5);
+        assert_eq!(a.trace(), 7.5);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = DMatrix::identity(2);
+        let b = DMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        a.add_scaled(2.0, &b);
+        assert_eq!(a, DMatrix::from_rows(&[&[3.0, 2.0], &[2.0, 3.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn mismatched_matmul_panics() {
+        let a = DMatrix::zeros(2, 3);
+        let b = DMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    fn arb_matrix(r: usize, c: usize) -> impl Strategy<Value = DMatrix> {
+        prop::collection::vec(-5.0..5.0f64, r * c).prop_map(move |d| DMatrix::from_vec(r, c, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_associates_with_vector(a in arb_matrix(4, 3), b in arb_matrix(3, 5), x in prop::collection::vec(-2.0..2.0f64, 5)) {
+            // (A·B)·x == A·(B·x)
+            let lhs = a.matmul(&b).matvec(&x);
+            let rhs = a.matvec(&b.matvec(&x));
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_gram_is_symmetric_psd_diag(a in arb_matrix(6, 4)) {
+            let g = a.gram();
+            for i in 0..4 {
+                prop_assert!(g.get(i, i) >= -1e-12);
+                for j in 0..4 {
+                    prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_t_matvec_matches_transpose(a in arb_matrix(5, 3), x in prop::collection::vec(-2.0..2.0f64, 5)) {
+            let lhs = a.t_matvec(&x);
+            let rhs = a.transpose().matvec(&x);
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Small dense-vector kernels used across the solvers.
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // 4-way unrolled accumulation; keeps the compiler free to vectorize.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Max norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// Element-wise clamp of `x` into `[lo_i, hi_i]`.
+#[inline]
+pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    debug_assert_eq!(x.len(), lo.len());
+    debug_assert_eq!(x.len(), hi.len());
+    for i in 0..x.len() {
+        x[i] = x[i].max(lo[i]).min(hi[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_of_small_vectors() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_handles_remainder_lengths() {
+        // Length 7 exercises both the unrolled body and the tail.
+        let x = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(dot(&x, &x), 7.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn clamp_box_clamps_each_element() {
+        let mut x = vec![-1.0, 0.5, 9.0];
+        clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_symmetric(x in prop::collection::vec(-10.0..10.0f64, 0..40)) {
+            let y: Vec<f64> = x.iter().rev().cloned().collect();
+            prop_assert!((dot(&x, &y) - dot(&y, &x)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_norm2_nonnegative_and_scales(x in prop::collection::vec(-10.0..10.0f64, 1..40), a in -3.0..3.0f64) {
+            let n = norm2(&x);
+            prop_assert!(n >= 0.0);
+            let mut ax = x.clone();
+            scale(a, &mut ax);
+            prop_assert!((norm2(&ax) - a.abs() * n).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Side-by-side comparison of all seven estimators on one workload.
+//!
+//! ```sh
+//! cargo run --release --example estimator_comparison
+//! ```
+//!
+//! A compact version of the paper's §5.2/§5.3 head-to-head: every method
+//! sees the same DMV-like workload (query-driven methods get query
+//! feedback, scan-based ones get data-change notifications) and is scored
+//! on the same held-out queries.
+
+use quicksel::prelude::*;
+use quicksel::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
+use std::time::Instant;
+
+fn main() {
+    let table = quicksel::data::datasets::dmv::dmv_table(100_000, 3);
+    let domain = table.domain().clone();
+    println!(
+        "DMV-like table: {} rows, columns: {}\n",
+        table.row_count(),
+        domain
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut workload = RectWorkload::new(domain.clone(), 11, ShiftMode::Random, CenterMode::DataRow)
+        .with_width_frac(0.1, 0.4);
+    let train = workload.take_queries(&table, 80);
+    let test = workload.take_queries(&table, 100);
+
+    let mut methods: Vec<Box<dyn SelectivityEstimator>> = vec![
+        Box::new(QuickSel::new(domain.clone())),
+        Box::new(STHoles::new(domain.clone())),
+        Box::new(Isomer::new(domain.clone())),
+        Box::new(IsomerQp::new(domain.clone())),
+        Box::new(QueryModel::new(domain.clone())),
+        Box::new(AutoHist::with_budget(domain.clone(), 320)),
+        Box::new(AutoSample::new(domain.clone(), 320, 5)),
+    ];
+
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>10}",
+        "method", "params", "train time", "rel error", "abs error"
+    );
+    for est in &mut methods {
+        let t = Instant::now();
+        // Scan-based methods build their statistics from the data...
+        est.sync_data(&table, table.row_count());
+        // ...query-driven methods learn from the executed workload.
+        for q in &train {
+            est.observe(q);
+        }
+        let train_ms = t.elapsed().as_secs_f64() * 1e3;
+        let pairs: Vec<(f64, f64)> =
+            test.iter().map(|q| (q.selectivity, est.estimate(&q.rect))).collect();
+        println!(
+            "{:<12} {:>8} {:>10.1}ms {:>11.2}% {:>10.4}",
+            est.name(),
+            est.param_count(),
+            train_ms,
+            quicksel::data::mean_rel_error_pct(&pairs),
+            quicksel::data::mean_abs_error(&pairs),
+        );
+    }
+    println!("\n(query-driven methods used 80 observed queries; scan-based methods one full scan)");
+}

@@ -1,0 +1,106 @@
+//! Access-path selection: the motivating use case from the paper's intro.
+//!
+//! ```sh
+//! cargo run --release --example query_optimizer
+//! ```
+//!
+//! A toy cost-based optimizer must choose between a full scan and an index
+//! probe for each query. The right choice hinges on the predicate's
+//! selectivity: index probes win for selective predicates, scans for broad
+//! ones. We compare the plans chosen using (i) the uniformity assumption,
+//! and (ii) QuickSel's learned estimates, against the oracle that knows
+//! true selectivities.
+
+use quicksel::prelude::*;
+
+/// Classic crossover cost model: a scan touches every row; an index probe
+/// pays per-row random-access overhead on the selected fraction.
+fn scan_cost(rows: f64) -> f64 {
+    rows
+}
+fn index_cost(rows: f64, selectivity: f64) -> f64 {
+    // 10x per-tuple penalty for random access.
+    10.0 * selectivity * rows
+}
+
+#[derive(PartialEq, Clone, Copy, Debug)]
+enum Plan {
+    FullScan,
+    IndexProbe,
+}
+
+fn choose(rows: f64, selectivity: f64) -> Plan {
+    if index_cost(rows, selectivity) < scan_cost(rows) {
+        Plan::IndexProbe
+    } else {
+        Plan::FullScan
+    }
+}
+
+fn main() {
+    // Instacart-like orders table; predicates over hour-of-day and
+    // days-since-prior as in the paper's §5.1.
+    let table = quicksel::data::datasets::instacart::instacart_table(200_000, 8);
+    let domain = table.domain().clone();
+    let rows = table.row_count() as f64;
+
+    // Train QuickSel on past workload feedback.
+    let mut workload =
+        RectWorkload::new(domain.clone(), 21, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.05, 0.5);
+    let mut qs = QuickSel::new(domain.clone());
+    for q in workload.take_queries(&table, 100) {
+        qs.observe(&q);
+    }
+
+    // Evaluate plan choices for the next 200 queries.
+    let trial = workload.take_queries(&table, 200);
+    let mut uniform_ok = 0usize;
+    let mut learned_ok = 0usize;
+    let mut uniform_regret = 0.0f64;
+    let mut learned_regret = 0.0f64;
+    let b0 = domain.full_rect();
+    for q in &trial {
+        let oracle = choose(rows, q.selectivity);
+        let oracle_cost =
+            scan_cost(rows).min(index_cost(rows, q.selectivity));
+
+        let uni_est = q.rect.intersection_volume(&b0) / b0.volume();
+        let uni_plan = choose(rows, uni_est);
+        if uni_plan == oracle {
+            uniform_ok += 1;
+        }
+        let uni_cost = match uni_plan {
+            Plan::FullScan => scan_cost(rows),
+            Plan::IndexProbe => index_cost(rows, q.selectivity),
+        };
+        uniform_regret += (uni_cost - oracle_cost) / oracle_cost;
+
+        let qs_est = qs.estimate(&q.rect);
+        let qs_plan = choose(rows, qs_est);
+        if qs_plan == oracle {
+            learned_ok += 1;
+        }
+        let qs_cost = match qs_plan {
+            Plan::FullScan => scan_cost(rows),
+            Plan::IndexProbe => index_cost(rows, q.selectivity),
+        };
+        learned_regret += (qs_cost - oracle_cost) / oracle_cost;
+    }
+
+    let n = trial.len();
+    println!("access-path choices over {n} queries (oracle = true selectivity):\n");
+    println!(
+        "  uniformity assumption: {:>4}/{} correct plans, mean cost regret {:>6.1}%",
+        uniform_ok,
+        n,
+        100.0 * uniform_regret / n as f64
+    );
+    println!(
+        "  QuickSel estimates:    {:>4}/{} correct plans, mean cost regret {:>6.1}%",
+        learned_ok,
+        n,
+        100.0 * learned_regret / n as f64
+    );
+    assert!(learned_ok >= uniform_ok, "learned estimates should not choose worse plans");
+}

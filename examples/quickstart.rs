@@ -1,0 +1,61 @@
+//! Quickstart: learn selectivities from query feedback, no data scans.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Plays the paper's core loop: a "DBMS" (here an in-memory table) executes
+//! range queries and reports their true selectivities; QuickSel refines a
+//! uniform mixture model from that feedback alone and answers the
+//! optimizer's next selectivity probe in microseconds.
+
+use quicksel::prelude::*;
+
+fn main() {
+    // 1. The database substrate: 50k tuples of correlated Gaussian data.
+    //    QuickSel never scans this — it only ever sees query feedback.
+    let table = quicksel::data::datasets::gaussian_table(2, 0.6, 50_000, 1);
+    let domain = table.domain().clone();
+    println!("table: {} rows over {} columns", table.row_count(), domain.dim());
+
+    // 2. A fresh estimator. Before any feedback it assumes uniformity.
+    let mut estimator = QuickSel::new(domain.clone());
+    let probe = Predicate::new().range(0, -1.0, 1.0).range(1, -1.0, 1.0).to_rect(&domain);
+    println!(
+        "before any feedback:  est = {:.4}   (truth = {:.4})",
+        estimator.estimate(&probe),
+        table.selectivity(&probe)
+    );
+
+    // 3. Run a workload: each executed query reports (predicate, true
+    //    selectivity) — exactly what an engine's FilterExec collects.
+    let mut workload =
+        RectWorkload::new(domain.clone(), 42, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
+    for (i, q) in workload.take_queries(&table, 100).into_iter().enumerate() {
+        estimator.observe(&q);
+        if (i + 1) % 25 == 0 {
+            println!(
+                "after {:3} queries:    est = {:.4}   (truth = {:.4}, {} model params)",
+                i + 1,
+                estimator.estimate(&probe),
+                table.selectivity(&probe),
+                estimator.param_count()
+            );
+        }
+    }
+
+    // 4. Score on 100 unseen queries.
+    let test = workload.take_queries(&table, 100);
+    let pairs: Vec<(f64, f64)> =
+        test.iter().map(|q| (q.selectivity, estimator.estimate(&q.rect))).collect();
+    println!(
+        "\nmean relative error on 100 unseen queries: {:.2}%",
+        quicksel::data::mean_rel_error_pct(&pairs)
+    );
+    let report = estimator.last_report().expect("trained");
+    println!(
+        "last refinement: {} subpopulations, {} constraints, solve {:?}",
+        report.num_subpops, report.num_constraints, report.solve_time
+    );
+}

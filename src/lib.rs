@@ -1,0 +1,56 @@
+//! # quicksel — selectivity learning with uniform mixture models
+//!
+//! A from-scratch Rust reproduction of *"QuickSel: Quick Selectivity
+//! Learning with Mixture Models"* (Park, Zhong, Mozafari — SIGMOD 2020),
+//! including every substrate the paper's evaluation depends on.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`QuickSel`] — the estimator itself (crate `quicksel-core`),
+//! * [`geometry`] — predicates, hyperrectangles, domains,
+//! * [`linalg`] — the dense solvers behind training,
+//! * [`data`] — tables, synthetic datasets, workloads, metrics,
+//! * [`baselines`] — STHoles, ISOMER, ISOMER+QP, QueryModel, AutoHist,
+//!   AutoSample.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use quicksel::prelude::*;
+//!
+//! // A table substrate standing in for the DBMS.
+//! let table = quicksel::data::datasets::gaussian_table(2, 0.5, 10_000, 7);
+//!
+//! // The estimator only ever sees query feedback, never the data.
+//! let mut estimator = QuickSel::new(table.domain().clone());
+//! let mut workload = RectWorkload::new(
+//!     table.domain().clone(), 42, ShiftMode::Random, CenterMode::DataRow);
+//! for q in workload.take_queries(&table, 30) {
+//!     estimator.observe(&q);
+//! }
+//!
+//! // Ask for selectivity estimates for new predicates.
+//! let probe = workload.next_query(&table);
+//! let est = estimator.estimate(&probe.rect);
+//! assert!((est - probe.selectivity).abs() < 0.25);
+//! ```
+
+pub use quicksel_baselines as baselines;
+pub use quicksel_core as core;
+pub use quicksel_data as data;
+pub use quicksel_engine as engine;
+pub use quicksel_geometry as geometry;
+pub use quicksel_linalg as linalg;
+
+pub use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
+pub use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy, TrainingMethod};
+pub use quicksel_data::{ObservedQuery, SelectivityEstimator, Table};
+pub use quicksel_geometry::{BoolExpr, Domain, Interval, Predicate, Rect};
+
+/// Convenience imports covering the common workflow.
+pub mod prelude {
+    pub use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
+    pub use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
+    pub use quicksel_data::{ObservedQuery, SelectivityEstimator, Table};
+    pub use quicksel_geometry::{Domain, Predicate, Rect};
+}

@@ -1,0 +1,177 @@
+//! Cross-estimator sanity: every method implements the same trait, obeys
+//! the same bounds, and the paper's qualitative orderings hold on small
+//! workloads.
+
+use quicksel::prelude::*;
+use quicksel::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
+
+fn all_methods(domain: &Domain) -> Vec<Box<dyn SelectivityEstimator>> {
+    vec![
+        Box::new(QuickSel::new(domain.clone())),
+        Box::new(STHoles::new(domain.clone())),
+        Box::new(Isomer::new(domain.clone())),
+        Box::new(IsomerQp::new(domain.clone())),
+        Box::new(QueryModel::new(domain.clone())),
+        Box::new(AutoHist::with_budget(domain.clone(), 100)),
+        Box::new(AutoSample::new(domain.clone(), 100, 3)),
+    ]
+}
+
+#[test]
+fn every_method_stays_in_unit_interval() {
+    let table = quicksel::data::datasets::gaussian_table(2, 0.4, 10_000, 21);
+    let mut workload = RectWorkload::new(
+        table.domain().clone(),
+        31,
+        ShiftMode::Random,
+        CenterMode::DataRow,
+    );
+    let train = workload.take_queries(&table, 40);
+    let probes = workload.take_queries(&table, 100);
+    for mut est in all_methods(table.domain()) {
+        est.sync_data(&table, table.row_count());
+        for q in &train {
+            est.observe(q);
+        }
+        for q in &probes {
+            let e = est.estimate(&q.rect);
+            assert!((0.0..=1.0).contains(&e), "{}: estimate {e}", est.name());
+        }
+    }
+}
+
+#[test]
+fn every_method_beats_a_coin_flip_on_easy_workload() {
+    // A sharply bimodal dataset; after training, every estimator must be
+    // closer to the truth than the constant-0.5 guess on average.
+    let table = quicksel::data::datasets::gaussian_table(2, 0.8, 20_000, 22);
+    let mut workload = RectWorkload::new(
+        table.domain().clone(),
+        32,
+        ShiftMode::Random,
+        CenterMode::DataRow,
+    )
+    .with_width_frac(0.1, 0.35);
+    let train = workload.take_queries(&table, 60);
+    let test = workload.take_queries(&table, 80);
+    for mut est in all_methods(table.domain()) {
+        est.sync_data(&table, table.row_count());
+        for q in &train {
+            est.observe(q);
+        }
+        let mae: f64 = test
+            .iter()
+            .map(|q| (est.estimate(&q.rect) - q.selectivity).abs())
+            .sum::<f64>()
+            / test.len() as f64;
+        let coin: f64 =
+            test.iter().map(|q| (0.5 - q.selectivity).abs()).sum::<f64>() / test.len() as f64;
+        assert!(mae < coin, "{}: mae {mae} vs coin {coin}", est.name());
+    }
+}
+
+#[test]
+fn quicksel_is_most_compact_query_driven_model() {
+    // Figure 4's ordering: ISOMER params ≫ STHoles params ≫ QuickSel
+    // params at the same number of observed queries.
+    let table = quicksel::data::datasets::instacart::instacart_table(20_000, 23);
+    let mut workload = RectWorkload::new(
+        table.domain().clone(),
+        33,
+        ShiftMode::Random,
+        CenterMode::DataRow,
+    )
+    .with_width_frac(0.1, 0.4);
+    let train = workload.take_queries(&table, 50);
+    let mut qs = QuickSel::new(table.domain().clone());
+    let mut iso = Isomer::new(table.domain().clone());
+    let mut st = STHoles::new(table.domain().clone());
+    for q in &train {
+        qs.observe(q);
+        iso.observe(q);
+        st.observe(q);
+    }
+    assert!(
+        iso.param_count() > st.param_count(),
+        "ISOMER {} vs STHoles {}",
+        iso.param_count(),
+        st.param_count()
+    );
+    assert!(
+        st.param_count() > qs.param_count(),
+        "STHoles {} vs QuickSel {}",
+        st.param_count(),
+        qs.param_count()
+    );
+    assert_eq!(qs.param_count(), 4 * train.len());
+}
+
+#[test]
+fn quicksel_refines_faster_than_isomer_at_scale() {
+    // Figure 3's ordering, asserted coarsely: total training time for 60
+    // queries is lower for QuickSel than for ISOMER on a 3-dim workload
+    // (where ISOMER's bucket count explodes).
+    use std::time::Instant;
+    let table = quicksel::data::datasets::dmv::dmv_table(20_000, 24);
+    let mut workload = RectWorkload::new(
+        table.domain().clone(),
+        34,
+        ShiftMode::Random,
+        CenterMode::DataRow,
+    )
+    .with_width_frac(0.1, 0.4);
+    let train = workload.take_queries(&table, 60);
+
+    let mut iso = Isomer::new(table.domain().clone());
+    let t0 = Instant::now();
+    for q in &train {
+        iso.observe(q);
+    }
+    let iso_time = t0.elapsed();
+
+    let mut qs = QuickSel::new(table.domain().clone());
+    let t1 = Instant::now();
+    for q in &train {
+        qs.observe(q);
+    }
+    let qs_time = t1.elapsed();
+
+    assert!(
+        qs_time < iso_time,
+        "QuickSel {qs_time:?} should be faster than ISOMER {iso_time:?} (ISOMER buckets: {})",
+        iso.param_count()
+    );
+}
+
+#[test]
+fn scan_methods_go_stale_but_quicksel_does_not() {
+    // §5.3 in miniature: after a distribution shift below the auto-update
+    // thresholds, scan-based estimates are stale; QuickSel corrects itself
+    // from feedback.
+    let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+    let mut table = Table::new(domain.clone());
+    for i in 0..1000 {
+        let v = (i % 100) as f64 / 100.0;
+        table.push_row(&[v * 2.0, v * 2.0]); // mass in [0,2)²
+    }
+    let mut hist = AutoHist::with_budget(domain.clone(), 100);
+    hist.sync_data(&table, table.row_count());
+
+    // Shift: add 15% new rows at the opposite corner (below 20% rule).
+    for i in 0..150 {
+        let v = (i % 100) as f64 / 100.0;
+        table.push_row(&[8.0 + v, 8.0 + v]);
+    }
+    hist.sync_data(&table, 150);
+
+    let corner = Rect::from_bounds(&[(8.0, 10.0), (8.0, 10.0)]);
+    let truth = table.selectivity(&corner);
+    assert!(truth > 0.12);
+    // Stale histogram still reports ~0 there.
+    assert!(hist.estimate(&corner) < 0.01, "hist {}", hist.estimate(&corner));
+
+    // QuickSel sees one feedback observation and corrects.
+    let mut qs = QuickSel::new(domain);
+    qs.observe(&ObservedQuery::new(corner.clone(), truth));
+    assert!((qs.estimate(&corner) - truth).abs() < 0.05);
+}

@@ -1,0 +1,128 @@
+//! End-to-end learning behaviour of QuickSel across the full stack:
+//! datasets → workload → feedback loop → estimates.
+
+use quicksel::data::{mean_rel_error_pct, ErrorStats};
+use quicksel::prelude::*;
+
+fn errors_after(table: &Table, train_n: usize, seed: u64) -> ErrorStats {
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), seed, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
+    let mut cfg = QuickSelConfig::default();
+    cfg.refine_policy = RefinePolicy::EveryK(25);
+    let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+    for q in workload.take_queries(table, train_n) {
+        qs.observe(&q);
+    }
+    let test = workload.take_queries(table, 100);
+    let pairs: Vec<(f64, f64)> =
+        test.iter().map(|q| (q.selectivity, qs.estimate(&q.rect))).collect();
+    ErrorStats::from_pairs(&pairs)
+}
+
+#[test]
+fn learns_gaussian_data() {
+    let table = quicksel::data::datasets::gaussian_table(2, 0.5, 20_000, 11);
+    let stats = errors_after(&table, 100, 1);
+    assert!(stats.mean_rel_pct < 20.0, "error {}%", stats.mean_rel_pct);
+}
+
+#[test]
+fn learns_dmv_like_data() {
+    let table = quicksel::data::datasets::dmv::dmv_table(30_000, 12);
+    let stats = errors_after(&table, 100, 2);
+    assert!(stats.mean_rel_pct < 35.0, "error {}%", stats.mean_rel_pct);
+}
+
+#[test]
+fn learns_instacart_like_data() {
+    let table = quicksel::data::datasets::instacart::instacart_table(30_000, 13);
+    let stats = errors_after(&table, 100, 3);
+    assert!(stats.mean_rel_pct < 25.0, "error {}%", stats.mean_rel_pct);
+}
+
+#[test]
+fn learning_curve_decreases() {
+    let table = quicksel::data::datasets::gaussian_table(2, 0.5, 20_000, 14);
+    let early = errors_after(&table, 10, 4);
+    let late = errors_after(&table, 200, 4);
+    assert!(
+        late.mean_rel_pct < early.mean_rel_pct,
+        "early {}% late {}%",
+        early.mean_rel_pct,
+        late.mean_rel_pct
+    );
+}
+
+#[test]
+fn beats_uniform_prior_substantially() {
+    let table = quicksel::data::datasets::gaussian_table(2, 0.7, 20_000, 15);
+    let mut workload = RectWorkload::new(
+        table.domain().clone(),
+        5,
+        ShiftMode::Random,
+        CenterMode::DataRow,
+    )
+    .with_width_frac(0.1, 0.4);
+    let mut qs = QuickSel::new(table.domain().clone());
+    for q in workload.take_queries(&table, 60) {
+        qs.observe(&q);
+    }
+    let test = workload.take_queries(&table, 100);
+    let b0 = table.domain().full_rect();
+    let learned: Vec<(f64, f64)> =
+        test.iter().map(|q| (q.selectivity, qs.estimate(&q.rect))).collect();
+    let prior: Vec<(f64, f64)> = test
+        .iter()
+        .map(|q| (q.selectivity, q.rect.volume() / b0.volume()))
+        .collect();
+    let learned_err = mean_rel_error_pct(&learned);
+    let prior_err = mean_rel_error_pct(&prior);
+    assert!(
+        learned_err < 0.33 * prior_err,
+        "learned {learned_err}% vs prior {prior_err}%"
+    );
+}
+
+#[test]
+fn estimates_bounded_for_arbitrary_probes() {
+    let table = quicksel::data::datasets::gaussian_table(3, 0.3, 5_000, 16);
+    let mut workload = RectWorkload::new(
+        table.domain().clone(),
+        6,
+        ShiftMode::Random,
+        CenterMode::Uniform,
+    );
+    let mut qs = QuickSel::new(table.domain().clone());
+    for q in workload.take_queries(&table, 40) {
+        qs.observe(&q);
+    }
+    for q in workload.take_queries(&table, 200) {
+        let e = qs.estimate(&q.rect);
+        assert!((0.0..=1.0).contains(&e), "estimate {e}");
+    }
+}
+
+#[test]
+fn disjunctive_predicates_via_dnf() {
+    // End-to-end: boolean tree → DNF → true selectivity from the table →
+    // feedback → per-rect estimates summed over the disjoint DNF terms.
+    use quicksel::geometry::BoolExpr;
+    let table = quicksel::data::datasets::gaussian_table(2, 0.0, 20_000, 17);
+    let d = table.domain().clone();
+    let mut workload =
+        RectWorkload::new(d.clone(), 7, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.15, 0.4);
+    let mut qs = QuickSel::new(d.clone());
+    for q in workload.take_queries(&table, 80) {
+        qs.observe(&q);
+    }
+    let left = Predicate::new().range(0, -2.0, -0.5);
+    let right = Predicate::new().range(0, 0.5, 2.0);
+    let expr = BoolExpr::pred(left).or(BoolExpr::pred(right));
+    let dnf = expr.to_dnf(&d);
+    let truth = table.selectivity_dnf(&dnf);
+    // DNF terms are disjoint, so estimates add.
+    let est: f64 = dnf.rects().iter().map(|r| qs.estimate(r)).sum();
+    assert!((est - truth).abs() < 0.12, "est {est} vs truth {truth}");
+}
