@@ -6,7 +6,7 @@
 //! than 20% of the rows changed since the last build — SQL Server's
 //! `AUTO_UPDATE_STATISTICS` heuristic.
 
-use quicksel_data::{SelectivityEstimator, Table};
+use quicksel_data::{Estimate, Learn, Table};
 use quicksel_geometry::{Domain, Interval, Rect};
 
 /// The AutoHist estimator.
@@ -100,17 +100,9 @@ impl AutoHist {
     }
 }
 
-impl SelectivityEstimator for AutoHist {
+impl Estimate for AutoHist {
     fn name(&self) -> &'static str {
         "AutoHist"
-    }
-
-    fn sync_data(&mut self, table: &Table, changed_rows: usize) {
-        self.changed_since_build += changed_rows;
-        let threshold = (self.rows_at_build as f64 * self.rebuild_fraction) as usize;
-        if self.cells.is_empty() || self.changed_since_build > threshold {
-            self.rebuild(table);
-        }
     }
 
     fn estimate(&self, rect: &Rect) -> f64 {
@@ -130,8 +122,8 @@ impl SelectivityEstimator for AutoHist {
                 return 0.0;
             }
             let w = b.length() / self.bins_per_dim as f64;
-            let lo = (((s.lo - b.lo) / w).floor()).clamp(0.0, (self.bins_per_dim - 1) as f64)
-                as usize;
+            let lo =
+                (((s.lo - b.lo) / w).floor()).clamp(0.0, (self.bins_per_dim - 1) as f64) as usize;
             let hi = (((s.hi - b.lo) / w).ceil()).clamp(1.0, self.bins_per_dim as f64) as usize;
             ranges.push((lo, hi));
         }
@@ -142,11 +134,11 @@ impl SelectivityEstimator for AutoHist {
             // Flatten index and compute fractional overlap of this cell.
             let mut flat = 0usize;
             let mut frac = 1.0f64;
-            for c in 0..d {
-                flat = flat * self.bins_per_dim + idx[c];
+            for (c, &ic) in idx.iter().enumerate().take(d) {
+                flat = flat * self.bins_per_dim + ic;
                 let b = self.domain.bounds(c);
                 let w = b.length() / self.bins_per_dim as f64;
-                let cell = Interval::new(b.lo + idx[c] as f64 * w, b.lo + (idx[c] + 1) as f64 * w);
+                let cell = Interval::new(b.lo + ic as f64 * w, b.lo + (ic + 1) as f64 * w);
                 frac *= cell.overlap_length(&rect.side(c)) / w;
             }
             if frac > 0.0 {
@@ -166,6 +158,16 @@ impl SelectivityEstimator for AutoHist {
 
     fn param_count(&self) -> usize {
         self.cells.len()
+    }
+}
+
+impl Learn for AutoHist {
+    fn sync_data(&mut self, table: &Table, changed_rows: usize) {
+        self.changed_since_build += changed_rows;
+        let threshold = (self.rows_at_build as f64 * self.rebuild_fraction) as usize;
+        if self.cells.is_empty() || self.changed_since_build > threshold {
+            self.rebuild(table);
+        }
     }
 }
 

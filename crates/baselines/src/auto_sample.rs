@@ -5,7 +5,7 @@
 //! the sample is redrawn whenever more than 10% of the table changed since
 //! the last draw.
 
-use quicksel_data::{SelectivityEstimator, Table};
+use quicksel_data::{Estimate, Learn, Table};
 use quicksel_geometry::{Domain, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -79,17 +79,9 @@ impl AutoSample {
     }
 }
 
-impl SelectivityEstimator for AutoSample {
+impl Estimate for AutoSample {
     fn name(&self) -> &'static str {
         "AutoSample"
-    }
-
-    fn sync_data(&mut self, table: &Table, changed_rows: usize) {
-        self.changed_since_build += changed_rows;
-        let threshold = (self.rows_at_build as f64 * self.refresh_fraction) as usize;
-        if self.sample.is_empty() || self.changed_since_build > threshold {
-            self.refresh(table);
-        }
     }
 
     fn estimate(&self, rect: &Rect) -> f64 {
@@ -104,6 +96,16 @@ impl SelectivityEstimator for AutoSample {
     fn param_count(&self) -> usize {
         // The paper's budget accounting: one parameter per sampled tuple.
         self.sample.len()
+    }
+}
+
+impl Learn for AutoSample {
+    fn sync_data(&mut self, table: &Table, changed_rows: usize) {
+        self.changed_since_build += changed_rows;
+        let threshold = (self.rows_at_build as f64 * self.refresh_fraction) as usize;
+        if self.sample.is_empty() || self.changed_since_build > threshold {
+            self.refresh(table);
+        }
     }
 }
 

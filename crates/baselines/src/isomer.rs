@@ -12,7 +12,7 @@
 //! paper's appendix.
 
 use crate::partition::Partition;
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_data::{Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome};
 use quicksel_geometry::{Domain, Rect};
 
 /// Tuning parameters for ISOMER.
@@ -47,6 +47,10 @@ pub struct Isomer {
     config: IsomerConfig,
     /// Sweeps used by the last training run (diagnostics).
     last_sweeps: usize,
+    /// Constraint count at the last retrain (refine idempotence).
+    trained_constraints: usize,
+    /// Monotonic training version (bumped by every retrain).
+    version: u64,
 }
 
 impl Isomer {
@@ -58,7 +62,15 @@ impl Isomer {
     /// Creates an ISOMER instance with an explicit configuration.
     pub fn with_config(domain: Domain, config: IsomerConfig) -> Self {
         let partition = Partition::with_max_buckets(&domain, config.max_buckets);
-        Self { domain, partition, constraints: Vec::new(), config, last_sweeps: 0 }
+        Self {
+            domain,
+            partition,
+            constraints: Vec::new(),
+            config,
+            last_sweeps: 0,
+            trained_constraints: 0,
+            version: 0,
+        }
     }
 
     /// The estimator's domain.
@@ -81,15 +93,18 @@ impl Isomer {
         &self.constraints
     }
 
+    /// Retrains and records the trained-constraint watermark + version.
+    fn run_retrain(&mut self) {
+        self.retrain();
+        self.trained_constraints = self.constraints.len();
+        self.version += 1;
+    }
+
     /// Runs iterative scaling to convergence (or the sweep budget).
     pub fn retrain(&mut self) {
-        let memberships: Vec<Vec<u32>> = self
-            .constraints
-            .iter()
-            .map(|c| self.partition.buckets_inside(&c.rect))
-            .collect();
-        let volumes: Vec<f64> =
-            self.partition.buckets().iter().map(|b| b.rect.volume()).collect();
+        let memberships: Vec<Vec<u32>> =
+            self.constraints.iter().map(|c| self.partition.buckets_inside(&c.rect)).collect();
+        let volumes: Vec<f64> = self.partition.buckets().iter().map(|b| b.rect.volume()).collect();
         let total_volume: f64 = volumes.iter().sum();
 
         // Seed from the uniform distribution (the max-entropy prior), or —
@@ -136,8 +151,7 @@ impl Isomer {
                     let vol_in: f64 = member.iter().map(|&j| volumes[j as usize]).sum();
                     if vol_in > 0.0 {
                         for &j in member {
-                            buckets[j as usize].freq =
-                                c.selectivity * volumes[j as usize] / vol_in;
+                            buckets[j as usize].freq = c.selectivity * volumes[j as usize] / vol_in;
                         }
                     }
                 }
@@ -150,17 +164,9 @@ impl Isomer {
     }
 }
 
-impl SelectivityEstimator for Isomer {
+impl Estimate for Isomer {
     fn name(&self) -> &'static str {
         "ISOMER"
-    }
-
-    fn observe(&mut self, query: &ObservedQuery) {
-        if self.partition.can_refine() {
-            self.partition.refine(&query.rect);
-        }
-        self.constraints.push(query.clone());
-        self.retrain();
     }
 
     fn estimate(&self, rect: &Rect) -> f64 {
@@ -169,6 +175,41 @@ impl SelectivityEstimator for Isomer {
 
     fn param_count(&self) -> usize {
         self.partition.len()
+    }
+}
+
+impl Learn for Isomer {
+    /// Refines the partition with every predicate in the batch, then runs
+    /// one iterative-scaling pass over all accumulated constraints —
+    /// batched ingestion amortizes the expensive retrain.
+    fn observe_batch(&mut self, batch: &[ObservedQuery]) {
+        if batch.is_empty() {
+            return;
+        }
+        for query in batch {
+            if self.partition.can_refine() {
+                self.partition.refine(&query.rect);
+            }
+            self.constraints.push(query.clone());
+        }
+        self.run_retrain();
+    }
+
+    fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
+        // Idempotent: observe_batch already retrained over these
+        // constraints, so a follow-up refine has nothing new to do.
+        if self.constraints.is_empty() || self.constraints.len() == self.trained_constraints {
+            return Ok(RefineOutcome::UpToDate);
+        }
+        self.run_retrain();
+        Ok(RefineOutcome::Retrained {
+            params: self.partition.len(),
+            constraints: self.constraints.len(),
+        })
+    }
+
+    fn training_version(&self) -> u64 {
+        self.version
     }
 }
 

@@ -15,7 +15,7 @@
 //! is therefore `O(n³ + n·#buckets)` instead of `O(#buckets³)`.
 
 use crate::partition::Partition;
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_data::{Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome};
 use quicksel_geometry::{Domain, Rect};
 use quicksel_linalg::{lu::solve_general, DMatrix};
 
@@ -24,6 +24,10 @@ pub struct IsomerQp {
     domain: Domain,
     partition: Partition,
     constraints: Vec<ObservedQuery>,
+    /// Constraint count at the last retrain (refine idempotence).
+    trained_constraints: usize,
+    /// Monotonic training version (bumped by every retrain).
+    version: u64,
     /// Penalty weight λ (QuickSel's default 10⁶).
     lambda: f64,
 }
@@ -37,12 +41,26 @@ impl IsomerQp {
     /// Creates an instance with explicit λ and bucket cap.
     pub fn with_params(domain: Domain, lambda: f64, max_buckets: usize) -> Self {
         let partition = Partition::with_max_buckets(&domain, max_buckets);
-        Self { domain, partition, constraints: Vec::new(), lambda }
+        Self {
+            domain,
+            partition,
+            constraints: Vec::new(),
+            trained_constraints: 0,
+            version: 0,
+            lambda,
+        }
     }
 
     /// Number of histogram buckets.
     pub fn bucket_count(&self) -> usize {
         self.partition.len()
+    }
+
+    /// Retrains and records the trained-constraint watermark + version.
+    fn run_retrain(&mut self) {
+        self.retrain();
+        self.trained_constraints = self.constraints.len();
+        self.version += 1;
     }
 
     /// Solves the penalized QP through the Woodbury closed form and writes
@@ -79,11 +97,8 @@ impl IsomerQp {
         // w_j = |G_j| · Σ_{i : G_j ⊆ B_i} u_i.
         // Accumulate per-bucket constraint sums: all buckets get u_0 (B0),
         // then each constraint adds u_i to its member buckets.
-        let memberships: Vec<Vec<u32>> = self
-            .constraints
-            .iter()
-            .map(|c| self.partition.buckets_inside(&c.rect))
-            .collect();
+        let memberships: Vec<Vec<u32>> =
+            self.constraints.iter().map(|c| self.partition.buckets_inside(&c.rect)).collect();
         let nb = self.partition.len();
         let mut acc = vec![u[0]; nb];
         for (ci, member) in memberships.iter().enumerate() {
@@ -99,17 +114,9 @@ impl IsomerQp {
     }
 }
 
-impl SelectivityEstimator for IsomerQp {
+impl Estimate for IsomerQp {
     fn name(&self) -> &'static str {
         "ISOMER+QP"
-    }
-
-    fn observe(&mut self, query: &ObservedQuery) {
-        if self.partition.can_refine() {
-            self.partition.refine(&query.rect);
-        }
-        self.constraints.push(query.clone());
-        self.retrain();
     }
 
     fn estimate(&self, rect: &Rect) -> f64 {
@@ -118,6 +125,40 @@ impl SelectivityEstimator for IsomerQp {
 
     fn param_count(&self) -> usize {
         self.partition.len()
+    }
+}
+
+impl Learn for IsomerQp {
+    /// Refines the partition with every predicate in the batch, then runs
+    /// one QP solve over all accumulated constraints.
+    fn observe_batch(&mut self, batch: &[ObservedQuery]) {
+        if batch.is_empty() {
+            return;
+        }
+        for query in batch {
+            if self.partition.can_refine() {
+                self.partition.refine(&query.rect);
+            }
+            self.constraints.push(query.clone());
+        }
+        self.run_retrain();
+    }
+
+    fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
+        // Idempotent: observe_batch already retrained over these
+        // constraints, so a follow-up refine has nothing new to do.
+        if self.constraints.is_empty() || self.constraints.len() == self.trained_constraints {
+            return Ok(RefineOutcome::UpToDate);
+        }
+        self.run_retrain();
+        Ok(RefineOutcome::Retrained {
+            params: self.partition.len(),
+            constraints: self.constraints.len(),
+        })
+    }
+
+    fn training_version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -161,10 +202,7 @@ mod tests {
     #[test]
     fn agrees_with_isomer_on_training_constraints() {
         use crate::isomer::Isomer;
-        let queries = [
-            oq([(0.0, 6.0), (0.0, 6.0)], 0.7),
-            oq([(4.0, 10.0), (2.0, 9.0)], 0.3),
-        ];
+        let queries = [oq([(0.0, 6.0), (0.0, 6.0)], 0.7), oq([(4.0, 10.0), (2.0, 9.0)], 0.3)];
         let mut a = IsomerQp::new(domain());
         let mut b = Isomer::new(domain());
         for q in &queries {

@@ -10,9 +10,11 @@
 //! | [`AutoHist`] | scan-based | equi-width d-dim histogram | rebuild at 20% data churn |
 //! | [`AutoSample`] | scan-based | uniform row sample | resample at 10% data churn |
 //!
-//! All of them implement
-//! [`SelectivityEstimator`](quicksel_data::SelectivityEstimator), so the
-//! experiment harness treats them interchangeably with QuickSel.
+//! All of them implement the [`Estimate`](quicksel_data::Estimate) /
+//! [`Learn`](quicksel_data::Learn) trait pair, so the experiment harness
+//! treats them interchangeably with QuickSel. The query-driven methods
+//! ingest feedback through `observe_batch`; ISOMER and ISOMER+QP exploit
+//! batching by retraining once per batch instead of once per query.
 
 pub mod auto_hist;
 pub mod auto_sample;

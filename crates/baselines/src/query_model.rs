@@ -8,7 +8,7 @@
 //! similarity measured by a Gaussian kernel over query feature vectors
 //! (per-dimension center ⊕ width, normalized by the domain).
 
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_data::{Estimate, Learn, ObservedQuery};
 use quicksel_geometry::{Domain, Rect};
 
 /// The QueryModel estimator.
@@ -18,6 +18,8 @@ pub struct QueryModel {
     memory: Vec<(Vec<f64>, f64)>,
     /// Kernel bandwidth in normalized feature space.
     bandwidth: f64,
+    /// Monotonic training version (bumped per ingested batch).
+    version: u64,
 }
 
 impl QueryModel {
@@ -29,7 +31,7 @@ impl QueryModel {
     /// Creates a QueryModel with an explicit kernel bandwidth.
     pub fn with_bandwidth(domain: Domain, bandwidth: f64) -> Self {
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        Self { domain, memory: Vec::new(), bandwidth }
+        Self { domain, memory: Vec::new(), bandwidth, version: 0 }
     }
 
     /// Number of stored observations.
@@ -56,14 +58,9 @@ impl QueryModel {
     }
 }
 
-impl SelectivityEstimator for QueryModel {
+impl Estimate for QueryModel {
     fn name(&self) -> &'static str {
         "QueryModel"
-    }
-
-    fn observe(&mut self, query: &ObservedQuery) {
-        let f = self.features(&query.rect);
-        self.memory.push((f, query.selectivity));
     }
 
     fn estimate(&self, rect: &Rect) -> f64 {
@@ -97,6 +94,23 @@ impl SelectivityEstimator for QueryModel {
     fn param_count(&self) -> usize {
         // Each stored query holds 2d features + 1 selectivity.
         self.memory.len() * (2 * self.domain.dim() + 1)
+    }
+}
+
+impl Learn for QueryModel {
+    fn observe_batch(&mut self, batch: &[ObservedQuery]) {
+        if batch.is_empty() {
+            return;
+        }
+        for query in batch {
+            let f = self.features(&query.rect);
+            self.memory.push((f, query.selectivity));
+        }
+        self.version += 1;
+    }
+
+    fn training_version(&self) -> u64 {
+        self.version
     }
 }
 

@@ -110,12 +110,27 @@ mod tests {
     #[test]
     fn insert_remove_reuses_slots() {
         let mut a = Arena::new();
-        let i0 = a.insert(Bucket { rect: boxed([(0.0, 1.0), (0.0, 1.0)]), freq: 1.0, children: vec![], parent: None });
-        let i1 = a.insert(Bucket { rect: boxed([(1.0, 2.0), (0.0, 1.0)]), freq: 0.5, children: vec![], parent: Some(i0) });
+        let i0 = a.insert(Bucket {
+            rect: boxed([(0.0, 1.0), (0.0, 1.0)]),
+            freq: 1.0,
+            children: vec![],
+            parent: None,
+        });
+        let i1 = a.insert(Bucket {
+            rect: boxed([(1.0, 2.0), (0.0, 1.0)]),
+            freq: 0.5,
+            children: vec![],
+            parent: Some(i0),
+        });
         assert_eq!(a.len(), 2);
         a.remove(i1);
         assert_eq!(a.len(), 1);
-        let i2 = a.insert(Bucket { rect: boxed([(2.0, 3.0), (0.0, 1.0)]), freq: 0.1, children: vec![], parent: None });
+        let i2 = a.insert(Bucket {
+            rect: boxed([(2.0, 3.0), (0.0, 1.0)]),
+            freq: 0.1,
+            children: vec![],
+            parent: None,
+        });
         assert_eq!(i2, i1, "slot recycled");
         assert_eq!(a.len(), 2);
     }
@@ -123,8 +138,18 @@ mod tests {
     #[test]
     fn region_volume_excludes_children() {
         let mut a = Arena::new();
-        let root = a.insert(Bucket { rect: boxed([(0.0, 4.0), (0.0, 4.0)]), freq: 1.0, children: vec![], parent: None });
-        let hole = a.insert(Bucket { rect: boxed([(1.0, 2.0), (1.0, 2.0)]), freq: 0.2, children: vec![], parent: Some(root) });
+        let root = a.insert(Bucket {
+            rect: boxed([(0.0, 4.0), (0.0, 4.0)]),
+            freq: 1.0,
+            children: vec![],
+            parent: None,
+        });
+        let hole = a.insert(Bucket {
+            rect: boxed([(1.0, 2.0), (1.0, 2.0)]),
+            freq: 0.2,
+            children: vec![],
+            parent: Some(root),
+        });
         a.get_mut(root).children.push(hole);
         assert!((a.region_volume(root) - 15.0).abs() < 1e-12);
         assert!((a.region_volume(hole) - 1.0).abs() < 1e-12);
@@ -133,8 +158,18 @@ mod tests {
     #[test]
     fn region_overlap_subtracts_children() {
         let mut a = Arena::new();
-        let root = a.insert(Bucket { rect: boxed([(0.0, 4.0), (0.0, 4.0)]), freq: 1.0, children: vec![], parent: None });
-        let hole = a.insert(Bucket { rect: boxed([(1.0, 2.0), (1.0, 2.0)]), freq: 0.2, children: vec![], parent: Some(root) });
+        let root = a.insert(Bucket {
+            rect: boxed([(0.0, 4.0), (0.0, 4.0)]),
+            freq: 1.0,
+            children: vec![],
+            parent: None,
+        });
+        let hole = a.insert(Bucket {
+            rect: boxed([(1.0, 2.0), (1.0, 2.0)]),
+            freq: 0.2,
+            children: vec![],
+            parent: Some(root),
+        });
         a.get_mut(root).children.push(hole);
         // Query covering the hole and some surrounding region.
         let q = boxed([(0.0, 2.0), (0.0, 2.0)]);
@@ -147,8 +182,18 @@ mod tests {
     #[test]
     fn iter_visits_only_live() {
         let mut a = Arena::new();
-        let i0 = a.insert(Bucket { rect: boxed([(0.0, 1.0), (0.0, 1.0)]), freq: 1.0, children: vec![], parent: None });
-        let i1 = a.insert(Bucket { rect: boxed([(1.0, 2.0), (0.0, 1.0)]), freq: 0.5, children: vec![], parent: None });
+        let i0 = a.insert(Bucket {
+            rect: boxed([(0.0, 1.0), (0.0, 1.0)]),
+            freq: 1.0,
+            children: vec![],
+            parent: None,
+        });
+        let i1 = a.insert(Bucket {
+            rect: boxed([(1.0, 2.0), (0.0, 1.0)]),
+            freq: 0.5,
+            children: vec![],
+            parent: None,
+        });
         a.remove(i0);
         let live: Vec<usize> = a.iter().map(|(i, _)| i).collect();
         assert_eq!(live, vec![i1]);

@@ -21,7 +21,7 @@
 pub mod bucket;
 
 use bucket::{Arena, Bucket};
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_data::{Estimate, Learn, ObservedQuery};
 use quicksel_geometry::{Domain, Rect};
 
 /// The STHoles estimator.
@@ -32,6 +32,8 @@ pub struct STHoles {
     /// Bucket budget maintained by merging (the original paper's fixed
     /// histogram size). Default 2000.
     max_buckets: usize,
+    /// Monotonic training version (bumped per ingested batch).
+    version: u64,
 }
 
 impl STHoles {
@@ -51,7 +53,7 @@ impl STHoles {
             children: Vec::new(),
             parent: None,
         });
-        Self { domain, arena, root, max_buckets }
+        Self { domain, arena, root, max_buckets, version: 0 }
     }
 
     /// The estimator's domain.
@@ -115,14 +117,14 @@ impl STHoles {
                     // Keep the low part [cs.lo, hs.lo).
                     if hs.lo > cs.lo && hs.lo < cs.hi {
                         let vol = c.volume() / cs.length() * (hs.lo - cs.lo);
-                        if best.map_or(true, |(bv, _, _)| vol > bv) {
+                        if best.is_none_or(|(bv, _, _)| vol > bv) {
                             best = Some((vol, d, true));
                         }
                     }
                     // Keep the high part [hs.hi, cs.hi).
                     if hs.hi < cs.hi && hs.hi > cs.lo {
                         let vol = c.volume() / cs.length() * (cs.hi - hs.hi);
-                        if best.map_or(true, |(bv, _, _)| vol > bv) {
+                        if best.is_none_or(|(bv, _, _)| vol > bv) {
                             best = Some((vol, d, false));
                         }
                     }
@@ -244,10 +246,8 @@ impl STHoles {
                 }
                 // Query region holds no mass yet: seed it proportionally to
                 // geometric overlap, taking the mass from outside.
-                let overlap_sum: f64 = entries
-                    .iter()
-                    .map(|&(i, _, _)| self.arena.region_overlap(i, query))
-                    .sum();
+                let overlap_sum: f64 =
+                    entries.iter().map(|&(i, _, _)| self.arena.region_overlap(i, query)).sum();
                 if overlap_sum <= 0.0 {
                     break;
                 }
@@ -290,7 +290,7 @@ impl STHoles {
                 let dens_c = b.freq / dv_c;
                 let dens_p = self.arena.get(p).freq / dv_p;
                 let penalty = (dens_c - dens_p).abs() * b.rect.volume();
-                if best.map_or(true, |(bp, _)| penalty < bp) {
+                if best.is_none_or(|(bp, _)| penalty < bp) {
                     best = Some((penalty, i));
                 }
             }
@@ -314,15 +314,9 @@ impl STHoles {
     }
 }
 
-impl SelectivityEstimator for STHoles {
+impl Estimate for STHoles {
     fn name(&self) -> &'static str {
         "STHoles"
-    }
-
-    fn observe(&mut self, query: &ObservedQuery) {
-        self.drill(&query.rect);
-        self.calibrate(&query.rect, query.selectivity);
-        self.merge_to_budget();
     }
 
     fn estimate(&self, rect: &Rect) -> f64 {
@@ -331,6 +325,27 @@ impl SelectivityEstimator for STHoles {
 
     fn param_count(&self) -> usize {
         self.arena.len()
+    }
+}
+
+impl Learn for STHoles {
+    /// STHoles trains incrementally: each observation drills holes,
+    /// calibrates frequencies, and merges back to budget. `refine` is
+    /// therefore the default no-op.
+    fn observe_batch(&mut self, batch: &[ObservedQuery]) {
+        if batch.is_empty() {
+            return;
+        }
+        for query in batch {
+            self.drill(&query.rect);
+            self.calibrate(&query.rect, query.selectivity);
+            self.merge_to_budget();
+        }
+        self.version += 1;
+    }
+
+    fn training_version(&self) -> u64 {
+        self.version
     }
 }
 

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use quicksel_baselines::partition::Partition;
 use quicksel_baselines::{Isomer, IsomerQp, QueryModel, STHoles};
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_data::{Estimate, Learn, ObservedQuery};
 use quicksel_geometry::{Domain, Rect};
 
 fn domain() -> Domain {

@@ -3,27 +3,22 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use quicksel_baselines::{AutoHist, AutoSample, Isomer, STHoles};
-use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
+use quicksel_core::{QuickSel, RefinePolicy};
 use quicksel_data::datasets::gaussian::gaussian_table;
 use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
-use quicksel_data::SelectivityEstimator;
+use quicksel_data::{Estimate, Learn};
 use quicksel_geometry::Rect;
 
 fn bench_estimate(c: &mut Criterion) {
     let table = gaussian_table(2, 0.5, 20_000, 999);
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        1000,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 1000, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let train = gen.take_queries(&table, 100);
     let probes: Vec<Rect> = gen.take_queries(&table, 64).into_iter().map(|q| q.rect).collect();
 
-    let mut cfg = QuickSelConfig::default();
-    cfg.refine_policy = RefinePolicy::Manual;
-    let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+    let mut qs =
+        QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
     let mut st = STHoles::new(table.domain().clone());
     let mut iso = Isomer::new(table.domain().clone());
     let mut ah = AutoHist::with_budget(table.domain().clone(), 400);
@@ -41,7 +36,7 @@ fn bench_estimate(c: &mut Criterion) {
     group.sample_size(30);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    let run = |b: &mut criterion::Bencher, est: &dyn SelectivityEstimator| {
+    let run = |b: &mut criterion::Bencher, est: &dyn Estimate| {
         b.iter(|| {
             let mut acc = 0.0;
             for p in &probes {

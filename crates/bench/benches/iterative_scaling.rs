@@ -7,17 +7,13 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Benchmark
 use quicksel_baselines::Isomer;
 use quicksel_data::datasets::gaussian::gaussian_table;
 use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_data::{Estimate, Learn, ObservedQuery};
 
 fn bench_ipf(c: &mut Criterion) {
     let table = gaussian_table(2, 0.5, 20_000, 1234);
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        1235,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 1235, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let queries: Vec<ObservedQuery> = gen.take_queries(&table, 80);
 
     let mut group = c.benchmark_group("iterative_scaling_observe");

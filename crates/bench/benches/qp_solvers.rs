@@ -11,13 +11,9 @@ use rand::SeedableRng;
 
 fn make_problem(n_queries: usize) -> QpProblem {
     let table = gaussian_table(2, 0.5, 20_000, 4242);
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        4243,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 4243, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let queries = gen.take_queries(&table, n_queries);
     let mut rng = rand::rngs::StdRng::seed_from_u64(4244);
     let mut pool = Vec::new();
@@ -37,7 +33,11 @@ fn bench_solvers(c: &mut Criterion) {
     for &n in &[25usize, 50, 100] {
         let qp = make_problem(n);
         group.bench_with_input(BenchmarkId::new("analytic", n), &qp, |b, qp| {
-            b.iter(|| black_box(solve_analytic(qp, 1e6, quicksel_linalg::qp::DEFAULT_RIDGE_REL).expect("solve")))
+            b.iter(|| {
+                black_box(
+                    solve_analytic(qp, 1e6, quicksel_linalg::qp::DEFAULT_RIDGE_REL).expect("solve"),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("admm_standard_qp", n), &qp, |b, qp| {
             b.iter(|| black_box(AdmmQp::default().solve(qp).expect("solve")))

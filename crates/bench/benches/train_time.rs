@@ -3,19 +3,15 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use quicksel_baselines::{Isomer, IsomerQp, QueryModel, STHoles};
-use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
+use quicksel_core::{QuickSel, RefinePolicy};
 use quicksel_data::datasets::gaussian::gaussian_table;
 use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
-use quicksel_data::{ObservedQuery, SelectivityEstimator, Table};
+use quicksel_data::{Estimate, Learn, ObservedQuery, Table};
 
 fn workload(table: &Table, n: usize) -> Vec<ObservedQuery> {
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        777,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 777, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     gen.take_queries(table, n)
 }
 
@@ -32,9 +28,8 @@ fn bench_refine(c: &mut Criterion) {
 
     // QuickSel: full §3.3 + §4 retrain on the 51st observation.
     group.bench_function("quicksel", |b| {
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::Manual;
-        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        let mut qs =
+            QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
         for q in warm {
             qs.observe(q);
         }

@@ -13,7 +13,7 @@ use quicksel_bench::{fmt_pct, Scale, TextTable};
 use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
 use quicksel_data::datasets::gaussian::gaussian_table;
 use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
-use quicksel_data::{ObservedQuery, SelectivityEstimator, Table};
+use quicksel_data::{Learn, ObservedQuery, Table};
 
 fn run(table: &Table, train: &[ObservedQuery], test: &[ObservedQuery], cfg: QuickSelConfig) -> f64 {
     let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
@@ -27,20 +27,12 @@ fn run(table: &Table, train: &[ObservedQuery], test: &[ObservedQuery], cfg: Quic
 fn main() {
     let scale = Scale::from_env();
     let table = gaussian_table(2, 0.5, scale.gaussian_rows(), 4040);
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        61,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 61, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let train = gen.take_queries(&table, 100);
     let test = gen.take_queries(&table, 100);
-    let base = || {
-        let mut c = QuickSelConfig::default();
-        c.refine_policy = RefinePolicy::Manual;
-        c
-    };
+    let base = || QuickSelConfig { refine_policy: RefinePolicy::Manual, ..Default::default() };
 
     println!("=== Ablation: QuickSel design choices (100 train / 100 test queries) ===\n");
 

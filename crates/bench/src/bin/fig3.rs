@@ -22,7 +22,7 @@ fn main() {
         ("Instacart", instacart_table(scale.instacart_rows(), 102)),
     ];
     let max_n = if scale.fast { 40 } else { 100 };
-    let step = if scale.fast { 10 } else { 10 };
+    let step = 10;
     let checkpoints: Vec<usize> = (step..=max_n).step_by(step).collect();
 
     for (name, table) in &datasets {
@@ -46,8 +46,10 @@ fn main() {
         }
 
         // (a)/(d): #queries vs per-query training time.
-        println!("--- Fig 3{}: #observed queries vs per-query train time ---",
-            if *name == "DMV" { "a" } else { "d" });
+        println!(
+            "--- Fig 3{}: #observed queries vs per-query train time ---",
+            if *name == "DMV" { "a" } else { "d" }
+        );
         let mut t = TextTable::new(
             std::iter::once("n".to_string())
                 .chain(results.iter().map(|(k, _)| k.label().to_string()))
@@ -56,9 +58,9 @@ fn main() {
         for (ci, &n) in checkpoints.iter().enumerate() {
             let mut row = vec![n.to_string()];
             for (_, cps) in &results {
-                row.push(cps.get(ci).map_or("-".into(), |c| {
-                    fmt_duration_ms(c.window_per_query_ms)
-                }));
+                row.push(
+                    cps.get(ci).map_or("-".into(), |c| fmt_duration_ms(c.window_per_query_ms)),
+                );
             }
             t.row(row);
         }
@@ -66,8 +68,10 @@ fn main() {
         println!();
 
         // (b)/(e): per-query time vs error.
-        println!("--- Fig 3{}: mean per-query time vs relative error ---",
-            if *name == "DMV" { "b" } else { "e" });
+        println!(
+            "--- Fig 3{}: mean per-query time vs relative error ---",
+            if *name == "DMV" { "b" } else { "e" }
+        );
         let mut t = TextTable::new(vec!["method", "mean ms/query", "rel error"]);
         for (kind, cps) in &results {
             if let Some(last) = cps.last() {
@@ -82,8 +86,10 @@ fn main() {
         println!();
 
         // (c)/(f): error target vs time required (ISOMER vs QuickSel).
-        println!("--- Fig 3{}: target error vs training time needed ---",
-            if *name == "DMV" { "c" } else { "f" });
+        println!(
+            "--- Fig 3{}: target error vs training time needed ---",
+            if *name == "DMV" { "c" } else { "f" }
+        );
         let mut t = TextTable::new(vec!["target err", "ISOMER", "QuickSel"]);
         let iso = &results.iter().find(|(k, _)| *k == MethodKind::Isomer).unwrap().1;
         let qs = &results.iter().find(|(k, _)| *k == MethodKind::QuickSel).unwrap().1;

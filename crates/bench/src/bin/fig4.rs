@@ -44,8 +44,10 @@ fn main() {
             results.push((kind, cps));
         }
 
-        println!("--- Fig 4{}: #observed queries vs #model parameters ---",
-            if *name == "DMV" { "a" } else { "c" });
+        println!(
+            "--- Fig 4{}: #observed queries vs #model parameters ---",
+            if *name == "DMV" { "a" } else { "c" }
+        );
         let mut t = TextTable::new(
             std::iter::once("n".to_string())
                 .chain(results.iter().map(|(k, _)| k.label().to_string()))
@@ -61,8 +63,10 @@ fn main() {
         t.print();
         println!();
 
-        println!("--- Fig 4{}: #model parameters vs relative error ---",
-            if *name == "DMV" { "b" } else { "d" });
+        println!(
+            "--- Fig 4{}: #model parameters vs relative error ---",
+            if *name == "DMV" { "b" } else { "d" }
+        );
         let mut t = TextTable::new(vec!["method", "params", "rel error"]);
         for (kind, cps) in &results {
             for c in cps.iter().filter(|c| c.n % 20 == 0 || c.n == checkpoints[0]) {
@@ -95,13 +99,9 @@ fn main() {
     // property of the bucket-splitting rule, not the optimizer.
     println!("=== §2.3 bucket growth: ISOMER bucket count vs observed queries ===");
     let table = instacart_table(scale.instacart_rows().min(50_000), 203);
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        29,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 29, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let growth_n = if scale.fast { 100 } else { 300 };
     let mut partition =
         quicksel_baselines::partition::Partition::with_max_buckets(table.domain(), 2_000_000);

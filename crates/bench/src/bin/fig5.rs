@@ -15,7 +15,7 @@ use quicksel_bench::methods::{make_estimator, MethodKind, MethodOptions};
 use quicksel_bench::{fmt_duration_ms, fmt_pct, Scale, TextTable};
 use quicksel_core::RefinePolicy;
 use quicksel_data::drift::{DriftEvent, GaussianDrift};
-use quicksel_data::{mean_rel_error_pct, ObservedQuery, SelectivityEstimator};
+use quicksel_data::{mean_rel_error_pct, Learn, ObservedQuery};
 use std::time::Instant;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
 
     let budget = 100;
     let kinds = [MethodKind::AutoHist, MethodKind::AutoSample, MethodKind::QuickSel];
-    let mut ests: Vec<Box<dyn SelectivityEstimator>> = kinds
+    let mut ests: Vec<Box<dyn Learn>> = kinds
         .iter()
         .map(|&k| {
             let opts = MethodOptions {
@@ -82,7 +82,7 @@ fn main() {
                     }
                 }
                 q_seen += 1;
-                if q_seen % 100 == 0 {
+                if q_seen.is_multiple_of(100) {
                     for (ei, pairs) in window_pairs.iter_mut().enumerate() {
                         windows[ei].push(mean_rel_error_pct(pairs));
                         pairs.clear();
@@ -124,11 +124,8 @@ fn main() {
     println!("--- Fig 5b: mean model-update time ---");
     let mut t = TextTable::new(vec!["method", "updates", "mean update time"]);
     for ((k, times), _) in kinds.iter().zip(&update_ms).zip(0..) {
-        let mean = if times.is_empty() {
-            0.0
-        } else {
-            times.iter().sum::<f64>() / times.len() as f64
-        };
+        let mean =
+            if times.is_empty() { 0.0 } else { times.iter().sum::<f64>() / times.len() as f64 };
         t.row(vec![k.label().to_string(), times.len().to_string(), fmt_duration_ms(mean)]);
     }
     t.print();

@@ -18,20 +18,15 @@ use std::time::Instant;
 fn main() {
     let scale = Scale::from_env();
     let table = gaussian_table(2, 0.5, scale.gaussian_rows(), 1860);
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        41,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 41, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
 
     // The paper sweeps 0..1000 observed queries with m = min(4n, 4000);
     // the dense kernels here are single-threaded, so the default grid stops
     // at m = 1600 — the separation between the two solvers is already
     // decisive there (and scaled runs only widen it).
-    let ns: &[usize] =
-        if scale.fast { &[25, 50, 100, 200] } else { &[25, 50, 100, 200, 300, 400] };
+    let ns: &[usize] = if scale.fast { &[25, 50, 100, 200] } else { &[25, 50, 100, 200, 300, 400] };
     let max_n = *ns.last().unwrap();
     let queries = gen.take_queries(&table, max_n);
 
@@ -56,7 +51,8 @@ fn main() {
         let qp = build_qp(table.domain(), &subpops, &queries[..n]);
 
         let t0 = Instant::now();
-        let w_a = solve_analytic(&qp, 1e6, quicksel_linalg::qp::DEFAULT_RIDGE_REL).expect("analytic solve");
+        let w_a = solve_analytic(&qp, 1e6, quicksel_linalg::qp::DEFAULT_RIDGE_REL)
+            .expect("analytic solve");
         let analytic_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();
@@ -79,5 +75,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\n(paper: the analytic form was 1.5x–17.2x faster, growing with n; 8.36x at 1000 queries)");
+    println!(
+        "\n(paper: the analytic form was 1.5x–17.2x faster, growing with n; 8.36x at 1000 queries)"
+    );
 }

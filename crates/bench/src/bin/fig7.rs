@@ -13,7 +13,7 @@ use quicksel_bench::{fmt_pct, Scale, TextTable};
 use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
 use quicksel_data::datasets::gaussian::gaussian_table;
 use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
-use quicksel_data::{mean_rel_error_pct, SelectivityEstimator};
+use quicksel_data::{mean_rel_error_pct, Estimate, Learn};
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,18 +29,14 @@ fn fig7a(scale: &Scale) {
     let mut t = TextTable::new(vec!["correlation", "rel error"]);
     for rho in [0.0, 0.2, 0.4, 0.6, 0.8, 0.99] {
         let table = gaussian_table(2, rho, scale.gaussian_rows(), 701);
-        let mut gen = RectWorkload::new(
-            table.domain().clone(),
-            51,
-            ShiftMode::Random,
-            CenterMode::DataRow,
-        )
-        .with_width_frac(0.1, 0.4);
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 51, ShiftMode::Random, CenterMode::DataRow)
+                .with_width_frac(0.1, 0.4);
         let train = gen.take_queries(&table, 100);
         let test = gen.take_queries(&table, 100);
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::EveryK(100);
-        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        let mut qs = QuickSel::builder(table.domain().clone())
+            .refine_policy(RefinePolicy::EveryK(100))
+            .build();
         for q in &train {
             qs.observe(q);
         }
@@ -70,10 +66,11 @@ fn fig7b(scale: &Scale) {
             .with_width_frac(0.15, 0.5)
             .with_center_box(quicksel_geometry::Rect::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]));
         let all = gen.take_queries(&table, total + 10);
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::EveryK(100);
-        cfg.max_subpops = 1600; // keep the single-threaded solve tractable
-        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+        // max_subpops capped to keep the single-threaded solve tractable.
+        let mut qs = QuickSel::builder(table.domain().clone())
+            .refine_policy(RefinePolicy::EveryK(100))
+            .max_subpops(1600)
+            .build();
         let mut points = Vec::new();
         for n in (100..=total).step_by(100) {
             for q in &all[n - 100..n] {
@@ -87,9 +84,7 @@ fn fig7b(scale: &Scale) {
         series.push((label, points));
     }
     let mut t = TextTable::new(
-        std::iter::once("n".to_string())
-            .chain(series.iter().map(|(l, _)| l.to_string()))
-            .collect(),
+        std::iter::once("n".to_string()).chain(series.iter().map(|(l, _)| l.to_string())).collect(),
     );
     for i in 0..series[0].1.len() {
         let mut row = vec![series[0].1[i].0.to_string()];
@@ -107,13 +102,9 @@ fn fig7c(scale: &Scale) {
     println!("=== Fig 7c — model parameter count vs error ===");
     let table = gaussian_table(2, 0.5, scale.gaussian_rows(), 703);
     let train_n = if scale.fast { 100 } else { 400 };
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        53,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 53, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let train = gen.take_queries(&table, train_n);
     let test = gen.take_queries(&table, 100);
     let mut t = TextTable::new(vec!["params (m)", "rel error"]);
@@ -141,13 +132,9 @@ fn fig7d(scale: &Scale) {
     let mut t = TextTable::new(vec!["dim", "AutoHist", "AutoSample", "QuickSel"]);
     for &d in dims {
         let table = gaussian_table(d, 0.5, scale.gaussian_rows(), 704 + d as u64);
-        let mut gen = RectWorkload::new(
-            table.domain().clone(),
-            54,
-            ShiftMode::Random,
-            CenterMode::DataRow,
-        )
-        .with_width_frac(0.2, 0.6);
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 54, ShiftMode::Random, CenterMode::DataRow)
+                .with_width_frac(0.2, 0.6);
         let train = gen.take_queries(&table, train_n);
         let test = gen.take_queries(&table, 100);
         let mut row = vec![d.to_string()];

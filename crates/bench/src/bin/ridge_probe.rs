@@ -7,12 +7,12 @@ use quicksel_core::train::build_qp;
 use quicksel_core::UniformMixtureModel;
 use quicksel_data::datasets::gaussian::gaussian_table;
 use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
-use quicksel_data::{mean_rel_error_pct, SelectivityEstimator};
+use quicksel_data::{mean_rel_error_pct, Estimate};
 use quicksel_linalg::solve_spd;
 use rand::SeedableRng;
 
 struct Model(UniformMixtureModel);
-impl SelectivityEstimator for Model {
+impl Estimate for Model {
     fn name(&self) -> &'static str {
         "probe"
     }
@@ -26,13 +26,9 @@ impl SelectivityEstimator for Model {
 
 fn main() {
     let table = gaussian_table(2, 0.5, 50_000, 703);
-    let mut gen = RectWorkload::new(
-        table.domain().clone(),
-        53,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut gen =
+        RectWorkload::new(table.domain().clone(), 53, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     for n in [50usize, 100, 200] {
         let train = gen.take_queries(&table, n);
         let test = gen.take_queries(&table, 100);

@@ -53,17 +53,19 @@ fn main() {
         "dataset", "method", "queries", "params", "rel err", "ms/query", "speedup",
     ]);
     let mut t3b = TextTable::new(vec![
-        "dataset", "method", "queries", "params", "abs err", "total train", "err reduction",
+        "dataset",
+        "method",
+        "queries",
+        "params",
+        "abs err",
+        "total train",
+        "err reduction",
     ]);
 
     for s in &setups {
-        let mut gen = RectWorkload::new(
-            s.table.domain().clone(),
-            31,
-            ShiftMode::Random,
-            CenterMode::DataRow,
-        )
-        .with_width_frac(0.1, 0.4);
+        let mut gen =
+            RectWorkload::new(s.table.domain().clone(), 31, ShiftMode::Random, CenterMode::DataRow)
+                .with_width_frac(0.1, 0.4);
         let train = gen.take_queries(&s.table, s.quicksel_queries);
         let test = gen.take_queries(&s.table, 100);
 
@@ -74,10 +76,7 @@ fn main() {
         let iso_run = run_query_driven(iso.as_mut(), &train[..s.isomer_queries], &test);
 
         // QuickSel on the full workload with batched refinement.
-        let opts = MethodOptions {
-            refine_policy: RefinePolicy::EveryK(100),
-            ..Default::default()
-        };
+        let opts = MethodOptions { refine_policy: RefinePolicy::EveryK(100), ..Default::default() };
         let mut qs = make_estimator(MethodKind::QuickSel, s.table.domain(), &opts);
         let qs_run = run_query_driven(qs.as_mut(), &train, &test);
 
@@ -104,10 +103,9 @@ fn main() {
         // Table 3b: ISOMER at the small workload vs QuickSel at full size.
         let opts = MethodOptions::default();
         let mut iso_small = make_estimator(MethodKind::Isomer, s.table.domain(), &opts);
-        let iso_small_run =
-            run_query_driven(iso_small.as_mut(), &train[..s.isomer_small], &test);
-        let reduction = (1.0 - qs_run.stats.mean_abs / iso_small_run.stats.mean_abs.max(1e-12))
-            * 100.0;
+        let iso_small_run = run_query_driven(iso_small.as_mut(), &train[..s.isomer_small], &test);
+        let reduction =
+            (1.0 - qs_run.stats.mean_abs / iso_small_run.stats.mean_abs.max(1e-12)) * 100.0;
         t3b.row(vec![
             s.name.to_string(),
             "ISOMER".into(),

@@ -1,6 +1,6 @@
 //! Evaluation drivers shared by the experiment binaries.
 
-use quicksel_data::{ErrorStats, ObservedQuery, SelectivityEstimator};
+use quicksel_data::{ErrorStats, Estimate, Learn, ObservedQuery};
 use std::time::Instant;
 
 /// Result of feeding a training workload and evaluating a test workload.
@@ -22,7 +22,7 @@ pub struct QueryDrivenRun {
 /// Feeds `train` into the estimator (timing each observation) and scores
 /// it on `test`.
 pub fn run_query_driven(
-    est: &mut dyn SelectivityEstimator,
+    est: &mut dyn Learn,
     train: &[ObservedQuery],
     test: &[ObservedQuery],
 ) -> QueryDrivenRun {
@@ -34,7 +34,7 @@ pub fn run_query_driven(
         per_observe_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
     let total_train_ms = t_total.elapsed().as_secs_f64() * 1e3;
-    let stats = evaluate(est, test);
+    let stats = evaluate(&*est, test);
     QueryDrivenRun {
         mean_per_query_ms: if train.is_empty() { 0.0 } else { total_train_ms / train.len() as f64 },
         per_observe_ms,
@@ -44,10 +44,13 @@ pub fn run_query_driven(
     }
 }
 
-/// Scores an estimator on a test workload.
-pub fn evaluate(est: &dyn SelectivityEstimator, test: &[ObservedQuery]) -> ErrorStats {
+/// Scores an estimator on a test workload through one `estimate_many`
+/// batch (exercising the same read path a serving snapshot uses).
+pub fn evaluate(est: &dyn Estimate, test: &[ObservedQuery]) -> ErrorStats {
+    let rects: Vec<_> = test.iter().map(|q| q.rect.clone()).collect();
+    let estimates = est.estimate_many(&rects);
     let pairs: Vec<(f64, f64)> =
-        test.iter().map(|q| (q.selectivity, est.estimate(&q.rect))).collect();
+        test.iter().zip(&estimates).map(|(q, &e)| (q.selectivity, e)).collect();
     ErrorStats::from_pairs(&pairs)
 }
 
@@ -69,7 +72,7 @@ pub struct StreamCheckpoint {
 /// Streams `train` into the estimator and snapshots error/params/time at
 /// each of the (ascending) `checkpoints`.
 pub fn stream_with_checkpoints(
-    est: &mut dyn SelectivityEstimator,
+    est: &mut dyn Learn,
     train: &[ObservedQuery],
     test: &[ObservedQuery],
     checkpoints: &[usize],
@@ -94,7 +97,7 @@ pub fn stream_with_checkpoints(
                 n: i + 1,
                 window_per_query_ms: window / window_len.max(1) as f64,
                 cumulative_ms: cumulative,
-                stats: evaluate(est, test),
+                stats: evaluate(&*est, test),
                 params: est.param_count(),
             });
             window = 0.0;
@@ -114,21 +117,20 @@ mod tests {
     struct Memorizer {
         seen: Vec<ObservedQuery>,
     }
-    impl SelectivityEstimator for Memorizer {
+    impl Estimate for Memorizer {
         fn name(&self) -> &'static str {
             "memorizer"
         }
-        fn observe(&mut self, q: &ObservedQuery) {
-            self.seen.push(q.clone());
-        }
         fn estimate(&self, rect: &Rect) -> f64 {
-            self.seen
-                .iter()
-                .find(|q| &q.rect == rect)
-                .map_or(0.5, |q| q.selectivity)
+            self.seen.iter().find(|q| &q.rect == rect).map_or(0.5, |q| q.selectivity)
         }
         fn param_count(&self) -> usize {
             self.seen.len()
+        }
+    }
+    impl Learn for Memorizer {
+        fn observe_batch(&mut self, batch: &[ObservedQuery]) {
+            self.seen.extend_from_slice(batch);
         }
     }
 
@@ -138,7 +140,7 @@ mod tests {
         let q1 = ObservedQuery::new(Rect::from_bounds(&[(0.0, 0.5)]), 0.3);
         let q2 = ObservedQuery::new(Rect::from_bounds(&[(0.5, 1.0)]), 0.7);
         let mut m = Memorizer { seen: vec![] };
-        let run = run_query_driven(&mut m, &[q1.clone()], &[q1.clone(), q2.clone()]);
+        let run = run_query_driven(&mut m, std::slice::from_ref(&q1), &[q1.clone(), q2.clone()]);
         assert_eq!(run.per_observe_ms.len(), 1);
         assert_eq!(run.final_params, 1);
         // Perfect on q1 (memorized), 20pp absolute error on q2 (prior 0.5).

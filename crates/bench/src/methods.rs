@@ -1,9 +1,9 @@
 //! Factory for the estimators compared in §5.1.
 
-use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
 use quicksel_baselines::isomer::IsomerConfig;
+use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
 use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy, TrainingMethod};
-use quicksel_data::SelectivityEstimator;
+use quicksel_data::Learn;
 use quicksel_geometry::Domain;
 
 /// The methods of the paper's evaluation.
@@ -83,17 +83,17 @@ impl Default for MethodOptions {
     }
 }
 
-/// Builds a ready-to-run estimator.
-pub fn make_estimator(
-    kind: MethodKind,
-    domain: &Domain,
-    opts: &MethodOptions,
-) -> Box<dyn SelectivityEstimator> {
+/// Builds a ready-to-run estimator. The returned trait object learns
+/// through [`Learn`] and estimates through its
+/// [`Estimate`](quicksel_data::Estimate) supertrait.
+pub fn make_estimator(kind: MethodKind, domain: &Domain, opts: &MethodOptions) -> Box<dyn Learn> {
     match kind {
         MethodKind::QuickSel | MethodKind::QuickSelStdQp => {
-            let mut cfg = QuickSelConfig::default();
-            cfg.seed = opts.seed;
-            cfg.refine_policy = opts.refine_policy;
+            let mut cfg = QuickSelConfig {
+                seed: opts.seed,
+                refine_policy: opts.refine_policy,
+                ..Default::default()
+            };
             if kind == MethodKind::QuickSelStdQp {
                 cfg.training = TrainingMethod::StandardQp;
             }

@@ -76,10 +76,7 @@ impl Default for QuickSelConfig {
 impl QuickSelConfig {
     /// The paper's `m = min(4·n, 4000)` given `n` observed queries.
     pub fn target_subpops(&self, observed: usize) -> usize {
-        self.subpops_per_query
-            .saturating_mul(observed)
-            .min(self.max_subpops)
-            .max(1)
+        self.subpops_per_query.saturating_mul(observed).min(self.max_subpops).max(1)
     }
 
     /// Overrides the subpopulation budget to a fixed `m` (the §5.6 "model

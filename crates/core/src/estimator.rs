@@ -1,34 +1,49 @@
 //! The [`QuickSel`] estimator: observation buffer + refine loop.
 
-use crate::config::{QuickSelConfig, RefinePolicy};
+use crate::config::{QuickSelConfig, RefinePolicy, TrainingMethod};
 use crate::model::UniformMixtureModel;
+use crate::snapshot::ModelSnapshot;
 use crate::subpop::{build_subpopulations, workload_points};
 use crate::train::{train, TrainReport};
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_data::{
+    Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource,
+};
 use quicksel_geometry::{Domain, Predicate, Rect};
-use quicksel_linalg::LinalgError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Query-driven selectivity learner backed by a uniform mixture model.
 ///
 /// Feed it `(predicate, actual selectivity)` pairs with
-/// [`observe`](SelectivityEstimator::observe); depending on the configured
-/// [`RefinePolicy`] it retrains immediately, every `k` observations, or on
-/// explicit [`refine`](QuickSel::refine) calls. Estimates come from the
-/// last trained model; before any training, the estimator falls back to
-/// the uniform prior `|B ∩ B0| / |B0|`.
+/// [`observe_batch`](Learn::observe_batch) (or the single-query
+/// [`observe`](Learn::observe) convenience); depending on the configured
+/// [`RefinePolicy`] it retrains after each batch, once `k` observations
+/// accumulate, or only on explicit [`refine`](QuickSel::refine) calls.
+/// Estimates come from the last trained model; before any training, the
+/// estimator falls back to the uniform prior `|B ∩ B0| / |B0|`.
+///
+/// Training is fallible: explicit `refine` calls return the typed
+/// [`EstimatorError`], and failures of *automatic* refines inside
+/// `observe_batch` keep the previous model and are recorded in
+/// [`last_error`](QuickSel::last_error) instead of being discarded.
+///
+/// For concurrent serving, [`snapshot`](QuickSel::snapshot) freezes the
+/// current model into a cheap, immutable [`ModelSnapshot`] that answers
+/// [`Estimate`] queries from any number of threads.
 pub struct QuickSel {
-    domain: Domain,
+    domain: Arc<Domain>,
     config: QuickSelConfig,
     queries: Vec<ObservedQuery>,
     /// Workload-aware points, `points_per_query` per observation (§3.3
     /// step 1); generated once at observe time so refines are stable.
     point_pool: Vec<Vec<f64>>,
-    model: Option<UniformMixtureModel>,
+    model: Option<Arc<UniformMixtureModel>>,
     rng: StdRng,
     pending_since_refine: usize,
     last_report: Option<TrainReport>,
+    last_error: Option<EstimatorError>,
+    version: u64,
 }
 
 impl QuickSel {
@@ -41,7 +56,7 @@ impl QuickSel {
     pub fn with_config(domain: Domain, config: QuickSelConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
-            domain,
+            domain: Arc::new(domain),
             config,
             queries: Vec::new(),
             point_pool: Vec::new(),
@@ -49,7 +64,27 @@ impl QuickSel {
             rng,
             pending_since_refine: 0,
             last_report: None,
+            last_error: None,
+            version: 0,
         }
+    }
+
+    /// Starts a fluent configuration, e.g.
+    ///
+    /// ```
+    /// use quicksel_core::{QuickSel, RefinePolicy};
+    /// use quicksel_geometry::Domain;
+    ///
+    /// let domain = Domain::of_reals(&[("x", 0.0, 1.0)]);
+    /// let qs = QuickSel::builder(domain)
+    ///     .refine_policy(RefinePolicy::EveryK(100))
+    ///     .lambda(1e6)
+    ///     .seed(7)
+    ///     .build();
+    /// assert_eq!(qs.config().seed, 7);
+    /// ```
+    pub fn builder(domain: Domain) -> QuickSelBuilder {
+        QuickSelBuilder { domain, config: QuickSelConfig::default() }
     }
 
     /// The estimator's domain.
@@ -72,6 +107,11 @@ impl QuickSel {
         &self.queries
     }
 
+    /// Observations ingested since the last successful refine.
+    pub fn pending_feedback(&self) -> usize {
+        self.pending_since_refine
+    }
+
     /// Diagnostics from the most recent training run.
     pub fn last_report(&self) -> Option<&TrainReport> {
         self.last_report.as_ref()
@@ -79,17 +119,48 @@ impl QuickSel {
 
     /// The current model, if trained.
     pub fn model(&self) -> Option<&UniformMixtureModel> {
-        self.model.as_ref()
+        self.model.as_deref()
+    }
+
+    /// Training version: 0 before the first successful refine, then
+    /// incremented by each retrain.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The most recent training failure from an automatic refine inside
+    /// `observe_batch` (or an explicit [`refine`](Self::refine) call).
+    /// Cleared by the next successful refine.
+    pub fn last_error(&self) -> Option<&EstimatorError> {
+        self.last_error.as_ref()
+    }
+
+    /// Freezes the current model into an immutable, cheaply-cloneable
+    /// snapshot for lock-free concurrent estimation.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::new(
+            Arc::clone(&self.domain),
+            self.model.clone(),
+            self.version,
+            self.queries.len(),
+        )
     }
 
     /// Retrains the mixture model on everything observed so far.
     ///
     /// Runs the full §3.3 + §4 pipeline: sample `m = min(4n, 4000)`
     /// centers from the workload point pool, size their supports, assemble
-    /// the QP, solve. A no-op when nothing has been observed.
-    pub fn refine(&mut self) -> Result<(), LinalgError> {
+    /// the QP, solve. Returns [`RefineOutcome::UpToDate`] when there is
+    /// nothing new to learn, [`RefineOutcome::KeptPrior`] when all
+    /// observed predicates were degenerate, and a typed
+    /// [`EstimatorError`] when the solver fails (the previous model is
+    /// kept in that case).
+    pub fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
         if self.queries.is_empty() {
-            return Ok(());
+            return Ok(RefineOutcome::UpToDate);
+        }
+        if self.pending_since_refine == 0 && self.model.is_some() {
+            return Ok(RefineOutcome::UpToDate);
         }
         let m = self.config.target_subpops(self.queries.len());
         let subpops = build_subpopulations(
@@ -101,68 +172,203 @@ impl QuickSel {
             &mut self.rng,
         );
         if subpops.is_empty() {
-            // All observed predicates were degenerate; keep the prior.
-            return Ok(());
+            // All observed predicates were degenerate; keep the prior (and
+            // leave the feedback pending so later refines retry).
+            return Ok(RefineOutcome::KeptPrior);
         }
-        let (model, report) = train(
+        match train(
             &self.domain,
             subpops,
             &self.queries,
             self.config.training,
             self.config.lambda,
             self.config.ridge_rel,
-        )?;
-        self.model = Some(model);
-        self.last_report = Some(report);
-        self.pending_since_refine = 0;
-        Ok(())
+        ) {
+            Ok((model, report)) => {
+                let outcome = RefineOutcome::Retrained {
+                    params: model.len(),
+                    constraints: report.num_constraints,
+                };
+                self.model = Some(Arc::new(model));
+                self.last_report = Some(report);
+                self.pending_since_refine = 0;
+                self.last_error = None;
+                self.version += 1;
+                Ok(outcome)
+            }
+            Err(e) => {
+                let err = EstimatorError::from(e);
+                self.last_error = Some(err.clone());
+                Err(err)
+            }
+        }
     }
 
     /// Convenience: estimate a conjunctive [`Predicate`].
     pub fn estimate_pred(&self, pred: &Predicate) -> f64 {
         self.estimate(&pred.to_rect(&self.domain))
     }
-
-    /// The uniform-prior estimate used before the first training run.
-    fn prior(&self, rect: &Rect) -> f64 {
-        let b0 = self.domain.full_rect();
-        (rect.intersection_volume(&b0) / b0.volume()).clamp(0.0, 1.0)
-    }
 }
 
-impl SelectivityEstimator for QuickSel {
+impl Estimate for QuickSel {
     fn name(&self) -> &'static str {
         "QuickSel"
     }
 
-    fn observe(&mut self, query: &ObservedQuery) {
-        let pts = workload_points(&query.rect, self.config.points_per_query, &mut self.rng);
-        self.point_pool.extend(pts);
-        self.queries.push(query.clone());
-        self.pending_since_refine += 1;
-        let retrain = match self.config.refine_policy {
-            RefinePolicy::EveryQuery => true,
-            RefinePolicy::EveryK(k) => self.pending_since_refine >= k.max(1),
-            RefinePolicy::Manual => false,
-        };
-        if retrain {
-            // Training failures (pathological degenerate workloads) keep
-            // the previous model rather than panicking the host DBMS.
-            let _ = self.refine();
-        }
-    }
-
     fn estimate(&self, rect: &Rect) -> f64 {
-        match &self.model {
-            Some(m) => m.estimate(rect),
-            None => self.prior(rect),
-        }
+        // Same read path as ModelSnapshot: trained model or the uniform
+        // prior before the first successful refine.
+        crate::snapshot::estimate_model_or_prior(&self.domain, self.model.as_deref(), rect)
     }
 
     fn param_count(&self) -> usize {
         // The learned parameters are the subpopulation weights (m of them,
         // = min(4n, 4000) under the default policy) — Figure 4's y-axis.
-        self.model.as_ref().map_or(0, UniformMixtureModel::len)
+        self.model.as_ref().map_or(0, |m| m.len())
+    }
+}
+
+impl Learn for QuickSel {
+    fn observe_batch(&mut self, batch: &[ObservedQuery]) {
+        let mut ingested = 0usize;
+        let mut rejected = None;
+        for (index, query) in batch.iter().enumerate() {
+            // Invalid feedback (NaN / out-of-range selectivity) must not
+            // reach the QP right-hand side; skip it and record the
+            // rejection instead of training on garbage.
+            if !query.is_valid() {
+                rejected =
+                    Some(EstimatorError::InvalidFeedback { index, selectivity: query.selectivity });
+                continue;
+            }
+            let pts = workload_points(&query.rect, self.config.points_per_query, &mut self.rng);
+            self.point_pool.extend(pts);
+            self.queries.push(query.clone());
+            ingested += 1;
+        }
+        self.pending_since_refine += ingested;
+        let retrain = match self.config.refine_policy {
+            RefinePolicy::EveryQuery => ingested > 0,
+            RefinePolicy::EveryK(k) => self.pending_since_refine >= k.max(1),
+            RefinePolicy::Manual => false,
+        };
+        if retrain && self.refine().is_err() {
+            // Training failures (pathological degenerate workloads) keep
+            // the previous model rather than panicking the host DBMS; the
+            // failure is retrievable through `last_error`.
+        }
+        // Recorded after any auto-refine so a successful retrain of the
+        // valid remainder doesn't erase the rejection signal.
+        if let Some(e) = rejected {
+            self.last_error = Some(e);
+        }
+    }
+
+    fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
+        QuickSel::refine(self)
+    }
+
+    fn last_error(&self) -> Option<&EstimatorError> {
+        QuickSel::last_error(self)
+    }
+
+    fn training_version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl SnapshotSource for QuickSel {
+    fn snapshot_shared(&self) -> Arc<dyn Estimate + Send + Sync> {
+        Arc::new(self.snapshot())
+    }
+}
+
+/// Fluent configuration for [`QuickSel`]; created by
+/// [`QuickSel::builder`]. Unset knobs keep the paper defaults.
+#[derive(Debug, Clone)]
+pub struct QuickSelBuilder {
+    domain: Domain,
+    config: QuickSelConfig,
+}
+
+impl QuickSelBuilder {
+    /// Penalty weight λ of Problem 3 (paper: `10⁶`).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.config.lambda = lambda;
+        self
+    }
+
+    /// Relative Tikhonov ridge on the analytic solve (0 = the paper's
+    /// unregularized closed form).
+    pub fn ridge_rel(mut self, ridge_rel: f64) -> Self {
+        self.config.ridge_rel = ridge_rel;
+        self
+    }
+
+    /// Random points generated inside each observed predicate (paper: 10).
+    pub fn points_per_query(mut self, points: usize) -> Self {
+        self.config.points_per_query = points;
+        self
+    }
+
+    /// Subpopulations per observed query before the cap (paper: 4).
+    pub fn subpops_per_query(mut self, subpops: usize) -> Self {
+        self.config.subpops_per_query = subpops;
+        self
+    }
+
+    /// Hard cap on the number of subpopulations (paper: 4000).
+    pub fn max_subpops(mut self, max: usize) -> Self {
+        self.config.max_subpops = max;
+        self
+    }
+
+    /// Neighbours averaged when sizing a subpopulation (paper: 10).
+    pub fn size_neighbors(mut self, k: usize) -> Self {
+        self.config.size_neighbors = k;
+        self
+    }
+
+    /// Multiplier on the neighbour distance when sizing supports.
+    pub fn overlap_factor(mut self, factor: f64) -> Self {
+        self.config.overlap_factor = factor;
+        self
+    }
+
+    /// Retraining cadence.
+    pub fn refine_policy(mut self, policy: RefinePolicy) -> Self {
+        self.config.refine_policy = policy;
+        self
+    }
+
+    /// Weight optimizer (analytic penalty vs. iterative standard QP).
+    pub fn training(mut self, method: TrainingMethod) -> Self {
+        self.config.training = method;
+        self
+    }
+
+    /// RNG seed for point generation and sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Pins the subpopulation budget to a fixed `m` instead of the `4·n`
+    /// default (the §5.6 parameter-count study).
+    pub fn fixed_subpops(mut self, m: usize) -> Self {
+        self.config = self.config.with_fixed_subpops(m);
+        self
+    }
+
+    /// Replaces the accumulated configuration wholesale.
+    pub fn config(mut self, config: QuickSelConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the estimator.
+    pub fn build(self) -> QuickSel {
+        QuickSel::with_config(self.domain, self.config)
     }
 }
 
@@ -184,6 +390,7 @@ mod tests {
         let q = Rect::from_bounds(&[(0.0, 5.0), (0.0, 10.0)]);
         assert!((qs.estimate(&q) - 0.5).abs() < 1e-12);
         assert_eq!(qs.param_count(), 0);
+        assert_eq!(qs.version(), 0);
     }
 
     #[test]
@@ -193,34 +400,77 @@ mod tests {
         qs.observe(&q);
         assert_eq!(qs.observed_count(), 1);
         assert!(qs.model().is_some());
+        assert!(qs.last_error().is_none());
+        assert_eq!(qs.version(), 1);
         assert_eq!(qs.param_count(), 4); // min(4·1, 4000)
-        // The training constraint is reproduced.
+                                         // The training constraint is reproduced.
         assert!((qs.estimate(&q.rect) - 0.9).abs() < 0.05);
     }
 
     #[test]
     fn manual_policy_defers_training() {
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::Manual;
-        let mut qs = QuickSel::with_config(domain(), cfg);
+        let mut qs = QuickSel::builder(domain()).refine_policy(RefinePolicy::Manual).build();
         let q = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9);
         qs.observe(&q);
         assert!(qs.model().is_none());
-        qs.refine().unwrap();
+        assert_eq!(qs.pending_feedback(), 1);
+        let outcome = qs.refine().unwrap();
+        assert!(outcome.retrained());
         assert!(qs.model().is_some());
+        assert_eq!(qs.pending_feedback(), 0);
+        // A second refine with no new feedback is a no-op.
+        assert_eq!(qs.refine().unwrap(), RefineOutcome::UpToDate);
+        assert_eq!(qs.version(), 1);
     }
 
     #[test]
     fn every_k_policy_batches() {
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::EveryK(3);
-        let mut qs = QuickSel::with_config(domain(), cfg);
+        let mut qs = QuickSel::builder(domain()).refine_policy(RefinePolicy::EveryK(3)).build();
         let q = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9);
         qs.observe(&q);
         qs.observe(&q);
         assert!(qs.model().is_none());
         qs.observe(&q);
         assert!(qs.model().is_some());
+    }
+
+    #[test]
+    fn observe_batch_triggers_policy_once_per_batch() {
+        let mut qs = QuickSel::builder(domain()).refine_policy(RefinePolicy::EveryK(3)).build();
+        let q = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9);
+        // A batch crossing the threshold retrains exactly once.
+        qs.observe_batch(&[q.clone(), q.clone(), q.clone(), q.clone()]);
+        assert_eq!(qs.version(), 1);
+        assert_eq!(qs.observed_count(), 4);
+        assert_eq!(qs.param_count(), 16);
+    }
+
+    #[test]
+    fn batch_matches_sequential_observes_under_manual_policy() {
+        let table = gaussian_table(2, 0.4, 5_000, 91);
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 19, ShiftMode::Random, CenterMode::DataRow)
+                .with_width_frac(0.15, 0.45);
+        let train = gen.take_queries(&table, 30);
+        let probes = gen.take_queries(&table, 20);
+
+        let mut one_by_one =
+            QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
+        for q in &train {
+            one_by_one.observe(q);
+        }
+        one_by_one.refine().unwrap();
+
+        let mut batched =
+            QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
+        batched.observe_batch(&train);
+        batched.refine().unwrap();
+
+        // Identical feedback stream + identical RNG consumption ⇒
+        // identical models, bit for bit.
+        for p in &probes {
+            assert_eq!(one_by_one.estimate(&p.rect), batched.estimate(&p.rect));
+        }
     }
 
     #[test]
@@ -230,18 +480,75 @@ mod tests {
         qs.observe(&degenerate);
         // No points could be generated, so we remain on the prior.
         assert!(qs.model().is_none());
+        assert!(qs.last_error().is_none(), "degenerate feedback is not an error");
+        assert_eq!(qs.refine().unwrap(), RefineOutcome::KeptPrior);
         let q = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
         assert_eq!(qs.estimate(&q), 1.0);
     }
 
+    #[test]
+    fn snapshot_is_frozen_while_source_trains_on() {
+        let mut qs = QuickSel::new(domain());
+        let q1 = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9);
+        qs.observe(&q1);
+        let snap = qs.snapshot();
+        assert_eq!(snap.version(), 1);
+        let frozen = snap.estimate(&q1.rect);
+
+        // Contradictory later feedback moves the live estimator…
+        let q2 = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.1);
+        for _ in 0..5 {
+            qs.observe(&q2);
+        }
+        assert!(qs.version() > 1);
+        assert!((qs.estimate(&q1.rect) - frozen).abs() > 0.2);
+        // …but the snapshot still answers from its frozen model.
+        assert_eq!(snap.estimate(&q1.rect), frozen);
+        assert_eq!(snap.version(), 1);
+    }
+
+    #[test]
+    fn snapshot_source_returns_shared_estimate() {
+        let mut qs = QuickSel::new(domain());
+        qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9));
+        let shared = qs.snapshot_shared();
+        assert_eq!(shared.name(), "QuickSel");
+        assert_eq!(shared.param_count(), 4);
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let qs = QuickSel::builder(domain())
+            .lambda(1e5)
+            .ridge_rel(1e-7)
+            .points_per_query(5)
+            .subpops_per_query(2)
+            .max_subpops(100)
+            .size_neighbors(4)
+            .overlap_factor(1.5)
+            .refine_policy(RefinePolicy::EveryK(10))
+            .training(TrainingMethod::StandardQp)
+            .seed(99)
+            .build();
+        let c = qs.config();
+        assert_eq!(c.lambda, 1e5);
+        assert_eq!(c.ridge_rel, 1e-7);
+        assert_eq!(c.points_per_query, 5);
+        assert_eq!(c.subpops_per_query, 2);
+        assert_eq!(c.max_subpops, 100);
+        assert_eq!(c.size_neighbors, 4);
+        assert_eq!(c.overlap_factor, 1.5);
+        assert_eq!(c.refine_policy, RefinePolicy::EveryK(10));
+        assert_eq!(c.training, TrainingMethod::StandardQp);
+        assert_eq!(c.seed, 99);
+        let pinned = QuickSel::builder(domain()).fixed_subpops(64).build();
+        assert_eq!(pinned.config().target_subpops(1_000_000), 64);
+    }
+
     fn learning_run(table: &Table, train_n: usize, cfg: QuickSelConfig) -> f64 {
-        let mut gen = RectWorkload::new(
-            table.domain().clone(),
-            7,
-            ShiftMode::Random,
-            CenterMode::DataRow,
-        )
-        .with_width_frac(0.15, 0.45);
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 7, ShiftMode::Random, CenterMode::DataRow)
+                .with_width_frac(0.15, 0.45);
         let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
         for q in gen.take_queries(table, train_n) {
             qs.observe(&q);
@@ -255,19 +562,12 @@ mod tests {
     #[test]
     fn learns_gaussian_distribution() {
         let table = gaussian_table(2, 0.4, 20_000, 31);
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::Manual;
-        let mut gen = RectWorkload::new(
-            table.domain().clone(),
-            7,
-            ShiftMode::Random,
-            CenterMode::DataRow,
-        )
-        .with_width_frac(0.15, 0.45);
-        let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
-        for q in gen.take_queries(&table, 100) {
-            qs.observe(&q);
-        }
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 7, ShiftMode::Random, CenterMode::DataRow)
+                .with_width_frac(0.15, 0.45);
+        let mut qs =
+            QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
+        qs.observe_batch(&gen.take_queries(&table, 100));
         qs.refine().unwrap();
         let test = gen.take_queries(&table, 50);
         let pairs: Vec<(f64, f64)> =
@@ -291,8 +591,7 @@ mod tests {
     #[test]
     fn error_decreases_with_more_observations() {
         let table = gaussian_table(2, 0.4, 20_000, 33);
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::EveryK(25);
+        let cfg = QuickSelConfig { refine_policy: RefinePolicy::EveryK(25), ..Default::default() };
         let few = learning_run(&table, 10, cfg.clone());
         let many = learning_run(&table, 150, cfg);
         assert!(
@@ -304,9 +603,11 @@ mod tests {
     #[test]
     fn standard_qp_training_also_learns() {
         let table = gaussian_table(2, 0.4, 10_000, 35);
-        let mut cfg = QuickSelConfig::default();
-        cfg.training = TrainingMethod::StandardQp;
-        cfg.refine_policy = RefinePolicy::EveryK(30);
+        let cfg = QuickSelConfig {
+            training: TrainingMethod::StandardQp,
+            refine_policy: RefinePolicy::EveryK(30),
+            ..Default::default()
+        };
         let err = learning_run(&table, 60, cfg);
         assert!(err < 60.0, "relative error {err}%");
     }
@@ -314,12 +615,8 @@ mod tests {
     #[test]
     fn estimates_always_in_unit_interval() {
         let table = gaussian_table(2, 0.6, 5_000, 37);
-        let mut gen = RectWorkload::new(
-            table.domain().clone(),
-            11,
-            ShiftMode::Random,
-            CenterMode::Uniform,
-        );
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 11, ShiftMode::Random, CenterMode::Uniform);
         let mut qs = QuickSel::new(table.domain().clone());
         for q in gen.take_queries(&table, 30) {
             qs.observe(&q);
@@ -339,6 +636,22 @@ mod tests {
         for (i, q) in gen.take_queries(&table, 20).iter().enumerate() {
             qs.observe(q);
             assert_eq!(qs.param_count(), 4 * (i + 1));
+        }
+    }
+
+    #[test]
+    fn estimate_many_is_consistent_with_estimate() {
+        let table = gaussian_table(2, 0.5, 5_000, 40);
+        let mut gen =
+            RectWorkload::new(table.domain().clone(), 14, ShiftMode::Random, CenterMode::DataRow);
+        let mut qs = QuickSel::new(table.domain().clone());
+        for q in gen.take_queries(&table, 20) {
+            qs.observe(&q);
+        }
+        let probes: Vec<Rect> = gen.take_queries(&table, 25).into_iter().map(|q| q.rect).collect();
+        let many = qs.estimate_many(&probes);
+        for (r, m) in probes.iter().zip(&many) {
+            assert_eq!(qs.estimate(r), *m);
         }
     }
 }

@@ -26,31 +26,44 @@
 //!
 //! ## Quick start
 //!
+//! The API separates reading from writing: [`Estimate`] is the immutable
+//! serving side, [`Learn`] the feedback/training side. Feedback arrives in
+//! batches, retraining is fallible, and [`QuickSel::snapshot`] freezes the
+//! model for lock-free concurrent estimation.
+//!
 //! ```
-//! use quicksel_core::QuickSel;
-//! use quicksel_data::{ObservedQuery, SelectivityEstimator};
+//! use quicksel_core::{QuickSel, RefinePolicy};
+//! use quicksel_data::{Estimate, Learn, ObservedQuery};
 //! use quicksel_geometry::{Domain, Predicate};
 //!
 //! let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
-//! let mut qs = QuickSel::new(domain.clone());
+//! let mut qs = QuickSel::builder(domain.clone())
+//!     .refine_policy(RefinePolicy::Manual)
+//!     .seed(42)
+//!     .build();
 //!
-//! // Feed query feedback: "x < 5" selected 50% of the rows.
+//! // Feed a batch of query feedback: "x < 5" selected 50% of the rows.
 //! let half = Predicate::new().less_than(0, 5.0).to_rect(&domain);
-//! qs.observe(&ObservedQuery::new(half, 0.5));
+//! qs.observe_batch(&[ObservedQuery::new(half, 0.5)]);
+//! let outcome = qs.refine().expect("training failed");
+//! assert!(outcome.retrained());
 //!
-//! // Ask for an estimate of a new predicate.
-//! let q = Predicate::new().range(0, 0.0, 2.5).to_rect(&domain);
-//! let est = qs.estimate(&q);
-//! assert!(est >= 0.0 && est <= 1.0);
+//! // Freeze an immutable snapshot; it estimates with &self only.
+//! let snapshot = qs.snapshot();
+//! let probe = Predicate::new().range(0, 0.0, 2.5).to_rect(&domain);
+//! let est = snapshot.estimate(&probe);
+//! assert!((0.0..=1.0).contains(&est));
 //! ```
 
 pub mod config;
 pub mod estimator;
 pub mod model;
+pub mod snapshot;
 pub mod subpop;
 pub mod train;
 
 pub use config::{QuickSelConfig, RefinePolicy, TrainingMethod};
-pub use estimator::QuickSel;
+pub use estimator::{QuickSel, QuickSelBuilder};
 pub use model::UniformMixtureModel;
+pub use snapshot::ModelSnapshot;
 pub use train::{build_qp, train, TrainReport};

@@ -25,12 +25,7 @@ pub fn workload_points<R: Rng>(rect: &Rect, points_per_query: usize, rng: &mut R
         return Vec::new();
     }
     (0..points_per_query)
-        .map(|_| {
-            rect.sides()
-                .iter()
-                .map(|s| rng.gen_range(s.lo..s.hi))
-                .collect()
-        })
+        .map(|_| rect.sides().iter().map(|s| rng.gen_range(s.lo..s.hi)).collect())
         .collect()
 }
 
@@ -175,9 +170,8 @@ mod tests {
     #[test]
     fn sized_supports_have_positive_volume_inside_domain() {
         let d = domain();
-        let pool: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![(i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5])
-            .collect();
+        let pool: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![(i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5]).collect();
         let rects = build_subpopulations(&d, &pool, 20, 10, 1.2, &mut rng());
         assert_eq!(rects.len(), 20);
         let b0 = d.full_rect();
@@ -190,7 +184,7 @@ mod tests {
     #[test]
     fn single_center_covers_a_chunk_of_domain() {
         let d = domain();
-        let rects = size_subpopulations(&d, &[vec![5.0, 5.0]], 10, 1.2, );
+        let rects = size_subpopulations(&d, &[vec![5.0, 5.0]], 10, 1.2);
         assert_eq!(rects.len(), 1);
         // Quarter-width per dimension → half the length per side.
         assert!((rects[0].volume() - 25.0).abs() < 1e-9);
@@ -200,17 +194,13 @@ mod tests {
     fn denser_clusters_get_smaller_supports() {
         let d = domain();
         // Tight cluster near the origin + one far outlier.
-        let mut centers: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![0.5 + 0.01 * i as f64, 0.5 + 0.01 * i as f64])
-            .collect();
+        let mut centers: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![0.5 + 0.01 * i as f64, 0.5 + 0.01 * i as f64]).collect();
         centers.push(vec![9.0, 9.0]);
         let rects = size_subpopulations(&d, &centers, 5, 1.2);
         let cluster_vol = rects[0].volume();
         let outlier_vol = rects[10].volume();
-        assert!(
-            outlier_vol > 10.0 * cluster_vol,
-            "outlier {outlier_vol} vs cluster {cluster_vol}"
-        );
+        assert!(outlier_vol > 10.0 * cluster_vol, "outlier {outlier_vol} vs cluster {cluster_vol}");
     }
 
     #[test]

@@ -178,25 +178,15 @@ mod tests {
     fn analytic_training_satisfies_observations() {
         let d = domain();
         let queries = quadrant_queries(&d);
-        let (model, report) = train(
-            &d,
-            grid_subpops(&d),
-            &queries,
-            TrainingMethod::AnalyticPenalty,
-            1e6,
-            0.0,
-        )
-        .unwrap();
+        let (model, report) =
+            train(&d, grid_subpops(&d), &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0)
+                .unwrap();
         assert!(report.constraint_violation < 1e-3, "violation {}", report.constraint_violation);
         assert_eq!(report.iterations, 0);
         // The model reproduces each training selectivity.
         for q in &queries {
             let est = model.estimate(&q.rect);
-            assert!(
-                (est - q.selectivity).abs() < 1e-2,
-                "est {est} vs true {}",
-                q.selectivity
-            );
+            assert!((est - q.selectivity).abs() < 1e-2, "est {est} vs true {}", q.selectivity);
         }
         // Total mass ≈ 1 from the (B0, 1) row.
         assert!((model.total_weight() - 1.0).abs() < 1e-4);
@@ -207,7 +197,8 @@ mod tests {
         let d = domain();
         let queries = quadrant_queries(&d);
         let (ma, _) =
-            train(&d, grid_subpops(&d), &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+            train(&d, grid_subpops(&d), &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0)
+                .unwrap();
         let (ms, rs) =
             train(&d, grid_subpops(&d), &queries, TrainingMethod::StandardQp, 1e6, 0.0).unwrap();
         assert!(rs.iterations > 0, "ADMM must iterate");
@@ -223,7 +214,8 @@ mod tests {
         let d = domain();
         let queries = quadrant_queries(&d);
         let (model, _) =
-            train(&d, grid_subpops(&d), &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+            train(&d, grid_subpops(&d), &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0)
+                .unwrap();
         // Unseen query inside the data quadrant should estimate high…
         let inside = Rect::from_bounds(&[(0.0, 5.0), (2.5, 5.0)]);
         // (true value would be 0.5 for uniform-in-quadrant data)

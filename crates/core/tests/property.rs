@@ -2,8 +2,8 @@
 //! workloads.
 
 use proptest::prelude::*;
-use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
-use quicksel_data::{ObservedQuery, SelectivityEstimator};
+use quicksel_core::{QuickSel, RefinePolicy};
+use quicksel_data::{Estimate, Learn, ObservedQuery};
 use quicksel_geometry::{Domain, Rect};
 
 fn domain() -> Domain {
@@ -47,9 +47,7 @@ proptest! {
     /// within the penalty solver's tolerance.
     #[test]
     fn consistent_constraints_reproduced(obs in prop::collection::vec(consistent_observation(), 2..10)) {
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::Manual;
-        let mut qs = QuickSel::with_config(domain(), cfg);
+        let mut qs = QuickSel::builder(domain()).refine_policy(RefinePolicy::Manual).build();
         for q in &obs {
             qs.observe(q);
         }

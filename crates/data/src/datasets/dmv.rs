@@ -127,8 +127,10 @@ mod tests {
     fn year_and_registration_are_correlated() {
         let t = dmv_table(20_000, 10);
         // New model years should register late in the date range.
-        let new_late = Rect::from_bounds(&[(2015.0, 2020.0), (4000.0, DATE_MAX), (0.0, DATE_MAX + 1200.0)]);
-        let new_early = Rect::from_bounds(&[(2015.0, 2020.0), (0.0, 2000.0), (0.0, DATE_MAX + 1200.0)]);
+        let new_late =
+            Rect::from_bounds(&[(2015.0, 2020.0), (4000.0, DATE_MAX), (0.0, DATE_MAX + 1200.0)]);
+        let new_early =
+            Rect::from_bounds(&[(2015.0, 2020.0), (0.0, 2000.0), (0.0, DATE_MAX + 1200.0)]);
         assert!(t.selectivity(&new_late) > 3.0 * t.selectivity(&new_early));
     }
 

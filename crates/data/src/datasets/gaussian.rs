@@ -15,10 +15,8 @@ pub const GAUSSIAN_BOUND: f64 = 5.0;
 /// The domain `[-B, B]^d` with columns `x0..x{d-1}`.
 pub fn gaussian_domain(dim: usize) -> Domain {
     let names: Vec<String> = (0..dim).map(|i| format!("x{i}")).collect();
-    let cols: Vec<(&str, f64, f64)> = names
-        .iter()
-        .map(|n| (n.as_str(), -GAUSSIAN_BOUND, GAUSSIAN_BOUND))
-        .collect();
+    let cols: Vec<(&str, f64, f64)> =
+        names.iter().map(|n| (n.as_str(), -GAUSSIAN_BOUND, GAUSSIAN_BOUND)).collect();
     Domain::of_reals(&cols)
 }
 

@@ -74,10 +74,14 @@ impl GaussianDrift {
         // holding ~99% of the mass — the paper's "randomly generated
         // rectangles" are over the data range, not the padded ±5σ domain.
         let empty = Table::new(domain.clone());
-        let mut gen =
-            RectWorkload::new(domain, self.seed ^ 0x9e3779b9, ShiftMode::Random, CenterMode::Uniform)
-                .with_width_frac(0.15, 0.5)
-                .with_center_box(Rect::from_bounds(&[(-2.5, 2.5), (-2.5, 2.5)]));
+        let mut gen = RectWorkload::new(
+            domain,
+            self.seed ^ 0x9e3779b9,
+            ShiftMode::Random,
+            CenterMode::Uniform,
+        )
+        .with_width_frac(0.15, 0.5)
+        .with_center_box(Rect::from_bounds(&[(-2.5, 2.5), (-2.5, 2.5)]));
         let mut events = Vec::new();
         for phase in 0..self.phases {
             for _ in 0..self.queries_per_phase {
@@ -85,8 +89,12 @@ impl GaussianDrift {
             }
             if phase + 1 < self.phases {
                 let rho = (self.rho_step * (phase + 1) as f64).min(0.99);
-                let rows =
-                    gaussian_rows(2, rho, self.batch_rows, self.seed.wrapping_add(phase as u64 + 1));
+                let rows = gaussian_rows(
+                    2,
+                    rho,
+                    self.batch_rows,
+                    self.seed.wrapping_add(phase as u64 + 1),
+                );
                 events.push(DriftEvent::Insert(rows));
             }
         }

@@ -42,10 +42,7 @@ pub struct ErrorStats {
 impl ErrorStats {
     /// Computes all statistics from `(true, est)` pairs.
     pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
-        let max_rel_pct = pairs
-            .iter()
-            .map(|&(t, e)| rel_error_pct(t, e))
-            .fold(0.0f64, f64::max);
+        let max_rel_pct = pairs.iter().map(|&(t, e)| rel_error_pct(t, e)).fold(0.0f64, f64::max);
         Self {
             mean_rel_pct: mean_rel_error_pct(pairs),
             mean_abs: mean_abs_error(pairs),

@@ -1,7 +1,26 @@
 //! The estimator abstraction shared by QuickSel and every baseline.
+//!
+//! The contract is split into a **read side** ([`Estimate`]) and a
+//! **write side** ([`Learn`]):
+//!
+//! * [`Estimate`] is the immutable serving interface — every method takes
+//!   `&self`, so estimators (and model snapshots) can answer concurrent
+//!   planner probes without synchronization.
+//! * [`Learn`] is the training interface — feedback arrives in batches
+//!   ([`observe_batch`](Learn::observe_batch)), data churn through
+//!   [`sync_data`](Learn::sync_data), and retraining is an explicit,
+//!   **fallible** step ([`refine`](Learn::refine)) whose failures surface
+//!   as [`EstimatorError`] instead of being silently discarded.
+//!
+//! Learners that can additionally publish a cheap immutable snapshot of
+//! their current model implement [`SnapshotSource`]; the
+//! `quicksel-service` crate serves such snapshots lock-free to unlimited
+//! reader threads.
 
 use crate::table::Table;
 use quicksel_geometry::{DnfRects, Rect};
+use quicksel_linalg::LinalgError;
+use std::sync::Arc;
 
 /// An observed query: a predicate rectangle `B_i` together with the exact
 /// selectivity `s_i` the execution engine reported (§2.2, Problem 1).
@@ -25,34 +44,117 @@ impl ObservedQuery {
         let s = table.selectivity(&rect);
         Self { rect, selectivity: s }
     }
+
+    /// True when the observation is trainable: a finite selectivity in
+    /// `[0, 1]`.
+    pub fn is_valid(&self) -> bool {
+        self.selectivity.is_finite() && (0.0..=1.0).contains(&self.selectivity)
+    }
 }
 
-/// A selectivity estimator under the paper's evaluation protocol.
+/// Validates a feedback batch, returning the first invalid observation as
+/// [`EstimatorError::InvalidFeedback`]. Used by the serving layer before
+/// ingestion and by learners that guard their own `observe_batch`.
+pub fn validate_batch(batch: &[ObservedQuery]) -> Result<(), EstimatorError> {
+    for (index, q) in batch.iter().enumerate() {
+        if !q.is_valid() {
+            return Err(EstimatorError::InvalidFeedback { index, selectivity: q.selectivity });
+        }
+    }
+    Ok(())
+}
+
+/// Errors surfaced by estimator training.
 ///
-/// Two information channels exist:
+/// Replaces the previous design in which solver failures inside the
+/// observe path were discarded (`let _ = self.refine()`): every refine is
+/// now fallible, and auto-refining learners record the most recent
+/// failure retrievably through [`Learn::last_error`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorError {
+    /// The training solver failed (singular or ill-conditioned system,
+    /// iteration budget exhausted, shape mismatch).
+    Solver(LinalgError),
+    /// A feedback observation was rejected before training.
+    InvalidFeedback {
+        /// Position of the offending observation within its batch.
+        index: usize,
+        /// The out-of-range or non-finite selectivity it carried.
+        selectivity: f64,
+    },
+}
+
+impl std::fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimatorError::Solver(e) => write!(f, "training solver failed: {e}"),
+            EstimatorError::InvalidFeedback { index, selectivity } => {
+                write!(f, "invalid feedback at batch index {index}: selectivity {selectivity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimatorError::Solver(e) => Some(e),
+            EstimatorError::InvalidFeedback { .. } => None,
+        }
+    }
+}
+
+impl From<LinalgError> for EstimatorError {
+    fn from(e: LinalgError) -> Self {
+        EstimatorError::Solver(e)
+    }
+}
+
+/// What a successful [`Learn::refine`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineOutcome {
+    /// The model was retrained: `params` parameters fitted against
+    /// `constraints` feedback constraints.
+    Retrained {
+        /// Model parameters after retraining.
+        params: usize,
+        /// Feedback constraints the training run used.
+        constraints: usize,
+    },
+    /// Nothing to do — no (new) feedback since the last refine, or the
+    /// method trains incrementally inside `observe_batch`.
+    UpToDate,
+    /// All pending feedback was degenerate (e.g. zero-volume predicates);
+    /// the previous model or prior was kept.
+    KeptPrior,
+}
+
+impl RefineOutcome {
+    /// True when the call produced a new model.
+    pub fn retrained(&self) -> bool {
+        matches!(self, RefineOutcome::Retrained { .. })
+    }
+}
+
+/// The read side: immutable selectivity estimation.
 ///
-/// * **query feedback** — [`observe`](Self::observe) delivers an
-///   `(predicate, selectivity)` pair after a query executes. Query-driven
-///   methods (QuickSel, STHoles, ISOMER, …) learn from this; scan-based
-///   methods ignore it.
-/// * **data change notifications** — [`sync_data`](Self::sync_data) tells
-///   the estimator how much the underlying table has churned. Scan-based
-///   methods (AutoHist, AutoSample) decide here whether to re-scan
-///   (SQL Server's 20%/10% auto-update rules); query-driven methods ignore
-///   it.
-pub trait SelectivityEstimator {
+/// All methods take `&self`; implementations must be safe to call from
+/// any number of threads in parallel when `Self: Sync`.
+pub trait Estimate {
     /// Short stable identifier used in experiment output.
     fn name(&self) -> &'static str;
 
-    /// Feeds one observed query. Default: no-op (scan-based methods).
-    fn observe(&mut self, _query: &ObservedQuery) {}
-
-    /// Notifies that `changed_rows` rows were inserted/updated in `table`
-    /// since the last notification. Default: no-op (query-driven methods).
-    fn sync_data(&mut self, _table: &Table, _changed_rows: usize) {}
-
     /// Estimates the selectivity of a new predicate rectangle, in `[0, 1]`.
     fn estimate(&self, rect: &Rect) -> f64;
+
+    /// Estimates a batch of predicate rectangles.
+    ///
+    /// The default maps [`estimate`](Self::estimate) over the slice;
+    /// implementations may override it to amortize per-call setup. The
+    /// result must equal element-wise single-call estimation.
+    fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
+        rects.iter().map(|r| self.estimate(r)).collect()
+    }
 
     /// Estimates the selectivity of a DNF region (disjunctions/negations
     /// lowered by [`BoolExpr::to_dnf`](quicksel_geometry::BoolExpr::to_dnf)).
@@ -70,6 +172,75 @@ pub trait SelectivityEstimator {
     fn param_count(&self) -> usize;
 }
 
+/// The write side: feedback ingestion and (fallible) retraining.
+///
+/// Two information channels exist:
+///
+/// * **query feedback** — [`observe_batch`](Self::observe_batch) delivers
+///   `(predicate, selectivity)` pairs after queries execute. Query-driven
+///   methods (QuickSel, STHoles, ISOMER, …) learn from this; scan-based
+///   methods ignore it.
+/// * **data change notifications** — [`sync_data`](Self::sync_data) tells
+///   the estimator how much the underlying table has churned. Scan-based
+///   methods (AutoHist, AutoSample) decide here whether to re-scan
+///   (SQL Server's 20%/10% auto-update rules); query-driven methods ignore
+///   it.
+pub trait Learn: Estimate {
+    /// Ingests a batch of observed queries. Default: no-op (scan-based
+    /// methods).
+    ///
+    /// Batch ingestion is the primitive: methods that retrain on feedback
+    /// may do so once per batch rather than once per query, which is the
+    /// cheap path for high-throughput feedback streams. Auto-refine
+    /// failures must not panic; they are recorded and retrievable through
+    /// [`last_error`](Self::last_error).
+    fn observe_batch(&mut self, _batch: &[ObservedQuery]) {}
+
+    /// Convenience: ingests a single observed query (a one-element batch).
+    fn observe(&mut self, query: &ObservedQuery) {
+        self.observe_batch(std::slice::from_ref(query));
+    }
+
+    /// Notifies that `changed_rows` rows were inserted/updated in `table`
+    /// since the last notification. Default: no-op (query-driven methods).
+    fn sync_data(&mut self, _table: &Table, _changed_rows: usize) {}
+
+    /// Explicitly retrains the model on everything observed so far.
+    ///
+    /// Default: nothing to retrain ([`RefineOutcome::UpToDate`]) — correct
+    /// for scan-based methods and for methods that train incrementally
+    /// inside `observe_batch`.
+    fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
+        Ok(RefineOutcome::UpToDate)
+    }
+
+    /// The most recent training failure, if the estimator auto-refines
+    /// inside `observe_batch`. Cleared by the next successful refine.
+    fn last_error(&self) -> Option<&EstimatorError> {
+        None
+    }
+
+    /// Monotonic counter incremented every time the model actually
+    /// changes (a successful retrain, or incremental ingestion for
+    /// methods that train inside `observe_batch`). Lets callers detect
+    /// retrains that happened *during* ingestion — e.g. under an
+    /// every-query auto-refine policy — which an explicit
+    /// [`refine`](Self::refine) afterwards would report as
+    /// [`RefineOutcome::UpToDate`]. Default: 0 (untracked).
+    fn training_version(&self) -> u64 {
+        0
+    }
+}
+
+/// Learners able to publish an immutable, thread-safe view of their
+/// current model for lock-free serving.
+pub trait SnapshotSource: Learn {
+    /// A cheap snapshot of the current model. The returned object answers
+    /// [`Estimate`] queries forever at the state it was taken in,
+    /// unaffected by later training on the source.
+    fn snapshot_shared(&self) -> Arc<dyn Estimate + Send + Sync>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,7 +248,7 @@ mod tests {
 
     /// A trivial estimator used to exercise trait defaults.
     struct Constant(f64);
-    impl SelectivityEstimator for Constant {
+    impl Estimate for Constant {
         fn name(&self) -> &'static str {
             "constant"
         }
@@ -88,6 +259,7 @@ mod tests {
             1
         }
     }
+    impl Learn for Constant {}
 
     #[test]
     fn default_channels_are_noops() {
@@ -95,11 +267,29 @@ mod tests {
         let mut e = Constant(0.5);
         let q = ObservedQuery::new(domain.full_rect(), 1.0);
         e.observe(&q);
+        e.observe_batch(&[q.clone(), q]);
         let t = Table::new(domain.clone());
         e.sync_data(&t, 0);
+        assert_eq!(e.refine(), Ok(RefineOutcome::UpToDate));
+        assert!(e.last_error().is_none());
         assert_eq!(e.estimate(&domain.full_rect()), 0.5);
         assert_eq!(e.param_count(), 1);
         assert_eq!(e.name(), "constant");
+    }
+
+    #[test]
+    fn estimate_many_matches_single_calls() {
+        let e = Constant(0.25);
+        let rects = vec![
+            Rect::from_bounds(&[(0.0, 1.0)]),
+            Rect::from_bounds(&[(2.0, 3.0)]),
+            Rect::from_bounds(&[(4.0, 5.0)]),
+        ];
+        let many = e.estimate_many(&rects);
+        assert_eq!(many.len(), 3);
+        for (r, m) in rects.iter().zip(&many) {
+            assert_eq!(e.estimate(r), *m);
+        }
     }
 
     #[test]
@@ -127,5 +317,34 @@ mod tests {
         }
         let q = ObservedQuery::from_table(&t, Rect::from_bounds(&[(0.0, 5.0)]));
         assert_eq!(q.selectivity, 0.5);
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: EstimatorError = LinalgError::Singular { pivot: 3 }.into();
+        assert_eq!(e, EstimatorError::Solver(LinalgError::Singular { pivot: 3 }));
+        assert!(e.to_string().contains("singular"));
+        let bad = EstimatorError::InvalidFeedback { index: 2, selectivity: 1.5 };
+        assert!(bad.to_string().contains("index 2"));
+        // Source chains to the underlying solver error.
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(bad.source().is_none());
+    }
+
+    #[test]
+    fn refine_outcome_retrained_flag() {
+        assert!(RefineOutcome::Retrained { params: 4, constraints: 2 }.retrained());
+        assert!(!RefineOutcome::UpToDate.retrained());
+        assert!(!RefineOutcome::KeptPrior.retrained());
+    }
+
+    #[test]
+    fn dyn_learn_upcasts_to_estimate() {
+        // The serving layer relies on &dyn Learn → &dyn Estimate coercion.
+        let c = Constant(0.4);
+        let learn: &dyn Learn = &c;
+        let est: &dyn Estimate = learn;
+        assert_eq!(est.estimate(&Rect::from_bounds(&[(0.0, 1.0)])), 0.4);
     }
 }

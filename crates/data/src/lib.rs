@@ -1,9 +1,9 @@
 //! Data substrate for the QuickSel reproduction: in-memory column-store
 //! tables with exact selectivity evaluation, synthetic dataset generators
 //! standing in for the paper's real-world datasets, workload generators
-//! (including the §5.6 workload-shift patterns), and the
-//! [`SelectivityEstimator`] trait that QuickSel and every baseline
-//! implement.
+//! (including the §5.6 workload-shift patterns), and the estimator
+//! contract — the read-side [`Estimate`] and write-side [`Learn`] traits
+//! that QuickSel and every baseline implement.
 //!
 //! ## Dataset substitutions
 //!
@@ -23,6 +23,8 @@ pub mod table;
 pub mod workload;
 
 pub use error::{mean_abs_error, mean_rel_error_pct, rel_error_pct, ErrorStats};
-pub use estimator::{ObservedQuery, SelectivityEstimator};
+pub use estimator::{
+    validate_batch, Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource,
+};
 pub use table::Table;
 pub use workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};

@@ -70,13 +70,13 @@ impl CorrelatedNormal {
         standard_normal_fill(rng, &mut z);
         // x = L z (L lower triangular).
         let mut x = vec![0.0; self.dim];
-        for i in 0..self.dim {
+        for (i, xi) in x.iter_mut().enumerate() {
             let row = self.l.row(i);
             let mut v = 0.0;
             for k in 0..=i {
                 v += row[k] * z[k];
             }
-            x[i] = v;
+            *xi = v;
         }
         x
     }

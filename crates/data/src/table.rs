@@ -127,8 +127,8 @@ impl Table {
         let mut row = vec![0.0; d];
         let mut hits = 0usize;
         for r in 0..n {
-            for c in 0..d {
-                row[c] = self.columns[c][r];
+            for (c, cell) in row.iter_mut().enumerate().take(d) {
+                *cell = self.columns[c][r];
             }
             if dnf.contains_point(&row) {
                 hits += 1;

@@ -147,16 +147,16 @@ impl RectWorkload {
     fn build_rect(&mut self, center: &[f64]) -> Rect {
         let constrained = self.constrained.clone();
         let mut sides = Vec::with_capacity(self.domain.dim());
-        for d in 0..self.domain.dim() {
+        for (d, &center_d) in center.iter().enumerate().take(self.domain.dim()) {
             let bounds = self.domain.bounds(d);
-            let is_constrained = constrained.as_ref().map_or(true, |cs| cs.contains(&d));
+            let is_constrained = constrained.as_ref().is_none_or(|cs| cs.contains(&d));
             if !is_constrained {
                 sides.push(bounds);
                 continue;
             }
             let frac = self.rng.gen_range(self.width_frac.0..=self.width_frac.1);
             let half = 0.5 * frac * bounds.length();
-            let iv = Interval::new(center[d] - half, center[d] + half).clamp_to(&bounds);
+            let iv = Interval::new(center_d - half, center_d + half).clamp_to(&bounds);
             sides.push(if iv.is_empty() {
                 // Center landed on the boundary; take a sliver inside.
                 Interval::new(bounds.lo, bounds.lo + 2.0 * half).clamp_to(&bounds)
@@ -227,7 +227,8 @@ mod tests {
     #[test]
     fn random_workload_produces_valid_rects() {
         let t = table();
-        let mut w = RectWorkload::new(t.domain().clone(), 1, ShiftMode::Random, CenterMode::Uniform);
+        let mut w =
+            RectWorkload::new(t.domain().clone(), 1, ShiftMode::Random, CenterMode::Uniform);
         for _ in 0..50 {
             let r = w.next_rect(&t);
             assert_eq!(r.dim(), 2);
@@ -240,7 +241,8 @@ mod tests {
     #[test]
     fn no_shift_repeats_the_same_rect() {
         let t = table();
-        let mut w = RectWorkload::new(t.domain().clone(), 2, ShiftMode::NoShift, CenterMode::DataRow);
+        let mut w =
+            RectWorkload::new(t.domain().clone(), 2, ShiftMode::NoShift, CenterMode::DataRow);
         let a = w.next_rect(&t);
         let b = w.next_rect(&t);
         assert_eq!(a, b);
@@ -267,8 +269,9 @@ mod tests {
     #[test]
     fn data_row_centers_hit_data_mass() {
         let t = table();
-        let mut w = RectWorkload::new(t.domain().clone(), 4, ShiftMode::Random, CenterMode::DataRow)
-            .with_width_frac(0.2, 0.3);
+        let mut w =
+            RectWorkload::new(t.domain().clone(), 4, ShiftMode::Random, CenterMode::DataRow)
+                .with_width_frac(0.2, 0.3);
         let qs = w.take_queries(&t, 40);
         // Data-centered rectangles should mostly have non-trivial selectivity.
         let nonzero = qs.iter().filter(|q| q.selectivity > 0.0).count();
@@ -278,8 +281,9 @@ mod tests {
     #[test]
     fn constrained_columns_leave_others_full() {
         let t = table();
-        let mut w = RectWorkload::new(t.domain().clone(), 5, ShiftMode::Random, CenterMode::Uniform)
-            .with_constrained_columns(vec![0]);
+        let mut w =
+            RectWorkload::new(t.domain().clone(), 5, ShiftMode::Random, CenterMode::Uniform)
+                .with_constrained_columns(vec![0]);
         let r = w.next_rect(&t);
         assert_eq!(r.side(1), t.domain().bounds(1));
         assert!(r.side(0).length() < t.domain().bounds(0).length());
@@ -303,7 +307,8 @@ mod tests {
     #[test]
     fn split_respects_bounds() {
         let t = table();
-        let mut w = RectWorkload::new(t.domain().clone(), 6, ShiftMode::Random, CenterMode::Uniform);
+        let mut w =
+            RectWorkload::new(t.domain().clone(), 6, ShiftMode::Random, CenterMode::Uniform);
         let qs = w.take_queries(&t, 10);
         let (a, b) = train_test_split(&qs, 7);
         assert_eq!((a.len(), b.len()), (7, 3));

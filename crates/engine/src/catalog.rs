@@ -1,6 +1,6 @@
 //! The system catalog: table, indexes, and the statistics module.
 
-use quicksel_data::{SelectivityEstimator, Table};
+use quicksel_data::{Learn, Table};
 
 /// A sorted single-column index: `(value, row_id)` pairs ordered by value,
 /// supporting `O(log N + K)` range probes.
@@ -14,12 +14,8 @@ pub struct SortedIndex {
 impl SortedIndex {
     /// Builds the index by sorting the column.
     pub fn build(table: &Table, column: usize) -> Self {
-        let mut entries: Vec<(f64, u32)> = table
-            .column(column)
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
+        let mut entries: Vec<(f64, u32)> =
+            table.column(column).iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
         entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite column values"));
         Self { column, entries }
     }
@@ -27,10 +23,7 @@ impl SortedIndex {
     /// Row ids with `lo <= value < hi`, in index order.
     pub fn range(&self, lo: f64, hi: f64) -> impl Iterator<Item = u32> + '_ {
         let start = self.entries.partition_point(|&(v, _)| v < lo);
-        self.entries[start..]
-            .iter()
-            .take_while(move |&&(v, _)| v < hi)
-            .map(|&(_, r)| r)
+        self.entries[start..].iter().take_while(move |&&(v, _)| v < hi).map(|&(_, r)| r)
     }
 
     /// Number of indexed entries.
@@ -51,13 +44,16 @@ pub struct Catalog {
     pub table: Table,
     /// Available single-column indexes.
     pub indexes: Vec<SortedIndex>,
-    /// The pluggable statistics module (QuickSel or any baseline).
-    pub estimator: Box<dyn SelectivityEstimator>,
+    /// The pluggable statistics module (QuickSel or any baseline): the
+    /// engine feeds it through the [`Learn`] write side and the planner
+    /// reads it through the [`Estimate`](quicksel_data::Estimate)
+    /// supertrait.
+    pub estimator: Box<dyn Learn>,
 }
 
 impl Catalog {
     /// Creates a catalog around a table and an estimator.
-    pub fn new(table: Table, estimator: Box<dyn SelectivityEstimator>) -> Self {
+    pub fn new(table: Table, estimator: Box<dyn Learn>) -> Self {
         Self { table, indexes: Vec::new(), estimator }
     }
 

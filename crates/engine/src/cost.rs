@@ -41,8 +41,7 @@ impl CostModel {
         if rows == 0 {
             return 0.0;
         }
-        ((self.seq_scan(rows) - self.index_descend_cost)
-            / (rows as f64 * self.index_row_cost))
+        ((self.seq_scan(rows) - self.index_descend_cost) / (rows as f64 * self.index_row_cost))
             .clamp(0.0, 1.0)
     }
 }

@@ -71,10 +71,8 @@ impl Engine {
                 (hits, self.catalog.table.row_count())
             }
             AccessPath::IndexProbe { column, .. } => {
-                let index = self
-                    .catalog
-                    .index_on(*column)
-                    .expect("planner only probes existing indexes");
+                let index =
+                    self.catalog.index_on(*column).expect("planner only probes existing indexes");
                 let side = rect.side(*column);
                 let mut examined = 0usize;
                 let mut hits = 0usize;
@@ -102,9 +100,7 @@ impl Engine {
         // engine just counted the qualifying rows).
         let n = self.catalog.table.row_count().max(1);
         let actual_selectivity = rows_returned as f64 / n as f64;
-        self.catalog
-            .estimator
-            .observe(&ObservedQuery::new(rect, actual_selectivity));
+        self.catalog.estimator.observe(&ObservedQuery::new(rect, actual_selectivity));
 
         QueryResult {
             path,
@@ -186,18 +182,12 @@ mod tests {
         for p in &workload {
             warm.execute(p); // measured pass
         }
-        assert!(
-            warm.total_cost < cold_cost,
-            "warm {} vs cold {}",
-            warm.total_cost,
-            cold_cost
-        );
+        assert!(warm.total_cost < cold_cost, "warm {} vs cold {}", warm.total_cost, cold_cost);
     }
 
     #[test]
     fn estimates_improve_over_the_run() {
-        let mut cfg = QuickSelConfig::default();
-        cfg.refine_policy = RefinePolicy::EveryQuery;
+        let cfg = QuickSelConfig { refine_policy: RefinePolicy::EveryQuery, ..Default::default() };
         let d = Domain::of_reals(&[("x", 0.0, 100.0), ("y", 0.0, 100.0)]);
         let mut t = Table::new(d.clone());
         for i in 0..5000 {

@@ -13,16 +13,16 @@
 //! catalog can maintain cheaply) and `ŝ_R`, `ŝ_S` come from each
 //! relation's own query-driven estimator.
 
-use quicksel_data::{SelectivityEstimator, Table};
+use quicksel_data::{Estimate, Table};
 use quicksel_geometry::Predicate;
 
 /// Estimates `|σ_p(R) ⋈ σ_q(S)|` under predicate/join independence.
 pub fn estimate_join_cardinality(
     base_join_cardinality: f64,
-    r_est: &dyn SelectivityEstimator,
+    r_est: &dyn Estimate,
     r_table: &Table,
     r_pred: &Predicate,
-    s_est: &dyn SelectivityEstimator,
+    s_est: &dyn Estimate,
     s_table: &Table,
     s_pred: &Predicate,
 ) -> f64 {
@@ -72,7 +72,7 @@ pub fn exact_equijoin_cardinality(
 mod tests {
     use super::*;
     use quicksel_core::QuickSel;
-    use quicksel_data::ObservedQuery;
+    use quicksel_data::{Learn, ObservedQuery};
     use quicksel_geometry::Domain;
     use rand::{Rng, SeedableRng};
 

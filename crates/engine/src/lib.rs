@@ -9,7 +9,9 @@
 //! [`Table`](quicksel_data::Table) substrate:
 //!
 //! * [`Catalog`] — tables plus per-table sorted-column indexes and the
-//!   selectivity estimator (any [`SelectivityEstimator`](quicksel_data::SelectivityEstimator)),
+//!   selectivity estimator (any [`Learn`](quicksel_data::Learn)
+//!   implementation; the planner reads it through the
+//!   [`Estimate`](quicksel_data::Estimate) supertrait),
 //! * [`planner`] — cost-based access-path selection (sequential scan vs.
 //!   index range probe) driven by the estimator,
 //! * [`executor`] — runs the chosen plan, counts the rows that actually

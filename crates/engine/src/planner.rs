@@ -31,18 +31,14 @@ pub fn plan(catalog: &Catalog, pred: &Predicate, cost: &CostModel) -> AccessPath
     let mut best = (cost.seq_scan(rows), AccessPath::SeqScan);
     for index in &catalog.indexes {
         // The driving range: the predicate restricted to the indexed column.
-        let Some(constraint) = pred.constraints().iter().find(|c| c.column == index.column)
-        else {
+        let Some(constraint) = pred.constraints().iter().find(|c| c.column == index.column) else {
             continue; // predicate doesn't touch this index
         };
         let driving = Predicate::new().with_interval(index.column, constraint.range);
         let sel = catalog.estimator.estimate(&driving.to_rect(domain));
         let c = cost.index_probe(rows, sel);
         if c < best.0 {
-            best = (
-                c,
-                AccessPath::IndexProbe { column: index.column, driving_selectivity: sel },
-            );
+            best = (c, AccessPath::IndexProbe { column: index.column, driving_selectivity: sel });
         }
     }
     best.1
@@ -117,9 +113,6 @@ mod tests {
         let rect = p.to_rect(cat.table.domain());
         let truth = cat.table.selectivity(&rect);
         cat.estimator.observe(&ObservedQuery::new(rect, truth));
-        assert!(matches!(
-            plan(&cat, &p, &CostModel::default()),
-            AccessPath::IndexProbe { .. }
-        ));
+        assert!(matches!(plan(&cat, &p, &CostModel::default()), AccessPath::IndexProbe { .. }));
     }
 }

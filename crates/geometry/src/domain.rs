@@ -43,12 +43,7 @@ impl Domain {
     pub fn new(columns: Vec<ColumnMeta>) -> Self {
         assert!(!columns.is_empty(), "domain must have at least one column");
         for c in &columns {
-            assert!(
-                c.bounds.length() > 0.0,
-                "column {} has an empty domain {}",
-                c.name,
-                c.bounds
-            );
+            assert!(c.bounds.length() > 0.0, "column {} has an empty domain {}", c.name, c.bounds);
         }
         Self { columns }
     }

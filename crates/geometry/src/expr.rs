@@ -114,10 +114,7 @@ impl BoolExpr {
                         // not already covered.
                         let mut fresh = vec![r];
                         for existing in &acc {
-                            fresh = fresh
-                                .into_iter()
-                                .flat_map(|p| p.subtract(existing))
-                                .collect();
+                            fresh = fresh.into_iter().flat_map(|p| p.subtract(existing)).collect();
                             if fresh.is_empty() {
                                 break;
                             }

@@ -182,10 +182,7 @@ mod tests {
     #[test]
     fn repeated_constraints_intersect() {
         let d = domain2();
-        let r = Predicate::new()
-            .range(0, 10.0, 50.0)
-            .range(0, 30.0, 80.0)
-            .to_rect(&d);
+        let r = Predicate::new().range(0, 10.0, 50.0).range(0, 30.0, 80.0).to_rect(&d);
         assert_eq!(r.side(0), Interval::new(30.0, 50.0));
     }
 

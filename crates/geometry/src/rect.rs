@@ -30,9 +30,7 @@ impl Rect {
     /// Axis-aligned cube centered at `center` with half-width `half` in
     /// every dimension.
     pub fn cube(center: &[f64], half: f64) -> Self {
-        Self {
-            sides: center.iter().map(|&c| Interval::new(c - half, c + half)).collect(),
-        }
+        Self { sides: center.iter().map(|&c| Interval::new(c - half, c + half)).collect() }
     }
 
     /// Rectangle centered at `center` with per-dimension half-widths.
@@ -151,22 +149,13 @@ impl Rect {
     /// Smallest rectangle containing both operands.
     pub fn hull(&self, other: &Rect) -> Rect {
         debug_assert_eq!(self.dim(), other.dim());
-        Rect {
-            sides: self.sides.iter().zip(&other.sides).map(|(a, b)| a.hull(b)).collect(),
-        }
+        Rect { sides: self.sides.iter().zip(&other.sides).map(|(a, b)| a.hull(b)).collect() }
     }
 
     /// Clamps `self` into `bounds` dimension-wise.
     pub fn clamp_to(&self, bounds: &Rect) -> Rect {
         debug_assert_eq!(self.dim(), bounds.dim());
-        Rect {
-            sides: self
-                .sides
-                .iter()
-                .zip(&bounds.sides)
-                .map(|(a, b)| a.clamp_to(b))
-                .collect(),
-        }
+        Rect { sides: self.sides.iter().zip(&bounds.sides).map(|(a, b)| a.clamp_to(b)).collect() }
     }
 
     /// Decomposes `self \ other` into at most `2·d` disjoint boxes.

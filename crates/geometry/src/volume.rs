@@ -23,9 +23,7 @@ pub fn union_volume(rects: &[Rect]) -> f64 {
     match live.len() {
         0 => 0.0,
         1 => live[0].volume(),
-        2 => {
-            live[0].volume() + live[1].volume() - live[0].intersection_volume(live[1])
-        }
+        2 => live[0].volume() + live[1].volume() - live[0].intersection_volume(live[1]),
         k => {
             let d = live[0].dim();
             // Estimated work: cells method is ((2k)^d * k); incl-excl is 2^k * d * k.
@@ -135,8 +133,8 @@ fn cell_decomposition_volume(rects: &[&Rect]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use crate::interval::Interval;
+    use proptest::prelude::*;
 
     fn rect2(b: &[(f64, f64); 2]) -> Rect {
         Rect::from_bounds(b)

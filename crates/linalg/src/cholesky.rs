@@ -28,8 +28,8 @@ impl CholeskyFactor {
             // Diagonal entry.
             let mut d = a.get(j, j);
             let lj = l.row(j);
-            for k in 0..j {
-                d -= lj[k] * lj[k];
+            for &v in &lj[..j] {
+                d -= v * v;
             }
             if d <= 0.0 || !d.is_finite() {
                 return Err(LinalgError::NotPositiveDefinite { pivot: j });
@@ -80,8 +80,8 @@ impl CholeskyFactor {
         let mut x = y;
         for i in (0..n).rev() {
             let mut v = x[i];
-            for k in (i + 1)..n {
-                v -= self.l.get(k, i) * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                v -= self.l.get(k, i) * xk;
             }
             x[i] = v / self.l.get(i, i);
         }
@@ -154,10 +154,7 @@ mod tests {
     #[test]
     fn indefinite_matrix_rejected() {
         let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(
-            CholeskyFactor::new(&a),
-            Err(LinalgError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(CholeskyFactor::new(&a), Err(LinalgError::NotPositiveDefinite { .. })));
     }
 
     #[test]

@@ -219,10 +219,7 @@ impl DMatrix {
     /// Max absolute element difference against `other` (test helper).
     pub fn max_abs_diff(&self, other: &DMatrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
     }
 }
 

@@ -93,11 +93,7 @@ pub const DEFAULT_RIDGE_REL: f64 = 1e-5;
 /// `ε = ridge_rel · tr(Q + λAᵀA)/m` (see [`DEFAULT_RIDGE_REL`]); pass 0 for
 /// the paper's unregularized form. A further trace-scaled jitter is applied
 /// automatically if the PSD system is still numerically rank-deficient.
-pub fn solve_analytic(
-    p: &QpProblem,
-    lambda: f64,
-    ridge_rel: f64,
-) -> Result<Vec<f64>, LinalgError> {
+pub fn solve_analytic(p: &QpProblem, lambda: f64, ridge_rel: f64) -> Result<Vec<f64>, LinalgError> {
     // M = Q + λAᵀA (+ εI)
     let gram = p.a.gram();
     let mut system = p.q.clone();
@@ -185,8 +181,8 @@ impl AdmmQp {
         let mut hi = Vec::with_capacity(k_rows);
         lo.extend_from_slice(&p.s);
         hi.extend_from_slice(&p.s);
-        lo.extend(std::iter::repeat(0.0).take(m));
-        hi.extend(std::iter::repeat(f64::INFINITY).take(m));
+        lo.extend(std::iter::repeat_n(0.0, m));
+        hi.extend(std::iter::repeat_n(f64::INFINITY, m));
 
         // System matrix M = P + σI + ρKᵀK, with P = 2Q and
         // KᵀK = AᵀA + I.
@@ -355,16 +351,16 @@ mod tests {
     /// synthesize s = A w so the equality system is consistent.
     fn arb_feasible(m: usize, n: usize) -> impl Strategy<Value = QpProblem> {
         (
-            prop::collection::vec(0.05..1.0f64, m),          // ground truth w
-            prop::collection::vec(0.0..1.0f64, n * m),       // A entries (overlap fractions)
-            prop::collection::vec(0.01..1.0f64, m),          // Q diagonal
+            prop::collection::vec(0.05..1.0f64, m),    // ground truth w
+            prop::collection::vec(0.0..1.0f64, n * m), // A entries (overlap fractions)
+            prop::collection::vec(0.01..1.0f64, m),    // Q diagonal
         )
             .prop_map(move |(w, a_data, qd)| {
                 let a = DMatrix::from_vec(n, m, a_data);
                 let s = a.matvec(&w);
                 let mut q = DMatrix::zeros(m, m);
-                for i in 0..m {
-                    q.set(i, i, qd[i]);
+                for (i, &qv) in qd.iter().enumerate() {
+                    q.set(i, i, qv);
                 }
                 QpProblem::new(q, a, s).unwrap()
             })

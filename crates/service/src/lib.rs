@@ -1,0 +1,55 @@
+//! # quicksel-service — lock-free selectivity serving
+//!
+//! The QuickSel paper puts selectivity estimation inside a DBMS's
+//! planning hot path; a production deployment therefore needs **many
+//! concurrent readers** (one per planning thread) while **feedback
+//! ingestion and retraining** happen elsewhere. This crate supplies that
+//! split on top of the [`Estimate`](quicksel_data::Estimate) /
+//! [`Learn`](quicksel_data::Learn) contract:
+//!
+//! * [`ArcCell`] — an RCU-style atomically swappable `Arc` slot: readers
+//!   clone the current snapshot with a couple of atomic operations and no
+//!   mutex; writers swap and reclaim the old value after a grace period.
+//! * [`SelectivityService`] — wraps any
+//!   [`SnapshotSource`](quicksel_data::SnapshotSource) learner (QuickSel
+//!   in practice): [`snapshot`](SelectivityService::snapshot) /
+//!   [`estimate`](SelectivityService::estimate) on the lock-free read
+//!   path, validated batch ingestion + fallible retraining + atomic
+//!   publish on the write path, and an optional background ingestion
+//!   thread ([`SelectivityService::start_ingest`]).
+//!
+//! ```
+//! use quicksel_core::QuickSel;
+//! use quicksel_data::{Estimate, ObservedQuery};
+//! use quicksel_geometry::{Domain, Predicate};
+//! use quicksel_service::SelectivityService;
+//! use std::sync::Arc;
+//!
+//! let domain = Domain::of_reals(&[("x", 0.0, 10.0)]);
+//! let service = Arc::new(SelectivityService::new(
+//!     QuickSel::builder(domain.clone()).build(),
+//! ));
+//!
+//! // Reader threads each grab a snapshot and estimate lock-free.
+//! let reader = {
+//!     let service = Arc::clone(&service);
+//!     let domain = domain.clone();
+//!     std::thread::spawn(move || {
+//!         let snapshot = service.snapshot();
+//!         snapshot.estimate(&Predicate::new().range(0, 0.0, 5.0).to_rect(&domain))
+//!     })
+//! };
+//!
+//! // The writer ingests feedback and publishes new snapshots meanwhile.
+//! let full = Predicate::new().to_rect(&domain);
+//! service.observe_batch(&[ObservedQuery::new(full, 1.0)]).expect("train");
+//!
+//! let est = reader.join().unwrap();
+//! assert!((0.0..=1.0).contains(&est));
+//! ```
+
+pub mod service;
+pub mod swap;
+
+pub use service::{IngestHandle, SelectivityService, ServiceStats, SharedSnapshot};
+pub use swap::ArcCell;

@@ -1,0 +1,414 @@
+//! [`SelectivityService`]: the serving layer around a snapshotting learner.
+
+use crate::swap::ArcCell;
+use quicksel_data::{
+    Estimate, EstimatorError, ObservedQuery, RefineOutcome, SnapshotSource, Table,
+};
+use quicksel_geometry::Rect;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A shared, immutable model view; what [`SelectivityService::snapshot`]
+/// hands to reader threads.
+pub type SharedSnapshot = Arc<dyn Estimate + Send + Sync>;
+
+/// Running counters describing a service's ingestion history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Feedback batches successfully ingested.
+    pub batches_ingested: u64,
+    /// Observed queries across those batches.
+    pub queries_ingested: u64,
+    /// Refines that produced a new model.
+    pub refines: u64,
+    /// Refines that failed (old snapshot kept serving).
+    pub refine_failures: u64,
+    /// Batches rejected before ingestion (invalid feedback).
+    pub rejected_batches: u64,
+}
+
+/// Concurrent serving for a query-driven selectivity estimator.
+///
+/// The service splits the estimator along the [`Estimate`]/[`Learn`]
+/// seam: the **read path** serves immutable snapshots from an
+/// [`ArcCell`], so any number of planner threads call
+/// [`snapshot`](Self::snapshot) / [`estimate`](Self::estimate) without
+/// taking a lock; the **write path** ingests feedback batches under a
+/// writer mutex, retrains, and atomically publishes the new snapshot.
+/// Readers holding an old snapshot keep it alive until they drop it —
+/// publishing never invalidates an estimate mid-flight.
+///
+/// ```
+/// use quicksel_core::QuickSel;
+/// use quicksel_data::{Estimate, ObservedQuery};
+/// use quicksel_geometry::{Domain, Predicate};
+/// use quicksel_service::SelectivityService;
+///
+/// let domain = Domain::of_reals(&[("x", 0.0, 10.0)]);
+/// let service = SelectivityService::new(QuickSel::builder(domain.clone()).build());
+///
+/// // Write side: a feedback batch, ingested + retrained + published.
+/// let half = Predicate::new().less_than(0, 5.0).to_rect(&domain);
+/// service.observe_batch(&[ObservedQuery::new(half, 0.5)]).expect("train");
+///
+/// // Read side: snapshots estimate without locks.
+/// let snapshot = service.snapshot();
+/// let probe = Predicate::new().range(0, 0.0, 2.5).to_rect(&domain);
+/// assert!((0.0..=1.0).contains(&snapshot.estimate(&probe)));
+/// ```
+pub struct SelectivityService<L: SnapshotSource> {
+    learner: Mutex<L>,
+    current: ArcCell<dyn Estimate + Send + Sync>,
+    version: AtomicU64,
+    batches_ingested: AtomicU64,
+    queries_ingested: AtomicU64,
+    refines: AtomicU64,
+    refine_failures: AtomicU64,
+    rejected_batches: AtomicU64,
+}
+
+impl<L: SnapshotSource> SelectivityService<L> {
+    /// Wraps a learner and publishes its current state as the first
+    /// snapshot (the uniform prior for a fresh estimator).
+    pub fn new(learner: L) -> Self {
+        let first = learner.snapshot_shared();
+        Self {
+            learner: Mutex::new(learner),
+            current: ArcCell::new(first),
+            version: AtomicU64::new(0),
+            batches_ingested: AtomicU64::new(0),
+            queries_ingested: AtomicU64::new(0),
+            refines: AtomicU64::new(0),
+            refine_failures: AtomicU64::new(0),
+            rejected_batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The current model snapshot. Lock-free; the returned object keeps
+    /// answering at this state however long the caller holds it.
+    pub fn snapshot(&self) -> SharedSnapshot {
+        self.current.load()
+    }
+
+    /// Convenience: estimate one rectangle against the current snapshot.
+    pub fn estimate(&self, rect: &Rect) -> f64 {
+        self.snapshot().estimate(rect)
+    }
+
+    /// Convenience: estimate a batch against one coherent snapshot (all
+    /// answers come from the same model version).
+    pub fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
+        self.snapshot().estimate_many(rects)
+    }
+
+    /// Number of published model versions (0 = still the initial prior).
+    pub fn version(&self) -> u64 {
+        self.version.load(SeqCst)
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            batches_ingested: self.batches_ingested.load(SeqCst),
+            queries_ingested: self.queries_ingested.load(SeqCst),
+            refines: self.refines.load(SeqCst),
+            refine_failures: self.refine_failures.load(SeqCst),
+            rejected_batches: self.rejected_batches.load(SeqCst),
+        }
+    }
+
+    /// Ingests one feedback batch, retrains, and publishes the resulting
+    /// snapshot. Readers are never blocked; they keep estimating against
+    /// the previous snapshot until the swap.
+    ///
+    /// The batch is validated first: a non-finite or out-of-range
+    /// selectivity rejects the whole batch with
+    /// [`EstimatorError::InvalidFeedback`] before the learner sees it.
+    /// A failed refine keeps the previous model serving and returns the
+    /// solver error.
+    ///
+    /// Learners that train *during* ingestion — QuickSel under an
+    /// auto-refine policy, or incremental methods like STHoles — are
+    /// detected through [`Learn::training_version`](quicksel_data::Learn::training_version):
+    /// the returned outcome is then `Retrained` (with `constraints` set
+    /// to this batch's size) rather than the explicit refine's
+    /// `UpToDate`, and `stats().refines` counts the retrain.
+    pub fn observe_batch(&self, batch: &[ObservedQuery]) -> Result<RefineOutcome, EstimatorError> {
+        if let Err(e) = quicksel_data::validate_batch(batch) {
+            self.rejected_batches.fetch_add(1, SeqCst);
+            return Err(e);
+        }
+        let mut learner = self.learner.lock().expect("service learner lock poisoned");
+        let version_before = learner.training_version();
+        learner.observe_batch(batch);
+        self.batches_ingested.fetch_add(1, SeqCst);
+        self.queries_ingested.fetch_add(batch.len() as u64, SeqCst);
+        let outcome = learner.refine();
+        match outcome {
+            Ok(o) => {
+                let trained_during_ingest =
+                    !o.retrained() && learner.training_version() != version_before;
+                if o.retrained() || trained_during_ingest {
+                    self.refines.fetch_add(1, SeqCst);
+                }
+                self.publish(&learner);
+                if trained_during_ingest {
+                    Ok(RefineOutcome::Retrained {
+                        params: learner.param_count(),
+                        constraints: batch.len(),
+                    })
+                } else {
+                    Ok(o)
+                }
+            }
+            Err(e) => {
+                self.refine_failures.fetch_add(1, SeqCst);
+                Err(e)
+            }
+        }
+    }
+
+    /// Forwards a data-churn notification to the learner and republishes
+    /// (scan-based learners may have rebuilt their statistics).
+    pub fn sync_data(&self, table: &Table, changed_rows: usize) {
+        let mut learner = self.learner.lock().expect("service learner lock poisoned");
+        learner.sync_data(table, changed_rows);
+        self.publish(&learner);
+    }
+
+    /// Runs a closure against the locked learner — diagnostics access
+    /// (e.g. `QuickSel::last_report`, [`Learn::last_error`](quicksel_data::Learn::last_error)).
+    pub fn with_learner<R>(&self, f: impl FnOnce(&L) -> R) -> R {
+        f(&self.learner.lock().expect("service learner lock poisoned"))
+    }
+
+    fn publish(&self, learner: &L) {
+        self.current.store(learner.snapshot_shared());
+        self.version.fetch_add(1, SeqCst);
+    }
+}
+
+/// Handle to a background ingestion worker; see
+/// [`SelectivityService::start_ingest`]. Dropping the handle shuts the
+/// worker down after it drains queued batches.
+pub struct IngestHandle {
+    tx: Option<SyncSender<Vec<ObservedQuery>>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl IngestHandle {
+    /// Queues a feedback batch for background ingestion; blocks only when
+    /// the bounded queue is full. Returns the batch back if the worker
+    /// has been shut down or died, so feedback is never silently lost.
+    pub fn send(&self, batch: Vec<ObservedQuery>) -> Result<(), Vec<ObservedQuery>> {
+        match &self.tx {
+            Some(tx) => tx.send(batch).map_err(|e| e.0),
+            None => Err(batch),
+        }
+    }
+
+    /// Queues a batch without blocking; returns it back if the queue is
+    /// full or the worker has stopped.
+    pub fn try_send(&self, batch: Vec<ObservedQuery>) -> Result<(), Vec<ObservedQuery>> {
+        match &self.tx {
+            Some(tx) => tx.try_send(batch).map_err(|e| match e {
+                TrySendError::Full(b) | TrySendError::Disconnected(b) => b,
+            }),
+            None => Err(batch),
+        }
+    }
+
+    /// Stops the worker after it drains queued batches, waiting for it to
+    /// finish. Also called on drop.
+    pub fn shutdown(&mut self) {
+        self.tx = None; // disconnects the channel; the worker drains + exits
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for IngestHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<L: SnapshotSource + Send + 'static> SelectivityService<L> {
+    /// Spawns a background thread that ingests feedback batches queued
+    /// through the returned [`IngestHandle`], retraining off the serving
+    /// threads entirely. `queue_depth` bounds the number of in-flight
+    /// batches. Ingestion errors are absorbed into
+    /// [`stats`](Self::stats) / [`Learn::last_error`](quicksel_data::Learn::last_error) — the previous
+    /// snapshot keeps serving.
+    pub fn start_ingest(self: &Arc<Self>, queue_depth: usize) -> IngestHandle {
+        let (tx, rx): (SyncSender<Vec<ObservedQuery>>, Receiver<Vec<ObservedQuery>>) =
+            mpsc::sync_channel(queue_depth.max(1));
+        let service = Arc::clone(self);
+        let worker = std::thread::spawn(move || {
+            while let Ok(batch) = rx.recv() {
+                let _ = service.observe_batch(&batch);
+            }
+        });
+        IngestHandle { tx: Some(tx), worker: Some(worker) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_core::{QuickSel, RefinePolicy};
+    use quicksel_geometry::Domain;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn obs(b: [(f64, f64); 2], s: f64) -> ObservedQuery {
+        ObservedQuery::new(Rect::from_bounds(&b), s)
+    }
+
+    fn service() -> SelectivityService<QuickSel> {
+        SelectivityService::new(
+            QuickSel::builder(domain()).refine_policy(RefinePolicy::Manual).build(),
+        )
+    }
+
+    #[test]
+    fn initial_snapshot_is_the_prior() {
+        let svc = service();
+        assert_eq!(svc.version(), 0);
+        let snap = svc.snapshot();
+        assert_eq!(snap.param_count(), 0);
+        assert!(
+            (snap.estimate(&Rect::from_bounds(&[(0.0, 5.0), (0.0, 10.0)])) - 0.5).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn observe_batch_trains_and_publishes() {
+        let svc = service();
+        let before = svc.snapshot();
+        let outcome = svc.observe_batch(&[obs([(0.0, 5.0), (0.0, 5.0)], 0.9)]).expect("training");
+        assert!(outcome.retrained());
+        assert_eq!(svc.version(), 1);
+        let after = svc.snapshot();
+        // The published snapshot reflects the feedback; the pre-ingest
+        // snapshot is untouched.
+        let probe = Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]);
+        assert!((after.estimate(&probe) - 0.9).abs() < 0.05);
+        assert!((before.estimate(&probe) - 0.25).abs() < 1e-12);
+        let stats = svc.stats();
+        assert_eq!(stats.batches_ingested, 1);
+        assert_eq!(stats.queries_ingested, 1);
+        assert_eq!(stats.refines, 1);
+        assert_eq!(stats.refine_failures, 0);
+    }
+
+    #[test]
+    fn invalid_feedback_is_rejected_before_the_learner() {
+        let svc = service();
+        let bad = vec![
+            obs([(0.0, 5.0), (0.0, 5.0)], 0.5),
+            ObservedQuery { rect: Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]), selectivity: 1.5 },
+        ];
+        let err = svc.observe_batch(&bad).unwrap_err();
+        assert_eq!(err, EstimatorError::InvalidFeedback { index: 1, selectivity: 1.5 });
+        assert_eq!(svc.stats().rejected_batches, 1);
+        assert_eq!(svc.stats().queries_ingested, 0, "whole batch rejected");
+        assert_eq!(svc.version(), 0);
+        svc.with_learner(|l| assert_eq!(l.observed_count(), 0));
+    }
+
+    #[test]
+    fn estimate_many_serves_one_coherent_version() {
+        let svc = service();
+        svc.observe_batch(&[obs([(0.0, 5.0), (0.0, 5.0)], 0.9)]).expect("training");
+        let probes = vec![
+            Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]),
+            Rect::from_bounds(&[(5.0, 10.0), (5.0, 10.0)]),
+        ];
+        let many = svc.estimate_many(&probes);
+        let snap = svc.snapshot();
+        for (r, m) in probes.iter().zip(&many) {
+            assert_eq!(snap.estimate(r), *m);
+        }
+    }
+
+    #[test]
+    fn learner_diagnostics_are_reachable() {
+        let svc = service();
+        svc.observe_batch(&[obs([(0.0, 5.0), (0.0, 5.0)], 0.9)]).expect("training");
+        svc.with_learner(|l| {
+            assert_eq!(l.observed_count(), 1);
+            assert!(l.last_report().is_some());
+            assert!(l.last_error().is_none());
+        });
+    }
+
+    #[test]
+    fn auto_refining_learner_reports_retrained_and_counts_refines() {
+        // Default policy (EveryQuery): the learner retrains inside
+        // observe_batch, so the explicit refine sees nothing pending.
+        // The service must still report Retrained and count the refine.
+        let svc = SelectivityService::new(QuickSel::new(domain()));
+        let outcome = svc.observe_batch(&[obs([(0.0, 5.0), (0.0, 5.0)], 0.9)]).expect("train");
+        assert!(outcome.retrained(), "auto-refine hidden from the caller: {outcome:?}");
+        assert_eq!(svc.stats().refines, 1);
+        assert_eq!(svc.version(), 1);
+        // Incremental learners (STHoles-style ingestion) are detected the
+        // same way, via training_version.
+        let outcome2 = svc.observe_batch(&[obs([(2.0, 7.0), (2.0, 7.0)], 0.4)]).expect("train");
+        assert!(outcome2.retrained());
+        assert_eq!(svc.stats().refines, 2);
+    }
+
+    #[test]
+    fn send_after_shutdown_returns_the_batch() {
+        let svc = Arc::new(service());
+        let mut handle = svc.start_ingest(4);
+        handle.send(vec![obs([(0.0, 5.0), (0.0, 5.0)], 0.5)]).expect("worker alive");
+        handle.shutdown();
+        let refused = handle.send(vec![obs([(1.0, 6.0), (1.0, 6.0)], 0.5)]);
+        assert!(refused.is_err(), "send after shutdown must return the batch");
+        assert_eq!(refused.unwrap_err().len(), 1);
+        assert_eq!(svc.stats().batches_ingested, 1);
+    }
+
+    #[test]
+    fn background_ingest_drains_and_publishes() {
+        let svc = Arc::new(service());
+        let mut handle = svc.start_ingest(8);
+        for i in 0..6 {
+            let lo = (i % 3) as f64;
+            handle.send(vec![obs([(lo, lo + 5.0), (0.0, 5.0)], 0.6)]).expect("worker alive");
+        }
+        handle.shutdown();
+        assert_eq!(svc.stats().batches_ingested, 6);
+        assert_eq!(svc.stats().queries_ingested, 6);
+        assert!(svc.version() >= 6);
+        svc.with_learner(|l| assert_eq!(l.observed_count(), 6));
+    }
+
+    #[test]
+    fn try_send_reports_full_queue() {
+        let svc = Arc::new(service());
+        // Stall the worker by locking the learner, then flood the queue.
+        let mut handle = {
+            let _guard = svc.learner.lock().unwrap();
+            let handle = svc.start_ingest(1);
+            let mut refused = None;
+            for _ in 0..64 {
+                if let Err(b) = handle.try_send(vec![obs([(0.0, 5.0), (0.0, 5.0)], 0.5)]) {
+                    refused = Some(b);
+                    break;
+                }
+            }
+            assert!(refused.is_some(), "bounded queue never refused");
+            handle
+        };
+        handle.shutdown();
+    }
+}

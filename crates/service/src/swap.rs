@@ -1,0 +1,192 @@
+//! [`ArcCell`]: an atomically swappable `Arc` slot with lock-free readers.
+//!
+//! The standard-library toolbox offers no atomic `Arc` swap (and external
+//! crates are unavailable offline), so this is a small RCU-style cell:
+//!
+//! * **Readers** ([`load`](ArcCell::load)) pin the current epoch with one
+//!   `fetch_add`, clone the `Arc` behind the pointer, and unpin. No mutex,
+//!   no writer can block them — readers are wait-free apart from a retry
+//!   that only triggers if a writer flips the epoch mid-pin.
+//! * **Writers** ([`store`](ArcCell::store)) swap the pointer, flip the
+//!   epoch, and wait for the *previous* epoch's pins to drain before
+//!   dropping the old value (the grace period). Writers serialize among
+//!   themselves on a mutex; that lock is never touched by readers.
+//!
+//! The pointee is double-boxed (`*mut Arc<T>`) so `T: ?Sized` works —
+//! the cell's main use holds `Arc<dyn Estimate + Send + Sync>`.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// An atomically swappable `Arc<T>` with lock-free readers.
+pub struct ArcCell<T: ?Sized> {
+    /// Heap cell holding the current `Arc` (thin pointer even for `?Sized`).
+    ptr: AtomicPtr<Arc<T>>,
+    /// Reader pin counts for the two in-flight epochs (indexed by parity).
+    pins: [AtomicUsize; 2],
+    /// Monotonic epoch; flipped by every store.
+    epoch: AtomicUsize,
+    /// Serializes writers only; never taken by `load`.
+    write_lock: Mutex<()>,
+}
+
+impl<T: ?Sized> ArcCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            pins: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            epoch: AtomicUsize::new(0),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Returns a clone of the current `Arc`. Lock-free: one pin
+    /// increment, one pointer load, one refcount increment, one unpin.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let e = self.epoch.load(SeqCst);
+            let slot = &self.pins[e & 1];
+            slot.fetch_add(1, SeqCst);
+            // If a writer flipped the epoch between our load and pin, our
+            // pin landed in a slot the writer may no longer be waiting on;
+            // retry under the new epoch.
+            if self.epoch.load(SeqCst) != e {
+                slot.fetch_sub(1, SeqCst);
+                std::hint::spin_loop();
+                continue;
+            }
+            // Safe: the pin guarantees the writer that swapped this
+            // pointer out (if any) has not yet freed the box — it waits
+            // for this epoch's pins to drain first.
+            let p = self.ptr.load(SeqCst);
+            let value = unsafe { Arc::clone(&*p) };
+            slot.fetch_sub(1, SeqCst);
+            return value;
+        }
+    }
+
+    /// Replaces the stored `Arc`, dropping the previous value once all
+    /// readers pinned before the swap have finished.
+    pub fn store(&self, value: Arc<T>) {
+        let _writer = self.write_lock.lock().expect("ArcCell writer lock poisoned");
+        let fresh = Box::into_raw(Box::new(value));
+        let old = self.ptr.swap(fresh, SeqCst);
+        // Grace period: readers that could still dereference `old` are
+        // exactly those pinned under the pre-flip epoch. After the flip,
+        // new readers see the fresh pointer, so the old slot only drains.
+        let e = self.epoch.fetch_add(1, SeqCst);
+        let mut spins = 0u32;
+        while self.pins[e & 1].load(SeqCst) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Safe: no reader can reach `old` any more.
+        drop(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl<T: ?Sized> Drop for ArcCell<T> {
+    fn drop(&mut self) {
+        // Safe: &mut self means no readers or writers remain.
+        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+    }
+}
+
+// Safety: the cell hands out clones of `Arc<T>` across threads, so it is
+// exactly as shareable as `Arc<T>` itself.
+unsafe impl<T: ?Sized + Send + Sync> Send for ArcCell<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for ArcCell<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = ArcCell::new(Arc::new(7usize));
+        assert_eq!(*cell.load(), 7);
+        cell.store(Arc::new(8));
+        assert_eq!(*cell.load(), 8);
+    }
+
+    #[test]
+    fn works_with_unsized_pointees() {
+        let cell: ArcCell<dyn Fn() -> i32 + Send + Sync> = ArcCell::new(Arc::new(|| 1));
+        assert_eq!(cell.load()(), 1);
+        cell.store(Arc::new(|| 2));
+        assert_eq!(cell.load()(), 2);
+    }
+
+    /// Every stored value must be dropped exactly once, and loads taken
+    /// before a store must stay alive until their `Arc` clones drop.
+    #[test]
+    fn values_drop_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] usize);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let cell = ArcCell::new(Arc::new(Counted(0)));
+        let held = cell.load();
+        for i in 1..=10 {
+            cell.store(Arc::new(Counted(i)));
+        }
+        // 0 is still held by `held`; 1..=9 replaced and dropped.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 9);
+        drop(held);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+        drop(cell);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 11);
+    }
+
+    /// Hammer the cell from many readers while a writer swaps constantly;
+    /// every load must observe a fully-formed value.
+    #[test]
+    fn concurrent_loads_and_stores_stay_coherent() {
+        const READERS: usize = 6;
+        const STORES: u64 = 2_000;
+        // The invariant pair: both halves must always match.
+        let cell = Arc::new(ArcCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicUsize::new(0));
+
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(thread::spawn(move || {
+                let mut seen_max = 0u64;
+                let mut loads = 0u64;
+                // At least 100 loads even if the writer finishes first,
+                // then keep loading until told to stop.
+                while loads < 100 || stop.load(Ordering::SeqCst) == 0 {
+                    let v = cell.load();
+                    assert_eq!(v.0, v.1, "torn value observed");
+                    seen_max = seen_max.max(v.0);
+                    loads += 1;
+                }
+                (seen_max, loads)
+            }));
+        }
+
+        for i in 1..=STORES {
+            cell.store(Arc::new((i, i)));
+        }
+        stop.store(1, Ordering::SeqCst);
+        for r in readers {
+            let (seen_max, loads) = r.join().expect("reader panicked");
+            assert!(loads >= 100);
+            assert!(seen_max <= STORES);
+        }
+        assert_eq!(cell.load().0, STORES);
+    }
+}

@@ -1,0 +1,172 @@
+//! Multi-threaded serving smoke tests: readers must see coherent
+//! snapshots — never a torn or half-trained model — while the writer
+//! ingests feedback batches and retrains.
+
+use quicksel_core::{QuickSel, RefinePolicy};
+use quicksel_data::ObservedQuery;
+use quicksel_geometry::{Domain, Rect};
+use quicksel_service::SelectivityService;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn domain() -> Domain {
+    Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+}
+
+/// ≥4 reader threads estimate continuously (no locks on their path) while
+/// the writer pushes feedback batches and republishes. Every estimate a
+/// reader takes from one snapshot must be internally consistent, and the
+/// model version must only move forward.
+#[test]
+fn readers_see_coherent_snapshots_while_writer_retrains() {
+    const READERS: usize = 6;
+    const BATCHES: usize = 25;
+
+    // A pinned subpopulation budget keeps each debug-mode retrain fast;
+    // the concurrency structure is what this test exercises.
+    let service = Arc::new(SelectivityService::new(
+        QuickSel::builder(domain())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(96)
+            .seed(5)
+            .build(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        readers.push(thread::spawn(move || {
+            let probe_small = Rect::from_bounds(&[(1.0, 3.0), (1.0, 3.0)]);
+            let probe_big = Rect::from_bounds(&[(0.0, 4.0), (0.0, 4.0)]);
+            let everything = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+            let mut estimates = 0u64;
+            let mut last_version = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let version = service.version();
+                assert!(version >= last_version, "version moved backwards");
+                last_version = version;
+
+                let snap = service.snapshot();
+                // Each answer must be a valid selectivity…
+                let s = snap.estimate(&probe_small);
+                let b = snap.estimate(&probe_big);
+                let all = snap.estimate(&everything);
+                for e in [s, b, all] {
+                    assert!((0.0..=1.0).contains(&e), "reader {r}: estimate {e}");
+                }
+                // …and answers from ONE snapshot must be mutually
+                // consistent: an untrained prior and every trained model
+                // with non-negative weights is monotone, and repeating a
+                // probe on the same snapshot must be bit-identical (a
+                // torn model swap would break this).
+                assert_eq!(snap.estimate(&probe_small), s, "snapshot answered inconsistently");
+                let many = snap.estimate_many(&[probe_small.clone(), probe_big.clone()]);
+                assert_eq!(many, vec![s, b], "estimate_many diverged from estimate");
+                estimates += 3;
+            }
+            estimates
+        }));
+    }
+
+    // The writer: batches of feedback sweeping the domain, each followed
+    // by a retrain + publish.
+    for i in 0..BATCHES {
+        let lo = (i % 5) as f64;
+        let batch: Vec<ObservedQuery> = (0..4)
+            .map(|j| {
+                let r = Rect::from_bounds(&[(lo, lo + 4.0), (j as f64, j as f64 + 4.0)]);
+                ObservedQuery::new(r, 0.2 + 0.1 * (j as f64 % 3.0))
+            })
+            .collect();
+        service.observe_batch(&batch).expect("training failed mid-run");
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_estimates = 0u64;
+    for reader in readers {
+        total_estimates += reader.join().expect("reader panicked");
+    }
+    assert!(total_estimates > 0, "readers never ran");
+    assert_eq!(service.version(), BATCHES as u64);
+    let stats = service.stats();
+    assert_eq!(stats.batches_ingested, BATCHES as u64);
+    assert_eq!(stats.refines, BATCHES as u64);
+    assert_eq!(stats.refine_failures, 0);
+    service.with_learner(|l| {
+        assert_eq!(l.observed_count(), BATCHES * 4);
+        assert!(l.last_error().is_none());
+    });
+}
+
+/// A snapshot taken before a retrain keeps answering from its frozen
+/// model even while newer versions are published concurrently.
+#[test]
+fn old_snapshots_survive_concurrent_republishing() {
+    let service = Arc::new(SelectivityService::new(
+        QuickSel::builder(domain()).refine_policy(RefinePolicy::Manual).build(),
+    ));
+    let probe = Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]);
+
+    service.observe_batch(&[ObservedQuery::new(probe.clone(), 0.9)]).expect("first training");
+    let pinned = service.snapshot();
+    let pinned_answer = pinned.estimate(&probe);
+    assert!((pinned_answer - 0.9).abs() < 0.05);
+
+    // Contradictory feedback from another thread republishes repeatedly.
+    let writer = {
+        let service = Arc::clone(&service);
+        let probe = probe.clone();
+        thread::spawn(move || {
+            for _ in 0..20 {
+                service.observe_batch(&[ObservedQuery::new(probe.clone(), 0.1)]).expect("training");
+            }
+        })
+    };
+    writer.join().unwrap();
+
+    // The live service moved…
+    assert!((service.estimate(&probe) - pinned_answer).abs() > 0.2);
+    // …the pinned snapshot did not.
+    assert_eq!(pinned.estimate(&probe), pinned_answer);
+}
+
+/// Background ingestion feeds the same pipeline: queued batches land in
+/// the learner, and readers stay lock-free throughout.
+#[test]
+fn background_ingestion_with_concurrent_readers() {
+    let service = Arc::new(SelectivityService::new(
+        QuickSel::builder(domain()).refine_policy(RefinePolicy::Manual).build(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let probe = Rect::from_bounds(&[(2.0, 6.0), (2.0, 6.0)]);
+            while !stop.load(Ordering::Relaxed) {
+                let e = service.estimate(&probe);
+                assert!((0.0..=1.0).contains(&e));
+            }
+        })
+    };
+
+    let mut handle = service.start_ingest(16);
+    for i in 0..25 {
+        let lo = (i % 5) as f64;
+        handle
+            .send(vec![ObservedQuery::new(
+                Rect::from_bounds(&[(lo, lo + 3.0), (lo, lo + 3.0)]),
+                0.5,
+            )])
+            .expect("ingest worker alive");
+    }
+    handle.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    reader.join().expect("reader panicked");
+
+    assert_eq!(service.stats().batches_ingested, 25);
+    service.with_learner(|l| assert_eq!(l.observed_count(), 25));
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! API surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and
+//! [`black_box`] — with a deliberately simple measurement loop: warm up,
+//! run batches until the measurement budget is spent, print the mean.
+//! There is no statistical analysis, outlier detection, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// shim runs one setup per measured invocation regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, e.g. `BenchmarkId::new("analytic", n)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-target timing harness handed to benchmark closures.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    label: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly and prints the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let budget = self.settings.measurement_time;
+        let min_iters = self.settings.sample_size as u64;
+        while elapsed < budget || iters < min_iters {
+            let t = Instant::now();
+            black_box(routine());
+            elapsed += t.elapsed();
+            iters += 1;
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        report(&self.label, elapsed, iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let budget = self.settings.measurement_time;
+        let min_iters = self.settings.sample_size as u64;
+        while elapsed < budget || iters < min_iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            elapsed += t.elapsed();
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        report(&self.label, elapsed, iters);
+    }
+}
+
+fn report(label: &str, elapsed: Duration, iters: u64) {
+    let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+    let (value, unit) = if per_iter < 1e-6 {
+        (per_iter * 1e9, "ns")
+    } else if per_iter < 1e-3 {
+        (per_iter * 1e6, "µs")
+    } else if per_iter < 1.0 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter, "s")
+    };
+    println!("{label:<48} {value:>10.3} {unit}/iter  ({iters} iterations)");
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The top-level harness.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the minimum iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { settings: &self.settings, label: id.to_string() };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { settings: self.settings.clone(), name: name.to_string(), _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    settings: Settings,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher { settings: &self.settings, label };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher { settings: &self.settings, label };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        quick().bench_function("counter", |b| b.iter(|| calls += 1));
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    fn groups_and_batched_iter_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).measurement_time(Duration::from_millis(5));
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |x| total += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(total >= 20);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

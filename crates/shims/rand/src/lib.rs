@@ -1,0 +1,326 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the exact slice of `rand` it consumes: [`Rng`] (`gen`, `gen_range`,
+//! `gen_bool`), [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`). The generator is
+//! xoshiro256** seeded through SplitMix64 — not `rand`'s ChaCha12, so
+//! streams differ from upstream `rand`, but every consumer in this
+//! workspace only relies on *deterministic* seeding, not on matching
+//! upstream streams.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from raw random bits via `Rng::gen`.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        let v = self.start + (self.end - self.start) * u;
+        // Floating rounding can land exactly on `end`; fold it back.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64, i32);
+
+/// The user-facing sampling interface (the `rand 0.8` method names).
+pub trait Rng: RngCore {
+    /// Draws a value of an inferrable [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**, state expanded
+    /// from the seed with SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-3.0..7.0);
+            assert!((-3.0..7.0).contains(&x));
+            let y = rng.gen_range(0.25..=0.5);
+            assert!((0.25..=0.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        let mut seen_inc = [false; 4];
+        for _ in 0..200 {
+            seen_inc[rng.gen_range(0..=3usize)] = true;
+        }
+        assert!(seen_inc.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_is_uniform_ish() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let items = [1, 2, 3, 4];
+        let mut counts = [0usize; 4];
+        for _ in 0..4_000 {
+            counts[*items.choose(&mut rng).unwrap() - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_half() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+}

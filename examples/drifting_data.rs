@@ -44,10 +44,7 @@ fn main() {
         match event {
             DriftEvent::Query(rect) => {
                 let truth = table.selectivity(&rect);
-                window.push([
-                    (truth, autohist.estimate(&rect)),
-                    (truth, quicksel.estimate(&rect)),
-                ]);
+                window.push([(truth, autohist.estimate(&rect)), (truth, quicksel.estimate(&rect))]);
                 quicksel.observe(&ObservedQuery::new(rect, truth));
                 if window.len() == 100 {
                     let ah: Vec<(f64, f64)> = window.iter().map(|w| w[0]).collect();
@@ -68,11 +65,16 @@ fn main() {
                 }
                 // The 20%-churn rule decides whether a rescan happens.
                 autohist.sync_data(&table, rows.len());
-                println!("   [+{} rows inserted; AutoHist rebuilds so far: {}]",
-                    rows.len(), autohist.rebuild_count);
+                println!(
+                    "   [+{} rows inserted; AutoHist rebuilds so far: {}]",
+                    rows.len(),
+                    autohist.rebuild_count
+                );
             }
         }
     }
-    println!("\nQuickSel needs no scans at all: it refined {} times from feedback alone.",
-        quicksel.observed_count() / 100);
+    println!(
+        "\nQuickSel needs no scans at all: it refined {} times from feedback alone.",
+        quicksel.observed_count() / 100
+    );
 }

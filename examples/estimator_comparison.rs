@@ -19,20 +19,16 @@ fn main() {
     println!(
         "DMV-like table: {} rows, columns: {}\n",
         table.row_count(),
-        domain
-            .columns()
-            .iter()
-            .map(|c| c.name.as_str())
-            .collect::<Vec<_>>()
-            .join(", ")
+        domain.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>().join(", ")
     );
 
-    let mut workload = RectWorkload::new(domain.clone(), 11, ShiftMode::Random, CenterMode::DataRow)
-        .with_width_frac(0.1, 0.4);
+    let mut workload =
+        RectWorkload::new(domain.clone(), 11, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let train = workload.take_queries(&table, 80);
     let test = workload.take_queries(&table, 100);
 
-    let mut methods: Vec<Box<dyn SelectivityEstimator>> = vec![
+    let mut methods: Vec<Box<dyn Learn>> = vec![
         Box::new(QuickSel::new(domain.clone())),
         Box::new(STHoles::new(domain.clone())),
         Box::new(Isomer::new(domain.clone())),

@@ -62,8 +62,7 @@ fn main() {
     let b0 = domain.full_rect();
     for q in &trial {
         let oracle = choose(rows, q.selectivity);
-        let oracle_cost =
-            scan_cost(rows).min(index_cost(rows, q.selectivity));
+        let oracle_cost = scan_cost(rows).min(index_cost(rows, q.selectivity));
 
         let uni_est = q.rect.intersection_volume(&b0) / b0.volume();
         let uni_plan = choose(rows, uni_est);

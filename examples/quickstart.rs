@@ -18,8 +18,9 @@ fn main() {
     let domain = table.domain().clone();
     println!("table: {} rows over {} columns", table.row_count(), domain.dim());
 
-    // 2. A fresh estimator. Before any feedback it assumes uniformity.
-    let mut estimator = QuickSel::new(domain.clone());
+    // 2. A fresh estimator via the fluent builder. Before any feedback it
+    //    assumes uniformity.
+    let mut estimator = QuickSel::builder(domain.clone()).seed(7).build();
     let probe = Predicate::new().range(0, -1.0, 1.0).range(1, -1.0, 1.0).to_rect(&domain);
     println!(
         "before any feedback:  est = {:.4}   (truth = {:.4})",
@@ -45,13 +46,19 @@ fn main() {
         }
     }
 
-    // 4. Score on 100 unseen queries.
+    // 4. Score on 100 unseen queries — through a frozen snapshot, the
+    //    same immutable object a serving layer would hand each planner
+    //    thread.
+    let snapshot = estimator.snapshot();
     let test = workload.take_queries(&table, 100);
+    let rects: Vec<_> = test.iter().map(|q| q.rect.clone()).collect();
+    let estimates = snapshot.estimate_many(&rects);
     let pairs: Vec<(f64, f64)> =
-        test.iter().map(|q| (q.selectivity, estimator.estimate(&q.rect))).collect();
+        test.iter().zip(&estimates).map(|(q, &e)| (q.selectivity, e)).collect();
     println!(
-        "\nmean relative error on 100 unseen queries: {:.2}%",
-        quicksel::data::mean_rel_error_pct(&pairs)
+        "\nmean relative error on 100 unseen queries: {:.2}%  (model version {})",
+        quicksel::data::mean_rel_error_pct(&pairs),
+        snapshot.version(),
     );
     let report = estimator.last_report().expect("trained");
     println!(

@@ -7,13 +7,21 @@
 //! This facade crate re-exports the workspace's public API:
 //!
 //! * [`QuickSel`] — the estimator itself (crate `quicksel-core`),
+//! * [`SelectivityService`] — lock-free concurrent serving of immutable
+//!   model snapshots (crate `quicksel-service`),
 //! * [`geometry`] — predicates, hyperrectangles, domains,
 //! * [`linalg`] — the dense solvers behind training,
-//! * [`data`] — tables, synthetic datasets, workloads, metrics,
+//! * [`data`] — tables, synthetic datasets, workloads, metrics, and the
+//!   [`Estimate`]/[`Learn`] estimator contract,
 //! * [`baselines`] — STHoles, ISOMER, ISOMER+QP, QueryModel, AutoHist,
 //!   AutoSample.
 //!
 //! ## Quick start
+//!
+//! The estimator API is split into a read side ([`Estimate`]: `&self`
+//! only) and a write side ([`Learn`]: batched feedback + fallible
+//! retraining). Configure with the builder, ingest feedback in batches,
+//! and freeze snapshots for serving:
 //!
 //! ```
 //! use quicksel::prelude::*;
@@ -22,17 +30,49 @@
 //! let table = quicksel::data::datasets::gaussian_table(2, 0.5, 10_000, 7);
 //!
 //! // The estimator only ever sees query feedback, never the data.
-//! let mut estimator = QuickSel::new(table.domain().clone());
+//! let mut estimator = QuickSel::builder(table.domain().clone())
+//!     .refine_policy(RefinePolicy::Manual)
+//!     .seed(42)
+//!     .build();
 //! let mut workload = RectWorkload::new(
 //!     table.domain().clone(), 42, ShiftMode::Random, CenterMode::DataRow);
-//! for q in workload.take_queries(&table, 30) {
-//!     estimator.observe(&q);
-//! }
+//!
+//! // Batched feedback ingestion + one explicit (fallible) retrain.
+//! let feedback = workload.take_queries(&table, 30);
+//! estimator.observe_batch(&feedback);
+//! let outcome = estimator.refine().expect("training failed");
+//! assert!(outcome.retrained());
 //!
 //! // Ask for selectivity estimates for new predicates.
 //! let probe = workload.next_query(&table);
 //! let est = estimator.estimate(&probe.rect);
 //! assert!((est - probe.selectivity).abs() < 0.25);
+//! ```
+//!
+//! ## Concurrent serving
+//!
+//! Wrap the estimator in a [`SelectivityService`] to let any number of
+//! planner threads estimate lock-free while feedback batches retrain in
+//! the background:
+//!
+//! ```
+//! use quicksel::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let domain = Domain::of_reals(&[("x", 0.0, 10.0)]);
+//! let service = Arc::new(SelectivityService::new(
+//!     QuickSel::builder(domain.clone()).build(),
+//! ));
+//!
+//! // Reader threads: grab a snapshot, estimate with &self only.
+//! let snapshot = service.snapshot();
+//! let probe = Predicate::new().range(0, 2.0, 4.0).to_rect(&domain);
+//! assert!((0.0..=1.0).contains(&snapshot.estimate(&probe)));
+//!
+//! // Writer: validated batch ingestion + retrain + atomic publish.
+//! let half = Predicate::new().less_than(0, 5.0).to_rect(&domain);
+//! service.observe_batch(&[ObservedQuery::new(half, 0.5)]).expect("train");
+//! assert_eq!(service.version(), 1);
 //! ```
 
 pub use quicksel_baselines as baselines;
@@ -41,16 +81,25 @@ pub use quicksel_data as data;
 pub use quicksel_engine as engine;
 pub use quicksel_geometry as geometry;
 pub use quicksel_linalg as linalg;
+pub use quicksel_service as service;
 
 pub use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
-pub use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy, TrainingMethod};
-pub use quicksel_data::{ObservedQuery, SelectivityEstimator, Table};
+pub use quicksel_core::{
+    ModelSnapshot, QuickSel, QuickSelBuilder, QuickSelConfig, RefinePolicy, TrainingMethod,
+};
+pub use quicksel_data::{
+    Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,
+};
 pub use quicksel_geometry::{BoolExpr, Domain, Interval, Predicate, Rect};
+pub use quicksel_service::{SelectivityService, ServiceStats, SharedSnapshot};
 
 /// Convenience imports covering the common workflow.
 pub mod prelude {
-    pub use quicksel_core::{QuickSel, QuickSelConfig, RefinePolicy};
+    pub use quicksel_core::{ModelSnapshot, QuickSel, QuickSelConfig, RefinePolicy};
     pub use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
-    pub use quicksel_data::{ObservedQuery, SelectivityEstimator, Table};
+    pub use quicksel_data::{
+        Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,
+    };
     pub use quicksel_geometry::{Domain, Predicate, Rect};
+    pub use quicksel_service::SelectivityService;
 }

@@ -1,0 +1,206 @@
+//! Contract tests for the redesigned estimator API: the read/write trait
+//! split, batched ingestion, typed errors, and snapshot semantics hold
+//! across every estimator in the workspace.
+
+use quicksel::prelude::*;
+use quicksel::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
+
+fn all_methods(domain: &Domain) -> Vec<Box<dyn Learn>> {
+    vec![
+        Box::new(QuickSel::new(domain.clone())),
+        Box::new(STHoles::new(domain.clone())),
+        Box::new(Isomer::new(domain.clone())),
+        Box::new(IsomerQp::new(domain.clone())),
+        Box::new(QueryModel::new(domain.clone())),
+        Box::new(AutoHist::with_budget(domain.clone(), 100)),
+        Box::new(AutoSample::new(domain.clone(), 100, 3)),
+    ]
+}
+
+/// `estimate_many` must agree element-wise with single-call `estimate`
+/// for every estimator, trained or not.
+#[test]
+fn estimate_many_matches_single_estimates_everywhere() {
+    let table = quicksel::data::datasets::gaussian_table(2, 0.4, 5_000, 61);
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 62, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
+    let train = workload.take_queries(&table, 25);
+    let probes: Vec<Rect> = workload.take_queries(&table, 40).into_iter().map(|q| q.rect).collect();
+    for mut est in all_methods(table.domain()) {
+        est.sync_data(&table, table.row_count());
+        est.observe_batch(&train);
+        let many = est.estimate_many(&probes);
+        assert_eq!(many.len(), probes.len());
+        for (r, &m) in probes.iter().zip(&many) {
+            assert_eq!(est.estimate(r), m, "{}: estimate_many diverged", est.name());
+        }
+    }
+}
+
+/// One `observe_batch` call must leave every estimator in a state
+/// equivalent to N single `observe` calls (same feedback, same order).
+/// For QuickSel the models are bit-identical under the manual policy; for
+/// the incremental baselines the estimates must match on probes.
+#[test]
+fn observe_batch_equals_sequential_observes() {
+    let table = quicksel::data::datasets::gaussian_table(2, 0.5, 5_000, 63);
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 64, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
+    let train = workload.take_queries(&table, 20);
+    let probes: Vec<Rect> = workload.take_queries(&table, 30).into_iter().map(|q| q.rect).collect();
+
+    // STHoles + QueryModel ingest incrementally: batch == sequential.
+    let pairs: Vec<(Box<dyn Learn>, Box<dyn Learn>)> = vec![
+        (
+            Box::new(STHoles::new(table.domain().clone())),
+            Box::new(STHoles::new(table.domain().clone())),
+        ),
+        (
+            Box::new(QueryModel::new(table.domain().clone())),
+            Box::new(QueryModel::new(table.domain().clone())),
+        ),
+    ];
+    for (mut seq, mut batch) in pairs {
+        for q in &train {
+            seq.observe(q);
+        }
+        batch.observe_batch(&train);
+        for p in &probes {
+            assert_eq!(seq.estimate(p), batch.estimate(p), "{} diverged", seq.name());
+        }
+        assert_eq!(seq.param_count(), batch.param_count());
+    }
+
+    // QuickSel under the manual policy: deterministic RNG consumption
+    // makes the two models bit-identical after one refine.
+    let mut seq =
+        QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
+    let mut batch =
+        QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
+    for q in &train {
+        seq.observe(q);
+    }
+    batch.observe_batch(&train);
+    assert!(seq.refine().unwrap().retrained());
+    assert!(batch.refine().unwrap().retrained());
+    for p in &probes {
+        assert_eq!(seq.estimate(p), batch.estimate(p));
+    }
+}
+
+/// Refine outcomes are typed: nothing-to-do, retrained, and (for
+/// degenerate feedback) kept-prior are all distinguishable, and the error
+/// path is a real `Err`, not a swallowed failure.
+#[test]
+fn refine_outcomes_are_observable() {
+    let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+    let mut qs = QuickSel::builder(domain.clone()).refine_policy(RefinePolicy::Manual).build();
+    // Nothing observed yet.
+    assert_eq!(qs.refine().unwrap(), RefineOutcome::UpToDate);
+    // Degenerate feedback (zero-volume predicate): the prior is kept.
+    qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(5.0, 5.0), (0.0, 10.0)]), 0.0));
+    assert_eq!(qs.refine().unwrap(), RefineOutcome::KeptPrior);
+    assert!(qs.last_error().is_none(), "KeptPrior is not an error");
+    // Real feedback: retrained with the (B0, 1) row counted.
+    qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.8));
+    match qs.refine().unwrap() {
+        RefineOutcome::Retrained { params, constraints } => {
+            assert!(params > 0);
+            assert_eq!(constraints, 3); // 2 observations + the (B0, 1) row
+        }
+        other => panic!("expected Retrained, got {other:?}"),
+    }
+}
+
+/// `refine` is idempotent for every estimator: after `observe_batch` has
+/// trained, a follow-up refine reports `UpToDate` — so "refine until
+/// UpToDate" loops terminate.
+#[test]
+fn refine_is_idempotent_after_batch_training() {
+    let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+    let batch = vec![ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.7)];
+    let mut methods: Vec<Box<dyn Learn>> = vec![
+        Box::new(Isomer::new(domain.clone())),
+        Box::new(IsomerQp::new(domain.clone())),
+        Box::new(QuickSel::new(domain.clone())),
+        Box::new(STHoles::new(domain.clone())),
+        Box::new(QueryModel::new(domain.clone())),
+    ];
+    for est in &mut methods {
+        est.observe_batch(&batch);
+        let v = est.training_version();
+        assert_eq!(
+            est.refine().unwrap(),
+            RefineOutcome::UpToDate,
+            "{}: refine after batch training must be a no-op",
+            est.name()
+        );
+        assert_eq!(est.training_version(), v, "{}: idle refine retrained", est.name());
+    }
+}
+
+/// Invalid feedback handed directly to QuickSel (not through the
+/// service) is skipped and recorded — never trained on.
+#[test]
+fn quicksel_skips_and_records_invalid_feedback() {
+    let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+    let mut qs = QuickSel::new(domain.clone());
+    let good = ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.8);
+    let bad =
+        ObservedQuery { rect: Rect::from_bounds(&[(1.0, 2.0), (1.0, 2.0)]), selectivity: f64::NAN };
+    qs.observe_batch(&[good.clone(), bad]);
+    // Only the valid observation was ingested and trained on. (The 0.15
+    // tolerance accommodates a known single-observation artifact: when
+    // every sampled subpopulation lands inside the observed rect, the
+    // feedback row duplicates the (B0, 1) row and the solve averages the
+    // two, giving (1+s)/2.)
+    assert_eq!(qs.observed_count(), 1);
+    assert!(qs.estimate(&good.rect).is_finite(), "NaN feedback poisoned the model");
+    assert!((qs.estimate(&good.rect) - 0.8).abs() < 0.15);
+    // …and the rejection survived the successful auto-refine.
+    match qs.last_error() {
+        Some(EstimatorError::InvalidFeedback { index, .. }) => assert_eq!(*index, 1),
+        other => panic!("expected recorded InvalidFeedback, got {other:?}"),
+    }
+}
+
+/// The service rejects invalid feedback with a typed error before the
+/// learner sees it, and keeps serving the previous snapshot.
+#[test]
+fn service_surfaces_typed_errors() {
+    let domain = Domain::of_reals(&[("x", 0.0, 10.0)]);
+    let service = SelectivityService::new(QuickSel::new(domain.clone()));
+    let good = Predicate::new().range(0, 0.0, 5.0).to_rect(&domain);
+    service.observe_batch(&[ObservedQuery::new(good.clone(), 0.5)]).expect("train");
+    let v = service.version();
+
+    let bad = ObservedQuery { rect: good.clone(), selectivity: f64::NAN };
+    match service.observe_batch(&[bad]) {
+        Err(EstimatorError::InvalidFeedback { index, .. }) => assert_eq!(index, 0),
+        other => panic!("expected InvalidFeedback, got {other:?}"),
+    }
+    assert_eq!(service.version(), v, "rejected batch must not republish");
+    assert!((service.estimate(&good) - 0.5).abs() < 0.05);
+}
+
+/// Snapshots are immutable: feedback arriving after `snapshot()` never
+/// changes what the snapshot answers.
+#[test]
+fn snapshots_are_point_in_time() {
+    let domain = Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)]);
+    let mut qs = QuickSel::new(domain.clone());
+    let probe = Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]);
+    qs.observe(&ObservedQuery::new(probe.clone(), 0.9));
+    let snap: ModelSnapshot = qs.snapshot();
+    let frozen = snap.estimate(&probe);
+    for _ in 0..5 {
+        qs.observe(&ObservedQuery::new(probe.clone(), 0.05));
+    }
+    assert!((qs.estimate(&probe) - frozen).abs() > 0.2, "live estimator must move");
+    assert_eq!(snap.estimate(&probe), frozen, "snapshot must not move");
+    // Snapshots also serve batches consistently.
+    let many = snap.estimate_many(std::slice::from_ref(&probe));
+    assert_eq!(many[0], frozen);
+}

@@ -5,7 +5,7 @@
 use quicksel::prelude::*;
 use quicksel::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
 
-fn all_methods(domain: &Domain) -> Vec<Box<dyn SelectivityEstimator>> {
+fn all_methods(domain: &Domain) -> Vec<Box<dyn Learn>> {
     vec![
         Box::new(QuickSel::new(domain.clone())),
         Box::new(STHoles::new(domain.clone())),
@@ -20,12 +20,8 @@ fn all_methods(domain: &Domain) -> Vec<Box<dyn SelectivityEstimator>> {
 #[test]
 fn every_method_stays_in_unit_interval() {
     let table = quicksel::data::datasets::gaussian_table(2, 0.4, 10_000, 21);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        31,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    );
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 31, ShiftMode::Random, CenterMode::DataRow);
     let train = workload.take_queries(&table, 40);
     let probes = workload.take_queries(&table, 100);
     for mut est in all_methods(table.domain()) {
@@ -45,13 +41,9 @@ fn every_method_beats_a_coin_flip_on_easy_workload() {
     // A sharply bimodal dataset; after training, every estimator must be
     // closer to the truth than the constant-0.5 guess on average.
     let table = quicksel::data::datasets::gaussian_table(2, 0.8, 20_000, 22);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        32,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.35);
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 32, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.35);
     let train = workload.take_queries(&table, 60);
     let test = workload.take_queries(&table, 80);
     for mut est in all_methods(table.domain()) {
@@ -59,11 +51,9 @@ fn every_method_beats_a_coin_flip_on_easy_workload() {
         for q in &train {
             est.observe(q);
         }
-        let mae: f64 = test
-            .iter()
-            .map(|q| (est.estimate(&q.rect) - q.selectivity).abs())
-            .sum::<f64>()
-            / test.len() as f64;
+        let mae: f64 =
+            test.iter().map(|q| (est.estimate(&q.rect) - q.selectivity).abs()).sum::<f64>()
+                / test.len() as f64;
         let coin: f64 =
             test.iter().map(|q| (0.5 - q.selectivity).abs()).sum::<f64>() / test.len() as f64;
         assert!(mae < coin, "{}: mae {mae} vs coin {coin}", est.name());
@@ -75,13 +65,9 @@ fn quicksel_is_most_compact_query_driven_model() {
     // Figure 4's ordering: ISOMER params ≫ STHoles params ≫ QuickSel
     // params at the same number of observed queries.
     let table = quicksel::data::datasets::instacart::instacart_table(20_000, 23);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        33,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 33, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let train = workload.take_queries(&table, 50);
     let mut qs = QuickSel::new(table.domain().clone());
     let mut iso = Isomer::new(table.domain().clone());
@@ -113,13 +99,9 @@ fn quicksel_refines_faster_than_isomer_at_scale() {
     // (where ISOMER's bucket count explodes).
     use std::time::Instant;
     let table = quicksel::data::datasets::dmv::dmv_table(20_000, 24);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        34,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 34, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let train = workload.take_queries(&table, 60);
 
     let mut iso = Isomer::new(table.domain().clone());

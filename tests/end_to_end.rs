@@ -8,9 +8,8 @@ fn errors_after(table: &Table, train_n: usize, seed: u64) -> ErrorStats {
     let mut workload =
         RectWorkload::new(table.domain().clone(), seed, ShiftMode::Random, CenterMode::DataRow)
             .with_width_frac(0.1, 0.4);
-    let mut cfg = QuickSelConfig::default();
-    cfg.refine_policy = RefinePolicy::EveryK(25);
-    let mut qs = QuickSel::with_config(table.domain().clone(), cfg);
+    let mut qs =
+        QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::EveryK(25)).build();
     for q in workload.take_queries(table, train_n) {
         qs.observe(&q);
     }
@@ -57,13 +56,9 @@ fn learning_curve_decreases() {
 #[test]
 fn beats_uniform_prior_substantially() {
     let table = quicksel::data::datasets::gaussian_table(2, 0.7, 20_000, 15);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        5,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 5, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let mut qs = QuickSel::new(table.domain().clone());
     for q in workload.take_queries(&table, 60) {
         qs.observe(&q);
@@ -72,27 +67,18 @@ fn beats_uniform_prior_substantially() {
     let b0 = table.domain().full_rect();
     let learned: Vec<(f64, f64)> =
         test.iter().map(|q| (q.selectivity, qs.estimate(&q.rect))).collect();
-    let prior: Vec<(f64, f64)> = test
-        .iter()
-        .map(|q| (q.selectivity, q.rect.volume() / b0.volume()))
-        .collect();
+    let prior: Vec<(f64, f64)> =
+        test.iter().map(|q| (q.selectivity, q.rect.volume() / b0.volume())).collect();
     let learned_err = mean_rel_error_pct(&learned);
     let prior_err = mean_rel_error_pct(&prior);
-    assert!(
-        learned_err < 0.33 * prior_err,
-        "learned {learned_err}% vs prior {prior_err}%"
-    );
+    assert!(learned_err < 0.33 * prior_err, "learned {learned_err}% vs prior {prior_err}%");
 }
 
 #[test]
 fn estimates_bounded_for_arbitrary_probes() {
     let table = quicksel::data::datasets::gaussian_table(3, 0.3, 5_000, 16);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        6,
-        ShiftMode::Random,
-        CenterMode::Uniform,
-    );
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 6, ShiftMode::Random, CenterMode::Uniform);
     let mut qs = QuickSel::new(table.domain().clone());
     for q in workload.take_queries(&table, 40) {
         qs.observe(&q);
@@ -110,9 +96,8 @@ fn disjunctive_predicates_via_dnf() {
     use quicksel::geometry::BoolExpr;
     let table = quicksel::data::datasets::gaussian_table(2, 0.0, 20_000, 17);
     let d = table.domain().clone();
-    let mut workload =
-        RectWorkload::new(d.clone(), 7, ShiftMode::Random, CenterMode::DataRow)
-            .with_width_frac(0.15, 0.4);
+    let mut workload = RectWorkload::new(d.clone(), 7, ShiftMode::Random, CenterMode::DataRow)
+        .with_width_frac(0.15, 0.4);
     let mut qs = QuickSel::new(d.clone());
     for q in workload.take_queries(&table, 80) {
         qs.observe(&q);

@@ -13,13 +13,9 @@ fn pipeline_qp(
     m: usize,
     seed: u64,
 ) -> (quicksel::linalg::QpProblem, Vec<Rect>, Vec<ObservedQuery>) {
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        seed,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    )
-    .with_width_frac(0.1, 0.4);
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), seed, ShiftMode::Random, CenterMode::DataRow)
+            .with_width_frac(0.1, 0.4);
     let queries = workload.take_queries(table, n_queries);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
     let mut pool = Vec::new();
@@ -42,8 +38,8 @@ fn theorem1_matrix_structure() {
         assert!((qp.q.get(i, i) - 1.0 / subpops[i].volume()).abs() < 1e-9);
         for j in 0..m {
             assert!((qp.q.get(i, j) - qp.q.get(j, i)).abs() < 1e-12);
-            let expect =
-                subpops[i].intersection_volume(&subpops[j]) / (subpops[i].volume() * subpops[j].volume());
+            let expect = subpops[i].intersection_volume(&subpops[j])
+                / (subpops[i].volume() * subpops[j].volume());
             assert!((qp.q.get(i, j) - expect).abs() < 1e-9);
         }
     }
@@ -105,12 +101,8 @@ fn analytic_matches_standard_qp() {
 #[test]
 fn estimation_matches_density_integral() {
     let table = quicksel::data::datasets::gaussian_table(2, 0.5, 10_000, 44);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        45,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    );
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 45, ShiftMode::Random, CenterMode::DataRow);
     let mut qs = QuickSel::new(table.domain().clone());
     for q in workload.take_queries(&table, 25) {
         qs.observe(&q);
@@ -137,12 +129,8 @@ fn estimation_matches_density_integral() {
 #[test]
 fn subpopulation_budget_and_supports() {
     let table = quicksel::data::datasets::gaussian_table(2, 0.2, 5_000, 46);
-    let mut workload = RectWorkload::new(
-        table.domain().clone(),
-        47,
-        ShiftMode::Random,
-        CenterMode::DataRow,
-    );
+    let mut workload =
+        RectWorkload::new(table.domain().clone(), 47, ShiftMode::Random, CenterMode::DataRow);
     let mut qs = QuickSel::new(table.domain().clone());
     for (i, q) in workload.take_queries(&table, 30).iter().enumerate() {
         qs.observe(q);
