@@ -1,0 +1,148 @@
+//! Serving-layer throughput bench: sharded ingest scaling and the cached
+//! vs uncached read path, with machine-readable JSON output.
+//!
+//! ```sh
+//! cargo bench -p quicksel-bench --bench registry_throughput
+//! ```
+//!
+//! Two measurements:
+//!
+//! * **Ingest** — the same feedback workload pushed through a
+//!   `ShardedService` at 1/2/4/8 shards, one writer thread per shard.
+//!   More shards ⇒ less writer-mutex contention *and* smaller per-shard
+//!   training sets (QuickSel retrain cost grows with observed count), so
+//!   throughput should rise with the shard count.
+//! * **Read** — repeated planner probes against a trained registry:
+//!   uncached (`EstimatorRegistry::estimate`, an `ArcCell` load per
+//!   probe) vs the per-thread `CachedProvider` (version check only at a
+//!   stable model).
+//!
+//! Results are printed human-readably, and a JSON document is written to
+//! `target/bench-results/registry_throughput.json` — relative to the
+//! bench's working directory, i.e. `crates/bench/` when run through
+//! `cargo bench`; override the path with `REGISTRY_BENCH_OUT=...` — so
+//! successive runs can be tracked.
+
+use quicksel_core::{QuickSel, RefinePolicy};
+use quicksel_data::ObservedQuery;
+use quicksel_geometry::{Domain, Predicate, Rect};
+use quicksel_service::{CachedProvider, CardinalityProvider, EstimatorRegistry, ShardedService};
+use std::sync::Arc;
+use std::time::Instant;
+
+const INGEST_QUERIES: usize = 192;
+const INGEST_BATCH: usize = 4;
+const READ_PROBES: usize = 200_000;
+
+fn domain() -> Domain {
+    Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+}
+
+fn workload(n: usize) -> Vec<ObservedQuery> {
+    (0..n)
+        .map(|i| {
+            let lo = (i % 31) as f64 * 0.28;
+            let w = 0.6 + (i % 17) as f64 * 0.25;
+            let rect = Rect::from_bounds(&[(lo, (lo + w).min(10.0)), (0.0, (i % 9 + 1) as f64)]);
+            ObservedQuery::new(rect, 0.05 + (i % 9) as f64 * 0.1)
+        })
+        .collect()
+}
+
+fn sharded(shards: usize) -> Arc<ShardedService<QuickSel>> {
+    let d = domain();
+    Arc::new(ShardedService::new(d.clone(), shards, |i| {
+        QuickSel::builder(d.clone())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(64)
+            .seed(i as u64)
+            .build()
+    }))
+}
+
+/// Ingest the whole workload with one writer thread per shard; returns
+/// (elapsed seconds, queries ingested).
+fn bench_ingest(shards: usize) -> (f64, u64) {
+    let svc = sharded(shards);
+    let feedback = workload(INGEST_QUERIES);
+    let parts = svc.partition_batch(&feedback);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, part) in parts.iter().enumerate() {
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                for batch in part.chunks(INGEST_BATCH.max(1)) {
+                    svc.shard(i).observe_batch(batch).expect("ingest failed");
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let ingested = svc.stats().total.queries_ingested;
+    assert_eq!(ingested, feedback.len() as u64, "bench lost feedback");
+    (secs, ingested)
+}
+
+/// Times `READ_PROBES` estimates through `f`; returns ns/op.
+fn bench_reads(mut f: impl FnMut(&Predicate) -> f64) -> f64 {
+    let probes: Vec<Predicate> = (0..64)
+        .map(|i| {
+            let lo = (i % 8) as f64;
+            Predicate::new().range(0, lo, lo + 1.5).range(1, 0.5, 4.5)
+        })
+        .collect();
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..READ_PROBES {
+        acc += f(&probes[i % probes.len()]);
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64() * 1e9 / READ_PROBES as f64
+}
+
+fn main() {
+    let mut shard_lines = Vec::new();
+    println!("registry_throughput: ingest scaling (one writer per shard)");
+    for shards in [1usize, 2, 4, 8] {
+        let (secs, ingested) = bench_ingest(shards);
+        let per_sec = ingested as f64 / secs;
+        println!("  shards={shards}: {ingested} queries in {secs:.3}s -> {per_sec:.0} q/s");
+        shard_lines.push(format!(
+            "{{\"shards\":{shards},\"queries\":{ingested},\"secs\":{secs:.6},\"queries_per_sec\":{per_sec:.1}}}"
+        ));
+    }
+
+    // Read path: one trained table behind the registry.
+    let registry: Arc<EstimatorRegistry<QuickSel>> = Arc::new(EstimatorRegistry::new());
+    registry.register("t", sharded(4));
+    let t = "t".into();
+    registry.observe_batch(&t, &workload(64));
+    let uncached_ns = bench_reads(|p| registry.estimate(&t, p));
+    let cached_provider = CachedProvider::new(Arc::clone(&registry));
+    let cached_ns = bench_reads(|p| cached_provider.estimate(&t, p));
+    let hit_rate = cached_provider.cache_hits() as f64
+        / (cached_provider.cache_hits() + cached_provider.cache_misses()).max(1) as f64;
+    println!("registry_throughput: read path (4 shards, trained)");
+    println!("  uncached registry.estimate: {uncached_ns:.1} ns/op");
+    println!("  cached   provider.estimate: {cached_ns:.1} ns/op (hit rate {:.4})", hit_rate);
+
+    let json = format!(
+        "{{\"bench\":\"registry_throughput\",\"ingest\":[{}],\"read\":{{\"probes\":{},\"uncached_ns_per_op\":{:.2},\"cached_ns_per_op\":{:.2},\"cache_hit_rate\":{:.6}}}}}",
+        shard_lines.join(","),
+        READ_PROBES,
+        uncached_ns,
+        cached_ns,
+        hit_rate
+    );
+    println!("{json}");
+
+    let out = std::env::var("REGISTRY_BENCH_OUT")
+        .unwrap_or_else(|_| "target/bench-results/registry_throughput.json".into());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&out, format!("{json}\n")) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

@@ -26,8 +26,9 @@
 //!
 //! ## Quick start
 //!
-//! The API separates reading from writing: [`Estimate`] is the immutable
-//! serving side, [`Learn`] the feedback/training side. Feedback arrives in
+//! The API separates reading from writing: [`Estimate`](quicksel_data::Estimate)
+//! is the immutable serving side, [`Learn`](quicksel_data::Learn) the
+//! feedback/training side. Feedback arrives in
 //! batches, retraining is fallible, and [`QuickSel::snapshot`] freezes the
 //! model for lock-free concurrent estimation.
 //!

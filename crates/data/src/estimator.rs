@@ -39,6 +39,12 @@ impl ObservedQuery {
         Self { rect, selectivity }
     }
 
+    /// Deterministic routing key of this observation's predicate
+    /// rectangle; see [`route_hash`].
+    pub fn route_hash(&self) -> u64 {
+        route_hash(&self.rect)
+    }
+
     /// Convenience: evaluates the true selectivity against `table`.
     pub fn from_table(table: &Table, rect: Rect) -> Self {
         let s = table.selectivity(&rect);
@@ -50,6 +56,29 @@ impl ObservedQuery {
     pub fn is_valid(&self) -> bool {
         self.selectivity.is_finite() && (0.0..=1.0).contains(&self.selectivity)
     }
+}
+
+/// Deterministic 64-bit routing key of a predicate rectangle.
+///
+/// The sharded serving layer partitions feedback across estimator shards
+/// by this hash, so it must be *stable*: the same rectangle yields the
+/// same key on every call, from every thread, in every process run —
+/// there is no per-process seed. The implementation is FNV-1a over the
+/// bit patterns of the side endpoints, with `-0.0` collapsed onto `0.0`
+/// so the two encodings of zero route identically.
+pub fn route_hash(rect: &Rect) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for side in rect.sides() {
+        for v in [side.lo, side.hi] {
+            let v = if v == 0.0 { 0.0 } else { v };
+            for b in v.to_bits().to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+    h
 }
 
 /// Validates a feedback batch, returning the first invalid observation as
@@ -241,6 +270,57 @@ pub trait SnapshotSource: Learn {
     fn snapshot_shared(&self) -> Arc<dyn Estimate + Send + Sync>;
 }
 
+// Forwarding impls so boxed trait objects satisfy the estimator traits
+// themselves: the sharded serving layer is generic over `L:
+// SnapshotSource` and instantiating it with `Box<dyn SnapshotSource +
+// Send>` lets one registry hold heterogeneous learners (QuickSel next to
+// any baseline). Every method forwards — including the provided ones —
+// so a boxed learner behaves bit-identically to the unboxed value.
+impl<T: Estimate + ?Sized> Estimate for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate(&self, rect: &Rect) -> f64 {
+        (**self).estimate(rect)
+    }
+    fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
+        (**self).estimate_many(rects)
+    }
+    fn estimate_dnf(&self, dnf: &DnfRects) -> f64 {
+        (**self).estimate_dnf(dnf)
+    }
+    fn param_count(&self) -> usize {
+        (**self).param_count()
+    }
+}
+
+impl<T: Learn + ?Sized> Learn for Box<T> {
+    fn observe_batch(&mut self, batch: &[ObservedQuery]) {
+        (**self).observe_batch(batch)
+    }
+    fn observe(&mut self, query: &ObservedQuery) {
+        (**self).observe(query)
+    }
+    fn sync_data(&mut self, table: &Table, changed_rows: usize) {
+        (**self).sync_data(table, changed_rows)
+    }
+    fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
+        (**self).refine()
+    }
+    fn last_error(&self) -> Option<&EstimatorError> {
+        (**self).last_error()
+    }
+    fn training_version(&self) -> u64 {
+        (**self).training_version()
+    }
+}
+
+impl<T: SnapshotSource + ?Sized> SnapshotSource for Box<T> {
+    fn snapshot_shared(&self) -> Arc<dyn Estimate + Send + Sync> {
+        (**self).snapshot_shared()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +417,35 @@ mod tests {
         assert!(RefineOutcome::Retrained { params: 4, constraints: 2 }.retrained());
         assert!(!RefineOutcome::UpToDate.retrained());
         assert!(!RefineOutcome::KeptPrior.retrained());
+    }
+
+    #[test]
+    fn route_hash_is_stable_and_shape_sensitive() {
+        let a = Rect::from_bounds(&[(0.0, 5.0), (1.0, 2.0)]);
+        // Same rect, fresh construction: identical key.
+        assert_eq!(route_hash(&a), route_hash(&Rect::from_bounds(&[(0.0, 5.0), (1.0, 2.0)])));
+        assert_eq!(ObservedQuery::new(a.clone(), 0.5).route_hash(), route_hash(&a));
+        // Different bounds: different key (FNV over distinct byte streams).
+        assert_ne!(route_hash(&a), route_hash(&Rect::from_bounds(&[(0.0, 5.0), (1.0, 3.0)])));
+        // The two encodings of zero route identically.
+        let neg = Rect::from_bounds(&[(-0.0, 5.0), (1.0, 2.0)]);
+        assert_eq!(route_hash(&a), route_hash(&neg));
+    }
+
+    #[test]
+    fn boxed_learner_forwards_every_channel() {
+        let domain = Domain::of_reals(&[("x", 0.0, 1.0)]);
+        let mut boxed: Box<dyn Learn> = Box::new(Constant(0.5));
+        let q = ObservedQuery::new(domain.full_rect(), 1.0);
+        boxed.observe(&q);
+        boxed.observe_batch(&[q]);
+        assert_eq!(boxed.refine(), Ok(RefineOutcome::UpToDate));
+        assert!(boxed.last_error().is_none());
+        assert_eq!(boxed.training_version(), 0);
+        assert_eq!(boxed.estimate(&domain.full_rect()), 0.5);
+        assert_eq!(boxed.estimate_many(&[domain.full_rect()]), vec![0.5]);
+        assert_eq!(boxed.param_count(), 1);
+        assert_eq!(boxed.name(), "constant");
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod workload;
 
 pub use error::{mean_abs_error, mean_rel_error_pct, rel_error_pct, ErrorStats};
 pub use estimator::{
-    validate_batch, Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource,
+    route_hash, validate_batch, Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome,
+    SnapshotSource,
 };
 pub use table::Table;
 pub use workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};

@@ -1,6 +1,12 @@
-//! The system catalog: table, indexes, and the statistics module.
+//! The system catalog: table data and indexes.
+//!
+//! Statistics deliberately live *outside* the catalog: the planner reads
+//! estimates through the
+//! [`CardinalityProvider`](quicksel_service::CardinalityProvider) seam,
+//! so inserting rows (a `&mut Catalog` operation) and estimating (a
+//! `&self` provider operation) no longer share one mutable handle.
 
-use quicksel_data::{Learn, Table};
+use quicksel_data::Table;
 
 /// A sorted single-column index: `(value, row_id)` pairs ordered by value,
 /// supporting `O(log N + K)` range probes.
@@ -37,24 +43,36 @@ impl SortedIndex {
     }
 }
 
-/// The catalog owns the table, its indexes, and the estimator — the three
-/// integration points the paper's §6 identifies in existing engines.
+/// The catalog owns the table and its indexes. The third §6 integration
+/// point — the statistics module — is reached through the engine's
+/// [`CardinalityProvider`](quicksel_service::CardinalityProvider), never
+/// stored here.
 pub struct Catalog {
-    /// The base table.
-    pub table: Table,
-    /// Available single-column indexes.
-    pub indexes: Vec<SortedIndex>,
-    /// The pluggable statistics module (QuickSel or any baseline): the
-    /// engine feeds it through the [`Learn`] write side and the planner
-    /// reads it through the [`Estimate`](quicksel_data::Estimate)
-    /// supertrait.
-    pub estimator: Box<dyn Learn>,
+    /// The base table. Crate-private (like [`insert_rows`](Self::insert_rows))
+    /// so external mutation cannot bypass index rebuilds and the
+    /// provider's churn notification; read it through
+    /// [`table`](Self::table).
+    pub(crate) table: Table,
+    /// Available single-column indexes; read through
+    /// [`indexes`](Self::indexes).
+    pub(crate) indexes: Vec<SortedIndex>,
 }
 
 impl Catalog {
-    /// Creates a catalog around a table and an estimator.
-    pub fn new(table: Table, estimator: Box<dyn Learn>) -> Self {
-        Self { table, indexes: Vec::new(), estimator }
+    /// Creates a catalog around a table.
+    pub fn new(table: Table) -> Self {
+        Self { table, indexes: Vec::new() }
+    }
+
+    /// The base table (read-only — inserts go through
+    /// [`Engine::insert_rows`](crate::Engine::insert_rows)).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The available indexes, in creation order.
+    pub fn indexes(&self) -> &[SortedIndex] {
+        &self.indexes
     }
 
     /// Adds a sorted index on `column` (builder style).
@@ -68,9 +86,15 @@ impl Catalog {
         self.indexes.iter().find(|i| i.column == column)
     }
 
-    /// Appends rows and notifies the estimator of the churn (drives the
-    /// scan-based estimators' auto-update rules).
-    pub fn insert_rows(&mut self, rows: &[Vec<f64>]) {
+    /// Appends rows and rebuilds the affected indexes. Crate-private on
+    /// purpose: data churn must be reported to the provider, so the only
+    /// public insert path is
+    /// [`Engine::insert_rows`](crate::Engine::insert_rows), which
+    /// forwards it to
+    /// [`sync_data`](quicksel_service::CardinalityProvider::sync_data) —
+    /// a public method here would compile against stale statistics
+    /// silently.
+    pub(crate) fn insert_rows(&mut self, rows: &[Vec<f64>]) {
         for r in rows {
             self.table.push_row(r);
         }
@@ -79,14 +103,12 @@ impl Catalog {
             let col = self.indexes[i].column;
             self.indexes[i] = SortedIndex::build(&self.table, col);
         }
-        self.estimator.sync_data(&self.table, rows.len());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quicksel_core::QuickSel;
     use quicksel_geometry::Domain;
 
     fn table() -> Table {
@@ -122,8 +144,7 @@ mod tests {
     #[test]
     fn catalog_lookup_and_insert() {
         let t = table();
-        let est = QuickSel::new(t.domain().clone());
-        let mut cat = Catalog::new(t, Box::new(est)).with_index(0);
+        let mut cat = Catalog::new(t).with_index(0);
         assert!(cat.index_on(0).is_some());
         assert!(cat.index_on(1).is_none());
         cat.insert_rows(&[vec![3.3, 4.4], vec![6.6, 7.7]]);

@@ -6,7 +6,9 @@
 //! descent. The better the selectivity estimate, the more often the
 //! cheaper path is chosen — which is precisely the paper's motivation
 //! (§1: "the estimated selectivities allow the query optimizer to choose
-//! the cheapest access path").
+//! the cheapest access path"). Estimates reach the cost comparison only
+//! through the [`CardinalityProvider`](quicksel_service::CardinalityProvider)
+//! seam; the cost model itself is estimator-agnostic.
 
 /// Tunable cost constants.
 #[derive(Debug, Clone, Copy)]

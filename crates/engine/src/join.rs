@@ -13,22 +13,25 @@
 //! catalog can maintain cheaply) and `ŝ_R`, `ŝ_S` come from each
 //! relation's own query-driven estimator.
 
-use quicksel_data::{Estimate, Table};
+use quicksel_data::Table;
 use quicksel_geometry::Predicate;
+use quicksel_service::{CardinalityProvider, TableId};
 
 /// Estimates `|σ_p(R) ⋈ σ_q(S)|` under predicate/join independence.
+///
+/// Thin wrapper over the provider's
+/// [`estimate_join`](CardinalityProvider::estimate_join) hook: the
+/// default provider implementation is the independence product above;
+/// join-aware providers may refine it.
 pub fn estimate_join_cardinality(
     base_join_cardinality: f64,
-    r_est: &dyn Estimate,
-    r_table: &Table,
+    provider: &dyn CardinalityProvider,
+    r_table: &TableId,
     r_pred: &Predicate,
-    s_est: &dyn Estimate,
-    s_table: &Table,
+    s_table: &TableId,
     s_pred: &Predicate,
 ) -> f64 {
-    let sr = r_est.estimate(&r_pred.to_rect(r_table.domain()));
-    let ss = s_est.estimate(&s_pred.to_rect(s_table.domain()));
-    base_join_cardinality * sr * ss
+    provider.estimate_join(base_join_cardinality, r_table, r_pred, s_table, s_pred)
 }
 
 /// Exact `|σ_p(R) ⋈_{R.rc = S.sc} σ_q(S)|` by hash join on (rounded)
@@ -72,8 +75,9 @@ pub fn exact_equijoin_cardinality(
 mod tests {
     use super::*;
     use quicksel_core::QuickSel;
-    use quicksel_data::{Learn, ObservedQuery};
+    use quicksel_data::ObservedQuery;
     use quicksel_geometry::Domain;
+    use quicksel_service::LearnerProvider;
     use rand::{Rng, SeedableRng};
 
     /// Two tables sharing an integer join key in 0..50 with skewed key
@@ -120,24 +124,27 @@ mod tests {
             exact_equijoin_cardinality(&r, 0, &Predicate::new(), &s, 0, &Predicate::new()) as f64;
         assert!(base > 0.0);
 
-        // Train each relation's estimator from its own query feedback.
-        let mut r_est = QuickSel::new(r.domain().clone());
-        let mut s_est = QuickSel::new(s.domain().clone());
+        // One provider serves both relations; each learns from its own
+        // query feedback.
+        let provider = LearnerProvider::new();
+        provider.register("r", r.domain().clone(), Box::new(QuickSel::new(r.domain().clone())));
+        provider.register("s", s.domain().clone(), Box::new(QuickSel::new(s.domain().clone())));
+        let (rid, sid): (TableId, TableId) = ("r".into(), "s".into());
         let mut rng = rand::rngs::StdRng::seed_from_u64(88);
         for _ in 0..40 {
             let lo = rng.gen::<f64>() * 80.0;
             let pr = Predicate::new().range(1, lo, lo + 20.0);
             let rect = pr.to_rect(r.domain());
-            r_est.observe(&ObservedQuery::new(rect.clone(), r.selectivity(&rect)));
+            provider.observe(&rid, &ObservedQuery::new(rect.clone(), r.selectivity(&rect)));
             let rect_s = pr.to_rect(s.domain());
-            s_est.observe(&ObservedQuery::new(rect_s.clone(), s.selectivity(&rect_s)));
+            provider.observe(&sid, &ObservedQuery::new(rect_s.clone(), s.selectivity(&rect_s)));
         }
 
         for lo in [0.0, 25.0, 50.0] {
             let pr = Predicate::new().range(1, lo, lo + 30.0);
             let ps = Predicate::new().range(1, lo + 10.0, lo + 45.0);
             let truth = exact_equijoin_cardinality(&r, 0, &pr, &s, 0, &ps) as f64;
-            let est = estimate_join_cardinality(base, &r_est, &r, &pr, &s_est, &s, &ps);
+            let est = estimate_join_cardinality(base, &provider, &rid, &pr, &sid, &ps);
             // Independence holds by construction, so the estimate should
             // land within ~25% of the truth.
             assert!(

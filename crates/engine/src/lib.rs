@@ -8,15 +8,20 @@
 //! persist statistics. This crate wires those pieces around the in-memory
 //! [`Table`](quicksel_data::Table) substrate:
 //!
-//! * [`Catalog`] — tables plus per-table sorted-column indexes and the
-//!   selectivity estimator (any [`Learn`](quicksel_data::Learn)
-//!   implementation; the planner reads it through the
-//!   [`Estimate`](quicksel_data::Estimate) supertrait),
+//! * [`Catalog`] — table data plus per-table sorted-column indexes
+//!   (statistics live behind the provider, not in the catalog),
+//! * [`CardinalityProvider`] — the **only** way the engine consumes and
+//!   feeds estimates: per-table `estimate(table, &Predicate)`, the
+//!   `observe(table, feedback)` learning loop, and the
+//!   `estimate_join` hook. Production setups pass an
+//!   [`EstimatorRegistry`](quicksel_service::EstimatorRegistry) (sharded,
+//!   lock-free reads, many tables); tests and baselines can use a
+//!   [`LearnerProvider`](quicksel_service::LearnerProvider),
 //! * [`planner`] — cost-based access-path selection (sequential scan vs.
-//!   index range probe) driven by the estimator,
+//!   index range probe) driven by provider estimates,
 //! * [`executor`] — runs the chosen plan, counts the rows that actually
-//!   satisfied the predicate, and **feeds the observation back** into the
-//!   estimator — closing the paper's learning loop.
+//!   satisfied the predicate, and **feeds the observation back** through
+//!   the provider — closing the paper's learning loop.
 //!
 //! ```
 //! use quicksel_engine::{Catalog, Engine};
@@ -25,12 +30,12 @@
 //!
 //! let table = quicksel_data::datasets::gaussian_table(2, 0.4, 5_000, 3);
 //! let estimator = QuickSel::new(table.domain().clone());
-//! let mut engine = Engine::new(Catalog::new(table, Box::new(estimator)).with_index(0));
+//! let mut engine = Engine::with_learner(Catalog::new(table).with_index(0), Box::new(estimator));
 //!
 //! let pred = Predicate::new().range(0, -0.5, 0.5);
 //! let result = engine.execute(&pred);
 //! assert!(result.rows_returned > 0);
-//! // The estimator has now observed the query's true selectivity.
+//! // The provider has now observed the query's true selectivity.
 //! ```
 
 pub mod catalog;
@@ -44,3 +49,4 @@ pub use cost::CostModel;
 pub use executor::{Engine, QueryResult};
 pub use join::{estimate_join_cardinality, exact_equijoin_cardinality};
 pub use planner::{plan, AccessPath};
+pub use quicksel_service::{CardinalityProvider, TableId};

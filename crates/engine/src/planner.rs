@@ -3,6 +3,7 @@
 use crate::catalog::Catalog;
 use crate::cost::CostModel;
 use quicksel_geometry::Predicate;
+use quicksel_service::{CardinalityProvider, TableId};
 
 /// The physical plan chosen for a predicate.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,15 +20,22 @@ pub enum AccessPath {
     },
 }
 
-/// Chooses the cheapest access path for `pred`.
+/// Chooses the cheapest access path for `pred` on `table`.
 ///
 /// For each available index whose column the predicate constrains, the
-/// planner asks the estimator for the selectivity of the *driving range*
+/// planner asks the provider for the selectivity of the *driving range*
 /// (that column's constraint alone — the index can only use one column)
-/// and compares probe cost against the scan.
-pub fn plan(catalog: &Catalog, pred: &Predicate, cost: &CostModel) -> AccessPath {
+/// and compares probe cost against the scan. Estimates flow exclusively
+/// through the [`CardinalityProvider`] — the planner never touches an
+/// estimator directly.
+pub fn plan(
+    catalog: &Catalog,
+    table: &TableId,
+    provider: &dyn CardinalityProvider,
+    pred: &Predicate,
+    cost: &CostModel,
+) -> AccessPath {
     let rows = catalog.table.row_count();
-    let domain = catalog.table.domain();
     let mut best = (cost.seq_scan(rows), AccessPath::SeqScan);
     for index in &catalog.indexes {
         // The driving range: the predicate restricted to the indexed column.
@@ -35,7 +43,7 @@ pub fn plan(catalog: &Catalog, pred: &Predicate, cost: &CostModel) -> AccessPath
             continue; // predicate doesn't touch this index
         };
         let driving = Predicate::new().with_interval(index.column, constraint.range);
-        let sel = catalog.estimator.estimate(&driving.to_rect(domain));
+        let sel = provider.estimate(table, &driving);
         let c = cost.index_probe(rows, sel);
         if c < best.0 {
             best = (c, AccessPath::IndexProbe { column: index.column, driving_selectivity: sel });
@@ -50,8 +58,9 @@ mod tests {
     use quicksel_core::QuickSel;
     use quicksel_data::{ObservedQuery, Table};
     use quicksel_geometry::Domain;
+    use quicksel_service::LearnerProvider;
 
-    fn catalog() -> Catalog {
+    fn fixture() -> (Catalog, TableId, LearnerProvider) {
         let d = Domain::of_reals(&[("x", 0.0, 100.0), ("y", 0.0, 100.0)]);
         let mut t = Table::new(d.clone());
         // Dense cluster in x ∈ [0, 10): 90% of rows.
@@ -61,31 +70,33 @@ mod tests {
         for i in 0..1000 {
             t.push_row(&[10.0 + (i % 900) as f64 / 10.0, (i % 89) as f64]);
         }
-        let est = QuickSel::new(d);
-        Catalog::new(t, Box::new(est)).with_index(0)
+        let table: TableId = "t".into();
+        let provider =
+            LearnerProvider::single(table.clone(), d.clone(), Box::new(QuickSel::new(d)));
+        (Catalog::new(t).with_index(0), table, provider)
     }
 
     #[test]
     fn unconstrained_predicate_scans() {
-        let cat = catalog();
+        let (cat, t, provider) = fixture();
         let p = Predicate::new();
-        assert_eq!(plan(&cat, &p, &CostModel::default()), AccessPath::SeqScan);
+        assert_eq!(plan(&cat, &t, &provider, &p, &CostModel::default()), AccessPath::SeqScan);
     }
 
     #[test]
     fn predicate_on_unindexed_column_scans() {
-        let cat = catalog();
+        let (cat, t, provider) = fixture();
         let p = Predicate::new().range(1, 0.0, 1.0);
-        assert_eq!(plan(&cat, &p, &CostModel::default()), AccessPath::SeqScan);
+        assert_eq!(plan(&cat, &t, &provider, &p, &CostModel::default()), AccessPath::SeqScan);
     }
 
     #[test]
     fn uninformed_planner_uses_uniformity() {
-        let cat = catalog();
+        let (cat, t, provider) = fixture();
         // Under uniformity x ∈ [0, 5) looks like 5% — index looks good,
         // even though the data is clustered there (truth 45%).
         let p = Predicate::new().range(0, 0.0, 5.0);
-        match plan(&cat, &p, &CostModel::default()) {
+        match plan(&cat, &t, &provider, &p, &CostModel::default()) {
             AccessPath::IndexProbe { driving_selectivity, .. } => {
                 assert!((driving_selectivity - 0.05).abs() < 1e-9);
             }
@@ -95,24 +106,38 @@ mod tests {
 
     #[test]
     fn learning_flips_a_wrong_plan() {
-        let mut cat = catalog();
+        let (cat, t, provider) = fixture();
         let p = Predicate::new().range(0, 0.0, 5.0);
         let rect = p.to_rect(cat.table.domain());
         // Initially mis-planned as an index probe (see above). Feed the
-        // true selectivity once; the planner flips to the scan.
+        // true selectivity once through the provider; the planner flips
+        // to the scan.
         let truth = cat.table.selectivity(&rect);
         assert!(truth > 0.4);
-        cat.estimator.observe(&ObservedQuery::new(rect, truth));
-        assert_eq!(plan(&cat, &p, &CostModel::default()), AccessPath::SeqScan);
+        provider.observe(&t, &ObservedQuery::new(rect, truth));
+        assert_eq!(plan(&cat, &t, &provider, &p, &CostModel::default()), AccessPath::SeqScan);
     }
 
     #[test]
     fn truly_selective_predicate_keeps_the_index() {
-        let mut cat = catalog();
+        let (cat, t, provider) = fixture();
         let p = Predicate::new().range(0, 98.0, 99.0);
         let rect = p.to_rect(cat.table.domain());
         let truth = cat.table.selectivity(&rect);
-        cat.estimator.observe(&ObservedQuery::new(rect, truth));
-        assert!(matches!(plan(&cat, &p, &CostModel::default()), AccessPath::IndexProbe { .. }));
+        provider.observe(&t, &ObservedQuery::new(rect, truth));
+        assert!(matches!(
+            plan(&cat, &t, &provider, &p, &CostModel::default()),
+            AccessPath::IndexProbe { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_table_plans_the_safe_scan() {
+        let (cat, _, provider) = fixture();
+        // A provider that has never heard of the table answers 1.0, so
+        // the planner conservatively scans instead of probing blind.
+        let ghost: TableId = "ghost".into();
+        let p = Predicate::new().range(0, 0.0, 1.0);
+        assert_eq!(plan(&cat, &ghost, &provider, &p, &CostModel::default()), AccessPath::SeqScan);
     }
 }

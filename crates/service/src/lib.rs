@@ -17,6 +17,19 @@
 //!   path, validated batch ingestion + fallible retraining + atomic
 //!   publish on the write path, and an optional background ingestion
 //!   thread ([`SelectivityService::start_ingest`]).
+//! * [`ShardedService`] — N services over one domain with deterministic
+//!   predicate-hash feedback routing: one writer per shard, zero
+//!   cross-shard write contention, explicit per-shard backpressure
+//!   ([`ShardedIngest::try_observe`]).
+//! * [`EstimatorRegistry`] — `TableId -> ShardedService`: one sharded
+//!   estimator per table behind the planner-facing
+//!   [`CardinalityProvider`] API ([`estimate`](CardinalityProvider::estimate)
+//!   by table + predicate, [`observe`](CardinalityProvider::observe)
+//!   feedback, an [`estimate_join`](CardinalityProvider::estimate_join)
+//!   hook).
+//! * [`CachedProvider`] — a per-thread registry wrapper that re-uses
+//!   shard snapshots while the shard's version is unchanged, dropping
+//!   even the `ArcCell` atomics from repeated planner probes.
 //!
 //! ```
 //! use quicksel_core::QuickSel;
@@ -48,8 +61,25 @@
 //! assert!((0.0..=1.0).contains(&est));
 //! ```
 
+pub mod provider;
+pub mod registry;
 pub mod service;
+pub mod shard;
 pub mod swap;
 
-pub use service::{IngestHandle, SelectivityService, ServiceStats, SharedSnapshot};
+pub use provider::{CachedProvider, CardinalityProvider, LearnerProvider, TableId};
+pub use registry::{EstimatorRegistry, RegistryStats};
+pub use service::{
+    IngestHandle, IngestRejection, SelectivityService, ServiceStats, SharedSnapshot,
+};
+pub use shard::{
+    EstimateRoute, ShardRejection, ShardedIngest, ShardedService, ShardedStats,
+    DEFAULT_BLEND_THRESHOLD,
+};
 pub use swap::ArcCell;
+
+/// A registry over boxed heterogeneous learners: any mix of
+/// [`SnapshotSource`](quicksel_data::SnapshotSource) implementations —
+/// QuickSel next to snapshot-capable baselines — behind one
+/// [`CardinalityProvider`].
+pub type DynRegistry = EstimatorRegistry<Box<dyn quicksel_data::SnapshotSource + Send>>;

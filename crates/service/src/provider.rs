@@ -1,0 +1,544 @@
+//! [`CardinalityProvider`]: the planner-facing estimation API.
+//!
+//! The query engine used to reach directly into its catalog's estimator
+//! (`catalog.estimator.estimate(...)`), which welded planning to one
+//! mutable single-table learner. This module inverts that seam: the
+//! planner talks to a *provider* — estimate by table + predicate, feed
+//! back observed selectivities, and nothing else — and the serving side
+//! decides how estimates are produced:
+//!
+//! * [`EstimatorRegistry`] — the production
+//!   path: per-table sharded services, lock-free snapshot reads.
+//! * [`CachedProvider`] — a per-thread wrapper over the registry that
+//!   caches shard snapshots keyed on the shard's published version, so
+//!   repeated estimates at the same version skip even the `ArcCell`
+//!   atomics.
+//! * [`LearnerProvider`] — a mutex-serialized fallback that adapts *any*
+//!   [`Learn`] implementation (the scan-based and histogram baselines
+//!   included), for tests and comparisons where snapshot support is not
+//!   available.
+
+use crate::registry::EstimatorRegistry;
+use crate::service::SharedSnapshot;
+use crate::shard::ShardedService;
+use quicksel_data::{Learn, ObservedQuery, SnapshotSource, Table};
+use quicksel_geometry::{Domain, Predicate};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Identifies one table in a provider / registry. Cheap to clone and
+/// hash (reference-counted string).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(Arc<str>);
+
+impl TableId {
+    /// Wraps a table name.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Self(name.into())
+    }
+
+    /// The table name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Equality with a pointer-compare fast path: planner call sites
+    /// re-use one cloned `TableId`, so identity usually decides without
+    /// touching the string bytes. Used by the per-thread cache lookup.
+    #[inline]
+    pub fn fast_eq(&self, other: &TableId) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl From<&str> for TableId {
+    fn from(name: &str) -> Self {
+        Self::new(name)
+    }
+}
+
+impl From<String> for TableId {
+    fn from(name: String) -> Self {
+        Self::new(name)
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The only interface through which the query engine consumes (and
+/// feeds) selectivity estimates.
+///
+/// Estimation methods take `&self` so a provider can be shared across
+/// planner call sites; implementations synchronize internally (or, like
+/// [`CachedProvider`], are intentionally per-thread). A provider that
+/// does not know `table` must degrade safely: estimate `1.0` (the
+/// conservative answer — the planner falls back to the sequential scan)
+/// and drop feedback rather than panic.
+pub trait CardinalityProvider {
+    /// Selectivity estimate in `[0, 1]` for `pred` on `table`.
+    fn estimate(&self, table: &TableId, pred: &Predicate) -> f64;
+
+    /// Join-cardinality hook: estimates `|σ_p(R) ⋈ σ_q(S)|` from the
+    /// unfiltered join cardinality and the per-relation estimates, under
+    /// the paper's §2.2 predicate/join independence assumption. The
+    /// default is the independence product; providers with join-aware
+    /// models can override it.
+    fn estimate_join(
+        &self,
+        base_join_cardinality: f64,
+        left: &TableId,
+        left_pred: &Predicate,
+        right: &TableId,
+        right_pred: &Predicate,
+    ) -> f64 {
+        base_join_cardinality * self.estimate(left, left_pred) * self.estimate(right, right_pred)
+    }
+
+    /// Feeds one executed query's observed selectivity back into
+    /// `table`'s estimator. Unknown tables drop the feedback (counted by
+    /// implementations that track stats).
+    fn observe(&self, table: &TableId, feedback: &ObservedQuery);
+
+    /// Batch variant of [`observe`](Self::observe); the default loops.
+    fn observe_batch(&self, table: &TableId, batch: &[ObservedQuery]) {
+        for q in batch {
+            self.observe(table, q);
+        }
+    }
+
+    /// Notifies `table`'s estimator that `changed_rows` rows churned.
+    fn sync_data(&self, table: &TableId, data: &Table, changed_rows: usize);
+
+    /// Monotone model-version counter for `table` (`0` when unknown).
+    /// Callers may key caches on it: an unchanged version guarantees
+    /// unchanged estimates.
+    fn version(&self, table: &TableId) -> u64;
+
+    /// The domain `table`'s estimator converts predicates against, if the
+    /// provider knows the table. Engines check this at construction: a
+    /// provider registered with a different domain than the catalog's
+    /// table would silently desynchronize the estimate and feedback
+    /// paths (the estimate path converts predicates with the provider's
+    /// domain, the feedback path reports rectangles built from the
+    /// catalog's). Default: `None` (no check possible).
+    fn domain_of(&self, _table: &TableId) -> Option<Domain> {
+        None
+    }
+
+    /// Monotone counter bumped whenever the provider's *table set*
+    /// changes (registration, replacement, removal) — as opposed to
+    /// [`version`](Self::version), which tracks one table's model.
+    /// Engines re-run their domain check when this moves, so DDL that
+    /// re-registers a table under a different domain is caught instead
+    /// of silently desynchronizing the learning loop. Default: `0`
+    /// (static table set).
+    fn generation(&self) -> u64 {
+        0
+    }
+}
+
+/// Per-(table, shard) snapshot cache entry: the shard's published
+/// version at load time plus the snapshot itself.
+type CachedShard = Option<(u64, SharedSnapshot)>;
+
+struct TableCache<L: SnapshotSource> {
+    service: Arc<ShardedService<L>>,
+    shards: Vec<CachedShard>,
+}
+
+/// A **per-thread** read-path accelerator over an
+/// [`EstimatorRegistry`].
+///
+/// `ArcCell::load` costs a handful of atomic operations per estimate;
+/// under millions of planner probes per second those atomics are the
+/// remaining shared-memory traffic on the read path. `CachedProvider`
+/// removes them for the common case: it remembers the snapshot it last
+/// loaded from each shard together with that shard's
+/// [`version()`](crate::SelectivityService::version), and as long as the
+/// version is unchanged (one relaxed-cost atomic load to check) it
+/// re-uses the cached snapshot without touching the `ArcCell`.
+///
+/// The type is deliberately **not** `Sync` (interior `RefCell`): create
+/// one per planner thread over a shared `Arc<EstimatorRegistry>`. Writes
+/// pass straight through to the registry.
+///
+/// The table cache is a small move-to-front vector probed with
+/// [`TableId::fast_eq`], not a hash map: a planner serves a handful of
+/// hot tables and re-uses cloned ids, so the common lookup is a pointer
+/// compare on the first slot — cheaper than re-hashing the table name on
+/// every probe.
+pub struct CachedProvider<L: SnapshotSource> {
+    registry: Arc<EstimatorRegistry<L>>,
+    cache: RefCell<Vec<(TableId, TableCache<L>)>>,
+    /// Registry generation the cache was built against; a mismatch means
+    /// tables were registered/removed since, and every cached resolution
+    /// is dropped (DDL is rare, so wholesale invalidation is fine).
+    generation: Cell<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl<L: SnapshotSource> CachedProvider<L> {
+    /// Wraps a shared registry with a fresh (empty) snapshot cache.
+    pub fn new(registry: Arc<EstimatorRegistry<L>>) -> Self {
+        let generation = Cell::new(registry.generation());
+        Self {
+            registry,
+            cache: RefCell::new(Vec::new()),
+            generation,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<EstimatorRegistry<L>> {
+        &self.registry
+    }
+
+    /// Estimates served from a cached snapshot (version unchanged).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Estimates that had to load a fresh snapshot (cold or stale).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Drops every cached snapshot (e.g. after deregistering a table).
+    pub fn invalidate(&self) {
+        self.cache.borrow_mut().clear();
+    }
+}
+
+impl<L: SnapshotSource> CardinalityProvider for CachedProvider<L> {
+    fn estimate(&self, table: &TableId, pred: &Predicate) -> f64 {
+        // Revalidate against registry DDL: one atomic load per probe.
+        // Registration/removal bumps the generation; stale table→service
+        // resolutions must not keep serving a dead service's snapshots.
+        let generation = self.registry.generation();
+        if generation != self.generation.get() {
+            self.cache.borrow_mut().clear();
+            self.generation.set(generation);
+        }
+        let mut cache = self.cache.borrow_mut();
+        let entry = match cache.iter().position(|(id, _)| id.fast_eq(table)) {
+            Some(0) => &mut cache[0].1,
+            Some(i) => {
+                // Move-to-front so the hot table stays a one-compare hit.
+                cache.swap(0, i);
+                &mut cache[0].1
+            }
+            None => {
+                let Some(service) = self.registry.get(table) else {
+                    drop(cache);
+                    return self.registry.estimate(table, pred);
+                };
+                let shards = vec![None; service.shard_count()];
+                cache.insert(0, (table.clone(), TableCache { service, shards }));
+                &mut cache[0].1
+            }
+        };
+        let rect = pred.to_rect(entry.service.domain());
+        // One dispatch rule for cached and uncached paths: the service
+        // decides. Wide probes blend across all shards and are served
+        // uncached by design (the blend reads per-shard publish state).
+        let s = match entry.service.route_estimate(&rect) {
+            crate::shard::EstimateRoute::Blend => return entry.service.estimate_blended(&rect),
+            crate::shard::EstimateRoute::Shard(s) => s,
+        };
+        let shard = entry.service.shard(s);
+        let version = shard.version();
+        if let Some((cached_version, snapshot)) = &entry.shards[s] {
+            if *cached_version == version {
+                self.hits.set(self.hits.get() + 1);
+                return snapshot.estimate(&rect);
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        let snapshot = shard.snapshot();
+        let est = snapshot.estimate(&rect);
+        entry.shards[s] = Some((version, snapshot));
+        est
+    }
+
+    fn observe(&self, table: &TableId, feedback: &ObservedQuery) {
+        self.registry.observe(table, feedback);
+    }
+
+    fn observe_batch(&self, table: &TableId, batch: &[ObservedQuery]) {
+        self.registry.observe_batch(table, batch);
+    }
+
+    fn sync_data(&self, table: &TableId, data: &Table, changed_rows: usize) {
+        self.registry.sync_data(table, data, changed_rows);
+    }
+
+    fn version(&self, table: &TableId) -> u64 {
+        self.registry.version(table)
+    }
+
+    fn domain_of(&self, table: &TableId) -> Option<Domain> {
+        self.registry.domain_of(table)
+    }
+
+    fn generation(&self) -> u64 {
+        self.registry.generation()
+    }
+}
+
+struct LearnerEntry {
+    domain: Domain,
+    learner: Mutex<Box<dyn Learn + Send>>,
+    version: AtomicU64,
+}
+
+/// Mutex-serialized provider over arbitrary [`Learn`] implementations.
+///
+/// The registry path requires [`SnapshotSource`]; the scan-based and
+/// histogram baselines don't implement it. This adapter makes any
+/// learner usable behind the [`CardinalityProvider`] seam by locking a
+/// per-table mutex around both reads and writes — fine for tests,
+/// comparisons, and single-threaded engines; wrong for high-QPS serving
+/// (use [`EstimatorRegistry`] there).
+#[derive(Default)]
+pub struct LearnerProvider {
+    tables: RwLock<HashMap<TableId, Arc<LearnerEntry>>>,
+    generation: AtomicU64,
+}
+
+impl LearnerProvider {
+    /// An empty provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) `table`'s learner.
+    pub fn register(
+        &self,
+        table: impl Into<TableId>,
+        domain: Domain,
+        learner: Box<dyn Learn + Send>,
+    ) {
+        let entry = Arc::new(LearnerEntry {
+            domain,
+            learner: Mutex::new(learner),
+            version: AtomicU64::new(0),
+        });
+        self.tables.write().expect("provider table map poisoned").insert(table.into(), entry);
+        self.generation.fetch_add(1, SeqCst);
+    }
+
+    /// Convenience: a provider serving exactly one table.
+    pub fn single(
+        table: impl Into<TableId>,
+        domain: Domain,
+        learner: Box<dyn Learn + Send>,
+    ) -> Self {
+        let p = Self::new();
+        p.register(table, domain, learner);
+        p
+    }
+
+    /// Runs a closure against `table`'s locked learner (diagnostics).
+    pub fn with_learner<R>(&self, table: &TableId, f: impl FnOnce(&dyn Learn) -> R) -> Option<R> {
+        let entry = self.tables.read().expect("provider table map poisoned").get(table).cloned()?;
+        let learner = entry.learner.lock().expect("provider learner lock poisoned");
+        Some(f(&**learner))
+    }
+
+    fn entry(&self, table: &TableId) -> Option<Arc<LearnerEntry>> {
+        self.tables.read().expect("provider table map poisoned").get(table).cloned()
+    }
+}
+
+impl CardinalityProvider for LearnerProvider {
+    fn estimate(&self, table: &TableId, pred: &Predicate) -> f64 {
+        match self.entry(table) {
+            Some(e) => {
+                let rect = pred.to_rect(&e.domain);
+                e.learner.lock().expect("provider learner lock poisoned").estimate(&rect)
+            }
+            None => 1.0,
+        }
+    }
+
+    fn observe(&self, table: &TableId, feedback: &ObservedQuery) {
+        if let Some(e) = self.entry(table) {
+            e.learner.lock().expect("provider learner lock poisoned").observe(feedback);
+            e.version.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn observe_batch(&self, table: &TableId, batch: &[ObservedQuery]) {
+        if let Some(e) = self.entry(table) {
+            e.learner.lock().expect("provider learner lock poisoned").observe_batch(batch);
+            e.version.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn sync_data(&self, table: &TableId, data: &Table, changed_rows: usize) {
+        if let Some(e) = self.entry(table) {
+            e.learner.lock().expect("provider learner lock poisoned").sync_data(data, changed_rows);
+            e.version.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn version(&self, table: &TableId) -> u64 {
+        self.entry(table).map_or(0, |e| e.version.load(SeqCst))
+    }
+
+    fn domain_of(&self, table: &TableId) -> Option<Domain> {
+        self.entry(table).map(|e| e.domain.clone())
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_core::{QuickSel, RefinePolicy};
+    use quicksel_geometry::Rect;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn registry(shards: usize) -> Arc<EstimatorRegistry<QuickSel>> {
+        let reg = EstimatorRegistry::new();
+        let d = domain();
+        reg.register_with("t", d.clone(), shards, |i| {
+            QuickSel::builder(d.clone()).refine_policy(RefinePolicy::Manual).seed(i as u64).build()
+        });
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn table_id_round_trips() {
+        let id: TableId = "orders".into();
+        assert_eq!(id.as_str(), "orders");
+        assert_eq!(id.to_string(), "orders");
+        assert_eq!(id, TableId::new("orders"));
+        assert_eq!(TableId::from(String::from("orders")), id);
+    }
+
+    #[test]
+    fn cached_provider_hits_at_stable_versions() {
+        let reg = registry(2);
+        let cached = CachedProvider::new(Arc::clone(&reg));
+        let t: TableId = "t".into();
+        let pred = Predicate::new().range(0, 1.0, 3.0);
+
+        // Cold: miss. Stable version: hits, identical answers.
+        let a = cached.estimate(&t, &pred);
+        assert_eq!(cached.cache_misses(), 1);
+        let b = cached.estimate(&t, &pred);
+        assert_eq!(cached.cache_hits(), 1);
+        assert_eq!(a, b);
+        assert_eq!(a, reg.estimate(&t, &pred));
+
+        // Training bumps the owning shard's version → one miss, then
+        // hits again, now reflecting the new model.
+        let rect = pred.to_rect(&domain());
+        reg.observe(&t, &ObservedQuery::new(rect, 0.9));
+        let c = cached.estimate(&t, &pred);
+        assert_eq!(cached.cache_misses(), 2);
+        assert!((c - 0.9).abs() < 0.05);
+        let d = cached.estimate(&t, &pred);
+        assert_eq!(cached.cache_hits(), 2);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn cached_provider_matches_registry_on_blended_probes() {
+        let reg = registry(4);
+        let cached = CachedProvider::new(Arc::clone(&reg));
+        let t: TableId = "t".into();
+        for i in 0..16 {
+            let lo = (i % 6) as f64;
+            let rect = Rect::from_bounds(&[(lo, lo + 2.0), (lo, lo + 2.0)]);
+            reg.observe(&t, &ObservedQuery::new(rect, 0.4));
+        }
+        let wide = Predicate::new(); // the full domain: blended path
+        assert_eq!(cached.estimate(&t, &wide), reg.estimate(&t, &wide));
+        let narrow = Predicate::new().range(0, 2.0, 3.0).range(1, 2.0, 3.0);
+        assert_eq!(cached.estimate(&t, &narrow), reg.estimate(&t, &narrow));
+    }
+
+    #[test]
+    fn cached_provider_tracks_registry_ddl() {
+        let reg = registry(2);
+        let cached = CachedProvider::new(Arc::clone(&reg));
+        let t: TableId = "t".into();
+        let pred = Predicate::new().range(0, 1.0, 3.0);
+        let before = cached.estimate(&t, &pred); // caches the service
+        assert!(before < 1.0);
+
+        // Removing the table invalidates the cached resolution: the next
+        // probe degrades to the registry's conservative 1.0 instead of
+        // answering from the dead service's snapshots.
+        reg.remove(&t).expect("registered");
+        assert_eq!(cached.estimate(&t, &pred), 1.0);
+
+        // Re-registering (fresh learners) is picked up the same way.
+        let d = domain();
+        reg.register_with("t", d.clone(), 3, |i| {
+            QuickSel::builder(d.clone())
+                .refine_policy(RefinePolicy::Manual)
+                .seed(100 + i as u64)
+                .build()
+        });
+        let fresh = cached.estimate(&t, &pred);
+        assert_eq!(fresh, reg.estimate(&t, &pred));
+        assert!(fresh < 1.0, "fresh service answers from its prior");
+    }
+
+    #[test]
+    fn unknown_tables_degrade_conservatively() {
+        let reg = registry(2);
+        let cached = CachedProvider::new(Arc::clone(&reg));
+        let ghost: TableId = "ghost".into();
+        let pred = Predicate::new().range(0, 0.0, 1.0);
+        assert_eq!(cached.estimate(&ghost, &pred), 1.0);
+        cached.observe(&ghost, &ObservedQuery::new(Rect::from_bounds(&[(0.0, 1.0)]), 0.5));
+        assert_eq!(cached.version(&ghost), 0);
+        let stats = reg.stats();
+        assert_eq!(stats.missing_table_probes, 1);
+        assert_eq!(stats.dropped_feedback, 1);
+
+        let lp = LearnerProvider::new();
+        assert_eq!(lp.estimate(&ghost, &pred), 1.0);
+        assert_eq!(lp.version(&ghost), 0);
+    }
+
+    #[test]
+    fn learner_provider_adapts_any_learn() {
+        let d = domain();
+        let lp =
+            LearnerProvider::single("t", d.clone(), Box::new(QuickSel::builder(d.clone()).build()));
+        let t: TableId = "t".into();
+        let pred = Predicate::new().range(0, 0.0, 5.0).range(1, 0.0, 5.0);
+        let rect = pred.to_rect(&d);
+        assert_eq!(lp.version(&t), 0);
+        lp.observe(&t, &ObservedQuery::new(rect, 0.9));
+        assert_eq!(lp.version(&t), 1);
+        assert!((lp.estimate(&t, &pred) - 0.9).abs() < 0.05);
+        lp.with_learner(&t, |l| assert!(l.param_count() > 0)).unwrap();
+        // estimate_join default: the independence product.
+        let full = Predicate::new();
+        let j = lp.estimate_join(1000.0, &t, &pred, &t, &full);
+        let product = 1000.0 * lp.estimate(&t, &pred) * lp.estimate(&t, &full);
+        assert!((j - product).abs() < 1e-9);
+    }
+}

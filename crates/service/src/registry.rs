@@ -1,0 +1,298 @@
+//! [`EstimatorRegistry`]: one sharded estimator per table, behind the
+//! [`CardinalityProvider`] API.
+//!
+//! QuickSel is cheap enough to run *per table, online*; the registry is
+//! the piece that makes that concrete: it maps [`TableId`]s to
+//! [`ShardedService`]s, so an engine serving many relations routes every
+//! planner probe and every feedback observation to the right table's
+//! estimator — and within the table, to the right shard. Registration is
+//! rare (DDL-frequency); estimation is constant. The table map therefore
+//! sits behind an `RwLock` taken in read mode on the hot path, and the
+//! per-thread [`CachedProvider`](crate::CachedProvider) removes even
+//! that read lock for repeated probes.
+
+use crate::provider::{CardinalityProvider, TableId};
+use crate::service::ServiceStats;
+use crate::shard::{ShardedService, ShardedStats};
+use quicksel_data::{ObservedQuery, SnapshotSource, Table};
+use quicksel_geometry::{Domain, Predicate};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, RwLock};
+
+/// Registry-wide counters: aggregated ingestion stats plus the
+/// degradation signals ([`missing_table_probes`](Self::missing_table_probes),
+/// [`dropped_feedback`](Self::dropped_feedback)) that indicate the
+/// planner and the registry disagree about which tables exist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Registered tables.
+    pub tables: usize,
+    /// Total shards across all tables.
+    pub shards: usize,
+    /// Ingestion counters summed over every shard of every table.
+    pub total: ServiceStats,
+    /// Queue-full rejects summed over every shard of every table.
+    pub backpressure_rejects: u64,
+    /// Estimates requested for unregistered tables (answered `1.0`).
+    pub missing_table_probes: u64,
+    /// Feedback observations dropped because their table is unregistered.
+    pub dropped_feedback: u64,
+    /// Per-table breakdowns, sorted by table id.
+    pub per_table: Vec<(TableId, ShardedStats)>,
+}
+
+/// Maps tables to their sharded estimators and implements
+/// [`CardinalityProvider`] on top — the serving side of the planner seam.
+///
+/// ```
+/// use quicksel_core::QuickSel;
+/// use quicksel_geometry::{Domain, Predicate};
+/// use quicksel_service::{CardinalityProvider, EstimatorRegistry};
+///
+/// let registry = EstimatorRegistry::new();
+/// let orders = Domain::of_reals(&[("hour", 0.0, 24.0)]);
+/// registry.register_with("orders", orders.clone(), 4, |_| QuickSel::new(orders.clone()));
+///
+/// let probe = Predicate::new().range(0, 9.0, 17.0);
+/// let sel = registry.estimate(&"orders".into(), &probe);
+/// assert!((0.0..=1.0).contains(&sel));
+/// ```
+pub struct EstimatorRegistry<L: SnapshotSource> {
+    tables: RwLock<HashMap<TableId, Arc<ShardedService<L>>>>,
+    /// Bumped by every `register`/`remove`; caches key their table→service
+    /// resolution on it so DDL invalidates them (see
+    /// [`generation`](Self::generation)).
+    generation: AtomicU64,
+    missing_table_probes: AtomicU64,
+    dropped_feedback: AtomicU64,
+}
+
+impl<L: SnapshotSource> Default for EstimatorRegistry<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: SnapshotSource> EstimatorRegistry<L> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            tables: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            missing_table_probes: AtomicU64::new(0),
+            dropped_feedback: AtomicU64::new(0),
+        }
+    }
+
+    /// Monotone counter bumped by every [`register`](Self::register) /
+    /// [`remove`](Self::remove). Callers that cache table→service
+    /// resolutions (e.g. [`CachedProvider`](crate::CachedProvider))
+    /// compare it to detect DDL and drop stale entries.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(SeqCst)
+    }
+
+    /// Registers (or replaces) `table`'s sharded service. Readers holding
+    /// the replaced service keep it alive until they drop it.
+    pub fn register(&self, table: impl Into<TableId>, service: Arc<ShardedService<L>>) {
+        self.tables.write().expect("registry table map poisoned").insert(table.into(), service);
+        self.generation.fetch_add(1, SeqCst);
+    }
+
+    /// Builds and registers a [`ShardedService`] with `shards` shards
+    /// over `domain`, one learner per shard from the factory. Returns the
+    /// registered service for direct access (per-shard writers, stats).
+    pub fn register_with(
+        &self,
+        table: impl Into<TableId>,
+        domain: Domain,
+        shards: usize,
+        make_learner: impl FnMut(usize) -> L,
+    ) -> Arc<ShardedService<L>> {
+        let service = Arc::new(ShardedService::new(domain, shards, make_learner));
+        self.register(table, Arc::clone(&service));
+        service
+    }
+
+    /// The sharded service for `table`, if registered.
+    pub fn get(&self, table: &TableId) -> Option<Arc<ShardedService<L>>> {
+        self.tables.read().expect("registry table map poisoned").get(table).cloned()
+    }
+
+    /// Deregisters `table`, returning its service (estimates for the
+    /// table degrade to the conservative `1.0` from then on).
+    pub fn remove(&self, table: &TableId) -> Option<Arc<ShardedService<L>>> {
+        let removed = self.tables.write().expect("registry table map poisoned").remove(table);
+        if removed.is_some() {
+            self.generation.fetch_add(1, SeqCst);
+        }
+        removed
+    }
+
+    /// Registered table ids, sorted.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        let mut ids: Vec<TableId> =
+            self.tables.read().expect("registry table map poisoned").keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().expect("registry table map poisoned").len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters across every table and shard.
+    pub fn stats(&self) -> RegistryStats {
+        let mut per_table: Vec<(TableId, ShardedStats)> = {
+            let tables = self.tables.read().expect("registry table map poisoned");
+            tables.iter().map(|(id, svc)| (id.clone(), svc.stats())).collect()
+        };
+        per_table.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut stats = RegistryStats {
+            tables: per_table.len(),
+            missing_table_probes: self.missing_table_probes.load(SeqCst),
+            dropped_feedback: self.dropped_feedback.load(SeqCst),
+            ..RegistryStats::default()
+        };
+        for (_, t) in &per_table {
+            stats.shards += t.per_shard.len();
+            stats.total = stats.total.merge(t.total);
+            stats.backpressure_rejects += t.backpressure_total();
+        }
+        stats.per_table = per_table;
+        stats
+    }
+}
+
+impl<L: SnapshotSource> CardinalityProvider for EstimatorRegistry<L> {
+    fn estimate(&self, table: &TableId, pred: &Predicate) -> f64 {
+        match self.get(table) {
+            Some(svc) => svc.estimate(&pred.to_rect(svc.domain())),
+            None => {
+                self.missing_table_probes.fetch_add(1, SeqCst);
+                1.0
+            }
+        }
+    }
+
+    fn observe(&self, table: &TableId, feedback: &ObservedQuery) {
+        match self.get(table) {
+            // Ingest errors surface through shard stats and the learner's
+            // `last_error`; the feedback loop itself must never panic the
+            // executor.
+            Some(svc) => {
+                let _ = svc.observe(feedback);
+            }
+            None => {
+                self.dropped_feedback.fetch_add(1, SeqCst);
+            }
+        }
+    }
+
+    fn observe_batch(&self, table: &TableId, batch: &[ObservedQuery]) {
+        match self.get(table) {
+            Some(svc) => {
+                let _ = svc.observe_batch(batch);
+            }
+            None => {
+                self.dropped_feedback.fetch_add(batch.len() as u64, SeqCst);
+            }
+        }
+    }
+
+    fn sync_data(&self, table: &TableId, data: &Table, changed_rows: usize) {
+        if let Some(svc) = self.get(table) {
+            svc.sync_data(data, changed_rows);
+        }
+    }
+
+    fn version(&self, table: &TableId) -> u64 {
+        self.get(table).map_or(0, |svc| svc.version())
+    }
+
+    fn domain_of(&self, table: &TableId) -> Option<Domain> {
+        self.get(table).map(|svc| svc.domain().clone())
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_core::{QuickSel, RefinePolicy};
+    use quicksel_geometry::Rect;
+
+    fn registry() -> EstimatorRegistry<QuickSel> {
+        let reg = EstimatorRegistry::new();
+        for (name, hi) in [("orders", 10.0), ("users", 100.0)] {
+            let d = Domain::of_reals(&[("a", 0.0, hi), ("b", 0.0, hi)]);
+            reg.register_with(name, d.clone(), 2, |i| {
+                QuickSel::builder(d.clone())
+                    .refine_policy(RefinePolicy::Manual)
+                    .seed(i as u64)
+                    .build()
+            });
+        }
+        reg
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let reg = registry();
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.table_ids(), vec![TableId::from("orders"), TableId::from("users")]);
+        assert!(reg.get(&"orders".into()).is_some());
+        assert!(reg.get(&"ghost".into()).is_none());
+        let removed = reg.remove(&"users".into()).expect("registered");
+        assert_eq!(removed.shard_count(), 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn per_table_isolation() {
+        let reg = registry();
+        let orders: TableId = "orders".into();
+        let users: TableId = "users".into();
+        let pred = Predicate::new().range(0, 0.0, 5.0).range(1, 0.0, 5.0);
+        // Feedback to `orders` moves `orders` only.
+        let rect = pred.to_rect(reg.get(&orders).unwrap().domain());
+        reg.observe(&orders, &ObservedQuery::new(rect, 0.9));
+        assert!(reg.version(&orders) > 0);
+        assert_eq!(reg.version(&users), 0);
+        assert!((reg.estimate(&orders, &pred) - 0.9).abs() < 0.05);
+        // `users` still answers from its uniform prior (0.25% of a
+        // 100×100 domain for the 5×5 probe).
+        assert!((reg.estimate(&users, &pred) - 0.0025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_aggregate_across_tables() {
+        let reg = registry();
+        let orders: TableId = "orders".into();
+        for i in 0..6 {
+            let lo = (i % 3) as f64;
+            let rect = Rect::from_bounds(&[(lo, lo + 2.0), (lo, lo + 2.0)]);
+            reg.observe(&orders, &ObservedQuery::new(rect, 0.3));
+        }
+        let stats = reg.stats();
+        assert_eq!(stats.tables, 2);
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.total.queries_ingested, 6);
+        assert_eq!(stats.backpressure_rejects, 0);
+        assert_eq!(stats.per_table.len(), 2);
+        assert_eq!(stats.per_table[0].0, orders);
+        assert_eq!(stats.per_table[0].1.total.queries_ingested, 6);
+        assert_eq!(stats.per_table[1].1.total.queries_ingested, 0);
+    }
+}

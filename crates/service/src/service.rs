@@ -29,9 +29,25 @@ pub struct ServiceStats {
     pub rejected_batches: u64,
 }
 
+impl ServiceStats {
+    /// Element-wise sum of two counter sets; used to aggregate per-shard
+    /// stats into [`ShardedStats`](crate::ShardedStats) /
+    /// [`RegistryStats`](crate::RegistryStats) totals.
+    pub fn merge(self, other: ServiceStats) -> ServiceStats {
+        ServiceStats {
+            batches_ingested: self.batches_ingested + other.batches_ingested,
+            queries_ingested: self.queries_ingested + other.queries_ingested,
+            refines: self.refines + other.refines,
+            refine_failures: self.refine_failures + other.refine_failures,
+            rejected_batches: self.rejected_batches + other.rejected_batches,
+        }
+    }
+}
+
 /// Concurrent serving for a query-driven selectivity estimator.
 ///
-/// The service splits the estimator along the [`Estimate`]/[`Learn`]
+/// The service splits the estimator along the
+/// [`Estimate`]/[`Learn`](quicksel_data::Learn)
 /// seam: the **read path** serves immutable snapshots from an
 /// [`ArcCell`], so any number of planner threads call
 /// [`snapshot`](Self::snapshot) / [`estimate`](Self::estimate) without
@@ -67,6 +83,11 @@ pub struct SelectivityService<L: SnapshotSource> {
     refines: AtomicU64,
     refine_failures: AtomicU64,
     rejected_batches: AtomicU64,
+    /// `queries_ingested` frozen at the last publish. Blend weights read
+    /// this instead of the live counter so that estimates derived from
+    /// them can only change when `version` changes (the cache contract:
+    /// an unchanged version guarantees unchanged estimates).
+    published_queries: AtomicU64,
 }
 
 impl<L: SnapshotSource> SelectivityService<L> {
@@ -83,6 +104,7 @@ impl<L: SnapshotSource> SelectivityService<L> {
             refines: AtomicU64::new(0),
             refine_failures: AtomicU64::new(0),
             rejected_batches: AtomicU64::new(0),
+            published_queries: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +128,15 @@ impl<L: SnapshotSource> SelectivityService<L> {
     /// Number of published model versions (0 = still the initial prior).
     pub fn version(&self) -> u64 {
         self.version.load(SeqCst)
+    }
+
+    /// Observed queries ingested as of the last publish. Unlike the live
+    /// `stats().queries_ingested`, this moves only together with
+    /// [`version`](Self::version) — use it for anything that feeds an
+    /// estimate (e.g. cross-shard blend weights), so version-keyed caches
+    /// stay sound.
+    pub fn published_queries(&self) -> u64 {
+        self.published_queries.load(SeqCst)
     }
 
     /// Ingestion counters.
@@ -186,7 +217,34 @@ impl<L: SnapshotSource> SelectivityService<L> {
 
     fn publish(&self, learner: &L) {
         self.current.store(learner.snapshot_shared());
+        self.published_queries.store(self.queries_ingested.load(SeqCst), SeqCst);
         self.version.fetch_add(1, SeqCst);
+    }
+}
+
+/// Why [`IngestHandle::try_send`] bounced a batch. The two causes need
+/// different reactions — a full queue is *backpressure* (retry, shed, or
+/// grow the queue), a stopped worker is *shutdown* (re-route or flush
+/// synchronously) — so they are never conflated.
+#[derive(Debug)]
+pub enum IngestRejection {
+    /// The bounded queue is full; the batch is returned untouched.
+    QueueFull(Vec<ObservedQuery>),
+    /// The worker has been shut down (or died); the batch is returned.
+    Stopped(Vec<ObservedQuery>),
+}
+
+impl IngestRejection {
+    /// The bounced batch, whatever the cause.
+    pub fn into_batch(self) -> Vec<ObservedQuery> {
+        match self {
+            IngestRejection::QueueFull(b) | IngestRejection::Stopped(b) => b,
+        }
+    }
+
+    /// True when the cause was a full queue (backpressure, not shutdown).
+    pub fn is_queue_full(&self) -> bool {
+        matches!(self, IngestRejection::QueueFull(_))
     }
 }
 
@@ -209,14 +267,16 @@ impl IngestHandle {
         }
     }
 
-    /// Queues a batch without blocking; returns it back if the queue is
-    /// full or the worker has stopped.
-    pub fn try_send(&self, batch: Vec<ObservedQuery>) -> Result<(), Vec<ObservedQuery>> {
+    /// Queues a batch without blocking; bounces it back as an
+    /// [`IngestRejection`] that says *why* (queue full vs worker
+    /// stopped).
+    pub fn try_send(&self, batch: Vec<ObservedQuery>) -> Result<(), IngestRejection> {
         match &self.tx {
             Some(tx) => tx.try_send(batch).map_err(|e| match e {
-                TrySendError::Full(b) | TrySendError::Disconnected(b) => b,
+                TrySendError::Full(b) => IngestRejection::QueueFull(b),
+                TrySendError::Disconnected(b) => IngestRejection::Stopped(b),
             }),
-            None => Err(batch),
+            None => Err(IngestRejection::Stopped(batch)),
         }
     }
 

@@ -1,0 +1,569 @@
+//! [`ShardedService`]: feedback-partitioned serving across N
+//! [`SelectivityService`] shards.
+//!
+//! The single-service design serializes all ingestion on one writer
+//! mutex; at high feedback rates that mutex is the bottleneck (the read
+//! path already scales through the `ArcCell`). A [`ShardedService`]
+//! removes it by **partitioning feedback deterministically**: every
+//! predicate rectangle hashes to one owning shard
+//! ([`route_hash`]`(rect) % shards`), feedback
+//! for that rectangle trains only the owning shard's learner, and
+//! estimates for the rectangle are answered by the owning shard's
+//! snapshot. Shards never share state, so one writer per shard ingests
+//! with zero cross-shard contention.
+//!
+//! Because each shard's learner still models the *full* domain (it just
+//! sees the hash-slice of the workload routed to it), any shard's answer
+//! is a valid selectivity estimate; the owning shard is simply the one
+//! that has seen this predicate's own feedback. For very wide probes —
+//! rectangles spanning most of the domain, whose selectivity is shaped
+//! by feedback scattered across every shard — the service blends all
+//! shards instead: a weighted average of per-shard estimates, weighted
+//! by how much feedback each shard has ingested.
+
+use crate::service::{IngestHandle, SelectivityService, ServiceStats, SharedSnapshot};
+use quicksel_data::{route_hash, EstimatorError, ObservedQuery, SnapshotSource, Table};
+use quicksel_geometry::{Domain, Rect};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Fraction of the domain volume above which a probe is answered by the
+/// cross-shard blend instead of its owning shard alone.
+pub const DEFAULT_BLEND_THRESHOLD: f64 = 0.5;
+
+/// Aggregated counters for one [`ShardedService`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardedStats {
+    /// Ingestion counters of each shard, in shard order.
+    pub per_shard: Vec<ServiceStats>,
+    /// Per-shard queue-full rejects from
+    /// [`ShardedIngest::try_observe`], in shard order.
+    pub backpressure: Vec<u64>,
+    /// Element-wise sum over `per_shard`.
+    pub total: ServiceStats,
+}
+
+impl ShardedStats {
+    /// Sum of all per-shard backpressure rejects.
+    pub fn backpressure_total(&self) -> u64 {
+        self.backpressure.iter().sum()
+    }
+}
+
+/// How a [`ShardedService`] will answer one rectangle; see
+/// [`ShardedService::route_estimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateRoute {
+    /// Wide probe: blend all shards ([`ShardedService::estimate_blended`]).
+    Blend,
+    /// Narrow probe: the owning shard answers alone.
+    Shard(usize),
+}
+
+/// A feedback-partitioned bank of [`SelectivityService`] shards over one
+/// table's domain.
+///
+/// * **Routing** is deterministic and stateless: the same predicate
+///   rectangle always maps to the same shard
+///   ([`shard_for`](Self::shard_for)), on every thread and in every
+///   process run.
+/// * **Writes** parallelize per shard: [`observe_batch`](Self::observe_batch)
+///   splits a batch by owning shard and ingests each slice under that
+///   shard's own writer mutex; independent callers touching different
+///   shards never contend. For a dedicated writer thread per shard, use
+///   [`partition_batch`](Self::partition_batch) + [`shard`](Self::shard),
+///   or the background path [`start_ingest`](Self::start_ingest).
+/// * **Reads** stay lock-free: [`estimate`](Self::estimate) loads the
+///   owning shard's snapshot (or blends all shards for very wide
+///   probes — see the module docs).
+pub struct ShardedService<L: SnapshotSource> {
+    domain: Domain,
+    full_volume: f64,
+    shards: Vec<Arc<SelectivityService<L>>>,
+    backpressure: Vec<AtomicU64>,
+    blend_threshold: f64,
+}
+
+impl<L: SnapshotSource> ShardedService<L> {
+    /// Builds `shards` services over `domain`, one learner per shard from
+    /// the factory (called with the shard index).
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(domain: Domain, shards: usize, mut make_learner: impl FnMut(usize) -> L) -> Self {
+        assert!(shards > 0, "a sharded service needs at least one shard");
+        let full_volume = domain.full_rect().volume();
+        Self {
+            domain,
+            full_volume,
+            shards: (0..shards)
+                .map(|i| Arc::new(SelectivityService::new(make_learner(i))))
+                .collect(),
+            backpressure: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            blend_threshold: DEFAULT_BLEND_THRESHOLD,
+        }
+    }
+
+    /// Overrides the blend threshold (fraction of the domain volume above
+    /// which probes are answered by the cross-shard blend). `>= 1.0`
+    /// disables blending entirely; `0.0` blends every probe.
+    pub fn with_blend_threshold(mut self, threshold: f64) -> Self {
+        self.blend_threshold = threshold;
+        self
+    }
+
+    /// The table domain this service estimates over.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The owning shard of a predicate rectangle. Deterministic: same
+    /// rect, same shard, always.
+    pub fn shard_for(&self, rect: &Rect) -> usize {
+        (route_hash(rect) % self.shards.len() as u64) as usize
+    }
+
+    /// Direct access to one shard's service (per-shard writer threads,
+    /// diagnostics). Feedback pushed here bypasses routing — pair with
+    /// [`partition_batch`](Self::partition_batch) to keep the
+    /// same-predicate-same-shard invariant.
+    pub fn shard(&self, index: usize) -> &Arc<SelectivityService<L>> {
+        &self.shards[index]
+    }
+
+    /// Splits a batch into per-shard slices by owning shard; slice `i`
+    /// holds exactly the observations [`shard_for`](Self::shard_for)
+    /// routes to shard `i`, in input order. Clones each observation; on
+    /// paths that own the batch, prefer the allocation-free
+    /// [`partition_batch_owned`](Self::partition_batch_owned).
+    pub fn partition_batch(&self, batch: &[ObservedQuery]) -> Vec<Vec<ObservedQuery>> {
+        let mut parts = vec![Vec::new(); self.shards.len()];
+        for q in batch {
+            parts[self.shard_for(&q.rect)].push(q.clone());
+        }
+        parts
+    }
+
+    /// [`partition_batch`](Self::partition_batch) for an owned batch:
+    /// observations are *moved* into their shard's slice, so the hot
+    /// ingest path never re-allocates a rectangle.
+    pub fn partition_batch_owned(&self, batch: Vec<ObservedQuery>) -> Vec<Vec<ObservedQuery>> {
+        let mut parts = vec![Vec::new(); self.shards.len()];
+        for q in batch {
+            parts[self.shard_for(&q.rect)].push(q);
+        }
+        parts
+    }
+
+    /// Routes a batch to its owning shards and ingests each slice
+    /// (retrain + publish per shard). Returns the first per-shard error;
+    /// slices routed to other shards may still have been ingested —
+    /// shards are isolated by design, and per-shard outcomes are visible
+    /// in [`stats`](Self::stats).
+    pub fn observe_batch(&self, batch: &[ObservedQuery]) -> Result<(), EstimatorError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.shards.len() == 1 {
+            // Everything routes to shard 0; skip the partition clone.
+            return self.shards[0].observe_batch(batch).map(|_| ());
+        }
+        let mut first_err = None;
+        for (i, part) in self.partition_batch(batch).into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            if let Err(e) = self.shards[i].observe_batch(&part) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Convenience: one observation, routed to its owning shard.
+    pub fn observe(&self, query: &ObservedQuery) -> Result<(), EstimatorError> {
+        self.shards[self.shard_for(&query.rect)]
+            .observe_batch(std::slice::from_ref(query))
+            .map(|_| ())
+    }
+
+    /// How [`estimate`](Self::estimate) will answer a rectangle: the
+    /// single source of truth for the blend-vs-owning-shard decision,
+    /// shared with the cached read path so cached and uncached answers
+    /// can never diverge on dispatch.
+    pub fn route_estimate(&self, rect: &Rect) -> EstimateRoute {
+        if self.shards.len() > 1 && self.spans_partitions(rect) {
+            EstimateRoute::Blend
+        } else {
+            EstimateRoute::Shard(self.shard_for(rect))
+        }
+    }
+
+    /// Estimates one rectangle: the owning shard answers, unless the
+    /// rectangle spans at least the blend-threshold fraction of the
+    /// domain, in which case all shards are blended (weighted by feedback
+    /// ingested). Lock-free either way.
+    pub fn estimate(&self, rect: &Rect) -> f64 {
+        match self.route_estimate(rect) {
+            EstimateRoute::Blend => self.estimate_blended(rect),
+            EstimateRoute::Shard(i) => self.shards[i].estimate(rect),
+        }
+    }
+
+    /// Estimates a batch of rectangles, each through [`estimate`](Self::estimate).
+    pub fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
+        rects.iter().map(|r| self.estimate(r)).collect()
+    }
+
+    /// True when `rect` is wide enough that its selectivity is shaped by
+    /// feedback routed to *other* shards, i.e. the blend path applies.
+    /// Always false when the blend threshold is `>= 1.0` (blending
+    /// disabled, as [`with_blend_threshold`](Self::with_blend_threshold)
+    /// documents) — even for a probe covering the whole domain.
+    pub fn spans_partitions(&self, rect: &Rect) -> bool {
+        self.blend_threshold < 1.0
+            && self.full_volume > 0.0
+            && rect.volume() >= self.blend_threshold * self.full_volume
+    }
+
+    /// The cross-shard blend: per-shard estimates averaged with weight
+    /// `1 + published_queries(shard)`, so shards that have actually seen
+    /// feedback dominate while a fully-cold bank degrades to the plain
+    /// average of the priors (which all agree anyway). Weights read the
+    /// *published* query counts — frozen at each shard's last publish —
+    /// so blended estimates can only change when [`version`](Self::version)
+    /// changes, keeping version-keyed caches sound even when a refine
+    /// fails mid-batch.
+    pub fn estimate_blended(&self, rect: &Rect) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for shard in &self.shards {
+            let w = 1.0 + shard.published_queries() as f64;
+            num += w * shard.estimate(rect);
+            den += w;
+        }
+        num / den
+    }
+
+    /// The owning shard's current snapshot for `rect` — for callers that
+    /// want to probe one coherent model version repeatedly.
+    pub fn snapshot_for(&self, rect: &Rect) -> SharedSnapshot {
+        self.shards[self.shard_for(rect)].snapshot()
+    }
+
+    /// Sum of per-shard published-version counters. Monotone: every
+    /// shard's counter only moves forward.
+    pub fn version(&self) -> u64 {
+        self.shards.iter().map(|s| s.version()).sum()
+    }
+
+    /// Forwards a data-churn notification to every shard (each shard's
+    /// learner models the full table).
+    pub fn sync_data(&self, table: &Table, changed_rows: usize) {
+        for shard in &self.shards {
+            shard.sync_data(table, changed_rows);
+        }
+    }
+
+    /// Per-shard and aggregated counters.
+    pub fn stats(&self) -> ShardedStats {
+        let per_shard: Vec<ServiceStats> = self.shards.iter().map(|s| s.stats()).collect();
+        let total = per_shard.iter().fold(ServiceStats::default(), |a, &b| a.merge(b));
+        ShardedStats {
+            per_shard,
+            backpressure: self.backpressure.iter().map(|b| b.load(SeqCst)).collect(),
+            total,
+        }
+    }
+}
+
+impl<L: SnapshotSource + Send + 'static> ShardedService<L> {
+    /// Spawns one background ingestion worker per shard (each with a
+    /// bounded queue of `queue_depth` batches) and returns the routing
+    /// handle. This is the multi-writer ingest path: N shard workers
+    /// retrain concurrently, and the caller never blocks on a writer
+    /// mutex — only on a full queue, and [`ShardedIngest::try_observe`]
+    /// turns even that into an explicit backpressure signal.
+    pub fn start_ingest(self: &Arc<Self>, queue_depth: usize) -> ShardedIngest<L> {
+        let handles = self.shards.iter().map(|s| s.start_ingest(queue_depth)).collect();
+        ShardedIngest { service: Arc::clone(self), handles }
+    }
+
+    fn note_backpressure(&self, shard: usize) {
+        self.backpressure[shard].fetch_add(1, SeqCst);
+    }
+}
+
+/// A batch bounced by [`ShardedIngest::try_observe`] because a shard's
+/// queue was full (or its worker had stopped).
+#[derive(Debug)]
+pub struct ShardRejection {
+    /// The shard whose queue refused the slice.
+    pub shard: usize,
+    /// True when the cause was a full queue (genuine backpressure, and
+    /// counted as such in the service's per-shard stats); false when the
+    /// shard's worker has stopped.
+    pub queue_full: bool,
+    /// The observations that were not enqueued, in input order.
+    pub batch: Vec<ObservedQuery>,
+}
+
+/// Routing front-end over one background ingestion worker per shard;
+/// created by [`ShardedService::start_ingest`]. Dropping it shuts every
+/// worker down after their queues drain.
+pub struct ShardedIngest<L: SnapshotSource + Send + 'static> {
+    service: Arc<ShardedService<L>>,
+    handles: Vec<IngestHandle>,
+}
+
+impl<L: SnapshotSource + Send + 'static> ShardedIngest<L> {
+    /// Queues a batch for background ingestion, split by owning shard.
+    /// Blocks while a shard's queue is full. Returns the slices whose
+    /// worker has stopped (shutdown or died), so feedback is never
+    /// silently lost.
+    pub fn observe(&self, batch: Vec<ObservedQuery>) -> Result<(), Vec<ShardRejection>> {
+        let mut rejected = Vec::new();
+        for (shard, part) in self.service.partition_batch_owned(batch).into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            if let Err(bounced) = self.handles[shard].send(part) {
+                rejected.push(ShardRejection { shard, queue_full: false, batch: bounced });
+            }
+        }
+        if rejected.is_empty() {
+            Ok(())
+        } else {
+            Err(rejected)
+        }
+    }
+
+    /// Queues a batch without blocking. Slices whose shard queue is full
+    /// are returned as [`ShardRejection`]s (with
+    /// [`queue_full`](ShardRejection::queue_full) set) and counted in the
+    /// service's per-shard backpressure stats; slices whose worker has
+    /// stopped are returned without polluting the backpressure counters.
+    /// The caller decides whether to retry, drop, or spill — nothing
+    /// blocks and nothing disappears silently.
+    pub fn try_observe(&self, batch: Vec<ObservedQuery>) -> Result<(), Vec<ShardRejection>> {
+        let mut rejected = Vec::new();
+        for (shard, part) in self.service.partition_batch_owned(batch).into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            if let Err(bounced) = self.handles[shard].try_send(part) {
+                let queue_full = bounced.is_queue_full();
+                if queue_full {
+                    self.service.note_backpressure(shard);
+                }
+                rejected.push(ShardRejection { shard, queue_full, batch: bounced.into_batch() });
+            }
+        }
+        if rejected.is_empty() {
+            Ok(())
+        } else {
+            Err(rejected)
+        }
+    }
+
+    /// The sharded service this handle feeds.
+    pub fn service(&self) -> &Arc<ShardedService<L>> {
+        &self.service
+    }
+
+    /// Stops every shard worker after it drains its queue, waiting for
+    /// them to finish. Also called on drop.
+    pub fn shutdown(&mut self) {
+        for h in &mut self.handles {
+            h.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quicksel_core::{QuickSel, RefinePolicy};
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn sharded(n: usize) -> ShardedService<QuickSel> {
+        let d = domain();
+        ShardedService::new(d.clone(), n, |i| {
+            QuickSel::builder(d.clone())
+                .refine_policy(RefinePolicy::Manual)
+                .seed(7 + i as u64)
+                .build()
+        })
+    }
+
+    fn obs(b: [(f64, f64); 2], s: f64) -> ObservedQuery {
+        ObservedQuery::new(Rect::from_bounds(&b), s)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_partition_respects_it() {
+        let svc = sharded(4);
+        let batch: Vec<ObservedQuery> = (0..32)
+            .map(|i| {
+                let lo = (i % 7) as f64;
+                obs([(lo, lo + 2.0), ((i % 5) as f64, (i % 5) as f64 + 3.0)], 0.3)
+            })
+            .collect();
+        for q in &batch {
+            assert_eq!(svc.shard_for(&q.rect), svc.shard_for(&q.rect));
+        }
+        let parts = svc.partition_batch(&batch);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), batch.len());
+        for (i, part) in parts.iter().enumerate() {
+            for q in part {
+                assert_eq!(svc.shard_for(&q.rect), i);
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_trains_only_the_owning_shard() {
+        let svc = sharded(4);
+        let q = obs([(1.0, 3.0), (2.0, 5.0)], 0.7);
+        let owner = svc.shard_for(&q.rect);
+        svc.observe(&q).expect("train");
+        for i in 0..svc.shard_count() {
+            let expected = u64::from(i == owner);
+            assert_eq!(svc.shard(i).stats().queries_ingested, expected, "shard {i}");
+        }
+        // The owning shard's estimate reflects the feedback.
+        assert!((svc.estimate(&q.rect) - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn wide_probes_blend_across_shards() {
+        let svc = sharded(2);
+        // Train the two shards apart with narrow feedback.
+        for i in 0..12 {
+            let lo = (i % 6) as f64;
+            svc.observe(&obs([(lo, lo + 2.0), (lo, lo + 2.0)], 0.4)).expect("train");
+        }
+        let wide = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+        assert!(svc.spans_partitions(&wide));
+        assert_eq!(svc.estimate(&wide), svc.estimate_blended(&wide));
+        let narrow = Rect::from_bounds(&[(1.0, 2.0), (1.0, 2.0)]);
+        assert!(!svc.spans_partitions(&narrow));
+        // Blending is a convex combination of per-shard answers.
+        let per_shard: Vec<f64> = (0..2).map(|i| svc.shard(i).estimate(&wide)).collect();
+        let blended = svc.estimate_blended(&wide);
+        let lo = per_shard.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = per_shard.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(blended >= lo - 1e-12 && blended <= hi + 1e-12);
+    }
+
+    #[test]
+    fn blended_estimates_are_stable_at_a_fixed_version() {
+        let svc = sharded(2);
+        for i in 0..8 {
+            let lo = (i % 4) as f64;
+            svc.observe(&obs([(lo, lo + 2.0), (lo, lo + 2.0)], 0.4)).expect("train");
+        }
+        let wide = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+        let version = svc.version();
+        let blended = svc.estimate_blended(&wide);
+        // A rejected batch ingests nothing and publishes nothing; the
+        // blend must not move while the version holds still.
+        let bad = ObservedQuery { rect: wide.clone(), selectivity: 2.0 };
+        assert!(svc.observe(&bad).is_err());
+        assert_eq!(svc.version(), version);
+        assert_eq!(svc.estimate_blended(&wide), blended, "estimate moved at a fixed version");
+    }
+
+    #[test]
+    fn version_sums_monotonically_and_stats_aggregate() {
+        let svc = sharded(3);
+        assert_eq!(svc.version(), 0);
+        let batch: Vec<ObservedQuery> = (0..9)
+            .map(|i| obs([((i % 4) as f64, (i % 4) as f64 + 3.0), (0.0, 5.0)], 0.5))
+            .collect();
+        svc.observe_batch(&batch).expect("train");
+        let stats = svc.stats();
+        assert_eq!(stats.total.queries_ingested, 9);
+        assert_eq!(stats.per_shard.len(), 3);
+        assert_eq!(stats.backpressure, vec![0, 0, 0]);
+        // Every shard that received feedback published a new version.
+        let touched = stats.per_shard.iter().filter(|s| s.batches_ingested > 0).count() as u64;
+        assert_eq!(svc.version(), touched);
+    }
+
+    #[test]
+    fn try_observe_reports_per_shard_backpressure() {
+        use std::sync::mpsc;
+        let svc = Arc::new(sharded(2));
+        // Stall both shards by parking a thread inside each learner mutex
+        // (via `with_learner`), then flood the 1-deep worker queues until
+        // try_observe bounces with an explicit per-shard rejection.
+        let mut stallers = Vec::new();
+        let mut releases = Vec::new();
+        for i in 0..2 {
+            let (locked_tx, locked_rx) = mpsc::channel();
+            let (release_tx, release_rx) = mpsc::channel::<()>();
+            let shard = Arc::clone(svc.shard(i));
+            stallers.push(std::thread::spawn(move || {
+                shard.with_learner(|_| {
+                    locked_tx.send(()).unwrap();
+                    let _ = release_rx.recv();
+                })
+            }));
+            locked_rx.recv().expect("staller locked its shard");
+            releases.push(release_tx);
+        }
+
+        let mut ingest = svc.start_ingest(1);
+        let mut saw_rejection = false;
+        for i in 0..128 {
+            let lo = (i % 8) as f64;
+            let batch = vec![obs([(lo, lo + 1.0), (lo, lo + 1.0)], 0.5)];
+            if let Err(rejected) = ingest.try_observe(batch) {
+                assert!(!rejected.is_empty());
+                for r in &rejected {
+                    assert!(r.shard < 2);
+                    assert!(r.queue_full, "live worker rejections are queue-full backpressure");
+                    assert_eq!(r.batch.len(), 1, "bounced slice returned intact");
+                }
+                saw_rejection = true;
+                break;
+            }
+        }
+        assert!(saw_rejection, "bounded shard queues never refused");
+        assert!(svc.stats().backpressure_total() >= 1);
+
+        for tx in releases {
+            let _ = tx.send(());
+        }
+        for s in stallers {
+            s.join().unwrap();
+        }
+        ingest.shutdown();
+        // Everything that was accepted (not bounced) was eventually
+        // ingested: accepted batches = ingested batches.
+        let stats = svc.stats();
+        assert!(stats.total.batches_ingested >= 1);
+
+        // Stopped workers are NOT backpressure: sends after shutdown
+        // bounce as `queue_full: false` and leave the counters alone.
+        let backpressure_before = svc.stats().backpressure_total();
+        let refused = ingest
+            .try_observe(vec![obs([(0.5, 1.5), (0.5, 1.5)], 0.5)])
+            .expect_err("workers are stopped");
+        assert!(refused.iter().all(|r| !r.queue_full), "shutdown misread as backpressure");
+        assert_eq!(svc.stats().backpressure_total(), backpressure_before);
+    }
+}

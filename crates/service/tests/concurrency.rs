@@ -4,8 +4,10 @@
 
 use quicksel_core::{QuickSel, RefinePolicy};
 use quicksel_data::ObservedQuery;
-use quicksel_geometry::{Domain, Rect};
-use quicksel_service::SelectivityService;
+use quicksel_geometry::{Domain, Predicate, Rect};
+use quicksel_service::{
+    CachedProvider, CardinalityProvider, EstimatorRegistry, SelectivityService, TableId,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -131,6 +133,142 @@ fn old_snapshots_survive_concurrent_republishing() {
     assert!((service.estimate(&probe) - pinned_answer).abs() > 0.2);
     // …the pinned snapshot did not.
     assert_eq!(pinned.estimate(&probe), pinned_answer);
+}
+
+/// The registry under full concurrency: M reader threads estimate
+/// against K tables (each through its own per-thread [`CachedProvider`])
+/// while one writer per shard of every table retrains. Versions must
+/// move only forward, every estimate must be a valid selectivity, and
+/// the final stats must account for every observation — no torn or lost
+/// counters.
+#[test]
+fn registry_readers_and_shard_writers_across_tables() {
+    const TABLES: usize = 2;
+    const SHARDS: usize = 2;
+    const READERS: usize = 4;
+    const BATCHES_PER_WRITER: usize = 10;
+    const QUERIES_PER_BATCH: usize = 3;
+
+    let registry: Arc<EstimatorRegistry<QuickSel>> = Arc::new(EstimatorRegistry::new());
+    let table_ids: Vec<TableId> = (0..TABLES).map(|k| TableId::new(format!("t{k}"))).collect();
+    for (k, id) in table_ids.iter().enumerate() {
+        let d = domain();
+        registry.register_with(id.clone(), d.clone(), SHARDS, |i| {
+            QuickSel::builder(d.clone())
+                .refine_policy(RefinePolicy::Manual)
+                .fixed_subpops(64)
+                .seed((k * SHARDS + i) as u64)
+                .build()
+        });
+    }
+
+    // Pre-partition each table's workload by owning shard so each writer
+    // thread feeds exactly one shard of one table.
+    let mut writer_feeds: Vec<(TableId, usize, Vec<ObservedQuery>)> = Vec::new();
+    for id in &table_ids {
+        let svc = registry.get(id).expect("registered");
+        let workload: Vec<ObservedQuery> = (0..BATCHES_PER_WRITER * QUERIES_PER_BATCH * SHARDS)
+            .map(|i| {
+                let lo = (i % 29) as f64 * 0.3;
+                let w = 0.5 + (i % 13) as f64 * 0.4;
+                let rect =
+                    Rect::from_bounds(&[(lo, (lo + w).min(10.0)), (0.0, (i % 8 + 2) as f64)]);
+                ObservedQuery::new(rect, 0.1 + (i % 8) as f64 * 0.1)
+            })
+            .collect();
+        for (shard, part) in svc.partition_batch(&workload).into_iter().enumerate() {
+            writer_feeds.push((id.clone(), shard, part));
+        }
+    }
+    let expected_per_table: Vec<u64> = table_ids
+        .iter()
+        .map(|id| {
+            writer_feeds.iter().filter(|(t, _, _)| t == id).map(|(_, _, p)| p.len() as u64).sum()
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    thread::scope(|scope| {
+        // M readers: per-thread cached providers over the shared registry.
+        let mut readers = Vec::new();
+        for r in 0..READERS {
+            let registry = Arc::clone(&registry);
+            let table_ids = table_ids.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(scope.spawn(move || {
+                let cached = CachedProvider::new(registry);
+                let mut last_versions = vec![0u64; table_ids.len()];
+                let mut estimates = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for (k, id) in table_ids.iter().enumerate() {
+                        let version = cached.version(id);
+                        assert!(
+                            version >= last_versions[k],
+                            "reader {r}: version of {id} moved backwards"
+                        );
+                        last_versions[k] = version;
+                        let lo = ((estimates + k as u64) % 7) as f64;
+                        let pred = Predicate::new().range(0, lo, lo + 2.0).range(
+                            1,
+                            0.0,
+                            4.0 + (estimates % 5) as f64,
+                        );
+                        let e = cached.estimate(id, &pred);
+                        assert!((0.0..=1.0).contains(&e), "reader {r}: estimate {e}");
+                        estimates += 1;
+                    }
+                }
+                (estimates, cached.cache_hits())
+            }));
+        }
+
+        // N writers: one per (table, shard), each feeding its own shard.
+        let mut writers = Vec::new();
+        for (id, shard, part) in &writer_feeds {
+            let registry = Arc::clone(&registry);
+            writers.push(scope.spawn(move || {
+                let svc = registry.get(id).expect("registered");
+                let chunk = part.len().div_ceil(BATCHES_PER_WRITER).max(1);
+                for batch in part.chunks(chunk) {
+                    svc.shard(*shard).observe_batch(batch).expect("shard ingest failed");
+                }
+            }));
+        }
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut total_estimates = 0u64;
+        let mut total_hits = 0u64;
+        for r in readers {
+            let (estimates, hits) = r.join().expect("reader panicked");
+            total_estimates += estimates;
+            total_hits += hits;
+        }
+        assert!(total_estimates > 0, "readers never ran");
+        // Snapshot caching engaged: most repeat probes at a stable
+        // version skip the ArcCell load entirely.
+        assert!(total_hits > 0, "cached provider never hit");
+    });
+
+    // No stat loss, table by table, shard by shard.
+    let stats = registry.stats();
+    assert_eq!(stats.tables, TABLES);
+    assert_eq!(stats.shards, TABLES * SHARDS);
+    assert_eq!(stats.total.refine_failures, 0);
+    assert_eq!(stats.total.queries_ingested, expected_per_table.iter().sum::<u64>());
+    for (id, expected) in table_ids.iter().zip(&expected_per_table) {
+        let per_table = &stats.per_table.iter().find(|(t, _)| t == id).expect("table in stats").1;
+        assert_eq!(per_table.total.queries_ingested, *expected, "{id} lost feedback");
+        let svc = registry.get(id).unwrap();
+        // Every successfully ingested batch publishes exactly once (no
+        // sync_data in this test), so the version must account for all
+        // of them — a lost publish is a lost model update.
+        let published: u64 = per_table.per_shard.iter().map(|s| s.batches_ingested).sum();
+        assert_eq!(svc.version(), published, "{id} lost publishes");
+        svc.shard(0).with_learner(|l| assert!(l.last_error().is_none()));
+    }
 }
 
 /// Background ingestion feeds the same pipeline: queued batches land in

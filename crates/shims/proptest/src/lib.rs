@@ -271,7 +271,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Lengths acceptable to [`vec`]: an exact size or a range.
+        /// Lengths acceptable to [`vec()`]: an exact size or a range.
         pub struct SizeRange {
             lo: usize,
             hi: usize, // exclusive
@@ -302,7 +302,7 @@ pub mod prop {
             VecStrategy { element, lo: size.lo, hi: size.hi }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         #[derive(Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -9,6 +9,10 @@
 //! * [`QuickSel`] — the estimator itself (crate `quicksel-core`),
 //! * [`SelectivityService`] — lock-free concurrent serving of immutable
 //!   model snapshots (crate `quicksel-service`),
+//! * [`EstimatorRegistry`] / [`ShardedService`] / [`CardinalityProvider`]
+//!   — the multi-table serving layer: per-table sharded estimators with
+//!   deterministic feedback routing behind the planner-facing provider
+//!   API, plus the per-thread [`CachedProvider`] read accelerator,
 //! * [`geometry`] — predicates, hyperrectangles, domains,
 //! * [`linalg`] — the dense solvers behind training,
 //! * [`data`] — tables, synthetic datasets, workloads, metrics, and the
@@ -91,7 +95,11 @@ pub use quicksel_data::{
     Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,
 };
 pub use quicksel_geometry::{BoolExpr, Domain, Interval, Predicate, Rect};
-pub use quicksel_service::{SelectivityService, ServiceStats, SharedSnapshot};
+pub use quicksel_service::{
+    CachedProvider, CardinalityProvider, DynRegistry, EstimatorRegistry, LearnerProvider,
+    RegistryStats, SelectivityService, ServiceStats, ShardedService, ShardedStats, SharedSnapshot,
+    TableId,
+};
 
 /// Convenience imports covering the common workflow.
 pub mod prelude {
@@ -101,5 +109,8 @@ pub mod prelude {
         Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,
     };
     pub use quicksel_geometry::{Domain, Predicate, Rect};
-    pub use quicksel_service::SelectivityService;
+    pub use quicksel_service::{
+        CachedProvider, CardinalityProvider, EstimatorRegistry, SelectivityService, ShardedService,
+        TableId,
+    };
 }
