@@ -34,7 +34,7 @@ pub fn run_query_driven(
         per_observe_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
     let total_train_ms = t_total.elapsed().as_secs_f64() * 1e3;
-    let stats = evaluate(&*est, test);
+    let stats = score(&*est, test);
     QueryDrivenRun {
         mean_per_query_ms: if train.is_empty() { 0.0 } else { total_train_ms / train.len() as f64 },
         per_observe_ms,
@@ -44,14 +44,28 @@ pub fn run_query_driven(
     }
 }
 
-/// Scores an estimator on a test workload through one `estimate_many`
-/// batch (exercising the same read path a serving snapshot uses).
-pub fn evaluate(est: &dyn Estimate, test: &[ObservedQuery]) -> ErrorStats {
+/// Scores an estimator on a test workload through **one** batched
+/// `estimate_many` call over the whole workload.
+///
+/// This matters for the serving path: `Estimate::estimate_many` is where
+/// QuickSel freezes its mixture model into SoA form, so scoring N test
+/// queries costs one freeze + one blocked kernel pass instead of N scalar
+/// walks of the array-of-structs model (the old per-call behavior, which
+/// effectively re-froze nothing and re-walked everything). Scores are
+/// identical either way — the kernel is term-order identical to the
+/// scalar path (see `quicksel_core::batch`) — only the time changes;
+/// `tests/driver_score.rs` pins the equality.
+pub fn score(est: &dyn Estimate, test: &[ObservedQuery]) -> ErrorStats {
     let rects: Vec<_> = test.iter().map(|q| q.rect.clone()).collect();
     let estimates = est.estimate_many(&rects);
     let pairs: Vec<(f64, f64)> =
         test.iter().zip(&estimates).map(|(q, &e)| (q.selectivity, e)).collect();
     ErrorStats::from_pairs(&pairs)
+}
+
+/// Back-compatible alias of [`score`].
+pub fn evaluate(est: &dyn Estimate, test: &[ObservedQuery]) -> ErrorStats {
+    score(est, test)
 }
 
 /// One measurement point of a streaming run (Figures 3 and 4).
@@ -97,7 +111,7 @@ pub fn stream_with_checkpoints(
                 n: i + 1,
                 window_per_query_ms: window / window_len.max(1) as f64,
                 cumulative_ms: cumulative,
-                stats: evaluate(&*est, test),
+                stats: score(&*est, test),
                 params: est.param_count(),
             });
             window = 0.0;

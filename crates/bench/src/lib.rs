@@ -15,7 +15,7 @@ pub mod methods;
 pub mod report;
 pub mod scale;
 
-pub use driver::{evaluate, run_query_driven, QueryDrivenRun};
+pub use driver::{evaluate, run_query_driven, score, QueryDrivenRun};
 pub use methods::{make_estimator, MethodKind};
 pub use report::{fmt_duration_ms, fmt_pct, TextTable};
 pub use scale::Scale;

@@ -1,0 +1,473 @@
+//! Batched, SoA-layout estimation kernel for the uniform mixture model.
+//!
+//! [`UniformMixtureModel`] stores its subpopulations array-of-structs:
+//! every support is its own [`Rect`] owning a `Vec<Interval>`, so the hot
+//! estimation loop chases one pointer per subpopulation and branches on
+//! early exits. That is fine for a single probe, but planner-scale
+//! serving estimates *batches* — B candidate-plan rectangles against the
+//! same m subpopulations — and there the memory layout dominates.
+//!
+//! [`FrozenModel`] is the same model frozen into structure-of-arrays
+//! form, plus a blocked rect×subpop intersection kernel over it.
+//!
+//! # SoA layout invariants
+//!
+//! For a model with `m` subpopulations over `d` dimensions:
+//!
+//! * `lo` and `hi` are **dimension-major** column arrays of length
+//!   `d · m`: `lo[dim * m + z]` / `hi[dim * m + z]` are subpopulation
+//!   `z`'s bounds in dimension `dim`. The kernel's inner loops therefore
+//!   stream contiguous memory for a fixed dimension.
+//! * `weights[z]` and `inv_volumes[z]` are parallel to the subpopulation
+//!   index, with `inv_volumes[z] == 1.0 / |G_z|` exactly as the source
+//!   model computed it.
+//! * All supports share one dimensionality; `FrozenModel::new` panics on
+//!   mixed-dimension supports (the source model cannot produce them).
+//!
+//! # Exactness contract
+//!
+//! The kernel is **term-order identical** to the scalar path
+//! ([`UniformMixtureModel::estimate_raw`]): subpopulations are visited in
+//! index order, each term is evaluated as `w * overlap * inv` with the
+//! same association, and each overlap is the same left-to-right product
+//! of per-dimension `(hi.min(q_hi) - lo.max(q_lo)).max(0.0)` lengths.
+//! The scalar path's skip branches (`w == 0`, `overlap <= 0`) become a
+//! branch-free select whose masked-out terms contribute exactly `0.0` —
+//! which changes no partial sum's value (at most the sign of a zero sum,
+//! and `0.0 == -0.0`). Every contributing IEEE-754 operation therefore
+//! rounds identically and [`FrozenModel::estimate`] **compares equal**
+//! (`==`, which is bitwise up to zero signs) to the scalar estimate —
+//! the equivalence suite in `tests/batch_equivalence.rs` asserts exact
+//! equality, not a tolerance. The optional `simd` feature keeps this
+//! contract: it vectorizes only the element-wise overlap products (which
+//! have no reassociation freedom) and leaves the reduction sequential.
+//!
+//! # Blocking
+//!
+//! `estimate_many` tiles the batch ([`RECT_TILE`] rectangles at a time)
+//! and blocks the subpopulation axis ([`SUBPOP_BLOCK`] entries at a
+//! time): each subpopulation block is loaded once and intersected with
+//! every rectangle of the tile before moving on, so a large model
+//! streams through cache `B / RECT_TILE` times instead of `B` times.
+
+use crate::model::UniformMixtureModel;
+use quicksel_geometry::Rect;
+
+/// Subpopulations processed per kernel block: long enough to amortize
+/// loop overhead and fill vector lanes, short enough that the per-block
+/// overlap scratch stays in registers/L1.
+pub const SUBPOP_BLOCK: usize = 64;
+
+/// Rectangles processed per batch tile (see the module docs on blocking).
+pub const RECT_TILE: usize = 16;
+
+/// A [`UniformMixtureModel`] frozen into SoA column arrays, with batched
+/// estimation kernels. See the module docs for the layout and exactness
+/// invariants.
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    dim: usize,
+    len: usize,
+    /// Dimension-major lower bounds, `lo[dim * len + z]`.
+    lo: Vec<f64>,
+    /// Dimension-major upper bounds, `hi[dim * len + z]`.
+    hi: Vec<f64>,
+    /// Subpopulation weights `w_z`, in model order.
+    weights: Vec<f64>,
+    /// Precomputed `1 / |G_z|`, copied verbatim from the source model.
+    inv_volumes: Vec<f64>,
+}
+
+impl FrozenModel {
+    /// Freezes `model` into SoA form. `O(m · d)` — cheap relative to one
+    /// batched estimate, and done once per published snapshot.
+    ///
+    /// # Panics
+    /// Panics when the model's supports disagree on dimensionality.
+    pub fn new(model: &UniformMixtureModel) -> Self {
+        let len = model.len();
+        let dim = model.rects().first().map_or(0, Rect::dim);
+        let mut lo = vec![0.0; dim * len];
+        let mut hi = vec![0.0; dim * len];
+        for (z, r) in model.rects().iter().enumerate() {
+            assert_eq!(r.dim(), dim, "mixed-dimension subpopulation supports");
+            for (d, s) in r.sides().iter().enumerate() {
+                lo[d * len + z] = s.lo;
+                hi[d * len + z] = s.hi;
+            }
+        }
+        Self {
+            dim,
+            len,
+            lo,
+            hi,
+            weights: model.weights().to_vec(),
+            inv_volumes: model.inv_volumes().to_vec(),
+        }
+    }
+
+    /// Number of subpopulations `m`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the model has no subpopulations.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the supports (0 for an empty model).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hard dimensionality guard at every kernel entry point. The
+    /// explicit-SIMD path reads raw pointers from the column arrays, so
+    /// a mismatched probe must fail loudly here — in release builds too
+    /// — never reach the unsafe block. (An empty model has no supports
+    /// to define a dimensionality; its kernel loops never run, so any
+    /// probe is accepted and estimates 0.)
+    #[inline]
+    fn check_dim(&self, rect: &Rect) {
+        assert!(
+            self.len == 0 || rect.dim() == self.dim,
+            "probe dimensionality {} does not match the model's {}",
+            rect.dim(),
+            self.dim
+        );
+    }
+
+    /// Raw (unclamped) selectivity `Σ_z w_z |G_z ∩ B| / |G_z|` through
+    /// the SoA kernel; compares equal (`==`) to the scalar
+    /// [`UniformMixtureModel::estimate_raw`] — see the module docs'
+    /// exactness contract.
+    pub fn estimate_raw(&self, rect: &Rect) -> f64 {
+        self.check_dim(rect);
+        let mut ov = [0.0f64; SUBPOP_BLOCK];
+        let mut acc = 0.0;
+        let mut z0 = 0;
+        while z0 < self.len {
+            let c = SUBPOP_BLOCK.min(self.len - z0);
+            self.overlap_block(rect, z0, &mut ov[..c]);
+            self.accumulate_block(z0, &ov[..c], &mut acc);
+            z0 += c;
+        }
+        acc
+    }
+
+    /// Selectivity estimate clamped into `[0, 1]`.
+    pub fn estimate(&self, rect: &Rect) -> f64 {
+        self.estimate_raw(rect).clamp(0.0, 1.0)
+    }
+
+    /// Batched estimation: clamped selectivities for every rectangle, in
+    /// input order. Equivalent to mapping [`estimate`](Self::estimate)
+    /// (and therefore to the scalar path), evaluated through the blocked
+    /// kernel.
+    pub fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(rects.len());
+        self.estimate_many_into(rects, &mut out);
+        out
+    }
+
+    /// [`estimate_many`](Self::estimate_many) into a caller-provided
+    /// buffer (cleared first), so steady-state serving reuses one
+    /// allocation across calls.
+    pub fn estimate_many_into(&self, rects: &[Rect], out: &mut Vec<f64>) {
+        for rect in rects {
+            self.check_dim(rect);
+        }
+        self.kernel_into(rects.len(), &|i| &rects[i], out);
+    }
+
+    /// Gather form of [`estimate_many`](Self::estimate_many): estimates
+    /// `rects[indexes[k]]` for each `k`, in `indexes` order. This is
+    /// what routed batch dispatch uses — regrouping a batch by shard
+    /// becomes index shuffling instead of cloning rectangles.
+    pub fn estimate_gather(&self, rects: &[Rect], indexes: &[usize]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(indexes.len());
+        self.estimate_gather_into(rects, indexes, &mut out);
+        out
+    }
+
+    /// [`estimate_gather`](Self::estimate_gather) into a caller-provided
+    /// buffer (cleared first).
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds or a gathered rect's
+    /// dimensionality mismatches the model's.
+    pub fn estimate_gather_into(&self, rects: &[Rect], indexes: &[usize], out: &mut Vec<f64>) {
+        for &i in indexes {
+            self.check_dim(&rects[i]);
+        }
+        self.kernel_into(indexes.len(), &|k| &rects[indexes[k]], out);
+    }
+
+    /// The blocked kernel over `count` rects resolved through `rect_at`
+    /// (a direct slice index for `estimate_many_into`, an index-gather
+    /// for `estimate_gather_into`). Callers have already dim-checked
+    /// every rect `rect_at` can return.
+    fn kernel_into<'a>(
+        &self,
+        count: usize,
+        rect_at: &dyn Fn(usize) -> &'a Rect,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(count);
+        let mut ov = [0.0f64; SUBPOP_BLOCK];
+        let mut t0 = 0;
+        while t0 < count {
+            let tile_len = RECT_TILE.min(count - t0);
+            let mut accs = [0.0f64; RECT_TILE];
+            let mut z0 = 0;
+            while z0 < self.len {
+                let c = SUBPOP_BLOCK.min(self.len - z0);
+                for (j, acc) in accs[..tile_len].iter_mut().enumerate() {
+                    self.overlap_block(rect_at(t0 + j), z0, &mut ov[..c]);
+                    self.accumulate_block(z0, &ov[..c], acc);
+                }
+                z0 += c;
+            }
+            out.extend(accs[..tile_len].iter().map(|a| a.clamp(0.0, 1.0)));
+            t0 += tile_len;
+        }
+    }
+
+    /// Fills `ov[i]` with `|G_{z0+i} ∩ rect|` for one subpopulation
+    /// block, as the left-to-right product of per-dimension overlap
+    /// lengths.
+    #[inline]
+    fn overlap_block(&self, rect: &Rect, z0: usize, ov: &mut [f64]) {
+        debug_assert_eq!(rect.dim(), self.dim);
+        if self.dim == 0 {
+            // Zero-dimensional supports: |G ∩ B| is the empty product,
+            // 1 — matching the scalar `intersection_volume`. Without
+            // this, the unwritten buffer would mask every term.
+            ov.fill(1.0);
+            return;
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if simd::avx2_enabled() {
+            // SAFETY: gated on runtime AVX2 detection.
+            unsafe { simd::overlap_block_avx2(self, rect, z0, ov) };
+            return;
+        }
+        self.overlap_block_portable(rect, z0, ov);
+    }
+
+    /// Portable overlap block: branch-free min/max arithmetic over
+    /// contiguous columns, written so LLVM auto-vectorizes it. Also the
+    /// runtime fallback of the `simd` path on non-AVX2 hosts.
+    ///
+    /// The compare-select idiom (instead of `f64::min`/`max`) lowers
+    /// directly to `minpd`/`maxpd`; for the finite bounds a model can
+    /// hold the selected values are identical to the scalar path's
+    /// `minNum`/`maxNum` semantics (they differ only on NaN inputs,
+    /// which positive-volume supports cannot produce).
+    fn overlap_block_portable(&self, rect: &Rect, z0: usize, ov: &mut [f64]) {
+        #[inline(always)]
+        fn overlap(lo: f64, hi: f64, q_lo: f64, q_hi: f64) -> f64 {
+            let h = if hi < q_hi { hi } else { q_hi };
+            let l = if lo > q_lo { lo } else { q_lo };
+            let len = h - l;
+            if len > 0.0 {
+                len
+            } else {
+                0.0
+            }
+        }
+        let m = self.len;
+        for (d, side) in rect.sides().iter().enumerate() {
+            let base = d * m + z0;
+            let lows = &self.lo[base..base + ov.len()];
+            let highs = &self.hi[base..base + ov.len()];
+            if d == 0 {
+                for ((o, &l), &h) in ov.iter_mut().zip(lows).zip(highs) {
+                    *o = overlap(l, h, side.lo, side.hi);
+                }
+            } else {
+                for ((o, &l), &h) in ov.iter_mut().zip(lows).zip(highs) {
+                    *o *= overlap(l, h, side.lo, side.hi);
+                }
+            }
+        }
+    }
+
+    /// Adds one block's terms into `acc` sequentially, with the scalar
+    /// path's term association (`w * overlap * inv`) and its skip
+    /// conditions expressed as a select (see the exactness contract).
+    #[inline]
+    fn accumulate_block(&self, z0: usize, ov: &[f64], acc: &mut f64) {
+        let ws = &self.weights[z0..z0 + ov.len()];
+        let invs = &self.inv_volumes[z0..z0 + ov.len()];
+        for ((&w, &inv), &o) in ws.iter().zip(invs).zip(ov) {
+            // Branch-free select instead of the scalar path's skips: a
+            // masked-out term adds exactly 0.0, which leaves every
+            // partial sum's *value* unchanged (only the sign of a zero
+            // sum could differ, and 0.0 == -0.0), so results still
+            // compare equal to the scalar path. The guard also keeps
+            // speculative `w * o * inv` NaNs (zero × infinite reciprocal
+            // volume) out of the accumulator, exactly like the skips do.
+            let term = if w != 0.0 && o > 0.0 { w * o * inv } else { 0.0 };
+            *acc += term;
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    //! Explicit AVX2 lanes for the overlap block.
+    //!
+    //! Only the element-wise per-dimension products are vectorized; the
+    //! reduction stays sequential in [`super::FrozenModel::accumulate_block`],
+    //! so the `simd` feature keeps the module's exactness contract
+    //! (`min`/`max`/`sub`/`mul` are IEEE-deterministic per element — the
+    //! only freedom SIMD usually buys, reassociating a reduction, is
+    //! never exercised).
+
+    use super::FrozenModel;
+    use quicksel_geometry::Rect;
+    use std::arch::x86_64::{
+        _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd, _mm256_mul_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd, _mm256_sub_pd,
+    };
+    use std::sync::OnceLock;
+
+    /// Runtime AVX2 detection, memoized.
+    pub(super) fn avx2_enabled() -> bool {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+
+    /// AVX2 overlap block; same operand order as the portable loop.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2 support (see
+    /// [`avx2_enabled`]).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn overlap_block_avx2(
+        model: &FrozenModel,
+        rect: &Rect,
+        z0: usize,
+        ov: &mut [f64],
+    ) {
+        const LANES: usize = 4;
+        let m = model.len;
+        let n = ov.len();
+        let o = ov.as_mut_ptr();
+        for (d, side) in rect.sides().iter().enumerate() {
+            let base = d * m + z0;
+            let lo = model.lo.as_ptr().add(base);
+            let hi = model.hi.as_ptr().add(base);
+            let q_lo = _mm256_set1_pd(side.lo);
+            let q_hi = _mm256_set1_pd(side.hi);
+            let zero = _mm256_setzero_pd();
+            let mut i = 0usize;
+            while i + LANES <= n {
+                let l = _mm256_max_pd(_mm256_loadu_pd(lo.add(i)), q_lo);
+                let h = _mm256_min_pd(_mm256_loadu_pd(hi.add(i)), q_hi);
+                let len = _mm256_max_pd(_mm256_sub_pd(h, l), zero);
+                let v = if d == 0 {
+                    len
+                } else {
+                    _mm256_mul_pd(_mm256_loadu_pd(o.add(i) as *const f64), len)
+                };
+                _mm256_storeu_pd(o.add(i), v);
+                i += LANES;
+            }
+            while i < n {
+                let len = ((*hi.add(i)).min(side.hi) - (*lo.add(i)).max(side.lo)).max(0.0);
+                if d == 0 {
+                    *o.add(i) = len;
+                } else {
+                    *o.add(i) *= len;
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_2d() -> UniformMixtureModel {
+        let rects = vec![
+            Rect::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]),
+            Rect::from_bounds(&[(2.0, 3.0), (2.0, 3.0)]),
+            Rect::from_bounds(&[(0.5, 2.5), (0.5, 2.5)]),
+        ];
+        UniformMixtureModel::new(rects, vec![0.3, 0.5, 0.2])
+    }
+
+    #[test]
+    fn frozen_layout_is_dimension_major() {
+        let f = FrozenModel::new(&model_2d());
+        assert_eq!((f.len(), f.dim()), (3, 2));
+        assert!(!f.is_empty());
+        // Dim 0 lows for z = 0, 1, 2, then dim 1 lows.
+        assert_eq!(f.lo, vec![0.0, 2.0, 0.5, 0.0, 2.0, 0.5]);
+        assert_eq!(f.hi, vec![1.0, 3.0, 2.5, 1.0, 3.0, 2.5]);
+    }
+
+    #[test]
+    fn frozen_matches_scalar_bit_for_bit() {
+        let m = model_2d();
+        let f = FrozenModel::new(&m);
+        let probes = [
+            Rect::from_bounds(&[(0.0, 3.0), (0.0, 3.0)]),
+            Rect::from_bounds(&[(0.25, 0.75), (0.25, 0.75)]),
+            Rect::from_bounds(&[(5.0, 6.0), (5.0, 6.0)]),
+            Rect::from_bounds(&[(1.0, 1.0), (0.0, 3.0)]), // zero volume
+            Rect::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]),
+        ];
+        for p in &probes {
+            assert_eq!(f.estimate_raw(p), m.estimate_raw(p));
+            assert_eq!(f.estimate(p), m.estimate(p));
+        }
+        let batched = f.estimate_many(&probes);
+        for (p, b) in probes.iter().zip(&batched) {
+            assert_eq!(m.estimate(p), *b);
+        }
+    }
+
+    #[test]
+    fn empty_model_and_empty_batch() {
+        let m = UniformMixtureModel::new(Vec::new(), Vec::new());
+        let f = FrozenModel::new(&m);
+        assert!(f.is_empty());
+        assert_eq!(f.estimate(&Rect::from_bounds(&[(0.0, 1.0)])), 0.0);
+        let f = FrozenModel::new(&model_2d());
+        assert!(f.estimate_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn blocked_paths_cross_block_boundaries() {
+        // More subpops than one block, batch longer than one tile.
+        let m_count = SUBPOP_BLOCK * 2 + 7;
+        let rects: Vec<Rect> = (0..m_count)
+            .map(|z| {
+                let lo = (z % 13) as f64 * 0.7;
+                Rect::from_bounds(&[(lo, lo + 1.5), (0.0, (z % 5 + 1) as f64)])
+            })
+            .collect();
+        let weights: Vec<f64> = (0..m_count)
+            .map(|z| if z % 7 == 0 { 0.0 } else { (z % 3) as f64 * 0.01 - 0.01 })
+            .collect();
+        let model = UniformMixtureModel::new(rects, weights);
+        let f = FrozenModel::new(&model);
+        let probes: Vec<Rect> = (0..RECT_TILE * 2 + 3)
+            .map(|i| {
+                let lo = (i % 9) as f64;
+                Rect::from_bounds(&[(lo, lo + 2.0), (0.5, 4.5)])
+            })
+            .collect();
+        let batched = f.estimate_many(&probes);
+        assert_eq!(batched.len(), probes.len());
+        for (p, b) in probes.iter().zip(&batched) {
+            assert_eq!(model.estimate(p), *b);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`QuickSel`] estimator: observation buffer + refine loop.
 
+use crate::batch::FrozenModel;
 use crate::config::{QuickSelConfig, RefinePolicy, TrainingMethod};
 use crate::model::UniformMixtureModel;
 use crate::snapshot::ModelSnapshot;
@@ -219,6 +220,25 @@ impl Estimate for QuickSel {
         // Same read path as ModelSnapshot: trained model or the uniform
         // prior before the first successful refine.
         crate::snapshot::estimate_model_or_prior(&self.domain, self.model.as_deref(), rect)
+    }
+
+    /// Batched estimation: the model is frozen into SoA form **once per
+    /// call** and the whole batch runs through the blocked kernel
+    /// (term-order identical to the scalar path, so results compare
+    /// equal). Snapshots pre-freeze at publish time instead; a live
+    /// estimator freezes here because its model can change between
+    /// calls.
+    fn estimate_many_into(&self, rects: &[Rect], out: &mut Vec<f64>) {
+        match self.model.as_deref() {
+            // One-element batches skip the freeze: the layout pass would
+            // cost more than it amortizes.
+            Some(m) if rects.len() > 1 => FrozenModel::new(m).estimate_many_into(rects, out),
+            _ => {
+                out.clear();
+                out.reserve(rects.len());
+                out.extend(rects.iter().map(|r| self.estimate(r)));
+            }
+        }
     }
 
     fn param_count(&self) -> usize {

@@ -56,6 +56,7 @@
 //! assert!((0.0..=1.0).contains(&est));
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod estimator;
 pub mod model;
@@ -63,6 +64,7 @@ pub mod snapshot;
 pub mod subpop;
 pub mod train;
 
+pub use batch::FrozenModel;
 pub use config::{QuickSelConfig, RefinePolicy, TrainingMethod};
 pub use estimator::{QuickSel, QuickSelBuilder};
 pub use model::UniformMixtureModel;

@@ -56,6 +56,14 @@ impl UniformMixtureModel {
         &self.weights
     }
 
+    /// Precomputed reciprocal volumes `1 / |G_z|`, parallel to
+    /// [`rects`](Self::rects). The batched SoA kernel
+    /// ([`FrozenModel`](crate::FrozenModel)) copies these verbatim so its
+    /// terms round identically to the scalar path's.
+    pub fn inv_volumes(&self) -> &[f64] {
+        &self.inv_volumes
+    }
+
     /// Sum of weights — ≈ 1 when training included the `(B0, 1)` row.
     pub fn total_weight(&self) -> f64 {
         self.weights.iter().sum()

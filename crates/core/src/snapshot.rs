@@ -1,5 +1,6 @@
 //! Immutable, cheaply-cloneable snapshots of a trained QuickSel model.
 
+use crate::batch::FrozenModel;
 use crate::model::UniformMixtureModel;
 use quicksel_data::Estimate;
 use quicksel_geometry::{Domain, Rect};
@@ -39,6 +40,9 @@ pub(crate) fn estimate_model_or_prior(
 pub struct ModelSnapshot {
     domain: Arc<Domain>,
     model: Option<Arc<UniformMixtureModel>>,
+    /// The model frozen into SoA form at snapshot time, so every batched
+    /// estimate over this snapshot's lifetime reuses one layout pass.
+    frozen: Option<Arc<FrozenModel>>,
     version: u64,
     observed: usize,
 }
@@ -50,7 +54,8 @@ impl ModelSnapshot {
         version: u64,
         observed: usize,
     ) -> Self {
-        Self { domain, model, version, observed }
+        let frozen = model.as_deref().map(|m| Arc::new(FrozenModel::new(m)));
+        Self { domain, model, frozen, version, observed }
     }
 
     /// The training version this snapshot was taken at: 0 before the
@@ -73,6 +78,12 @@ impl ModelSnapshot {
     pub fn domain(&self) -> &Domain {
         &self.domain
     }
+
+    /// The SoA-frozen view of the model, if trained — the batched
+    /// estimation kernel [`Estimate::estimate_many`] serves from.
+    pub fn frozen(&self) -> Option<&FrozenModel> {
+        self.frozen.as_deref()
+    }
 }
 
 impl Estimate for ModelSnapshot {
@@ -82,6 +93,36 @@ impl Estimate for ModelSnapshot {
 
     fn estimate(&self, rect: &Rect) -> f64 {
         estimate_model_or_prior(&self.domain, self.model.as_deref(), rect)
+    }
+
+    /// Batched estimation through the pre-frozen SoA kernel; before the
+    /// first refine, the shared `estimate_model_or_prior` read path
+    /// answers per rect, so the prior has exactly one implementation.
+    /// Compares equal (`==`) to per-rect
+    /// [`estimate`](Estimate::estimate) — the kernel's exactness
+    /// contract, see [`crate::batch`].
+    fn estimate_many_into(&self, rects: &[Rect], out: &mut Vec<f64>) {
+        match &self.frozen {
+            Some(f) => f.estimate_many_into(rects, out),
+            None => {
+                out.clear();
+                out.reserve(rects.len());
+                out.extend(rects.iter().map(|r| estimate_model_or_prior(&self.domain, None, r)));
+            }
+        }
+    }
+
+    /// Index-gather batching for routed dispatch: the sharded serving
+    /// layer regroups one batch per shard as index lists and answers
+    /// each group from this one snapshot without cloning a rect.
+    fn estimate_gather(&self, rects: &[Rect], indexes: &[usize]) -> Vec<f64> {
+        match &self.frozen {
+            Some(f) => f.estimate_gather(rects, indexes),
+            None => indexes
+                .iter()
+                .map(|&i| estimate_model_or_prior(&self.domain, None, &rects[i]))
+                .collect(),
+        }
     }
 
     fn param_count(&self) -> usize {

@@ -178,11 +178,44 @@ pub trait Estimate {
 
     /// Estimates a batch of predicate rectangles.
     ///
-    /// The default maps [`estimate`](Self::estimate) over the slice;
-    /// implementations may override it to amortize per-call setup. The
-    /// result must equal element-wise single-call estimation.
+    /// The default delegates to
+    /// [`estimate_many_into`](Self::estimate_many_into) with a fresh
+    /// buffer. The result must equal element-wise single-call
+    /// estimation.
     fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
-        rects.iter().map(|r| self.estimate(r)).collect()
+        let mut out = Vec::with_capacity(rects.len());
+        self.estimate_many_into(rects, &mut out);
+        out
+    }
+
+    /// Estimates a batch of predicate rectangles into a caller-provided
+    /// buffer, which is cleared first — steady-state serving loops reuse
+    /// one allocation across calls.
+    ///
+    /// This is the batch primitive: the scalar-mapping default stays as
+    /// the fallback, and implementations with an amortizable setup (SoA
+    /// model freezing, snapshot loading) override **this** method —
+    /// [`estimate_many`](Self::estimate_many) then follows for free. The
+    /// result must equal element-wise single-call estimation.
+    fn estimate_many_into(&self, rects: &[Rect], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(rects.len());
+        out.extend(rects.iter().map(|r| self.estimate(r)));
+    }
+
+    /// Gather form of [`estimate_many`](Self::estimate_many): estimates
+    /// `rects[indexes[k]]` for each `k`, in `indexes` order.
+    ///
+    /// Routed batch dispatch (the sharded serving layer) regroups one
+    /// caller batch into per-shard subsets; this entry point makes that
+    /// regrouping index shuffling instead of rectangle cloning. The
+    /// default maps [`estimate`](Self::estimate); batched implementors
+    /// override it alongside
+    /// [`estimate_many_into`](Self::estimate_many_into). The result
+    /// must equal element-wise single-call estimation of the gathered
+    /// rects.
+    fn estimate_gather(&self, rects: &[Rect], indexes: &[usize]) -> Vec<f64> {
+        indexes.iter().map(|&i| self.estimate(&rects[i])).collect()
     }
 
     /// Estimates the selectivity of a DNF region (disjunctions/negations
@@ -285,6 +318,12 @@ impl<T: Estimate + ?Sized> Estimate for Box<T> {
     }
     fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
         (**self).estimate_many(rects)
+    }
+    fn estimate_many_into(&self, rects: &[Rect], out: &mut Vec<f64>) {
+        (**self).estimate_many_into(rects, out)
+    }
+    fn estimate_gather(&self, rects: &[Rect], indexes: &[usize]) -> Vec<f64> {
+        (**self).estimate_gather(rects, indexes)
     }
     fn estimate_dnf(&self, dnf: &DnfRects) -> f64 {
         (**self).estimate_dnf(dnf)

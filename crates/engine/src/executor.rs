@@ -5,7 +5,7 @@
 
 use crate::catalog::Catalog;
 use crate::cost::CostModel;
-use crate::planner::{plan, AccessPath};
+use crate::planner::{plan_with_estimate, AccessPath};
 use quicksel_data::ObservedQuery;
 use quicksel_geometry::Predicate;
 use quicksel_service::{CardinalityProvider, LearnerProvider, TableId};
@@ -173,8 +173,11 @@ impl Engine {
                     .then_some(generation);
         }
         let rect = pred.to_rect(self.catalog.table.domain());
-        let estimated_selectivity = self.provider.estimate(&self.table, pred);
-        let path = plan(&self.catalog, &self.table, &*self.provider, pred, &self.cost);
+        // One batched provider call per query: the full predicate plus
+        // every candidate index's driving range, answered from coherent
+        // snapshots instead of a scalar estimate per candidate.
+        let (path, estimated_selectivity) =
+            plan_with_estimate(&self.catalog, &self.table, &*self.provider, pred, &self.cost);
 
         let (rows_returned, rows_examined) = match &path {
             AccessPath::SeqScan => {

@@ -34,6 +34,33 @@ pub fn estimate_join_cardinality(
     provider.estimate_join(base_join_cardinality, r_table, r_pred, s_table, s_pred)
 }
 
+/// Batched independence-product join estimates for a set of candidate
+/// join plans over the same table pair: all left-side probes go out as
+/// one [`CardinalityProvider::estimate_many`] call on `r_table`, all
+/// right-side probes as one call on `s_table`, so a join enumerator
+/// pricing N candidate predicate pushdowns costs two batched estimation
+/// round-trips (each served from coherent snapshots) instead of `2·N`
+/// scalar ones.
+///
+/// Equals mapping the provider's *default*
+/// [`estimate_join`](CardinalityProvider::estimate_join) (the §2.2
+/// independence product) over `candidates`; providers overriding
+/// `estimate_join` with join-aware models should be consulted per pair
+/// instead.
+pub fn estimate_join_cardinalities(
+    base_join_cardinality: f64,
+    provider: &dyn CardinalityProvider,
+    r_table: &TableId,
+    s_table: &TableId,
+    candidates: &[(Predicate, Predicate)],
+) -> Vec<f64> {
+    let lefts: Vec<Predicate> = candidates.iter().map(|(l, _)| l.clone()).collect();
+    let rights: Vec<Predicate> = candidates.iter().map(|(_, r)| r.clone()).collect();
+    let left_sels = provider.estimate_many(r_table, &lefts);
+    let right_sels = provider.estimate_many(s_table, &rights);
+    left_sels.iter().zip(&right_sels).map(|(&l, &r)| base_join_cardinality * l * r).collect()
+}
+
 /// Exact `|σ_p(R) ⋈_{R.rc = S.sc} σ_q(S)|` by hash join on (rounded)
 /// column values — the ground-truth oracle for tests and calibration.
 ///
@@ -151,6 +178,39 @@ mod tests {
                 (est - truth).abs() <= 0.25 * truth + 1.0,
                 "lo={lo}: est {est} vs truth {truth}"
             );
+        }
+    }
+
+    #[test]
+    fn batched_join_candidates_match_per_pair_estimates() {
+        let (r, s) = tables();
+        let base =
+            exact_equijoin_cardinality(&r, 0, &Predicate::new(), &s, 0, &Predicate::new()) as f64;
+        let provider = LearnerProvider::new();
+        provider.register("r", r.domain().clone(), Box::new(QuickSel::new(r.domain().clone())));
+        provider.register("s", s.domain().clone(), Box::new(QuickSel::new(s.domain().clone())));
+        let (rid, sid): (TableId, TableId) = ("r".into(), "s".into());
+        for lo in [0.0, 20.0, 40.0] {
+            let pr = Predicate::new().range(1, lo, lo + 30.0);
+            let rect = pr.to_rect(r.domain());
+            provider.observe(&rid, &ObservedQuery::new(rect.clone(), r.selectivity(&rect)));
+            let rect_s = pr.to_rect(s.domain());
+            provider.observe(&sid, &ObservedQuery::new(rect_s.clone(), s.selectivity(&rect_s)));
+        }
+        let candidates: Vec<(Predicate, Predicate)> = (0..5)
+            .map(|i| {
+                let lo = i as f64 * 15.0;
+                (
+                    Predicate::new().range(1, lo, lo + 25.0),
+                    Predicate::new().range(1, lo + 5.0, lo + 40.0),
+                )
+            })
+            .collect();
+        let batched = estimate_join_cardinalities(base, &provider, &rid, &sid, &candidates);
+        assert_eq!(batched.len(), candidates.len());
+        for ((pr, ps), b) in candidates.iter().zip(&batched) {
+            let scalar = estimate_join_cardinality(base, &provider, &rid, pr, &sid, ps);
+            assert!((scalar - b).abs() < 1e-9, "batched {b} vs scalar {scalar}");
         }
     }
 

@@ -47,6 +47,8 @@ pub mod planner;
 pub use catalog::Catalog;
 pub use cost::CostModel;
 pub use executor::{Engine, QueryResult};
-pub use join::{estimate_join_cardinality, exact_equijoin_cardinality};
-pub use planner::{plan, AccessPath};
+pub use join::{
+    estimate_join_cardinalities, estimate_join_cardinality, exact_equijoin_cardinality,
+};
+pub use planner::{plan, plan_with_estimate, AccessPath};
 pub use quicksel_service::{CardinalityProvider, TableId};

@@ -20,14 +20,50 @@ pub enum AccessPath {
     },
 }
 
+/// Candidate index probes for `pred`, as parallel vectors in catalog
+/// index order: for each index whose column the predicate constrains,
+/// the indexed column plus the *driving range* predicate (that column's
+/// constraint alone — the index can only use one column). Parallel so
+/// the probe vector can feed `estimate_many` directly, no cloning.
+fn index_candidates(catalog: &Catalog, pred: &Predicate) -> (Vec<usize>, Vec<Predicate>) {
+    let mut columns = Vec::new();
+    let mut drivers = Vec::new();
+    for index in &catalog.indexes {
+        if let Some(c) = pred.constraints().iter().find(|c| c.column == index.column) {
+            columns.push(index.column);
+            drivers.push(Predicate::new().with_interval(index.column, c.range));
+        }
+    }
+    (columns, drivers)
+}
+
+/// Picks the cheapest path given each candidate column's estimated
+/// driving selectivity (parallel slices).
+fn choose_path(
+    rows: usize,
+    cost: &CostModel,
+    columns: &[usize],
+    selectivities: &[f64],
+) -> AccessPath {
+    let mut best = (cost.seq_scan(rows), AccessPath::SeqScan);
+    for (&column, &sel) in columns.iter().zip(selectivities) {
+        let c = cost.index_probe(rows, sel);
+        if c < best.0 {
+            best = (c, AccessPath::IndexProbe { column, driving_selectivity: sel });
+        }
+    }
+    best.1
+}
+
 /// Chooses the cheapest access path for `pred` on `table`.
 ///
-/// For each available index whose column the predicate constrains, the
-/// planner asks the provider for the selectivity of the *driving range*
-/// (that column's constraint alone — the index can only use one column)
-/// and compares probe cost against the scan. Estimates flow exclusively
-/// through the [`CardinalityProvider`] — the planner never touches an
-/// estimator directly.
+/// All candidate-plan probes (one driving range per usable index) are
+/// gathered first and estimated through **one**
+/// [`CardinalityProvider::estimate_many`] call, so a serving-backed
+/// provider answers every candidate from coherent model snapshots via
+/// the batched SoA kernel instead of re-dispatching per index.
+/// Estimates flow exclusively through the [`CardinalityProvider`] — the
+/// planner never touches an estimator directly.
 pub fn plan(
     catalog: &Catalog,
     table: &TableId,
@@ -35,21 +71,33 @@ pub fn plan(
     pred: &Predicate,
     cost: &CostModel,
 ) -> AccessPath {
-    let rows = catalog.table.row_count();
-    let mut best = (cost.seq_scan(rows), AccessPath::SeqScan);
-    for index in &catalog.indexes {
-        // The driving range: the predicate restricted to the indexed column.
-        let Some(constraint) = pred.constraints().iter().find(|c| c.column == index.column) else {
-            continue; // predicate doesn't touch this index
-        };
-        let driving = Predicate::new().with_interval(index.column, constraint.range);
-        let sel = provider.estimate(table, &driving);
-        let c = cost.index_probe(rows, sel);
-        if c < best.0 {
-            best = (c, AccessPath::IndexProbe { column: index.column, driving_selectivity: sel });
-        }
+    let (columns, drivers) = index_candidates(catalog, pred);
+    if columns.is_empty() {
+        return AccessPath::SeqScan;
     }
-    best.1
+    let selectivities = provider.estimate_many(table, &drivers);
+    choose_path(catalog.table.row_count(), cost, &columns, &selectivities)
+}
+
+/// [`plan`] fused with the executor's full-predicate estimate: one
+/// batched provider call covers the full predicate *and* every
+/// candidate driving range, so planning a query costs a single
+/// estimation round-trip however many indexes compete. Returns the
+/// chosen path plus the full predicate's estimated selectivity.
+pub fn plan_with_estimate(
+    catalog: &Catalog,
+    table: &TableId,
+    provider: &dyn CardinalityProvider,
+    pred: &Predicate,
+    cost: &CostModel,
+) -> (AccessPath, f64) {
+    let (columns, drivers) = index_candidates(catalog, pred);
+    let mut probes: Vec<Predicate> = Vec::with_capacity(drivers.len() + 1);
+    probes.push(pred.clone());
+    probes.extend(drivers);
+    let selectivities = provider.estimate_many(table, &probes);
+    let path = choose_path(catalog.table.row_count(), cost, &columns, &selectivities[1..]);
+    (path, selectivities[0])
 }
 
 #[cfg(test)]
@@ -129,6 +177,51 @@ mod tests {
             plan(&cat, &t, &provider, &p, &CostModel::default()),
             AccessPath::IndexProbe { .. }
         ));
+    }
+
+    /// Provider wrapper that records the size of every `estimate_many`
+    /// batch it receives.
+    struct BatchSpy<'a> {
+        inner: &'a dyn CardinalityProvider,
+        batches: std::cell::RefCell<Vec<usize>>,
+    }
+    impl CardinalityProvider for BatchSpy<'_> {
+        fn estimate(&self, table: &TableId, pred: &Predicate) -> f64 {
+            self.batches.borrow_mut().push(1);
+            self.inner.estimate(table, pred)
+        }
+        fn estimate_many(&self, table: &TableId, preds: &[Predicate]) -> Vec<f64> {
+            self.batches.borrow_mut().push(preds.len());
+            self.inner.estimate_many(table, preds)
+        }
+        fn observe(&self, table: &TableId, feedback: &quicksel_data::ObservedQuery) {
+            self.inner.observe(table, feedback);
+        }
+        fn sync_data(&self, table: &TableId, data: &quicksel_data::Table, changed_rows: usize) {
+            self.inner.sync_data(table, data, changed_rows);
+        }
+        fn version(&self, table: &TableId) -> u64 {
+            self.inner.version(table)
+        }
+    }
+
+    #[test]
+    fn candidate_probes_go_out_as_one_batch() {
+        // Two usable indexes ⇒ plan() issues exactly one 2-probe batch,
+        // and plan_with_estimate() one 3-probe batch (full pred first).
+        let (cat, t, provider) = fixture();
+        let cat = cat.with_index(1);
+        let p = Predicate::new().range(0, 20.0, 30.0).range(1, 0.0, 5.0);
+        let spy = BatchSpy { inner: &provider, batches: std::cell::RefCell::new(Vec::new()) };
+        let batched_plan = plan(&cat, &t, &spy, &p, &CostModel::default());
+        assert_eq!(spy.batches.borrow().as_slice(), &[2]);
+        spy.batches.borrow_mut().clear();
+        let (fused_plan, full_sel) = plan_with_estimate(&cat, &t, &spy, &p, &CostModel::default());
+        assert_eq!(spy.batches.borrow().as_slice(), &[3]);
+        // Batched and fused planning agree with each other and with the
+        // scalar probes they replace.
+        assert_eq!(batched_plan, fused_plan);
+        assert!((full_sel - provider.estimate(&t, &p)).abs() < 1e-12);
     }
 
     #[test]

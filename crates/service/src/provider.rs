@@ -21,8 +21,8 @@
 use crate::registry::EstimatorRegistry;
 use crate::service::SharedSnapshot;
 use crate::shard::ShardedService;
-use quicksel_data::{Learn, ObservedQuery, SnapshotSource, Table};
-use quicksel_geometry::{Domain, Predicate};
+use quicksel_data::{Estimate, Learn, ObservedQuery, SnapshotSource, Table};
+use quicksel_geometry::{Domain, Predicate, Rect};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
@@ -84,6 +84,18 @@ impl fmt::Display for TableId {
 pub trait CardinalityProvider {
     /// Selectivity estimate in `[0, 1]` for `pred` on `table`.
     fn estimate(&self, table: &TableId, pred: &Predicate) -> f64;
+
+    /// Selectivity estimates for a batch of predicates on one table, in
+    /// input order — the planner's candidate-plan probe path.
+    ///
+    /// The default maps [`estimate`](Self::estimate); serving-backed
+    /// providers override it to resolve the table once and answer the
+    /// whole batch from coherent model snapshots through the batched SoA
+    /// kernel. Results must equal element-wise single-probe estimation
+    /// (at a fixed model version).
+    fn estimate_many(&self, table: &TableId, preds: &[Predicate]) -> Vec<f64> {
+        preds.iter().map(|p| self.estimate(table, p)).collect()
+    }
 
     /// Join-cardinality hook: estimates `|σ_p(R) ⋈ σ_q(S)|` from the
     /// unfiltered join cardinality and the per-relation estimates, under
@@ -217,36 +229,44 @@ impl<L: SnapshotSource> CachedProvider<L> {
     pub fn invalidate(&self) {
         self.cache.borrow_mut().clear();
     }
+
+    /// The shared front half of every cached probe: revalidates against
+    /// registry DDL (registration/removal bumps the generation — one
+    /// atomic load per probe; stale table→service resolutions must not
+    /// keep serving a dead service's snapshots), then resolves `table`'s
+    /// cache entry to position 0, moving it to the front so the hot
+    /// table stays a one-compare hit. Returns `false` when the registry
+    /// doesn't know the table — the caller degrades through the
+    /// registry's own conservative fallback.
+    fn resolve_entry(&self, cache: &mut Vec<(TableId, TableCache<L>)>, table: &TableId) -> bool {
+        let generation = self.registry.generation();
+        if generation != self.generation.get() {
+            cache.clear();
+            self.generation.set(generation);
+        }
+        match cache.iter().position(|(id, _)| id.fast_eq(table)) {
+            Some(0) => {}
+            Some(i) => cache.swap(0, i),
+            None => {
+                let Some(service) = self.registry.get(table) else {
+                    return false;
+                };
+                let shards = vec![None; service.shard_count()];
+                cache.insert(0, (table.clone(), TableCache { service, shards }));
+            }
+        }
+        true
+    }
 }
 
 impl<L: SnapshotSource> CardinalityProvider for CachedProvider<L> {
     fn estimate(&self, table: &TableId, pred: &Predicate) -> f64 {
-        // Revalidate against registry DDL: one atomic load per probe.
-        // Registration/removal bumps the generation; stale table→service
-        // resolutions must not keep serving a dead service's snapshots.
-        let generation = self.registry.generation();
-        if generation != self.generation.get() {
-            self.cache.borrow_mut().clear();
-            self.generation.set(generation);
-        }
         let mut cache = self.cache.borrow_mut();
-        let entry = match cache.iter().position(|(id, _)| id.fast_eq(table)) {
-            Some(0) => &mut cache[0].1,
-            Some(i) => {
-                // Move-to-front so the hot table stays a one-compare hit.
-                cache.swap(0, i);
-                &mut cache[0].1
-            }
-            None => {
-                let Some(service) = self.registry.get(table) else {
-                    drop(cache);
-                    return self.registry.estimate(table, pred);
-                };
-                let shards = vec![None; service.shard_count()];
-                cache.insert(0, (table.clone(), TableCache { service, shards }));
-                &mut cache[0].1
-            }
-        };
+        if !self.resolve_entry(&mut cache, table) {
+            drop(cache);
+            return self.registry.estimate(table, pred);
+        }
+        let entry = &mut cache[0].1;
         let rect = pred.to_rect(entry.service.domain());
         // One dispatch rule for cached and uncached paths: the service
         // decides. Wide probes blend across all shards and are served
@@ -268,6 +288,44 @@ impl<L: SnapshotSource> CardinalityProvider for CachedProvider<L> {
         let est = snapshot.estimate(&rect);
         entry.shards[s] = Some((version, snapshot));
         est
+    }
+
+    /// Batched probes through the per-thread snapshot cache: the table is
+    /// resolved once, rects are grouped by routing shard, each group is
+    /// answered by one (cached or freshly loaded) snapshot through the
+    /// SoA kernel, and blend-routed rects go through the service's
+    /// batched blend. Hit/miss counters move by the number of *probes*
+    /// each snapshot lookup served.
+    fn estimate_many(&self, table: &TableId, preds: &[Predicate]) -> Vec<f64> {
+        if preds.is_empty() {
+            return Vec::new();
+        }
+        let mut cache = self.cache.borrow_mut();
+        if !self.resolve_entry(&mut cache, table) {
+            drop(cache);
+            return self.registry.estimate_many(table, preds);
+        }
+        let entry = &mut cache[0].1;
+        let service = Arc::clone(&entry.service);
+        let cached_shards = &mut entry.shards;
+        let rects: Vec<Rect> = preds.iter().map(|p| p.to_rect(service.domain())).collect();
+        // One dispatch core for cached and uncached batches (see
+        // `ShardedService::estimate_many_with`); this closure only
+        // decides where each shard group's single snapshot comes from.
+        service.estimate_many_with(&rects, |s, group_len| {
+            let shard = service.shard(s);
+            let version = shard.version();
+            if let Some((cached_version, snap)) = &cached_shards[s] {
+                if *cached_version == version {
+                    self.hits.set(self.hits.get() + group_len as u64);
+                    return Arc::clone(snap);
+                }
+            }
+            self.misses.set(self.misses.get() + group_len as u64);
+            let snap = shard.snapshot();
+            cached_shards[s] = Some((version, Arc::clone(&snap)));
+            snap
+        })
     }
 
     fn observe(&self, table: &TableId, feedback: &ObservedQuery) {
@@ -368,6 +426,20 @@ impl CardinalityProvider for LearnerProvider {
                 e.learner.lock().expect("provider learner lock poisoned").estimate(&rect)
             }
             None => 1.0,
+        }
+    }
+
+    /// Batched probes under one lock acquisition: the learner is locked
+    /// once for the whole batch and answers through its own
+    /// [`Estimate::estimate_many`] (for QuickSel, the SoA kernel with a
+    /// single freeze).
+    fn estimate_many(&self, table: &TableId, preds: &[Predicate]) -> Vec<f64> {
+        match self.entry(table) {
+            Some(e) => {
+                let rects: Vec<Rect> = preds.iter().map(|p| p.to_rect(&e.domain)).collect();
+                e.learner.lock().expect("provider learner lock poisoned").estimate_many(&rects)
+            }
+            None => vec![1.0; preds.len()],
         }
     }
 

@@ -15,7 +15,7 @@ use crate::provider::{CardinalityProvider, TableId};
 use crate::service::ServiceStats;
 use crate::shard::{ShardedService, ShardedStats};
 use quicksel_data::{ObservedQuery, SnapshotSource, Table};
-use quicksel_geometry::{Domain, Predicate};
+use quicksel_geometry::{Domain, Predicate, Rect};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, RwLock};
@@ -178,6 +178,23 @@ impl<L: SnapshotSource> CardinalityProvider for EstimatorRegistry<L> {
             None => {
                 self.missing_table_probes.fetch_add(1, SeqCst);
                 1.0
+            }
+        }
+    }
+
+    /// Batched probes resolve the table **once** and answer through the
+    /// service's coherent batched path (one snapshot per routing shard,
+    /// SoA kernel underneath). Unknown tables degrade to all-`1.0` and
+    /// count one missing-table probe per predicate.
+    fn estimate_many(&self, table: &TableId, preds: &[Predicate]) -> Vec<f64> {
+        match self.get(table) {
+            Some(svc) => {
+                let rects: Vec<Rect> = preds.iter().map(|p| p.to_rect(svc.domain())).collect();
+                svc.estimate_many(&rects)
+            }
+            None => {
+                self.missing_table_probes.fetch_add(preds.len() as u64, SeqCst);
+                vec![1.0; preds.len()]
             }
         }
     }

@@ -218,9 +218,81 @@ impl<L: SnapshotSource> ShardedService<L> {
         }
     }
 
-    /// Estimates a batch of rectangles, each through [`estimate`](Self::estimate).
+    /// Estimates a batch of rectangles coherently: rects are grouped by
+    /// [`route_estimate`](Self::route_estimate), each shard-routed group
+    /// is answered by **one** snapshot of its owning shard (loaded once,
+    /// batch-estimated through the SoA kernel), and blend-routed rects go
+    /// through [`estimate_many_blended`](Self::estimate_many_blended).
+    ///
+    /// Two guarantees follow:
+    ///
+    /// * **Coherence** — all rects of one call that route to the same
+    ///   shard are answered from a single model version, even while that
+    ///   shard's writer publishes concurrently (the per-rect scalar path
+    ///   would reload the snapshot per rect and could straddle a
+    ///   publish).
+    /// * **Equivalence** — at a fixed version the results compare equal
+    ///   (`==`) to per-rect [`estimate`](Self::estimate) (the kernel's
+    ///   exactness contract plus identical blend arithmetic).
     pub fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
-        rects.iter().map(|r| self.estimate(r)).collect()
+        self.estimate_many_with(rects, |shard, _| self.shards[shard].snapshot())
+    }
+
+    /// The one group-and-scatter core behind every batched read path:
+    /// routes each rect ([`route_estimate`](Self::route_estimate)),
+    /// answers each shard-routed group from the **single** snapshot
+    /// `snapshot_for_shard(shard, group_len)` returns (called at most
+    /// once per shard per call), and dispatches blend-routed rects
+    /// through [`estimate_many_blended`](Self::estimate_many_blended).
+    ///
+    /// [`estimate_many`](Self::estimate_many) plugs in a plain
+    /// `snapshot()` load; [`CachedProvider`](crate::CachedProvider)
+    /// plugs in its version-keyed per-thread cache. Because both share
+    /// this dispatch, cached and uncached batched answers can never
+    /// diverge on routing.
+    pub(crate) fn estimate_many_with(
+        &self,
+        rects: &[Rect],
+        mut snapshot_for_shard: impl FnMut(usize, usize) -> SharedSnapshot,
+    ) -> Vec<f64> {
+        if rects.is_empty() {
+            return Vec::new();
+        }
+        if self.shards.len() == 1 {
+            // Everything routes to shard 0 (blending needs ≥ 2 shards):
+            // one snapshot serves the whole batch.
+            return snapshot_for_shard(0, rects.len()).estimate_many(rects);
+        }
+        let mut out = vec![0.0; rects.len()];
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut blended: Vec<usize> = Vec::new();
+        for (i, rect) in rects.iter().enumerate() {
+            match self.route_estimate(rect) {
+                EstimateRoute::Blend => blended.push(i),
+                EstimateRoute::Shard(s) => per_shard[s].push(i),
+            }
+        }
+        for (shard, indexes) in per_shard.iter().enumerate() {
+            if indexes.is_empty() {
+                continue;
+            }
+            // Gather, don't clone: the group is an index list into the
+            // caller's batch and the snapshot estimates through it.
+            let estimates =
+                snapshot_for_shard(shard, indexes.len()).estimate_gather(rects, indexes);
+            for (&i, e) in indexes.iter().zip(estimates) {
+                out[i] = e;
+            }
+        }
+        if !blended.is_empty() {
+            // Wide probes blend per-shard publish state and are served
+            // uncached by design, whatever snapshot source the caller
+            // plugged in.
+            for (&i, e) in blended.iter().zip(self.blend_gather(rects, &blended)) {
+                out[i] = e;
+            }
+        }
+        out
     }
 
     /// True when `rect` is wide enough that its selectivity is shaped by
@@ -251,6 +323,33 @@ impl<L: SnapshotSource> ShardedService<L> {
             den += w;
         }
         num / den
+    }
+
+    /// Batched [`estimate_blended`](Self::estimate_blended): every
+    /// shard's snapshot (and its blend weight) is loaded **once** for
+    /// the whole batch and batch-estimated through the SoA kernel, so
+    /// all rects blend the same per-shard model versions. At a fixed
+    /// version the results compare equal (`==`) to per-rect scalar
+    /// blending (same shard order, same `num`/`den` accumulation).
+    pub fn estimate_many_blended(&self, rects: &[Rect]) -> Vec<f64> {
+        let all: Vec<usize> = (0..rects.len()).collect();
+        self.blend_gather(rects, &all)
+    }
+
+    /// Gather form of the blend: blends `rects[indexes[k]]` for each
+    /// `k`, loading every shard's snapshot (and blend weight) once.
+    fn blend_gather(&self, rects: &[Rect], indexes: &[usize]) -> Vec<f64> {
+        let mut num = vec![0.0; indexes.len()];
+        let mut den = 0.0;
+        for shard in &self.shards {
+            let w = 1.0 + shard.published_queries() as f64;
+            let estimates = shard.snapshot().estimate_gather(rects, indexes);
+            for (n, e) in num.iter_mut().zip(&estimates) {
+                *n += w * e;
+            }
+            den += w;
+        }
+        num.iter().map(|n| n / den).collect()
     }
 
     /// The owning shard's current snapshot for `rect` — for callers that

@@ -6,7 +6,8 @@ use quicksel_core::{QuickSel, RefinePolicy};
 use quicksel_data::ObservedQuery;
 use quicksel_geometry::{Domain, Predicate, Rect};
 use quicksel_service::{
-    CachedProvider, CardinalityProvider, EstimatorRegistry, SelectivityService, TableId,
+    CachedProvider, CardinalityProvider, EstimatorRegistry, SelectivityService, ShardedService,
+    TableId,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -268,6 +269,95 @@ fn registry_readers_and_shard_writers_across_tables() {
         let published: u64 = per_table.per_shard.iter().map(|s| s.batches_ingested).sum();
         assert_eq!(svc.version(), published, "{id} lost publishes");
         svc.shard(0).with_learner(|l| assert!(l.last_error().is_none()));
+    }
+}
+
+/// `ShardedService::estimate_many` under concurrent ingest must serve
+/// every rect of one call from a *single* model version per shard — the
+/// batched path loads each shard's snapshot once per call, so duplicate
+/// rects inside a batch can never straddle a publish. (The per-rect
+/// scalar path reloads the snapshot per rect and gives no such
+/// guarantee.) Wide probes blend all shards, also loaded once per call.
+#[test]
+fn sharded_estimate_many_is_coherent_under_concurrent_ingest() {
+    const SHARDS: usize = 2;
+    const BATCHES_PER_WRITER: usize = 20;
+
+    let d = domain();
+    let svc = Arc::new(ShardedService::new(d.clone(), SHARDS, |i| {
+        QuickSel::builder(d.clone())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(64)
+            .seed(17 + i as u64)
+            .build()
+    }));
+    // Two narrow probes on (usually) different shards plus one wide
+    // blend probe — each duplicated inside the same batch.
+    let narrow_a = Rect::from_bounds(&[(1.0, 2.5), (1.0, 3.0)]);
+    let narrow_b = Rect::from_bounds(&[(5.0, 7.0), (4.0, 6.0)]);
+    let wide = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+    assert!(svc.spans_partitions(&wide));
+    let batch = vec![
+        narrow_a.clone(),
+        narrow_b.clone(),
+        wide.clone(),
+        narrow_a.clone(),
+        narrow_b.clone(),
+        wide.clone(),
+    ];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    thread::scope(|scope| {
+        // One writer per shard publishes new versions continuously.
+        for shard in 0..SHARDS {
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                for i in 0..BATCHES_PER_WRITER {
+                    let lo = (i % 5) as f64;
+                    let feedback = vec![ObservedQuery::new(
+                        Rect::from_bounds(&[(lo, lo + 3.0), (lo, lo + 4.0)]),
+                        0.1 + (i % 8) as f64 * 0.1,
+                    )];
+                    svc.shard(shard).observe_batch(&feedback).expect("shard ingest failed");
+                }
+            });
+        }
+        // Readers hammer estimate_many and check intra-call coherence:
+        // both copies of a rect must answer identically.
+        let mut readers = Vec::new();
+        for r in 0..4 {
+            let svc = Arc::clone(&svc);
+            let batch = batch.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(scope.spawn(move || {
+                let mut calls = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let out = svc.estimate_many(&batch);
+                    assert_eq!(out.len(), batch.len());
+                    for (i, pair) in [(0usize, 3usize), (1, 4), (2, 5)].into_iter().enumerate() {
+                        assert_eq!(
+                            out[pair.0], out[pair.1],
+                            "reader {r}: duplicate probe {i} answered from two versions"
+                        );
+                    }
+                    for e in &out {
+                        assert!((0.0..=1.0).contains(e), "reader {r}: estimate {e}");
+                    }
+                    calls += 1;
+                }
+                calls
+            }));
+        }
+        // Let readers overlap the writers, then wind down.
+        thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().expect("reader panicked")).sum();
+        assert!(total > 0, "readers never ran");
+    });
+    // Quiescent: the batched answers now equal the scalar ones exactly.
+    let finals = svc.estimate_many(&batch);
+    for (r, &e) in batch.iter().zip(&finals) {
+        assert_eq!(e, svc.estimate(r));
     }
 }
 

@@ -89,7 +89,8 @@ pub use quicksel_service as service;
 
 pub use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
 pub use quicksel_core::{
-    ModelSnapshot, QuickSel, QuickSelBuilder, QuickSelConfig, RefinePolicy, TrainingMethod,
+    FrozenModel, ModelSnapshot, QuickSel, QuickSelBuilder, QuickSelConfig, RefinePolicy,
+    TrainingMethod,
 };
 pub use quicksel_data::{
     Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,

@@ -3,7 +3,10 @@
 //! planner-facing `CardinalityProvider` — plus the join hook and the
 //! per-thread cached read path.
 
-use quicksel::engine::{estimate_join_cardinality, exact_equijoin_cardinality, Catalog, Engine};
+use quicksel::engine::{
+    estimate_join_cardinalities, estimate_join_cardinality, exact_equijoin_cardinality, Catalog,
+    Engine,
+};
 use quicksel::prelude::*;
 use quicksel::{EstimatorRegistry, TableId};
 use std::sync::Arc;
@@ -93,6 +96,24 @@ fn two_engines_share_one_sharded_registry() {
     let truth = exact_equijoin_cardinality(&r_table, 0, &pr, &s_table, 0, &ps) as f64;
     let est = estimate_join_cardinality(base, &*registry, &rid, &pr, &sid, &ps);
     assert!((est - truth).abs() <= 0.3 * truth + 1.0, "join est {est} vs truth {truth}");
+
+    // A join enumerator pricing candidate pushdowns batches both sides:
+    // the batched estimates must equal the per-pair independence product
+    // (the registry serves each side's batch from coherent snapshots).
+    let candidates: Vec<(Predicate, Predicate)> = (0..4)
+        .map(|i| {
+            let lo = i as f64 * 12.0;
+            (
+                Predicate::new().range(1, lo, lo + 30.0),
+                Predicate::new().range(1, lo + 5.0, lo + 45.0),
+            )
+        })
+        .collect();
+    let batched = estimate_join_cardinalities(base, &*registry, &rid, &sid, &candidates);
+    for ((cpr, cps), &b) in candidates.iter().zip(&batched) {
+        let scalar = estimate_join_cardinality(base, &*registry, &rid, cpr, &sid, cps);
+        assert!((b - scalar).abs() <= 1e-9 * scalar.abs().max(1.0), "batched join diverged");
+    }
 
     // Per-thread cached readers over the shared registry answer exactly
     // what the registry answers, table by table.
