@@ -205,6 +205,7 @@ impl Learn for Isomer {
         Ok(RefineOutcome::Retrained {
             params: self.partition.len(),
             constraints: self.constraints.len(),
+            incremental: false,
         })
     }
 

@@ -154,6 +154,7 @@ impl Learn for IsomerQp {
         Ok(RefineOutcome::Retrained {
             params: self.partition.len(),
             constraints: self.constraints.len(),
+            incremental: false,
         })
     }
 

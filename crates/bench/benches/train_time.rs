@@ -1,12 +1,19 @@
 //! Figure 3a/3d as a Criterion micro-benchmark: the cost of one model
 //! refinement per method at a fixed number of observed queries.
+//!
+//! Besides the Criterion console output, a JSON document in the shared
+//! bench schema (see `batched_estimate` / `train_throughput`) is written
+//! to `target/bench-results/train_time.json` (override with
+//! `TRAIN_TIME_BENCH_OUT=...`) so the `BENCH_*.json` perf trajectory
+//! covers the training path per method, not just estimation.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, criterion_group, BatchSize, Criterion};
 use quicksel_baselines::{Isomer, IsomerQp, QueryModel, STHoles};
 use quicksel_core::{QuickSel, RefinePolicy};
 use quicksel_data::datasets::gaussian::gaussian_table;
 use quicksel_data::workload::{CenterMode, QueryGenerator, RectWorkload, ShiftMode};
 use quicksel_data::{Estimate, Learn, ObservedQuery, Table};
+use std::time::Instant;
 
 fn workload(table: &Table, n: usize) -> Vec<ObservedQuery> {
     let mut gen =
@@ -138,4 +145,84 @@ impl CloneForBench for QuickSel {
 }
 
 criterion_group!(benches, bench_refine);
-criterion_main!(benches);
+
+/// One timed refine per method (median of `reps`), for the JSON report.
+fn timed_refine_ms(reps: usize, mut setup: impl FnMut() -> Box<dyn FnOnce()>) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let run = setup();
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn write_json() {
+    let table = gaussian_table(2, 0.5, 20_000, 888);
+    let n = 50;
+    let queries = workload(&table, n + 1);
+    let (warm, last) = queries.split_at(n);
+
+    let mut lines = Vec::new();
+    {
+        let mut qs =
+            QuickSel::builder(table.domain().clone()).refine_policy(RefinePolicy::Manual).build();
+        for q in warm {
+            qs.observe(q);
+        }
+        let ms = timed_refine_ms(5, || {
+            let mut fresh = qs.clone_for_bench();
+            let q = last[0].clone();
+            Box::new(move || {
+                fresh.observe(&q);
+                fresh.refine().expect("train");
+                black_box(fresh.param_count());
+            })
+        });
+        lines.push(format!("{{\"method\":\"quicksel\",\"refine_ms\":{ms:.4}}}"));
+    }
+    macro_rules! baseline {
+        ($name:literal, $ctor:expr) => {{
+            let ms = timed_refine_ms(5, || {
+                let mut e = $ctor;
+                for q in warm {
+                    e.observe(q);
+                }
+                let q = last[0].clone();
+                Box::new(move || {
+                    e.observe(&q);
+                    black_box(e.param_count());
+                })
+            });
+            lines.push(format!("{{\"method\":\"{}\",\"refine_ms\":{ms:.4}}}", $name));
+        }};
+    }
+    baseline!("stholes", STHoles::new(table.domain().clone()));
+    baseline!("isomer", Isomer::new(table.domain().clone()));
+    baseline!("isomer_qp", IsomerQp::new(table.domain().clone()));
+    baseline!("query_model", QueryModel::new(table.domain().clone()));
+
+    let json =
+        format!("{{\"bench\":\"train_time\",\"queries\":{n},\"grid\":[{}]}}", lines.join(","));
+    println!("{json}");
+    let out = std::env::var("TRAIN_TIME_BENCH_OUT")
+        .unwrap_or_else(|_| "target/bench-results/train_time.json".into());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&out, format!("{json}\n")) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}
+
+fn main() {
+    // The vendored criterion shim has no CLI filtering — every run
+    // executes the full matrix — so the JSON report is always in sync
+    // with what just ran.
+    benches();
+    write_json();
+}

@@ -1,0 +1,535 @@
+//! Pruned SoA assembly of the training QP (Theorem 1).
+//!
+//! The naive transcription of §4.2 assembles `Q` by evaluating
+//! `intersection_volume` for **all** m² subpopulation pairs through
+//! bounds-checked `DMatrix::set` calls, and every `A` row against all m
+//! supports. But §3.3 sizes subpopulations from nearest-neighbour
+//! distances precisely so that each support only *slightly* overlaps its
+//! neighbours — at `m = 4000` the overwhelming majority of pairs are
+//! disjoint by construction, and the naive loop spends its time proving
+//! zeros.
+//!
+//! [`SubpopGrid`] freezes the supports into the same dimension-major SoA
+//! column layout as `quicksel_core::batch` ([`FrozenModel`]) and bins
+//! them into a uniform spatial grid (~one cell per subpopulation). Q's
+//! assembly then only visits *candidate* pairs — pairs sharing at least
+//! one grid cell, a superset of the overlapping pairs — and writes rows
+//! through slices; `A` rows gather candidates the same way. The upper
+//! triangle is assembled first and mirrored in cache-friendly tiles.
+//!
+//! # Equivalence contract
+//!
+//! Every matrix entry the pruned path writes is computed with the same
+//! per-dimension `(hi.min(q_hi) - lo.max(q_lo)).max(0.0)` product, in
+//! the same dimension order and term association, as
+//! [`Rect::intersection_volume`]; pairs the grid prunes are exactly the
+//! pairs whose overlap is zero, where the naive path writes nothing
+//! (leaving the zero from `DMatrix::zeros`). The assembled `Q`/`A`
+//! therefore match the naive [`build_qp`](crate::train::build_qp) to
+//! ≤1e-12 (in practice: bit-for-bit) — `tests/assembly_equivalence.rs`
+//! pins this on random models including touching, degenerate, and
+//! clamped-edge supports.
+//!
+//! [`FrozenModel`]: crate::batch::FrozenModel
+
+use quicksel_data::ObservedQuery;
+use quicksel_geometry::Rect;
+use quicksel_linalg::{DMatrix, QpProblem};
+
+/// Tile edge for the symmetric mirror pass (upper → lower triangle).
+const MIRROR_TILE: usize = 64;
+
+/// Subpopulation supports frozen into SoA columns and binned into a
+/// uniform spatial grid; the assembly side's counterpart of the serving
+/// side's `FrozenModel`. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SubpopGrid {
+    dim: usize,
+    len: usize,
+    /// Dimension-major lower bounds, `lo[dim * len + z]`.
+    lo: Vec<f64>,
+    /// Dimension-major upper bounds, `hi[dim * len + z]`.
+    hi: Vec<f64>,
+    /// `1 / |G_z|`, exactly as the naive assembly computes it.
+    inv_vol: Vec<f64>,
+    /// Cells per dimension.
+    res: Vec<usize>,
+    /// Flattened-index stride per dimension (last dimension contiguous).
+    stride: Vec<usize>,
+    /// Grid origin (bounding-box lower corner) per dimension.
+    origin: Vec<f64>,
+    /// Reciprocal cell width per dimension (0 for zero-extent dims).
+    inv_w: Vec<f64>,
+    /// CSR cell lists: subpops overlapping cell `c` are
+    /// `items[start[c]..start[c + 1]]`.
+    start: Vec<usize>,
+    items: Vec<u32>,
+}
+
+/// Reusable scratch for candidate gathering — one per assembly loop, so
+/// per-row gathers allocate nothing.
+#[derive(Debug, Clone)]
+pub struct GridScratch {
+    stamp: Vec<u32>,
+    tick: u32,
+    /// Gathered candidate subpopulation indexes (deduplicated).
+    cand: Vec<u32>,
+    clo: Vec<usize>,
+    chi: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+impl SubpopGrid {
+    /// Freezes `subpops` into SoA columns and bins them into a grid of
+    /// roughly one cell per subpopulation (`res ≈ m^(1/d)` per
+    /// dimension).
+    pub fn new(subpops: &[Rect]) -> Self {
+        let len = subpops.len();
+        let dim = subpops.first().map_or(0, Rect::dim);
+        let mut lo = vec![0.0; dim * len];
+        let mut hi = vec![0.0; dim * len];
+        let mut inv_vol = Vec::with_capacity(len);
+        for (z, r) in subpops.iter().enumerate() {
+            assert_eq!(r.dim(), dim, "mixed-dimension subpopulation supports");
+            for (d, s) in r.sides().iter().enumerate() {
+                lo[d * len + z] = s.lo;
+                hi[d * len + z] = s.hi;
+            }
+            inv_vol.push(1.0 / r.volume());
+        }
+
+        // Bounding box over all supports.
+        let mut origin = vec![0.0; dim];
+        let mut extent = vec![0.0; dim];
+        for d in 0..dim {
+            let col_lo = &lo[d * len..(d + 1) * len];
+            let col_hi = &hi[d * len..(d + 1) * len];
+            let mn = col_lo.iter().copied().fold(f64::INFINITY, f64::min);
+            let mx = col_hi.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            origin[d] = mn;
+            extent[d] = (mx - mn).max(0.0);
+        }
+
+        // ~one cell per subpopulation, capped so pathological inputs
+        // cannot blow the cell table up.
+        let per_dim = if dim == 0 || len == 0 {
+            1
+        } else {
+            ((len as f64).powf(1.0 / dim as f64).round() as usize).clamp(1, 1024)
+        };
+        let mut res = vec![1usize; dim.max(1)];
+        res.truncate(dim.max(1));
+        let mut total: usize = 1;
+        for d in 0..dim {
+            let r = if extent[d] > 0.0 { per_dim } else { 1 };
+            res[d] = r;
+            total = total.saturating_mul(r);
+        }
+        // Shrink if the cap still left too many cells (deep dimensions).
+        while total > 4 * len.max(16) {
+            let (dmax, _) = res.iter().enumerate().max_by_key(|(_, &r)| r).expect("non-empty res");
+            if res[dmax] == 1 {
+                break;
+            }
+            total = total / res[dmax] * (res[dmax] / 2).max(1);
+            res[dmax] = (res[dmax] / 2).max(1);
+        }
+        let mut stride = vec![1usize; dim.max(1)];
+        for d in (0..dim.saturating_sub(1)).rev() {
+            stride[d] = stride[d + 1] * res[d + 1];
+        }
+        let inv_w: Vec<f64> = (0..dim)
+            .map(|d| if extent[d] > 0.0 { res[d] as f64 / extent[d] } else { 0.0 })
+            .collect();
+
+        let mut grid = Self {
+            dim,
+            len,
+            lo,
+            hi,
+            inv_vol,
+            res,
+            stride,
+            origin,
+            inv_w,
+            start: Vec::new(),
+            items: Vec::new(),
+        };
+        grid.fill_cells();
+        grid
+    }
+
+    /// Two-pass CSR fill: count cell coverage per subpop, then place.
+    fn fill_cells(&mut self) {
+        let cells = self.cell_count();
+        let mut counts = vec![0usize; cells + 1];
+        let mut clo = vec![0usize; self.dim.max(1)];
+        let mut chi = vec![0usize; self.dim.max(1)];
+        let mut cur = vec![0usize; self.dim.max(1)];
+        for z in 0..self.len {
+            self.subpop_cell_range(z, &mut clo, &mut chi);
+            for_each_cell(&self.stride[..self.dim], &clo, &chi, &mut cur, |c| {
+                counts[c + 1] += 1;
+            });
+        }
+        for c in 0..cells {
+            counts[c + 1] += counts[c];
+        }
+        let mut items = vec![0u32; counts[cells]];
+        let mut cursor = counts.clone();
+        for z in 0..self.len {
+            self.subpop_cell_range(z, &mut clo, &mut chi);
+            for_each_cell(&self.stride[..self.dim], &clo, &chi, &mut cur, |c| {
+                items[cursor[c]] = z as u32;
+                cursor[c] += 1;
+            });
+        }
+        self.start = counts;
+        self.items = items;
+    }
+
+    /// Number of subpopulations `m`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the grid indexes no subpopulations.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the supports (0 for an empty set).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total grid cells.
+    fn cell_count(&self) -> usize {
+        if self.dim == 0 {
+            1
+        } else {
+            self.res[..self.dim].iter().product()
+        }
+    }
+
+    /// Fresh scratch sized for this grid.
+    pub fn scratch(&self) -> GridScratch {
+        GridScratch {
+            stamp: vec![0; self.len],
+            tick: 0,
+            cand: Vec::with_capacity(64),
+            clo: vec![0; self.dim.max(1)],
+            chi: vec![0; self.dim.max(1)],
+            cur: vec![0; self.dim.max(1)],
+        }
+    }
+
+    /// Cell index of coordinate `x` along dimension `d`, clamped into
+    /// the grid.
+    #[inline]
+    fn cell_of(&self, d: usize, x: f64) -> usize {
+        let t = (x - self.origin[d]) * self.inv_w[d];
+        if t > 0.0 {
+            (t as usize).min(self.res[d] - 1)
+        } else {
+            0 // also absorbs NaN from 0·∞-free inputs
+        }
+    }
+
+    fn subpop_cell_range(&self, z: usize, clo: &mut [usize], chi: &mut [usize]) {
+        for d in 0..self.dim {
+            clo[d] = self.cell_of(d, self.lo[d * self.len + z]);
+            chi[d] = self.cell_of(d, self.hi[d * self.len + z]);
+        }
+    }
+
+    /// `|G_i ∩ G_j|`: same per-dimension product (and early exit on a
+    /// zero factor) as [`Rect::intersection_volume`].
+    #[inline]
+    fn pair_overlap(&self, i: usize, j: usize) -> f64 {
+        let m = self.len;
+        let mut v = 1.0;
+        for d in 0..self.dim {
+            let base = d * m;
+            let h = self.hi[base + i].min(self.hi[base + j]);
+            let l = self.lo[base + i].max(self.lo[base + j]);
+            v *= (h - l).max(0.0);
+            if v == 0.0 {
+                return 0.0;
+            }
+        }
+        v
+    }
+
+    /// `|B ∩ G_j|` for a probe rectangle, matching
+    /// `rect.intersection_volume(&subpops[j])` exactly.
+    #[inline]
+    fn rect_overlap(&self, rect: &Rect, j: usize) -> f64 {
+        let m = self.len;
+        let mut v = 1.0;
+        for (d, s) in rect.sides().iter().enumerate() {
+            let base = d * m;
+            let h = s.hi.min(self.hi[base + j]);
+            let l = s.lo.max(self.lo[base + j]);
+            v *= (h - l).max(0.0);
+            if v == 0.0 {
+                return 0.0;
+            }
+        }
+        v
+    }
+
+    /// Gathers the deduplicated subpop indexes sharing at least one cell
+    /// with the cell range in `scratch.clo/chi` into `scratch.cand`.
+    fn gather_cells(&self, scratch: &mut GridScratch) {
+        scratch.cand.clear();
+        if scratch.tick == u32::MAX {
+            scratch.stamp.fill(0);
+            scratch.tick = 0;
+        }
+        scratch.tick += 1;
+        let tick = scratch.tick;
+        let GridScratch { stamp, cand, clo, chi, cur, .. } = scratch;
+        for_each_cell(&self.stride[..self.dim], clo, chi, cur, |c| {
+            for &z in &self.items[self.start[c]..self.start[c + 1]] {
+                let zi = z as usize;
+                if stamp[zi] != tick {
+                    stamp[zi] = tick;
+                    cand.push(z);
+                }
+            }
+        });
+    }
+
+    /// Assembles the full symmetric `Q` matrix
+    /// (`Q_ij = |G_i∩G_j|/(|G_i||G_j|)`, diagonal `1/|G_i|`): candidate
+    /// pairs from the grid, slice row writes, upper triangle first, then
+    /// a tiled mirror.
+    pub fn assemble_q(&self) -> DMatrix {
+        let m = self.len;
+        let mut q = DMatrix::zeros(m, m);
+        let mut scratch = self.scratch();
+        for i in 0..m {
+            self.subpop_cell_range(i, &mut scratch.clo, &mut scratch.chi);
+            self.gather_cells(&mut scratch);
+            let row = q.row_mut(i);
+            row[i] = self.inv_vol[i];
+            for &zj in &scratch.cand {
+                let j = zj as usize;
+                if j <= i {
+                    continue;
+                }
+                let inter = self.pair_overlap(i, j);
+                if inter > 0.0 {
+                    row[j] = inter * self.inv_vol[i] * self.inv_vol[j];
+                }
+            }
+        }
+        // Mirror the upper triangle in cache-friendly tiles.
+        let data = q.as_mut_slice();
+        let mut i0 = 0;
+        while i0 < m {
+            let imax = (i0 + MIRROR_TILE).min(m);
+            let mut j0 = i0;
+            while j0 < m {
+                let jmax = (j0 + MIRROR_TILE).min(m);
+                for i in i0..imax {
+                    for j in j0.max(i + 1)..jmax {
+                        let v = data[i * m + j];
+                        if v != 0.0 {
+                            data[j * m + i] = v;
+                        }
+                    }
+                }
+                j0 = jmax;
+            }
+            i0 = imax;
+        }
+        q
+    }
+
+    /// Fills one `A` row (`A_j = |B∩G_j|/|G_j|`) for a predicate
+    /// rectangle: zeroes the row, then writes only grid candidates. Wide
+    /// rectangles covering most of the grid fall back to the dense scan
+    /// (same values, no gather overhead).
+    pub fn constraint_row_into(&self, rect: &Rect, row: &mut [f64], scratch: &mut GridScratch) {
+        assert_eq!(row.len(), self.len, "constraint row length must be m");
+        assert!(
+            self.len == 0 || rect.dim() == self.dim,
+            "constraint rect dimensionality {} does not match the supports' {}",
+            rect.dim(),
+            self.dim
+        );
+        row.fill(0.0);
+        if self.len == 0 {
+            return;
+        }
+        let mut covered: usize = 1;
+        for d in 0..self.dim {
+            let s = rect.side(d);
+            scratch.clo[d] = self.cell_of(d, s.lo.min(s.hi));
+            scratch.chi[d] = self.cell_of(d, s.hi.max(s.lo));
+            covered = covered.saturating_mul(scratch.chi[d] - scratch.clo[d] + 1);
+        }
+        if covered * 2 >= self.cell_count() {
+            for (j, r) in row.iter_mut().enumerate() {
+                let inter = self.rect_overlap(rect, j);
+                if inter > 0.0 {
+                    *r = inter * self.inv_vol[j];
+                }
+            }
+            return;
+        }
+        self.gather_cells(scratch);
+        for &zj in &scratch.cand {
+            let j = zj as usize;
+            let inter = self.rect_overlap(rect, j);
+            if inter > 0.0 {
+                row[j] = inter * self.inv_vol[j];
+            }
+        }
+    }
+
+    /// Assembles the constraint matrix `A` (row 0 the implicit `(B0, 1)`
+    /// all-ones row) and the observed-selectivity rhs `s`.
+    pub fn assemble_a(&self, queries: &[ObservedQuery]) -> (DMatrix, Vec<f64>) {
+        let m = self.len;
+        let n = queries.len() + 1;
+        let mut a = DMatrix::zeros(n, m);
+        let mut s = Vec::with_capacity(n);
+        a.row_mut(0).fill(1.0);
+        s.push(1.0);
+        let mut scratch = self.scratch();
+        for (qi, query) in queries.iter().enumerate() {
+            self.constraint_row_into(&query.rect, a.row_mut(qi + 1), &mut scratch);
+            s.push(query.selectivity);
+        }
+        (a, s)
+    }
+
+    /// Assembles the whole training QP; the pruned equivalent of the
+    /// naive [`build_qp`](crate::train::build_qp).
+    pub fn assemble_qp(&self, queries: &[ObservedQuery]) -> QpProblem {
+        let q = self.assemble_q();
+        let (a, s) = self.assemble_a(queries);
+        QpProblem::new(q, a, s).expect("assembled shapes are consistent by construction")
+    }
+}
+
+/// Odometer iteration over the flattened indexes of the cell box
+/// `[clo, chi]` (inclusive); `cur` is caller scratch.
+fn for_each_cell(
+    stride: &[usize],
+    clo: &[usize],
+    chi: &[usize],
+    cur: &mut [usize],
+    mut f: impl FnMut(usize),
+) {
+    let d = stride.len();
+    if d == 0 {
+        f(0);
+        return;
+    }
+    cur[..d].copy_from_slice(&clo[..d]);
+    loop {
+        let flat: usize = (0..d).map(|k| cur[k] * stride[k]).sum();
+        f(flat);
+        // Increment the odometer, last dimension fastest.
+        let mut k = d;
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            cur[k] += 1;
+            if cur[k] <= chi[k] {
+                break;
+            }
+            cur[k] = clo[k];
+            if k == 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::build_qp;
+    use quicksel_geometry::Domain;
+
+    fn domain() -> Domain {
+        Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+    }
+
+    fn grid_subpops() -> Vec<Rect> {
+        let d = domain();
+        let mut v = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let cx = 0.85 + 1.66 * i as f64;
+                let cy = 0.85 + 1.66 * j as f64;
+                v.push(
+                    Rect::from_bounds(&[(cx - 1.1, cx + 1.1), (cy - 1.1, cy + 1.1)])
+                        .clamp_to(&d.full_rect()),
+                );
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn pruned_q_matches_naive_exactly() {
+        let subs = grid_subpops();
+        let queries = vec![
+            ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.5),
+            ObservedQuery::new(Rect::from_bounds(&[(2.0, 2.0), (0.0, 10.0)]), 0.0), // degenerate
+            ObservedQuery::new(Rect::from_bounds(&[(-5.0, 0.0), (0.0, 5.0)]), 0.0), // touching edge
+            ObservedQuery::new(Rect::from_bounds(&[(20.0, 30.0), (20.0, 30.0)]), 0.0), // disjoint
+        ];
+        let naive = build_qp(&domain(), &subs, &queries);
+        let pruned = SubpopGrid::new(&subs).assemble_qp(&queries);
+        assert_eq!(naive.q.max_abs_diff(&pruned.q), 0.0, "Q diverged");
+        assert_eq!(naive.a.max_abs_diff(&pruned.a), 0.0, "A diverged");
+        assert_eq!(naive.s, pruned.s);
+    }
+
+    #[test]
+    fn empty_and_single_subpop() {
+        let grid = SubpopGrid::new(&[]);
+        assert!(grid.is_empty());
+        assert_eq!(grid.assemble_q().rows(), 0);
+
+        let one = vec![Rect::from_bounds(&[(0.0, 2.0), (0.0, 2.0)])];
+        let grid = SubpopGrid::new(&one);
+        let q = grid.assemble_q();
+        assert_eq!(q.rows(), 1);
+        assert!((q.get(0, 0) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wide_probe_takes_dense_path_with_same_values() {
+        let subs = grid_subpops();
+        let grid = SubpopGrid::new(&subs);
+        let wide = Rect::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]);
+        let mut scratch = grid.scratch();
+        let mut row = vec![0.0; subs.len()];
+        grid.constraint_row_into(&wide, &mut row, &mut scratch);
+        for (j, r) in row.iter().enumerate() {
+            let inter = wide.intersection_volume(&subs[j]);
+            assert_eq!(*r, inter * (1.0 / subs[j].volume()));
+        }
+    }
+
+    #[test]
+    fn identical_supports_share_cells() {
+        // Duplicated supports (sampling can repeat centers) must still
+        // produce the full pairwise overlap structure.
+        let r = Rect::from_bounds(&[(1.0, 3.0), (1.0, 3.0)]);
+        let subs = vec![r.clone(), r.clone(), r];
+        let q = SubpopGrid::new(&subs).assemble_q();
+        let naive = build_qp(&domain(), &subs, &[]);
+        assert_eq!(naive.q.max_abs_diff(&q), 0.0);
+    }
+}

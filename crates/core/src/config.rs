@@ -54,6 +54,15 @@ pub struct QuickSelConfig {
     pub training: TrainingMethod,
     /// RNG seed for point generation and sampling (deterministic runs).
     pub seed: u64,
+    /// Maximum consecutive *warm* (incremental) refines before the next
+    /// refine falls back to a full rebuild that resamples
+    /// subpopulations. Warm refines fire only while the subpopulation
+    /// budget `m` is unchanged (i.e. once the `min(4n, 4000)` cap is
+    /// reached, or under a fixed budget) and reuse the cached assembly —
+    /// this bound keeps the frozen supports from drifting arbitrarily
+    /// far from a shifting workload. 0 disables the incremental path
+    /// entirely.
+    pub warm_refine_limit: usize,
 }
 
 impl Default for QuickSelConfig {
@@ -69,6 +78,7 @@ impl Default for QuickSelConfig {
             refine_policy: RefinePolicy::EveryQuery,
             training: TrainingMethod::AnalyticPenalty,
             seed: 0x5EED,
+            warm_refine_limit: 64,
         }
     }
 }
@@ -114,5 +124,10 @@ mod tests {
         let c = QuickSelConfig::default().with_fixed_subpops(123);
         assert_eq!(c.target_subpops(1), 123);
         assert_eq!(c.target_subpops(100_000), 123);
+    }
+
+    #[test]
+    fn warm_refines_enabled_by_default() {
+        assert!(QuickSelConfig::default().warm_refine_limit > 0);
     }
 }

@@ -5,7 +5,7 @@ use crate::config::{QuickSelConfig, RefinePolicy, TrainingMethod};
 use crate::model::UniformMixtureModel;
 use crate::snapshot::ModelSnapshot;
 use crate::subpop::{build_subpopulations, workload_points};
-use crate::train::{train, TrainReport};
+use crate::train::{train, IncrementalTrainer, TrainReport};
 use quicksel_data::{
     Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource,
 };
@@ -45,6 +45,11 @@ pub struct QuickSel {
     last_report: Option<TrainReport>,
     last_error: Option<EstimatorError>,
     version: u64,
+    /// Cached analytic-training state (assembled `Q`, `AᵀA`, Cholesky
+    /// factor). Present after a successful cold analytic refine; serves
+    /// warm incremental refines while the subpopulation budget is
+    /// unchanged.
+    trainer: Option<IncrementalTrainer>,
 }
 
 impl QuickSel {
@@ -67,6 +72,7 @@ impl QuickSel {
             last_report: None,
             last_error: None,
             version: 0,
+            trainer: None,
         }
     }
 
@@ -149,13 +155,22 @@ impl QuickSel {
 
     /// Retrains the mixture model on everything observed so far.
     ///
-    /// Runs the full §3.3 + §4 pipeline: sample `m = min(4n, 4000)`
-    /// centers from the workload point pool, size their supports, assemble
-    /// the QP, solve. Returns [`RefineOutcome::UpToDate`] when there is
-    /// nothing new to learn, [`RefineOutcome::KeptPrior`] when all
-    /// observed predicates were degenerate, and a typed
-    /// [`EstimatorError`] when the solver fails (the previous model is
-    /// kept in that case).
+    /// A **cold** refine runs the full §3.3 + §4 pipeline: sample
+    /// `m = min(4n, 4000)` centers from the workload point pool, size
+    /// their supports, assemble the QP, solve. While the subpopulation
+    /// budget `m` is unchanged (and the analytic trainer is active), a
+    /// **warm** refine reuses the cached supports and assembly and folds
+    /// only the new queries in as a rank-k update — orders of magnitude
+    /// cheaper; [`last_report`](Self::last_report) records which path
+    /// fired via `assembly_reused`/`rows_appended`, and the returned
+    /// [`RefineOutcome::Retrained`] carries the `incremental` flag. The
+    /// configured `warm_refine_limit` bounds how long the supports stay
+    /// frozen before a cold resample.
+    ///
+    /// Returns [`RefineOutcome::UpToDate`] when there is nothing new to
+    /// learn, [`RefineOutcome::KeptPrior`] when all observed predicates
+    /// were degenerate, and a typed [`EstimatorError`] when the solver
+    /// fails (the previous model is kept in that case).
     pub fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
         if self.queries.is_empty() {
             return Ok(RefineOutcome::UpToDate);
@@ -164,6 +179,28 @@ impl QuickSel {
             return Ok(RefineOutcome::UpToDate);
         }
         let m = self.config.target_subpops(self.queries.len());
+        let warm_ready = self.config.training == TrainingMethod::AnalyticPenalty
+            && self.trainer.as_ref().is_some_and(|t| {
+                t.subpop_count() == m
+                    && t.trained_queries() <= self.queries.len()
+                    && t.warm_refines() < self.config.warm_refine_limit
+            });
+        if warm_ready {
+            let trainer = self.trainer.as_mut().expect("warm_ready checked trainer presence");
+            let new_queries = &self.queries[trainer.trained_queries()..];
+            return match trainer.refine(new_queries) {
+                Ok((model, report)) => Ok(self.install(model, report, true)),
+                Err(e) => {
+                    // A failed warm solve falls back to a cold rebuild on
+                    // the next attempt rather than wedging the cache.
+                    self.trainer = None;
+                    let err = EstimatorError::from(e);
+                    self.last_error = Some(err.clone());
+                    Err(err)
+                }
+            };
+        }
+
         let subpops = build_subpopulations(
             &self.domain,
             &self.point_pool,
@@ -177,32 +214,62 @@ impl QuickSel {
             // leave the feedback pending so later refines retry).
             return Ok(RefineOutcome::KeptPrior);
         }
-        match train(
-            &self.domain,
-            subpops,
-            &self.queries,
-            self.config.training,
-            self.config.lambda,
-            self.config.ridge_rel,
-        ) {
-            Ok((model, report)) => {
-                let outcome = RefineOutcome::Retrained {
-                    params: model.len(),
-                    constraints: report.num_constraints,
-                };
-                self.model = Some(Arc::new(model));
-                self.last_report = Some(report);
-                self.pending_since_refine = 0;
-                self.last_error = None;
-                self.version += 1;
-                Ok(outcome)
-            }
+        // A cold rebuild replaces (or, on failure, discards) any cached
+        // trainer — a stale cache can never be legitimately reused and
+        // would only pin O(m²) dead state.
+        self.trainer = None;
+        let cold = if self.config.training == TrainingMethod::AnalyticPenalty
+            && self.config.warm_refine_limit > 0
+        {
+            IncrementalTrainer::cold(
+                &self.domain,
+                subpops,
+                &self.queries,
+                self.config.lambda,
+                self.config.ridge_rel,
+            )
+            .map(|(trainer, model, report)| {
+                self.trainer = Some(trainer);
+                (model, report)
+            })
+        } else {
+            train(
+                &self.domain,
+                subpops,
+                &self.queries,
+                self.config.training,
+                self.config.lambda,
+                self.config.ridge_rel,
+            )
+        };
+        match cold {
+            Ok((model, report)) => Ok(self.install(model, report, false)),
             Err(e) => {
                 let err = EstimatorError::from(e);
                 self.last_error = Some(err.clone());
                 Err(err)
             }
         }
+    }
+
+    /// Publishes a freshly-trained model and its report.
+    fn install(
+        &mut self,
+        model: UniformMixtureModel,
+        report: TrainReport,
+        incremental: bool,
+    ) -> RefineOutcome {
+        let outcome = RefineOutcome::Retrained {
+            params: model.len(),
+            constraints: report.num_constraints,
+            incremental,
+        };
+        self.model = Some(Arc::new(model));
+        self.last_report = Some(report);
+        self.pending_since_refine = 0;
+        self.last_error = None;
+        self.version += 1;
+        outcome
     }
 
     /// Convenience: estimate a conjunctive [`Predicate`].
@@ -358,6 +425,14 @@ impl QuickSelBuilder {
     /// Retraining cadence.
     pub fn refine_policy(mut self, policy: RefinePolicy) -> Self {
         self.config.refine_policy = policy;
+        self
+    }
+
+    /// Maximum consecutive warm (incremental) refines before a full
+    /// rebuild resamples subpopulations; 0 disables the incremental
+    /// path.
+    pub fn warm_refine_limit(mut self, limit: usize) -> Self {
+        self.config.warm_refine_limit = limit;
         self
     }
 
@@ -549,6 +624,7 @@ mod tests {
             .refine_policy(RefinePolicy::EveryK(10))
             .training(TrainingMethod::StandardQp)
             .seed(99)
+            .warm_refine_limit(7)
             .build();
         let c = qs.config();
         assert_eq!(c.lambda, 1e5);
@@ -561,8 +637,74 @@ mod tests {
         assert_eq!(c.refine_policy, RefinePolicy::EveryK(10));
         assert_eq!(c.training, TrainingMethod::StandardQp);
         assert_eq!(c.seed, 99);
+        assert_eq!(c.warm_refine_limit, 7);
         let pinned = QuickSel::builder(domain()).fixed_subpops(64).build();
         assert_eq!(pinned.config().target_subpops(1_000_000), 64);
+    }
+
+    #[test]
+    fn fixed_budget_refines_go_warm_after_the_cold_build() {
+        let mut qs = QuickSel::builder(domain())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(8)
+            .build();
+        qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.9));
+        let first = qs.refine().unwrap();
+        assert!(matches!(first, RefineOutcome::Retrained { incremental: false, .. }), "{first:?}");
+        let report = qs.last_report().unwrap();
+        assert!(!report.assembly_reused);
+
+        qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(2.0, 7.0), (2.0, 7.0)]), 0.4));
+        let second = qs.refine().unwrap();
+        assert!(matches!(second, RefineOutcome::Retrained { incremental: true, .. }), "{second:?}");
+        let report = qs.last_report().unwrap();
+        assert!(report.assembly_reused);
+        assert_eq!(report.rows_appended, 1);
+        assert_eq!(qs.version(), 2);
+        // Both observations are reproduced by the warm-refined model.
+        assert!((qs.estimate(&Rect::from_bounds(&[(2.0, 7.0), (2.0, 7.0)])) - 0.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn warm_refine_limit_forces_cold_resample() {
+        let mut qs = QuickSel::builder(domain())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(8)
+            .warm_refine_limit(2)
+            .build();
+        let mut outcomes = Vec::new();
+        for i in 0..5 {
+            let lo = (i % 3) as f64;
+            qs.observe(&ObservedQuery::new(
+                Rect::from_bounds(&[(lo, lo + 4.0), (0.0, 6.0)]),
+                0.2 + 0.1 * (i % 4) as f64,
+            ));
+            outcomes.push(qs.refine().unwrap());
+        }
+        let incremental: Vec<bool> = outcomes
+            .iter()
+            .map(|o| matches!(o, RefineOutcome::Retrained { incremental: true, .. }))
+            .collect();
+        // cold, warm, warm (limit reached), cold (resample), warm.
+        assert_eq!(incremental, vec![false, true, true, false, true], "{outcomes:?}");
+    }
+
+    #[test]
+    fn zero_warm_limit_disables_incremental_path() {
+        let mut qs = QuickSel::builder(domain())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(8)
+            .warm_refine_limit(0)
+            .build();
+        for i in 0..3 {
+            let lo = i as f64;
+            qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(lo, lo + 4.0), (0.0, 6.0)]), 0.3));
+            let outcome = qs.refine().unwrap();
+            assert!(
+                matches!(outcome, RefineOutcome::Retrained { incremental: false, .. }),
+                "{outcome:?}"
+            );
+        }
     }
 
     fn learning_run(table: &Table, train_n: usize, cfg: QuickSelConfig) -> f64 {

@@ -56,6 +56,7 @@
 //! assert!((0.0..=1.0).contains(&est));
 //! ```
 
+pub mod assembly;
 pub mod batch;
 pub mod config;
 pub mod estimator;
@@ -64,9 +65,10 @@ pub mod snapshot;
 pub mod subpop;
 pub mod train;
 
+pub use assembly::SubpopGrid;
 pub use batch::FrozenModel;
 pub use config::{QuickSelConfig, RefinePolicy, TrainingMethod};
 pub use estimator::{QuickSel, QuickSelBuilder};
 pub use model::UniformMixtureModel;
 pub use snapshot::ModelSnapshot;
-pub use train::{build_qp, train, TrainReport};
+pub use train::{build_qp, build_qp_pruned, train, IncrementalTrainer, TrainReport};

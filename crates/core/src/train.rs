@@ -1,10 +1,25 @@
 //! Training: matrix assembly (Theorem 1) and weight solving (§4.2).
+//!
+//! Two assembly paths exist: the naive all-pairs transcription
+//! ([`build_qp`], kept as the equivalence reference and the
+//! `train_throughput` bench's baseline) and the grid-pruned SoA path
+//! ([`build_qp_pruned`] / [`SubpopGrid`]) that [`train`] and the
+//! estimator use. On top of the cold path, [`IncrementalTrainer`] keeps
+//! the assembled `Q`, `AᵀA`, and the Cholesky factor cached between
+//! refines: when the subpopulation set is unchanged, a refine folds only
+//! the new queries' `A` rows in as a rank-k symmetric update and solves
+//! through the cached factor (Woodbury), skipping both the O(n·m²) Gram
+//! rebuild and the O(m³) re-factorization.
 
+use crate::assembly::SubpopGrid;
 use crate::config::TrainingMethod;
 use crate::model::UniformMixtureModel;
 use quicksel_data::ObservedQuery;
 use quicksel_geometry::{Domain, Rect};
-use quicksel_linalg::{solve_analytic, AdmmQp, DMatrix, LinalgError, QpProblem};
+use quicksel_linalg::{
+    solve_analytic, AdmmQp, DMatrix, LinalgError, QpProblem, RankUpdateSolver,
+    WOODBURY_REFRESH_RANK,
+};
 use std::time::{Duration, Instant};
 
 /// Diagnostics from one training run.
@@ -14,7 +29,8 @@ pub struct TrainReport {
     pub num_subpops: usize,
     /// Number of constraints (observed queries + the implicit `(B0, 1)`).
     pub num_constraints: usize,
-    /// Time spent assembling `Q` and `A`.
+    /// Time spent assembling `Q` and `A` (on a warm refine: folding the
+    /// new rows into the cached system).
     pub assemble_time: Duration,
     /// Time spent in the solver.
     pub solve_time: Duration,
@@ -22,15 +38,26 @@ pub struct TrainReport {
     pub constraint_violation: f64,
     /// Iterations used (0 for the analytic path).
     pub iterations: usize,
+    /// True when this run reused the cached assembly (`Q`, `AᵀA`, and
+    /// the Cholesky factor) instead of rebuilding from scratch.
+    pub assembly_reused: bool,
+    /// Constraint rows appended by this run — the rank of the
+    /// incremental update on a warm refine, or the full constraint count
+    /// on a cold rebuild.
+    pub rows_appended: usize,
 }
 
 /// Assembles the QP of Theorem 1 from subpopulation supports and observed
-/// queries:
+/// queries — the naive all-pairs reference implementation:
 ///
 /// * `Q_ij = |G_i ∩ G_j| / (|G_i|·|G_j|)` — m×m, symmetric PSD,
 /// * `A_ij = |B_i ∩ G_j| / |G_j|` — one row per constraint, with row 0 the
 ///   implicit full-domain query `(B0, 1)` (every weight fully inside `B0`),
 /// * `s_i` — the observed selectivities.
+///
+/// The training path itself uses the grid-pruned [`build_qp_pruned`];
+/// this O(m²·d) transcription is retained as the equivalence-suite
+/// reference and the pre-optimization bench baseline.
 pub fn build_qp(_domain: &Domain, subpops: &[Rect], queries: &[ObservedQuery]) -> QpProblem {
     let m = subpops.len();
     let n = queries.len() + 1; // +1 for (B0, 1)
@@ -72,11 +99,18 @@ pub fn build_qp(_domain: &Domain, subpops: &[Rect], queries: &[ObservedQuery]) -
     QpProblem::new(q, a, s).expect("assembled shapes are consistent by construction")
 }
 
+/// Grid-pruned SoA assembly of the same QP; entries match [`build_qp`]
+/// exactly (see the [`crate::assembly`] module docs for the equivalence
+/// contract).
+pub fn build_qp_pruned(_domain: &Domain, subpops: &[Rect], queries: &[ObservedQuery]) -> QpProblem {
+    SubpopGrid::new(subpops).assemble_qp(queries)
+}
+
 /// Trains a uniform mixture model on `subpops` against `queries`.
 ///
 /// `method` selects the paper's analytic penalty solution or the iterative
 /// standard-QP baseline; `lambda` and `ridge_rel` only apply to the
-/// former.
+/// former. Assembly goes through the grid-pruned path either way.
 pub fn train(
     domain: &Domain,
     subpops: Vec<Rect>,
@@ -86,7 +120,7 @@ pub fn train(
     ridge_rel: f64,
 ) -> Result<(UniformMixtureModel, TrainReport), LinalgError> {
     let t0 = Instant::now();
-    let qp = build_qp(domain, &subpops, queries);
+    let qp = build_qp_pruned(domain, &subpops, queries);
     let assemble_time = t0.elapsed();
 
     let t1 = Instant::now();
@@ -106,8 +140,211 @@ pub fn train(
         solve_time,
         constraint_violation: qp.constraint_violation(&weights),
         iterations,
+        assembly_reused: false,
+        rows_appended: qp.num_constraints(),
     };
     Ok((UniformMixtureModel::new(subpops, weights), report))
+}
+
+/// Analytic trainer with cached assembly for incremental refines.
+///
+/// [`cold`](Self::cold) runs the full pruned assembly + factorization
+/// once and keeps `Q`, `A`, `AᵀA`, `Aᵀs`, and the factor. While the
+/// subpopulation set is unchanged, [`refine`](Self::refine) appends only
+/// the new queries' constraint rows — a rank-k symmetric update of the
+/// cached system — and solves through the cached factor (Woodbury
+/// correction). Once the pending rank passes
+/// [`WOODBURY_REFRESH_RANK`], the factor is refreshed from the
+/// incrementally-maintained system (one blocked factorization; still no
+/// Gram or assembly rebuild).
+///
+/// The cache holds O(m²) state (three m×m matrices at `m = 4000` ≈
+/// 384 MB) plus the growing n×m constraint matrix; it trades memory for
+/// refine latency by design.
+#[derive(Debug, Clone)]
+pub struct IncrementalTrainer {
+    subpops: Vec<Rect>,
+    grid: SubpopGrid,
+    q: DMatrix,
+    a: DMatrix,
+    s: Vec<f64>,
+    /// `AᵀA`, maintained by rank-1 updates as rows append.
+    gram: DMatrix,
+    /// `Aᵀs`, maintained alongside.
+    ats: Vec<f64>,
+    solver: RankUpdateSolver,
+    lambda: f64,
+    /// Absolute ridge ε baked into the cached system at the cold build;
+    /// refreshes reuse it so the answered system never shifts mid-cache.
+    ridge_abs: f64,
+    warm_refines: usize,
+}
+
+impl IncrementalTrainer {
+    /// Full (cold) build: pruned assembly, Gram, factorization, solve.
+    pub fn cold(
+        _domain: &Domain,
+        subpops: Vec<Rect>,
+        queries: &[ObservedQuery],
+        lambda: f64,
+        ridge_rel: f64,
+    ) -> Result<(Self, UniformMixtureModel, TrainReport), LinalgError> {
+        let m = subpops.len();
+        let t0 = Instant::now();
+        let grid = SubpopGrid::new(&subpops);
+        let q = grid.assemble_q();
+        let (a, s) = grid.assemble_a(queries);
+        let gram = a.gram();
+        let ats = a.t_matvec(&s);
+        let assemble_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        // The absolute ridge is derived once here (from the cold
+        // system's trace, exactly like `solve_analytic`) and reused by
+        // every factor refresh, so all of this trainer's refines answer
+        // for one well-defined system `Q + λAᵀA + εI` — recomputing the
+        // trace-relative ridge as the Gram grows would silently switch
+        // systems between refreshes. A cold rebuild re-derives it.
+        let mut system = Self::system_matrix(&q, &gram, lambda, 0.0);
+        let ridge_abs =
+            if ridge_rel > 0.0 { system.trace() / m.max(1) as f64 * ridge_rel } else { 0.0 };
+        if ridge_abs > 0.0 {
+            system.add_diagonal(ridge_abs);
+        }
+        // The solver's scale only matters for Woodbury appends; λ ≤ 0
+        // (the degenerate no-penalty setting the one-shot path also
+        // accepts) never appends — see `refine` — so any positive
+        // placeholder keeps construction valid.
+        let scale = if lambda > 0.0 { lambda } else { 1.0 };
+        let solver = RankUpdateSolver::new(&system, scale)?;
+        drop(system);
+        let trainer =
+            Self { subpops, grid, q, a, s, gram, ats, solver, lambda, ridge_abs, warm_refines: 0 };
+        let weights = trainer.solve_weights()?;
+        let solve_time = t1.elapsed();
+
+        let report = TrainReport {
+            num_subpops: m,
+            num_constraints: trainer.a.rows(),
+            assemble_time,
+            solve_time,
+            constraint_violation: trainer.violation(&weights),
+            iterations: 0,
+            assembly_reused: false,
+            rows_appended: trainer.a.rows(),
+        };
+        let model = UniformMixtureModel::new(trainer.subpops.clone(), weights);
+        Ok((trainer, model, report))
+    }
+
+    /// `M = Q + λAᵀA + εI` (ε absolute), the same algebra as
+    /// `solve_analytic` but fused into one pass over the two m×m
+    /// operands (three 128 MB streams at m=4000 instead of five).
+    fn system_matrix(q: &DMatrix, gram: &DMatrix, lambda: f64, ridge_abs: f64) -> DMatrix {
+        let data: Vec<f64> =
+            q.as_slice().iter().zip(gram.as_slice()).map(|(&qv, &gv)| qv + lambda * gv).collect();
+        let mut system = DMatrix::from_vec(q.rows(), q.cols(), data);
+        if ridge_abs > 0.0 {
+            system.add_diagonal(ridge_abs);
+        }
+        system
+    }
+
+    fn solve_weights(&self) -> Result<Vec<f64>, LinalgError> {
+        // rhs = λAᵀs
+        let rhs: Vec<f64> = self.ats.iter().map(|v| v * self.lambda).collect();
+        self.solver.solve(&rhs)
+    }
+
+    fn violation(&self, weights: &[f64]) -> f64 {
+        let aw = self.a.matvec(weights);
+        aw.iter().zip(&self.s).fold(0.0, |acc, (x, t)| acc.max((x - t).abs()))
+    }
+
+    /// Number of cached subpopulations `m`.
+    pub fn subpop_count(&self) -> usize {
+        self.subpops.len()
+    }
+
+    /// The cached supports.
+    pub fn subpops(&self) -> &[Rect] {
+        &self.subpops
+    }
+
+    /// Observed queries folded into the cached system so far (excluding
+    /// the implicit `(B0, 1)` row).
+    pub fn trained_queries(&self) -> usize {
+        self.a.rows() - 1
+    }
+
+    /// Warm refines served since the cold build.
+    pub fn warm_refines(&self) -> usize {
+        self.warm_refines
+    }
+
+    /// Warm refine: folds `new_queries`' constraint rows into the cached
+    /// system as a rank-k symmetric update and re-solves without
+    /// reassembling Q/A or recomputing the Gram product.
+    pub fn refine(
+        &mut self,
+        new_queries: &[ObservedQuery],
+    ) -> Result<(UniformMixtureModel, TrainReport), LinalgError> {
+        let m = self.subpops.len();
+        let t0 = Instant::now();
+        let mut scratch = self.grid.scratch();
+        let mut row = vec![0.0; m];
+        let mut nz: Vec<usize> = Vec::with_capacity(m);
+        // A batch that will cross the refresh threshold anyway skips the
+        // per-row cached solves entirely — they would be thrown away by
+        // the refresh below.
+        // Non-positive λ always refreshes: the Woodbury correction
+        // assumes a positive update scale, while a refactor of
+        // `Q + λAᵀA` is exact for any λ that factors.
+        let will_refresh = self.lambda <= 0.0
+            || self.solver.pending_rank() + new_queries.len() > WOODBURY_REFRESH_RANK;
+        for query in new_queries {
+            self.grid.constraint_row_into(&query.rect, &mut row, &mut scratch);
+            self.a.push_row(&row);
+            self.s.push(query.selectivity);
+            // Rank-1 symmetric update of AᵀA and Aᵀs over the row's
+            // support (constraint rows are sparse for narrow predicates).
+            nz.clear();
+            nz.extend(row.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, _)| i));
+            for &i in &nz {
+                let ri = row[i];
+                let g_row = self.gram.row_mut(i);
+                for &j in &nz {
+                    g_row[j] += ri * row[j];
+                }
+                self.ats[i] += query.selectivity * ri;
+            }
+            if !will_refresh {
+                self.solver.append_row(&row);
+            }
+        }
+        if will_refresh {
+            let system = Self::system_matrix(&self.q, &self.gram, self.lambda, self.ridge_abs);
+            self.solver.refresh(&system)?;
+        }
+        let assemble_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let weights = self.solve_weights()?;
+        let solve_time = t1.elapsed();
+        self.warm_refines += 1;
+
+        let report = TrainReport {
+            num_subpops: m,
+            num_constraints: self.a.rows(),
+            assemble_time,
+            solve_time,
+            constraint_violation: self.violation(&weights),
+            iterations: 0,
+            assembly_reused: true,
+            rows_appended: new_queries.len(),
+        };
+        Ok((UniformMixtureModel::new(self.subpops.clone(), weights), report))
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +412,18 @@ mod tests {
     }
 
     #[test]
+    fn pruned_qp_matches_naive_reference() {
+        let d = domain();
+        let subs = grid_subpops(&d);
+        let queries = quadrant_queries(&d);
+        let naive = build_qp(&d, &subs, &queries);
+        let pruned = build_qp_pruned(&d, &subs, &queries);
+        assert!(naive.q.max_abs_diff(&pruned.q) <= 1e-12);
+        assert!(naive.a.max_abs_diff(&pruned.a) <= 1e-12);
+        assert_eq!(naive.s, pruned.s);
+    }
+
+    #[test]
     fn analytic_training_satisfies_observations() {
         let d = domain();
         let queries = quadrant_queries(&d);
@@ -183,6 +432,8 @@ mod tests {
                 .unwrap();
         assert!(report.constraint_violation < 1e-3, "violation {}", report.constraint_violation);
         assert_eq!(report.iterations, 0);
+        assert!(!report.assembly_reused);
+        assert_eq!(report.rows_appended, report.num_constraints);
         // The model reproduces each training selectivity.
         for q in &queries {
             let est = model.estimate(&q.rect);
@@ -238,5 +489,82 @@ mod tests {
         let q1 = model.estimate(&Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]));
         let q2 = model.estimate(&Rect::from_bounds(&[(5.0, 10.0), (5.0, 10.0)]));
         assert!((q1 - q2).abs() < 0.05, "q1={q1} q2={q2}");
+    }
+
+    #[test]
+    fn incremental_refine_matches_from_scratch() {
+        let d = domain();
+        let subs = grid_subpops(&d);
+        let all = quadrant_queries(&d);
+        let (first, rest) = all.split_at(1);
+
+        // Cold on the first query, then warm refines folding the rest in
+        // one at a time.
+        let (mut trainer, _, cold_report) =
+            IncrementalTrainer::cold(&d, subs.clone(), first, 1e6, 0.0).unwrap();
+        assert!(!cold_report.assembly_reused);
+        let mut warm_model = None;
+        for q in rest {
+            let (model, report) = trainer.refine(std::slice::from_ref(q)).unwrap();
+            assert!(report.assembly_reused);
+            assert_eq!(report.rows_appended, 1);
+            warm_model = Some(model);
+        }
+        assert_eq!(trainer.trained_queries(), all.len());
+        assert_eq!(trainer.warm_refines(), rest.len());
+
+        // From-scratch rebuild over the same subpops and full query set.
+        let (scratch_model, _) =
+            train(&d, subs, &all, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+        let warm_model = warm_model.unwrap();
+        for (wi, ws) in warm_model.weights().iter().zip(scratch_model.weights()) {
+            assert!((wi - ws).abs() < 1e-7, "incremental {wi} vs scratch {ws}");
+        }
+    }
+
+    #[test]
+    fn zero_lambda_degenerate_setting_still_trains_incrementally() {
+        // λ = 0 is the no-penalty degenerate setting the one-shot path
+        // accepts (rhs = 0 ⇒ all-zero weights); the incremental trainer
+        // must reproduce it instead of erroring, via the always-refresh
+        // warm path.
+        let d = domain();
+        let subs = grid_subpops(&d);
+        let queries = quadrant_queries(&d);
+        let (scratch, _) =
+            train(&d, subs.clone(), &queries, TrainingMethod::AnalyticPenalty, 0.0, 0.0).unwrap();
+        let (mut trainer, _, _) =
+            IncrementalTrainer::cold(&d, subs, &queries[..1], 0.0, 0.0).unwrap();
+        let (warm_model, report) = trainer.refine(&queries[1..]).unwrap();
+        assert!(report.assembly_reused);
+        for (a, b) in warm_model.weights().iter().zip(scratch.weights()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn incremental_refresh_after_many_appends() {
+        let d = domain();
+        let subs = grid_subpops(&d);
+        let (mut trainer, _, _) =
+            IncrementalTrainer::cold(&d, subs.clone(), &[], 1e6, 0.0).unwrap();
+        // Push enough single-row refines to cross the Woodbury refresh
+        // threshold at least once.
+        let mut queries = Vec::new();
+        for i in 0..(WOODBURY_REFRESH_RANK + 8) {
+            let lo = (i % 7) as f64;
+            let q = ObservedQuery::new(
+                Rect::from_bounds(&[(lo, lo + 3.0), (0.5 * (i % 5) as f64, 6.0)]),
+                ((i % 4) as f64) * 0.2,
+            );
+            trainer.refine(std::slice::from_ref(&q)).unwrap();
+            queries.push(q);
+        }
+        let (warm_model, _) = trainer.refine(&[]).unwrap();
+        let (scratch_model, _) =
+            train(&d, subs, &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+        for (wi, ws) in warm_model.weights().iter().zip(scratch_model.weights()) {
+            assert!((wi - ws).abs() < 1e-6, "incremental {wi} vs scratch {ws}");
+        }
     }
 }

@@ -149,6 +149,11 @@ pub enum RefineOutcome {
         params: usize,
         /// Feedback constraints the training run used.
         constraints: usize,
+        /// True when the retrain reused cached training state and folded
+        /// only the new feedback in (an incremental/warm refine) instead
+        /// of rebuilding from scratch. Methods without an incremental
+        /// path always report `false`.
+        incremental: bool,
     },
     /// Nothing to do — no (new) feedback since the last refine, or the
     /// method trains incrementally inside `observe_batch`.
@@ -453,7 +458,12 @@ mod tests {
 
     #[test]
     fn refine_outcome_retrained_flag() {
-        assert!(RefineOutcome::Retrained { params: 4, constraints: 2 }.retrained());
+        assert!(
+            RefineOutcome::Retrained { params: 4, constraints: 2, incremental: false }.retrained()
+        );
+        assert!(
+            RefineOutcome::Retrained { params: 4, constraints: 2, incremental: true }.retrained()
+        );
         assert!(!RefineOutcome::UpToDate.retrained());
         assert!(!RefineOutcome::KeptPrior.retrained());
     }

@@ -21,12 +21,14 @@ pub mod cholesky;
 pub mod lu;
 pub mod matrix;
 pub mod qp;
+pub mod update;
 pub mod vector;
 
-pub use cholesky::{solve_spd, CholeskyFactor};
+pub use cholesky::{factor_spd, solve_spd, CholeskyFactor, CHOL_BLOCK};
 pub use lu::LuFactor;
 pub use matrix::DMatrix;
 pub use qp::{solve_analytic, AdmmQp, AdmmReport, QpProblem};
+pub use update::{RankUpdateSolver, WOODBURY_REFRESH_RANK};
 
 /// Errors surfaced by factorizations and solvers.
 #[derive(Debug, Clone, PartialEq)]

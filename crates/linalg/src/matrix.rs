@@ -109,6 +109,20 @@ impl DMatrix {
         &mut self.data
     }
 
+    /// Appends one row (the incremental trainer's constraint matrix
+    /// grows one observed query at a time).
+    ///
+    /// # Panics
+    /// Panics when `row.len() != cols` (on a non-empty matrix).
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "pushed row length must equal cols");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> DMatrix {
         let mut t = DMatrix::zeros(self.cols, self.rows);
@@ -162,23 +176,54 @@ impl DMatrix {
         out
     }
 
+    /// Output-row group width of [`gram`](Self::gram): `g` rows
+    /// `[i0, i0+GRAM_ROW_GROUP)` (a ≤2 MB suffix-triangular slab at
+    /// m=4000) absorb **all** input rows' contributions while
+    /// cache-resident, so the dominant read-modify-write stream over
+    /// `g` touches DRAM once total instead of once per input row.
+    pub const GRAM_ROW_GROUP: usize = 64;
+
     /// Gram product `selfᵀ · self` (an SPD `cols × cols` matrix), computed
     /// as a symmetric rank-k accumulation over rows.
+    ///
+    /// Zero entries on the left operand are skipped through per-row
+    /// nonzero lists (QuickSel's constraint rows are sparse-ish — most
+    /// predicates overlap a minority of subpopulations), and the
+    /// accumulation is grouped over output rows (see
+    /// [`GRAM_ROW_GROUP`](Self::GRAM_ROW_GROUP)) so one group's `g` slab
+    /// stays in cache across every input row. Per-entry accumulation
+    /// order is unchanged (input rows ascending), so the result is
+    /// identical to the straightforward row-at-a-time sweep.
     pub fn gram(&self) -> DMatrix {
         let n = self.cols;
         let mut g = DMatrix::zeros(n, n);
+        // Per-row nonzero column lists (ascending), computed once; the
+        // cursors advance monotonically as the groups sweep left→right.
+        let mut nz: Vec<u32> = Vec::new();
+        let mut nz_start = Vec::with_capacity(self.rows + 1);
+        nz_start.push(0usize);
         for r in 0..self.rows {
-            let row = self.row(r);
-            for i in 0..n {
-                let v = row[i];
-                if v == 0.0 {
-                    continue;
+            nz.extend(
+                self.row(r).iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, _)| i as u32),
+            );
+            nz_start.push(nz.len());
+        }
+        let mut cursor: Vec<usize> = nz_start[..self.rows].to_vec();
+        let mut i0 = 0;
+        while i0 < n {
+            let iend = (i0 + Self::GRAM_ROW_GROUP).min(n);
+            for r in 0..self.rows {
+                let row = self.row(r);
+                let mut c = cursor[r];
+                while c < nz_start[r + 1] && (nz[c] as usize) < iend {
+                    let i = nz[c] as usize;
+                    let g_row = &mut g.data[i * n + i..(i + 1) * n];
+                    crate::vector::axpy(row[i], &row[i..], g_row);
+                    c += 1;
                 }
-                let g_row = &mut g.data[i * n..(i + 1) * n];
-                for j in i..n {
-                    g_row[j] += v * row[j];
-                }
+                cursor[r] = c;
             }
+            i0 = iend;
         }
         // Mirror the upper triangle.
         for i in 0..n {
@@ -296,6 +341,22 @@ mod tests {
         let b = DMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
         a.add_scaled(2.0, &b);
         assert_eq!(a, DMatrix::from_rows(&[&[3.0, 2.0], &[2.0, 3.0]]));
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut a = DMatrix::zeros(0, 3);
+        a.push_row(&[1.0, 2.0, 3.0]);
+        a.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(a, DMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed row length must equal cols")]
+    fn push_row_rejects_ragged() {
+        let mut a = DMatrix::zeros(1, 3);
+        a.push_row(&[1.0]);
     }
 
     #[test]

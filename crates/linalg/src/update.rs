@@ -1,0 +1,273 @@
+//! Low-rank–updated SPD solving for incremental retraining.
+//!
+//! QuickSel's warm refine path keeps the Cholesky factor of the training
+//! system `M₀ = Q + λAᵀA + εI` cached between refines. When `k` new
+//! constraint rows `r₁..r_k` arrive and the subpopulation set is
+//! unchanged, the new system is a symmetric rank-k update
+//!
+//! ```text
+//! M = M₀ + λ·RᵀR,     R = [r₁; …; r_k]
+//! ```
+//!
+//! and `M x = b` is solved **without re-factoring** via the
+//! Sherman–Morrison–Woodbury identity:
+//!
+//! ```text
+//! M⁻¹ = M₀⁻¹ − M₀⁻¹Rᵀ (I/λ + R M₀⁻¹ Rᵀ)⁻¹ R M₀⁻¹
+//! ```
+//!
+//! Each appended row costs one cached triangular solve (`z = M₀⁻¹ r`,
+//! O(m²)); a solve then costs one triangular solve plus a k×k capacitance
+//! system — O(m²·k) total instead of the O(m³) re-factorization. The
+//! correction's conditioning degrades as `k` grows, so callers refresh
+//! (re-factor the updated system and clear the pending rows) once
+//! [`pending_rank`](RankUpdateSolver::pending_rank) passes a small limit;
+//! [`WOODBURY_REFRESH_RANK`] is the recommended bound.
+
+use crate::cholesky::{factor_spd, CholeskyFactor};
+use crate::matrix::DMatrix;
+use crate::vector::dot;
+use crate::LinalgError;
+
+/// Recommended maximum pending rank before callers should
+/// [`refresh`](RankUpdateSolver::refresh): beyond this the accumulated
+/// correction's cost (k cached solves per refresh cycle) and its
+/// conditioning stop paying for the skipped factorization.
+pub const WOODBURY_REFRESH_RANK: usize = 32;
+
+/// An SPD solver over a cached Cholesky factor plus a growing symmetric
+/// low-rank correction; see the module docs.
+#[derive(Debug, Clone)]
+pub struct RankUpdateSolver {
+    factor: CholeskyFactor,
+    /// Scale λ applied to every outer product `rᵀr`.
+    scale: f64,
+    /// Pending update rows `r_j` (each of length `order`), flattened.
+    rows: Vec<f64>,
+    /// Cached `z_j = M₀⁻¹ r_j`, flattened parallel to `rows`.
+    solved: Vec<f64>,
+    rank: usize,
+}
+
+impl RankUpdateSolver {
+    /// Factors `system` (with [`factor_spd`]'s semi-definite ridge
+    /// retries) and answers for it until rows are appended. `scale` is
+    /// the λ multiplying every appended outer product.
+    pub fn new(system: &DMatrix, scale: f64) -> Result<Self, LinalgError> {
+        if scale <= 0.0 || !scale.is_finite() {
+            return Err(LinalgError::ShapeMismatch { context: "update scale must be positive" });
+        }
+        Ok(Self {
+            factor: factor_spd(system)?,
+            scale,
+            rows: Vec::new(),
+            solved: Vec::new(),
+            rank: 0,
+        })
+    }
+
+    /// Order `m` of the system.
+    pub fn order(&self) -> usize {
+        self.factor.order()
+    }
+
+    /// Number of update rows folded in since the last factorization.
+    pub fn pending_rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Appends one symmetric update row: the solver now answers for
+    /// `M + scale·rᵀr`. Costs one cached triangular solve.
+    ///
+    /// # Panics
+    /// Panics when `row.len()` differs from the system order.
+    pub fn append_row(&mut self, row: &[f64]) {
+        let m = self.order();
+        assert_eq!(row.len(), m, "update row length must equal system order");
+        self.rows.extend_from_slice(row);
+        let mut z = row.to_vec();
+        self.factor.solve_in_place(&mut z);
+        self.solved.extend_from_slice(&z);
+        self.rank += 1;
+    }
+
+    /// Re-factors against the fully-updated `system` and clears the
+    /// pending rows. The caller maintains `system` incrementally (the
+    /// rank-k update applied to its cached copy), so no O(n·m²) Gram
+    /// rebuild is implied here — only the factorization itself.
+    pub fn refresh(&mut self, system: &DMatrix) -> Result<(), LinalgError> {
+        self.factor = factor_spd(system)?;
+        self.rows.clear();
+        self.solved.clear();
+        self.rank = 0;
+        Ok(())
+    }
+
+    /// Solves `(M₀ + scale·RᵀR) x = b` through the cached factor and the
+    /// Woodbury correction over the pending rows.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let m = self.order();
+        assert_eq!(b.len(), m, "rhs length mismatch");
+        let mut x = b.to_vec();
+        self.factor.solve_in_place(&mut x);
+        let k = self.rank;
+        if k == 0 {
+            return Ok(x);
+        }
+        // Capacitance C = I/scale + R·Z, with Z the cached solves.
+        let mut c = DMatrix::zeros(k, k);
+        for i in 0..k {
+            let ri = &self.rows[i * m..(i + 1) * m];
+            let crow = c.row_mut(i);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = dot(ri, &self.solved[j * m..(j + 1) * m]);
+            }
+            crow[i] += 1.0 / self.scale;
+        }
+        // t = R·(M₀⁻¹ b), u = C⁻¹ t.
+        let t: Vec<f64> = (0..k).map(|i| dot(&self.rows[i * m..(i + 1) * m], &x)).collect();
+        let u = factor_spd(&c)?.solve(&t);
+        // x -= Z·u.
+        for (i, &ui) in u.iter().enumerate() {
+            if ui == 0.0 {
+                continue;
+            }
+            for (xj, &zj) in x.iter_mut().zip(&self.solved[i * m..(i + 1) * m]) {
+                *xj -= zj * ui;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd(n: usize, seed: u64) -> DMatrix {
+        // Deterministic diagonally-dominant SPD matrix.
+        let mut a = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let h = ((i * 31 + j * 17 + seed as usize) % 13) as f64 * 0.05;
+                let v = h / (1.0 + (i as f64 - j as f64).abs());
+                a.add_to(i, j, v);
+                a.add_to(j, i, v);
+            }
+            a.add_to(i, i, 3.0);
+        }
+        a
+    }
+
+    /// Dense ground truth: explicitly form M₀ + λΣrᵀr and solve it.
+    fn dense_solve(m0: &DMatrix, lambda: f64, rows: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        let mut m = m0.clone();
+        for r in rows {
+            for (i, &ri) in r.iter().enumerate() {
+                for (j, &rj) in r.iter().enumerate() {
+                    m.add_to(i, j, lambda * ri * rj);
+                }
+            }
+        }
+        crate::cholesky::solve_spd(&m, b).unwrap()
+    }
+
+    #[test]
+    fn zero_rank_matches_plain_factor() {
+        let a = spd(9, 1);
+        let b: Vec<f64> = (0..9).map(|i| (i as f64) - 4.0).collect();
+        let s = RankUpdateSolver::new(&a, 10.0).unwrap();
+        assert_eq!(s.pending_rank(), 0);
+        let x = s.solve(&b).unwrap();
+        let xr = crate::cholesky::solve_spd(&a, &b).unwrap();
+        for (u, v) in x.iter().zip(&xr) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_k_update_matches_dense_rebuild() {
+        let n = 12;
+        let a = spd(n, 2);
+        let lambda = 1e3;
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|r| (0..n).map(|i| ((i * 7 + r * 11) % 10) as f64 * 0.1).collect())
+            .collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+
+        let mut s = RankUpdateSolver::new(&a, lambda).unwrap();
+        for r in &rows {
+            s.append_row(r);
+        }
+        assert_eq!(s.pending_rank(), 5);
+        let x = s.solve(&b).unwrap();
+        let xd = dense_solve(&a, lambda, &rows, &b);
+        for (u, v) in x.iter().zip(&xd) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn refresh_clears_pending_and_answers_for_new_system() {
+        let n = 8;
+        let a = spd(n, 3);
+        let lambda = 50.0;
+        let row: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1).collect();
+        let mut s = RankUpdateSolver::new(&a, lambda).unwrap();
+        s.append_row(&row);
+        // Maintain the dense system the way a caller would.
+        let mut updated = a.clone();
+        for (i, &ri) in row.iter().enumerate() {
+            for (j, &rj) in row.iter().enumerate() {
+                updated.add_to(i, j, lambda * ri * rj);
+            }
+        }
+        s.refresh(&updated).unwrap();
+        assert_eq!(s.pending_rank(), 0);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x = s.solve(&b).unwrap();
+        let xd = crate::cholesky::solve_spd(&updated, &b).unwrap();
+        for (u, v) in x.iter().zip(&xd) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_scale_rejected() {
+        let a = spd(4, 4);
+        assert!(RankUpdateSolver::new(&a, 0.0).is_err());
+        assert!(RankUpdateSolver::new(&a, f64::NAN).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Woodbury-corrected solves match the dense rank-k rebuild for
+        /// random update rows, including all-zero rows.
+        #[test]
+        fn prop_woodbury_matches_dense(
+            seed in 0u64..64,
+            rows in prop::collection::vec(prop::collection::vec(0.0..1.0f64, 10), 1..6),
+            b in prop::collection::vec(-2.0..2.0f64, 10),
+        ) {
+            let a = spd(10, seed);
+            let lambda = 100.0;
+            let mut s = RankUpdateSolver::new(&a, lambda).unwrap();
+            let mut dense_rows = Vec::new();
+            for (i, r) in rows.iter().enumerate() {
+                let mut r = r.clone();
+                if i == 0 {
+                    r.fill(0.0); // degenerate constraint row
+                }
+                s.append_row(&r);
+                dense_rows.push(r);
+            }
+            let x = s.solve(&b).unwrap();
+            let xd = dense_solve(&a, lambda, &dense_rows, &b);
+            for (u, v) in x.iter().zip(&xd) {
+                prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+            }
+        }
+    }
+}

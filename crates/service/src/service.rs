@@ -23,6 +23,10 @@ pub struct ServiceStats {
     pub queries_ingested: u64,
     /// Refines that produced a new model.
     pub refines: u64,
+    /// Of those, refines the learner served from cached training state
+    /// (warm/incremental refines — QuickSel's rank-k fast path). Always
+    /// ≤ `refines`; the gap is the cold-rebuild count.
+    pub incremental_refines: u64,
     /// Refines that failed (old snapshot kept serving).
     pub refine_failures: u64,
     /// Batches rejected before ingestion (invalid feedback).
@@ -38,6 +42,7 @@ impl ServiceStats {
             batches_ingested: self.batches_ingested + other.batches_ingested,
             queries_ingested: self.queries_ingested + other.queries_ingested,
             refines: self.refines + other.refines,
+            incremental_refines: self.incremental_refines + other.incremental_refines,
             refine_failures: self.refine_failures + other.refine_failures,
             rejected_batches: self.rejected_batches + other.rejected_batches,
         }
@@ -81,6 +86,7 @@ pub struct SelectivityService<L: SnapshotSource> {
     batches_ingested: AtomicU64,
     queries_ingested: AtomicU64,
     refines: AtomicU64,
+    incremental_refines: AtomicU64,
     refine_failures: AtomicU64,
     rejected_batches: AtomicU64,
     /// `queries_ingested` frozen at the last publish. Blend weights read
@@ -102,6 +108,7 @@ impl<L: SnapshotSource> SelectivityService<L> {
             batches_ingested: AtomicU64::new(0),
             queries_ingested: AtomicU64::new(0),
             refines: AtomicU64::new(0),
+            incremental_refines: AtomicU64::new(0),
             refine_failures: AtomicU64::new(0),
             rejected_batches: AtomicU64::new(0),
             published_queries: AtomicU64::new(0),
@@ -145,6 +152,7 @@ impl<L: SnapshotSource> SelectivityService<L> {
             batches_ingested: self.batches_ingested.load(SeqCst),
             queries_ingested: self.queries_ingested.load(SeqCst),
             refines: self.refines.load(SeqCst),
+            incremental_refines: self.incremental_refines.load(SeqCst),
             refine_failures: self.refine_failures.load(SeqCst),
             rejected_batches: self.rejected_batches.load(SeqCst),
         }
@@ -184,11 +192,18 @@ impl<L: SnapshotSource> SelectivityService<L> {
                 if o.retrained() || trained_during_ingest {
                     self.refines.fetch_add(1, SeqCst);
                 }
+                if let RefineOutcome::Retrained { incremental: true, .. } = o {
+                    self.incremental_refines.fetch_add(1, SeqCst);
+                }
                 self.publish(&learner);
                 if trained_during_ingest {
+                    // Retrains hidden inside `observe_batch` don't surface
+                    // a report, so they are conservatively counted as
+                    // non-incremental.
                     Ok(RefineOutcome::Retrained {
                         params: learner.param_count(),
                         constraints: batch.len(),
+                        incremental: false,
                     })
                 } else {
                     Ok(o)

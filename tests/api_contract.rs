@@ -106,9 +106,10 @@ fn refine_outcomes_are_observable() {
     // Real feedback: retrained with the (B0, 1) row counted.
     qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(0.0, 5.0), (0.0, 5.0)]), 0.8));
     match qs.refine().unwrap() {
-        RefineOutcome::Retrained { params, constraints } => {
+        RefineOutcome::Retrained { params, constraints, incremental } => {
             assert!(params > 0);
             assert_eq!(constraints, 3); // 2 observations + the (B0, 1) row
+            assert!(!incremental, "first successful refine is a cold build");
         }
         other => panic!("expected Retrained, got {other:?}"),
     }
