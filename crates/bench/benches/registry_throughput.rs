@@ -60,14 +60,16 @@ fn sharded(shards: usize) -> Arc<ShardedService<QuickSel>> {
     }))
 }
 
-/// Ingest the whole workload with one writer thread per shard; returns
-/// (elapsed seconds, queries ingested).
+/// Ingest the whole workload with one writer per shard, fanned out on a
+/// shard-sized workspace pool; returns (elapsed seconds, queries
+/// ingested).
 fn bench_ingest(shards: usize) -> (f64, u64) {
     let svc = sharded(shards);
     let feedback = workload(INGEST_QUERIES);
     let parts = svc.partition_batch(&feedback);
+    let pool = quicksel_parallel::ThreadPool::new(shards);
     let start = Instant::now();
-    std::thread::scope(|scope| {
+    pool.scope(|scope| {
         for (i, part) in parts.iter().enumerate() {
             let svc = Arc::clone(&svc);
             scope.spawn(move || {

@@ -226,7 +226,8 @@ fn main() {
 
     println!("  headline (m=4000): cold {headline_cold:.2}x, warm incremental {headline_warm:.1}x");
     let json = format!(
-        "{{\"bench\":\"train_throughput\",\"lambda\":{LAMBDA:e},\"grid\":[{}],\"headline_cold_speedup_m4000\":{headline_cold:.3},\"headline_warm_speedup_m4000\":{headline_warm:.3}}}",
+        "{{\"bench\":\"train_throughput\",\"meta\":{},\"lambda\":{LAMBDA:e},\"grid\":[{}],\"headline_cold_speedup_m4000\":{headline_cold:.3},\"headline_warm_speedup_m4000\":{headline_warm:.3}}}",
+        quicksel_bench::host_meta_json(),
         lines.join(",")
     );
     println!("{json}");

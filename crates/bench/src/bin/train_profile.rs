@@ -9,6 +9,13 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
+    // Spin the workspace pool up (thread creation + first wake) before
+    // the first timed stage, so one-time spin-up isn't attributed to
+    // whichever stage happens to fan out first.
+    let pool = quicksel_parallel::global();
+    pool.warm_up();
+    println!("threads      {:>8}", pool.threads());
+
     let m = 4000;
     let n = m / 4;
     let table = gaussian_table(3, 0.5, 20_000, 7171);

@@ -1,0 +1,48 @@
+//! Host/parallelism metadata for the machine-readable bench JSON.
+//!
+//! Every bench that writes a `target/bench-results/*.json` document
+//! embeds [`host_meta_json`] under a `"meta"` key, so `BENCH_*.json`
+//! trajectories collected on different machines (or different
+//! `QUICKSEL_THREADS` settings) stay comparable: a 2× headline on a
+//! 16-core box and a 1.0× on a 1-core CI runner are both *expected*,
+//! and the metadata is what tells them apart.
+
+/// One JSON object with the effective workspace-pool thread count, the
+/// host's advertised parallelism, any `QUICKSEL_THREADS` override, and
+/// the OS/arch pair. Forces the global pool into existence (and thereby
+/// warms it) on first call.
+pub fn host_meta_json() -> String {
+    let available =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let threads = quicksel_parallel::global().threads();
+    // Parse the override exactly like `quicksel_parallel::default_threads`
+    // does (emit it as a JSON number); an unparsable value had no effect
+    // on the pool and is reported as null rather than interpolated raw
+    // into the document.
+    let env = std::env::var("QUICKSEL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or_else(|| "null".to_string(), |n| n.max(1).to_string());
+    format!(
+        "{{\"threads\":{threads},\"available_parallelism\":{available},\
+         \"quicksel_threads_env\":{env},\"os\":\"{}\",\"arch\":\"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_has_the_comparability_keys() {
+        let meta = host_meta_json();
+        for key in
+            ["\"threads\":", "\"available_parallelism\":", "\"quicksel_threads_env\":", "\"os\":"]
+        {
+            assert!(meta.contains(key), "missing {key} in {meta}");
+        }
+        assert!(meta.starts_with('{') && meta.ends_with('}'));
+    }
+}

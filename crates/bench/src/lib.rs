@@ -11,11 +11,13 @@
 //! wins, by what rough factor, and where the curves cross.
 
 pub mod driver;
+pub mod host;
 pub mod methods;
 pub mod report;
 pub mod scale;
 
 pub use driver::{evaluate, run_query_driven, score, QueryDrivenRun};
+pub use host::host_meta_json;
 pub use methods::{make_estimator, MethodKind};
 pub use report::{fmt_duration_ms, fmt_pct, TextTable};
 pub use scale::Scale;

@@ -30,14 +30,35 @@
 //! pins this on random models including touching, degenerate, and
 //! clamped-edge supports.
 //!
+//! # Parallel assembly
+//!
+//! Both assembly loops fan out on the workspace pool
+//! ([`quicksel_parallel::current`]) when the row count clears the
+//! parallel gate (`PAR_MIN_ROWS`): `Q`'s rows and `A`'s constraint rows are written
+//! through **disjoint contiguous row slabs** (one deterministic chunk
+//! per task, each with its own [`GridScratch`]), and the symmetric
+//! mirror partitions by *target* row — writes land strictly in the
+//! lower triangle while reads come strictly from the upper, so no cell
+//! is ever touched twice. Per-row arithmetic is byte-for-byte the
+//! serial loop's, so parallel output equals serial output exactly
+//! (`tests/parallel_equivalence.rs` pins this at several thread
+//! counts); with one thread (or small `m`) the original serial loops
+//! run unchanged.
+//!
 //! [`FrozenModel`]: crate::batch::FrozenModel
 
 use quicksel_data::ObservedQuery;
 use quicksel_geometry::Rect;
 use quicksel_linalg::{DMatrix, QpProblem};
+use quicksel_parallel::SharedSlice;
 
 /// Tile edge for the symmetric mirror pass (upper → lower triangle).
 const MIRROR_TILE: usize = 64;
+
+/// Minimum rows per parallel chunk in the assembly loops: below this
+/// the per-task dispatch (plus a fresh [`GridScratch`]) costs more than
+/// the rows it covers, so smaller jobs stay on the serial path.
+const PAR_MIN_ROWS: usize = 32;
 
 /// Subpopulation supports frozen into SoA columns and binned into a
 /// uniform spatial grid; the assembly side's counterpart of the serving
@@ -308,44 +329,51 @@ impl SubpopGrid {
     pub fn assemble_q(&self) -> DMatrix {
         let m = self.len;
         let mut q = DMatrix::zeros(m, m);
-        let mut scratch = self.scratch();
-        for i in 0..m {
-            self.subpop_cell_range(i, &mut scratch.clo, &mut scratch.chi);
-            self.gather_cells(&mut scratch);
-            let row = q.row_mut(i);
-            row[i] = self.inv_vol[i];
-            for &zj in &scratch.cand {
-                let j = zj as usize;
-                if j <= i {
-                    continue;
-                }
-                let inter = self.pair_overlap(i, j);
-                if inter > 0.0 {
-                    row[j] = inter * self.inv_vol[i] * self.inv_vol[j];
-                }
+        let pool = quicksel_parallel::current();
+        // Candidate-pair tiles write disjoint row slabs, so the fan-out
+        // is bit-identical to the serial sweep.
+        let pieces = pool.chunks_for(m, PAR_MIN_ROWS);
+        pool.scope_slabs(q.as_mut_slice(), m, pieces, |rows, slab| {
+            let mut scratch = self.scratch();
+            for (k, i) in rows.enumerate() {
+                self.q_row_upper(i, &mut slab[k * m..(k + 1) * m], &mut scratch);
             }
-        }
-        // Mirror the upper triangle in cache-friendly tiles.
-        let data = q.as_mut_slice();
-        let mut i0 = 0;
-        while i0 < m {
-            let imax = (i0 + MIRROR_TILE).min(m);
-            let mut j0 = i0;
-            while j0 < m {
-                let jmax = (j0 + MIRROR_TILE).min(m);
-                for i in i0..imax {
-                    for j in j0.max(i + 1)..jmax {
-                        let v = data[i * m + j];
-                        if v != 0.0 {
-                            data[j * m + i] = v;
-                        }
-                    }
-                }
-                j0 = jmax;
-            }
-            i0 = imax;
-        }
+        });
+        self.mirror_upper_to_lower(q.as_mut_slice(), &pool);
         q
+    }
+
+    /// Fills row `i`'s diagonal and strict upper triangle (`j > i`),
+    /// exactly as one iteration of the serial assembly sweep.
+    fn q_row_upper(&self, i: usize, row: &mut [f64], scratch: &mut GridScratch) {
+        self.subpop_cell_range(i, &mut scratch.clo, &mut scratch.chi);
+        self.gather_cells(scratch);
+        row[i] = self.inv_vol[i];
+        for &zj in &scratch.cand {
+            let j = zj as usize;
+            if j <= i {
+                continue;
+            }
+            let inter = self.pair_overlap(i, j);
+            if inter > 0.0 {
+                row[j] = inter * self.inv_vol[i] * self.inv_vol[j];
+            }
+        }
+    }
+
+    /// Mirrors the upper triangle into the lower one in cache-friendly
+    /// tiles, partitioned by *target* row across the pool: every write
+    /// lands strictly below the diagonal while every read comes
+    /// strictly from above it, so concurrent chunks never touch the
+    /// same cell (pure copies — any order yields the same matrix).
+    fn mirror_upper_to_lower(&self, data: &mut [f64], pool: &quicksel_parallel::ThreadPool) {
+        let m = self.len;
+        let shared = SharedSlice::new(data);
+        let shared = &shared;
+        // SAFETY: `run_chunks` hands out disjoint target-row ranges
+        // (inline over the full range in the serial case) — see
+        // `mirror_rows`'s contract.
+        pool.run_chunks(m, PAR_MIN_ROWS * 2, |range| unsafe { mirror_rows(shared, m, range) });
     }
 
     /// Fills one `A` row (`A_j = |B∩G_j|/|G_j|`) for a predicate
@@ -399,11 +427,21 @@ impl SubpopGrid {
         let mut s = Vec::with_capacity(n);
         a.row_mut(0).fill(1.0);
         s.push(1.0);
-        let mut scratch = self.scratch();
-        for (qi, query) in queries.iter().enumerate() {
-            self.constraint_row_into(&query.rect, a.row_mut(qi + 1), &mut scratch);
-            s.push(query.selectivity);
-        }
+        let pool = quicksel_parallel::current();
+        // Grid-pruned rows write disjoint slabs of A (row 0 is the
+        // implicit all-ones row, already written above).
+        let pieces = pool.chunks_for(queries.len(), PAR_MIN_ROWS);
+        pool.scope_slabs(&mut a.as_mut_slice()[m..], m, pieces, |rows, slab| {
+            let mut scratch = self.scratch();
+            for (k, qi) in rows.enumerate() {
+                self.constraint_row_into(
+                    &queries[qi].rect,
+                    &mut slab[k * m..(k + 1) * m],
+                    &mut scratch,
+                );
+            }
+        });
+        s.extend(queries.iter().map(|q| q.selectivity));
         (a, s)
     }
 
@@ -413,6 +451,35 @@ impl SubpopGrid {
         let q = self.assemble_q();
         let (a, s) = self.assemble_a(queries);
         QpProblem::new(q, a, s).expect("assembled shapes are consistent by construction")
+    }
+}
+
+/// Copies the strict upper triangle into the lower one for the target
+/// rows `j ∈ rows`, in [`MIRROR_TILE`]-sized tiles. Every write is a
+/// strict-lower cell `(j, i)` with `j` in `rows`; every read is a
+/// strict-upper cell `(i, j)` — no mirror invocation writes those.
+///
+/// # Safety
+/// Concurrent callers over the same matrix must use disjoint `rows`
+/// ranges and must not otherwise access the matrix.
+unsafe fn mirror_rows(data: &SharedSlice<'_, f64>, m: usize, rows: std::ops::Range<usize>) {
+    let mut j0 = rows.start;
+    while j0 < rows.end {
+        let jmax = (j0 + MIRROR_TILE).min(rows.end);
+        let mut i0 = 0;
+        while i0 < jmax {
+            let imax = (i0 + MIRROR_TILE).min(jmax);
+            for i in i0..imax {
+                for j in j0.max(i + 1)..jmax {
+                    let v = data.get(i * m + j);
+                    if v != 0.0 {
+                        data.set(j * m + i, v);
+                    }
+                }
+            }
+            i0 = imax;
+        }
+        j0 = jmax;
     }
 }
 

@@ -61,6 +61,13 @@ pub const SUBPOP_BLOCK: usize = 64;
 /// Rectangles processed per batch tile (see the module docs on blocking).
 pub const RECT_TILE: usize = 16;
 
+/// Minimum whole [`RECT_TILE`] groups per parallel chunk: planner-scale
+/// batches (hundreds+ of rects) fan out across the workspace pool,
+/// while small batches keep the serial kernel and its zero dispatch
+/// overhead. Each chunk writes its own disjoint slice of the output, so
+/// the fan-out cannot change a single result bit.
+const PAR_MIN_TILES: usize = 4;
+
 /// A [`UniformMixtureModel`] frozen into SoA column arrays, with batched
 /// estimation kernels. See the module docs for the layout and exactness
 /// invariants.
@@ -180,6 +187,16 @@ impl FrozenModel {
         self.kernel_into(rects.len(), &|i| &rects[i], out);
     }
 
+    /// Parallelism gate shared by the batched entry points: how many
+    /// chunks (of whole [`RECT_TILE`] groups) the current pool splits a
+    /// `count`-rect batch into. `<= 1` means the serial kernel runs.
+    fn par_pieces(&self, count: usize) -> usize {
+        if self.len == 0 {
+            return 1;
+        }
+        quicksel_parallel::current().chunks_for(count.div_ceil(RECT_TILE), PAR_MIN_TILES)
+    }
+
     /// Gather form of [`estimate_many`](Self::estimate_many): estimates
     /// `rects[indexes[k]]` for each `k`, in `indexes` order. This is
     /// what routed batch dispatch uses — regrouping a batch by shard
@@ -207,14 +224,64 @@ impl FrozenModel {
     /// (a direct slice index for `estimate_many_into`, an index-gather
     /// for `estimate_gather_into`). Callers have already dim-checked
     /// every rect `rect_at` can return.
-    fn kernel_into<'a>(
-        &self,
-        count: usize,
-        rect_at: &dyn Fn(usize) -> &'a Rect,
-        out: &mut Vec<f64>,
-    ) {
+    ///
+    /// Batches above the parallel gate split into chunks of whole
+    /// [`RECT_TILE`] groups across the workspace pool; each chunk runs
+    /// the identical serial kernel over its own disjoint output slice,
+    /// so batched results stay equal (`==`) to the scalar path at any
+    /// thread count.
+    fn kernel_into<'a, F>(&self, count: usize, rect_at: &F, out: &mut Vec<f64>)
+    where
+        F: Fn(usize) -> &'a Rect + Sync,
+    {
         out.clear();
-        out.reserve(count);
+        let pieces = self.par_pieces(count);
+        if pieces <= 1 {
+            // Serial: extend straight into the (reserved) spare
+            // capacity — the pre-parallelism path, no zero-fill pass.
+            out.reserve(count);
+            self.kernel_tiles(0, count, rect_at, |accs| {
+                out.extend(accs.iter().map(|a| a.clamp(0.0, 1.0)));
+            });
+            return;
+        }
+        out.resize(count, 0.0);
+        let tiles = count.div_ceil(RECT_TILE);
+        quicksel_parallel::current().scope(|s| {
+            let mut rest = out.as_mut_slice();
+            let mut start = 0;
+            for tile_range in quicksel_parallel::split_even(tiles, pieces) {
+                let end = (tile_range.end * RECT_TILE).min(count);
+                let (slab, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                let base = start;
+                s.spawn(move || {
+                    let mut off = 0;
+                    self.kernel_tiles(base, slab.len(), rect_at, |accs| {
+                        for (slot, acc) in slab[off..off + accs.len()].iter_mut().zip(accs) {
+                            *slot = acc.clamp(0.0, 1.0);
+                        }
+                        off += accs.len();
+                    });
+                });
+                start = end;
+            }
+        });
+    }
+
+    /// The serial blocked kernel over the rects `base..base + count`
+    /// (as resolved through `rect_at`), handing each finished tile's
+    /// raw accumulators to `sink` in order — the one tile loop behind
+    /// both the serial extend path and the parallel slab path.
+    fn kernel_tiles<'a, F>(
+        &self,
+        base: usize,
+        count: usize,
+        rect_at: &F,
+        mut sink: impl FnMut(&[f64]),
+    ) where
+        F: Fn(usize) -> &'a Rect + Sync,
+    {
         let mut ov = [0.0f64; SUBPOP_BLOCK];
         let mut t0 = 0;
         while t0 < count {
@@ -224,12 +291,12 @@ impl FrozenModel {
             while z0 < self.len {
                 let c = SUBPOP_BLOCK.min(self.len - z0);
                 for (j, acc) in accs[..tile_len].iter_mut().enumerate() {
-                    self.overlap_block(rect_at(t0 + j), z0, &mut ov[..c]);
+                    self.overlap_block(rect_at(base + t0 + j), z0, &mut ov[..c]);
                     self.accumulate_block(z0, &ov[..c], acc);
                 }
                 z0 += c;
             }
-            out.extend(accs[..tile_len].iter().map(|a| a.clamp(0.0, 1.0)));
+            sink(&accs[..tile_len]);
             t0 += tile_len;
         }
     }

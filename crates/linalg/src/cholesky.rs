@@ -15,16 +15,38 @@
 //! implementation is kept as [`CholeskyFactor::new_reference`] for the
 //! equivalence suite and the `train_throughput` bench's pre-optimization
 //! baseline.
+//!
+//! # Parallel trailing update
+//!
+//! Per panel, the diagonal-block factorization stays serial (it is
+//! O(`CHOL_BLOCK`³) and strictly sequential), while the two O(n²)/O(n³)
+//! phases fan out on the workspace pool when the trailing row count
+//! clears the gate: the **panel solve** partitions its rows into
+//! disjoint contiguous slabs (plain `split_at_mut`), and the **trailing
+//! update** partitions output rows across jobs — each row's update
+//! reads only panel columns `[k0, k0+kb)` (finalized by the panel
+//! solve, never written during the update) and writes only its own
+//! row's trailing columns, so accesses are provably disjoint. Per-entry
+//! arithmetic (the same `dot`/`dot4` calls over the same slices) is
+//! unchanged, so the parallel factor equals the serial factor
+//! **exactly**, not just to tolerance — `tests/parallel_cholesky.rs`
+//! pins bitwise equality across thread counts.
 
 use crate::matrix::DMatrix;
 use crate::vector::{dot, dot4};
 use crate::LinalgError;
+use quicksel_parallel::SharedSlice;
 
 /// Panel width of the blocked factorization and the blocked substitution
 /// sweeps: wide enough that the trailing-update tiles amortize loop
 /// overhead and fill vector lanes, narrow enough that one panel tile
 /// (`CHOL_BLOCK²` doubles = 32 KiB) stays resident in L1.
 pub const CHOL_BLOCK: usize = 64;
+
+/// Minimum trailing rows per parallel chunk in the factorization's
+/// panel-solve and trailing-update fan-outs; below this the dispatch
+/// overhead beats the win and the serial loops run unchanged.
+const PAR_MIN_ROWS: usize = 16;
 
 /// A lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
 #[derive(Debug, Clone)]
@@ -50,10 +72,10 @@ impl CholeskyFactor {
             l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
         }
         let data = l.as_mut_slice();
-        // Scratch: the current factored diagonal block (row-major kb×kb)
-        // and one panel row, both L1-resident.
+        // Scratch: the current factored diagonal block (row-major
+        // kb×kb), L1-resident.
         let mut diag = [0.0f64; CHOL_BLOCK * CHOL_BLOCK];
-        let mut pbuf = [0.0f64; CHOL_BLOCK];
+        let pool = quicksel_parallel::current();
 
         let mut k0 = 0;
         while k0 < n {
@@ -92,13 +114,19 @@ impl CholeskyFactor {
 
             // 2. Panel solve: rows below the block solve
             //    L[i, k0..k0+kb] · diagᵀ = A[i, k0..k0+kb] by forward
-            //    substitution against the factored block.
-            for i in (k0 + kb)..n {
-                let row = &mut data[i * n + k0..i * n + k0 + kb];
-                for c in 0..kb {
-                    let v = row[c] - dot(&row[..c], &diag[c * kb..c * kb + c]);
-                    row[c] = v / diag[c * kb + c];
-                }
+            //    substitution against the factored block. Rows are
+            //    independent (each reads only `diag` and itself), so
+            //    they fan out as disjoint contiguous row slabs.
+            let below = k0 + kb;
+            let pieces = pool.chunks_for(n - below, PAR_MIN_ROWS * 2);
+            {
+                let diag = &diag;
+                let (_, rows) = data.split_at_mut(below * n);
+                pool.scope_slabs(rows, n, pieces, |range, slab| {
+                    for k in 0..range.end - range.start {
+                        panel_solve_row(&mut slab[k * n + k0..k * n + k0 + kb], diag, kb);
+                    }
+                });
             }
 
             // 3. Trailing update A22 -= P·Pᵀ, tiled over column blocks so
@@ -106,39 +134,22 @@ impl CholeskyFactor {
             //    streams past it. The inner kernel is the unrolled
             //    multi-accumulator `dot` — a single-chain reduction would
             //    pin the whole O(n³) bulk to scalar FP latency.
-            let mut jb = k0 + kb;
-            while jb < n {
-                let jl = CHOL_BLOCK.min(n - jb);
-                for i in jb..n {
-                    pbuf[..kb].copy_from_slice(&data[i * n + k0..i * n + k0 + kb]);
-                    let jmax = (jb + jl).min(i + 1);
-                    // Four output columns per step share the panel-row
-                    // loads (see `dot4`); scalar tail for the remainder.
-                    let mut j = jb;
-                    while j + 4 <= jmax {
-                        let s = {
-                            let base = |jj: usize| jj * n + k0;
-                            dot4(
-                                &pbuf[..kb],
-                                &data[base(j)..base(j) + kb],
-                                &data[base(j + 1)..base(j + 1) + kb],
-                                &data[base(j + 2)..base(j + 2) + kb],
-                                &data[base(j + 3)..base(j + 3) + kb],
-                            )
-                        };
-                        data[i * n + j] -= s[0];
-                        data[i * n + j + 1] -= s[1];
-                        data[i * n + j + 2] -= s[2];
-                        data[i * n + j + 3] -= s[3];
-                        j += 4;
-                    }
-                    while j < jmax {
-                        let s = dot(&pbuf[..kb], &data[j * n + k0..j * n + k0 + kb]);
-                        data[i * n + j] -= s;
-                        j += 1;
-                    }
-                }
-                jb += jl;
+            //
+            //    Output rows partition across the pool: every job writes
+            //    only its rows' trailing columns (`>= k0 + kb`) and reads
+            //    only panel columns `[k0, k0 + kb)` — finalized in step 2
+            //    and untouched here — so the fan-out is free of overlap
+            //    and per-entry arithmetic is identical to the serial
+            //    sweep (the equivalence suite pins exact equality).
+            {
+                let shared = SharedSlice::new(data);
+                let shared = &shared;
+                // SAFETY: `run_chunks` hands out disjoint row ranges
+                // (inline over the full range in the serial case) —
+                // see `trailing_update_rows`'s contract.
+                pool.run_chunks(n - below, PAR_MIN_ROWS, |range| unsafe {
+                    trailing_update_rows(shared, n, k0, kb, below + range.start..below + range.end)
+                });
             }
             k0 += kb;
         }
@@ -268,6 +279,73 @@ impl CholeskyFactor {
     /// diagnostics.
     pub fn log_det(&self) -> f64 {
         (0..self.l.rows()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Forward-substitutes one panel row against the factored diagonal
+/// block (`row` is the row's `[k0, k0+kb)` column slice, `diag` the
+/// L1-resident factored block). One iteration of the serial panel
+/// solve, shared verbatim by the serial and fanned-out paths.
+#[inline]
+fn panel_solve_row(row: &mut [f64], diag: &[f64; CHOL_BLOCK * CHOL_BLOCK], kb: usize) {
+    for c in 0..kb {
+        let v = row[c] - dot(&row[..c], &diag[c * kb..c * kb + c]);
+        row[c] = v / diag[c * kb + c];
+    }
+}
+
+/// The trailing update `A22 -= P·Pᵀ` restricted to output rows `rows`,
+/// with the serial sweep's exact tiling and `dot`/`dot4` kernels (see
+/// step 3 in [`CholeskyFactor::new`]). Writes touch only `rows`' cells
+/// at columns `>= k0 + kb`; reads touch only columns `[k0, k0 + kb)`,
+/// which no trailing update writes.
+///
+/// # Safety
+/// Concurrent callers over the same matrix must use disjoint `rows`
+/// ranges and must not otherwise access the matrix.
+unsafe fn trailing_update_rows(
+    data: &SharedSlice<'_, f64>,
+    n: usize,
+    k0: usize,
+    kb: usize,
+    rows: std::ops::Range<usize>,
+) {
+    // One L1-resident panel-row buffer per invocation (= per chunk).
+    let mut pbuf = [0.0f64; CHOL_BLOCK];
+    let mut jb = k0 + kb;
+    while jb < rows.end {
+        let jl = CHOL_BLOCK.min(n - jb);
+        for i in rows.start.max(jb)..rows.end {
+            pbuf[..kb].copy_from_slice(data.slice(i * n + k0..i * n + k0 + kb));
+            let jmax = (jb + jl).min(i + 1);
+            let out = data.slice_mut(i * n + jb..i * n + jmax);
+            // Four output columns per step share the panel-row loads
+            // (see `dot4`); scalar tail for the remainder.
+            let mut j = jb;
+            while j + 4 <= jmax {
+                let s = {
+                    let base = |jj: usize| jj * n + k0;
+                    dot4(
+                        &pbuf[..kb],
+                        data.slice(base(j)..base(j) + kb),
+                        data.slice(base(j + 1)..base(j + 1) + kb),
+                        data.slice(base(j + 2)..base(j + 2) + kb),
+                        data.slice(base(j + 3)..base(j + 3) + kb),
+                    )
+                };
+                out[j - jb] -= s[0];
+                out[j - jb + 1] -= s[1];
+                out[j - jb + 2] -= s[2];
+                out[j - jb + 3] -= s[3];
+                j += 4;
+            }
+            while j < jmax {
+                let s = dot(&pbuf[..kb], data.slice(j * n + k0..j * n + k0 + kb));
+                out[j - jb] -= s;
+                j += 1;
+            }
+        }
+        jb += jl;
     }
 }
 

@@ -1,6 +1,7 @@
 //! Dense row-major matrices with the handful of kernels QuickSel needs.
 
 use crate::vector::dot;
+use quicksel_parallel::SharedSlice;
 use std::fmt;
 
 /// A dense row-major `rows × cols` matrix of `f64`.
@@ -194,6 +195,12 @@ impl DMatrix {
     /// stays in cache across every input row. Per-entry accumulation
     /// order is unchanged (input rows ascending), so the result is
     /// identical to the straightforward row-at-a-time sweep.
+    ///
+    /// Output-row groups fan out across the workspace pool (disjoint
+    /// contiguous slabs of `g`, one cursor vector per job seeded by
+    /// binary search instead of the serial sweep's carried cursors);
+    /// each output entry still accumulates input rows in ascending
+    /// order, so the parallel Gram equals the serial Gram exactly.
     pub fn gram(&self) -> DMatrix {
         let n = self.cols;
         let mut g = DMatrix::zeros(n, n);
@@ -208,16 +215,64 @@ impl DMatrix {
             );
             nz_start.push(nz.len());
         }
-        let mut cursor: Vec<usize> = nz_start[..self.rows].to_vec();
-        let mut i0 = 0;
-        while i0 < n {
-            let iend = (i0 + Self::GRAM_ROW_GROUP).min(n);
+        let pool = quicksel_parallel::current();
+        let groups = n.div_ceil(Self::GRAM_ROW_GROUP.max(1));
+        let pieces = pool.chunks_for(groups, 2);
+        {
+            let nz = &nz;
+            let nz_start = &nz_start;
+            pool.scope_slabs(&mut g.data, n, pieces, |range, slab| {
+                // Seed this job's cursors at its first output column;
+                // from there the sweep is the serial one. (The serial
+                // case seeds at column 0, where the seek is a no-op.)
+                let cursor: Vec<usize> = (0..nz_start.len() - 1)
+                    .map(|r| {
+                        let row_nz = &nz[nz_start[r]..nz_start[r + 1]];
+                        nz_start[r] + row_nz.partition_point(|&c| (c as usize) < range.start)
+                    })
+                    .collect();
+                self.gram_columns(slab, range.start, range.end, cursor, nz, nz_start);
+            });
+        }
+        // Mirror the upper triangle (pure copies: reads are strictly
+        // upper-triangle cells, writes strictly lower, so row chunks
+        // cannot overlap).
+        let shared = SharedSlice::new(&mut g.data);
+        let shared = &shared;
+        // SAFETY: `run_chunks` hands out disjoint target-row ranges
+        // (inline over the full range in the serial case) — see
+        // `mirror_lower_rows`'s contract.
+        pool.run_chunks(n, Self::GRAM_ROW_GROUP, |range| unsafe {
+            mirror_lower_rows(shared, n, range)
+        });
+        g
+    }
+
+    /// The Gram accumulation restricted to output columns `[c0, c1)`,
+    /// writing into `out` (the rows-`[c0, c1)` slab of the result,
+    /// `(c1 - c0) × cols` row-major). `cursor[r]` must index the first
+    /// entry of input row `r`'s nonzero list that is `>= c0`; group
+    /// sweeps then advance it exactly as the serial implementation
+    /// does.
+    fn gram_columns(
+        &self,
+        out: &mut [f64],
+        c0: usize,
+        c1: usize,
+        mut cursor: Vec<usize>,
+        nz: &[u32],
+        nz_start: &[usize],
+    ) {
+        let n = self.cols;
+        let mut i0 = c0;
+        while i0 < c1 {
+            let iend = (i0 + Self::GRAM_ROW_GROUP).min(c1);
             for r in 0..self.rows {
                 let row = self.row(r);
                 let mut c = cursor[r];
                 while c < nz_start[r + 1] && (nz[c] as usize) < iend {
                     let i = nz[c] as usize;
-                    let g_row = &mut g.data[i * n + i..(i + 1) * n];
+                    let g_row = &mut out[(i - c0) * n + i..(i - c0 + 1) * n];
                     crate::vector::axpy(row[i], &row[i..], g_row);
                     c += 1;
                 }
@@ -225,13 +280,6 @@ impl DMatrix {
             }
             i0 = iend;
         }
-        // Mirror the upper triangle.
-        for i in 0..n {
-            for j in 0..i {
-                g.data[i * n + j] = g.data[j * n + i];
-            }
-        }
-        g
     }
 
     /// `self += alpha * rhs` (element-wise).
@@ -265,6 +313,20 @@ impl DMatrix {
     pub fn max_abs_diff(&self, other: &DMatrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         self.data.iter().zip(&other.data).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+/// Copies the strict upper triangle into the lower one for target rows
+/// `i ∈ rows` (`data[i][j] = data[j][i]` for `j < i`).
+///
+/// # Safety
+/// Concurrent callers over the same matrix must use disjoint `rows`
+/// ranges and must not otherwise access the matrix.
+unsafe fn mirror_lower_rows(data: &SharedSlice<'_, f64>, n: usize, rows: std::ops::Range<usize>) {
+    for i in rows {
+        for j in 0..i {
+            data.set(i * n + j, data.get(j * n + i));
+        }
     }
 }
 

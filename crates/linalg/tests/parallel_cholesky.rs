@@ -1,0 +1,115 @@
+//! Parallel-vs-serial exact-equality suite for the blocked Cholesky
+//! and the Gram product.
+//!
+//! Unlike the blocked-vs-reference suite (which tolerates floating-
+//! point reassociation between two different algorithms), the parallel
+//! fan-out of `CholeskyFactor::new` and `DMatrix::gram` performs the
+//! **same per-entry arithmetic** as their serial forms — only the row
+//! ownership moves across threads — so the factors, solves, and Gram
+//! matrices must compare equal (`==`) at every thread count.
+
+use proptest::prelude::*;
+use quicksel_linalg::{CholeskyFactor, DMatrix, CHOL_BLOCK};
+use quicksel_parallel::{with_pool, ThreadPool};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Deterministic diagonally-dominant SPD matrix of order `n`.
+fn spd(n: usize, salt: u64) -> DMatrix {
+    let mut a = DMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let k = (i * n + j) as u64;
+            let v = 1.0 / (1.0 + (i as f64 - j as f64).abs())
+                + ((salt.wrapping_mul(k + 1) % 1000) as f64) * 1e-4;
+            a.set(i, j, v);
+            a.set(j, i, v);
+        }
+        a.add_to(i, i, 3.0);
+    }
+    a
+}
+
+/// Rectangular matrix with a sparse-ish pattern shaped like QuickSel's
+/// constraint rows (runs of zeros between overlap bands).
+fn constraint_like(rows: usize, cols: usize, salt: u64) -> DMatrix {
+    let mut a = DMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        let start = (r * 7 + salt as usize) % cols;
+        let span = 1 + (r * 11 + salt as usize) % (cols / 2 + 1);
+        for c in start..(start + span).min(cols) {
+            a.set(r, c, 0.01 * ((r + 2 * c + salt as usize) % 13) as f64 - 0.03);
+        }
+    }
+    a
+}
+
+fn assert_factor_thread_count_invariant(a: &DMatrix) {
+    let serial = with_pool(&ThreadPool::new(1), || CholeskyFactor::new(a).expect("spd"));
+    let rhs: Vec<f64> = (0..a.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let x_serial = serial.solve(&rhs);
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let parallel = with_pool(&pool, || CholeskyFactor::new(a).expect("spd"));
+        assert!(
+            serial.l().as_slice() == parallel.l().as_slice(),
+            "factor diverged at {threads} threads (order {})",
+            a.rows()
+        );
+        let x_parallel = with_pool(&pool, || parallel.solve(&rhs));
+        assert_eq!(x_serial, x_parallel, "solve diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn blocked_factor_is_thread_count_invariant() {
+    // Crosses several CHOL_BLOCK panels, deliberately not a multiple.
+    assert_factor_thread_count_invariant(&spd(CHOL_BLOCK * 3 + 17, 5));
+}
+
+#[test]
+fn small_orders_fall_back_to_serial_and_agree() {
+    for n in [1, 2, CHOL_BLOCK - 1, CHOL_BLOCK + 1] {
+        assert_factor_thread_count_invariant(&spd(n, 11));
+    }
+}
+
+#[test]
+fn gram_is_thread_count_invariant() {
+    let a = constraint_like(151, 3 * DMatrix::GRAM_ROW_GROUP + 9, 3);
+    let serial = with_pool(&ThreadPool::new(1), || a.gram());
+    for threads in THREAD_COUNTS {
+        let parallel = with_pool(&ThreadPool::new(threads), || a.gram());
+        assert!(serial.as_slice() == parallel.as_slice(), "gram diverged at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random SPD orders across the panel boundary: bitwise-identical
+    /// factors and solves at every thread count.
+    #[test]
+    fn prop_factor_thread_count_invariant(n in 65..180usize, salt in 0..1000u64) {
+        assert_factor_thread_count_invariant(&spd(n, salt));
+    }
+
+    /// Random constraint-shaped matrices: bitwise-identical Grams at
+    /// every thread count.
+    #[test]
+    fn prop_gram_thread_count_invariant(
+        rows in 20..120usize,
+        cols in 100..300usize,
+        salt in 0..1000u64,
+    ) {
+        let a = constraint_like(rows, cols, salt);
+        let serial = with_pool(&ThreadPool::new(1), || a.gram());
+        for threads in THREAD_COUNTS {
+            let parallel = with_pool(&ThreadPool::new(threads), || a.gram());
+            prop_assert!(
+                serial.as_slice() == parallel.as_slice(),
+                "gram diverged at {} threads", threads
+            );
+        }
+    }
+}

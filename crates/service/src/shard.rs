@@ -31,6 +31,14 @@ use std::sync::Arc;
 /// cross-shard blend instead of its owning shard alone.
 pub const DEFAULT_BLEND_THRESHOLD: f64 = 0.5;
 
+/// Minimum total gathered estimates in a batched read before per-shard
+/// groups fan out on the workspace pool; below this the snapshot
+/// evaluations run inline. Snapshots and blend weights are always
+/// resolved serially in shard order, and blend accumulation stays a
+/// serial fold in shard order, so the fan-out cannot change a result
+/// bit.
+const PAR_MIN_BATCH: usize = 64;
+
 /// Aggregated counters for one [`ShardedService`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardedStats {
@@ -272,15 +280,26 @@ impl<L: SnapshotSource> ShardedService<L> {
                 EstimateRoute::Shard(s) => per_shard[s].push(i),
             }
         }
-        for (shard, indexes) in per_shard.iter().enumerate() {
-            if indexes.is_empty() {
-                continue;
-            }
-            // Gather, don't clone: the group is an index list into the
-            // caller's batch and the snapshot estimates through it.
-            let estimates =
-                snapshot_for_shard(shard, indexes.len()).estimate_gather(rects, indexes);
-            for (&i, e) in indexes.iter().zip(estimates) {
+        // Resolve snapshots serially (the provider hook is `FnMut` and
+        // snapshot-load order is part of the coherence contract), then
+        // evaluate the per-shard groups — independent index lists into
+        // the caller's batch — concurrently on the workspace pool.
+        let groups: Vec<(&Vec<usize>, SharedSnapshot)> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, indexes)| !indexes.is_empty())
+            .map(|(shard, indexes)| {
+                let snapshot = snapshot_for_shard(shard, indexes.len());
+                (indexes, snapshot)
+            })
+            .collect();
+        // Gather, don't clone: each group is an index list into the
+        // caller's batch and the snapshot estimates through it.
+        let gathers: Vec<(&SharedSnapshot, &[usize])> =
+            groups.iter().map(|(indexes, snapshot)| (snapshot, indexes.as_slice())).collect();
+        let estimates = gather_groups(rects, &gathers);
+        for ((indexes, _), group_estimates) in groups.iter().zip(estimates) {
+            for (&i, e) in indexes.iter().zip(group_estimates) {
                 out[i] = e;
             }
         }
@@ -338,13 +357,27 @@ impl<L: SnapshotSource> ShardedService<L> {
 
     /// Gather form of the blend: blends `rects[indexes[k]]` for each
     /// `k`, loading every shard's snapshot (and blend weight) once.
+    ///
+    /// Per-shard snapshots evaluate **concurrently** on the workspace
+    /// pool (they are independent read-only models); the weighted
+    /// accumulation stays a serial fold in shard order, so the blended
+    /// numbers compare equal (`==`) to the serial sweep at any thread
+    /// count.
     fn blend_gather(&self, rects: &[Rect], indexes: &[usize]) -> Vec<f64> {
+        // Weights and snapshots load serially in shard order — one
+        // coherent (weight, model) pair per shard for the whole batch.
+        let loaded: Vec<(f64, SharedSnapshot)> = self
+            .shards
+            .iter()
+            .map(|shard| (1.0 + shard.published_queries() as f64, shard.snapshot()))
+            .collect();
+        let gathers: Vec<(&SharedSnapshot, &[usize])> =
+            loaded.iter().map(|(_, snapshot)| (snapshot, indexes)).collect();
+        let estimates = gather_groups(rects, &gathers);
         let mut num = vec![0.0; indexes.len()];
         let mut den = 0.0;
-        for shard in &self.shards {
-            let w = 1.0 + shard.published_queries() as f64;
-            let estimates = shard.snapshot().estimate_gather(rects, indexes);
-            for (n, e) in num.iter_mut().zip(&estimates) {
+        for ((w, _), shard_estimates) in loaded.iter().zip(&estimates) {
+            for (n, e) in num.iter_mut().zip(shard_estimates) {
                 *n += w * e;
             }
             den += w;
@@ -399,6 +432,31 @@ impl<L: SnapshotSource + Send + 'static> ShardedService<L> {
     fn note_backpressure(&self, shard: usize) {
         self.backpressure[shard].fetch_add(1, SeqCst);
     }
+}
+
+/// Evaluates `snapshot.estimate_gather(rects, indexes)` for every
+/// `(snapshot, indexes)` group — the one fan-out-or-inline dispatch
+/// both batched read paths share. Groups evaluate concurrently on the
+/// workspace pool when the total gathered count clears
+/// [`PAR_MIN_BATCH`]; results come back in group order either way, so
+/// callers' scatter/fold arithmetic (and therefore their exact-equality
+/// contracts) never depends on the dispatch choice.
+fn gather_groups(rects: &[Rect], groups: &[(&SharedSnapshot, &[usize])]) -> Vec<Vec<f64>> {
+    let mut estimates: Vec<Vec<f64>> = vec![Vec::new(); groups.len()];
+    let pool = quicksel_parallel::current();
+    let total: usize = groups.iter().map(|(_, indexes)| indexes.len()).sum();
+    if pool.threads() > 1 && groups.len() > 1 && total >= PAR_MIN_BATCH {
+        pool.scope(|s| {
+            for ((snapshot, indexes), slot) in groups.iter().zip(estimates.iter_mut()) {
+                s.spawn(move || *slot = snapshot.estimate_gather(rects, indexes));
+            }
+        });
+    } else {
+        for ((snapshot, indexes), slot) in groups.iter().zip(estimates.iter_mut()) {
+            *slot = snapshot.estimate_gather(rects, indexes);
+        }
+    }
+    estimates
 }
 
 /// A batch bounced by [`ShardedIngest::try_observe`] because a shard's

@@ -10,8 +10,11 @@
 //! one writer per shard retrains without contention while planner
 //! threads estimate lock-free — here through per-thread
 //! `CachedProvider`s that skip even the snapshot-swap atomics when the
-//! model version is unchanged.
+//! model version is unchanged. Writer fan-out goes through the
+//! workspace thread pool (`quicksel::parallel`), the same substrate the
+//! training and estimation kernels parallelize on.
 
+use quicksel::parallel::ThreadPool;
 use quicksel::prelude::*;
 use std::sync::Arc;
 use std::thread;
@@ -41,7 +44,9 @@ fn main() {
         .collect();
 
     // Write side: per-table feedback, pre-partitioned by owning shard,
-    // ingested by one writer thread per shard — the contention-free path.
+    // one writer per shard fanned out on a shard-sized pool — the
+    // contention-free path.
+    let writer_pool = ThreadPool::new(SHARDS);
     for (id, table) in &tables {
         let service = registry.get(id).expect("registered");
         let mut workload =
@@ -49,7 +54,7 @@ fn main() {
                 .with_width_frac(0.1, 0.4);
         let feedback = workload.take_queries(table, 120);
         let parts = service.partition_batch(&feedback);
-        thread::scope(|scope| {
+        writer_pool.scope(|scope| {
             for (shard, part) in parts.iter().enumerate() {
                 let service = Arc::clone(&service);
                 scope.spawn(move || {

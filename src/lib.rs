@@ -15,6 +15,9 @@
 //!   API, plus the per-thread [`CachedProvider`] read accelerator,
 //! * [`geometry`] — predicates, hyperrectangles, domains,
 //! * [`linalg`] — the dense solvers behind training,
+//! * [`parallel`] — the workspace thread pool the training and batched
+//!   estimation hot paths fan out on (`QUICKSEL_THREADS` to override
+//!   the size; results are identical at any thread count),
 //! * [`data`] — tables, synthetic datasets, workloads, metrics, and the
 //!   [`Estimate`]/[`Learn`] estimator contract,
 //! * [`baselines`] — STHoles, ISOMER, ISOMER+QP, QueryModel, AutoHist,
@@ -85,6 +88,7 @@ pub use quicksel_data as data;
 pub use quicksel_engine as engine;
 pub use quicksel_geometry as geometry;
 pub use quicksel_linalg as linalg;
+pub use quicksel_parallel as parallel;
 pub use quicksel_service as service;
 
 pub use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
