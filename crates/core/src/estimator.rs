@@ -4,6 +4,7 @@ use crate::batch::FrozenModel;
 use crate::config::{QuickSelConfig, RefinePolicy, TrainingMethod};
 use crate::model::UniformMixtureModel;
 use crate::snapshot::ModelSnapshot;
+use crate::state::{QuickSelState, StateError};
 use crate::subpop::{build_subpopulations, workload_points};
 use crate::train::{train, IncrementalTrainer, TrainReport};
 use quicksel_data::{
@@ -275,6 +276,112 @@ impl QuickSel {
     /// Convenience: estimate a conjunctive [`Predicate`].
     pub fn estimate_pred(&self, pred: &Predicate) -> f64 {
         self.estimate(&pred.to_rect(&self.domain))
+    }
+
+    /// Captures the estimator's complete learning state for persistence:
+    /// observed queries, the workload point pool, the trained model, the
+    /// RNG mid-stream, and the cached incremental trainer. Restoring the
+    /// capture with [`try_from_state`](Self::try_from_state) yields an
+    /// estimator that is *bit-identical* going forward — same estimates,
+    /// same models after any future feedback, and a **warm** first refine
+    /// (the trainer's cached assembly rides along).
+    ///
+    /// Transient diagnostics (`last_report`, `last_error`) are not
+    /// captured; they restore as `None`.
+    pub fn export_state(&self) -> QuickSelState {
+        QuickSelState {
+            domain: (*self.domain).clone(),
+            config: self.config.clone(),
+            queries: self.queries.clone(),
+            point_pool: self.point_pool.clone(),
+            model: self.model.as_deref().map(|m| (m.rects().to_vec(), m.weights().to_vec())),
+            rng_state: self.rng.state(),
+            pending_since_refine: self.pending_since_refine,
+            version: self.version,
+            trainer: self.trainer.as_ref().map(IncrementalTrainer::export_state),
+        }
+    }
+
+    /// Rebuilds an estimator from an exported capture, validating every
+    /// cross-field invariant first (dimensionalities, finite weights,
+    /// positive support volumes, trainer/query consistency). Inconsistent
+    /// captures — hand-edited, corrupted past the checksums, or from a
+    /// buggy encoder — reject with a typed [`StateError`] instead of
+    /// panicking in a model constructor downstream.
+    pub fn try_from_state(state: QuickSelState) -> Result<Self, StateError> {
+        let invalid = |context: &'static str| StateError::Invalid { context };
+        let dim = state.domain.dim();
+        for q in &state.queries {
+            if q.rect.dim() != dim {
+                return Err(invalid("observed query dimensionality differs from the domain"));
+            }
+            if !q.is_valid() {
+                return Err(invalid("observed query has an invalid selectivity"));
+            }
+        }
+        for p in &state.point_pool {
+            if p.len() != dim {
+                return Err(invalid("point pool entry dimensionality differs from the domain"));
+            }
+            if !p.iter().all(|x| x.is_finite()) {
+                return Err(invalid("point pool entry contains non-finite coordinates"));
+            }
+        }
+        let model = match state.model {
+            None => None,
+            Some((rects, weights)) => {
+                if rects.is_empty() || rects.len() != weights.len() {
+                    return Err(invalid("model supports and weights disagree in length"));
+                }
+                for r in &rects {
+                    if r.dim() != dim {
+                        return Err(invalid(
+                            "model support dimensionality differs from the domain",
+                        ));
+                    }
+                    let v = r.volume();
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(invalid("model support has non-positive volume"));
+                    }
+                }
+                if !weights.iter().all(|w| w.is_finite()) {
+                    return Err(invalid("model weights contain non-finite entries"));
+                }
+                Some(Arc::new(UniformMixtureModel::new(rects, weights)))
+            }
+        };
+        if model.is_none() && state.version != 0 {
+            return Err(invalid("nonzero training version without a trained model"));
+        }
+        if state.pending_since_refine > state.queries.len() {
+            return Err(invalid("pending feedback exceeds the observed-query history"));
+        }
+        let trainer = match state.trainer {
+            None => None,
+            Some(ts) => {
+                let t = IncrementalTrainer::try_from_state(ts)?;
+                if t.subpops().first().is_some_and(|r| r.dim() != dim) {
+                    return Err(invalid("trainer support dimensionality differs from the domain"));
+                }
+                if t.trained_queries() > state.queries.len() {
+                    return Err(invalid("trainer has folded in more queries than were observed"));
+                }
+                Some(t)
+            }
+        };
+        Ok(Self {
+            domain: Arc::new(state.domain),
+            config: state.config,
+            queries: state.queries,
+            point_pool: state.point_pool,
+            model,
+            rng: StdRng::from_state(state.rng_state),
+            pending_since_refine: state.pending_since_refine,
+            last_report: None,
+            last_error: None,
+            version: state.version,
+            trainer,
+        })
     }
 }
 

@@ -62,6 +62,7 @@ pub mod config;
 pub mod estimator;
 pub mod model;
 pub mod snapshot;
+pub mod state;
 pub mod subpop;
 pub mod train;
 
@@ -71,4 +72,5 @@ pub use config::{QuickSelConfig, RefinePolicy, TrainingMethod};
 pub use estimator::{QuickSel, QuickSelBuilder};
 pub use model::UniformMixtureModel;
 pub use snapshot::ModelSnapshot;
+pub use state::{QuickSelState, StateError, TrainerState};
 pub use train::{build_qp, build_qp_pruned, train, IncrementalTrainer, TrainReport};

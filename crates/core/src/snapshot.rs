@@ -58,6 +58,21 @@ impl ModelSnapshot {
         Self { domain, model, frozen, version, observed }
     }
 
+    /// Assembles a snapshot from externally-restored parts — the
+    /// durability layer's decode path, which reconstructs published
+    /// snapshots without a live estimator. The caller vouches that
+    /// `model` (if any) was validated; the same freezing as
+    /// [`QuickSel::snapshot`](crate::QuickSel::snapshot) applies, so the
+    /// rebuilt snapshot serves batched estimates identically.
+    pub fn from_parts(
+        domain: Arc<Domain>,
+        model: Option<Arc<UniformMixtureModel>>,
+        version: u64,
+        observed: usize,
+    ) -> Self {
+        Self::new(domain, model, version, observed)
+    }
+
     /// The training version this snapshot was taken at: 0 before the
     /// first successful refine, then incremented by each retrain.
     pub fn version(&self) -> u64 {

@@ -14,13 +14,21 @@
 use crate::assembly::SubpopGrid;
 use crate::config::TrainingMethod;
 use crate::model::UniformMixtureModel;
+use crate::state::{StateError, TrainerState};
 use quicksel_data::ObservedQuery;
 use quicksel_geometry::{Domain, Rect};
 use quicksel_linalg::{
-    solve_analytic, AdmmQp, DMatrix, LinalgError, QpProblem, RankUpdateSolver,
+    solve_analytic, AdmmQp, CholeskyFactor, DMatrix, LinalgError, QpProblem, RankUpdateSolver,
     WOODBURY_REFRESH_RANK,
 };
 use std::time::{Duration, Instant};
+
+/// Minimum rank-k fold size `k·m` before the warm-refine gram update fans
+/// out on the workspace pool; below this the serial sweep wins.
+const PAR_MIN_FOLD: usize = 32 * 1024;
+
+/// Minimum gram rows per parallel chunk in the rank-k fold.
+const PAR_MIN_FOLD_ROWS: usize = 64;
 
 /// Diagnostics from one training run.
 #[derive(Debug, Clone)]
@@ -293,7 +301,6 @@ impl IncrementalTrainer {
         let t0 = Instant::now();
         let mut scratch = self.grid.scratch();
         let mut row = vec![0.0; m];
-        let mut nz: Vec<usize> = Vec::with_capacity(m);
         // A batch that will cross the refresh threshold anyway skips the
         // per-row cached solves entirely — they would be thrown away by
         // the refresh below.
@@ -302,25 +309,38 @@ impl IncrementalTrainer {
         // `Q + λAᵀA` is exact for any λ that factors.
         let will_refresh = self.lambda <= 0.0
             || self.solver.pending_rank() + new_queries.len() > WOODBURY_REFRESH_RANK;
+        // Stage 1 (serial): constraint rows come out of the stateful grid
+        // scratch one at a time and append to `A`/`s` (and the solver when
+        // not refreshing). `Aᵀs` updates run here in the original
+        // per-row order; the rows and their nonzero lists are collected
+        // so the `AᵀA` updates below can fold as one rank-k batch.
+        let k = new_queries.len();
+        let mut rows_flat = Vec::with_capacity(k * m);
+        let mut nz_flat: Vec<usize> = Vec::new();
+        let mut nz_off = Vec::with_capacity(k + 1);
+        nz_off.push(0);
         for query in new_queries {
             self.grid.constraint_row_into(&query.rect, &mut row, &mut scratch);
             self.a.push_row(&row);
             self.s.push(query.selectivity);
-            // Rank-1 symmetric update of AᵀA and Aᵀs over the row's
-            // support (constraint rows are sparse for narrow predicates).
-            nz.clear();
-            nz.extend(row.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, _)| i));
-            for &i in &nz {
-                let ri = row[i];
-                let g_row = self.gram.row_mut(i);
-                for &j in &nz {
-                    g_row[j] += ri * row[j];
+            for (i, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    nz_flat.push(i);
+                    self.ats[i] += query.selectivity * v;
                 }
-                self.ats[i] += query.selectivity * ri;
             }
+            nz_off.push(nz_flat.len());
+            rows_flat.extend_from_slice(&row);
             if !will_refresh {
                 self.solver.append_row(&row);
             }
+        }
+        // Stage 2: the k rank-1 symmetric updates of `AᵀA`, batched into
+        // one rank-k fold that partitions gram rows across the workspace
+        // pool. Per gram entry the additions still run in query order, so
+        // the fold is bit-identical to the serial per-row sweep.
+        if k > 0 {
+            fold_rank_k_into_gram(&mut self.gram, &rows_flat, &nz_flat, &nz_off, m);
         }
         if will_refresh {
             let system = Self::system_matrix(&self.q, &self.gram, self.lambda, self.ridge_abs);
@@ -345,6 +365,143 @@ impl IncrementalTrainer {
         };
         Ok((UniformMixtureModel::new(self.subpops.clone(), weights), report))
     }
+
+    /// Captures the complete trainer state (supports, assembled system,
+    /// solver factor and pending rows) for persistence. Restoring through
+    /// [`try_from_state`](Self::try_from_state) yields a trainer whose
+    /// refines are bit-identical to this one's.
+    pub fn export_state(&self) -> TrainerState {
+        TrainerState {
+            subpops: self.subpops.clone(),
+            q: self.q.clone(),
+            a: self.a.clone(),
+            s: self.s.clone(),
+            gram: self.gram.clone(),
+            ats: self.ats.clone(),
+            factor_lower: self.solver.factor().l().clone(),
+            solver_scale: self.solver.scale(),
+            pending_rows: self.solver.pending_rows().to_vec(),
+            pending_solved: self.solver.pending_solved().to_vec(),
+            pending_rank: self.solver.pending_rank(),
+            lambda: self.lambda,
+            ridge_abs: self.ridge_abs,
+            warm_refines: self.warm_refines,
+        }
+    }
+
+    /// Rebuilds a trainer from an exported capture, validating every
+    /// structural invariant first — mismatched shapes, non-finite
+    /// entries, or degenerate supports reject with a typed
+    /// [`StateError`] instead of panicking downstream. The subpopulation
+    /// grid is rebuilt deterministically from the captured supports.
+    pub fn try_from_state(state: TrainerState) -> Result<Self, StateError> {
+        let invalid = |context: &'static str| StateError::Invalid { context };
+        let m = state.subpops.len();
+        if m == 0 {
+            return Err(invalid("trainer capture has no subpopulations"));
+        }
+        let dim = state.subpops[0].dim();
+        for r in &state.subpops {
+            if r.dim() != dim {
+                return Err(invalid("trainer supports disagree on dimensionality"));
+            }
+            let v = r.volume();
+            if !(v.is_finite() && v > 0.0) {
+                return Err(invalid("trainer support has non-positive volume"));
+            }
+        }
+        if state.q.rows() != m || state.q.cols() != m {
+            return Err(invalid("Q shape does not match the subpopulation count"));
+        }
+        if state.gram.rows() != m || state.gram.cols() != m {
+            return Err(invalid("AᵀA shape does not match the subpopulation count"));
+        }
+        if state.a.cols() != m {
+            return Err(invalid("A width does not match the subpopulation count"));
+        }
+        if state.a.rows() != state.s.len() || state.a.rows() == 0 {
+            return Err(invalid("A height does not match the selectivity vector"));
+        }
+        if state.ats.len() != m {
+            return Err(invalid("Aᵀs length does not match the subpopulation count"));
+        }
+        if state.factor_lower.rows() != m || state.factor_lower.cols() != m {
+            return Err(invalid("factor shape does not match the subpopulation count"));
+        }
+        let finite = |xs: &[f64]| xs.iter().all(|x| x.is_finite());
+        if !finite(state.q.as_slice())
+            || !finite(state.gram.as_slice())
+            || !finite(state.a.as_slice())
+            || !finite(&state.s)
+            || !finite(&state.ats)
+            || !finite(&state.pending_rows)
+            || !finite(&state.pending_solved)
+        {
+            return Err(invalid("trainer capture contains non-finite entries"));
+        }
+        if !(state.lambda.is_finite() && state.ridge_abs.is_finite() && state.ridge_abs >= 0.0) {
+            return Err(invalid("trainer capture has invalid lambda/ridge"));
+        }
+        let factor = CholeskyFactor::from_lower(state.factor_lower)
+            .map_err(|_| invalid("captured Cholesky factor is not a valid lower triangle"))?;
+        let solver = RankUpdateSolver::from_parts(
+            factor,
+            state.solver_scale,
+            state.pending_rows,
+            state.pending_solved,
+            state.pending_rank,
+        )
+        .map_err(|_| invalid("captured solver parts are inconsistent"))?;
+        let grid = SubpopGrid::new(&state.subpops);
+        Ok(Self {
+            subpops: state.subpops,
+            grid,
+            q: state.q,
+            a: state.a,
+            s: state.s,
+            gram: state.gram,
+            ats: state.ats,
+            solver,
+            lambda: state.lambda,
+            ridge_abs: state.ridge_abs,
+            warm_refines: state.warm_refines,
+        })
+    }
+}
+
+/// Folds `k` constraint rows into `gram += Σ_r r_rᵀ r_r` as one rank-k
+/// symmetric update, partitioning gram rows across the workspace pool.
+///
+/// **Exactness contract** (the PR-3/PR-5 discipline): for every gram
+/// entry `(i, j)` the contributions accumulate in query order
+/// `r = 0..k` — the same per-entry addition order as the serial rank-1
+/// sweep — and chunks write disjoint row slabs, so the fold compares
+/// equal (`==`) to the serial path at any thread count.
+fn fold_rank_k_into_gram(
+    gram: &mut DMatrix,
+    rows_flat: &[f64],
+    nz_flat: &[usize],
+    nz_off: &[usize],
+    m: usize,
+) {
+    let k = nz_off.len() - 1;
+    let pool = quicksel_parallel::current();
+    let pieces = if k * m >= PAR_MIN_FOLD { pool.chunks_for(m, PAR_MIN_FOLD_ROWS) } else { 1 };
+    pool.scope_slabs(gram.as_mut_slice(), m, pieces, |range, slab| {
+        for i in range.clone() {
+            let g_row = &mut slab[(i - range.start) * m..(i - range.start) * m + m];
+            for r in 0..k {
+                let row = &rows_flat[r * m..(r + 1) * m];
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for &j in &nz_flat[nz_off[r]..nz_off[r + 1]] {
+                    g_row[j] += ri * row[j];
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]

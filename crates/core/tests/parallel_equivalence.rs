@@ -182,3 +182,50 @@ proptest! {
         }
     }
 }
+
+/// Warm (incremental) refines fold each batch into the cached gram as
+/// one rank-k update fanned out over disjoint row slabs. The fold keeps
+/// per-entry addition order identical to the serial rank-1 sweep, so
+/// the whole warm-refine trajectory — gram, AᵀS, weights, estimates —
+/// must be bit-identical at every thread count.
+#[test]
+fn warm_refine_rank_k_fold_is_thread_count_invariant() {
+    use quicksel_core::{QuickSel, RefinePolicy};
+    use quicksel_data::{Estimate, Learn};
+
+    let drive = || {
+        let mut est = QuickSel::builder(domain(2))
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(600)
+            .seed(17)
+            .build();
+        // Cold train, then warm batches big enough (k·m = 64·600) that
+        // the parallel fold gate fires.
+        est.observe_batch(&queries(2, 150));
+        est.refine().expect("cold train");
+        for round in 0..3 {
+            let batch: Vec<ObservedQuery> =
+                queries(2, 64 * (round + 2)).split_off(64 * (round + 1));
+            est.observe_batch(&batch);
+            est.refine().expect("warm refine");
+            assert!(
+                est.last_report().expect("refine ran").assembly_reused,
+                "round {round} fell back to a cold rebuild"
+            );
+        }
+        let probes: Vec<Rect> = queries(2, 200).into_iter().map(|q| q.rect).collect();
+        let estimates: Vec<f64> = probes.iter().map(|r| est.estimate(r)).collect();
+        let state = est.export_state();
+        let trainer = state.trainer.expect("trained");
+        (estimates, trainer.gram, trainer.ats, state.model.expect("model").1)
+    };
+
+    let serial = with_pool(&ThreadPool::new(1), drive);
+    for threads in THREAD_COUNTS {
+        let parallel = with_pool(&ThreadPool::new(threads), drive);
+        assert_eq!(serial.0, parallel.0, "estimates diverged at {threads} threads");
+        assert!(serial.1 == parallel.1, "gram diverged at {threads} threads");
+        assert_eq!(serial.2, parallel.2, "AᵀS diverged at {threads} threads");
+        assert_eq!(serial.3, parallel.3, "weights diverged at {threads} threads");
+    }
+}

@@ -18,7 +18,7 @@
 //! reader threads.
 
 use crate::table::Table;
-use quicksel_geometry::{DnfRects, Rect};
+use quicksel_geometry::{DnfRects, Interval, Rect};
 use quicksel_linalg::LinalgError;
 use std::sync::Arc;
 
@@ -55,6 +55,40 @@ impl ObservedQuery {
     /// `[0, 1]`.
     pub fn is_valid(&self) -> bool {
         self.selectivity.is_finite() && (0.0..=1.0).contains(&self.selectivity)
+    }
+
+    /// Appends this observation's fixed wire encoding to `out`: the
+    /// dimensionality as a `u32`, then each side's `lo`/`hi` and finally
+    /// the selectivity as IEEE-754 bit patterns, all little-endian. The
+    /// encoding is exact — floats round-trip by bits, not by formatting —
+    /// so a WAL replay feeds the learner byte-identical feedback.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let sides = self.rect.sides();
+        out.extend_from_slice(&(sides.len() as u32).to_le_bytes());
+        for side in sides {
+            out.extend_from_slice(&side.lo.to_bits().to_le_bytes());
+            out.extend_from_slice(&side.hi.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.selectivity.to_bits().to_le_bytes());
+    }
+
+    /// Decodes one observation from the front of `bytes`, returning it
+    /// with the number of bytes consumed — `None` on a short or
+    /// structurally impossible buffer (never panics: WAL tails can be
+    /// torn mid-record by a crash).
+    pub fn decode_from(bytes: &[u8]) -> Option<(Self, usize)> {
+        let dim = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        let need = 4 + dim * 16 + 8;
+        if bytes.len() < need {
+            return None;
+        }
+        let f64_at = |off: usize| {
+            f64::from_bits(u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes")))
+        };
+        let sides =
+            (0..dim).map(|d| Interval::new(f64_at(4 + d * 16), f64_at(4 + d * 16 + 8))).collect();
+        let selectivity = f64_at(4 + dim * 16);
+        Some((Self { rect: Rect::new(sides), selectivity }, need))
     }
 }
 

@@ -203,6 +203,25 @@ impl CholeskyFactor {
         &self.l
     }
 
+    /// Rebuilds a factor from a previously-computed lower triangle (e.g.
+    /// one captured by [`l`](Self::l) for persistence). The matrix must
+    /// be square with finite, strictly positive diagonal entries — the
+    /// invariants every successful factorization guarantees — so a
+    /// restored factor solves exactly like the one it was captured from.
+    pub fn from_lower(l: DMatrix) -> Result<Self, LinalgError> {
+        let n = l.rows();
+        if l.cols() != n {
+            return Err(LinalgError::ShapeMismatch { context: "cholesky factor must be square" });
+        }
+        for i in 0..n {
+            let d = l.get(i, i);
+            if !(d.is_finite() && d > 0.0) {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i });
+            }
+        }
+        Ok(Self { l })
+    }
+
     /// Order `n` of the factored matrix.
     pub fn order(&self) -> usize {
         self.l.rows()

@@ -71,6 +71,51 @@ impl RankUpdateSolver {
         self.factor.order()
     }
 
+    /// The cached Cholesky factor of the base system `M₀`.
+    pub fn factor(&self) -> &CholeskyFactor {
+        &self.factor
+    }
+
+    /// The update scale λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Pending update rows, flattened (`pending_rank() × order()`).
+    pub fn pending_rows(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// Cached base-system solves `z_j = M₀⁻¹ r_j`, flattened parallel to
+    /// [`pending_rows`](Self::pending_rows).
+    pub fn pending_solved(&self) -> &[f64] {
+        &self.solved
+    }
+
+    /// Rebuilds a solver from captured parts (factor, scale, pending rows
+    /// and their cached solves) — the persistence counterpart of the
+    /// accessors above. Shapes are validated so a decoder can never
+    /// construct a solver whose correction arithmetic would index out of
+    /// bounds; the parts themselves are trusted to be a coherent capture.
+    pub fn from_parts(
+        factor: CholeskyFactor,
+        scale: f64,
+        rows: Vec<f64>,
+        solved: Vec<f64>,
+        rank: usize,
+    ) -> Result<Self, LinalgError> {
+        if scale <= 0.0 || !scale.is_finite() {
+            return Err(LinalgError::ShapeMismatch { context: "update scale must be positive" });
+        }
+        let m = factor.order();
+        if rows.len() != rank * m || solved.len() != rank * m {
+            return Err(LinalgError::ShapeMismatch {
+                context: "pending rows/solves must be rank × order",
+            });
+        }
+        Ok(Self { factor, scale, rows, solved, rank })
+    }
+
     /// Number of update rows folded in since the last factorization.
     pub fn pending_rank(&self) -> usize {
         self.rank
@@ -238,6 +283,36 @@ mod tests {
         let a = spd(4, 4);
         assert!(RankUpdateSolver::new(&a, 0.0).is_err());
         assert!(RankUpdateSolver::new(&a, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_solutions_exactly() {
+        let n = 10;
+        let a = spd(n, 5);
+        let mut s = RankUpdateSolver::new(&a, 25.0).unwrap();
+        for r in 0..3 {
+            let row: Vec<f64> = (0..n).map(|i| ((i * 5 + r * 3) % 7) as f64 * 0.2).collect();
+            s.append_row(&row);
+        }
+        let rebuilt = RankUpdateSolver::from_parts(
+            crate::cholesky::CholeskyFactor::from_lower(s.factor().l().clone()).unwrap(),
+            s.scale(),
+            s.pending_rows().to_vec(),
+            s.pending_solved().to_vec(),
+            s.pending_rank(),
+        )
+        .unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        assert_eq!(s.solve(&b).unwrap(), rebuilt.solve(&b).unwrap());
+        // Shape mismatches are rejected, not absorbed.
+        assert!(RankUpdateSolver::from_parts(
+            crate::cholesky::CholeskyFactor::from_lower(s.factor().l().clone()).unwrap(),
+            25.0,
+            vec![0.0; n],
+            vec![0.0; n],
+            2,
+        )
+        .is_err());
     }
 
     proptest! {

@@ -1,0 +1,433 @@
+//! Codecs for estimator state: [`QuickSelState`] (and everything it
+//! contains) to and from the sectioned container format.
+//!
+//! All floating-point values travel as IEEE-754 bit patterns, so a
+//! decode-encode round trip is byte-identical and a restored estimator
+//! reproduces its source **bit for bit** — the durability layer's
+//! equality contract leans entirely on this.
+//!
+//! Decoding validates structure (lengths, tags, bounds) and returns
+//! [`PersistError`] on anything inconsistent; semantic validation
+//! (positive volumes, finite weights, cross-field invariants) happens in
+//! [`QuickSel::try_from_state`], whose [`StateError`] is wrapped into
+//! [`PersistError::Invalid`]. Nothing in this module panics on corrupt
+//! input.
+//!
+//! [`QuickSel::try_from_state`]: quicksel_core::QuickSel::try_from_state
+//! [`StateError`]: quicksel_core::StateError
+
+use crate::format::{write_container, Container, PutBytes, Reader};
+use crate::PersistError;
+use quicksel_core::{QuickSelConfig, QuickSelState, RefinePolicy, TrainerState, TrainingMethod};
+use quicksel_data::ObservedQuery;
+use quicksel_geometry::{ColumnMeta, ColumnType, Domain, Interval, Rect};
+use quicksel_linalg::DMatrix;
+
+/// Magic of an estimator-state container.
+pub const STATE_MAGIC: [u8; 4] = *b"QSES";
+/// Current estimator-state format version.
+pub const STATE_VERSION: u16 = 1;
+
+const SEC_DOMAIN: [u8; 4] = *b"DOMN";
+const SEC_CONFIG: [u8; 4] = *b"CONF";
+const SEC_QUERIES: [u8; 4] = *b"QRYS";
+const SEC_POINTS: [u8; 4] = *b"PNTS";
+const SEC_MODEL: [u8; 4] = *b"MODL";
+const SEC_MISC: [u8; 4] = *b"MISC";
+const SEC_TRAINER: [u8; 4] = *b"TRNR";
+
+fn put_interval(out: &mut Vec<u8>, iv: &Interval) {
+    out.put_f64(iv.lo);
+    out.put_f64(iv.hi);
+}
+
+fn get_interval(r: &mut Reader<'_>) -> Result<Interval, PersistError> {
+    Ok(Interval::new(r.f64("interval lo")?, r.f64("interval hi")?))
+}
+
+fn put_rect(out: &mut Vec<u8>, rect: &Rect) {
+    out.put_u32(rect.sides().len() as u32);
+    for side in rect.sides() {
+        put_interval(out, side);
+    }
+}
+
+fn get_rect(r: &mut Reader<'_>) -> Result<Rect, PersistError> {
+    let dim = r.u32("rect dim")? as usize;
+    if dim.saturating_mul(16) > r.remaining() {
+        return Err(PersistError::Truncated { context: "rect sides" });
+    }
+    let sides = (0..dim).map(|_| get_interval(r)).collect::<Result<Vec<_>, _>>()?;
+    Ok(Rect::new(sides))
+}
+
+/// Encodes a [`Domain`] (column names, types, dictionaries, bounds).
+pub fn encode_domain(out: &mut Vec<u8>, domain: &Domain) {
+    out.put_u32(domain.columns().len() as u32);
+    for col in domain.columns() {
+        out.put_str(&col.name);
+        match &col.ty {
+            ColumnType::Real => out.put_u32(0),
+            ColumnType::Integer => out.put_u32(1),
+            ColumnType::Categorical(dict) => {
+                out.put_u32(2);
+                out.put_u32(dict.len() as u32);
+                for v in dict {
+                    out.put_str(v);
+                }
+            }
+        }
+        put_interval(out, &col.bounds);
+    }
+}
+
+/// Decodes a [`Domain`], rejecting (not panicking on) empty schemas and
+/// empty column bounds — the invariants `Domain::new` asserts.
+pub fn decode_domain(r: &mut Reader<'_>) -> Result<Domain, PersistError> {
+    let count = r.u32("column count")? as usize;
+    if count == 0 {
+        return Err(PersistError::Invalid { context: "domain has no columns" });
+    }
+    let mut columns = Vec::with_capacity(count.min(r.remaining()));
+    for _ in 0..count {
+        let name = r.str("column name")?;
+        let ty = match r.u32("column type tag")? {
+            0 => ColumnType::Real,
+            1 => ColumnType::Integer,
+            2 => {
+                let n = r.u32("dictionary length")? as usize;
+                if n.saturating_mul(4) > r.remaining() {
+                    return Err(PersistError::Truncated { context: "dictionary" });
+                }
+                let dict = (0..n).map(|_| r.str("dictionary entry")).collect::<Result<_, _>>()?;
+                ColumnType::Categorical(dict)
+            }
+            _ => return Err(PersistError::Invalid { context: "unknown column type tag" }),
+        };
+        let bounds = get_interval(r)?;
+        let len = bounds.length();
+        if len.is_nan() || len <= 0.0 {
+            return Err(PersistError::Invalid { context: "column bounds are empty" });
+        }
+        columns.push(ColumnMeta { name, ty, bounds });
+    }
+    Ok(Domain::new(columns))
+}
+
+fn put_config(out: &mut Vec<u8>, c: &QuickSelConfig) {
+    out.put_f64(c.lambda);
+    out.put_f64(c.ridge_rel);
+    out.put_usize(c.points_per_query);
+    out.put_usize(c.subpops_per_query);
+    out.put_usize(c.max_subpops);
+    out.put_usize(c.size_neighbors);
+    out.put_f64(c.overlap_factor);
+    match c.refine_policy {
+        RefinePolicy::EveryQuery => out.put_u32(0),
+        RefinePolicy::EveryK(k) => {
+            out.put_u32(1);
+            out.put_usize(k);
+        }
+        RefinePolicy::Manual => out.put_u32(2),
+    }
+    match c.training {
+        TrainingMethod::AnalyticPenalty => out.put_u32(0),
+        TrainingMethod::StandardQp => out.put_u32(1),
+    }
+    out.put_u64(c.seed);
+    out.put_usize(c.warm_refine_limit);
+}
+
+fn get_config(r: &mut Reader<'_>) -> Result<QuickSelConfig, PersistError> {
+    let lambda = r.f64("lambda")?;
+    let ridge_rel = r.f64("ridge_rel")?;
+    let points_per_query = r.usize("points_per_query")?;
+    let subpops_per_query = r.usize("subpops_per_query")?;
+    let max_subpops = r.usize("max_subpops")?;
+    let size_neighbors = r.usize("size_neighbors")?;
+    let overlap_factor = r.f64("overlap_factor")?;
+    let refine_policy = match r.u32("refine policy tag")? {
+        0 => RefinePolicy::EveryQuery,
+        1 => RefinePolicy::EveryK(r.usize("refine k")?),
+        2 => RefinePolicy::Manual,
+        _ => return Err(PersistError::Invalid { context: "unknown refine policy tag" }),
+    };
+    let training = match r.u32("training tag")? {
+        0 => TrainingMethod::AnalyticPenalty,
+        1 => TrainingMethod::StandardQp,
+        _ => return Err(PersistError::Invalid { context: "unknown training method tag" }),
+    };
+    let seed = r.u64("seed")?;
+    let warm_refine_limit = r.usize("warm_refine_limit")?;
+    Ok(QuickSelConfig {
+        lambda,
+        ridge_rel,
+        points_per_query,
+        subpops_per_query,
+        max_subpops,
+        size_neighbors,
+        overlap_factor,
+        refine_policy,
+        training,
+        seed,
+        warm_refine_limit,
+    })
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &DMatrix) {
+    out.put_usize(m.rows());
+    out.put_usize(m.cols());
+    for &v in m.as_slice() {
+        out.put_f64(v);
+    }
+}
+
+fn get_matrix(r: &mut Reader<'_>) -> Result<DMatrix, PersistError> {
+    let rows = r.usize("matrix rows")?;
+    let cols = r.usize("matrix cols")?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or(PersistError::Invalid { context: "matrix shape overflows" })?;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(PersistError::Truncated { context: "matrix data" });
+    }
+    let data = (0..n).map(|_| r.f64("matrix entry")).collect::<Result<Vec<_>, _>>()?;
+    Ok(DMatrix::from_vec(rows, cols, data))
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    out.put_usize(xs.len());
+    for &v in xs {
+        out.put_f64(v);
+    }
+}
+
+fn get_f64s(r: &mut Reader<'_>, context: &'static str) -> Result<Vec<f64>, PersistError> {
+    let n = r.bounded_len(8, context)?;
+    (0..n).map(|_| r.f64(context)).collect()
+}
+
+fn put_trainer(out: &mut Vec<u8>, t: &TrainerState) {
+    out.put_usize(t.subpops.len());
+    for rect in &t.subpops {
+        put_rect(out, rect);
+    }
+    put_matrix(out, &t.q);
+    put_matrix(out, &t.a);
+    put_f64s(out, &t.s);
+    put_matrix(out, &t.gram);
+    put_f64s(out, &t.ats);
+    put_matrix(out, &t.factor_lower);
+    out.put_f64(t.solver_scale);
+    put_f64s(out, &t.pending_rows);
+    put_f64s(out, &t.pending_solved);
+    out.put_usize(t.pending_rank);
+    out.put_f64(t.lambda);
+    out.put_f64(t.ridge_abs);
+    out.put_usize(t.warm_refines);
+}
+
+fn get_trainer(r: &mut Reader<'_>) -> Result<TrainerState, PersistError> {
+    let m = r.bounded_len(4, "subpop count")?;
+    let subpops = (0..m).map(|_| get_rect(r)).collect::<Result<Vec<_>, _>>()?;
+    let q = get_matrix(r)?;
+    let a = get_matrix(r)?;
+    let s = get_f64s(r, "selectivity vector")?;
+    let gram = get_matrix(r)?;
+    let ats = get_f64s(r, "ats vector")?;
+    let factor_lower = get_matrix(r)?;
+    let solver_scale = r.f64("solver scale")?;
+    let pending_rows = get_f64s(r, "pending rows")?;
+    let pending_solved = get_f64s(r, "pending solves")?;
+    let pending_rank = r.usize("pending rank")?;
+    let lambda = r.f64("trainer lambda")?;
+    let ridge_abs = r.f64("trainer ridge")?;
+    let warm_refines = r.usize("warm refines")?;
+    Ok(TrainerState {
+        subpops,
+        q,
+        a,
+        s,
+        gram,
+        ats,
+        factor_lower,
+        solver_scale,
+        pending_rows,
+        pending_solved,
+        pending_rank,
+        lambda,
+        ridge_abs,
+        warm_refines,
+    })
+}
+
+/// Serializes a [`QuickSelState`] capture into a sectioned, checksummed
+/// container ([`STATE_MAGIC`] / [`STATE_VERSION`]).
+pub fn encode_state(state: &QuickSelState) -> Vec<u8> {
+    let mut domain = Vec::new();
+    encode_domain(&mut domain, &state.domain);
+
+    let mut config = Vec::new();
+    put_config(&mut config, &state.config);
+
+    let mut queries = Vec::new();
+    queries.put_usize(state.queries.len());
+    for q in &state.queries {
+        q.encode_into(&mut queries);
+    }
+
+    let mut points = Vec::new();
+    points.put_usize(state.point_pool.len());
+    for p in &state.point_pool {
+        put_f64s(&mut points, p);
+    }
+
+    let mut model = Vec::new();
+    match &state.model {
+        None => model.put_u32(0),
+        Some((rects, weights)) => {
+            model.put_u32(1);
+            model.put_usize(rects.len());
+            for rect in rects {
+                put_rect(&mut model, rect);
+            }
+            put_f64s(&mut model, weights);
+        }
+    }
+
+    let mut misc = Vec::new();
+    for w in state.rng_state {
+        misc.put_u64(w);
+    }
+    misc.put_usize(state.pending_since_refine);
+    misc.put_u64(state.version);
+
+    let trainer = state.trainer.as_ref().map(|t| {
+        let mut buf = Vec::new();
+        put_trainer(&mut buf, t);
+        buf
+    });
+
+    let mut sections: Vec<([u8; 4], &[u8])> = vec![
+        (SEC_DOMAIN, &domain),
+        (SEC_CONFIG, &config),
+        (SEC_QUERIES, &queries),
+        (SEC_POINTS, &points),
+        (SEC_MODEL, &model),
+        (SEC_MISC, &misc),
+    ];
+    if let Some(t) = &trainer {
+        sections.push((SEC_TRAINER, t));
+    }
+    write_container(STATE_MAGIC, STATE_VERSION, &sections)
+}
+
+/// Parses an estimator-state container back into a [`QuickSelState`].
+/// Structural failures (bad magic, version skew, checksum mismatch,
+/// truncation) surface as their specific [`PersistError`] variants.
+pub fn decode_state(bytes: &[u8]) -> Result<QuickSelState, PersistError> {
+    let c = Container::open(STATE_MAGIC, STATE_VERSION, bytes)?;
+
+    let mut r = Reader::new(c.section(SEC_DOMAIN)?);
+    let domain = decode_domain(&mut r)?;
+
+    let mut r = Reader::new(c.section(SEC_CONFIG)?);
+    let config = get_config(&mut r)?;
+
+    let mut r = Reader::new(c.section(SEC_QUERIES)?);
+    let n = r.bounded_len(12, "query count")?;
+    let mut queries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rect = get_rect(&mut r)?;
+        let selectivity = r.f64("query selectivity")?;
+        queries.push(ObservedQuery { rect, selectivity });
+    }
+
+    let mut r = Reader::new(c.section(SEC_POINTS)?);
+    let n = r.bounded_len(8, "point count")?;
+    let point_pool =
+        (0..n).map(|_| get_f64s(&mut r, "point coordinates")).collect::<Result<Vec<_>, _>>()?;
+
+    let mut r = Reader::new(c.section(SEC_MODEL)?);
+    let model = match r.u32("model presence tag")? {
+        0 => None,
+        1 => {
+            let m = r.bounded_len(4, "model support count")?;
+            let rects = (0..m).map(|_| get_rect(&mut r)).collect::<Result<Vec<_>, _>>()?;
+            let weights = get_f64s(&mut r, "model weights")?;
+            Some((rects, weights))
+        }
+        _ => return Err(PersistError::Invalid { context: "unknown model presence tag" }),
+    };
+
+    let mut r = Reader::new(c.section(SEC_MISC)?);
+    let mut rng_state = [0u64; 4];
+    for w in &mut rng_state {
+        *w = r.u64("rng state word")?;
+    }
+    let pending_since_refine = r.usize("pending_since_refine")?;
+    let version = r.u64("training version")?;
+
+    let trainer = match c.section_opt(SEC_TRAINER)? {
+        None => None,
+        Some(bytes) => Some(get_trainer(&mut Reader::new(bytes))?),
+    };
+
+    Ok(QuickSelState {
+        domain,
+        config,
+        queries,
+        point_pool,
+        model,
+        rng_state,
+        pending_since_refine,
+        version,
+        trainer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_codec_round_trips_all_column_types() {
+        let domain = Domain::new(vec![
+            ColumnMeta {
+                name: "price".into(),
+                ty: ColumnType::Real,
+                bounds: Interval::new(-1.5, 99.25),
+            },
+            ColumnMeta {
+                name: "year".into(),
+                ty: ColumnType::Integer,
+                bounds: Interval::new(1990.0, 2031.0),
+            },
+            ColumnMeta {
+                name: "state".into(),
+                ty: ColumnType::Categorical(vec!["CA".into(), "MI".into()]),
+                bounds: Interval::new(0.0, 2.0),
+            },
+        ]);
+        let mut buf = Vec::new();
+        encode_domain(&mut buf, &domain);
+        let decoded = decode_domain(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, domain);
+    }
+
+    #[test]
+    fn empty_or_degenerate_domains_reject_with_typed_errors() {
+        let mut buf = Vec::new();
+        buf.put_u32(0); // zero columns
+        assert!(matches!(decode_domain(&mut Reader::new(&buf)), Err(PersistError::Invalid { .. })));
+
+        // One column with empty bounds: Domain::new would panic; the
+        // decoder must reject first.
+        let mut buf = Vec::new();
+        buf.put_u32(1);
+        buf.put_str("x");
+        buf.put_u32(0);
+        put_interval(&mut buf, &Interval::new(3.0, 3.0));
+        assert!(matches!(decode_domain(&mut Reader::new(&buf)), Err(PersistError::Invalid { .. })));
+    }
+}

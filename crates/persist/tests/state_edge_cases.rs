@@ -1,0 +1,218 @@
+//! Serialization edge cases for the estimator state format: every
+//! corruption mode returns a **typed** [`PersistError`] (never a
+//! panic), hostile states are rejected before they can violate core
+//! invariants, and valid states — including the degenerate ones —
+//! round-trip to bit-identical estimates.
+
+use proptest::prelude::*;
+use quicksel_core::{QuickSel, RefinePolicy, StateError};
+use quicksel_data::{Estimate, Learn, ObservedQuery};
+use quicksel_geometry::{Domain, Interval, Rect};
+use quicksel_persist::{decode_state, encode_state, PersistError, PersistLearner};
+
+fn domain() -> Domain {
+    Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+}
+
+fn learner(seed: u64) -> QuickSel {
+    QuickSel::builder(domain())
+        .refine_policy(RefinePolicy::Manual)
+        .fixed_subpops(24)
+        .seed(seed)
+        .build()
+}
+
+fn obs(k: usize) -> ObservedQuery {
+    let lo_x = (k * 13 % 70) as f64 * 0.1;
+    let lo_y = (k * 29 % 60) as f64 * 0.1;
+    let len = 0.8 + (k % 5) as f64 * 0.6;
+    let rect = Rect::from_bounds(&[(lo_x, lo_x + len), (lo_y, lo_y + len)]);
+    ObservedQuery::new(rect, (k % 10) as f64 * 0.1)
+}
+
+fn probes() -> Vec<Rect> {
+    (0..30)
+        .map(|k| {
+            let lo = (k * 7 % 80) as f64 * 0.1;
+            Rect::from_bounds(&[(lo, (lo + 1.5).min(10.0)), (0.0, 0.5 + (k % 9) as f64)])
+        })
+        .collect()
+}
+
+/// A trained estimator (cold train + warm refine), the richest state:
+/// model, trainer caches, RNG mid-stream, point pool.
+fn trained(seed: u64, batches: usize) -> QuickSel {
+    let mut est = learner(seed);
+    for b in 0..batches {
+        est.observe_batch(&(0..4).map(|j| obs(b * 4 + j)).collect::<Vec<_>>());
+        est.refine().expect("train");
+    }
+    est
+}
+
+#[test]
+fn empty_estimator_round_trips_exactly() {
+    // No feedback, no model, no trainer: the smallest valid state.
+    let est = learner(1);
+    let bytes = est.save_state().expect("save");
+    let restored = QuickSel::load_state(&bytes).expect("load");
+    for p in probes() {
+        assert_eq!(est.estimate(&p), restored.estimate(&p));
+    }
+    assert_eq!(restored.observed_count(), 0);
+    // And the restored copy trains on identically from there.
+    let mut a = est;
+    let mut b = restored;
+    a.observe_batch(&[obs(0), obs(1)]);
+    b.observe_batch(&[obs(0), obs(1)]);
+    a.refine().expect("train a");
+    b.refine().expect("train b");
+    for p in probes() {
+        assert_eq!(a.estimate(&p), b.estimate(&p));
+    }
+}
+
+#[test]
+fn trained_estimator_round_trips_exactly() {
+    let est = trained(5, 6);
+    let bytes = est.save_state().expect("save");
+    let restored = QuickSel::load_state(&bytes).expect("load");
+    for p in probes() {
+        assert_eq!(est.estimate(&p), restored.estimate(&p));
+    }
+    assert_eq!(est.observed_count(), restored.observed_count());
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let mut bytes = trained(2, 2).save_state().expect("save");
+    bytes[0..4].copy_from_slice(b"NOPE");
+    match QuickSel::load_state(&bytes).err() {
+        Some(PersistError::BadMagic { found, .. }) => assert_eq!(&found, b"NOPE"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let mut bytes = trained(2, 2).save_state().expect("save");
+    // The u16 version sits right after the 4-byte magic.
+    bytes[4] = 0xFF;
+    bytes[5] = 0x7F;
+    match QuickSel::load_state(&bytes).err() {
+        Some(PersistError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 0x7FFF);
+            assert!(supported < found);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_payload_fails_its_section_checksum() {
+    let est = trained(3, 4);
+    let clean = est.save_state().expect("save");
+    // Flip one byte near the end (deep in section payload, past the
+    // header) and demand a checksum rejection — not garbage data.
+    let mut bytes = clean.clone();
+    let k = bytes.len() - 9;
+    bytes[k] ^= 0x40;
+    match QuickSel::load_state(&bytes).err() {
+        Some(PersistError::CorruptChecksum { .. }) => {}
+        other => panic!("expected CorruptChecksum, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_truncation_point_is_a_typed_error_never_a_panic() {
+    let bytes = trained(4, 3).save_state().expect("save");
+    for cut in 0..bytes.len() {
+        match QuickSel::load_state(&bytes[..cut]).err() {
+            None => panic!("a strict prefix of {cut} bytes decoded successfully"),
+            Some(
+                PersistError::Truncated { .. }
+                | PersistError::CorruptChecksum { .. }
+                | PersistError::BadMagic { .. }
+                | PersistError::UnsupportedVersion { .. }
+                | PersistError::MissingSection { .. }
+                | PersistError::Invalid { .. },
+            ) => {}
+            Some(other) => panic!("unexpected error class at cut {cut}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hostile_states_are_rejected_before_reaching_the_core() {
+    let est = trained(6, 4);
+    let good = est.export_state();
+
+    // NaN weight: decodes (f64 bits round-trip NaN exactly) but must be
+    // rejected by state validation, not handed to the model.
+    let mut nan_weight = good.clone();
+    let (rects, mut weights) = nan_weight.model.clone().expect("trained");
+    weights[0] = f64::NAN;
+    nan_weight.model = Some((rects, weights));
+    assert!(matches!(QuickSel::try_from_state(nan_weight), Err(StateError::Invalid { .. })));
+
+    // Zero-volume subpopulation in the trainer: its |G_z| divisor is 0.
+    let mut flat_subpop = good.clone();
+    let trainer = flat_subpop.trainer.as_mut().expect("trained");
+    let lo = trainer.subpops[0].sides()[0].lo;
+    let mut sides = trainer.subpops[0].sides().to_vec();
+    sides[0] = Interval::new(lo, lo);
+    trainer.subpops[0] = Rect::new(sides);
+    assert!(matches!(QuickSel::try_from_state(flat_subpop), Err(StateError::Invalid { .. })));
+
+    // Trainer claiming more trained queries than the feedback log holds.
+    let mut short_log = good.clone();
+    short_log.queries.truncate(1);
+    short_log.pending_since_refine = 0;
+    assert!(matches!(QuickSel::try_from_state(short_log), Err(StateError::Invalid { .. })));
+
+    // The unmodified state still loads — the rejections above are about
+    // the mutations, not the fixture.
+    assert!(QuickSel::try_from_state(good).is_ok());
+}
+
+#[test]
+fn decode_encode_decode_is_a_fixed_point() {
+    let bytes = trained(8, 5).save_state().expect("save");
+    let state = decode_state(&bytes).expect("decode");
+    let re = encode_state(&state);
+    assert_eq!(bytes, re, "encoding is not canonical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random training histories round-trip to bit-identical estimates,
+    /// and keep producing identical estimates after further training.
+    #[test]
+    fn prop_state_round_trip_is_exact(
+        seed in 0..1000u64,
+        batches in 0..8usize,
+        extra in 1..4usize,
+    ) {
+        let est = trained(seed, batches);
+        let restored = QuickSel::load_state(&est.save_state().expect("save")).expect("load");
+        for p in probes() {
+            prop_assert_eq!(est.estimate(&p), restored.estimate(&p));
+        }
+        // Diverge-free continuation: same feedback → same trajectory.
+        let mut a = est;
+        let mut b = restored;
+        for e in 0..extra {
+            let batch: Vec<ObservedQuery> =
+                (0..3).map(|j| obs(1000 + e * 3 + j)).collect();
+            a.observe_batch(&batch);
+            b.observe_batch(&batch);
+            let ra = a.refine();
+            let rb = b.refine();
+            prop_assert_eq!(ra.is_ok(), rb.is_ok());
+        }
+        for p in probes() {
+            prop_assert_eq!(a.estimate(&p), b.estimate(&p));
+        }
+    }
+}

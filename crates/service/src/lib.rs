@@ -30,6 +30,14 @@
 //! * [`CachedProvider`] — a per-thread registry wrapper that re-uses
 //!   shard snapshots while the shard's version is unchanged, dropping
 //!   even the `ArcCell` atomics from repeated planner probes.
+//! * **Durability** (backed by [`quicksel_persist`]) —
+//!   [`SelectivityService::open_durable`] /
+//!   [`ShardedService::open_durable`] /
+//!   [`EstimatorRegistry::register_durable`] log every feedback batch to
+//!   a per-shard WAL, checkpoint learner state on configurable
+//!   thresholds, and recover exactly (checkpoint + WAL-tail replay)
+//!   after a crash; [`EstimatorRegistry::recover_from`] restores a whole
+//!   registry from its base directory.
 //!
 //! ```
 //! use quicksel_core::QuickSel;
@@ -68,9 +76,9 @@ pub mod shard;
 pub mod swap;
 
 pub use provider::{CachedProvider, CardinalityProvider, LearnerProvider, TableId};
-pub use registry::{EstimatorRegistry, RegistryStats};
+pub use registry::{EstimatorRegistry, RecoveryReport, RegistryStats};
 pub use service::{
-    IngestHandle, IngestRejection, SelectivityService, ServiceStats, SharedSnapshot,
+    IngestHandle, IngestRejection, SelectivityService, ServiceStats, ShardRecovery, SharedSnapshot,
 };
 pub use shard::{
     EstimateRoute, ShardRejection, ShardedIngest, ShardedService, ShardedStats,

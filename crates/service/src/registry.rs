@@ -6,19 +6,28 @@
 //! [`ShardedService`]s, so an engine serving many relations routes every
 //! planner probe and every feedback observation to the right table's
 //! estimator — and within the table, to the right shard. Registration is
-//! rare (DDL-frequency); estimation is constant. The table map therefore
-//! sits behind an `RwLock` taken in read mode on the hot path, and the
-//! per-thread [`CachedProvider`](crate::CachedProvider) removes even
-//! that read lock for repeated probes.
+//! rare (DDL-frequency); estimation is constant. The table map is
+//! therefore RCU: readers load an immutable `Arc<HashMap>` snapshot from
+//! an [`ArcCell`] without ever taking a lock, while `register`/`remove`
+//! serialize on a DDL mutex, clone the map, and atomically publish the
+//! successor — so a registration can never block (or be blocked by) the
+//! estimate hot path. The per-thread
+//! [`CachedProvider`](crate::CachedProvider) removes even the snapshot
+//! load for repeated probes.
 
 use crate::provider::{CardinalityProvider, TableId};
-use crate::service::ServiceStats;
+use crate::service::{ServiceStats, ShardRecovery};
 use crate::shard::{ShardedService, ShardedStats};
+use crate::swap::ArcCell;
 use quicksel_data::{ObservedQuery, SnapshotSource, Table};
 use quicksel_geometry::{Domain, Predicate, Rect};
+use quicksel_persist::format::{Container, PutBytes, Reader};
+use quicksel_persist::{codec, DurabilityOptions, PersistError, PersistLearner};
 use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 
 /// Registry-wide counters: aggregated ingestion stats plus the
 /// degradation signals ([`missing_table_probes`](Self::missing_table_probes),
@@ -38,6 +47,10 @@ pub struct RegistryStats {
     pub missing_table_probes: u64,
     /// Feedback observations dropped because their table is unregistered.
     pub dropped_feedback: u64,
+    /// Tables restored by [`EstimatorRegistry::recover_from`].
+    pub tables_recovered: u64,
+    /// Table directories skipped during recovery (unreadable meta).
+    pub recovery_skipped: u64,
     /// Per-table breakdowns, sorted by table id.
     pub per_table: Vec<(TableId, ShardedStats)>,
 }
@@ -59,13 +72,21 @@ pub struct RegistryStats {
 /// assert!((0.0..=1.0).contains(&sel));
 /// ```
 pub struct EstimatorRegistry<L: SnapshotSource> {
-    tables: RwLock<HashMap<TableId, Arc<ShardedService<L>>>>,
+    /// RCU map: readers load the current immutable snapshot lock-free;
+    /// writers clone-and-publish under [`Self::ddl`].
+    tables: ArcCell<HashMap<TableId, Arc<ShardedService<L>>>>,
+    /// Serializes `register`/`remove` (the `ArcCell` has no
+    /// compare-and-swap, so concurrent clone-mutate-publish cycles would
+    /// lose updates without it). Never held on the read path.
+    ddl: Mutex<()>,
     /// Bumped by every `register`/`remove`; caches key their table→service
     /// resolution on it so DDL invalidates them (see
     /// [`generation`](Self::generation)).
     generation: AtomicU64,
     missing_table_probes: AtomicU64,
     dropped_feedback: AtomicU64,
+    tables_recovered: AtomicU64,
+    recovery_skipped: AtomicU64,
 }
 
 impl<L: SnapshotSource> Default for EstimatorRegistry<L> {
@@ -78,11 +99,29 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
     /// An empty registry.
     pub fn new() -> Self {
         Self {
-            tables: RwLock::new(HashMap::new()),
+            tables: ArcCell::new(Arc::new(HashMap::new())),
+            ddl: Mutex::new(()),
             generation: AtomicU64::new(0),
             missing_table_probes: AtomicU64::new(0),
             dropped_feedback: AtomicU64::new(0),
+            tables_recovered: AtomicU64::new(0),
+            recovery_skipped: AtomicU64::new(0),
         }
+    }
+
+    /// Clone-and-publish one mutation of the table map under the DDL
+    /// mutex; returns whatever the mutation returns. Readers racing this
+    /// keep the previous snapshot until the `store` — they are never
+    /// blocked, and never observe a half-applied map.
+    fn mutate_tables<R>(
+        &self,
+        mutate: impl FnOnce(&mut HashMap<TableId, Arc<ShardedService<L>>>) -> R,
+    ) -> R {
+        let _ddl = self.ddl.lock().expect("registry ddl lock poisoned");
+        let mut next = (*self.tables.load()).clone();
+        let result = mutate(&mut next);
+        self.tables.store(Arc::new(next));
+        result
     }
 
     /// Monotone counter bumped by every [`register`](Self::register) /
@@ -94,9 +133,10 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
     }
 
     /// Registers (or replaces) `table`'s sharded service. Readers holding
-    /// the replaced service keep it alive until they drop it.
+    /// the replaced service keep it alive until they drop it; concurrent
+    /// estimates are never blocked (RCU publish).
     pub fn register(&self, table: impl Into<TableId>, service: Arc<ShardedService<L>>) {
-        self.tables.write().expect("registry table map poisoned").insert(table.into(), service);
+        self.mutate_tables(|tables| tables.insert(table.into(), service));
         self.generation.fetch_add(1, SeqCst);
     }
 
@@ -115,15 +155,16 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
         service
     }
 
-    /// The sharded service for `table`, if registered.
+    /// The sharded service for `table`, if registered. Lock-free: loads
+    /// the current RCU snapshot of the table map.
     pub fn get(&self, table: &TableId) -> Option<Arc<ShardedService<L>>> {
-        self.tables.read().expect("registry table map poisoned").get(table).cloned()
+        self.tables.load().get(table).cloned()
     }
 
     /// Deregisters `table`, returning its service (estimates for the
     /// table degrade to the conservative `1.0` from then on).
     pub fn remove(&self, table: &TableId) -> Option<Arc<ShardedService<L>>> {
-        let removed = self.tables.write().expect("registry table map poisoned").remove(table);
+        let removed = self.mutate_tables(|tables| tables.remove(table));
         if removed.is_some() {
             self.generation.fetch_add(1, SeqCst);
         }
@@ -132,15 +173,14 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
 
     /// Registered table ids, sorted.
     pub fn table_ids(&self) -> Vec<TableId> {
-        let mut ids: Vec<TableId> =
-            self.tables.read().expect("registry table map poisoned").keys().cloned().collect();
+        let mut ids: Vec<TableId> = self.tables.load().keys().cloned().collect();
         ids.sort();
         ids
     }
 
     /// Number of registered tables.
     pub fn len(&self) -> usize {
-        self.tables.read().expect("registry table map poisoned").len()
+        self.tables.load().len()
     }
 
     /// True when no table is registered.
@@ -151,7 +191,7 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
     /// Aggregated counters across every table and shard.
     pub fn stats(&self) -> RegistryStats {
         let mut per_table: Vec<(TableId, ShardedStats)> = {
-            let tables = self.tables.read().expect("registry table map poisoned");
+            let tables = self.tables.load();
             tables.iter().map(|(id, svc)| (id.clone(), svc.stats())).collect()
         };
         per_table.sort_by(|a, b| a.0.cmp(&b.0));
@@ -159,6 +199,8 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
             tables: per_table.len(),
             missing_table_probes: self.missing_table_probes.load(SeqCst),
             dropped_feedback: self.dropped_feedback.load(SeqCst),
+            tables_recovered: self.tables_recovered.load(SeqCst),
+            recovery_skipped: self.recovery_skipped.load(SeqCst),
             ..RegistryStats::default()
         };
         for (_, t) in &per_table {
@@ -169,6 +211,175 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
         stats.per_table = per_table;
         stats
     }
+}
+
+/// Table-meta container: magic + version for the `meta.qsm` file that
+/// pins a durable table's identity (name, shard count, domain) so
+/// [`EstimatorRegistry::recover_from`] can rebuild the registry without
+/// any out-of-band catalog.
+const TABLE_META_MAGIC: [u8; 4] = *b"QSTM";
+const TABLE_META_VERSION: u16 = 1;
+const TABLE_META_SECTION: [u8; 4] = *b"META";
+const TABLE_META_FILE: &str = "meta.qsm";
+
+struct TableMeta {
+    table: TableId,
+    shards: usize,
+    domain: Domain,
+}
+
+/// `<base>/tables/<sanitized-name>-<fnv64 hex>/`: readable on disk, and
+/// the hash suffix keeps two names that sanitize identically apart.
+fn table_dir(base_dir: &Path, table: &TableId) -> PathBuf {
+    let name = table.as_str();
+    let sanitized: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base_dir.join("tables").join(format!("{sanitized}-{hash:016x}"))
+}
+
+fn write_table_meta(
+    dir: &Path,
+    table: &TableId,
+    domain: &Domain,
+    shards: usize,
+) -> Result<(), PersistError> {
+    let mut body = Vec::new();
+    body.put_str(table.as_str());
+    body.put_usize(shards);
+    codec::encode_domain(&mut body, domain);
+    let bytes = quicksel_persist::format::write_container(
+        TABLE_META_MAGIC,
+        TABLE_META_VERSION,
+        &[(TABLE_META_SECTION, &body)],
+    );
+    let tmp = dir.join(format!("{TABLE_META_FILE}.tmp"));
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, dir.join(TABLE_META_FILE))?;
+    Ok(())
+}
+
+fn read_table_meta(dir: &Path) -> Result<TableMeta, PersistError> {
+    let bytes = fs::read(dir.join(TABLE_META_FILE))?;
+    let container = Container::open(TABLE_META_MAGIC, TABLE_META_VERSION, &bytes)?;
+    let mut r = Reader::new(container.section(TABLE_META_SECTION)?);
+    let name = r.str("table name")?;
+    let shards = r.usize("table shard count")?;
+    if shards == 0 {
+        return Err(PersistError::Invalid { context: "table meta has zero shards" });
+    }
+    let domain = codec::decode_domain(&mut r)?;
+    Ok(TableMeta { table: TableId::from(name.as_str()), shards, domain })
+}
+
+impl<L: SnapshotSource + PersistLearner> EstimatorRegistry<L> {
+    /// Builds, registers, **and persists** a durable sharded service for
+    /// `table` under `base_dir`: writes the table's `meta.qsm` (name,
+    /// shard count, domain) and opens per-shard WAL/checkpoint
+    /// directories through [`ShardedService::open_durable`]. Calling this
+    /// on a directory that already holds the table's state *recovers* it
+    /// instead of starting cold — and [`recover_from`](Self::recover_from)
+    /// restores every table registered this way in one call.
+    pub fn register_durable(
+        &self,
+        base_dir: &Path,
+        table: impl Into<TableId>,
+        domain: Domain,
+        shards: usize,
+        opts: DurabilityOptions,
+        make_learner: impl FnMut(usize) -> L,
+    ) -> Result<(Arc<ShardedService<L>>, ShardRecovery), PersistError> {
+        let table = table.into();
+        let dir = table_dir(base_dir, &table);
+        fs::create_dir_all(&dir)?;
+        write_table_meta(&dir, &table, &domain, shards)?;
+        let (service, recovery) =
+            ShardedService::open_durable(domain, shards, &dir, opts, make_learner)?;
+        let service = Arc::new(service);
+        self.register(table, Arc::clone(&service));
+        Ok((service, recovery))
+    }
+
+    /// Rebuilds a registry from everything
+    /// [`register_durable`](Self::register_durable) left under
+    /// `base_dir`: every readable table meta is recovered — latest valid
+    /// checkpoint per shard, WAL tail replayed through the normal ingest
+    /// path — and registered under its original [`TableId`].
+    /// `make_learner` supplies cold learners for shards with no usable
+    /// checkpoint (fresh shards, or all checkpoints corrupt).
+    ///
+    /// Table directories whose meta is unreadable are skipped and
+    /// counted in [`RegistryStats::recovery_skipped`], not fatal: one
+    /// corrupted table must not take down every other table's estimator.
+    pub fn recover_from(
+        base_dir: &Path,
+        opts: DurabilityOptions,
+        mut make_learner: impl FnMut(&TableId, &Domain, usize) -> L,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let registry = Self::new();
+        let mut report = RecoveryReport::default();
+        let tables_root = base_dir.join("tables");
+        let mut dirs: Vec<PathBuf> = match fs::read_dir(&tables_root) {
+            Ok(entries) => {
+                entries.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect()
+            }
+            Err(_) => Vec::new(), // no tables/ yet: an empty registry
+        };
+        dirs.sort();
+        for dir in dirs {
+            let meta = match read_table_meta(&dir) {
+                Ok(meta) => meta,
+                Err(_) => {
+                    report.tables_skipped += 1;
+                    registry.recovery_skipped.fetch_add(1, SeqCst);
+                    continue;
+                }
+            };
+            let (service, recovery) = ShardedService::open_durable(
+                meta.domain.clone(),
+                meta.shards,
+                &dir,
+                opts.clone(),
+                |shard| make_learner(&meta.table, &meta.domain, shard),
+            )?;
+            registry.register(meta.table.clone(), Arc::new(service));
+            registry.tables_recovered.fetch_add(1, SeqCst);
+            report.tables_recovered += 1;
+            report.shards = report.shards.merge(recovery);
+        }
+        Ok((registry, report))
+    }
+
+    /// Forces a checkpoint on every durable shard of every table.
+    /// Returns how many tables had at least one durable shard.
+    pub fn checkpoint_all(&self) -> Result<usize, PersistError> {
+        let tables = self.tables.load();
+        let mut durable_tables = 0;
+        for service in tables.values() {
+            if service.checkpoint_now()? {
+                durable_tables += 1;
+            }
+        }
+        Ok(durable_tables)
+    }
+}
+
+/// What [`EstimatorRegistry::recover_from`] found under a base
+/// directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Tables successfully recovered and registered.
+    pub tables_recovered: u64,
+    /// Table directories skipped (unreadable `meta.qsm`).
+    pub tables_skipped: u64,
+    /// Per-shard recovery outcomes, merged across all tables.
+    pub shards: ShardRecovery,
 }
 
 impl<L: SnapshotSource> CardinalityProvider for EstimatorRegistry<L> {

@@ -5,10 +5,13 @@ use quicksel_data::{
     Estimate, EstimatorError, ObservedQuery, RefineOutcome, SnapshotSource, Table,
 };
 use quicksel_geometry::Rect;
+use quicksel_persist::{DurabilityOptions, PersistError, PersistLearner, ShardDurability};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A shared, immutable model view; what [`SelectivityService::snapshot`]
 /// hands to reader threads.
@@ -31,6 +34,16 @@ pub struct ServiceStats {
     pub refine_failures: u64,
     /// Batches rejected before ingestion (invalid feedback).
     pub rejected_batches: u64,
+    /// Checkpoints written by the durability pipeline (lifetime count,
+    /// restored across recoveries; 0 when durability is off).
+    pub checkpoints_written: u64,
+    /// WAL bytes appended by this process.
+    pub wal_bytes: u64,
+    /// Rows replayed from the WAL during this process's recovery.
+    pub replayed_rows: u64,
+    /// Durability operations (WAL appends, checkpoints) that failed;
+    /// serving continues, the failure is only counted.
+    pub persist_failures: u64,
 }
 
 impl ServiceStats {
@@ -45,6 +58,10 @@ impl ServiceStats {
             incremental_refines: self.incremental_refines + other.incremental_refines,
             refine_failures: self.refine_failures + other.refine_failures,
             rejected_batches: self.rejected_batches + other.rejected_batches,
+            checkpoints_written: self.checkpoints_written + other.checkpoints_written,
+            wal_bytes: self.wal_bytes + other.wal_bytes,
+            replayed_rows: self.replayed_rows + other.replayed_rows,
+            persist_failures: self.persist_failures + other.persist_failures,
         }
     }
 }
@@ -94,6 +111,66 @@ pub struct SelectivityService<L: SnapshotSource> {
     /// them can only change when `version` changes (the cache contract:
     /// an unchanged version guarantees unchanged estimates).
     published_queries: AtomicU64,
+    checkpoints_written: AtomicU64,
+    wal_bytes: AtomicU64,
+    replayed_rows: AtomicU64,
+    persist_failures: AtomicU64,
+    durability: Option<DurabilityHook<L>>,
+}
+
+/// Mutable durability state, held under its own mutex (acquired only
+/// while the learner lock is already held, so lock order is fixed:
+/// learner → durability).
+struct DurabilityState {
+    shard: ShardDurability,
+    last_checkpoint: Instant,
+}
+
+/// Type-erased `PersistLearner::save_state`, captured at
+/// [`SelectivityService::open_durable`] time.
+type SaveFn<L> = Box<dyn Fn(&L) -> Result<Vec<u8>, PersistError> + Send + Sync>;
+
+/// Everything a service needs to persist its learner: the shard's
+/// WAL/checkpoint directory plus a type-erased `save` so the generic
+/// write path ([`SelectivityService::observe_batch`]) can checkpoint
+/// without a `PersistLearner` bound on every impl block.
+struct DurabilityHook<L> {
+    state: Mutex<DurabilityState>,
+    save: SaveFn<L>,
+}
+
+/// What [`SelectivityService::open_durable`] (and the shard/registry
+/// recovery entry points built on it) found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// A valid checkpoint was loaded (false = cold start from a fresh or
+    /// checkpoint-less directory).
+    pub recovered_from_checkpoint: bool,
+    /// WAL batches replayed through the normal ingest path.
+    pub replayed_batches: u64,
+    /// Observed queries across those batches.
+    pub replayed_rows: u64,
+    /// Replayed batches whose refine failed (the rows are still ingested).
+    pub replay_failures: u64,
+    /// Bytes of torn WAL tail discarded (crash mid-append).
+    pub truncated_wal_bytes: u64,
+    /// Corrupt/unreadable checkpoints skipped before a valid one loaded.
+    pub checkpoints_skipped: u64,
+}
+
+impl ShardRecovery {
+    /// Element-wise aggregation across shards/tables.
+    pub fn merge(self, other: ShardRecovery) -> ShardRecovery {
+        ShardRecovery {
+            recovered_from_checkpoint: self.recovered_from_checkpoint
+                || other.recovered_from_checkpoint,
+            replayed_batches: self.replayed_batches + other.replayed_batches,
+            replayed_rows: self.replayed_rows + other.replayed_rows,
+            replay_failures: self.replay_failures + other.replay_failures,
+            truncated_wal_bytes: self.truncated_wal_bytes + other.truncated_wal_bytes,
+            checkpoints_skipped: self.checkpoints_skipped + other.checkpoints_skipped,
+        }
+    }
 }
 
 impl<L: SnapshotSource> SelectivityService<L> {
@@ -112,6 +189,11 @@ impl<L: SnapshotSource> SelectivityService<L> {
             refine_failures: AtomicU64::new(0),
             rejected_batches: AtomicU64::new(0),
             published_queries: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            replayed_rows: AtomicU64::new(0),
+            persist_failures: AtomicU64::new(0),
+            durability: None,
         }
     }
 
@@ -155,6 +237,10 @@ impl<L: SnapshotSource> SelectivityService<L> {
             incremental_refines: self.incremental_refines.load(SeqCst),
             refine_failures: self.refine_failures.load(SeqCst),
             rejected_batches: self.rejected_batches.load(SeqCst),
+            checkpoints_written: self.checkpoints_written.load(SeqCst),
+            wal_bytes: self.wal_bytes.load(SeqCst),
+            replayed_rows: self.replayed_rows.load(SeqCst),
+            persist_failures: self.persist_failures.load(SeqCst),
         }
     }
 
@@ -175,17 +261,44 @@ impl<L: SnapshotSource> SelectivityService<L> {
     /// to this batch's size) rather than the explicit refine's
     /// `UpToDate`, and `stats().refines` counts the retrain.
     pub fn observe_batch(&self, batch: &[ObservedQuery]) -> Result<RefineOutcome, EstimatorError> {
+        self.observe_batch_inner(batch, true)
+    }
+
+    /// The shared ingest path. `log_wal` is false only during recovery
+    /// replay: the rows being re-applied already sit in the WAL, so they
+    /// must not be re-logged — and no checkpoint may be taken until the
+    /// replay finishes (the writer's sequence cursor is already past the
+    /// whole tail, so a mid-replay watermark would cover rows that have
+    /// not been applied yet).
+    fn observe_batch_inner(
+        &self,
+        batch: &[ObservedQuery],
+        log_wal: bool,
+    ) -> Result<RefineOutcome, EstimatorError> {
         if let Err(e) = quicksel_data::validate_batch(batch) {
             self.rejected_batches.fetch_add(1, SeqCst);
             return Err(e);
         }
         let mut learner = self.learner.lock().expect("service learner lock poisoned");
+        if log_wal {
+            if let Some(hook) = &self.durability {
+                let mut st = hook.state.lock().expect("durability lock poisoned");
+                match st.shard.log_batch(batch) {
+                    Ok(bytes) => {
+                        self.wal_bytes.fetch_add(bytes, SeqCst);
+                    }
+                    Err(_) => {
+                        self.persist_failures.fetch_add(1, SeqCst);
+                    }
+                }
+            }
+        }
         let version_before = learner.training_version();
         learner.observe_batch(batch);
         self.batches_ingested.fetch_add(1, SeqCst);
         self.queries_ingested.fetch_add(batch.len() as u64, SeqCst);
         let outcome = learner.refine();
-        match outcome {
+        let result = match outcome {
             Ok(o) => {
                 let trained_during_ingest =
                     !o.retrained() && learner.training_version() != version_before;
@@ -213,7 +326,92 @@ impl<L: SnapshotSource> SelectivityService<L> {
                 self.refine_failures.fetch_add(1, SeqCst);
                 Err(e)
             }
+        };
+        if log_wal {
+            self.maybe_checkpoint(&learner);
         }
+        result
+    }
+
+    /// Takes a checkpoint if the durability thresholds (row count or
+    /// elapsed interval, with at least one row pending) say one is due.
+    /// Called with the learner lock held so the saved state is exactly
+    /// what the WAL watermark covers.
+    fn maybe_checkpoint(&self, learner: &L) {
+        let Some(hook) = &self.durability else { return };
+        let mut st = hook.state.lock().expect("durability lock poisoned");
+        let rows = st.shard.rows_since_checkpoint();
+        if rows == 0 {
+            return;
+        }
+        let opts = st.shard.options();
+        let due = rows >= opts.checkpoint_rows
+            || st.last_checkpoint.elapsed() >= opts.checkpoint_interval;
+        if !due {
+            return;
+        }
+        if self.checkpoint_locked(hook, &mut st, learner).is_err() {
+            self.persist_failures.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn checkpoint_locked(
+        &self,
+        hook: &DurabilityHook<L>,
+        st: &mut DurabilityState,
+        learner: &L,
+    ) -> Result<(), PersistError> {
+        let bytes = (hook.save)(learner)?;
+        let counters = self.counter_array();
+        st.shard.write_checkpoint(&bytes, &counters)?;
+        st.last_checkpoint = Instant::now();
+        self.checkpoints_written.store(st.shard.stats().checkpoints_written, SeqCst);
+        Ok(())
+    }
+
+    /// The service counters persisted in each checkpoint's META section,
+    /// in the fixed order [`Self::restore_counters`] reads them back.
+    fn counter_array(&self) -> Vec<u64> {
+        vec![
+            self.batches_ingested.load(SeqCst),
+            self.queries_ingested.load(SeqCst),
+            self.refines.load(SeqCst),
+            self.incremental_refines.load(SeqCst),
+            self.refine_failures.load(SeqCst),
+            self.rejected_batches.load(SeqCst),
+            self.version.load(SeqCst),
+        ]
+    }
+
+    fn restore_counters(&self, counters: &[u64]) {
+        let get = |i: usize| counters.get(i).copied().unwrap_or(0);
+        self.batches_ingested.store(get(0), SeqCst);
+        self.queries_ingested.store(get(1), SeqCst);
+        self.refines.store(get(2), SeqCst);
+        self.incremental_refines.store(get(3), SeqCst);
+        self.refine_failures.store(get(4), SeqCst);
+        self.rejected_batches.store(get(5), SeqCst);
+        self.version.store(get(6), SeqCst);
+        // Publish happens under the learner lock before the lock is
+        // released, so at checkpoint time every ingested query had been
+        // published: the frozen counter equals the live one.
+        self.published_queries.store(get(1), SeqCst);
+    }
+
+    /// Forces a checkpoint now (learner state + counters + WAL rotation),
+    /// regardless of thresholds. Returns `Ok(false)` when the service has
+    /// no durability attached.
+    pub fn checkpoint_now(&self) -> Result<bool, PersistError> {
+        let Some(hook) = &self.durability else { return Ok(false) };
+        let learner = self.learner.lock().expect("service learner lock poisoned");
+        let mut st = hook.state.lock().expect("durability lock poisoned");
+        self.checkpoint_locked(hook, &mut st, &learner)?;
+        Ok(true)
+    }
+
+    /// True when this service was opened with durability attached.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 
     /// Forwards a data-churn notification to the learner and republishes
@@ -234,6 +432,56 @@ impl<L: SnapshotSource> SelectivityService<L> {
         self.current.store(learner.snapshot_shared());
         self.published_queries.store(self.queries_ingested.load(SeqCst), SeqCst);
         self.version.fetch_add(1, SeqCst);
+    }
+}
+
+impl<L: SnapshotSource + PersistLearner> SelectivityService<L> {
+    /// Opens a durable service at `dir`: recovers from the newest valid
+    /// checkpoint + WAL tail when the directory holds prior state,
+    /// otherwise starts fresh from `make_learner()`. Either way the
+    /// returned service logs every ingested batch to the WAL and
+    /// checkpoints on the thresholds in `opts`.
+    ///
+    /// Recovery is *exact*: the restored learner is the checkpointed one
+    /// bit for bit (including cached training state, so the first
+    /// post-recovery refine stays warm), and the WAL tail is replayed
+    /// through the normal ingest path with the original batch boundaries,
+    /// so counters, refine cadence, and estimates all land exactly where
+    /// the pre-crash process had them.
+    pub fn open_durable(
+        dir: &Path,
+        opts: DurabilityOptions,
+        make_learner: impl FnOnce() -> L,
+    ) -> Result<(Self, ShardRecovery), PersistError> {
+        let (shard, recovered) = ShardDurability::recover(dir, opts)?;
+        let recovered_from_checkpoint = recovered.learner_bytes.is_some();
+        let learner = match &recovered.learner_bytes {
+            Some(bytes) => L::load_state(bytes)?,
+            None => make_learner(),
+        };
+        let mut service = Self::new(learner);
+        service.restore_counters(&recovered.counters);
+        service.checkpoints_written.store(shard.stats().checkpoints_written, SeqCst);
+        service.durability = Some(DurabilityHook {
+            state: Mutex::new(DurabilityState { shard, last_checkpoint: Instant::now() }),
+            save: Box::new(|learner: &L| learner.save_state()),
+        });
+        let mut replay_failures = 0;
+        for batch in &recovered.batches {
+            if service.observe_batch_inner(batch, false).is_err() {
+                replay_failures += 1;
+            }
+        }
+        service.replayed_rows.store(recovered.replayed_rows, SeqCst);
+        let report = ShardRecovery {
+            recovered_from_checkpoint,
+            replayed_batches: recovered.batches.len() as u64,
+            replayed_rows: recovered.replayed_rows,
+            replay_failures,
+            truncated_wal_bytes: recovered.truncated_wal_bytes,
+            checkpoints_skipped: recovered.checkpoints_skipped,
+        };
+        Ok((service, report))
     }
 }
 

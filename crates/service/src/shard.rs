@@ -21,9 +21,13 @@
 //! shards instead: a weighted average of per-shard estimates, weighted
 //! by how much feedback each shard has ingested.
 
-use crate::service::{IngestHandle, SelectivityService, ServiceStats, SharedSnapshot};
+use crate::service::{
+    IngestHandle, SelectivityService, ServiceStats, ShardRecovery, SharedSnapshot,
+};
 use quicksel_data::{route_hash, EstimatorError, ObservedQuery, SnapshotSource, Table};
 use quicksel_geometry::{Domain, Rect};
+use quicksel_persist::{DurabilityOptions, PersistError, PersistLearner};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 
@@ -414,6 +418,61 @@ impl<L: SnapshotSource> ShardedService<L> {
             backpressure: self.backpressure.iter().map(|b| b.load(SeqCst)).collect(),
             total,
         }
+    }
+}
+
+impl<L: SnapshotSource + PersistLearner> ShardedService<L> {
+    /// Opens a durable sharded service under `base_dir`: each shard gets
+    /// its own WAL + checkpoint subdirectory (`shard-NNN/`), recovered
+    /// independently through [`SelectivityService::open_durable`]. Fresh
+    /// directories start cold from `make_learner(shard)`; existing ones
+    /// recover the checkpointed learner and replay their WAL tail. The
+    /// returned [`ShardRecovery`] is the merge across all shards.
+    ///
+    /// Because feedback routing is deterministic
+    /// ([`shard_for`](Self::shard_for)), a recovered bank re-routes every
+    /// future observation exactly as the pre-crash process did — shard
+    /// state and shard directories stay aligned across restarts as long
+    /// as `shards` is kept constant for a given `base_dir`.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn open_durable(
+        domain: Domain,
+        shards: usize,
+        base_dir: &Path,
+        opts: DurabilityOptions,
+        mut make_learner: impl FnMut(usize) -> L,
+    ) -> Result<(Self, ShardRecovery), PersistError> {
+        assert!(shards > 0, "a sharded service needs at least one shard");
+        let full_volume = domain.full_rect().volume();
+        let mut services = Vec::with_capacity(shards);
+        let mut recovery = ShardRecovery::default();
+        for i in 0..shards {
+            let dir = base_dir.join(format!("shard-{i:03}"));
+            let (svc, rec) =
+                SelectivityService::open_durable(&dir, opts.clone(), || make_learner(i))?;
+            recovery = recovery.merge(rec);
+            services.push(Arc::new(svc));
+        }
+        let service = Self {
+            domain,
+            full_volume,
+            shards: services,
+            backpressure: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            blend_threshold: DEFAULT_BLEND_THRESHOLD,
+        };
+        Ok((service, recovery))
+    }
+
+    /// Forces a checkpoint on every durable shard; returns true when at
+    /// least one shard checkpointed. Stops at the first persist error.
+    pub fn checkpoint_now(&self) -> Result<bool, PersistError> {
+        let mut any = false;
+        for shard in &self.shards {
+            any |= shard.checkpoint_now()?;
+        }
+        Ok(any)
     }
 }
 

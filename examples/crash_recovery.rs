@@ -1,0 +1,175 @@
+//! Crash-recovery smoke driver for the durability subsystem.
+//!
+//! Two modes, built to be killed between them:
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery -- ingest  /tmp/qs-crash &
+//! sleep 5 && kill -9 %1
+//! cargo run --release --example crash_recovery -- recover /tmp/qs-crash
+//! ```
+//!
+//! `ingest` opens a durable [`SelectivityService`] and feeds it a
+//! deterministic feedback stream forever (checkpointing every
+//! [`CHECKPOINT_ROWS`] rows, WAL-logging every batch) — the process is
+//! meant to die by SIGKILL at an arbitrary byte of the stream.
+//!
+//! `recover` reopens the same directory, prints the recovery report,
+//! and then **proves** the recovered estimator equals a never-crashed
+//! run: the stream is deterministic, so a fresh in-memory service fed
+//! exactly the rows the recovered one reports must produce bit-identical
+//! estimates. Any divergence, lost row, or double-applied row exits
+//! non-zero, which is what CI asserts on.
+
+use quicksel::prelude::*;
+use quicksel::{DurabilityOptions, SelectivityService};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Rows between checkpoints while ingesting (batches are 2 rows, so a
+/// checkpoint lands every 32 batches — frequent enough that a few
+/// seconds of ingest crosses several checkpoint + WAL-prune cycles).
+const CHECKPOINT_ROWS: u64 = 64;
+
+fn domain() -> Domain {
+    Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+}
+
+/// The learner under test: manual refine cadence and a fixed
+/// subpopulation budget so post-recovery refines stay on the warm
+/// (incremental) path, same as a long-lived production estimator.
+fn learner() -> QuickSel {
+    QuickSel::builder(domain())
+        .refine_policy(RefinePolicy::Manual)
+        .fixed_subpops(48)
+        .seed(42)
+        .build()
+}
+
+/// Batch `i` of the deterministic feedback stream: two observed
+/// queries whose geometry and selectivity depend only on `i`.
+fn batch(i: u64) -> Vec<ObservedQuery> {
+    (0..2)
+        .map(|j| {
+            let k = i * 2 + j;
+            let lo_x = (k * 13 % 70) as f64 * 0.1;
+            let lo_y = (k * 29 % 60) as f64 * 0.1;
+            let len = 0.8 + (k % 5) as f64 * 0.6;
+            let rect = Rect::from_bounds(&[(lo_x, lo_x + len), (lo_y, lo_y + len)]);
+            ObservedQuery::new(rect, (k % 10) as f64 * 0.1)
+        })
+        .collect()
+}
+
+/// Probes the recovered and reference services are compared on.
+fn probes() -> Vec<Rect> {
+    (0..40)
+        .map(|k| {
+            let lo = (k * 7 % 80) as f64 * 0.1;
+            Rect::from_bounds(&[(lo, (lo + 1.5).min(10.0)), (0.0, 0.5 + (k % 9) as f64)])
+        })
+        .collect()
+}
+
+fn opts() -> DurabilityOptions {
+    DurabilityOptions { checkpoint_rows: CHECKPOINT_ROWS, ..DurabilityOptions::default() }
+}
+
+fn ingest(dir: &Path) -> ExitCode {
+    let (svc, rec) =
+        SelectivityService::open_durable(dir, opts(), learner).expect("open durable service");
+    // The stream position is wherever the last run got to: resume there
+    // so a re-run keeps extending the same deterministic history.
+    let mut i = svc.stats().batches_ingested;
+    println!(
+        "ingest: resuming at batch {i} (recovered_from_checkpoint={}, replayed_rows={})",
+        rec.recovered_from_checkpoint, rec.replayed_rows
+    );
+    loop {
+        svc.observe_batch(&batch(i)).expect("ingest batch");
+        i += 1;
+        if i % 100 == 0 {
+            let stats = svc.stats();
+            println!(
+                "ingest: batch {i}, rows {}, checkpoints {}, wal {} B",
+                stats.queries_ingested, stats.checkpoints_written, stats.wal_bytes
+            );
+        }
+        // Pace the stream so a few seconds of wall clock spans many
+        // checkpoint cycles and the SIGKILL lands mid-stream.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn recover(dir: &Path) -> ExitCode {
+    let (svc, rec) = match SelectivityService::<QuickSel>::open_durable(dir, opts(), learner) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("recover: FAILED to open {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = svc.stats();
+    println!(
+        "recover: checkpoint={} replayed_batches={} replayed_rows={} truncated_wal_bytes={} \
+         checkpoints_skipped={}",
+        rec.recovered_from_checkpoint,
+        rec.replayed_batches,
+        rec.replayed_rows,
+        rec.truncated_wal_bytes,
+        rec.checkpoints_skipped
+    );
+    println!(
+        "recover: rows={} batches={} refines={} version={}",
+        stats.queries_ingested,
+        stats.batches_ingested,
+        stats.refines,
+        svc.version()
+    );
+    if rec.replay_failures > 0 {
+        eprintln!("recover: FAILED — {} WAL batches failed to re-apply", rec.replay_failures);
+        return ExitCode::FAILURE;
+    }
+    if stats.queries_ingested != stats.batches_ingested * 2 {
+        eprintln!("recover: FAILED — row/batch accounting is torn");
+        return ExitCode::FAILURE;
+    }
+
+    // The decisive check: replay the deterministic stream into a fresh
+    // in-memory service and demand bit-identical estimates. A lost or
+    // double-applied row anywhere in checkpoint + WAL replay shifts the
+    // refine trajectory and shows up here.
+    let reference = SelectivityService::new(learner());
+    for i in 0..stats.batches_ingested {
+        reference.observe_batch(&batch(i)).expect("reference ingest");
+    }
+    let probe_set = probes();
+    let recovered = svc.snapshot().estimate_many(&probe_set);
+    let expected = reference.snapshot().estimate_many(&probe_set);
+    if recovered != expected {
+        eprintln!("recover: FAILED — estimates diverged from an uninterrupted run");
+        return ExitCode::FAILURE;
+    }
+    // And the recovered service keeps working: one more batch trains
+    // and republishes.
+    let version = svc.version();
+    svc.observe_batch(&batch(stats.batches_ingested)).expect("post-recovery ingest");
+    if svc.version() <= version {
+        eprintln!("recover: FAILED — post-recovery ingest did not publish");
+        return ExitCode::FAILURE;
+    }
+    println!("recover: OK — {} rows verified against an uninterrupted run", stats.queries_ingested);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("ingest") if args.len() == 3 => ingest(Path::new(&args[2])),
+        Some("recover") if args.len() == 3 => recover(Path::new(&args[2])),
+        _ => {
+            eprintln!("usage: crash_recovery <ingest|recover> <dir>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -20,6 +20,11 @@
 //!   the size; results are identical at any thread count),
 //! * [`data`] — tables, synthetic datasets, workloads, metrics, and the
 //!   [`Estimate`]/[`Learn`] estimator contract,
+//! * [`persist`] — durable estimator state: a versioned, checksummed
+//!   snapshot format, per-shard feedback WALs, and the crash-recovering
+//!   checkpoint subsystem behind
+//!   [`SelectivityService::open_durable`](quicksel_service::SelectivityService::open_durable)
+//!   and [`EstimatorRegistry::recover_from`](quicksel_service::EstimatorRegistry::recover_from),
 //! * [`baselines`] — STHoles, ISOMER, ISOMER+QP, QueryModel, AutoHist,
 //!   AutoSample.
 //!
@@ -89,6 +94,7 @@ pub use quicksel_engine as engine;
 pub use quicksel_geometry as geometry;
 pub use quicksel_linalg as linalg;
 pub use quicksel_parallel as parallel;
+pub use quicksel_persist as persist;
 pub use quicksel_service as service;
 
 pub use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
@@ -100,10 +106,11 @@ pub use quicksel_data::{
     Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,
 };
 pub use quicksel_geometry::{BoolExpr, Domain, Interval, Predicate, Rect};
+pub use quicksel_persist::{DurabilityOptions, PersistError, PersistLearner};
 pub use quicksel_service::{
     CachedProvider, CardinalityProvider, DynRegistry, EstimatorRegistry, LearnerProvider,
-    RegistryStats, SelectivityService, ServiceStats, ShardedService, ShardedStats, SharedSnapshot,
-    TableId,
+    RecoveryReport, RegistryStats, SelectivityService, ServiceStats, ShardRecovery, ShardedService,
+    ShardedStats, SharedSnapshot, TableId,
 };
 
 /// Convenience imports covering the common workflow.
