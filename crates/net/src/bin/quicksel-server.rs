@@ -1,0 +1,211 @@
+//! `quicksel-server` — serve an estimator registry over TCP.
+//!
+//! ```text
+//! quicksel-server [--addr HOST:PORT] [--dir DIR] [--table NAME:DIMS ...]
+//!                 [--shards N] [--workers N] [--ingest-rate ROWS_PER_S]
+//! ```
+//!
+//! * `--addr` — bind address (default `127.0.0.1:7878`; port `0` picks
+//!   an ephemeral port, printed on stdout).
+//! * `--dir` — durability root. When given, every table already present
+//!   under it is **recovered** (checkpoint + WAL replay) and new
+//!   `--table`s are registered durably; without it the registry is
+//!   in-memory.
+//! * `--table NAME:DIMS` — register a table with a `DIMS`-dimensional
+//!   unit-cube domain (repeatable). Tables recovered from `--dir` do not
+//!   need re-declaring.
+//! * `--shards` — routing shards per table (default 2).
+//! * `--workers` — serving threads (default: the workspace thread-pool
+//!   sizing, `quicksel_parallel::default_threads`).
+//! * `--ingest-rate` — per-table feedback admission rate in rows/s
+//!   (default unlimited).
+//!
+//! The process serves until it reads `quit` (or EOF) on stdin, then
+//! shuts down gracefully: in-flight requests drain, durable tables get a
+//! final checkpoint.
+
+use quicksel_core::QuickSel;
+use quicksel_geometry::Domain;
+use quicksel_net::{serve, ServerConfig};
+use quicksel_persist::DurabilityOptions;
+use quicksel_service::{EstimatorRegistry, TableId};
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    dir: Option<String>,
+    tables: Vec<(String, usize)>,
+    shards: usize,
+    workers: usize,
+    ingest_rate: f64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: quicksel-server [--addr HOST:PORT] [--dir DIR] [--table NAME:DIMS ...]\n\
+         \x20                      [--shards N] [--workers N] [--ingest-rate ROWS_PER_S]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        dir: None,
+        tables: Vec::new(),
+        shards: 2,
+        workers: 0,
+        ingest_rate: f64::INFINITY,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--table" => {
+                let spec = value("--table")?;
+                let (name, dims) = spec
+                    .split_once(':')
+                    .ok_or(format!("bad table spec {spec:?} (want NAME:DIMS)"))?;
+                let dims: usize =
+                    dims.parse().map_err(|_| format!("bad dimension count in {spec:?}"))?;
+                if name.is_empty() || dims == 0 {
+                    return Err(format!("bad table spec {spec:?}"));
+                }
+                args.tables.push((name.to_string(), dims));
+            }
+            "--shards" => {
+                args.shards = value("--shards")?.parse().map_err(|_| "bad --shards".to_string())?
+            }
+            "--workers" => {
+                args.workers =
+                    value("--workers")?.parse().map_err(|_| "bad --workers".to_string())?
+            }
+            "--ingest-rate" => {
+                args.ingest_rate =
+                    value("--ingest-rate")?.parse().map_err(|_| "bad --ingest-rate".to_string())?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn unit_cube(dims: usize) -> Domain {
+    let columns: Vec<(String, f64, f64)> = (0..dims).map(|i| (format!("c{i}"), 0.0, 1.0)).collect();
+    let refs: Vec<(&str, f64, f64)> =
+        columns.iter().map(|(n, lo, hi)| (n.as_str(), *lo, *hi)).collect();
+    Domain::of_reals(&refs)
+}
+
+fn learner(domain: &Domain, shard: usize) -> QuickSel {
+    QuickSel::builder(domain.clone()).fixed_subpops(64).seed(shard as u64).build()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("quicksel-server: {e}");
+            return usage();
+        }
+    };
+
+    // Build the registry: recover + durable registration when --dir is
+    // given, plain in-memory registration otherwise.
+    let registry: Arc<EstimatorRegistry<QuickSel>> = match &args.dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let opts = DurabilityOptions::default();
+            let (registry, report) =
+                match EstimatorRegistry::recover_from(dir, opts.clone(), |_, domain, shard| {
+                    learner(domain, shard)
+                }) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("quicksel-server: recovery from {} failed: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            println!(
+                "recovered {} table(s), {} replayed row(s), {} skipped dir(s)",
+                report.tables_recovered, report.shards.replayed_rows, report.tables_skipped
+            );
+            let known: Vec<TableId> = registry.table_ids();
+            for (name, dims) in &args.tables {
+                if known.iter().any(|t| t.as_str() == name) {
+                    continue;
+                }
+                let domain = unit_cube(*dims);
+                let d = domain.clone();
+                if let Err(e) = registry.register_durable(
+                    dir,
+                    name.as_str(),
+                    domain,
+                    args.shards,
+                    opts.clone(),
+                    |shard| learner(&d, shard),
+                ) {
+                    eprintln!("quicksel-server: registering {name:?} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Arc::new(registry)
+        }
+        None => {
+            let registry = EstimatorRegistry::new();
+            for (name, dims) in &args.tables {
+                let domain = unit_cube(*dims);
+                let d = domain.clone();
+                registry
+                    .register_with(name.as_str(), domain, args.shards, |shard| learner(&d, shard));
+            }
+            Arc::new(registry)
+        }
+    };
+
+    let config = ServerConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        ingest_rows_per_s: args.ingest_rate,
+        ..ServerConfig::default()
+    };
+    let mut handle = match serve(Arc::clone(&registry), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("quicksel-server: bind {} failed: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    println!("type 'quit' (or close stdin) for graceful shutdown");
+
+    // Serve until stdin says stop. (Catching SIGTERM needs libc; the
+    // workspace is dependency-free, so the control channel is stdin.)
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(line) if line.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    println!("draining in-flight requests...");
+    handle.shutdown();
+    if args.dir.is_some() {
+        match registry.checkpoint_all() {
+            Ok(n) => println!("final checkpoint covered {n} durable table(s)"),
+            Err(e) => eprintln!("quicksel-server: final checkpoint failed: {e}"),
+        }
+    }
+    let stats = handle.stats();
+    println!(
+        "served {} request(s) over {} connection(s); {} retry(ies), {} error(s)",
+        stats.requests_served, stats.connections_accepted, stats.retries_sent, stats.errors_sent
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,412 @@
+//! The client side of the wire protocol: a blocking connection handle,
+//! a pipelined feedback streamer, and a
+//! [`CardinalityProvider`] adapter so a
+//! planner can swap a remote registry in for a local one without
+//! touching call sites.
+
+use crate::proto::{
+    self, ErrorCode, Request, Response, RetryCause, WireError, WireStats, DEFAULT_MAX_FRAME,
+    PROTO_VERSION, PROTO_VERSION_MIN,
+};
+use quicksel_data::{ObservedQuery, Table};
+use quicksel_geometry::{Domain, Predicate, Rect};
+use quicksel_service::{CardinalityProvider, TableId};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Why a client call failed. `Retry` and `Server` are the server
+/// *telling* the client something; `Wire` and `Protocol` mean the
+/// conversation itself broke.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// Admission-control pushback: retry after roughly `after_ms`.
+    Retry {
+        /// Suggested backoff in milliseconds.
+        after_ms: u32,
+        /// Which rate limit pushed back.
+        cause: RetryCause,
+    },
+    /// The server processed the request and refused it.
+    Server {
+        /// Typed failure class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with something that makes no sense here
+    /// (wrong response kind, mismatched correlation id).
+    Protocol {
+        /// What was inconsistent.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Retry { after_ms, cause } => {
+                write!(f, "server pushback ({cause:?}): retry after {after_ms}ms")
+            }
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Protocol { context } => write!(f, "protocol violation: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::from(e))
+    }
+}
+
+/// The outcome of one acknowledged feedback batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveOutcome {
+    /// Rows the server accepted from this batch.
+    pub accepted_rows: u32,
+    /// The table's total ingested-row watermark after the batch.
+    pub watermark: u64,
+}
+
+/// The outcome of a pipelined [`NetClient::observe_stream`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamOutcome {
+    /// Rows accepted across every batch.
+    pub accepted_rows: u64,
+    /// The highest watermark any ack reported.
+    pub watermark: u64,
+    /// Batches that were `Retry`-refused at least once before landing.
+    pub retried_batches: u64,
+}
+
+/// A blocking connection to a `quicksel-server`: performs the version
+/// handshake on connect, then issues correlated request/response
+/// round-trips. One request is in flight at a time except for
+/// [`observe_stream`](Self::observe_stream), which pipelines.
+pub struct NetClient {
+    stream: TcpStream,
+    version: u16,
+    next_id: u64,
+    max_frame_len: u32,
+}
+
+impl NetClient {
+    /// Connects with a 10-second I/O timeout and the default frame cap.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, Duration::from_secs(10), DEFAULT_MAX_FRAME)
+    }
+
+    /// Connects, applies `timeout` to every read and write, and runs the
+    /// version handshake. A `Retry` or `Error` frame in place of the
+    /// `HelloAck` (an overloaded or incompatible server) surfaces as the
+    /// corresponding typed error.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        max_frame_len: u32,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut client = NetClient { stream, version: 0, next_id: 1, max_frame_len };
+        proto::write_frame(
+            &mut client.stream,
+            &proto::encode_hello(PROTO_VERSION_MIN, PROTO_VERSION),
+        )?;
+        client.stream.flush()?;
+        let ack = proto::read_frame(&mut client.stream, max_frame_len)?;
+        client.version = match proto::decode_hello_ack(&ack) {
+            Ok(version) => version,
+            // Not an ack: the server may have refused the connection
+            // with a typed frame — surface that instead of "bad ack".
+            Err(ack_err) => match Response::decode(&ack) {
+                Ok(Response::Retry { after_ms, cause, .. }) => {
+                    return Err(ClientError::Retry { after_ms, cause })
+                }
+                Ok(Response::Error { code, message, .. }) => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => return Err(ack_err.into()),
+            },
+        };
+        Ok(client)
+    }
+
+    /// The protocol version negotiated at connect time.
+    pub fn negotiated_version(&self) -> u16 {
+        self.version
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// One correlated round-trip. `Retry`/`Error` responses become typed
+    /// client errors; anything with the wrong id is a protocol violation.
+    fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        proto::write_frame(&mut self.stream, &request.encode())?;
+        self.stream.flush()?;
+        let body = proto::read_frame(&mut self.stream, self.max_frame_len)?;
+        let response = Response::decode(&body)?;
+        // Admission pushback and decode-failure errors legitimately
+        // carry id 0; anything else must echo ours.
+        match &response {
+            Response::Retry { .. } | Response::Error { .. } => {}
+            r if r.id() != request.id() => {
+                return Err(ClientError::Protocol { context: "response id does not match request" })
+            }
+            _ => {}
+        }
+        match response {
+            Response::Retry { after_ms, cause, .. } => Err(ClientError::Retry { after_ms, cause }),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Batched selectivity estimates; answers come back bit-exact (every
+    /// `f64` travels as its IEEE-754 pattern), so the result compares
+    /// `==` with the equivalent in-process call.
+    pub fn estimate_many(&mut self, table: &str, rects: &[Rect]) -> Result<Vec<f64>, ClientError> {
+        let id = self.fresh_id();
+        let request = Request::EstimateMany { id, table: table.to_string(), rects: rects.to_vec() };
+        match self.request(&request)? {
+            Response::Estimates { values, .. } => {
+                if values.len() != rects.len() {
+                    return Err(ClientError::Protocol { context: "estimate count mismatch" });
+                }
+                Ok(values)
+            }
+            _ => Err(ClientError::Protocol { context: "expected Estimates response" }),
+        }
+    }
+
+    /// One acknowledged feedback batch.
+    pub fn observe_batch(
+        &mut self,
+        table: &str,
+        rows: &[ObservedQuery],
+    ) -> Result<ObserveOutcome, ClientError> {
+        let id = self.fresh_id();
+        let request = Request::ObserveBatch { id, table: table.to_string(), rows: rows.to_vec() };
+        match self.request(&request)? {
+            Response::ObserveAck { accepted_rows, watermark, .. } => {
+                Ok(ObserveOutcome { accepted_rows, watermark })
+            }
+            _ => Err(ClientError::Protocol { context: "expected ObserveAck response" }),
+        }
+    }
+
+    /// Streams many feedback batches with pipelining: every frame is
+    /// written before any ack is read, so the stream costs one
+    /// round-trip, not one per batch. `Retry`-refused batches are
+    /// re-sent after the server's backoff hint, up to `max_rounds`
+    /// rounds; a hard server error fails the call.
+    pub fn observe_stream(
+        &mut self,
+        table: &str,
+        batches: &[Vec<ObservedQuery>],
+        max_rounds: u32,
+    ) -> Result<StreamOutcome, ClientError> {
+        let mut outcome = StreamOutcome::default();
+        let mut pending: Vec<&Vec<ObservedQuery>> = batches.iter().collect();
+        let mut ever_retried: u64 = 0;
+        let mut round = 0;
+        while !pending.is_empty() {
+            round += 1;
+            if round > max_rounds.max(1) {
+                return Err(ClientError::Retry { after_ms: 1, cause: RetryCause::IngestRate });
+            }
+            // Write the whole round back-to-back, then drain the acks in
+            // order (the server answers a connection's requests in
+            // arrival order).
+            let mut wire = Vec::new();
+            let mut ids = Vec::with_capacity(pending.len());
+            for rows in &pending {
+                let id = self.fresh_id();
+                ids.push(id);
+                let request =
+                    Request::ObserveBatch { id, table: table.to_string(), rows: (*rows).clone() };
+                let body = request.encode();
+                let mut framed = Vec::with_capacity(body.len() + 8);
+                proto::write_frame(&mut framed, &body).expect("vec write cannot fail");
+                wire.extend_from_slice(&framed);
+            }
+            self.stream.write_all(&wire)?;
+            self.stream.flush()?;
+            let mut refused = Vec::new();
+            let mut backoff_ms: u64 = 0;
+            for (slot, rows) in pending.iter().enumerate() {
+                let body = proto::read_frame(&mut self.stream, self.max_frame_len)?;
+                match Response::decode(&body)? {
+                    Response::ObserveAck { id, accepted_rows, watermark } => {
+                        if id != ids[slot] {
+                            return Err(ClientError::Protocol {
+                                context: "ack id out of order in pipelined stream",
+                            });
+                        }
+                        outcome.accepted_rows += u64::from(accepted_rows);
+                        outcome.watermark = outcome.watermark.max(watermark);
+                    }
+                    Response::Retry { after_ms, .. } => {
+                        refused.push(*rows);
+                        backoff_ms = backoff_ms.max(u64::from(after_ms));
+                    }
+                    Response::Error { code, message, .. } => {
+                        return Err(ClientError::Server { code, message })
+                    }
+                    _ => {
+                        return Err(ClientError::Protocol {
+                            context: "expected ObserveAck in pipelined stream",
+                        })
+                    }
+                }
+            }
+            if !refused.is_empty() {
+                ever_retried += refused.len() as u64;
+                std::thread::sleep(Duration::from_millis(backoff_ms.clamp(1, 1000)));
+            }
+            pending = refused;
+        }
+        outcome.retried_batches = ever_retried;
+        Ok(outcome)
+    }
+
+    /// Registry + server counters.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        let id = self.fresh_id();
+        match self.request(&Request::Stats { id })? {
+            Response::StatsReply { stats, .. } => Ok(stats),
+            _ => Err(ClientError::Protocol { context: "expected StatsReply response" }),
+        }
+    }
+
+    /// Forces a checkpoint of every durable table; returns how many had
+    /// one.
+    pub fn checkpoint_now(&mut self) -> Result<u32, ClientError> {
+        let id = self.fresh_id();
+        match self.request(&Request::CheckpointNow { id })? {
+            Response::CheckpointDone { durable_tables, .. } => Ok(durable_tables),
+            _ => Err(ClientError::Protocol { context: "expected CheckpointDone response" }),
+        }
+    }
+
+    /// The registered tables and their domains.
+    pub fn list_tables(&mut self) -> Result<Vec<(String, Domain)>, ClientError> {
+        let id = self.fresh_id();
+        match self.request(&Request::ListTables { id })? {
+            Response::Tables { tables, .. } => Ok(tables),
+            _ => Err(ClientError::Protocol { context: "expected Tables response" }),
+        }
+    }
+}
+
+/// A [`CardinalityProvider`] backed by a remote registry over one
+/// [`NetClient`] connection: the planner seam, networked.
+///
+/// Failure semantics mirror the local registry's missing-table path —
+/// an unknown table, a refused request, or a broken connection degrades
+/// to the conservative `1.0` estimate instead of failing the planner.
+/// Feedback for unknown tables is dropped silently, as the local
+/// registry does.
+pub struct RemoteProvider {
+    client: Mutex<NetClient>,
+    domains: HashMap<TableId, Domain>,
+}
+
+impl RemoteProvider {
+    /// Connects and snapshots the server's table list for
+    /// [`domain_of`](CardinalityProvider::domain_of).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::new(NetClient::connect(addr)?)
+    }
+
+    /// Wraps an already-connected client.
+    pub fn new(mut client: NetClient) -> Result<Self, ClientError> {
+        let domains = client
+            .list_tables()?
+            .into_iter()
+            .map(|(name, domain)| (TableId::from(name), domain))
+            .collect();
+        Ok(RemoteProvider { client: Mutex::new(client), domains })
+    }
+}
+
+impl RemoteProvider {
+    /// Wire-level batched estimates for pre-built rectangles; degrades
+    /// to `1.0` per rect on any failure (the planner's conservative
+    /// fallback).
+    pub fn estimate_rects(&self, table: &TableId, rects: &[Rect]) -> Vec<f64> {
+        let mut client = match self.client.lock() {
+            Ok(client) => client,
+            Err(_) => return vec![1.0; rects.len()],
+        };
+        client.estimate_many(table.as_str(), rects).unwrap_or_else(|_| vec![1.0; rects.len()])
+    }
+}
+
+impl CardinalityProvider for RemoteProvider {
+    fn estimate(&self, table: &TableId, pred: &Predicate) -> f64 {
+        self.estimate_many(table, std::slice::from_ref(pred)).first().copied().unwrap_or(1.0)
+    }
+
+    fn estimate_many(&self, table: &TableId, preds: &[Predicate]) -> Vec<f64> {
+        let Some(domain) = self.domains.get(table) else {
+            return vec![1.0; preds.len()];
+        };
+        let rects: Vec<Rect> = preds.iter().map(|p| p.to_rect(domain)).collect();
+        self.estimate_rects(table, &rects)
+    }
+
+    fn observe(&self, table: &TableId, feedback: &ObservedQuery) {
+        self.observe_batch(table, std::slice::from_ref(feedback));
+    }
+
+    fn observe_batch(&self, table: &TableId, batch: &[ObservedQuery]) {
+        if !self.domains.contains_key(table) {
+            return; // unknown table: drop, as the local registry does
+        }
+        if let Ok(mut client) = self.client.lock() {
+            let _ = client.observe_batch(table.as_str(), batch);
+        }
+    }
+
+    fn sync_data(&self, _table: &TableId, _data: &Table, _changed_rows: usize) {
+        // Data sync is a local-provider concept (re-sampling a table's
+        // rows); a remote registry owns its own data lifecycle.
+    }
+
+    fn version(&self, _table: &TableId) -> u64 {
+        0
+    }
+
+    fn domain_of(&self, table: &TableId) -> Option<Domain> {
+        self.domains.get(table).cloned()
+    }
+}

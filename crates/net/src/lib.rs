@@ -1,0 +1,43 @@
+//! # quicksel-net — networked serving for estimator registries
+//!
+//! An [`EstimatorRegistry`](quicksel_service::EstimatorRegistry) is a
+//! process-local object; this crate puts it on the network without
+//! giving up the properties the rest of the workspace is built around:
+//!
+//! * [`proto`] — a length-prefixed, CRC-framed binary **wire protocol**
+//!   reusing the persist crate's byte primitives and checksum. Every
+//!   `f64` travels as its IEEE-754 bit pattern, so estimates fetched
+//!   over the wire compare `==` with in-process calls; every malformed
+//!   input returns a typed [`WireError`], never a panic.
+//! * [`server`] — a dependency-free std-TCP **server runtime**: one
+//!   acceptor feeding a bounded queue drained by a worker pool (sized
+//!   like the training pools, via
+//!   [`quicksel_parallel::default_threads`]), per-request and idle
+//!   timeouts, and graceful shutdown that drains in-flight requests.
+//! * [`limiter`] — **admission control as rates**: a per-table token
+//!   bucket for feedback ingest and a global concurrency gate for
+//!   estimates. Saturation is surfaced as a typed `Retry{after_ms}`
+//!   response, and the rates being protected are visible as gauges in
+//!   `ServiceStats`.
+//! * [`client`] — a blocking [`NetClient`], a pipelined feedback
+//!   streamer, and [`RemoteProvider`]: the
+//!   [`CardinalityProvider`](quicksel_service::CardinalityProvider) seam
+//!   backed by a remote registry, so a planner can switch between local
+//!   and networked estimation without touching call sites.
+//!
+//! The `quicksel-server` binary serves a (optionally durable) registry
+//! from the command line; `examples/network_service.rs` in the workspace
+//! root walks the full loop.
+
+pub mod client;
+pub mod limiter;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, NetClient, ObserveOutcome, RemoteProvider, StreamOutcome};
+pub use limiter::{ConcurrencyGate, GatePermit, TokenBucket};
+pub use proto::{
+    ErrorCode, Request, Response, RetryCause, WireError, WireStats, DEFAULT_MAX_FRAME,
+    PROTO_VERSION, PROTO_VERSION_MIN,
+};
+pub use server::{serve, BackendError, NetBackend, NetServerStats, ServerConfig, ServerHandle};

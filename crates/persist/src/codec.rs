@@ -45,14 +45,23 @@ fn get_interval(r: &mut Reader<'_>) -> Result<Interval, PersistError> {
     Ok(Interval::new(r.f64("interval lo")?, r.f64("interval hi")?))
 }
 
-fn put_rect(out: &mut Vec<u8>, rect: &Rect) {
+/// Encodes a [`Rect`] (dimension count, then per-side lo/hi as IEEE-754
+/// bit patterns). This layout is shared verbatim by the state snapshot,
+/// the feedback WAL
+/// ([`ObservedQuery::encode_into`](quicksel_data::ObservedQuery::encode_into)
+/// is exactly this plus one selectivity `f64`), and the network wire
+/// protocol — one rectangle codec, bit-exact everywhere.
+pub fn encode_rect(out: &mut Vec<u8>, rect: &Rect) {
     out.put_u32(rect.sides().len() as u32);
     for side in rect.sides() {
         put_interval(out, side);
     }
 }
 
-fn get_rect(r: &mut Reader<'_>) -> Result<Rect, PersistError> {
+/// Decodes an [`encode_rect`] rectangle, bounding the claimed dimension
+/// count against the remaining bytes so a hostile length can neither
+/// over-allocate nor panic.
+pub fn decode_rect(r: &mut Reader<'_>) -> Result<Rect, PersistError> {
     let dim = r.u32("rect dim")? as usize;
     if dim.saturating_mul(16) > r.remaining() {
         return Err(PersistError::Truncated { context: "rect sides" });
@@ -210,7 +219,7 @@ fn get_f64s(r: &mut Reader<'_>, context: &'static str) -> Result<Vec<f64>, Persi
 fn put_trainer(out: &mut Vec<u8>, t: &TrainerState) {
     out.put_usize(t.subpops.len());
     for rect in &t.subpops {
-        put_rect(out, rect);
+        encode_rect(out, rect);
     }
     put_matrix(out, &t.q);
     put_matrix(out, &t.a);
@@ -229,7 +238,7 @@ fn put_trainer(out: &mut Vec<u8>, t: &TrainerState) {
 
 fn get_trainer(r: &mut Reader<'_>) -> Result<TrainerState, PersistError> {
     let m = r.bounded_len(4, "subpop count")?;
-    let subpops = (0..m).map(|_| get_rect(r)).collect::<Result<Vec<_>, _>>()?;
+    let subpops = (0..m).map(|_| decode_rect(r)).collect::<Result<Vec<_>, _>>()?;
     let q = get_matrix(r)?;
     let a = get_matrix(r)?;
     let s = get_f64s(r, "selectivity vector")?;
@@ -289,7 +298,7 @@ pub fn encode_state(state: &QuickSelState) -> Vec<u8> {
             model.put_u32(1);
             model.put_usize(rects.len());
             for rect in rects {
-                put_rect(&mut model, rect);
+                encode_rect(&mut model, rect);
             }
             put_f64s(&mut model, weights);
         }
@@ -338,7 +347,7 @@ pub fn decode_state(bytes: &[u8]) -> Result<QuickSelState, PersistError> {
     let n = r.bounded_len(12, "query count")?;
     let mut queries = Vec::with_capacity(n);
     for _ in 0..n {
-        let rect = get_rect(&mut r)?;
+        let rect = decode_rect(&mut r)?;
         let selectivity = r.f64("query selectivity")?;
         queries.push(ObservedQuery { rect, selectivity });
     }
@@ -353,7 +362,7 @@ pub fn decode_state(bytes: &[u8]) -> Result<QuickSelState, PersistError> {
         0 => None,
         1 => {
             let m = r.bounded_len(4, "model support count")?;
-            let rects = (0..m).map(|_| get_rect(&mut r)).collect::<Result<Vec<_>, _>>()?;
+            let rects = (0..m).map(|_| decode_rect(&mut r)).collect::<Result<Vec<_>, _>>()?;
             let weights = get_f64s(&mut r, "model weights")?;
             Some((rects, weights))
         }

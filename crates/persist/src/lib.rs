@@ -35,7 +35,10 @@ pub mod format;
 pub mod wal;
 
 pub use checkpoint::{CheckpointStats, DurabilityOptions, RecoveredShard, ShardDurability};
-pub use codec::{decode_state, encode_state, STATE_MAGIC, STATE_VERSION};
+pub use codec::{
+    decode_domain, decode_rect, decode_state, encode_domain, encode_rect, encode_state,
+    STATE_MAGIC, STATE_VERSION,
+};
 pub use wal::{SegmentRead, WalRecord, WalWriter};
 
 use quicksel_core::{QuickSel, StateError};

@@ -70,12 +70,14 @@
 //! ```
 
 pub mod provider;
+pub mod rate;
 pub mod registry;
 pub mod service;
 pub mod shard;
 pub mod swap;
 
 pub use provider::{CachedProvider, CardinalityProvider, LearnerProvider, TableId};
+pub use rate::{RateMeter, RATE_WINDOW_SECS};
 pub use registry::{EstimatorRegistry, RecoveryReport, RegistryStats};
 pub use service::{
     IngestHandle, IngestRejection, SelectivityService, ServiceStats, ShardRecovery, SharedSnapshot,

@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex};
 /// degradation signals ([`missing_table_probes`](Self::missing_table_probes),
 /// [`dropped_feedback`](Self::dropped_feedback)) that indicate the
 /// planner and the registry disagree about which tables exist.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RegistryStats {
     /// Registered tables.
     pub tables: usize,

@@ -1,5 +1,6 @@
 //! [`SelectivityService`]: the serving layer around a snapshotting learner.
 
+use crate::rate::RateMeter;
 use crate::swap::ArcCell;
 use quicksel_data::{
     Estimate, EstimatorError, ObservedQuery, RefineOutcome, SnapshotSource, Table,
@@ -17,8 +18,12 @@ use std::time::Instant;
 /// hands to reader threads.
 pub type SharedSnapshot = Arc<dyn Estimate + Send + Sync>;
 
-/// Running counters describing a service's ingestion history.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Running counters describing a service's ingestion history, plus the
+/// rate/queue-depth gauges admission control and dashboards read
+/// (windowed over the trailing [`RATE_WINDOW_SECS`](crate::rate::RATE_WINDOW_SECS)
+/// seconds — a *number per second*, not a cumulative count, which is
+/// what backpressure decisions need).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServiceStats {
     /// Feedback batches successfully ingested.
     pub batches_ingested: u64,
@@ -44,6 +49,17 @@ pub struct ServiceStats {
     /// Durability operations (WAL appends, checkpoints) that failed;
     /// serving continues, the failure is only counted.
     pub persist_failures: u64,
+    /// Feedback rows ingested per second over the trailing rate window
+    /// (gauge, not persisted across recoveries).
+    pub ingest_rows_per_s: f64,
+    /// Predicate rectangles *evaluated* per second over the trailing
+    /// rate window (gauge). Counts model evaluations, so a cross-shard
+    /// blend counts once per shard it touches — this is a work rate,
+    /// the number admission control compares against capacity.
+    pub estimate_rects_per_s: f64,
+    /// Feedback batches currently queued behind this service's
+    /// background ingest worker (gauge; 0 when no worker is attached).
+    pub ingest_queue_depth: u64,
 }
 
 impl ServiceStats {
@@ -62,6 +78,9 @@ impl ServiceStats {
             wal_bytes: self.wal_bytes + other.wal_bytes,
             replayed_rows: self.replayed_rows + other.replayed_rows,
             persist_failures: self.persist_failures + other.persist_failures,
+            ingest_rows_per_s: self.ingest_rows_per_s + other.ingest_rows_per_s,
+            estimate_rects_per_s: self.estimate_rects_per_s + other.estimate_rects_per_s,
+            ingest_queue_depth: self.ingest_queue_depth + other.ingest_queue_depth,
         }
     }
 }
@@ -115,6 +134,13 @@ pub struct SelectivityService<L: SnapshotSource> {
     wal_bytes: AtomicU64,
     replayed_rows: AtomicU64,
     persist_failures: AtomicU64,
+    ingest_rate: RateMeter,
+    estimate_rate: RateMeter,
+    /// Batches enqueued to the background ingest worker but not yet
+    /// applied. Shared with the [`IngestHandle`] (which increments
+    /// before enqueueing) and the worker (which decrements after each
+    /// batch), so the gauge never transiently underflows.
+    ingest_queue_depth: Arc<AtomicU64>,
     durability: Option<DurabilityHook<L>>,
 }
 
@@ -193,6 +219,9 @@ impl<L: SnapshotSource> SelectivityService<L> {
             wal_bytes: AtomicU64::new(0),
             replayed_rows: AtomicU64::new(0),
             persist_failures: AtomicU64::new(0),
+            ingest_rate: RateMeter::new(),
+            estimate_rate: RateMeter::new(),
+            ingest_queue_depth: Arc::new(AtomicU64::new(0)),
             durability: None,
         }
     }
@@ -205,13 +234,24 @@ impl<L: SnapshotSource> SelectivityService<L> {
 
     /// Convenience: estimate one rectangle against the current snapshot.
     pub fn estimate(&self, rect: &Rect) -> f64 {
+        self.estimate_rate.record(1);
         self.snapshot().estimate(rect)
     }
 
     /// Convenience: estimate a batch against one coherent snapshot (all
     /// answers come from the same model version).
     pub fn estimate_many(&self, rects: &[Rect]) -> Vec<f64> {
+        self.estimate_rate.record(rects.len() as u64);
         self.snapshot().estimate_many(rects)
+    }
+
+    /// Records `n` rectangle evaluations served *through a snapshot* of
+    /// this service (the sharded/blend paths estimate via
+    /// [`snapshot`](Self::snapshot), bypassing the convenience wrappers
+    /// above, so they report their work here to keep the
+    /// `estimate_rects_per_s` gauge honest).
+    pub(crate) fn note_estimates(&self, n: u64) {
+        self.estimate_rate.record(n);
     }
 
     /// Number of published model versions (0 = still the initial prior).
@@ -241,6 +281,9 @@ impl<L: SnapshotSource> SelectivityService<L> {
             wal_bytes: self.wal_bytes.load(SeqCst),
             replayed_rows: self.replayed_rows.load(SeqCst),
             persist_failures: self.persist_failures.load(SeqCst),
+            ingest_rows_per_s: self.ingest_rate.per_second(),
+            estimate_rects_per_s: self.estimate_rate.per_second(),
+            ingest_queue_depth: self.ingest_queue_depth.load(SeqCst),
         }
     }
 
@@ -297,6 +340,7 @@ impl<L: SnapshotSource> SelectivityService<L> {
         learner.observe_batch(batch);
         self.batches_ingested.fetch_add(1, SeqCst);
         self.queries_ingested.fetch_add(batch.len() as u64, SeqCst);
+        self.ingest_rate.record(batch.len() as u64);
         let outcome = learner.refine();
         let result = match outcome {
             Ok(o) => {
@@ -517,6 +561,10 @@ impl IngestRejection {
 pub struct IngestHandle {
     tx: Option<SyncSender<Vec<ObservedQuery>>>,
     worker: Option<JoinHandle<()>>,
+    /// Mirrors the service's `ingest_queue_depth` gauge. Incremented
+    /// *before* each enqueue (and rolled back on failure) so the reader
+    /// side can never observe a decrement racing ahead of its increment.
+    depth: Arc<AtomicU64>,
 }
 
 impl IngestHandle {
@@ -525,7 +573,13 @@ impl IngestHandle {
     /// has been shut down or died, so feedback is never silently lost.
     pub fn send(&self, batch: Vec<ObservedQuery>) -> Result<(), Vec<ObservedQuery>> {
         match &self.tx {
-            Some(tx) => tx.send(batch).map_err(|e| e.0),
+            Some(tx) => {
+                self.depth.fetch_add(1, SeqCst);
+                tx.send(batch).map_err(|e| {
+                    self.depth.fetch_sub(1, SeqCst);
+                    e.0
+                })
+            }
             None => Err(batch),
         }
     }
@@ -535,10 +589,16 @@ impl IngestHandle {
     /// stopped).
     pub fn try_send(&self, batch: Vec<ObservedQuery>) -> Result<(), IngestRejection> {
         match &self.tx {
-            Some(tx) => tx.try_send(batch).map_err(|e| match e {
-                TrySendError::Full(b) => IngestRejection::QueueFull(b),
-                TrySendError::Disconnected(b) => IngestRejection::Stopped(b),
-            }),
+            Some(tx) => {
+                self.depth.fetch_add(1, SeqCst);
+                tx.try_send(batch).map_err(|e| {
+                    self.depth.fetch_sub(1, SeqCst);
+                    match e {
+                        TrySendError::Full(b) => IngestRejection::QueueFull(b),
+                        TrySendError::Disconnected(b) => IngestRejection::Stopped(b),
+                    }
+                })
+            }
             None => Err(IngestRejection::Stopped(batch)),
         }
     }
@@ -570,12 +630,14 @@ impl<L: SnapshotSource + Send + 'static> SelectivityService<L> {
         let (tx, rx): (SyncSender<Vec<ObservedQuery>>, Receiver<Vec<ObservedQuery>>) =
             mpsc::sync_channel(queue_depth.max(1));
         let service = Arc::clone(self);
+        let depth = Arc::clone(&self.ingest_queue_depth);
         let worker = std::thread::spawn(move || {
             while let Ok(batch) = rx.recv() {
                 let _ = service.observe_batch(&batch);
+                service.ingest_queue_depth.fetch_sub(1, SeqCst);
             }
         });
-        IngestHandle { tx: Some(tx), worker: Some(worker) }
+        IngestHandle { tx: Some(tx), worker: Some(worker), depth }
     }
 }
 

@@ -44,7 +44,7 @@ pub const DEFAULT_BLEND_THRESHOLD: f64 = 0.5;
 const PAR_MIN_BATCH: usize = 64;
 
 /// Aggregated counters for one [`ShardedService`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ShardedStats {
     /// Ingestion counters of each shard, in shard order.
     pub per_shard: Vec<ServiceStats>,
@@ -273,6 +273,7 @@ impl<L: SnapshotSource> ShardedService<L> {
         if self.shards.len() == 1 {
             // Everything routes to shard 0 (blending needs ≥ 2 shards):
             // one snapshot serves the whole batch.
+            self.shards[0].note_estimates(rects.len() as u64);
             return snapshot_for_shard(0, rects.len()).estimate_many(rects);
         }
         let mut out = vec![0.0; rects.len()];
@@ -293,6 +294,7 @@ impl<L: SnapshotSource> ShardedService<L> {
             .enumerate()
             .filter(|(_, indexes)| !indexes.is_empty())
             .map(|(shard, indexes)| {
+                self.shards[shard].note_estimates(indexes.len() as u64);
                 let snapshot = snapshot_for_shard(shard, indexes.len());
                 (indexes, snapshot)
             })
@@ -373,7 +375,10 @@ impl<L: SnapshotSource> ShardedService<L> {
         let loaded: Vec<(f64, SharedSnapshot)> = self
             .shards
             .iter()
-            .map(|shard| (1.0 + shard.published_queries() as f64, shard.snapshot()))
+            .map(|shard| {
+                shard.note_estimates(indexes.len() as u64);
+                (1.0 + shard.published_queries() as f64, shard.snapshot())
+            })
             .collect();
         let gathers: Vec<(&SharedSnapshot, &[usize])> =
             loaded.iter().map(|(_, snapshot)| (snapshot, indexes)).collect();

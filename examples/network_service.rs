@@ -1,0 +1,105 @@
+//! End-to-end networked serving: a durable estimator registry behind a
+//! loopback TCP server, a client streaming feedback and fetching
+//! estimates over the wire, an explicit checkpoint, and a graceful
+//! drain.
+//!
+//! ```sh
+//! cargo run --release --example network_service
+//! ```
+//!
+//! The walk-through:
+//! 1. open a **durable** registry (checkpoint + WAL per shard) and
+//!    register a table,
+//! 2. serve it with [`quicksel::net::serve`] on an ephemeral port,
+//! 3. connect a [`NetClient`], stream feedback batches (pipelined, ack
+//!    watermarks), and fetch estimates,
+//! 4. verify the wire answers equal the in-process answers bit-for-bit,
+//! 5. force a checkpoint over the wire, then shut down gracefully.
+
+use quicksel::net::{serve, NetClient, ServerConfig};
+use quicksel::prelude::*;
+use quicksel::{DurabilityOptions, EstimatorRegistry, TableId};
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("qs-net-example-{}", std::process::id()));
+
+    // 1. A durable registry: feedback is WAL-logged, models checkpoint.
+    let registry: Arc<EstimatorRegistry<QuickSel>> = Arc::new(EstimatorRegistry::new());
+    let domain = Domain::of_reals(&[("hour", 0.0, 24.0), ("amount", 0.0, 500.0)]);
+    let d = domain.clone();
+    registry
+        .register_durable(&dir, "orders", domain.clone(), 2, DurabilityOptions::default(), |i| {
+            QuickSel::builder(d.clone()).fixed_subpops(64).seed(i as u64).build()
+        })
+        .expect("register durable table");
+
+    // 2. Serve it. Port 0 picks an ephemeral port; admission control
+    //    allows 2k feedback rows/s per table with a 512-row burst.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest_rows_per_s: 2000.0,
+        ingest_burst: 512.0,
+        ..ServerConfig::default()
+    };
+    let mut handle = serve(Arc::clone(&registry), config).expect("bind server");
+    println!("serving on {}", handle.addr());
+
+    // 3. A client: discover tables, stream feedback, estimate.
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    println!("negotiated protocol v{}", client.negotiated_version());
+    for (name, domain) in client.list_tables().expect("list tables") {
+        println!("table {name:?}: {} column(s)", domain.columns().len());
+    }
+
+    // Feedback: morning orders are small, evening orders are large.
+    let batches: Vec<Vec<ObservedQuery>> = (0..10)
+        .map(|b| {
+            (0..8)
+                .map(|k| {
+                    let i = (b * 8 + k) as f64;
+                    let hour = (i * 1.7) % 24.0;
+                    let hi = if hour < 12.0 { 120.0 } else { 420.0 };
+                    let rect = Rect::from_bounds(&[(hour, (hour + 3.0).min(24.0)), (0.0, hi)]);
+                    ObservedQuery::new(rect, 0.08 + (i % 7.0) * 0.03)
+                })
+                .collect()
+        })
+        .collect();
+    let outcome = client.observe_stream("orders", &batches, 20).expect("stream feedback");
+    println!(
+        "streamed {} rows (watermark {}, {} batch retries under admission control)",
+        outcome.accepted_rows, outcome.watermark, outcome.retried_batches
+    );
+
+    let probes: Vec<Rect> = (0..6)
+        .map(|i| {
+            let hour = i as f64 * 4.0;
+            Rect::from_bounds(&[(hour, hour + 4.0), (0.0, 250.0)])
+        })
+        .collect();
+    let over_wire = client.estimate_many("orders", &probes).expect("estimate");
+    for (rect, est) in probes.iter().zip(&over_wire) {
+        let hours = rect.sides()[0];
+        println!("  hours {:>4.1}-{:>4.1}: selectivity {est:.4}", hours.lo, hours.hi);
+    }
+
+    // 4. The wire answers ARE the registry's answers — bit for bit.
+    let in_process = registry.get(&TableId::from("orders")).expect("table").estimate_many(&probes);
+    assert_eq!(over_wire, in_process, "wire transport must be exact");
+    println!("wire estimates == in-process estimates (bit-exact)");
+
+    // 5. Checkpoint over the wire, inspect counters, drain gracefully.
+    let durable = client.checkpoint_now().expect("checkpoint");
+    println!("checkpointed {durable} durable table(s)");
+    let stats = client.stats().expect("stats");
+    println!(
+        "server stats: {} rows ingested, {:.0} rows/s gauge, {} request(s) served",
+        stats.queries_ingested, stats.ingest_rows_per_s, stats.requests_served
+    );
+
+    handle.shutdown();
+    println!("server drained and stopped");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,6 +25,10 @@
 //!   checkpoint subsystem behind
 //!   [`SelectivityService::open_durable`](quicksel_service::SelectivityService::open_durable)
 //!   and [`EstimatorRegistry::recover_from`](quicksel_service::EstimatorRegistry::recover_from),
+//! * [`net`] — networked serving: the CRC-framed binary wire protocol,
+//!   the `quicksel-server` TCP runtime with bounded workers and graceful
+//!   drain, rate-based admission control, and the [`RemoteProvider`]
+//!   planner seam over a remote registry,
 //! * [`baselines`] — STHoles, ISOMER, ISOMER+QP, QueryModel, AutoHist,
 //!   AutoSample.
 //!
@@ -93,6 +97,7 @@ pub use quicksel_data as data;
 pub use quicksel_engine as engine;
 pub use quicksel_geometry as geometry;
 pub use quicksel_linalg as linalg;
+pub use quicksel_net as net;
 pub use quicksel_parallel as parallel;
 pub use quicksel_persist as persist;
 pub use quicksel_service as service;
@@ -106,6 +111,10 @@ pub use quicksel_data::{
     Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,
 };
 pub use quicksel_geometry::{BoolExpr, Domain, Interval, Predicate, Rect};
+pub use quicksel_net::{
+    ClientError, NetBackend, NetClient, NetServerStats, RemoteProvider, ServerConfig, ServerHandle,
+    WireError, WireStats,
+};
 pub use quicksel_persist::{DurabilityOptions, PersistError, PersistLearner};
 pub use quicksel_service::{
     CachedProvider, CardinalityProvider, DynRegistry, EstimatorRegistry, LearnerProvider,

@@ -1,0 +1,133 @@
+//! Client/server loopback equivalence: the `registry_engine` scenario —
+//! two tables, two shards each, engine-driven feedback — executed
+//! through the **network** client must be indistinguishable from
+//! running in-process. Two claims, both exact (`==`, not approximate):
+//!
+//! 1. **Transport exactness** — estimates fetched over the wire equal
+//!    the served registry's in-process answers bit-for-bit (every `f64`
+//!    travels as its IEEE-754 pattern).
+//! 2. **Training equivalence** — a registry trained through wire-borne
+//!    feedback equals a local registry trained by the same engine
+//!    workload in-process: identical seeds + identical ingest order ⇒
+//!    identical models ⇒ identical estimates.
+
+use quicksel::engine::{Catalog, Engine};
+use quicksel::net::{serve, RemoteProvider, ServerConfig};
+use quicksel::prelude::*;
+use quicksel::{EstimatorRegistry, TableId};
+use std::sync::Arc;
+
+fn table(seed: u64, rows: usize) -> Table {
+    let d = Domain::of_reals(&[("key", 0.0, 50.0), ("payload", 0.0, 100.0)]);
+    let mut t = Table::new(d);
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..rows {
+        let key = (next().powi(2) * 50.0).floor().min(49.0);
+        t.push_row(&[key + 0.5, next() * 100.0]);
+    }
+    t
+}
+
+fn build_registry(tables: &[(&str, &Table)]) -> Arc<EstimatorRegistry<QuickSel>> {
+    let registry = EstimatorRegistry::new();
+    for (name, t) in tables {
+        let d = t.domain().clone();
+        registry.register_with(*name, d.clone(), 2, |i| {
+            QuickSel::builder(d.clone())
+                .refine_policy(RefinePolicy::Manual)
+                .fixed_subpops(96)
+                .seed(i as u64)
+                .build()
+        });
+    }
+    Arc::new(registry)
+}
+
+/// Runs the `registry_engine` workload for both tables against whatever
+/// provider is plugged in.
+fn drive_engines(r_table: &Table, s_table: &Table, provider: Arc<dyn CardinalityProvider>) {
+    let mut r_engine =
+        Engine::new(Catalog::new(r_table.clone()).with_index(0), "r", Arc::clone(&provider));
+    let mut s_engine = Engine::new(Catalog::new(s_table.clone()).with_index(1), "s", provider);
+    for i in 0..30 {
+        let lo = (i % 10) as f64 * 4.0;
+        r_engine.execute(&Predicate::new().range(1, lo, lo + 25.0));
+    }
+    for i in 0..30 {
+        let lo = (i % 8) as f64 * 5.0;
+        s_engine.execute(&Predicate::new().range(1, lo, lo + 30.0));
+    }
+}
+
+/// The probe battery both sides are compared on: narrow, wide, and
+/// blend-crossing rectangles on both columns.
+fn probes(domain: &Domain) -> Vec<Rect> {
+    let mut rects = Vec::new();
+    for i in 0..12 {
+        let lo = i as f64 * 3.5;
+        rects.push(Predicate::new().range(1, lo, lo + 22.0).to_rect(domain));
+        rects.push(Predicate::new().range(0, lo, lo + 9.0).to_rect(domain));
+        rects.push(
+            Predicate::new()
+                .range(0, lo * 0.5, lo * 0.5 + 30.0)
+                .range(1, 5.0, 95.0)
+                .to_rect(domain),
+        );
+    }
+    rects
+}
+
+#[test]
+fn wire_estimates_equal_in_process_estimates() {
+    let r_table = table(7, 4000);
+    let s_table = table(8, 3000);
+
+    // Served registry behind a loopback server, and an identically
+    // constructed local reference.
+    let served = build_registry(&[("r", &r_table), ("s", &s_table)]);
+    let reference = build_registry(&[("r", &r_table), ("s", &s_table)]);
+    let handle = serve(Arc::clone(&served), ServerConfig::default()).expect("bind loopback server");
+
+    // Train the served registry THROUGH THE NETWORK (every estimate and
+    // every feedback row crosses the wire), the reference in-process.
+    let remote = Arc::new(RemoteProvider::connect(handle.addr()).expect("connect provider"));
+    drive_engines(&r_table, &s_table, Arc::clone(&remote) as Arc<dyn CardinalityProvider>);
+    drive_engines(&r_table, &s_table, Arc::clone(&reference) as Arc<dyn CardinalityProvider>);
+
+    let served_stats = served.stats();
+    assert_eq!(served_stats.total.queries_ingested, 60, "wire feedback went missing");
+    assert_eq!(served_stats.dropped_feedback, 0);
+
+    for name in ["r", "s"] {
+        let id = TableId::from(name);
+        let svc = served.get(&id).expect("served table");
+        let rects = probes(svc.domain());
+
+        // 1. Transport exactness: the wire answers are the served
+        //    registry's answers, bit for bit.
+        let over_wire = remote.estimate_rects(&id, &rects);
+        let in_process = svc.estimate_many(&rects);
+        assert_eq!(over_wire, in_process, "wire transport changed estimates for {name}");
+
+        // 2. Training equivalence: wire-fed training matches local
+        //    training exactly.
+        let local = reference.get(&id).expect("reference table").estimate_many(&rects);
+        assert_eq!(over_wire, local, "wire-trained model diverged for {name}");
+
+        // Sanity: the battery is non-trivial (models actually trained).
+        assert!(over_wire.iter().any(|&v| v > 0.0 && v < 1.0), "degenerate battery for {name}");
+    }
+
+    // The provider seam also reports the same domains the registry holds.
+    for name in ["r", "s"] {
+        let id = TableId::from(name);
+        assert_eq!(
+            CardinalityProvider::domain_of(&*remote, &id),
+            CardinalityProvider::domain_of(&*served, &id)
+        );
+    }
+}
