@@ -54,15 +54,34 @@ pub struct QuickSelConfig {
     pub training: TrainingMethod,
     /// RNG seed for point generation and sampling (deterministic runs).
     pub seed: u64,
-    /// Maximum consecutive *warm* (incremental) refines before the next
-    /// refine falls back to a full rebuild that resamples
-    /// subpopulations. Warm refines fire only while the subpopulation
-    /// budget `m` is unchanged (i.e. once the `min(4n, 4000)` cap is
-    /// reached, or under a fixed budget) and reuse the cached assembly —
-    /// this bound keeps the frozen supports from drifting arbitrarily
-    /// far from a shifting workload. 0 disables the incremental path
-    /// entirely.
+    /// Optional hard ceiling on consecutive *warm* (incremental) refines
+    /// before the next refine falls back to a full rebuild that
+    /// resamples subpopulations. Warm refines fire only while the
+    /// subpopulation budget `m` is unchanged (i.e. once the
+    /// `min(4n, 4000)` cap is reached, or under a fixed budget) and
+    /// reuse the cached assembly. Since drift detection (below) now
+    /// decides when a resample is actually needed, the default is
+    /// `usize::MAX` (no blind ceiling); a finite value restores the old
+    /// counter behaviour and 0 disables the incremental path entirely.
     pub warm_refine_limit: usize,
+    /// Budget on retained feedback history (observed queries, their
+    /// workload points, and the trainer's cached constraint rows). When
+    /// the history exceeds this, the oldest entries are compacted by
+    /// merge (bounding-box rect, count-weighted selectivity) rather than
+    /// dropped, so coverage of old regions survives eviction; the
+    /// trainer folds evicted rows *out* of its cached system as a
+    /// signed rank-k downdate. `usize::MAX` (the default) retains
+    /// everything and is bit-identical to the historic unbounded path.
+    pub max_history: usize,
+    /// Drift trigger: a warm refine whose constraint violation exceeds
+    /// `drift_ratio ×` the tracked violation baseline (EWMA over recent
+    /// warm refines) counts as a drift strike. Must be > 1 to be
+    /// meaningful; larger is less sensitive.
+    pub drift_ratio: f64,
+    /// Consecutive drift strikes required before the next refine is
+    /// forced cold (resampling subpopulations against the current
+    /// workload). `usize::MAX` disables drift detection.
+    pub drift_patience: usize,
 }
 
 impl Default for QuickSelConfig {
@@ -78,7 +97,10 @@ impl Default for QuickSelConfig {
             refine_policy: RefinePolicy::EveryQuery,
             training: TrainingMethod::AnalyticPenalty,
             seed: 0x5EED,
-            warm_refine_limit: 64,
+            warm_refine_limit: usize::MAX,
+            max_history: usize::MAX,
+            drift_ratio: 3.0,
+            drift_patience: 3,
         }
     }
 }
@@ -129,5 +151,13 @@ mod tests {
     #[test]
     fn warm_refines_enabled_by_default() {
         assert!(QuickSelConfig::default().warm_refine_limit > 0);
+    }
+
+    #[test]
+    fn history_unbounded_by_default() {
+        let c = QuickSelConfig::default();
+        assert_eq!(c.max_history, usize::MAX);
+        assert!(c.drift_ratio > 1.0);
+        assert!(c.drift_patience >= 1);
     }
 }

@@ -51,7 +51,42 @@ pub struct QuickSel {
     /// warm incremental refines while the subpopulation budget is
     /// unchanged.
     trainer: Option<IncrementalTrainer>,
+    /// Pool points held per query, parallel to `queries` (the pool is
+    /// their concatenation, in query order).
+    point_counts: Vec<u32>,
+    /// Length of the compacted summary prefix of `queries`: entries
+    /// `0..compacted_len` are merged summaries of evicted history.
+    compacted_len: usize,
+    /// Members folded into each compacted entry (`compacted_len` long).
+    compact_counts: Vec<u64>,
+    /// History entries evicted (merged away) over this estimator's life.
+    evicted_total: u64,
+    /// Evictions since the last successful refine; surfaced through
+    /// [`TrainReport::evicted_rows`] and reset at install.
+    evicted_since_refine: usize,
+    /// Cold resamples forced by the drift detector.
+    drift_resamples: u64,
+    /// EWMA baseline of warm-refine constraint violation (NaN = unset).
+    violation_ewma: f64,
+    /// Consecutive warm refines whose violation broke the drift ratio.
+    drift_strikes: u32,
+    /// The drift detector demands the next refine resample cold.
+    force_cold: bool,
+    /// History was edited (evictions) since the last refine — the model
+    /// is stale even with nothing pending.
+    history_dirty: bool,
+    /// The last refine kept the prior on all-degenerate feedback; that
+    /// feedback is consumed, so later refines return cheaply instead of
+    /// re-running the full rebuild just to fail again.
+    prior_kept: bool,
 }
+
+/// Smoothing factor of the warm-refine violation baseline.
+const DRIFT_EWMA_ALPHA: f64 = 0.2;
+
+/// Violations below this floor never count as drift — a near-zero
+/// baseline would otherwise turn ordinary solver noise into strikes.
+const DRIFT_VIOLATION_FLOOR: f64 = 1e-4;
 
 impl QuickSel {
     /// Creates an estimator with the paper-default configuration.
@@ -74,6 +109,17 @@ impl QuickSel {
             last_error: None,
             version: 0,
             trainer: None,
+            point_counts: Vec::new(),
+            compacted_len: 0,
+            compact_counts: Vec::new(),
+            evicted_total: 0,
+            evicted_since_refine: 0,
+            drift_resamples: 0,
+            violation_ewma: f64::NAN,
+            drift_strikes: 0,
+            force_cold: false,
+            history_dirty: false,
+            prior_kept: false,
         }
     }
 
@@ -118,6 +164,23 @@ impl QuickSel {
     /// Observations ingested since the last successful refine.
     pub fn pending_feedback(&self) -> usize {
         self.pending_since_refine
+    }
+
+    /// Retained feedback-history length (≤ `config.max_history`; merged
+    /// summaries count as one entry each).
+    pub fn history_len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// History entries evicted (merged away) over this estimator's
+    /// lifetime.
+    pub fn evicted_rows(&self) -> u64 {
+        self.evicted_total
+    }
+
+    /// Cold resamples forced by the drift detector so far.
+    pub fn drift_resamples(&self) -> u64 {
+        self.drift_resamples
     }
 
     /// Diagnostics from the most recent training run.
@@ -173,14 +236,23 @@ impl QuickSel {
     /// were degenerate, and a typed [`EstimatorError`] when the solver
     /// fails (the previous model is kept in that case).
     pub fn refine(&mut self) -> Result<RefineOutcome, EstimatorError> {
+        self.enforce_history_budget();
         if self.queries.is_empty() {
             return Ok(RefineOutcome::UpToDate);
         }
-        if self.pending_since_refine == 0 && self.model.is_some() {
-            return Ok(RefineOutcome::UpToDate);
+        if self.pending_since_refine == 0 && !self.history_dirty {
+            if self.model.is_some() {
+                return Ok(RefineOutcome::UpToDate);
+            }
+            if self.prior_kept {
+                // Everything observed so far was degenerate and has
+                // already been consumed by a KeptPrior refine.
+                return Ok(RefineOutcome::KeptPrior);
+            }
         }
         let m = self.config.target_subpops(self.queries.len());
         let warm_ready = self.config.training == TrainingMethod::AnalyticPenalty
+            && !self.force_cold
             && self.trainer.as_ref().is_some_and(|t| {
                 t.subpop_count() == m
                     && t.trained_queries() <= self.queries.len()
@@ -211,8 +283,12 @@ impl QuickSel {
             &mut self.rng,
         );
         if subpops.is_empty() {
-            // All observed predicates were degenerate; keep the prior (and
-            // leave the feedback pending so later refines retry).
+            // All observed predicates were degenerate; keep the prior and
+            // mark the feedback consumed — retrying the full rebuild on
+            // the same degenerate pool could never succeed.
+            self.pending_since_refine = 0;
+            self.history_dirty = false;
+            self.prior_kept = true;
             return Ok(RefineOutcome::KeptPrior);
         }
         // A cold rebuild replaces (or, on failure, discards) any cached
@@ -257,9 +333,13 @@ impl QuickSel {
     fn install(
         &mut self,
         model: UniformMixtureModel,
-        report: TrainReport,
+        mut report: TrainReport,
         incremental: bool,
     ) -> RefineOutcome {
+        report.evicted_rows = self.evicted_since_refine;
+        report.history_len = self.queries.len();
+        self.evicted_since_refine = 0;
+        self.update_drift(report.constraint_violation, incremental);
         let outcome = RefineOutcome::Retrained {
             params: model.len(),
             constraints: report.num_constraints,
@@ -268,9 +348,156 @@ impl QuickSel {
         self.model = Some(Arc::new(model));
         self.last_report = Some(report);
         self.pending_since_refine = 0;
+        self.history_dirty = false;
+        self.prior_kept = false;
         self.last_error = None;
         self.version += 1;
         outcome
+    }
+
+    /// Tracks the constraint-violation trend across refines. A warm
+    /// refine whose violation breaks `drift_ratio ×` the EWMA baseline
+    /// counts as a strike; `drift_patience` consecutive strikes force
+    /// the next refine cold (resampling supports against the current
+    /// workload). Cold rebuilds clear the baseline — it re-seeds from
+    /// the *first warm* refine afterwards, because cold-fit violations
+    /// (few pending rows, freshly placed supports) sit an order of
+    /// magnitude below warm ones and would make every stable workload
+    /// look like drift. A stable workload therefore lets warm refines
+    /// run indefinitely.
+    fn update_drift(&mut self, violation: f64, incremental: bool) {
+        if !incremental {
+            self.violation_ewma = f64::NAN;
+            self.drift_strikes = 0;
+            self.force_cold = false;
+            return;
+        }
+        if self.config.drift_patience == usize::MAX || !violation.is_finite() {
+            return;
+        }
+        let baseline = self.violation_ewma;
+        if baseline.is_nan() {
+            self.violation_ewma = violation;
+            return;
+        }
+        if violation > self.config.drift_ratio * baseline.max(DRIFT_VIOLATION_FLOOR) {
+            self.drift_strikes += 1;
+            if self.drift_strikes as usize >= self.config.drift_patience.max(1) {
+                self.force_cold = true;
+                self.drift_resamples += 1;
+                self.drift_strikes = 0;
+            }
+        } else {
+            self.drift_strikes = 0;
+            self.violation_ewma =
+                DRIFT_EWMA_ALPHA * violation + (1.0 - DRIFT_EWMA_ALPHA) * baseline;
+        }
+    }
+
+    /// Cap on the compacted summary prefix: an eighth of the budget,
+    /// but at least 2 so a merge pair always exists.
+    fn compact_prefix_cap(budget: usize) -> usize {
+        (budget / 8).max(2)
+    }
+
+    /// Enforces `config.max_history` by merge-oldest compaction: the
+    /// oldest entries graduate into a bounded summary prefix, and within
+    /// that prefix the adjacent pair whose bounding box inflates least
+    /// is merged (hull rect, count-weighted selectivity) until the
+    /// history fits the budget. Merging never consumes the RNG and the
+    /// pool is downsampled deterministically, so replayed feedback
+    /// streams stay bit-exact; with `max_history = usize::MAX` this is
+    /// a no-op by construction.
+    fn enforce_history_budget(&mut self) {
+        let budget = self.config.max_history.max(1);
+        while self.queries.len() > budget {
+            let cap = Self::compact_prefix_cap(budget).min(self.queries.len());
+            while self.compacted_len < cap {
+                self.compact_counts.push(1);
+                self.compacted_len += 1;
+            }
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for i in 0..self.compacted_len - 1 {
+                let a = &self.queries[i].rect;
+                let b = &self.queries[i + 1].rect;
+                let cost = a.hull(b).volume() - a.volume() - b.volume();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            self.merge_history_pair(best);
+        }
+    }
+
+    /// Merges history entries `i` and `i + 1` (both inside the compacted
+    /// prefix) into one summary constraint, keeping the trainer's cached
+    /// system, the point pool, and all bookkeeping aligned.
+    fn merge_history_pair(&mut self, i: usize) {
+        let j = i + 1;
+        let merged_rect = self.queries[i].rect.hull(&self.queries[j].rect);
+        // Mass is additive, so the hull's selectivity is estimated by
+        // inclusion–exclusion (overlap mass approximated as uniform
+        // within each box), clamped into the bracket every union obeys:
+        // at least the bigger member, at most the sum. A count-weighted
+        // *mean* here would be badly wrong — as summaries grow toward
+        // the domain their constraint would fight the implicit `(B0, 1)`
+        // row, deflating the whole model.
+        let (sa, sb) = (self.queries[i].selectivity, self.queries[j].selectivity);
+        let (va, vb) = (self.queries[i].rect.volume(), self.queries[j].rect.volume());
+        let vi = self.queries[i].rect.intersection_volume(&self.queries[j].rect);
+        let overlap = if va > 0.0 && vb > 0.0 { 0.5 * (sa * vi / va + sb * vi / vb) } else { 0.0 };
+        let merged_sel = (sa + sb - overlap).clamp(sa.max(sb), (sa + sb).min(1.0)).clamp(0.0, 1.0);
+        let merged = ObservedQuery::new(merged_rect, merged_sel);
+
+        // Mirror the edit into the trainer's cached system when both
+        // entries are already folded in. A pair straddling the trained
+        // boundary (only possible when refines lag far behind ingest)
+        // cannot be edited consistently — drop the cache and let the
+        // next refine rebuild cold.
+        let trained = self.trainer.as_ref().map_or(0, |t| t.trained_queries());
+        if j < trained {
+            let edit_ok = self
+                .trainer
+                .as_mut()
+                .expect("trained > 0 implies a trainer")
+                .apply_history_edit(i, j, &merged)
+                .is_ok();
+            if !edit_ok {
+                self.trainer = None;
+            }
+        } else if i < trained {
+            self.trainer = None;
+        } else {
+            // Both entries were still pending; the merged one still is.
+            self.pending_since_refine = self.pending_since_refine.saturating_sub(1);
+        }
+
+        // Splice the pool: the two spans are adjacent, so their union is
+        // contiguous; downsample it deterministically (strided — no RNG)
+        // back to the per-query point budget.
+        let off: usize = self.point_counts[..i].iter().map(|&c| c as usize).sum();
+        let total = self.point_counts[i] as usize + self.point_counts[j] as usize;
+        let keep = total.min(self.config.points_per_query);
+        if keep < total {
+            let kept: Vec<Vec<f64>> =
+                (0..keep).map(|t| self.point_pool[off + t * total / keep].clone()).collect();
+            self.point_pool.splice(off..off + total, kept);
+        }
+        self.point_counts[i] = keep as u32;
+        self.point_counts.remove(j);
+
+        self.queries[i] = merged;
+        self.queries.remove(j);
+        let cj = self.compact_counts[j];
+        self.compact_counts[i] += cj;
+        self.compact_counts.remove(j);
+        self.compacted_len -= 1;
+
+        self.evicted_total += 1;
+        self.evicted_since_refine += 1;
+        self.history_dirty = true;
     }
 
     /// Convenience: estimate a conjunctive [`Predicate`].
@@ -294,6 +521,15 @@ impl QuickSel {
             config: self.config.clone(),
             queries: self.queries.clone(),
             point_pool: self.point_pool.clone(),
+            point_counts: self.point_counts.clone(),
+            compacted_len: self.compacted_len,
+            compact_counts: self.compact_counts.clone(),
+            evicted_total: self.evicted_total,
+            drift_resamples: self.drift_resamples,
+            violation_ewma: self.violation_ewma,
+            drift_strikes: self.drift_strikes,
+            force_cold: self.force_cold,
+            history_dirty: self.history_dirty,
             model: self.model.as_deref().map(|m| (m.rects().to_vec(), m.weights().to_vec())),
             rng_state: self.rng.state(),
             pending_since_refine: self.pending_since_refine,
@@ -356,6 +592,22 @@ impl QuickSel {
         if state.pending_since_refine > state.queries.len() {
             return Err(invalid("pending feedback exceeds the observed-query history"));
         }
+        if state.point_counts.len() != state.queries.len() {
+            return Err(invalid("point counts do not align with the query history"));
+        }
+        let counted: usize = state.point_counts.iter().map(|&c| c as usize).sum();
+        if counted != state.point_pool.len() {
+            return Err(invalid("point counts do not sum to the pool size"));
+        }
+        if state.compacted_len > state.queries.len()
+            || state.compact_counts.len() != state.compacted_len
+            || state.compact_counts.contains(&0)
+        {
+            return Err(invalid("compacted history prefix is inconsistent"));
+        }
+        if state.violation_ewma.is_infinite() {
+            return Err(invalid("violation baseline is not NaN-or-finite"));
+        }
         let trainer = match state.trainer {
             None => None,
             Some(ts) => {
@@ -381,6 +633,17 @@ impl QuickSel {
             last_error: None,
             version: state.version,
             trainer,
+            point_counts: state.point_counts,
+            compacted_len: state.compacted_len,
+            compact_counts: state.compact_counts,
+            evicted_total: state.evicted_total,
+            evicted_since_refine: 0,
+            drift_resamples: state.drift_resamples,
+            violation_ewma: state.violation_ewma,
+            drift_strikes: state.drift_strikes,
+            force_cold: state.force_cold,
+            history_dirty: state.history_dirty,
+            prior_kept: false,
         })
     }
 }
@@ -436,11 +699,13 @@ impl Learn for QuickSel {
                 continue;
             }
             let pts = workload_points(&query.rect, self.config.points_per_query, &mut self.rng);
+            self.point_counts.push(pts.len() as u32);
             self.point_pool.extend(pts);
             self.queries.push(query.clone());
             ingested += 1;
         }
         self.pending_since_refine += ingested;
+        self.enforce_history_budget();
         let retrain = match self.config.refine_policy {
             RefinePolicy::EveryQuery => ingested > 0,
             RefinePolicy::EveryK(k) => self.pending_since_refine >= k.max(1),
@@ -468,6 +733,18 @@ impl Learn for QuickSel {
 
     fn training_version(&self) -> u64 {
         self.version
+    }
+
+    fn history_len(&self) -> usize {
+        QuickSel::history_len(self)
+    }
+
+    fn evicted_rows(&self) -> u64 {
+        QuickSel::evicted_rows(self)
+    }
+
+    fn drift_resamples(&self) -> u64 {
+        QuickSel::drift_resamples(self)
     }
 }
 
@@ -537,9 +814,32 @@ impl QuickSelBuilder {
 
     /// Maximum consecutive warm (incremental) refines before a full
     /// rebuild resamples subpopulations; 0 disables the incremental
-    /// path.
+    /// path. The default (`usize::MAX`) leaves resampling to drift
+    /// detection instead of a blind counter.
     pub fn warm_refine_limit(mut self, limit: usize) -> Self {
         self.config.warm_refine_limit = limit;
+        self
+    }
+
+    /// Budget on retained feedback history; older entries compact by
+    /// merging once it is exceeded. `usize::MAX` (the default) retains
+    /// everything.
+    pub fn max_history(mut self, budget: usize) -> Self {
+        self.config.max_history = budget;
+        self
+    }
+
+    /// Violation-over-baseline ratio that counts a warm refine as a
+    /// drift strike.
+    pub fn drift_ratio(mut self, ratio: f64) -> Self {
+        self.config.drift_ratio = ratio;
+        self
+    }
+
+    /// Consecutive drift strikes before a forced cold resample;
+    /// `usize::MAX` disables drift detection.
+    pub fn drift_patience(mut self, patience: usize) -> Self {
+        self.config.drift_patience = patience;
         self
     }
 
@@ -686,6 +986,12 @@ mod tests {
         assert_eq!(qs.refine().unwrap(), RefineOutcome::KeptPrior);
         let q = Rect::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
         assert_eq!(qs.estimate(&q), 1.0);
+        // Regression: `KeptPrior` consumes the degenerate feedback. It
+        // used to leave `pending_since_refine` nonzero forever, so every
+        // later refine re-ran the full (futile) subpopulation build.
+        assert_eq!(qs.pending_feedback(), 0, "KeptPrior must consume degenerate feedback");
+        assert_eq!(qs.refine().unwrap(), RefineOutcome::KeptPrior);
+        assert_eq!(qs.pending_feedback(), 0);
     }
 
     #[test]
@@ -732,6 +1038,9 @@ mod tests {
             .training(TrainingMethod::StandardQp)
             .seed(99)
             .warm_refine_limit(7)
+            .max_history(500)
+            .drift_ratio(4.0)
+            .drift_patience(5)
             .build();
         let c = qs.config();
         assert_eq!(c.lambda, 1e5);
@@ -745,6 +1054,9 @@ mod tests {
         assert_eq!(c.training, TrainingMethod::StandardQp);
         assert_eq!(c.seed, 99);
         assert_eq!(c.warm_refine_limit, 7);
+        assert_eq!(c.max_history, 500);
+        assert_eq!(c.drift_ratio, 4.0);
+        assert_eq!(c.drift_patience, 5);
         let pinned = QuickSel::builder(domain()).fixed_subpops(64).build();
         assert_eq!(pinned.config().target_subpops(1_000_000), 64);
     }
@@ -794,6 +1106,65 @@ mod tests {
             .collect();
         // cold, warm, warm (limit reached), cold (resample), warm.
         assert_eq!(incremental, vec![false, true, true, false, true], "{outcomes:?}");
+    }
+
+    #[test]
+    fn drift_detector_forces_cold_resample_on_workload_shift() {
+        // Phase 1: a stable, self-consistent workload in the lower-left
+        // quadrant — warm refines establish a violation baseline.
+        let mut qs = QuickSel::builder(domain())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(16)
+            .drift_ratio(3.0)
+            .drift_patience(2)
+            .build();
+        for i in 0..10 {
+            let lo = (i % 4) as f64 * 0.5;
+            qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(lo, lo + 2.0), (0.0, 4.0)]), 0.08));
+            qs.refine().unwrap();
+        }
+        assert_eq!(qs.drift_resamples(), 0, "stable workload must not trip the detector");
+        let warm = qs.last_report().unwrap();
+        assert!(warm.assembly_reused, "phase 1 must end on the warm path");
+
+        // Phase 2: the workload jumps to the opposite corner with
+        // contradictory selectivities; the supports sampled for phase 1
+        // fit it badly, violations break the baseline, and after
+        // `drift_patience` strikes a refine goes cold (resampling
+        // against the shifted workload).
+        let mut saw_cold = false;
+        for i in 0..12 {
+            let lo = 6.0 + (i % 4) as f64 * 0.5;
+            qs.observe(&ObservedQuery::new(Rect::from_bounds(&[(lo, lo + 2.0), (6.0, 10.0)]), 0.9));
+            let outcome = qs.refine().unwrap();
+            if matches!(outcome, RefineOutcome::Retrained { incremental: false, .. }) {
+                saw_cold = true;
+                break;
+            }
+        }
+        assert!(saw_cold, "workload shift never forced a cold resample");
+        assert!(qs.drift_resamples() >= 1);
+        // The post-resample model serves the shifted region.
+        let probe = Rect::from_bounds(&[(6.0, 8.0), (6.0, 10.0)]);
+        assert!((qs.estimate(&probe) - 0.9).abs() < 0.3, "estimate {}", qs.estimate(&probe));
+    }
+
+    #[test]
+    fn disabled_drift_patience_never_resamples() {
+        let mut qs = QuickSel::builder(domain())
+            .refine_policy(RefinePolicy::Manual)
+            .fixed_subpops(16)
+            .drift_patience(usize::MAX)
+            .build();
+        for i in 0..8 {
+            let lo = if i < 4 { 0.0 } else { 7.0 };
+            qs.observe(&ObservedQuery::new(
+                Rect::from_bounds(&[(lo, lo + 2.0), (lo, lo + 2.0)]),
+                if i < 4 { 0.05 } else { 0.95 },
+            ));
+            qs.refine().unwrap();
+        }
+        assert_eq!(qs.drift_resamples(), 0);
     }
 
     #[test]

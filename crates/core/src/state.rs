@@ -74,6 +74,9 @@ pub struct TrainerState {
     pub pending_rows: Vec<f64>,
     /// Cached base-system solves of the pending rows, flattened.
     pub pending_solved: Vec<f64>,
+    /// Per-row update signs (±1; −1 marks a history-eviction downdate).
+    /// Older captures without signs restore as all-positive.
+    pub pending_signs: Vec<f64>,
     /// Number of pending update rows.
     pub pending_rank: usize,
     /// Penalty weight λ of the trained system.
@@ -91,10 +94,35 @@ pub struct QuickSelState {
     pub domain: Domain,
     /// The active configuration.
     pub config: QuickSelConfig,
-    /// Observed queries, in arrival order.
+    /// Observed queries, in arrival order. The first `compacted_len`
+    /// entries are merged summaries of evicted history rather than raw
+    /// observations.
     pub queries: Vec<ObservedQuery>,
-    /// Workload-aware points generated at observe time.
+    /// Workload-aware points generated at observe time, in query order.
     pub point_pool: Vec<Vec<f64>>,
+    /// Per-query count of pool points, parallel to `queries` (the pool
+    /// is their concatenation). Older captures reconstruct this from the
+    /// points-per-query setting.
+    pub point_counts: Vec<u32>,
+    /// Length of the compacted summary prefix of `queries`.
+    pub compacted_len: usize,
+    /// Members folded into each compacted summary entry, parallel to the
+    /// prefix (`compacted_len` entries, each ≥ 1).
+    pub compact_counts: Vec<u64>,
+    /// Total history entries evicted (merged away) over this estimator's
+    /// lifetime.
+    pub evicted_total: u64,
+    /// Cold resamples forced by the drift detector.
+    pub drift_resamples: u64,
+    /// EWMA of warm-refine constraint violation (NaN = no baseline yet).
+    pub violation_ewma: f64,
+    /// Consecutive drift strikes accumulated against the baseline.
+    pub drift_strikes: u32,
+    /// True when the drift detector has demanded the next refine be cold.
+    pub force_cold: bool,
+    /// True when history was edited (evictions) since the last
+    /// successful refine — the model is stale even with nothing pending.
+    pub history_dirty: bool,
     /// The trained model as `(supports, weights)`, if any refine had
     /// succeeded. Reciprocal volumes are recomputed at restore (the same
     /// `1.0 / volume()` expression, so they rebuild bit-identically).

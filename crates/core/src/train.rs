@@ -53,6 +53,13 @@ pub struct TrainReport {
     /// incremental update on a warm refine, or the full constraint count
     /// on a cold rebuild.
     pub rows_appended: usize,
+    /// History entries evicted (merged away) since the previous report.
+    /// Filled in by the estimator, which owns the history budget; plain
+    /// trainer runs report 0.
+    pub evicted_rows: usize,
+    /// Retained feedback-history length at the time of this run (0 when
+    /// the run came from a bare trainer with no estimator attached).
+    pub history_len: usize,
 }
 
 /// Assembles the QP of Theorem 1 from subpopulation supports and observed
@@ -150,6 +157,8 @@ pub fn train(
         iterations,
         assembly_reused: false,
         rows_appended: qp.num_constraints(),
+        evicted_rows: 0,
+        history_len: 0,
     };
     Ok((UniformMixtureModel::new(subpops, weights), report))
 }
@@ -240,6 +249,8 @@ impl IncrementalTrainer {
             iterations: 0,
             assembly_reused: false,
             rows_appended: trainer.a.rows(),
+            evicted_rows: 0,
+            history_len: 0,
         };
         let model = UniformMixtureModel::new(trainer.subpops.clone(), weights);
         Ok((trainer, model, report))
@@ -362,8 +373,70 @@ impl IncrementalTrainer {
             iterations: 0,
             assembly_reused: true,
             rows_appended: new_queries.len(),
+            evicted_rows: 0,
+            history_len: 0,
         };
         Ok((UniformMixtureModel::new(self.subpops.clone(), weights), report))
+    }
+
+    /// Applies one history-compaction edit to the cached system: the
+    /// trained constraints at `replaced` and `removed` (0-based trained-
+    /// query indices, excluding the implicit `(B0, 1)` row) fold *out*
+    /// and the `merged` summary constraint folds *in*, keeping `A`/`s`
+    /// aligned with the estimator's edited query history (`merged`
+    /// overwrites `replaced` in place; `removed` is dropped with
+    /// order-preserving shifting). The solver absorbs the change as a
+    /// signed rank-3 Woodbury update, or a factor refresh when that
+    /// would cross [`WOODBURY_REFRESH_RANK`] — mirroring the append
+    /// path's policy.
+    pub fn apply_history_edit(
+        &mut self,
+        replaced: usize,
+        removed: usize,
+        merged: &ObservedQuery,
+    ) -> Result<(), LinalgError> {
+        let n = self.trained_queries();
+        assert!(replaced < n && removed < n && replaced != removed, "edit indices out of range");
+        let m = self.subpops.len();
+        let will_refresh =
+            self.lambda <= 0.0 || self.solver.pending_rank() + 3 > WOODBURY_REFRESH_RANK;
+        // Fold the two old constraint rows out of AᵀA / Aᵀs.
+        for idx in [replaced, removed] {
+            let row = self.a.row(idx + 1).to_vec();
+            let sv = self.s[idx + 1];
+            for (i, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    self.ats[i] -= sv * v;
+                }
+            }
+            rank_one_gram(&mut self.gram, &row, -1.0);
+            if !will_refresh {
+                self.solver.append_signed_row(&row, -1.0);
+            }
+        }
+        // Fold the merged summary constraint in.
+        let mut scratch = self.grid.scratch();
+        let mut new_row = vec![0.0; m];
+        self.grid.constraint_row_into(&merged.rect, &mut new_row, &mut scratch);
+        for (i, &v) in new_row.iter().enumerate() {
+            if v != 0.0 {
+                self.ats[i] += merged.selectivity * v;
+            }
+        }
+        rank_one_gram(&mut self.gram, &new_row, 1.0);
+        if !will_refresh {
+            self.solver.append_signed_row(&new_row, 1.0);
+        }
+        // Keep A/s aligned with the edited history.
+        self.a.row_mut(replaced + 1).copy_from_slice(&new_row);
+        self.s[replaced + 1] = merged.selectivity;
+        self.a.remove_row(removed + 1);
+        self.s.remove(removed + 1);
+        if will_refresh {
+            let system = Self::system_matrix(&self.q, &self.gram, self.lambda, self.ridge_abs);
+            self.solver.refresh(&system)?;
+        }
+        Ok(())
     }
 
     /// Captures the complete trainer state (supports, assembled system,
@@ -382,6 +455,7 @@ impl IncrementalTrainer {
             solver_scale: self.solver.scale(),
             pending_rows: self.solver.pending_rows().to_vec(),
             pending_solved: self.solver.pending_solved().to_vec(),
+            pending_signs: self.solver.pending_signs().to_vec(),
             pending_rank: self.solver.pending_rank(),
             lambda: self.lambda,
             ridge_abs: self.ridge_abs,
@@ -449,6 +523,7 @@ impl IncrementalTrainer {
             state.solver_scale,
             state.pending_rows,
             state.pending_solved,
+            state.pending_signs,
             state.pending_rank,
         )
         .map_err(|_| invalid("captured solver parts are inconsistent"))?;
@@ -466,6 +541,22 @@ impl IncrementalTrainer {
             ridge_abs: state.ridge_abs,
             warm_refines: state.warm_refines,
         })
+    }
+}
+
+/// One signed symmetric rank-1 update `gram += sign·rᵀr`, restricted to
+/// the row's nonzero support. Used by history eviction, where edits
+/// arrive one merge at a time and the parallel batched fold would not
+/// pay for itself.
+fn rank_one_gram(gram: &mut DMatrix, row: &[f64], sign: f64) {
+    let nz: Vec<usize> =
+        row.iter().enumerate().filter(|&(_, &v)| v != 0.0).map(|(i, _)| i).collect();
+    for &i in &nz {
+        let ri = sign * row[i];
+        let g_row = gram.row_mut(i);
+        for &j in &nz {
+            g_row[j] += ri * row[j];
+        }
     }
 }
 
@@ -722,6 +813,60 @@ mod tests {
             train(&d, subs, &queries, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
         for (wi, ws) in warm_model.weights().iter().zip(scratch_model.weights()) {
             assert!((wi - ws).abs() < 1e-6, "incremental {wi} vs scratch {ws}");
+        }
+    }
+
+    #[test]
+    fn history_edit_matches_from_scratch_on_edited_queries() {
+        // Fold 8 queries in cold, merge the oldest two into a bounding-box
+        // summary via the signed downdate path, and demand the warm
+        // re-solve matches a from-scratch train over the edited history.
+        let d = domain();
+        let subs = grid_subpops(&d);
+        let queries: Vec<ObservedQuery> = (0..40)
+            .map(|i| {
+                let lo = (i % 5) as f64;
+                ObservedQuery::new(
+                    Rect::from_bounds(&[(lo, lo + 3.0), (0.5 * (i % 4) as f64, 7.0)]),
+                    ((i % 4) as f64) * 0.25,
+                )
+            })
+            .collect();
+        let (mut trainer, _, _) =
+            IncrementalTrainer::cold(&d, subs.clone(), &queries, 1e6, 0.0).unwrap();
+        let merged = ObservedQuery::new(queries[0].rect.hull(&queries[1].rect), {
+            (queries[0].selectivity + queries[1].selectivity) / 2.0
+        });
+        trainer.apply_history_edit(0, 1, &merged).unwrap();
+        assert_eq!(trainer.trained_queries(), queries.len() - 1);
+
+        let mut edited: Vec<ObservedQuery> = queries[2..].to_vec();
+        edited.insert(0, merged);
+        let (warm_model, _) = trainer.refine(&[]).unwrap();
+        let (scratch_model, _) =
+            train(&d, subs.clone(), &edited, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+        for (wi, ws) in warm_model.weights().iter().zip(scratch_model.weights()) {
+            assert!((wi - ws).abs() < 1e-6, "edited {wi} vs scratch {ws}");
+        }
+
+        // Enough edits to force a factor refresh keep matching too.
+        let mut current = edited.clone();
+        for _ in 0..14 {
+            let merged = ObservedQuery::new(current[0].rect.hull(&current[1].rect), {
+                (current[0].selectivity + current[1].selectivity) / 2.0
+            });
+            trainer.apply_history_edit(0, 1, &merged).unwrap();
+            current.remove(1);
+            current[0] = merged;
+            if current.len() < 2 {
+                break;
+            }
+        }
+        let (warm_model, _) = trainer.refine(&[]).unwrap();
+        let (scratch_model, _) =
+            train(&d, subs, &current, TrainingMethod::AnalyticPenalty, 1e6, 0.0).unwrap();
+        for (wi, ws) in warm_model.weights().iter().zip(scratch_model.weights()) {
+            assert!((wi - ws).abs() < 1e-5, "post-refresh {wi} vs scratch {ws}");
         }
     }
 }

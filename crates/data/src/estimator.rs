@@ -331,6 +331,27 @@ pub trait Learn: Estimate {
     fn training_version(&self) -> u64 {
         0
     }
+
+    /// Number of feedback observations currently retained in the
+    /// learner's history (compacted summaries count once). Bounded
+    /// learners report their live window; methods without retained
+    /// history report 0 (the default).
+    fn history_len(&self) -> usize {
+        0
+    }
+
+    /// Total history entries evicted (merged away) under a history
+    /// budget over this learner's lifetime. Default: 0 (unbounded or
+    /// untracked).
+    fn evicted_rows(&self) -> u64 {
+        0
+    }
+
+    /// Cold resamples forced by drift detection over this learner's
+    /// lifetime. Default: 0 (no drift detector).
+    fn drift_resamples(&self) -> u64 {
+        0
+    }
 }
 
 /// Learners able to publish an immutable, thread-safe view of their
@@ -390,6 +411,15 @@ impl<T: Learn + ?Sized> Learn for Box<T> {
     }
     fn training_version(&self) -> u64 {
         (**self).training_version()
+    }
+    fn history_len(&self) -> usize {
+        (**self).history_len()
+    }
+    fn evicted_rows(&self) -> u64 {
+        (**self).evicted_rows()
+    }
+    fn drift_resamples(&self) -> u64 {
+        (**self).drift_resamples()
     }
 }
 
@@ -525,6 +555,9 @@ mod tests {
         assert_eq!(boxed.refine(), Ok(RefineOutcome::UpToDate));
         assert!(boxed.last_error().is_none());
         assert_eq!(boxed.training_version(), 0);
+        assert_eq!(boxed.history_len(), 0);
+        assert_eq!(boxed.evicted_rows(), 0);
+        assert_eq!(boxed.drift_resamples(), 0);
         assert_eq!(boxed.estimate(&domain.full_rect()), 0.5);
         assert_eq!(boxed.estimate_many(&[domain.full_rect()]), vec![0.5]);
         assert_eq!(boxed.param_count(), 1);

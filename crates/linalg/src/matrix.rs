@@ -124,6 +124,17 @@ impl DMatrix {
         self.rows += 1;
     }
 
+    /// Removes row `r`, shifting later rows up (order-preserving).
+    ///
+    /// Used by the bounded-history trainer to evict constraint rows
+    /// while keeping the row order aligned with the query history.
+    pub fn remove_row(&mut self, r: usize) {
+        assert!(r < self.rows, "remove_row index out of range");
+        let start = r * self.cols;
+        self.data.drain(start..start + self.cols);
+        self.rows -= 1;
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> DMatrix {
         let mut t = DMatrix::zeros(self.cols, self.rows);

@@ -23,6 +23,13 @@
 //! (re-factor the updated system and clear the pending rows) once
 //! [`pending_rank`](RankUpdateSolver::pending_rank) passes a small limit;
 //! [`WOODBURY_REFRESH_RANK`] is the recommended bound.
+//!
+//! Rows also fold **out**: evicting a constraint is the same identity
+//! with a signed update `M = M₀ + Σ σ_j·scale·r_jᵀr_j`, `σ_j ∈ {+1,−1}`.
+//! The capacitance matrix `C = diag(σ_j/scale) + R·Z` is SPD only when
+//! every sign is positive, so mixed-sign corrections route through an LU
+//! solve; the all-positive path is bit-identical to the historic
+//! Cholesky one.
 
 use crate::cholesky::{factor_spd, CholeskyFactor};
 use crate::matrix::DMatrix;
@@ -46,6 +53,8 @@ pub struct RankUpdateSolver {
     rows: Vec<f64>,
     /// Cached `z_j = M₀⁻¹ r_j`, flattened parallel to `rows`.
     solved: Vec<f64>,
+    /// Per-row sign σ_j: `+1.0` folds the row in, `-1.0` folds it out.
+    signs: Vec<f64>,
     rank: usize,
 }
 
@@ -62,6 +71,7 @@ impl RankUpdateSolver {
             scale,
             rows: Vec::new(),
             solved: Vec::new(),
+            signs: Vec::new(),
             rank: 0,
         })
     }
@@ -92,6 +102,11 @@ impl RankUpdateSolver {
         &self.solved
     }
 
+    /// Per-row update signs (`pending_rank()` entries of ±1.0).
+    pub fn pending_signs(&self) -> &[f64] {
+        &self.signs
+    }
+
     /// Rebuilds a solver from captured parts (factor, scale, pending rows
     /// and their cached solves) — the persistence counterpart of the
     /// accessors above. Shapes are validated so a decoder can never
@@ -102,6 +117,7 @@ impl RankUpdateSolver {
         scale: f64,
         rows: Vec<f64>,
         solved: Vec<f64>,
+        signs: Vec<f64>,
         rank: usize,
     ) -> Result<Self, LinalgError> {
         if scale <= 0.0 || !scale.is_finite() {
@@ -113,7 +129,12 @@ impl RankUpdateSolver {
                 context: "pending rows/solves must be rank × order",
             });
         }
-        Ok(Self { factor, scale, rows, solved, rank })
+        if signs.len() != rank || signs.iter().any(|&s| s != 1.0 && s != -1.0) {
+            return Err(LinalgError::ShapeMismatch {
+                context: "pending signs must be rank entries of ±1",
+            });
+        }
+        Ok(Self { factor, scale, rows, solved, signs, rank })
     }
 
     /// Number of update rows folded in since the last factorization.
@@ -127,12 +148,25 @@ impl RankUpdateSolver {
     /// # Panics
     /// Panics when `row.len()` differs from the system order.
     pub fn append_row(&mut self, row: &[f64]) {
+        self.append_signed_row(row, 1.0);
+    }
+
+    /// Appends one signed update row: the solver now answers for
+    /// `M + sign·scale·rᵀr`. `sign = -1.0` folds a previously-included
+    /// row back *out* (a downdate). Costs one cached triangular solve.
+    ///
+    /// # Panics
+    /// Panics when `row.len()` differs from the system order or `sign`
+    /// is not exactly `±1.0`.
+    pub fn append_signed_row(&mut self, row: &[f64], sign: f64) {
         let m = self.order();
         assert_eq!(row.len(), m, "update row length must equal system order");
+        assert!(sign == 1.0 || sign == -1.0, "update sign must be ±1");
         self.rows.extend_from_slice(row);
         let mut z = row.to_vec();
         self.factor.solve_in_place(&mut z);
         self.solved.extend_from_slice(&z);
+        self.signs.push(sign);
         self.rank += 1;
     }
 
@@ -144,6 +178,7 @@ impl RankUpdateSolver {
         self.factor = factor_spd(system)?;
         self.rows.clear();
         self.solved.clear();
+        self.signs.clear();
         self.rank = 0;
         Ok(())
     }
@@ -159,7 +194,10 @@ impl RankUpdateSolver {
         if k == 0 {
             return Ok(x);
         }
-        // Capacitance C = I/scale + R·Z, with Z the cached solves.
+        // Capacitance C = diag(σ/scale) + R·Z, with Z the cached solves.
+        // All-positive signs keep the historic `I/scale` diagonal (and
+        // its bit-exact Cholesky route); any fold-out makes C indefinite.
+        let all_positive = self.signs.iter().all(|&s| s == 1.0);
         let mut c = DMatrix::zeros(k, k);
         for i in 0..k {
             let ri = &self.rows[i * m..(i + 1) * m];
@@ -167,11 +205,15 @@ impl RankUpdateSolver {
             for (j, cv) in crow.iter_mut().enumerate() {
                 *cv = dot(ri, &self.solved[j * m..(j + 1) * m]);
             }
-            crow[i] += 1.0 / self.scale;
+            crow[i] += self.signs[i] / self.scale;
         }
         // t = R·(M₀⁻¹ b), u = C⁻¹ t.
         let t: Vec<f64> = (0..k).map(|i| dot(&self.rows[i * m..(i + 1) * m], &x)).collect();
-        let u = factor_spd(&c)?.solve(&t);
+        let u = if all_positive {
+            factor_spd(&c)?.solve(&t)
+        } else {
+            crate::lu::solve_general(&c, &t)?
+        };
         // x -= Z·u.
         for (i, &ui) in u.iter().enumerate() {
             if ui == 0.0 {
@@ -299,6 +341,7 @@ mod tests {
             s.scale(),
             s.pending_rows().to_vec(),
             s.pending_solved().to_vec(),
+            s.pending_signs().to_vec(),
             s.pending_rank(),
         )
         .unwrap();
@@ -310,9 +353,93 @@ mod tests {
             25.0,
             vec![0.0; n],
             vec![0.0; n],
+            vec![1.0, 1.0],
             2,
         )
         .is_err());
+        // A sign vector whose length or values disagree is rejected too.
+        assert!(RankUpdateSolver::from_parts(
+            crate::cholesky::CholeskyFactor::from_lower(s.factor().l().clone()).unwrap(),
+            25.0,
+            vec![0.0; 2 * n],
+            vec![0.0; 2 * n],
+            vec![1.0, 0.5],
+            2,
+        )
+        .is_err());
+    }
+
+    /// Dense ground truth for signed updates: M₀ + λΣσ·rᵀr.
+    fn dense_solve_signed(
+        m0: &DMatrix,
+        lambda: f64,
+        rows: &[(Vec<f64>, f64)],
+        b: &[f64],
+    ) -> Vec<f64> {
+        let mut m = m0.clone();
+        for (r, sign) in rows {
+            for (i, &ri) in r.iter().enumerate() {
+                for (j, &rj) in r.iter().enumerate() {
+                    m.add_to(i, j, sign * lambda * ri * rj);
+                }
+            }
+        }
+        crate::cholesky::solve_spd(&m, b).unwrap()
+    }
+
+    #[test]
+    fn signed_downdate_matches_dense_rebuild() {
+        // Fold three rows into the base system, then fold one back out
+        // plus fold a fresh one in — the exact shape of a history
+        // eviction (remove old constraint, insert its merged summary).
+        let n = 12;
+        let lambda = 1e3;
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..n).map(|i| ((i * 7 + r * 11) % 10) as f64 * 0.1).collect())
+            .collect();
+        let mut base = spd(n, 6);
+        for r in &rows[..3] {
+            for (i, &ri) in r.iter().enumerate() {
+                for (j, &rj) in r.iter().enumerate() {
+                    base.add_to(i, j, lambda * ri * rj);
+                }
+            }
+        }
+        let mut s = RankUpdateSolver::new(&base, lambda).unwrap();
+        s.append_signed_row(&rows[1], -1.0);
+        s.append_signed_row(&rows[3], 1.0);
+        assert_eq!(s.pending_rank(), 2);
+        assert_eq!(s.pending_signs(), &[-1.0, 1.0]);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let x = s.solve(&b).unwrap();
+        let xd = dense_solve_signed(
+            &base,
+            lambda,
+            &[(rows[1].clone(), -1.0), (rows[3].clone(), 1.0)],
+            &b,
+        );
+        for (u, v) in x.iter().zip(&xd) {
+            assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn exact_cancellation_of_a_folded_row_recovers_the_base_system() {
+        // +r then −r in the same pending set: the correction must cancel
+        // to the base answer (the capacitance stays well-posed because
+        // det(C) = −1/scale² ≠ 0 even for identical rows).
+        let n = 9;
+        let a = spd(n, 7);
+        let row: Vec<f64> = (0..n).map(|i| ((i * 3) % 5) as f64 * 0.2).collect();
+        let mut s = RankUpdateSolver::new(&a, 200.0).unwrap();
+        s.append_signed_row(&row, 1.0);
+        s.append_signed_row(&row, -1.0);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let x = s.solve(&b).unwrap();
+        let xr = crate::cholesky::solve_spd(&a, &b).unwrap();
+        for (u, v) in x.iter().zip(&xr) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
     }
 
     proptest! {
@@ -340,6 +467,41 @@ mod tests {
             }
             let x = s.solve(&b).unwrap();
             let xd = dense_solve(&a, lambda, &dense_rows, &b);
+            for (u, v) in x.iter().zip(&xd) {
+                prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+            }
+        }
+
+        /// Mixed-sign corrections (downdating rows that were folded into
+        /// the base) match the dense signed rebuild.
+        #[test]
+        fn prop_signed_woodbury_matches_dense(
+            seed in 0u64..32,
+            rows in prop::collection::vec(prop::collection::vec(0.0..1.0f64, 8), 2..6),
+            b in prop::collection::vec(-2.0..2.0f64, 8),
+        ) {
+            let n = 8;
+            let lambda = 100.0;
+            // Every row is part of the base, so downdating any subset
+            // leaves the effective system SPD.
+            let mut base = spd(n, seed);
+            for r in &rows {
+                for (i, &ri) in r.iter().enumerate() {
+                    for (j, &rj) in r.iter().enumerate() {
+                        base.add_to(i, j, lambda * ri * rj);
+                    }
+                }
+            }
+            let mut s = RankUpdateSolver::new(&base, lambda).unwrap();
+            let mut signed = Vec::new();
+            for (idx, r) in rows.iter().enumerate() {
+                if idx % 2 == 0 {
+                    s.append_signed_row(r, -1.0);
+                    signed.push((r.clone(), -1.0));
+                }
+            }
+            let x = s.solve(&b).unwrap();
+            let xd = dense_solve_signed(&base, lambda, &signed, &b);
             for (u, v) in x.iter().zip(&xd) {
                 prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
             }

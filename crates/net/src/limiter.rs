@@ -26,6 +26,14 @@ pub struct TokenBucket {
     last_refill: Instant,
 }
 
+/// Ceiling on the `Retry{after_ms}` hint: one minute. An extreme
+/// rate/burst ratio (a near-zero refill rate against a huge deficit)
+/// would otherwise quote a retry time of days — or saturate the `u64`
+/// outright via `f64::INFINITY as u64` — which clients treat as "never
+/// retry". Capacity estimates that far out are fiction anyway; a capped
+/// hint keeps the client politely probing.
+pub const MAX_RETRY_AFTER_MS: u64 = 60_000;
+
 impl TokenBucket {
     /// A bucket refilling `rate` tokens/s, holding at most `burst`
     /// (starts full). A non-finite or non-positive `rate` disables
@@ -62,10 +70,17 @@ impl TokenBucket {
             return Ok(());
         }
         // Time until the deficit refills; clamped to at least 1ms so a
-        // client never busy-spins on a zero backoff.
+        // client never busy-spins on a zero backoff, and to
+        // [`MAX_RETRY_AFTER_MS`] so an extreme rate/burst ratio can't
+        // quote an astronomic (or `u64`-saturated) retry time.
         let deficit = (need.min(self.burst)) - self.tokens;
         let ms = (deficit / self.rate * 1000.0).ceil();
-        Err((ms as u64).max(1))
+        let ms = if ms.is_finite() {
+            ms.min(MAX_RETRY_AFTER_MS as f64) as u64
+        } else {
+            MAX_RETRY_AFTER_MS
+        };
+        Err(ms.max(1))
     }
 }
 
@@ -153,6 +168,23 @@ mod tests {
                                  // burst — nothing was deducted.
         std::thread::sleep(std::time::Duration::from_millis(2));
         assert!(b.try_take(100).is_ok(), "bucket refilled to burst");
+    }
+
+    #[test]
+    fn extreme_rate_ratio_backoff_is_clamped() {
+        // A trickle rate against a huge deficit: the honest refill time
+        // is ~3 years; the hint must cap at the retry ceiling instead of
+        // quoting it (or saturating u64 on an infinite intermediate).
+        let mut b = TokenBucket::new(1e-6, 1e8);
+        assert!(b.try_take(100_000_000).is_ok(), "burst admits");
+        let backoff = b.try_take(100_000_000).unwrap_err();
+        assert_eq!(backoff, MAX_RETRY_AFTER_MS);
+
+        // Subnormal rate: deficit / rate overflows to infinity.
+        let mut b = TokenBucket::new(f64::MIN_POSITIVE, 10.0);
+        assert!(b.try_take(10).is_ok());
+        let backoff = b.try_take(10).unwrap_err();
+        assert!((1..=MAX_RETRY_AFTER_MS).contains(&backoff), "backoff {backoff} out of range");
     }
 
     #[test]

@@ -26,7 +26,18 @@ use quicksel_linalg::DMatrix;
 /// Magic of an estimator-state container.
 pub const STATE_MAGIC: [u8; 4] = *b"QSES";
 /// Current estimator-state format version.
-pub const STATE_VERSION: u16 = 1;
+///
+/// * **v1** — unbounded history: no history-budget config, no
+///   compaction bookkeeping, no drift-detector state, unsigned pending
+///   Woodbury rows.
+/// * **v2** — adds `max_history`/`drift_ratio`/`drift_patience` to the
+///   config, per-query point counts, the compacted-prefix bookkeeping,
+///   drift-detector state, and per-row signs on the trainer's pending
+///   updates. v1 containers still decode: the new fields restore to the
+///   exact semantics a v1 estimator had (unbounded history, default
+///   drift knobs, all-positive pending rows), and `point_counts` is
+///   reconstructed from the points-per-query setting.
+pub const STATE_VERSION: u16 = 2;
 
 const SEC_DOMAIN: [u8; 4] = *b"DOMN";
 const SEC_CONFIG: [u8; 4] = *b"CONF";
@@ -145,9 +156,12 @@ fn put_config(out: &mut Vec<u8>, c: &QuickSelConfig) {
     }
     out.put_u64(c.seed);
     out.put_usize(c.warm_refine_limit);
+    out.put_usize(c.max_history);
+    out.put_f64(c.drift_ratio);
+    out.put_usize(c.drift_patience);
 }
 
-fn get_config(r: &mut Reader<'_>) -> Result<QuickSelConfig, PersistError> {
+fn get_config(r: &mut Reader<'_>, version: u16) -> Result<QuickSelConfig, PersistError> {
     let lambda = r.f64("lambda")?;
     let ridge_rel = r.f64("ridge_rel")?;
     let points_per_query = r.usize("points_per_query")?;
@@ -168,6 +182,16 @@ fn get_config(r: &mut Reader<'_>) -> Result<QuickSelConfig, PersistError> {
     };
     let seed = r.u64("seed")?;
     let warm_refine_limit = r.usize("warm_refine_limit")?;
+    // v1 predates bounded history and drift detection: restore those
+    // knobs to values that reproduce v1 behaviour exactly (unbounded
+    // history; drift defaults match what a default-configured v1
+    // estimator now gets on upgrade).
+    let defaults = QuickSelConfig::default();
+    let (max_history, drift_ratio, drift_patience) = if version >= 2 {
+        (r.usize("max_history")?, r.f64("drift_ratio")?, r.usize("drift_patience")?)
+    } else {
+        (usize::MAX, defaults.drift_ratio, defaults.drift_patience)
+    };
     Ok(QuickSelConfig {
         lambda,
         ridge_rel,
@@ -180,6 +204,9 @@ fn get_config(r: &mut Reader<'_>) -> Result<QuickSelConfig, PersistError> {
         training,
         seed,
         warm_refine_limit,
+        max_history,
+        drift_ratio,
+        drift_patience,
     })
 }
 
@@ -234,9 +261,10 @@ fn put_trainer(out: &mut Vec<u8>, t: &TrainerState) {
     out.put_f64(t.lambda);
     out.put_f64(t.ridge_abs);
     out.put_usize(t.warm_refines);
+    put_f64s(out, &t.pending_signs);
 }
 
-fn get_trainer(r: &mut Reader<'_>) -> Result<TrainerState, PersistError> {
+fn get_trainer(r: &mut Reader<'_>, version: u16) -> Result<TrainerState, PersistError> {
     let m = r.bounded_len(4, "subpop count")?;
     let subpops = (0..m).map(|_| decode_rect(r)).collect::<Result<Vec<_>, _>>()?;
     let q = get_matrix(r)?;
@@ -252,6 +280,9 @@ fn get_trainer(r: &mut Reader<'_>) -> Result<TrainerState, PersistError> {
     let lambda = r.f64("trainer lambda")?;
     let ridge_abs = r.f64("trainer ridge")?;
     let warm_refines = r.usize("warm refines")?;
+    // v1 pending rows were always fold-ins; signs restore all-positive.
+    let pending_signs =
+        if version >= 2 { get_f64s(r, "pending signs")? } else { vec![1.0; pending_rank] };
     Ok(TrainerState {
         subpops,
         q,
@@ -267,6 +298,7 @@ fn get_trainer(r: &mut Reader<'_>) -> Result<TrainerState, PersistError> {
         lambda,
         ridge_abs,
         warm_refines,
+        pending_signs,
     })
 }
 
@@ -310,6 +342,23 @@ pub fn encode_state(state: &QuickSelState) -> Vec<u8> {
     }
     misc.put_usize(state.pending_since_refine);
     misc.put_u64(state.version);
+    // v2 additions: history-compaction bookkeeping and drift-detector
+    // state, appended so the v1 prefix layout is untouched.
+    misc.put_u64(state.evicted_total);
+    misc.put_u64(state.drift_resamples);
+    misc.put_usize(state.compacted_len);
+    misc.put_usize(state.compact_counts.len());
+    for &c in &state.compact_counts {
+        misc.put_u64(c);
+    }
+    misc.put_usize(state.point_counts.len());
+    for &c in &state.point_counts {
+        misc.put_u32(c);
+    }
+    misc.put_f64(state.violation_ewma);
+    misc.put_u32(state.drift_strikes);
+    misc.put_u32(u32::from(state.force_cold));
+    misc.put_u32(u32::from(state.history_dirty));
 
     let trainer = state.trainer.as_ref().map(|t| {
         let mut buf = Vec::new();
@@ -336,12 +385,13 @@ pub fn encode_state(state: &QuickSelState) -> Vec<u8> {
 /// truncation) surface as their specific [`PersistError`] variants.
 pub fn decode_state(bytes: &[u8]) -> Result<QuickSelState, PersistError> {
     let c = Container::open(STATE_MAGIC, STATE_VERSION, bytes)?;
+    let version = c.version();
 
     let mut r = Reader::new(c.section(SEC_DOMAIN)?);
     let domain = decode_domain(&mut r)?;
 
     let mut r = Reader::new(c.section(SEC_CONFIG)?);
-    let config = get_config(&mut r)?;
+    let config = get_config(&mut r, version)?;
 
     let mut r = Reader::new(c.section(SEC_QUERIES)?);
     let n = r.bounded_len(12, "query count")?;
@@ -375,11 +425,63 @@ pub fn decode_state(bytes: &[u8]) -> Result<QuickSelState, PersistError> {
         *w = r.u64("rng state word")?;
     }
     let pending_since_refine = r.usize("pending_since_refine")?;
-    let version = r.u64("training version")?;
+    let training_version = r.u64("training version")?;
+
+    let (
+        evicted_total,
+        drift_resamples,
+        compacted_len,
+        compact_counts,
+        point_counts,
+        violation_ewma,
+        drift_strikes,
+        force_cold,
+        history_dirty,
+    ) = if version >= 2 {
+        let evicted_total = r.u64("evicted_total")?;
+        let drift_resamples = r.u64("drift_resamples")?;
+        let compacted_len = r.usize("compacted_len")?;
+        let n = r.bounded_len(8, "compact counts")?;
+        let compact_counts =
+            (0..n).map(|_| r.u64("compact count")).collect::<Result<Vec<_>, _>>()?;
+        let n = r.bounded_len(4, "point counts")?;
+        let point_counts = (0..n).map(|_| r.u32("point count")).collect::<Result<Vec<_>, _>>()?;
+        let violation_ewma = r.f64("violation_ewma")?;
+        let drift_strikes = r.u32("drift_strikes")?;
+        let force_cold = r.u32("force_cold")? != 0;
+        let history_dirty = r.u32("history_dirty")? != 0;
+        (
+            evicted_total,
+            drift_resamples,
+            compacted_len,
+            compact_counts,
+            point_counts,
+            violation_ewma,
+            drift_strikes,
+            force_cold,
+            history_dirty,
+        )
+    } else {
+        // v1 captures had no per-query point counts; reconstruct them
+        // from the generation rule (`points_per_query` workload points
+        // per observation, none inside a zero-volume predicate) and
+        // check the reconstruction against the serialized pool.
+        let point_counts: Vec<u32> = queries
+            .iter()
+            .map(|q| if q.rect.is_empty() { 0 } else { config.points_per_query as u32 })
+            .collect();
+        let total: u64 = point_counts.iter().map(|&c| u64::from(c)).sum();
+        if total != point_pool.len() as u64 {
+            return Err(PersistError::Invalid {
+                context: "v1 point pool inconsistent with points-per-query",
+            });
+        }
+        (0, 0, 0, Vec::new(), point_counts, f64::NAN, 0, false, false)
+    };
 
     let trainer = match c.section_opt(SEC_TRAINER)? {
         None => None,
-        Some(bytes) => Some(get_trainer(&mut Reader::new(bytes))?),
+        Some(bytes) => Some(get_trainer(&mut Reader::new(bytes), version)?),
     };
 
     Ok(QuickSelState {
@@ -387,10 +489,19 @@ pub fn decode_state(bytes: &[u8]) -> Result<QuickSelState, PersistError> {
         config,
         queries,
         point_pool,
+        point_counts,
+        compacted_len,
+        compact_counts,
+        evicted_total,
+        drift_resamples,
+        violation_ewma,
+        drift_strikes,
+        force_cold,
+        history_dirty,
         model,
         rng_state,
         pending_since_refine,
-        version,
+        version: training_version,
         trainer,
     })
 }

@@ -5,10 +5,14 @@
 //! round-trip to bit-identical estimates.
 
 use proptest::prelude::*;
-use quicksel_core::{QuickSel, RefinePolicy, StateError};
-use quicksel_data::{Estimate, Learn, ObservedQuery};
+use quicksel_core::{QuickSel, QuickSelState, RefinePolicy, StateError, TrainingMethod};
+use quicksel_data::{Estimate, Learn, ObservedQuery, RefineOutcome};
 use quicksel_geometry::{Domain, Interval, Rect};
-use quicksel_persist::{decode_state, encode_state, PersistError, PersistLearner};
+use quicksel_persist::format::{write_container, PutBytes};
+use quicksel_persist::{
+    decode_state, encode_domain, encode_rect, encode_state, PersistError, PersistLearner,
+    STATE_MAGIC,
+};
 
 fn domain() -> Domain {
     Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
@@ -173,6 +177,214 @@ fn hostile_states_are_rejected_before_reaching_the_core() {
     // The unmodified state still loads — the rejections above are about
     // the mutations, not the fixture.
     assert!(QuickSel::try_from_state(good).is_ok());
+}
+
+/// Serializes a capture in the exact **v1** container layout: config
+/// stops after `warm_refine_limit`, MISC stops after the training
+/// version, the trainer carries no pending signs, and there is no
+/// point-count/compaction/drift bookkeeping anywhere. This pins the
+/// pre-bounded-history format byte for byte, so checkpoints written by
+/// older builds keep decoding.
+fn encode_state_v1(state: &QuickSelState) -> Vec<u8> {
+    fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+        out.put_usize(xs.len());
+        for &v in xs {
+            out.put_f64(v);
+        }
+    }
+    fn put_matrix(out: &mut Vec<u8>, m: &quicksel_linalg::DMatrix) {
+        out.put_usize(m.rows());
+        out.put_usize(m.cols());
+        for &v in m.as_slice() {
+            out.put_f64(v);
+        }
+    }
+
+    let mut domain = Vec::new();
+    encode_domain(&mut domain, &state.domain);
+
+    let c = &state.config;
+    let mut config = Vec::new();
+    config.put_f64(c.lambda);
+    config.put_f64(c.ridge_rel);
+    config.put_usize(c.points_per_query);
+    config.put_usize(c.subpops_per_query);
+    config.put_usize(c.max_subpops);
+    config.put_usize(c.size_neighbors);
+    config.put_f64(c.overlap_factor);
+    match c.refine_policy {
+        RefinePolicy::EveryQuery => config.put_u32(0),
+        RefinePolicy::EveryK(k) => {
+            config.put_u32(1);
+            config.put_usize(k);
+        }
+        RefinePolicy::Manual => config.put_u32(2),
+    }
+    match c.training {
+        TrainingMethod::AnalyticPenalty => config.put_u32(0),
+        TrainingMethod::StandardQp => config.put_u32(1),
+    }
+    config.put_u64(c.seed);
+    config.put_usize(c.warm_refine_limit);
+
+    let mut queries = Vec::new();
+    queries.put_usize(state.queries.len());
+    for q in &state.queries {
+        q.encode_into(&mut queries);
+    }
+
+    let mut points = Vec::new();
+    points.put_usize(state.point_pool.len());
+    for p in &state.point_pool {
+        put_f64s(&mut points, p);
+    }
+
+    let mut model = Vec::new();
+    match &state.model {
+        None => model.put_u32(0),
+        Some((rects, weights)) => {
+            model.put_u32(1);
+            model.put_usize(rects.len());
+            for rect in rects {
+                encode_rect(&mut model, rect);
+            }
+            put_f64s(&mut model, weights);
+        }
+    }
+
+    let mut misc = Vec::new();
+    for w in state.rng_state {
+        misc.put_u64(w);
+    }
+    misc.put_usize(state.pending_since_refine);
+    misc.put_u64(state.version);
+
+    let trainer = state.trainer.as_ref().map(|t| {
+        let mut buf = Vec::new();
+        buf.put_usize(t.subpops.len());
+        for rect in &t.subpops {
+            encode_rect(&mut buf, rect);
+        }
+        put_matrix(&mut buf, &t.q);
+        put_matrix(&mut buf, &t.a);
+        put_f64s(&mut buf, &t.s);
+        put_matrix(&mut buf, &t.gram);
+        put_f64s(&mut buf, &t.ats);
+        put_matrix(&mut buf, &t.factor_lower);
+        buf.put_f64(t.solver_scale);
+        put_f64s(&mut buf, &t.pending_rows);
+        put_f64s(&mut buf, &t.pending_solved);
+        buf.put_usize(t.pending_rank);
+        buf.put_f64(t.lambda);
+        buf.put_f64(t.ridge_abs);
+        buf.put_usize(t.warm_refines);
+        buf
+    });
+
+    let mut sections: Vec<([u8; 4], &[u8])> = vec![
+        (*b"DOMN", &domain),
+        (*b"CONF", &config),
+        (*b"QRYS", &queries),
+        (*b"PNTS", &points),
+        (*b"MODL", &model),
+        (*b"MISC", &misc),
+    ];
+    if let Some(t) = &trainer {
+        sections.push((*b"TRNR", t));
+    }
+    write_container(STATE_MAGIC, 1, &sections)
+}
+
+#[test]
+fn v1_checkpoints_still_decode_and_recover() {
+    // A trained estimator whose state is expressible in v1: unbounded
+    // history (no compaction), no eviction downdates pending.
+    let est = trained(11, 5);
+    let state = est.export_state();
+    assert_eq!(state.compacted_len, 0, "fixture must be v1-expressible");
+    assert!(state.trainer.as_ref().unwrap().pending_signs.iter().all(|&s| s == 1.0));
+
+    let v1_bytes = encode_state_v1(&state);
+    let decoded = decode_state(&v1_bytes).expect("v1 container must decode");
+
+    // Migration fills the new fields with v1 semantics.
+    assert_eq!(decoded.config.max_history, usize::MAX);
+    assert_eq!(decoded.point_counts.len(), decoded.queries.len());
+    let total: u64 = decoded.point_counts.iter().map(|&c| u64::from(c)).sum();
+    assert_eq!(total, decoded.point_pool.len() as u64);
+    assert_eq!(decoded.compacted_len, 0);
+    assert_eq!(decoded.evicted_total, 0);
+    assert!(!decoded.force_cold);
+
+    // And the migrated state restores to a serving estimator with
+    // bit-identical estimates…
+    let mut restored = QuickSel::try_from_state(decoded).expect("migrated state must restore");
+    for p in probes() {
+        assert_eq!(est.estimate(&p), restored.estimate(&p));
+    }
+    assert_eq!(restored.observed_count(), est.observed_count());
+
+    // …that resumes **warm**: the cached trainer survived migration, so
+    // the first post-restore refine folds new feedback incrementally.
+    restored.observe_batch(&(0..3).map(|j| obs(900 + j)).collect::<Vec<_>>());
+    match restored.refine().expect("post-migration refine") {
+        RefineOutcome::Retrained { incremental, .. } => assert!(incremental),
+        other => panic!("expected a retrain, got {other:?}"),
+    }
+    for p in probes() {
+        let e = restored.estimate(&p);
+        assert!((0.0..=1.0).contains(&e));
+    }
+}
+
+#[test]
+fn v1_point_pool_mismatch_is_rejected() {
+    // A v1 capture whose pool length contradicts the points-per-query
+    // reconstruction rule must fail migration with a typed error.
+    let est = trained(12, 3);
+    let mut state = est.export_state();
+    state.point_pool.pop();
+    let v1_bytes = encode_state_v1(&state);
+    assert!(matches!(decode_state(&v1_bytes), Err(PersistError::Invalid { .. })));
+}
+
+#[test]
+fn bounded_history_state_round_trips_exactly() {
+    // A capture that exercises every v2 field: compacted prefix,
+    // eviction counters, drift state, point counts.
+    let mut est = QuickSel::builder(domain())
+        .refine_policy(RefinePolicy::Manual)
+        .fixed_subpops(24)
+        .seed(77)
+        .max_history(8)
+        .build();
+    for b in 0..10 {
+        est.observe_batch(&(0..4).map(|j| obs(b * 4 + j)).collect::<Vec<_>>());
+        est.refine().expect("train");
+    }
+    let state = est.export_state();
+    assert!(state.compacted_len > 0, "fixture must have compacted history");
+    assert!(state.evicted_total > 0);
+
+    let bytes = est.save_state().expect("save");
+    let restored = QuickSel::load_state(&bytes).expect("load");
+    for p in probes() {
+        assert_eq!(est.estimate(&p), restored.estimate(&p));
+    }
+
+    // Continuation equivalence: same feedback → same trajectory, through
+    // further evictions.
+    let mut a = est;
+    let mut b = restored;
+    for e in 0..4 {
+        let batch: Vec<ObservedQuery> = (0..3).map(|j| obs(500 + e * 3 + j)).collect();
+        a.observe_batch(&batch);
+        b.observe_batch(&batch);
+        assert_eq!(a.refine().is_ok(), b.refine().is_ok());
+    }
+    for p in probes() {
+        assert_eq!(a.estimate(&p), b.estimate(&p));
+    }
 }
 
 #[test]

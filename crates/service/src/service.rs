@@ -60,6 +60,17 @@ pub struct ServiceStats {
     /// Feedback batches currently queued behind this service's
     /// background ingest worker (gauge; 0 when no worker is attached).
     pub ingest_queue_depth: u64,
+    /// Feedback-history entries evicted (merged away) by the learner's
+    /// history budget over its lifetime (0 for unbounded or
+    /// non-tracking learners).
+    pub evicted_rows: u64,
+    /// Cold resamples the learner's drift detector forced over its
+    /// lifetime.
+    pub drift_resamples: u64,
+    /// Feedback observations the learner currently retains (gauge;
+    /// compacted summaries count once). Bounded learners hold this at or
+    /// below their configured budget.
+    pub history_len: u64,
 }
 
 impl ServiceStats {
@@ -81,6 +92,9 @@ impl ServiceStats {
             ingest_rows_per_s: self.ingest_rows_per_s + other.ingest_rows_per_s,
             estimate_rects_per_s: self.estimate_rects_per_s + other.estimate_rects_per_s,
             ingest_queue_depth: self.ingest_queue_depth + other.ingest_queue_depth,
+            evicted_rows: self.evicted_rows + other.evicted_rows,
+            drift_resamples: self.drift_resamples + other.drift_resamples,
+            history_len: self.history_len + other.history_len,
         }
     }
 }
@@ -141,6 +155,12 @@ pub struct SelectivityService<L: SnapshotSource> {
     /// before enqueueing) and the worker (which decrements after each
     /// batch), so the gauge never transiently underflows.
     ingest_queue_depth: Arc<AtomicU64>,
+    /// Learner-derived gauges mirrored into atomics at publish time (the
+    /// only moment the learner lock is held anyway), so `stats()` stays
+    /// lock-free.
+    evicted_rows: AtomicU64,
+    drift_resamples: AtomicU64,
+    history_len: AtomicU64,
     durability: Option<DurabilityHook<L>>,
 }
 
@@ -204,6 +224,9 @@ impl<L: SnapshotSource> SelectivityService<L> {
     /// snapshot (the uniform prior for a fresh estimator).
     pub fn new(learner: L) -> Self {
         let first = learner.snapshot_shared();
+        let evicted = learner.evicted_rows();
+        let resamples = learner.drift_resamples();
+        let history = learner.history_len() as u64;
         Self {
             learner: Mutex::new(learner),
             current: ArcCell::new(first),
@@ -222,6 +245,9 @@ impl<L: SnapshotSource> SelectivityService<L> {
             ingest_rate: RateMeter::new(),
             estimate_rate: RateMeter::new(),
             ingest_queue_depth: Arc::new(AtomicU64::new(0)),
+            evicted_rows: AtomicU64::new(evicted),
+            drift_resamples: AtomicU64::new(resamples),
+            history_len: AtomicU64::new(history),
             durability: None,
         }
     }
@@ -284,6 +310,9 @@ impl<L: SnapshotSource> SelectivityService<L> {
             ingest_rows_per_s: self.ingest_rate.per_second(),
             estimate_rects_per_s: self.estimate_rate.per_second(),
             ingest_queue_depth: self.ingest_queue_depth.load(SeqCst),
+            evicted_rows: self.evicted_rows.load(SeqCst),
+            drift_resamples: self.drift_resamples.load(SeqCst),
+            history_len: self.history_len.load(SeqCst),
         }
     }
 
@@ -475,6 +504,9 @@ impl<L: SnapshotSource> SelectivityService<L> {
     fn publish(&self, learner: &L) {
         self.current.store(learner.snapshot_shared());
         self.published_queries.store(self.queries_ingested.load(SeqCst), SeqCst);
+        self.evicted_rows.store(learner.evicted_rows(), SeqCst);
+        self.drift_resamples.store(learner.drift_resamples(), SeqCst);
+        self.history_len.store(learner.history_len() as u64, SeqCst);
         self.version.fetch_add(1, SeqCst);
     }
 }
@@ -748,6 +780,37 @@ mod tests {
         let outcome2 = svc.observe_batch(&[obs([(2.0, 7.0), (2.0, 7.0)], 0.4)]).expect("train");
         assert!(outcome2.retrained());
         assert_eq!(svc.stats().refines, 2);
+    }
+
+    #[test]
+    fn bounded_learner_surfaces_eviction_gauges() {
+        // A tiny history budget forces evictions quickly; the service
+        // must surface them (and the bounded history length) in stats.
+        let svc = SelectivityService::new(
+            QuickSel::builder(domain())
+                .refine_policy(RefinePolicy::Manual)
+                .fixed_subpops(16)
+                .max_history(6)
+                .build(),
+        );
+        for i in 0..20 {
+            let lo = (i % 8) as f64;
+            svc.observe_batch(&[obs([(lo, lo + 2.0), (0.0, 5.0)], 0.3)]).expect("train");
+        }
+        let stats = svc.stats();
+        assert!(stats.evicted_rows > 0, "budget of 6 over 20 rows must evict");
+        assert!(stats.history_len <= 6, "history above budget: {}", stats.history_len);
+        assert!(stats.history_len > 0);
+        svc.with_learner(|l| {
+            assert_eq!(l.history_len() as u64, stats.history_len);
+            assert_eq!(l.evicted_rows(), stats.evicted_rows);
+        });
+        // Unbounded services keep reporting zeros.
+        let plain = service();
+        plain.observe_batch(&[obs([(0.0, 5.0), (0.0, 5.0)], 0.5)]).expect("train");
+        let s = plain.stats();
+        assert_eq!(s.evicted_rows, 0);
+        assert_eq!(s.history_len, 1);
     }
 
     #[test]
