@@ -145,6 +145,18 @@ pub enum EstimatorError {
         /// The out-of-range or non-finite selectivity it carried.
         selectivity: f64,
     },
+    /// Durable logging of the batch failed, so it was **not** ingested:
+    /// acknowledging feedback the WAL never captured would silently lose
+    /// it across a crash. The batch is safe to retry.
+    PersistRefused,
+    /// The serving shard is degraded (read-only): repeated persist
+    /// failures tripped its health machine, and ingest is refused until
+    /// a write probe of the durable directory succeeds. Estimates keep
+    /// serving from the last published snapshot.
+    Degraded {
+        /// Suggested client backoff until the next re-arm probe is due.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for EstimatorError {
@@ -154,6 +166,12 @@ impl std::fmt::Display for EstimatorError {
             EstimatorError::InvalidFeedback { index, selectivity } => {
                 write!(f, "invalid feedback at batch index {index}: selectivity {selectivity}")
             }
+            EstimatorError::PersistRefused => {
+                write!(f, "batch refused: durable logging failed before ingestion")
+            }
+            EstimatorError::Degraded { retry_after_ms } => {
+                write!(f, "shard degraded (read-only); retry ingest after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -162,7 +180,9 @@ impl std::error::Error for EstimatorError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EstimatorError::Solver(e) => Some(e),
-            EstimatorError::InvalidFeedback { .. } => None,
+            EstimatorError::InvalidFeedback { .. }
+            | EstimatorError::PersistRefused
+            | EstimatorError::Degraded { .. } => None,
         }
     }
 }

@@ -1,0 +1,582 @@
+//! # quicksel-fault — deterministic fault injection
+//!
+//! Production robustness claims are only as good as the failures they
+//! were tested against. This crate supplies the workspace's two fault
+//! **seams** and the schedule that drives them:
+//!
+//! * [`FaultPlan`] — a seeded, deterministic injection schedule over the
+//!   persist layer's IO operations (WAL open/append, checkpoint
+//!   write/rename, segment/checkpoint reads, health probes). No wall
+//!   clock anywhere: the plan is a pure function of `(seed, operation
+//!   index)`, so every torture run reproduces exactly from its seed.
+//!   The disabled plan is a `None` behind an `Option` — one branch on
+//!   the hot path, no allocation, no atomics touched.
+//! * [`FaultStream`] — a `Read + Write` wrapper around a net connection
+//!   that injects partial reads/writes (deterministic chunking),
+//!   mid-frame disconnects (byte budgets), hard errors, and stalls long
+//!   enough to trip the server's timeouts.
+//! * [`jitter_ms`] / [`mix`] — the deterministic backoff jitter shared
+//!   by the service health machine's re-arm probe and the net client's
+//!   retry loops, so backoff schedules are reproducible in tests.
+//!
+//! The seams themselves live in `quicksel-persist` and the torture
+//! harness; this crate is dependency-free and knows nothing about WAL
+//! formats or wire protocols — it only answers "does operation #i
+//! fail, and how?".
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Deterministic mixing / jitter
+// ---------------------------------------------------------------------
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function. Used as
+/// the single source of "randomness" everywhere in this crate, so every
+/// decision is a pure function of its inputs.
+#[inline]
+pub fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic backoff jitter: `base_ms` plus up to 25% extra, the
+/// extra chosen by `(seed, attempt)`. Two shards with different seeds
+/// (or two attempts on one shard) spread their retries instead of
+/// thundering together, yet every schedule replays exactly in tests.
+#[inline]
+pub fn jitter_ms(seed: u64, attempt: u32, base_ms: u64) -> u64 {
+    let spread = base_ms / 4 + 1;
+    base_ms + mix(seed, u64::from(attempt)) % spread
+}
+
+// ---------------------------------------------------------------------
+// IO seam
+// ---------------------------------------------------------------------
+
+/// A persist-layer IO operation the seam intercepts. The set is small
+/// and stable on purpose: torture coverage is "every operation index",
+/// which only converges if the op stream is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Creating + writing a fresh WAL segment header.
+    WalOpen,
+    /// Appending one record frame to the active WAL segment (write +
+    /// flush as one logical operation).
+    WalAppend,
+    /// Writing a checkpoint's bytes to its temp file.
+    CheckpointWrite,
+    /// Renaming a finished checkpoint temp file into place.
+    CheckpointRename,
+    /// Reading a WAL segment during recovery.
+    WalRead,
+    /// Reading a checkpoint file during recovery.
+    CheckpointRead,
+    /// The health machine's write-probe of the WAL directory.
+    Probe,
+}
+
+impl IoOp {
+    fn is_read(self) -> bool {
+        matches!(self, IoOp::WalRead | IoOp::CheckpointRead)
+    }
+}
+
+/// The concrete failure the plan injects into one operation. The seam
+/// in `quicksel-persist` interprets each variant; the contract per
+/// variant is part of this API:
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Fail before touching the file (`ENOSPC`-style): the operation
+    /// returns an error and on-disk state is unchanged.
+    Error,
+    /// Write only the first `keep` bytes, then fail. The writer **rolls
+    /// the file back** (truncate to the pre-write length) before
+    /// returning the error — the recoverable short-write case.
+    Short {
+        /// Bytes actually written before the failure.
+        keep: usize,
+    },
+    /// Write only the first `keep` bytes, then fail, **without** rolling
+    /// back — the simulated crash mid-write. The torn bytes stay on
+    /// disk for recovery to tolerate; a harness treats this error as
+    /// "the process died here".
+    Torn {
+        /// Bytes left on disk by the simulated crash.
+        keep: usize,
+    },
+    /// The write completes but the flush/sync fails. The writer rolls
+    /// back (the data may not be durable, so the batch must not be
+    /// acknowledged).
+    FlushError,
+    /// Reads only: flip one bit at `offset % len` in the bytes read, so
+    /// the caller's checksum machinery has something to catch.
+    Corrupt {
+        /// Byte position (pre-modulo) of the flipped bit.
+        offset: usize,
+    },
+}
+
+/// Which operation indices a plan injects into.
+#[derive(Debug, Clone, Copy)]
+enum Schedule {
+    /// Count operations, inject nothing (the coverage-measuring pass).
+    CountOnly,
+    /// Inject exactly at global operation index `index`.
+    Nth { index: u64 },
+    /// Inject at every index in `[start, start + len)` — repeated
+    /// failures, the degraded-transition driver.
+    Window { start: u64, len: u64 },
+    /// Inject at roughly `num`-in-`den` operations, chosen by the seed.
+    Ratio { num: u64, den: u64 },
+}
+
+#[derive(Debug)]
+struct PlanState {
+    seed: u64,
+    schedule: Schedule,
+    ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// A seeded deterministic fault schedule for the persist IO seam.
+///
+/// The default (disabled) plan is free: [`FaultPlan::io`] is a single
+/// `Option` branch, no counter is touched, and the write path compiles
+/// to exactly the pre-seam code. Enabled plans share their state behind
+/// an `Arc`, so the same plan can be threaded into a WAL writer, a
+/// checkpoint pipeline, and the harness that reads the counters back.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<PlanState>>,
+}
+
+impl FaultPlan {
+    /// The inert plan: injects nothing, counts nothing, costs one
+    /// branch. This is what `DurabilityOptions::default()` carries.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Counts operations without injecting — the coverage pass a
+    /// torture harness runs first to learn how many operation indices
+    /// there are to fault.
+    pub fn count_only() -> Self {
+        Self::with(0, Schedule::CountOnly)
+    }
+
+    /// Injects exactly one fault, at global operation index `index`;
+    /// the fault kind is derived deterministically from `(seed, index)`.
+    pub fn nth(seed: u64, index: u64) -> Self {
+        Self::with(seed, Schedule::Nth { index })
+    }
+
+    /// Injects at every operation index in `[start, start + len)` —
+    /// the repeated-failure window that drives `Healthy → Degraded`
+    /// transitions. Faults in a window are always [`IoFault::Error`]
+    /// (clean refusals), so the window's effect is isolated to the
+    /// health machinery rather than compounding with torn state.
+    pub fn window(seed: u64, start: u64, len: u64) -> Self {
+        Self::with(seed, Schedule::Window { start, len })
+    }
+
+    /// Injects at roughly `num` in `den` operations, selected by the
+    /// seed — the breadth mode for many-seed sweeps.
+    pub fn ratio(seed: u64, num: u64, den: u64) -> Self {
+        Self::with(seed, Schedule::Ratio { num, den: den.max(1) })
+    }
+
+    fn with(seed: u64, schedule: Schedule) -> Self {
+        Self {
+            inner: Some(Arc::new(PlanState {
+                seed,
+                schedule,
+                ops: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// True when this plan can inject or count (anything but disabled).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Operations observed so far (0 for a disabled plan).
+    pub fn ops_seen(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| s.ops.load(SeqCst))
+    }
+
+    /// Faults injected so far (0 for a disabled plan).
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| s.injected.load(SeqCst))
+    }
+
+    /// The seam entry point: consumes one operation index and decides
+    /// whether (and how) operation `op` over `len` payload bytes fails.
+    /// Disabled plans return `None` without counting.
+    pub fn io(&self, op: IoOp, len: usize) -> Option<IoFault> {
+        let state = self.inner.as_ref()?;
+        let index = state.ops.fetch_add(1, SeqCst);
+        let hit = match state.schedule {
+            Schedule::CountOnly => false,
+            Schedule::Nth { index: at } => index == at,
+            Schedule::Window { start, len } => index >= start && index - start < len,
+            Schedule::Ratio { num, den } => mix(state.seed, index) % den < num,
+        };
+        if !hit {
+            return None;
+        }
+        state.injected.fetch_add(1, SeqCst);
+        if matches!(state.schedule, Schedule::Window { .. }) {
+            return Some(IoFault::Error);
+        }
+        Some(derive_fault(state.seed, index, op, len))
+    }
+
+    /// The `std::io::Error` a seam returns for an injected failure —
+    /// tagged so tests can tell injected errors from real ones.
+    pub fn io_error(op: IoOp) -> io::Error {
+        io::Error::other(format!("injected fault: {op:?}"))
+    }
+}
+
+/// Picks a concrete fault for `(seed, index)` among the kinds that make
+/// sense for `op`. Deterministic, and spread so that a full `nth` sweep
+/// over an op stream exercises every kind.
+fn derive_fault(seed: u64, index: u64, op: IoOp, len: usize) -> IoFault {
+    let h = mix(seed, index);
+    if op.is_read() {
+        // Mostly corruption (the interesting read failure — checksums
+        // must catch it), occasionally a hard read error.
+        return if h.is_multiple_of(4) {
+            IoFault::Error
+        } else {
+            IoFault::Corrupt { offset: h as usize }
+        };
+    }
+    match op {
+        IoOp::CheckpointRename | IoOp::Probe => IoFault::Error,
+        _ => {
+            let keep = if len == 0 { 0 } else { (h >> 8) as usize % len };
+            match h % 4 {
+                0 => IoFault::Error,
+                1 => IoFault::Short { keep },
+                2 => IoFault::Torn { keep },
+                _ => IoFault::FlushError,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream seam
+// ---------------------------------------------------------------------
+
+/// What a [`FaultStream`] does when a byte budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFault {
+    /// The connection dies: writes fail with `BrokenPipe`, reads return
+    /// EOF. The caller dropping its socket turns this into a real
+    /// mid-frame disconnect for the peer.
+    Cut,
+    /// Reads and writes fail with `ConnectionReset`.
+    Error,
+    /// One-shot stall of `millis` before the budget-crossing operation
+    /// proceeds — long enough to trip a peer's idle/request timeout if
+    /// configured so.
+    Stall {
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A `Read + Write` wrapper injecting transport faults into a net
+/// connection: deterministic partial reads/writes (chunking), byte
+/// budgets after which a [`StreamFault`] fires, and stalls.
+///
+/// The wrapper is client-side by design: wrapping the *client's* socket
+/// is enough to torture the *server* (a cut budget mid-frame leaves the
+/// server holding a partial frame; a stall trips its timeouts), without
+/// the server runtime needing any test hooks.
+pub struct FaultStream<S> {
+    inner: S,
+    write_budget: u64,
+    read_budget: u64,
+    fault: StreamFault,
+    /// Set once the fault has fired; `Cut`/`Error` stay broken, `Stall`
+    /// passes through afterwards.
+    tripped: bool,
+    /// Deterministic chunking state; `None` = pass sizes through.
+    chunk: Option<ChunkRng>,
+}
+
+#[derive(Debug)]
+struct ChunkRng {
+    seed: u64,
+    calls: u64,
+    max_chunk: usize,
+}
+
+impl ChunkRng {
+    fn next(&mut self, want: usize) -> usize {
+        self.calls += 1;
+        if want <= 1 {
+            return want;
+        }
+        let cap = self.max_chunk.max(1).min(want);
+        1 + mix(self.seed, self.calls) as usize % cap
+    }
+}
+
+impl<S> FaultStream<S> {
+    /// A transparent wrapper: unlimited budgets, no chunking. Configure
+    /// with the builder methods below.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            write_budget: u64::MAX,
+            read_budget: u64::MAX,
+            fault: StreamFault::Cut,
+            tripped: false,
+            chunk: None,
+        }
+    }
+
+    /// Fault fires after `n` bytes have been written.
+    pub fn cut_write_after(mut self, n: u64) -> Self {
+        self.write_budget = n;
+        self
+    }
+
+    /// Fault fires after `n` bytes have been read.
+    pub fn cut_read_after(mut self, n: u64) -> Self {
+        self.read_budget = n;
+        self
+    }
+
+    /// What happens when a budget runs out (default [`StreamFault::Cut`]).
+    pub fn with_fault(mut self, fault: StreamFault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Splits every read/write into deterministic partial chunks of at
+    /// most `max_chunk` bytes (size chosen by `(seed, call#)`). The data
+    /// still arrives — callers looping on `write_all`/`read_exact` are
+    /// exercised against partial progress, not data loss.
+    pub fn chunked(mut self, seed: u64, max_chunk: usize) -> Self {
+        self.chunk = Some(ChunkRng { seed, calls: 0, max_chunk });
+        self
+    }
+
+    /// The wrapped stream back (e.g. to close it for real).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// A shared reference to the wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// True once the configured fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Fires the fault: returns the error (or sleeps, for a stall).
+    fn trip(&mut self, reading: bool) -> io::Result<usize> {
+        match self.fault {
+            StreamFault::Stall { millis } => {
+                if !self.tripped {
+                    self.tripped = true;
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                // Stall is one-shot: lift the budgets afterwards.
+                self.write_budget = u64::MAX;
+                self.read_budget = u64::MAX;
+                Ok(usize::MAX) // sentinel: proceed with the operation
+            }
+            StreamFault::Cut => {
+                self.tripped = true;
+                if reading {
+                    Ok(0)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected stream cut"))
+                }
+            }
+            StreamFault::Error => {
+                self.tripped = true;
+                Err(io::Error::new(io::ErrorKind::ConnectionReset, "injected stream error"))
+            }
+        }
+    }
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        if self.tripped && matches!(self.fault, StreamFault::Cut) {
+            return Ok(0);
+        }
+        if self.read_budget == 0 {
+            match self.trip(true) {
+                Ok(usize::MAX) => {}
+                other => return other,
+            }
+        }
+        let mut n = buf.len().min(self.read_budget.min(usize::MAX as u64) as usize).max(1);
+        if let Some(chunk) = &mut self.chunk {
+            n = n.min(chunk.next(buf.len()));
+        }
+        let got = self.inner.read(&mut buf[..n])?;
+        self.read_budget = self.read_budget.saturating_sub(got as u64);
+        Ok(got)
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        if self.tripped && !matches!(self.fault, StreamFault::Stall { .. }) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "stream already tripped"));
+        }
+        if self.write_budget == 0 {
+            match self.trip(false) {
+                Ok(usize::MAX) => {}
+                other => return other,
+            }
+        }
+        let mut n = buf.len().min(self.write_budget.min(usize::MAX as u64) as usize).max(1);
+        if let Some(chunk) = &mut self.chunk {
+            n = n.min(chunk.next(buf.len()));
+        }
+        let wrote = self.inner.write(&buf[..n])?;
+        self.write_budget = self.write_budget.saturating_sub(wrote as u64);
+        Ok(wrote)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_active());
+        for _ in 0..100 {
+            assert_eq!(plan.io(IoOp::WalAppend, 64), None);
+        }
+        assert_eq!(plan.ops_seen(), 0);
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    fn count_only_counts_without_injecting() {
+        let plan = FaultPlan::count_only();
+        for i in 0..10 {
+            assert_eq!(plan.io(IoOp::WalAppend, 64), None);
+            assert_eq!(plan.ops_seen(), i + 1);
+        }
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    fn nth_injects_exactly_once_and_reproducibly() {
+        let run = |seed| {
+            let plan = FaultPlan::nth(seed, 3);
+            (0..8).map(|_| plan.io(IoOp::WalAppend, 100)).collect::<Vec<_>>()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must reproduce the same schedule");
+        assert_eq!(a.iter().filter(|f| f.is_some()).count(), 1);
+        assert!(a[3].is_some());
+        if let Some(IoFault::Short { keep } | IoFault::Torn { keep }) = a[3] {
+            assert!(keep < 100);
+        }
+    }
+
+    #[test]
+    fn window_injects_clean_errors_across_its_range() {
+        let plan = FaultPlan::window(7, 2, 3);
+        let hits: Vec<_> = (0..8).map(|_| plan.io(IoOp::WalAppend, 50)).collect();
+        for (i, h) in hits.iter().enumerate() {
+            if (2..5).contains(&i) {
+                assert_eq!(*h, Some(IoFault::Error), "index {i}");
+            } else {
+                assert_eq!(*h, None, "index {i}");
+            }
+        }
+        assert_eq!(plan.faults_injected(), 3);
+    }
+
+    #[test]
+    fn read_ops_get_corruption_or_errors_only() {
+        for seed in 0..64u64 {
+            let plan = FaultPlan::nth(seed, 0);
+            match plan.io(IoOp::WalRead, 256) {
+                Some(IoFault::Corrupt { .. } | IoFault::Error) => {}
+                other => panic!("read op produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for attempt in 0..10 {
+            let a = jitter_ms(5, attempt, 100);
+            assert_eq!(a, jitter_ms(5, attempt, 100));
+            assert!((100..=126).contains(&a), "jitter out of range: {a}");
+        }
+    }
+
+    #[test]
+    fn fault_stream_cut_budget_fires_mid_write() {
+        let mut s = FaultStream::new(Vec::new()).cut_write_after(10);
+        assert_eq!(s.write(&[0u8; 6]).unwrap(), 6);
+        assert_eq!(s.write(&[0u8; 6]).unwrap(), 4, "budget clamps the write");
+        let err = s.write(&[0u8; 6]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(s.tripped());
+        assert_eq!(s.get_ref().len(), 10, "exactly the budget reached the peer");
+    }
+
+    #[test]
+    fn fault_stream_chunking_delivers_everything_in_pieces() {
+        let mut s = FaultStream::new(Vec::new()).chunked(9, 3);
+        let payload = [7u8; 64];
+        s.write_all(&payload).unwrap();
+        assert_eq!(s.get_ref().as_slice(), &payload[..]);
+    }
+
+    #[test]
+    fn fault_stream_read_cut_is_eof() {
+        let data = [1u8; 32];
+        let mut s = FaultStream::new(&data[..]).cut_read_after(8);
+        let mut buf = [0u8; 32];
+        let mut total = 0;
+        loop {
+            match s.read(&mut buf[total..]).unwrap() {
+                0 => break,
+                n => total += n,
+            }
+        }
+        assert_eq!(total, 8, "cut after 8 bytes reads as EOF");
+    }
+}

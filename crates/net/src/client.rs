@@ -9,6 +9,7 @@ use crate::proto::{
     PROTO_VERSION, PROTO_VERSION_MIN,
 };
 use quicksel_data::{ObservedQuery, Table};
+use quicksel_fault::jitter_ms;
 use quicksel_geometry::{Domain, Predicate, Rect};
 use quicksel_service::{CardinalityProvider, TableId};
 use std::collections::HashMap;
@@ -111,6 +112,12 @@ pub struct NetClient {
     version: u16,
     next_id: u64,
     max_frame_len: u32,
+    /// Rounds a `Retry`-refused request is re-attempted before the last
+    /// server-advertised pushback is surfaced to the caller.
+    retry_rounds: u32,
+    /// Seed for deterministic retry-backoff jitter (per-connection, so
+    /// concurrent clients don't retry in lockstep).
+    jitter_seed: u64,
 }
 
 impl NetClient {
@@ -132,7 +139,15 @@ impl NetClient {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        let mut client = NetClient { stream, version: 0, next_id: 1, max_frame_len };
+        let jitter_seed = stream.local_addr().map_or(1, |a| u64::from(a.port()).max(1));
+        let mut client = NetClient {
+            stream,
+            version: 0,
+            next_id: 1,
+            max_frame_len,
+            retry_rounds: 4,
+            jitter_seed,
+        };
         proto::write_frame(
             &mut client.stream,
             &proto::encode_hello(PROTO_VERSION_MIN, PROTO_VERSION),
@@ -159,6 +174,14 @@ impl NetClient {
     /// The protocol version negotiated at connect time.
     pub fn negotiated_version(&self) -> u16 {
         self.version
+    }
+
+    /// Caps how many rounds `Retry`-refused requests are re-attempted
+    /// (estimates and streamed feedback alike); `1` disables retries.
+    /// On exhaustion the *last server-advertised* backoff and cause are
+    /// returned, never a fabricated one.
+    pub fn set_retry_rounds(&mut self, rounds: u32) {
+        self.retry_rounds = rounds.max(1);
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -193,18 +216,41 @@ impl NetClient {
     /// Batched selectivity estimates; answers come back bit-exact (every
     /// `f64` travels as its IEEE-754 pattern), so the result compares
     /// `==` with the equivalent in-process call.
+    ///
+    /// Admission pushback (`Retry` responses — concurrency limits or a
+    /// degraded backend) is retried up to [`set_retry_rounds`] rounds,
+    /// honoring the server's `after_ms` hint plus deterministic jitter.
+    /// On exhaustion the last server-advertised pushback is returned
+    /// verbatim so callers see the real backoff and cause.
+    ///
+    /// [`set_retry_rounds`]: NetClient::set_retry_rounds
     pub fn estimate_many(&mut self, table: &str, rects: &[Rect]) -> Result<Vec<f64>, ClientError> {
-        let id = self.fresh_id();
-        let request = Request::EstimateMany { id, table: table.to_string(), rects: rects.to_vec() };
-        match self.request(&request)? {
-            Response::Estimates { values, .. } => {
-                if values.len() != rects.len() {
-                    return Err(ClientError::Protocol { context: "estimate count mismatch" });
+        let rounds = self.retry_rounds.max(1);
+        for attempt in 1..=rounds {
+            let id = self.fresh_id();
+            let request =
+                Request::EstimateMany { id, table: table.to_string(), rects: rects.to_vec() };
+            match self.request(&request) {
+                Ok(Response::Estimates { values, .. }) => {
+                    if values.len() != rects.len() {
+                        return Err(ClientError::Protocol { context: "estimate count mismatch" });
+                    }
+                    return Ok(values);
                 }
-                Ok(values)
+                Ok(_) => {
+                    return Err(ClientError::Protocol { context: "expected Estimates response" })
+                }
+                Err(ClientError::Retry { after_ms, cause }) => {
+                    if attempt == rounds {
+                        return Err(ClientError::Retry { after_ms, cause });
+                    }
+                    let wait = jitter_ms(self.jitter_seed, attempt, u64::from(after_ms).max(1));
+                    std::thread::sleep(Duration::from_millis(wait.clamp(1, 1000)));
+                }
+                Err(other) => return Err(other),
             }
-            _ => Err(ClientError::Protocol { context: "expected Estimates response" }),
         }
+        unreachable!("retry loop returns on its final attempt")
     }
 
     /// One acknowledged feedback batch.
@@ -238,10 +284,14 @@ impl NetClient {
         let mut pending: Vec<&Vec<ObservedQuery>> = batches.iter().collect();
         let mut ever_retried: u64 = 0;
         let mut round = 0;
+        // The last pushback the server actually sent; surfaced verbatim
+        // when rounds run out instead of a fabricated hint.
+        let mut last_retry = (1u32, RetryCause::IngestRate);
         while !pending.is_empty() {
             round += 1;
             if round > max_rounds.max(1) {
-                return Err(ClientError::Retry { after_ms: 1, cause: RetryCause::IngestRate });
+                let (after_ms, cause) = last_retry;
+                return Err(ClientError::Retry { after_ms, cause });
             }
             // Write the whole round back-to-back, then drain the acks in
             // order (the server answers a connection's requests in
@@ -274,9 +324,10 @@ impl NetClient {
                         outcome.accepted_rows += u64::from(accepted_rows);
                         outcome.watermark = outcome.watermark.max(watermark);
                     }
-                    Response::Retry { after_ms, .. } => {
+                    Response::Retry { after_ms, cause, .. } => {
                         refused.push(*rows);
                         backoff_ms = backoff_ms.max(u64::from(after_ms));
+                        last_retry = (after_ms, cause);
                     }
                     Response::Error { code, message, .. } => {
                         return Err(ClientError::Server { code, message })

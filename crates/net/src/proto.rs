@@ -257,6 +257,10 @@ pub enum RetryCause {
     IngestRate,
     /// The accept queue was full; the connection was not admitted.
     AcceptQueue,
+    /// A target shard is degraded (read-only): persist failures tripped
+    /// its health machine, and ingest resumes only after a re-arm probe
+    /// succeeds. Estimates still serve.
+    Degraded,
 }
 
 impl RetryCause {
@@ -265,6 +269,7 @@ impl RetryCause {
             RetryCause::EstimateConcurrency => 0,
             RetryCause::IngestRate => 1,
             RetryCause::AcceptQueue => 2,
+            RetryCause::Degraded => 3,
         }
     }
 
@@ -273,6 +278,7 @@ impl RetryCause {
             0 => Ok(RetryCause::EstimateConcurrency),
             1 => Ok(RetryCause::IngestRate),
             2 => Ok(RetryCause::AcceptQueue),
+            3 => Ok(RetryCause::Degraded),
             _ => Err(WireError::Invalid { context: "unknown retry cause" }),
         }
     }
@@ -569,6 +575,18 @@ pub struct WireStats {
     pub retries_sent: u64,
     /// `Error` responses sent.
     pub errors_sent: u64,
+    /// Shards currently degraded (read-only) across all tables (gauge).
+    pub degraded_shards: u64,
+    /// Healthy → Degraded transitions across all shards (lifetime).
+    pub degraded_transitions: u64,
+    /// Re-arm write probes attempted by degraded shards.
+    pub health_probes: u64,
+    /// Ingest batches refused because a target shard was degraded.
+    pub degraded_refusals: u64,
+    /// Lock poisonings recovered by services (panicking writer adopted).
+    pub poisoned_locks: u64,
+    /// `Retry { cause: Degraded }` responses this server sent.
+    pub degraded_retries_sent: u64,
 }
 
 impl WireStats {
@@ -596,6 +614,12 @@ impl WireStats {
             self.requests_served,
             self.retries_sent,
             self.errors_sent,
+            self.degraded_shards,
+            self.degraded_transitions,
+            self.health_probes,
+            self.degraded_refusals,
+            self.poisoned_locks,
+            self.degraded_retries_sent,
         ] {
             out.put_u64(v);
         }
@@ -621,6 +645,12 @@ impl WireStats {
             requests_served: r.u64("stats requests served")?,
             retries_sent: r.u64("stats retries sent")?,
             errors_sent: r.u64("stats errors sent")?,
+            degraded_shards: r.u64("stats degraded shards")?,
+            degraded_transitions: r.u64("stats degraded transitions")?,
+            health_probes: r.u64("stats health probes")?,
+            degraded_refusals: r.u64("stats degraded refusals")?,
+            poisoned_locks: r.u64("stats poisoned locks")?,
+            degraded_retries_sent: r.u64("stats degraded retries")?,
         })
     }
 }

@@ -19,7 +19,7 @@ use crate::proto::{
     self, ErrorCode, Request, Response, RetryCause, WireError, WireStats, DEFAULT_MAX_FRAME,
     FRAME_HEADER_LEN, PROTO_VERSION, PROTO_VERSION_MIN,
 };
-use quicksel_data::{ObservedQuery, SnapshotSource};
+use quicksel_data::{EstimatorError, ObservedQuery, SnapshotSource};
 use quicksel_geometry::{Domain, Rect};
 use quicksel_persist::PersistLearner;
 use quicksel_service::{EstimatorRegistry, TableId};
@@ -113,6 +113,14 @@ pub enum BackendError {
         /// What was inconsistent.
         context: &'static str,
     },
+    /// A target shard is degraded (read-only): ingest is refused until
+    /// its durable directory takes writes again. Mapped onto
+    /// `Retry{cause: Degraded}` rather than an error — the batch is safe
+    /// to retry after the hinted delay.
+    Degraded {
+        /// Suggested backoff until the shard's next re-arm probe.
+        retry_after_ms: u64,
+    },
     /// An internal failure (persistence, ...).
     Internal(String),
 }
@@ -167,9 +175,17 @@ where
                 context: "feedback dimensionality does not match the table's domain",
             });
         }
-        // Refine failures keep the previous snapshot serving and are
-        // visible in stats; the rows themselves are ingested.
-        let _ = svc.observe_batch(rows);
+        match svc.observe_batch(rows) {
+            // Refine failures keep the previous snapshot serving and are
+            // visible in stats; the rows themselves are ingested.
+            Ok(()) | Err(EstimatorError::Solver(_)) => {}
+            // Degraded shards refuse *before* ingesting anything; the
+            // client must not receive an ack for a batch no WAL holds.
+            Err(EstimatorError::Degraded { retry_after_ms }) => {
+                return Err(BackendError::Degraded { retry_after_ms })
+            }
+            Err(e) => return Err(BackendError::Internal(e.to_string())),
+        }
         Ok(svc.stats().total.queries_ingested)
     }
 
@@ -189,6 +205,11 @@ where
             ingest_rows_per_s: s.total.ingest_rows_per_s,
             estimate_rects_per_s: s.total.estimate_rects_per_s,
             ingest_queue_depth: s.total.ingest_queue_depth,
+            degraded_shards: s.total.degraded,
+            degraded_transitions: s.total.degraded_transitions,
+            health_probes: s.total.health_probes,
+            degraded_refusals: s.total.degraded_refusals,
+            poisoned_locks: s.total.poisoned_locks,
             ..WireStats::default()
         }
     }
@@ -221,8 +242,12 @@ pub struct NetServerStats {
     pub retries_sent: u64,
     /// `Error` responses sent.
     pub errors_sent: u64,
+    /// Of `retries_sent`, those with [`RetryCause::Degraded`] — ingest
+    /// refused because a target shard is serving read-only.
+    pub degraded_retries_sent: u64,
     /// Frames or messages that failed to decode (hostile or corrupt
     /// input; each one was answered with a typed error, never a panic).
+    /// Plain disconnects — clean close, reset, abort — are not counted.
     pub decode_errors: u64,
 }
 
@@ -233,6 +258,7 @@ struct Counters {
     requests_served: AtomicU64,
     retries_sent: AtomicU64,
     errors_sent: AtomicU64,
+    degraded_retries_sent: AtomicU64,
     decode_errors: AtomicU64,
 }
 
@@ -273,6 +299,7 @@ impl ServerHandle {
             requests_served: c.requests_served.load(SeqCst),
             retries_sent: c.retries_sent.load(SeqCst),
             errors_sent: c.errors_sent.load(SeqCst),
+            degraded_retries_sent: c.degraded_retries_sent.load(SeqCst),
             decode_errors: c.decode_errors.load(SeqCst),
         }
     }
@@ -478,8 +505,11 @@ fn send_response<B: NetBackend>(
     let c = &shared.control.counters;
     c.requests_served.fetch_add(1, SeqCst);
     match response {
-        Response::Retry { .. } => {
+        Response::Retry { cause, .. } => {
             c.retries_sent.fetch_add(1, SeqCst);
+            if *cause == RetryCause::Degraded {
+                c.degraded_retries_sent.fetch_add(1, SeqCst);
+            }
         }
         Response::Error { .. } => {
             c.errors_sent.fetch_add(1, SeqCst);
@@ -488,6 +518,21 @@ fn send_response<B: NetBackend>(
     }
     proto::write_frame(stream, &response.encode()).map_err(WireError::Io)?;
     stream.flush().map_err(WireError::Io)
+}
+
+/// True when the error means the peer's connection is simply gone —
+/// reset or aborted at the transport level — as opposed to delivering
+/// bytes that failed to parse.
+fn peer_gone(e: &WireError) -> bool {
+    matches!(
+        e,
+        WireError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+        )
+    )
 }
 
 fn serve_conn<B: NetBackend>(shared: &Shared<B>, mut stream: TcpStream) {
@@ -521,6 +566,13 @@ fn serve_conn<B: NetBackend>(shared: &Shared<B>, mut stream: TcpStream) {
                 }
             },
             Err(e) => {
+                // A peer that vanished (RST instead of FIN — e.g. it
+                // dropped the socket with unread responses buffered) is
+                // a disconnect, not hostile input: close without
+                // counting and without writing to a dead socket.
+                if peer_gone(&e) {
+                    return;
+                }
                 // Frame-level failure (checksum, truncation, oversize):
                 // the stream may be desynchronized — answer once, close.
                 shared.control.counters.decode_errors.fetch_add(1, SeqCst);
@@ -615,6 +667,7 @@ fn dispatch<B: NetBackend>(shared: &Shared<B>, request: Request) -> Response {
             stats.requests_served = c.requests_served.load(SeqCst);
             stats.retries_sent = c.retries_sent.load(SeqCst);
             stats.errors_sent = c.errors_sent.load(SeqCst);
+            stats.degraded_retries_sent = c.degraded_retries_sent.load(SeqCst);
             Response::StatsReply { id, stats }
         }
         Request::CheckpointNow { id } => match shared.backend.checkpoint_now() {
@@ -630,6 +683,15 @@ fn backend_error(id: u64, e: BackendError) -> Response {
     let (code, message) = match e {
         BackendError::UnknownTable => (ErrorCode::UnknownTable, "table is not registered".into()),
         BackendError::BadRequest { context } => (ErrorCode::BadRequest, context.to_string()),
+        BackendError::Degraded { retry_after_ms } => {
+            // Not an error: the shard is intact, just read-only until
+            // its re-arm probe succeeds — tell the client when to retry.
+            return Response::Retry {
+                id,
+                after_ms: retry_after_ms.clamp(1, u64::from(u32::MAX)) as u32,
+                cause: RetryCause::Degraded,
+            };
+        }
         BackendError::Internal(message) => (ErrorCode::Internal, message),
     };
     Response::Error { id, code, message }

@@ -249,6 +249,93 @@ fn idle_connections_are_closed_after_the_timeout() {
 }
 
 #[test]
+fn idle_timeout_mid_pipeline_releases_the_worker() {
+    let config = ServerConfig {
+        workers: 1,
+        idle_timeout: Duration::from_millis(120),
+        shutdown_tick: Duration::from_millis(20),
+        ..quick_config()
+    };
+    let (_handle, _backend) = start(config);
+    let addr = _handle.addr();
+
+    // Raw handshake so the pipeline can be driven frame by frame.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    proto::write_frame(&mut stream, &proto::encode_hello(1, proto::PROTO_VERSION)).unwrap();
+    stream.flush().unwrap();
+    proto::decode_hello_ack(&proto::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME).unwrap())
+        .expect("handshake");
+
+    // Three pipelined requests written back-to-back, acks drained...
+    for id in 1..=3u64 {
+        proto::write_frame(&mut stream, &Request::Stats { id }.encode()).unwrap();
+    }
+    stream.flush().unwrap();
+    for id in 1..=3u64 {
+        let body = proto::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME).unwrap();
+        match Response::decode(&body).expect("decode") {
+            Response::StatsReply { id: got, .. } => assert_eq!(got, id),
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+    }
+
+    // ...then the client goes quiet mid-session: the idle timeout must
+    // reclaim the only worker for fresh connections.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut fresh = NetClient::connect(addr).expect("worker must be free again");
+    fresh.estimate_many("orders", &[rect(0.0, 1.0)]).expect("fresh connection serves");
+
+    // The idle-closed connection really is dead: either the write hits
+    // a broken pipe outright or the read finds the stream closed.
+    let wrote = proto::write_frame(&mut stream, &Request::Stats { id: 9 }.encode());
+    let dead = wrote.is_err()
+        || stream.flush().is_err()
+        || proto::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME).is_err();
+    assert!(dead, "idle connection must have been closed");
+
+    let stats = _handle.stats();
+    assert_eq!(stats.connections_accepted, 2);
+    assert_eq!(stats.active_connections, 1, "only the fresh client remains");
+    assert_eq!(stats.decode_errors, 0, "idle close must not count as a decode error");
+    assert!(stats.requests_served >= 4, "{stats:?}");
+}
+
+#[test]
+fn client_disconnect_during_response_write_releases_the_worker() {
+    let config = ServerConfig { workers: 1, ..quick_config() };
+    let backend = Arc::new(SlowBackend { delay: Duration::from_millis(300) });
+    let handle = serve(backend, config).expect("bind");
+    let addr = handle.addr();
+
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        proto::write_frame(&mut stream, &proto::encode_hello(1, proto::PROTO_VERSION)).unwrap();
+        stream.flush().unwrap();
+        proto::decode_hello_ack(&proto::read_frame(&mut stream, proto::DEFAULT_MAX_FRAME).unwrap())
+            .expect("handshake");
+        let request =
+            Request::EstimateMany { id: 1, table: "slow".to_string(), rects: vec![rect(0.0, 1.0)] };
+        proto::write_frame(&mut stream, &request.encode()).unwrap();
+        stream.flush().unwrap();
+        // Hang up while the backend is still computing: the response
+        // write lands on a dead socket.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The only worker must survive the failed write and serve the next
+    // connection (which waits in the accept queue until released).
+    let mut client = NetClient::connect(addr).expect("worker released after disconnect");
+    assert_eq!(client.estimate_many("slow", &[rect(0.0, 1.0)]).expect("served"), vec![0.5]);
+
+    let stats = handle.stats();
+    assert_eq!(stats.connections_accepted, 2);
+    assert_eq!(stats.active_connections, 1, "disconnected session must be fully retired");
+    assert_eq!(stats.decode_errors, 0, "disconnect must not count as a decode error");
+}
+
+#[test]
 fn accept_queue_overflow_is_refused_with_retry() {
     let config = ServerConfig { workers: 1, accept_queue: 1, ..quick_config() };
     let (_handle, _backend) = start(config);

@@ -66,6 +66,12 @@ fn arb_stats() -> impl Strategy<Value = WireStats> {
             requests_served: b,
             retries_sent: b % 1001,
             errors_sent: a % 7,
+            degraded_shards: a % 9,
+            degraded_transitions: b % 33,
+            health_probes: a % 257,
+            degraded_refusals: b % 129,
+            poisoned_locks: a % 3,
+            degraded_retries_sent: b % 65,
         }
     })
 }
@@ -99,11 +105,17 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 columns.iter().map(|(n, lo, hi)| (n.as_str(), *lo, *hi)).collect();
             Response::Tables { id, tables: vec![("t".to_string(), Domain::of_reals(&refs))] }
         }),
-        (0u64..u64::MAX, 0u32..60_000).prop_map(|(id, after_ms)| Response::Retry {
-            id,
-            after_ms,
-            cause: RetryCause::IngestRate
-        }),
+        (
+            0u64..u64::MAX,
+            0u32..60_000,
+            prop_oneof![
+                Just(RetryCause::EstimateConcurrency),
+                Just(RetryCause::IngestRate),
+                Just(RetryCause::AcceptQueue),
+                Just(RetryCause::Degraded),
+            ]
+        )
+            .prop_map(|(id, after_ms, cause)| Response::Retry { id, after_ms, cause }),
         (
             0u64..u64::MAX,
             prop_oneof![

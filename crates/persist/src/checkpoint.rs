@@ -35,6 +35,7 @@ use crate::format::{write_container, Container, PutBytes, Reader};
 use crate::wal::{self, WalWriter};
 use crate::PersistError;
 use quicksel_data::ObservedQuery;
+use quicksel_fault::{FaultPlan, IoFault, IoOp};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -66,6 +67,18 @@ pub struct DurabilityOptions {
     /// whole-machine crashes can, and per-batch fsync costs an order of
     /// magnitude in ingest latency.
     pub sync_wal: bool,
+    /// Consecutive persist failures that flip a shard from healthy to
+    /// degraded (read-only) serving.
+    pub degrade_after: u32,
+    /// Initial delay before a degraded shard write-probes its directory
+    /// to re-arm; doubles per failed probe.
+    pub probe_backoff: Duration,
+    /// Upper bound on the probe backoff.
+    pub probe_backoff_max: Duration,
+    /// Deterministic fault-injection plan threaded through every durable
+    /// IO operation this shard performs. Disabled by default: the only
+    /// cost on the no-fault path is one `Option` branch per operation.
+    pub fault: FaultPlan,
 }
 
 impl Default for DurabilityOptions {
@@ -76,6 +89,10 @@ impl Default for DurabilityOptions {
             segment_bytes: 4 << 20,
             keep_checkpoints: 2,
             sync_wal: false,
+            degrade_after: 3,
+            probe_backoff: Duration::from_millis(100),
+            probe_backoff_max: Duration::from_secs(5),
+            fault: FaultPlan::disabled(),
         }
     }
 }
@@ -132,7 +149,13 @@ impl ShardDurability {
     /// sequence 1, no checkpoints.
     pub fn create(dir: &Path, opts: DurabilityOptions) -> Result<Self, PersistError> {
         fs::create_dir_all(dir)?;
-        let wal = WalWriter::open(dir, 1, opts.segment_bytes, opts.sync_wal)?;
+        let wal = WalWriter::open_with_faults(
+            dir,
+            1,
+            opts.segment_bytes,
+            opts.sync_wal,
+            opts.fault.clone(),
+        )?;
         Ok(Self {
             dir: dir.to_path_buf(),
             opts,
@@ -160,7 +183,7 @@ impl ShardDurability {
         let mut skipped = 0u64;
         let mut loaded: Option<(u64, CheckpointMeta, Vec<u8>)> = None;
         for (ordinal, path) in &checkpoints {
-            match load_checkpoint(path) {
+            match load_checkpoint_with(path, &opts.fault) {
                 Ok((meta, learner)) => {
                     loaded = Some((*ordinal, meta, learner));
                     break;
@@ -180,7 +203,7 @@ impl ShardDurability {
         let mut truncated = 0u64;
         let mut next_seq = watermark + 1;
         for (_, path) in wal::list_segments(dir)? {
-            let read = match wal::read_segment(&path) {
+            let read = match wal::read_segment_with(&path, &opts.fault) {
                 Ok(read) => read,
                 // An unreadable segment header means the file never got
                 // past creation; nothing in it was acknowledged.
@@ -209,7 +232,13 @@ impl ShardDurability {
             }
         }
 
-        let wal = WalWriter::open(dir, next_seq, opts.segment_bytes, opts.sync_wal)?;
+        let wal = WalWriter::open_with_faults(
+            dir,
+            next_seq,
+            opts.segment_bytes,
+            opts.sync_wal,
+            opts.fault.clone(),
+        )?;
         let this = Self {
             dir: dir.to_path_buf(),
             opts,
@@ -290,8 +319,26 @@ impl ShardDurability {
 
         let final_path = self.dir.join(checkpoint_name(self.next_ordinal));
         let tmp_path = final_path.with_extension("tmp");
-        fs::write(&tmp_path, &bytes)?;
-        fs::rename(&tmp_path, &final_path)?;
+        match self.opts.fault.io(IoOp::CheckpointWrite, bytes.len()) {
+            None => fs::write(&tmp_path, &bytes)?,
+            Some(IoFault::Short { keep } | IoFault::Torn { keep }) => {
+                // Torn temp file, never renamed: recovery ignores it.
+                let _ = fs::write(&tmp_path, &bytes[..keep.min(bytes.len())]);
+                return Err(FaultPlan::io_error(IoOp::CheckpointWrite).into());
+            }
+            Some(IoFault::FlushError) => {
+                // The bytes land but the flush "fails": a complete temp
+                // file that never reaches the rename — exactly a crash
+                // between write and rename.
+                let _ = fs::write(&tmp_path, &bytes);
+                return Err(FaultPlan::io_error(IoOp::CheckpointWrite).into());
+            }
+            Some(_) => return Err(FaultPlan::io_error(IoOp::CheckpointWrite).into()),
+        }
+        match self.opts.fault.io(IoOp::CheckpointRename, bytes.len()) {
+            None => fs::rename(&tmp_path, &final_path)?,
+            Some(_) => return Err(FaultPlan::io_error(IoOp::CheckpointRename).into()),
+        }
 
         self.next_ordinal += 1;
         self.watermark = watermark;
@@ -321,14 +368,39 @@ impl ShardDurability {
                 .last()
                 .map_or(watermark, |(_, path)| read_checkpoint_watermark(path).unwrap_or(0));
             if let Ok(segments) = wal::list_segments(&self.dir) {
-                for (first_seq, path) in segments {
-                    if first_seq <= prune_below {
+                // A segment's rows end where the next segment begins (the
+                // active one ends at the writer's cursor). Judging
+                // coverage by the *last* row, not just the first, keeps a
+                // straddling segment — possible when an earlier rotation
+                // failed and rows past the watermark landed in a segment
+                // that starts below it — from being pruned with
+                // unreplayed rows inside.
+                for (i, (first_seq, path)) in segments.iter().enumerate() {
+                    let last_row = segments
+                        .get(i + 1)
+                        .map_or(self.wal.next_seq() - 1, |&(next_first, _)| next_first - 1);
+                    if *first_seq <= prune_below && last_row <= prune_below {
                         let _ = fs::remove_file(path);
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Write-probes the shard directory: proves the disk accepts (and
+    /// can remove) a small file again, then rotates the WAL so a torn
+    /// tail left by a mid-write crash stops blocking appends. The
+    /// degraded-mode re-arm path: a successful probe means ingest can be
+    /// accepted again.
+    pub fn probe(&mut self) -> Result<(), PersistError> {
+        if self.opts.fault.io(IoOp::Probe, 0).is_some() {
+            return Err(FaultPlan::io_error(IoOp::Probe).into());
+        }
+        let probe_path = self.dir.join("probe.tmp");
+        fs::write(&probe_path, b"quicksel-probe")?;
+        let _ = fs::remove_file(&probe_path);
+        self.wal.rotate()
     }
 }
 
@@ -373,8 +445,22 @@ struct CheckpointMeta {
     counters: Vec<u64>,
 }
 
-fn load_checkpoint(path: &Path) -> Result<(CheckpointMeta, Vec<u8>), PersistError> {
-    let bytes = fs::read(path)?;
+/// Loads a checkpoint with a fault seam over the raw bytes: injected
+/// corruption flips a bit *after* the read, so the container's CRC
+/// machinery (not the injector) decides what survives.
+fn load_checkpoint_with(
+    path: &Path,
+    fault: &FaultPlan,
+) -> Result<(CheckpointMeta, Vec<u8>), PersistError> {
+    let mut bytes = fs::read(path)?;
+    match fault.io(IoOp::CheckpointRead, bytes.len()) {
+        None => {}
+        Some(IoFault::Corrupt { offset }) if !bytes.is_empty() => {
+            let at = offset % bytes.len();
+            bytes[at] ^= 1 << (offset % 8);
+        }
+        Some(_) => return Err(FaultPlan::io_error(IoOp::CheckpointRead).into()),
+    }
     let c = Container::open(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, &bytes)?;
     let mut r = Reader::new(c.section(SEC_META)?);
     let watermark = r.u64("checkpoint watermark")?;

@@ -27,8 +27,9 @@
 use crate::format::{crc32, PutBytes, Reader};
 use crate::PersistError;
 use quicksel_data::ObservedQuery;
+use quicksel_fault::{FaultPlan, IoFault, IoOp};
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic of a WAL segment.
@@ -101,6 +102,14 @@ pub struct WalWriter {
     next_seq: u64,
     sync_each_batch: bool,
     bytes_logged: u64,
+    /// The fault-injection seam; disabled by default (one branch per
+    /// operation, nothing else).
+    fault: FaultPlan,
+    /// Set when the active segment holds a torn tail that could not be
+    /// rolled back (a simulated or real crash-mid-write). Appending past
+    /// a tear would hide the new record from the reader, so appends are
+    /// refused until [`rotate`](Self::rotate) starts a clean segment.
+    dirty: bool,
 }
 
 impl WalWriter {
@@ -115,8 +124,20 @@ impl WalWriter {
         segment_bytes: u64,
         sync_each_batch: bool,
     ) -> Result<Self, PersistError> {
+        Self::open_with_faults(dir, next_seq, segment_bytes, sync_each_batch, FaultPlan::disabled())
+    }
+
+    /// [`open`](Self::open) with a fault-injection plan threaded through
+    /// every subsequent IO operation (segment opens, appends, rotations).
+    pub fn open_with_faults(
+        dir: &Path,
+        next_seq: u64,
+        segment_bytes: u64,
+        sync_each_batch: bool,
+        fault: FaultPlan,
+    ) -> Result<Self, PersistError> {
         fs::create_dir_all(dir)?;
-        let file = Self::start_segment(dir, next_seq)?;
+        let file = Self::start_segment(dir, next_seq, &fault)?;
         Ok(Self {
             dir: dir.to_path_buf(),
             file,
@@ -125,10 +146,12 @@ impl WalWriter {
             next_seq,
             sync_each_batch,
             bytes_logged: 0,
+            fault,
+            dirty: false,
         })
     }
 
-    fn start_segment(dir: &Path, first_seq: u64) -> Result<File, PersistError> {
+    fn start_segment(dir: &Path, first_seq: u64, fault: &FaultPlan) -> Result<File, PersistError> {
         let mut header = Vec::with_capacity(SEGMENT_HEADER);
         header.put_bytes(&WAL_MAGIC);
         header.put_u16(WAL_VERSION);
@@ -140,8 +163,24 @@ impl WalWriter {
             .create(true)
             .truncate(true)
             .open(dir.join(segment_name(first_seq)))?;
-        file.write_all(&header)?;
-        file.flush()?;
+        match fault.io(IoOp::WalOpen, header.len()) {
+            None => {
+                file.write_all(&header)?;
+                file.flush()?;
+            }
+            Some(IoFault::Short { keep } | IoFault::Torn { keep }) => {
+                // A torn header: the segment is unreadable, which recovery
+                // treats as "never got past creation".
+                let _ = file.write_all(&header[..keep.min(header.len())]);
+                let _ = file.flush();
+                return Err(FaultPlan::io_error(IoOp::WalOpen).into());
+            }
+            Some(IoFault::FlushError) => {
+                let _ = file.write_all(&header);
+                return Err(FaultPlan::io_error(IoOp::WalOpen).into());
+            }
+            Some(_) => return Err(FaultPlan::io_error(IoOp::WalOpen).into()),
+        }
         Ok(file)
     }
 
@@ -158,9 +197,22 @@ impl WalWriter {
     /// Logs one feedback batch as a single record, assigning its rows
     /// the next `batch.len()` sequence numbers. Returns the bytes
     /// written. Empty batches write nothing.
+    ///
+    /// **All-or-nothing**: on any failure — a real IO error or an
+    /// injected one — the segment is rolled back to its pre-append
+    /// length, so a refused batch leaves no bytes behind to replay. The
+    /// one exception is a (simulated) crash mid-write
+    /// ([`IoFault::Torn`]) or a failed rollback: the tear stays on disk
+    /// for the reader's torn-tail tolerance, and the writer refuses
+    /// further appends until [`rotate`](Self::rotate) succeeds.
     pub fn append_batch(&mut self, batch: &[ObservedQuery]) -> Result<u64, PersistError> {
         if batch.is_empty() {
             return Ok(0);
+        }
+        if self.dirty {
+            return Err(PersistError::Io(std::io::Error::other(
+                "wal segment holds a torn tail; rotation required before appending",
+            )));
         }
         let mut payload = Vec::new();
         payload.put_u64(self.next_seq);
@@ -172,10 +224,31 @@ impl WalWriter {
         frame.put_u32(payload.len() as u32);
         frame.put_u32(crc32(&payload));
         frame.put_bytes(&payload);
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
-        if self.sync_each_batch {
-            self.file.sync_data()?;
+        match self.fault.io(IoOp::WalAppend, frame.len()) {
+            None => {
+                if let Err(e) = self.write_frame(&frame) {
+                    self.rollback();
+                    return Err(e.into());
+                }
+            }
+            Some(IoFault::Short { keep }) => {
+                let _ = self.file.write_all(&frame[..keep.min(frame.len())]);
+                self.rollback();
+                return Err(FaultPlan::io_error(IoOp::WalAppend).into());
+            }
+            Some(IoFault::Torn { keep }) => {
+                // Simulated crash: the partial frame stays on disk.
+                let _ = self.file.write_all(&frame[..keep.min(frame.len())]);
+                let _ = self.file.flush();
+                self.dirty = true;
+                return Err(FaultPlan::io_error(IoOp::WalAppend).into());
+            }
+            Some(IoFault::FlushError) => {
+                let _ = self.file.write_all(&frame);
+                self.rollback();
+                return Err(FaultPlan::io_error(IoOp::WalAppend).into());
+            }
+            Some(_) => return Err(FaultPlan::io_error(IoOp::WalAppend).into()),
         }
         self.next_seq += batch.len() as u64;
         self.written += frame.len() as u64;
@@ -186,12 +259,37 @@ impl WalWriter {
         Ok(frame.len() as u64)
     }
 
-    /// Seals the current segment and starts a new one at the current
-    /// sequence position.
-    pub fn rotate(&mut self) -> Result<(), PersistError> {
+    fn write_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(frame)?;
         self.file.flush()?;
-        self.file = Self::start_segment(&self.dir, self.next_seq)?;
+        if self.sync_each_batch {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the segment back to its last known-good length after a
+    /// failed append; a failed rollback marks the segment dirty so the
+    /// tear is never appended past.
+    fn rollback(&mut self) {
+        let ok = self.file.set_len(self.written).is_ok()
+            && self.file.seek(SeekFrom::Start(self.written)).is_ok();
+        if !ok {
+            self.dirty = true;
+        }
+    }
+
+    /// Seals the current segment and starts a new one at the current
+    /// sequence position. Also the recovery path out of a torn segment:
+    /// a successful rotation leaves the tear behind in the sealed file
+    /// (where the reader's tolerance handles it) and resumes clean.
+    pub fn rotate(&mut self) -> Result<(), PersistError> {
+        if !self.dirty {
+            self.file.flush()?;
+        }
+        self.file = Self::start_segment(&self.dir, self.next_seq, &self.fault)?;
         self.written = SEGMENT_HEADER as u64;
+        self.dirty = false;
         Ok(())
     }
 }
@@ -201,7 +299,22 @@ impl WalWriter {
 /// are counted, not replayed), because nothing after a tear can be
 /// trusted to be framed correctly.
 pub fn read_segment(path: &Path) -> Result<SegmentRead, PersistError> {
-    let bytes = fs::read(path)?;
+    read_segment_with(path, &FaultPlan::disabled())
+}
+
+/// [`read_segment`] with a fault seam over the raw bytes: injected
+/// corruption flips a bit *after* the read, so the CRC machinery (not
+/// the injector) decides what survives.
+pub fn read_segment_with(path: &Path, fault: &FaultPlan) -> Result<SegmentRead, PersistError> {
+    let mut bytes = fs::read(path)?;
+    match fault.io(IoOp::WalRead, bytes.len()) {
+        None => {}
+        Some(IoFault::Corrupt { offset }) if !bytes.is_empty() => {
+            let at = offset % bytes.len();
+            bytes[at] ^= 1 << (offset % 8);
+        }
+        Some(_) => return Err(FaultPlan::io_error(IoOp::WalRead).into()),
+    }
     if bytes.len() < SEGMENT_HEADER {
         return Err(PersistError::Truncated { context: "wal segment header" });
     }

@@ -80,7 +80,8 @@ pub use provider::{CachedProvider, CardinalityProvider, LearnerProvider, TableId
 pub use rate::{RateMeter, RATE_WINDOW_SECS};
 pub use registry::{EstimatorRegistry, RecoveryReport, RegistryStats};
 pub use service::{
-    IngestHandle, IngestRejection, SelectivityService, ServiceStats, ShardRecovery, SharedSnapshot,
+    HealthState, IngestHandle, IngestRejection, SelectivityService, ServiceStats, ShardRecovery,
+    SharedSnapshot,
 };
 pub use shard::{
     EstimateRoute, ShardRejection, ShardedIngest, ShardedService, ShardedStats,

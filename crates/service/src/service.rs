@@ -5,18 +5,42 @@ use crate::swap::ArcCell;
 use quicksel_data::{
     Estimate, EstimatorError, ObservedQuery, RefineOutcome, SnapshotSource, Table,
 };
+use quicksel_fault::jitter_ms;
 use quicksel_geometry::Rect;
 use quicksel_persist::{DurabilityOptions, PersistError, PersistLearner, ShardDurability};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A shared, immutable model view; what [`SelectivityService::snapshot`]
 /// hands to reader threads.
 pub type SharedSnapshot = Arc<dyn Estimate + Send + Sync>;
+
+/// A shard's serving health, driven by its durability pipeline.
+///
+/// ```text
+///              ≥ degrade_after consecutive persist failures
+///   Healthy ────────────────────────────────────────────────▶ Degraded
+///      ▲                                                    (read-only)
+///      │   write probe of the shard directory succeeds           │
+///      └─────────────────────────────────────────────────────────┘
+///            (probes are backoff-paced with deterministic jitter)
+/// ```
+///
+/// While degraded, estimates keep serving the last published snapshot;
+/// only ingest is refused (with [`EstimatorError::Degraded`] carrying
+/// the suggested retry delay). A non-durable service is always healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Ingest and estimates both served.
+    Healthy,
+    /// Read-only: persist failures tripped the health machine; ingest is
+    /// refused until a re-arm probe succeeds.
+    Degraded,
+}
 
 /// Running counters describing a service's ingestion history, plus the
 /// rate/queue-depth gauges admission control and dashboards read
@@ -71,6 +95,18 @@ pub struct ServiceStats {
     /// compacted summaries count once). Bounded learners hold this at or
     /// below their configured budget.
     pub history_len: u64,
+    /// 1 while this shard is [`HealthState::Degraded`], else 0 (gauge).
+    /// Merged totals count currently-degraded shards.
+    pub degraded: u64,
+    /// Healthy → Degraded transitions over this process's lifetime.
+    pub degraded_transitions: u64,
+    /// Re-arm write probes attempted while degraded.
+    pub health_probes: u64,
+    /// Ingest batches refused because the shard was degraded.
+    pub degraded_refusals: u64,
+    /// Lock poisonings recovered (a panicking writer thread abandoned a
+    /// lock; the service adopted the state and kept serving).
+    pub poisoned_locks: u64,
 }
 
 impl ServiceStats {
@@ -95,6 +131,11 @@ impl ServiceStats {
             evicted_rows: self.evicted_rows + other.evicted_rows,
             drift_resamples: self.drift_resamples + other.drift_resamples,
             history_len: self.history_len + other.history_len,
+            degraded: self.degraded + other.degraded,
+            degraded_transitions: self.degraded_transitions + other.degraded_transitions,
+            health_probes: self.health_probes + other.health_probes,
+            degraded_refusals: self.degraded_refusals + other.degraded_refusals,
+            poisoned_locks: self.poisoned_locks + other.poisoned_locks,
         }
     }
 }
@@ -161,15 +202,35 @@ pub struct SelectivityService<L: SnapshotSource> {
     evicted_rows: AtomicU64,
     drift_resamples: AtomicU64,
     history_len: AtomicU64,
+    /// 0 = [`HealthState::Healthy`], 1 = [`HealthState::Degraded`]. An
+    /// atomic so the healthy-path gate check and `health()` never touch
+    /// a lock; transitions happen only under the durability lock.
+    health: AtomicU64,
+    degraded_transitions: AtomicU64,
+    health_probes: AtomicU64,
+    degraded_refusals: AtomicU64,
+    poisoned_locks: AtomicU64,
     durability: Option<DurabilityHook<L>>,
 }
 
-/// Mutable durability state, held under its own mutex (acquired only
-/// while the learner lock is already held, so lock order is fixed:
-/// learner → durability).
+/// Mutable durability state, held under its own mutex. Lock order is
+/// fixed: the ingest/checkpoint paths acquire learner → durability; the
+/// health gate may take the durability lock *alone* (never the learner
+/// lock after it), so no cycle exists.
 struct DurabilityState {
     shard: ShardDurability,
     last_checkpoint: Instant,
+    /// Persist failures since the last durable success; crossing
+    /// `degrade_after` trips [`HealthState::Degraded`].
+    consecutive_failures: u32,
+    /// Probes attempted since degrading (drives exponential backoff).
+    probe_attempt: u32,
+    /// Earliest instant the next re-arm probe may run.
+    next_probe_at: Instant,
+    /// Seed for deterministic probe-backoff jitter, derived from the
+    /// shard directory path so each shard jitters differently but
+    /// reproducibly.
+    probe_seed: u64,
 }
 
 /// Type-erased `PersistLearner::save_state`, captured at
@@ -248,6 +309,11 @@ impl<L: SnapshotSource> SelectivityService<L> {
             evicted_rows: AtomicU64::new(evicted),
             drift_resamples: AtomicU64::new(resamples),
             history_len: AtomicU64::new(history),
+            health: AtomicU64::new(0),
+            degraded_transitions: AtomicU64::new(0),
+            health_probes: AtomicU64::new(0),
+            degraded_refusals: AtomicU64::new(0),
+            poisoned_locks: AtomicU64::new(0),
             durability: None,
         }
     }
@@ -313,6 +379,20 @@ impl<L: SnapshotSource> SelectivityService<L> {
             evicted_rows: self.evicted_rows.load(SeqCst),
             drift_resamples: self.drift_resamples.load(SeqCst),
             history_len: self.history_len.load(SeqCst),
+            degraded: self.health.load(SeqCst),
+            degraded_transitions: self.degraded_transitions.load(SeqCst),
+            health_probes: self.health_probes.load(SeqCst),
+            degraded_refusals: self.degraded_refusals.load(SeqCst),
+            poisoned_locks: self.poisoned_locks.load(SeqCst),
+        }
+    }
+
+    /// This shard's serving health. Lock-free; see [`HealthState`].
+    pub fn health(&self) -> HealthState {
+        if self.health.load(SeqCst) == 0 {
+            HealthState::Healthy
+        } else {
+            HealthState::Degraded
         }
     }
 
@@ -351,16 +431,24 @@ impl<L: SnapshotSource> SelectivityService<L> {
             self.rejected_batches.fetch_add(1, SeqCst);
             return Err(e);
         }
-        let mut learner = self.learner.lock().expect("service learner lock poisoned");
+        let mut learner = self.lock_learner();
         if log_wal {
             if let Some(hook) = &self.durability {
-                let mut st = hook.state.lock().expect("durability lock poisoned");
+                let mut st = self.lock_durability(hook);
+                self.gate_locked(&mut st)?;
                 match st.shard.log_batch(batch) {
                     Ok(bytes) => {
+                        st.consecutive_failures = 0;
                         self.wal_bytes.fetch_add(bytes, SeqCst);
                     }
                     Err(_) => {
-                        self.persist_failures.fetch_add(1, SeqCst);
+                        // The batch is **not** ingested and **not**
+                        // acknowledged: the WAL never captured it, so
+                        // acking would silently lose it across a crash.
+                        // The caller may retry; repeated failures trip
+                        // the shard into degraded (read-only) serving.
+                        self.note_persist_failure(&mut st);
+                        return Err(EstimatorError::PersistRefused);
                     }
                 }
             }
@@ -406,13 +494,105 @@ impl<L: SnapshotSource> SelectivityService<L> {
         result
     }
 
+    /// Locks the learner, adopting (and counting) a poisoned lock rather
+    /// than panicking: a writer that panicked mid-update leaves at worst
+    /// a stale model, which the next successful publish replaces —
+    /// poisoning every future caller would turn one bad batch into a
+    /// permanent outage.
+    fn lock_learner(&self) -> MutexGuard<'_, L> {
+        self.learner.lock().unwrap_or_else(|poisoned| {
+            self.poisoned_locks.fetch_add(1, SeqCst);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Locks the durability state with the same poison recovery; an
+    /// interrupted persist call is indistinguishable from an IO failure,
+    /// which the health machine already handles.
+    fn lock_durability<'a>(&self, hook: &'a DurabilityHook<L>) -> MutexGuard<'a, DurabilityState> {
+        hook.state.lock().unwrap_or_else(|poisoned| {
+            self.poisoned_locks.fetch_add(1, SeqCst);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Pre-flight ingest admission: healthy (and non-durable) services
+    /// pass for free; a degraded shard runs a re-arm probe when one is
+    /// due and otherwise refuses with the delay until the next probe.
+    /// Takes only the durability lock — never the learner lock — so the
+    /// sharded router can refuse a multi-shard batch atomically before
+    /// any shard ingests.
+    pub fn health_gate(&self) -> Result<(), EstimatorError> {
+        if self.health.load(SeqCst) == 0 {
+            return Ok(());
+        }
+        let Some(hook) = &self.durability else { return Ok(()) };
+        let mut st = self.lock_durability(hook);
+        self.gate_locked(&mut st)
+    }
+
+    /// [`health_gate`](Self::health_gate) with the durability lock held.
+    fn gate_locked(&self, st: &mut DurabilityState) -> Result<(), EstimatorError> {
+        if self.health.load(SeqCst) == 0 {
+            return Ok(());
+        }
+        let now = Instant::now();
+        if now >= st.next_probe_at {
+            self.health_probes.fetch_add(1, SeqCst);
+            match st.shard.probe() {
+                Ok(()) => {
+                    // The directory takes writes again and the WAL sits
+                    // on a fresh segment: back to serving ingest.
+                    st.consecutive_failures = 0;
+                    st.probe_attempt = 0;
+                    self.health.store(0, SeqCst);
+                    return Ok(());
+                }
+                Err(_) => self.arm_next_probe(st, now),
+            }
+        }
+        self.degraded_refusals.fetch_add(1, SeqCst);
+        let wait = st.next_probe_at.saturating_duration_since(Instant::now());
+        Err(EstimatorError::Degraded { retry_after_ms: (wait.as_millis() as u64).max(1) })
+    }
+
+    /// Counts one persist failure and trips Healthy → Degraded once the
+    /// consecutive-failure streak reaches `degrade_after`. Called with
+    /// the durability lock held.
+    fn note_persist_failure(&self, st: &mut DurabilityState) {
+        self.persist_failures.fetch_add(1, SeqCst);
+        st.consecutive_failures = st.consecutive_failures.saturating_add(1);
+        if self.health.load(SeqCst) == 0
+            && st.consecutive_failures >= st.shard.options().degrade_after.max(1)
+        {
+            self.health.store(1, SeqCst);
+            self.degraded_transitions.fetch_add(1, SeqCst);
+            st.probe_attempt = 0;
+            self.arm_next_probe(st, Instant::now());
+        }
+    }
+
+    /// Schedules the next re-arm probe: exponential backoff from
+    /// `probe_backoff` capped at `probe_backoff_max`, with deterministic
+    /// jitter keyed on the shard directory and the attempt number (no
+    /// wall-clock entropy, so torture runs reproduce exactly).
+    fn arm_next_probe(&self, st: &mut DurabilityState, now: Instant) {
+        let opts = st.shard.options();
+        let base = (opts.probe_backoff.as_millis() as u64).max(1);
+        let cap = (opts.probe_backoff_max.as_millis() as u64).max(base);
+        let backoff = base.saturating_mul(1u64 << st.probe_attempt.min(20)).min(cap);
+        st.probe_attempt = st.probe_attempt.saturating_add(1);
+        st.next_probe_at =
+            now + Duration::from_millis(jitter_ms(st.probe_seed, st.probe_attempt, backoff));
+    }
+
     /// Takes a checkpoint if the durability thresholds (row count or
     /// elapsed interval, with at least one row pending) say one is due.
     /// Called with the learner lock held so the saved state is exactly
     /// what the WAL watermark covers.
     fn maybe_checkpoint(&self, learner: &L) {
         let Some(hook) = &self.durability else { return };
-        let mut st = hook.state.lock().expect("durability lock poisoned");
+        let mut st = self.lock_durability(hook);
         let rows = st.shard.rows_since_checkpoint();
         if rows == 0 {
             return;
@@ -424,7 +604,7 @@ impl<L: SnapshotSource> SelectivityService<L> {
             return;
         }
         if self.checkpoint_locked(hook, &mut st, learner).is_err() {
-            self.persist_failures.fetch_add(1, SeqCst);
+            self.note_persist_failure(&mut st);
         }
     }
 
@@ -439,6 +619,13 @@ impl<L: SnapshotSource> SelectivityService<L> {
         st.shard.write_checkpoint(&bytes, &counters)?;
         st.last_checkpoint = Instant::now();
         self.checkpoints_written.store(st.shard.stats().checkpoints_written, SeqCst);
+        // A checkpoint is a full durable round-trip (learner capture,
+        // temp write, rename, WAL rotation): stronger evidence than any
+        // probe, so it both clears the failure streak and re-arms a
+        // degraded shard.
+        st.consecutive_failures = 0;
+        st.probe_attempt = 0;
+        self.health.store(0, SeqCst);
         Ok(())
     }
 
@@ -476,10 +663,15 @@ impl<L: SnapshotSource> SelectivityService<L> {
     /// no durability attached.
     pub fn checkpoint_now(&self) -> Result<bool, PersistError> {
         let Some(hook) = &self.durability else { return Ok(false) };
-        let learner = self.learner.lock().expect("service learner lock poisoned");
-        let mut st = hook.state.lock().expect("durability lock poisoned");
-        self.checkpoint_locked(hook, &mut st, &learner)?;
-        Ok(true)
+        let learner = self.lock_learner();
+        let mut st = self.lock_durability(hook);
+        match self.checkpoint_locked(hook, &mut st, &learner) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                self.note_persist_failure(&mut st);
+                Err(e)
+            }
+        }
     }
 
     /// True when this service was opened with durability attached.
@@ -490,7 +682,7 @@ impl<L: SnapshotSource> SelectivityService<L> {
     /// Forwards a data-churn notification to the learner and republishes
     /// (scan-based learners may have rebuilt their statistics).
     pub fn sync_data(&self, table: &Table, changed_rows: usize) {
-        let mut learner = self.learner.lock().expect("service learner lock poisoned");
+        let mut learner = self.lock_learner();
         learner.sync_data(table, changed_rows);
         self.publish(&learner);
     }
@@ -498,7 +690,7 @@ impl<L: SnapshotSource> SelectivityService<L> {
     /// Runs a closure against the locked learner — diagnostics access
     /// (e.g. `QuickSel::last_report`, [`Learn::last_error`](quicksel_data::Learn::last_error)).
     pub fn with_learner<R>(&self, f: impl FnOnce(&L) -> R) -> R {
-        f(&self.learner.lock().expect("service learner lock poisoned"))
+        f(&self.lock_learner())
     }
 
     fn publish(&self, learner: &L) {
@@ -538,8 +730,21 @@ impl<L: SnapshotSource + PersistLearner> SelectivityService<L> {
         let mut service = Self::new(learner);
         service.restore_counters(&recovered.counters);
         service.checkpoints_written.store(shard.stats().checkpoints_written, SeqCst);
+        // FNV-1a over the directory path: per-shard, reproducible probe
+        // jitter without any wall-clock entropy.
+        let probe_seed =
+            dir.as_os_str().to_string_lossy().bytes().fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            });
         service.durability = Some(DurabilityHook {
-            state: Mutex::new(DurabilityState { shard, last_checkpoint: Instant::now() }),
+            state: Mutex::new(DurabilityState {
+                shard,
+                last_checkpoint: Instant::now(),
+                consecutive_failures: 0,
+                probe_attempt: 0,
+                next_probe_at: Instant::now(),
+                probe_seed,
+            }),
             save: Box::new(|learner: &L| learner.save_state()),
         });
         let mut replay_failures = 0;

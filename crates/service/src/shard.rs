@@ -185,8 +185,17 @@ impl<L: SnapshotSource> ShardedService<L> {
             // Everything routes to shard 0; skip the partition clone.
             return self.shards[0].observe_batch(batch).map(|_| ());
         }
+        let parts = self.partition_batch(batch);
+        // Admission runs over every target shard *before* any shard
+        // ingests: a degraded shard mid-scatter would otherwise leave the
+        // batch half-applied with no way to report which half.
+        for (i, part) in parts.iter().enumerate() {
+            if !part.is_empty() {
+                self.shards[i].health_gate()?;
+            }
+        }
         let mut first_err = None;
-        for (i, part) in self.partition_batch(batch).into_iter().enumerate() {
+        for (i, part) in parts.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }

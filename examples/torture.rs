@@ -1,0 +1,657 @@
+//! Crash-consistency torture harness.
+//!
+//! Sweeps a mixed ingest / estimate / checkpoint workload with a fault
+//! injected at **every** persist-op index, recovery faulted at every
+//! read-op index, and a live wire session cut at every frame boundary
+//! (and mid-frame), across several seeds. Everything is deterministic:
+//! faults come from `quicksel::fault::FaultPlan` (a pure function of
+//! seed and global op index), so any reported violation replays exactly
+//! from its `(seed, op)` pair.
+//!
+//! The invariants checked, per scenario:
+//!
+//! 1. **No panic, ever.** Every fault surfaces as a typed error.
+//! 2. **Acked implies durable.** After a simulated crash (the process
+//!    drops the service with no final checkpoint), a fault-free
+//!    recovery reproduces — `==`, not approximately — the state of a
+//!    fresh reference service fed *exactly the acknowledged batches* in
+//!    order: same estimates on a probe set, same ingest counters, same
+//!    refine cadence. Batches refused with a typed error may be lost
+//!    (the caller was told); batches acked may not, including every
+//!    batch acked before a degraded-mode transition.
+//! 3. **Recovery under read faults degrades, never corrupts.** A
+//!    corrupted or unreadable checkpoint/WAL read during recovery may
+//!    shrink what comes back (torn tails truncate; bad checkpoints fall
+//!    back to older ones) but never invents rows, never panics, and
+//!    never yields out-of-range estimates.
+//! 4. **A cut connection never wounds the server.** After every
+//!    prefix-of-bytes disconnect, a fresh clean client round-trips
+//!    successfully and the server's counters stay coherent.
+//!
+//! Budget knobs (all env vars, for CI smoke runs):
+//!
+//! * `TORTURE_SEEDS`    — how many seeds to sweep (default 3)
+//! * `TORTURE_BATCHES`  — feedback batches per scenario (default 12)
+//! * `TORTURE_MAX_OPS`  — cap on swept op indices per phase (default all)
+//!
+//! Exits non-zero, listing every violation, if any invariant breaks.
+
+use quicksel::fault::{mix, FaultPlan, FaultStream};
+use quicksel::net::proto::{self, Request, Response};
+use quicksel::net::{serve, NetClient, ServerConfig};
+use quicksel::prelude::*;
+use quicksel::service::HealthState;
+use quicksel::{DurabilityOptions, SelectivityService};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Budget + scratch plumbing
+// ---------------------------------------------------------------------
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct Budget {
+    seeds: u64,
+    batches: usize,
+    max_ops: u64,
+}
+
+impl Budget {
+    fn from_env() -> Self {
+        Budget {
+            seeds: env_u64("TORTURE_SEEDS", 3).max(1),
+            batches: env_u64("TORTURE_BATCHES", 12).max(4) as usize,
+            max_ops: env_u64("TORTURE_MAX_OPS", u64::MAX).max(1),
+        }
+    }
+}
+
+/// One failed invariant; carries enough to replay the scenario.
+struct Violation {
+    phase: &'static str,
+    seed: u64,
+    detail: String,
+}
+
+struct Scratch {
+    root: PathBuf,
+    next: u64,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        let root = std::env::temp_dir().join(format!("quicksel-torture-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create scratch root");
+        Scratch { root, next: 0 }
+    }
+
+    /// A fresh, empty directory for one scenario.
+    fn dir(&mut self, tag: &str) -> PathBuf {
+        let dir = self.root.join(format!("{tag}-{}", self.next));
+        self.next += 1;
+        std::fs::create_dir_all(&dir).expect("create scenario dir");
+        dir
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy target");
+    for entry in std::fs::read_dir(src).expect("read src").filter_map(|e| e.ok()) {
+        let from = entry.path();
+        let to = dst.join(entry.file_name());
+        if from.is_dir() {
+            copy_dir(&from, &to);
+        } else {
+            std::fs::copy(&from, &to).expect("copy file");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The deterministic workload
+// ---------------------------------------------------------------------
+
+fn domain() -> Domain {
+    Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+}
+
+fn learner(seed: u64) -> QuickSel {
+    // Small fixed model + EveryK refines: fast, deterministic, and the
+    // refine cadence itself becomes part of the recovery contract.
+    QuickSel::builder(domain())
+        .refine_policy(RefinePolicy::EveryK(4))
+        .fixed_subpops(16)
+        .seed(seed)
+        .build()
+}
+
+/// Deterministic feedback batch `i` for `seed`, two observations each.
+fn batch(seed: u64, i: usize) -> Vec<ObservedQuery> {
+    (0..2)
+        .map(|j| {
+            let k = mix(seed, (i * 2 + j) as u64);
+            let lo_x = (k % 70) as f64 * 0.1;
+            let lo_y = (k / 70 % 60) as f64 * 0.1;
+            let len = 1.0 + (k % 5) as f64 * 0.7;
+            let rect = Rect::from_bounds(&[
+                (lo_x, (lo_x + len).min(10.0)),
+                (lo_y, (lo_y + len).min(10.0)),
+            ]);
+            ObservedQuery::new(rect, (k % 11) as f64 / 10.0)
+        })
+        .collect()
+}
+
+/// A fixed probe set per seed; wide enough to touch trained regions.
+fn probe_set(seed: u64) -> Vec<Rect> {
+    (0..25)
+        .map(|k| {
+            let h = mix(seed ^ 0xABCD, k);
+            let lo_x = (h % 80) as f64 * 0.1;
+            let lo_y = (h / 80 % 80) as f64 * 0.1;
+            let len = 0.5 + (h % 7) as f64 * 1.1;
+            Rect::from_bounds(&[(lo_x, (lo_x + len).min(10.0)), (lo_y, (lo_y + len).min(10.0))])
+        })
+        .collect()
+}
+
+/// Durability tuned for the harness: checkpoints every 6 rows (so a
+/// `batches`-long run crosses several checkpoint/rotate cycles), quick
+/// degraded probes, the interval trigger disabled for determinism.
+fn durability(fault: FaultPlan) -> DurabilityOptions {
+    DurabilityOptions {
+        checkpoint_rows: 6,
+        checkpoint_interval: Duration::from_secs(100_000),
+        keep_checkpoints: 2,
+        degrade_after: 2,
+        probe_backoff: Duration::from_millis(1),
+        probe_backoff_max: Duration::from_millis(8),
+        fault,
+        ..DurabilityOptions::default()
+    }
+}
+
+/// What one faulted durable run observed before its simulated crash.
+#[derive(Default)]
+struct RunOutcome {
+    /// Batch indices the service *acknowledged* (rows ingested + WAL'd).
+    acked: Vec<usize>,
+    /// Batch indices refused with a typed error (any cause).
+    refused: Vec<usize>,
+    /// Did the shard report `Degraded` at any point?
+    saw_degraded: bool,
+    /// `open_durable` itself failed (fault on the initial segment open).
+    open_failed: bool,
+}
+
+/// Runs the mixed workload against a durable service with `fault`
+/// armed, then simulates a crash by dropping the service with no final
+/// checkpoint. Panics are deliberately NOT caught: invariant 1 says
+/// they must never happen, and a panic fails the whole harness loudly.
+fn run_durable(dir: &Path, seed: u64, fault: FaultPlan, batches: usize) -> RunOutcome {
+    let mut out = RunOutcome::default();
+    let service = match SelectivityService::open_durable(dir, durability(fault), || learner(seed)) {
+        Ok((service, _recovery)) => service,
+        Err(_) => {
+            out.open_failed = true;
+            return out;
+        }
+    };
+    let probes = probe_set(seed);
+    for i in 0..batches {
+        match service.observe_batch(&batch(seed, i)) {
+            // Solver failures happen *after* ingest + WAL append: the
+            // rows are durable, so the batch counts as acked.
+            Ok(_) | Err(EstimatorError::Solver(_)) => out.acked.push(i),
+            Err(EstimatorError::Degraded { .. }) => {
+                out.refused.push(i);
+                out.saw_degraded = true;
+                // Give the backoff-spaced write probe a chance to fire
+                // on a later attempt.
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            Err(_) => out.refused.push(i),
+        }
+        if i % 3 == 2 {
+            // Interleaved reads: estimates must serve through every
+            // fault and stay in range.
+            for v in service.estimate_many(&probes) {
+                assert!((0.0..=1.0).contains(&v), "mid-run estimate out of range: {v}");
+            }
+        }
+        if service.health() == HealthState::Degraded {
+            out.saw_degraded = true;
+        }
+    }
+    // Crash: drop without checkpoint_now(); whatever was acked must
+    // survive on the strength of the WAL alone.
+    out
+}
+
+/// The reference: a fresh **non-durable** service fed exactly `acked`,
+/// in order. Recovery of the faulted run must match this exactly.
+fn reference(seed: u64, acked: &[usize]) -> (Vec<f64>, u64, u64, u64) {
+    let service = SelectivityService::new(learner(seed));
+    for &i in acked {
+        match service.observe_batch(&batch(seed, i)) {
+            Ok(_) | Err(EstimatorError::Solver(_)) => {}
+            Err(e) => panic!("reference ingest of batch {i} failed: {e}"),
+        }
+    }
+    let estimates: Vec<f64> = probe_set(seed).iter().map(|r| service.estimate(r)).collect();
+    let stats = service.stats();
+    (estimates, stats.batches_ingested, stats.queries_ingested, stats.refines)
+}
+
+/// Fault-free recovery of `dir`, compared `==` against the reference
+/// built from the acked set. Returns an error string on mismatch.
+fn check_recovery(dir: &Path, seed: u64, acked: &[usize]) -> Result<(), String> {
+    let (recovered, _report) =
+        SelectivityService::open_durable(dir, durability(FaultPlan::disabled()), || learner(seed))
+            .map_err(|e| format!("fault-free recovery failed: {e}"))?;
+    let stats = recovered.stats();
+    let got: Vec<f64> = probe_set(seed).iter().map(|r| recovered.estimate(r)).collect();
+    let (want_est, want_batches, want_rows, want_refines) = reference(seed, acked);
+    if stats.batches_ingested != want_batches || stats.queries_ingested != want_rows {
+        return Err(format!(
+            "acked data lost or invented: recovered {}/{} batches/rows, acked {}/{}",
+            stats.batches_ingested, stats.queries_ingested, want_batches, want_rows
+        ));
+    }
+    if stats.refines != want_refines {
+        return Err(format!(
+            "refine cadence diverged: recovered {} refines, reference {}",
+            stats.refines, want_refines
+        ));
+    }
+    if got != want_est {
+        return Err("recovered estimates differ from the acked-batch reference".to_string());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: write-path faults at every persist-op index
+// ---------------------------------------------------------------------
+
+fn write_sweep(scratch: &mut Scratch, budget: &Budget, seed: u64, violations: &mut Vec<Violation>) {
+    // Pass A: count the ops an uninterrupted run performs. The counting
+    // plan never injects, so this run doubles as the all-acked case.
+    let count = FaultPlan::count_only();
+    let dir = scratch.dir("count");
+    let outcome = run_durable(&dir, seed, count.clone(), budget.batches);
+    let total_ops = count.ops_seen();
+    assert!(outcome.acked.len() == budget.batches, "counting run must ack everything");
+    if let Err(detail) = check_recovery(&dir, seed, &outcome.acked) {
+        violations.push(Violation { phase: "write/baseline", seed, detail });
+    }
+
+    // Pass B: one scenario per op index — every WAL open, append,
+    // checkpoint write, rename, and probe gets its turn to fail.
+    let swept = total_ops.min(budget.max_ops);
+    let mut acked_total = 0usize;
+    let mut refused_total = 0usize;
+    let mut degraded_runs = 0usize;
+    for op in 0..swept {
+        let dir = scratch.dir("write");
+        let outcome = run_durable(&dir, seed, FaultPlan::nth(seed, op), budget.batches);
+        acked_total += outcome.acked.len();
+        refused_total += outcome.refused.len();
+        degraded_runs += usize::from(outcome.saw_degraded);
+        if outcome.open_failed && !outcome.acked.is_empty() {
+            violations.push(Violation {
+                phase: "write",
+                seed,
+                detail: format!("op {op}: acked batches on a service that never opened"),
+            });
+            continue;
+        }
+        if let Err(detail) = check_recovery(&dir, seed, &outcome.acked) {
+            violations.push(Violation {
+                phase: "write",
+                seed,
+                detail: format!("op {op}: {detail}"),
+            });
+        }
+    }
+    println!(
+        "  write sweep: {swept}/{total_ops} op indices, {acked_total} acked / {refused_total} \
+         refused batches, {degraded_runs} runs saw Degraded"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: read-path faults at every recovery-op index
+// ---------------------------------------------------------------------
+
+fn read_sweep(scratch: &mut Scratch, budget: &Budget, seed: u64, violations: &mut Vec<Violation>) {
+    // A clean run (crash-dropped, so both checkpoints and a WAL tail
+    // exist on disk), then count the ops a clean recovery performs.
+    let golden = scratch.dir("golden");
+    let outcome = run_durable(&golden, seed, FaultPlan::disabled(), budget.batches);
+    let total_rows = 2 * outcome.acked.len() as u64;
+    let count = FaultPlan::count_only();
+    {
+        let probe_dir = scratch.dir("read-count");
+        copy_dir(&golden, &probe_dir);
+        let _ = SelectivityService::open_durable(&probe_dir, durability(count.clone()), || {
+            learner(seed)
+        });
+    }
+    let total_ops = count.ops_seen();
+
+    // One scenario per recovery op: checkpoint reads and WAL segment
+    // reads get corrupted or refused; the WAL open for the post-recovery
+    // segment gets to fail too. Recovery mutates the directory (tail
+    // truncation, new segment), so every scenario gets a fresh copy.
+    let swept = total_ops.min(budget.max_ops);
+    let mut recovered_ok = 0usize;
+    let mut refused = 0usize;
+    for op in 0..swept {
+        let dir = scratch.dir("read");
+        copy_dir(&golden, &dir);
+        match SelectivityService::open_durable(&dir, durability(FaultPlan::nth(seed, op)), || {
+            learner(seed)
+        }) {
+            Ok((service, _report)) => {
+                recovered_ok += 1;
+                let stats = service.stats();
+                if stats.queries_ingested > total_rows {
+                    violations.push(Violation {
+                        phase: "read",
+                        seed,
+                        detail: format!(
+                            "op {op}: recovery invented rows ({} > {total_rows})",
+                            stats.queries_ingested
+                        ),
+                    });
+                }
+                for v in service.estimate_many(&probe_set(seed)) {
+                    if !(0.0..=1.0).contains(&v) {
+                        violations.push(Violation {
+                            phase: "read",
+                            seed,
+                            detail: format!("op {op}: out-of-range estimate {v} after recovery"),
+                        });
+                        break;
+                    }
+                }
+            }
+            // A typed refusal is an acceptable outcome for a faulted
+            // recovery; a panic would have aborted the harness.
+            Err(_) => refused += 1,
+        }
+    }
+    println!(
+        "  read sweep: {swept}/{total_ops} op indices, {recovered_ok} recovered, {refused} refused"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Phase 3: degraded-mode episodes (windowed fault bursts)
+// ---------------------------------------------------------------------
+
+fn degraded_sweep(
+    scratch: &mut Scratch,
+    budget: &Budget,
+    seed: u64,
+    violations: &mut Vec<Violation>,
+) {
+    // Fault bursts of several lengths at several start offsets: long
+    // enough to trip the health machine (degrade_after = 2), finite so
+    // the write probe eventually re-arms the shard. The invariant is
+    // the same as the write sweep — nothing acked may be lost — plus:
+    // a run whose burst ended must finish Healthy again.
+    let mut episodes = 0usize;
+    for &(start, len) in &[(1u64, 2u64), (1, 5), (4, 3), (7, 6), (2, 9)] {
+        if start >= budget.max_ops {
+            continue;
+        }
+        let dir = scratch.dir("degraded");
+        let fault = FaultPlan::window(seed, start, len);
+        let outcome = run_durable(&dir, seed, fault, budget.batches);
+        episodes += usize::from(outcome.saw_degraded);
+        if outcome.open_failed {
+            continue;
+        }
+        if let Err(detail) = check_recovery(&dir, seed, &outcome.acked) {
+            violations.push(Violation {
+                phase: "degraded",
+                seed,
+                detail: format!("window({start},{len}): {detail}"),
+            });
+        }
+    }
+    println!("  degraded sweep: 5 fault windows, {episodes} tripped the health machine");
+}
+
+// ---------------------------------------------------------------------
+// Phase 4: wire faults at every frame boundary
+// ---------------------------------------------------------------------
+
+/// The byte stream of one client session: hello + a mixed request
+/// pipeline, each element one complete frame.
+fn session_frames(seed: u64, batches: usize) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let frame = |body: &[u8]| {
+        let mut buf = Vec::with_capacity(body.len() + 8);
+        proto::write_frame(&mut buf, body).expect("vec write cannot fail");
+        buf
+    };
+    frames.push(frame(&proto::encode_hello(1, proto::PROTO_VERSION)));
+    let mut id = 1u64;
+    for i in 0..batches.min(6) {
+        frames.push(frame(
+            &Request::ObserveBatch { id, table: "orders".to_string(), rows: batch(seed, i) }
+                .encode(),
+        ));
+        id += 1;
+        if i % 2 == 1 {
+            frames.push(frame(
+                &Request::EstimateMany {
+                    id,
+                    table: "orders".to_string(),
+                    rects: probe_set(seed)[..4].to_vec(),
+                }
+                .encode(),
+            ));
+            id += 1;
+        }
+    }
+    frames.push(frame(&Request::Stats { id }.encode()));
+    frames
+}
+
+fn wire_sweep(budget: &Budget, seed: u64, violations: &mut Vec<Violation>) {
+    let registry = EstimatorRegistry::new();
+    let d = domain();
+    registry.register_with("orders", d.clone(), 1, |i| {
+        QuickSel::builder(d.clone())
+            .refine_policy(RefinePolicy::EveryK(4))
+            .fixed_subpops(16)
+            .seed(seed + i as u64)
+            .build()
+    });
+    let backend = Arc::new(registry);
+    let handle = serve(
+        Arc::clone(&backend),
+        ServerConfig {
+            shutdown_tick: Duration::from_millis(10),
+            idle_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // Every frame boundary, plus a mid-frame offset inside every frame:
+    // the server must treat both as a disconnect, never as a wound.
+    let frames = session_frames(seed, budget.batches);
+    let mut cuts: Vec<(u64, bool)> = vec![(0, false)];
+    let mut off = 0u64;
+    for f in &frames {
+        if f.len() > 5 {
+            cuts.push((off + 5, true)); // mid-frame: header split from body
+        }
+        off += f.len() as u64;
+        cuts.push((off, false)); // clean frame boundary
+    }
+    let swept = cuts.len().min(budget.max_ops as usize);
+    let mid_frame_cuts = cuts[..swept].iter().filter(|&&(_, mid)| mid).count() as u64;
+    for &(cut, _mid) in &cuts[..swept] {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let mut faulty = FaultStream::new(stream).cut_write_after(cut);
+        // Blind-write the session until the cut trips; never read a
+        // response — the disconnect lands wherever the cut says.
+        for frame in &frames {
+            if faulty.write_all(frame).and_then(|()| faulty.flush()).is_err() {
+                break;
+            }
+        }
+        drop(faulty);
+        // The server must shrug it off: a clean client still serves.
+        match NetClient::connect(addr) {
+            Ok(mut clean) => {
+                if let Err(e) = clean.estimate_many("orders", &probe_set(seed)[..2]) {
+                    violations.push(Violation {
+                        phase: "wire",
+                        seed,
+                        detail: format!("cut@{cut}: clean client failed after cut: {e}"),
+                    });
+                }
+            }
+            Err(e) => violations.push(Violation {
+                phase: "wire",
+                seed,
+                detail: format!("cut@{cut}: server unreachable after cut: {e}"),
+            }),
+        }
+    }
+
+    // A chunked (but uncut) stream — every write fragmented into tiny
+    // pieces, exercising partial-frame reads server-side — must behave
+    // exactly like a clean session: every batch acked, estimates equal
+    // to the backend's own answers bit for bit.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut chunky = FaultStream::new(stream).chunked(seed, 3);
+    proto::write_frame(&mut chunky, &proto::encode_hello(1, proto::PROTO_VERSION))
+        .expect("hello over chunked stream");
+    chunky.flush().expect("flush");
+    let ack = proto::read_frame(&mut chunky, proto::DEFAULT_MAX_FRAME).expect("hello ack");
+    proto::decode_hello_ack(&ack).expect("handshake over chunked stream");
+    let mut acked_rows = 0u64;
+    for i in 0..budget.batches {
+        let rows = batch(seed, i);
+        let request =
+            Request::ObserveBatch { id: 100 + i as u64, table: "orders".to_string(), rows };
+        proto::write_frame(&mut chunky, &request.encode()).expect("observe over chunked stream");
+        chunky.flush().expect("flush");
+        let body = proto::read_frame(&mut chunky, proto::DEFAULT_MAX_FRAME).expect("ack frame");
+        match Response::decode(&body).expect("decode ack") {
+            Response::ObserveAck { accepted_rows, .. } => acked_rows += u64::from(accepted_rows),
+            other => {
+                violations.push(Violation {
+                    phase: "wire",
+                    seed,
+                    detail: format!("chunked observe got {other:?}"),
+                });
+            }
+        }
+    }
+    let probes = probe_set(seed);
+    let request =
+        Request::EstimateMany { id: 999, table: "orders".to_string(), rects: probes.clone() };
+    proto::write_frame(&mut chunky, &request.encode()).expect("estimate over chunked stream");
+    chunky.flush().expect("flush");
+    let body = proto::read_frame(&mut chunky, proto::DEFAULT_MAX_FRAME).expect("estimate frame");
+    match Response::decode(&body).expect("decode estimates") {
+        Response::Estimates { values, .. } => {
+            let direct = backend
+                .get(&TableId::from("orders"))
+                .expect("table registered")
+                .estimate_many(&probes);
+            if values != direct {
+                violations.push(Violation {
+                    phase: "wire",
+                    seed,
+                    detail: "chunked-stream estimates differ from in-process".to_string(),
+                });
+            }
+        }
+        other => violations.push(Violation {
+            phase: "wire",
+            seed,
+            detail: format!("chunked estimate got {other:?}"),
+        }),
+    }
+    drop(chunky);
+
+    // A disconnect inside a frame is legitimately indistinguishable
+    // from truncation (and is answered + closed as such), but a cut at
+    // a clean frame boundary — and the chunked-but-whole session — must
+    // read as an orderly close, never as corruption.
+    let stats = handle.stats();
+    if stats.decode_errors > mid_frame_cuts {
+        violations.push(Violation {
+            phase: "wire",
+            seed,
+            detail: format!(
+                "{} decode errors from at most {mid_frame_cuts} mid-frame cuts: a clean-boundary \
+                 disconnect was misread as corruption",
+                stats.decode_errors
+            ),
+        });
+    }
+    println!(
+        "  wire sweep: {swept} cut points + 1 chunked session, {} connections, {acked_rows} rows \
+         acked over chunked stream",
+        stats.connections_accepted
+    );
+}
+
+// ---------------------------------------------------------------------
+
+fn main() {
+    let budget = Budget::from_env();
+    let mut scratch = Scratch::new();
+    let mut violations = Vec::new();
+    println!(
+        "torture: {} seed(s), {} batches/scenario, op cap {}",
+        budget.seeds,
+        budget.batches,
+        if budget.max_ops == u64::MAX { "none".to_string() } else { budget.max_ops.to_string() }
+    );
+
+    for seed in 1..=budget.seeds {
+        println!("seed {seed}:");
+        write_sweep(&mut scratch, &budget, seed, &mut violations);
+        read_sweep(&mut scratch, &budget, seed, &mut violations);
+        degraded_sweep(&mut scratch, &budget, seed, &mut violations);
+        wire_sweep(&budget, seed, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("torture: all invariants held");
+    } else {
+        println!("torture: {} violation(s)", violations.len());
+        for v in &violations {
+            println!("  [{}] seed {}: {}", v.phase, v.seed, v.detail);
+        }
+        std::process::exit(1);
+    }
+}

@@ -95,6 +95,7 @@ pub use quicksel_baselines as baselines;
 pub use quicksel_core as core;
 pub use quicksel_data as data;
 pub use quicksel_engine as engine;
+pub use quicksel_fault as fault;
 pub use quicksel_geometry as geometry;
 pub use quicksel_linalg as linalg;
 pub use quicksel_net as net;
@@ -110,6 +111,7 @@ pub use quicksel_core::{
 pub use quicksel_data::{
     Estimate, EstimatorError, Learn, ObservedQuery, RefineOutcome, SnapshotSource, Table,
 };
+pub use quicksel_fault::{FaultPlan, FaultStream, IoFault, IoOp, StreamFault};
 pub use quicksel_geometry::{BoolExpr, Domain, Interval, Predicate, Rect};
 pub use quicksel_net::{
     ClientError, NetBackend, NetClient, NetServerStats, RemoteProvider, ServerConfig, ServerHandle,
@@ -117,9 +119,9 @@ pub use quicksel_net::{
 };
 pub use quicksel_persist::{DurabilityOptions, PersistError, PersistLearner};
 pub use quicksel_service::{
-    CachedProvider, CardinalityProvider, DynRegistry, EstimatorRegistry, LearnerProvider,
-    RecoveryReport, RegistryStats, SelectivityService, ServiceStats, ShardRecovery, ShardedService,
-    ShardedStats, SharedSnapshot, TableId,
+    CachedProvider, CardinalityProvider, DynRegistry, EstimatorRegistry, HealthState,
+    LearnerProvider, RecoveryReport, RegistryStats, SelectivityService, ServiceStats,
+    ShardRecovery, ShardedService, ShardedStats, SharedSnapshot, TableId,
 };
 
 /// Convenience imports covering the common workflow.
