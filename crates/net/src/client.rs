@@ -4,13 +4,15 @@
 //! planner can swap a remote registry in for a local one without
 //! touching call sites.
 
+use crate::limiter::MAX_RETRY_AFTER_MS;
 use crate::proto::{
-    self, ErrorCode, Request, Response, RetryCause, WireError, WireStats, DEFAULT_MAX_FRAME,
-    PROTO_VERSION, PROTO_VERSION_MIN,
+    self, ErrorCode, Request, Response, RetryCause, ServerRole, WireError, WireStats,
+    DEFAULT_MAX_FRAME, PROTO_VERSION, PROTO_VERSION_MIN,
 };
 use quicksel_data::{ObservedQuery, Table};
 use quicksel_fault::jitter_ms;
 use quicksel_geometry::{Domain, Predicate, Rect};
+use quicksel_persist::ManifestEntry;
 use quicksel_service::{CardinalityProvider, TableId};
 use std::collections::HashMap;
 use std::io::Write;
@@ -45,6 +47,13 @@ pub enum ClientError {
         /// What was inconsistent.
         context: &'static str,
     },
+    /// Every configured endpoint was tried and none could serve: the
+    /// primary is down and no replica is within the caller's staleness
+    /// bound. Carries the last per-endpoint failure.
+    NoEndpoint {
+        /// Why the final endpoint was rejected.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -58,6 +67,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Protocol { context } => write!(f, "protocol violation: {context}"),
+            ClientError::NoEndpoint { last } => {
+                write!(f, "no endpoint could serve (last failure: {last})")
+            }
         }
     }
 }
@@ -110,6 +122,7 @@ pub struct StreamOutcome {
 pub struct NetClient {
     stream: TcpStream,
     version: u16,
+    role: ServerRole,
     next_id: u64,
     max_frame_len: u32,
     /// Rounds a `Retry`-refused request is re-attempted before the last
@@ -143,6 +156,7 @@ impl NetClient {
         let mut client = NetClient {
             stream,
             version: 0,
+            role: ServerRole::Primary,
             next_id: 1,
             max_frame_len,
             retry_rounds: 4,
@@ -154,8 +168,8 @@ impl NetClient {
         )?;
         client.stream.flush()?;
         let ack = proto::read_frame(&mut client.stream, max_frame_len)?;
-        client.version = match proto::decode_hello_ack(&ack) {
-            Ok(version) => version,
+        (client.version, client.role) = match proto::decode_hello_ack(&ack) {
+            Ok(negotiated) => negotiated,
             // Not an ack: the server may have refused the connection
             // with a typed frame — surface that instead of "bad ack".
             Err(ack_err) => match Response::decode(&ack) {
@@ -174,6 +188,13 @@ impl NetClient {
     /// The protocol version negotiated at connect time.
     pub fn negotiated_version(&self) -> u16 {
         self.version
+    }
+
+    /// The role the server advertised at connect time: writes belong on
+    /// a [`ServerRole::Primary`]; a [`ServerRole::Replica`] serves reads
+    /// from shipped state and refuses writes.
+    pub fn server_role(&self) -> ServerRole {
+        self.role
     }
 
     /// Caps how many rounds `Retry`-refused requests are re-attempted
@@ -244,8 +265,12 @@ impl NetClient {
                     if attempt == rounds {
                         return Err(ClientError::Retry { after_ms, cause });
                     }
+                    // Honor the server's hint up to the protocol's own
+                    // ceiling (60 s): a degraded primary legitimately
+                    // quotes multi-second backoffs, and clamping them to
+                    // 1 s turns polite clients into a retry stampede.
                     let wait = jitter_ms(self.jitter_seed, attempt, u64::from(after_ms).max(1));
-                    std::thread::sleep(Duration::from_millis(wait.clamp(1, 1000)));
+                    std::thread::sleep(Duration::from_millis(wait.clamp(1, MAX_RETRY_AFTER_MS)));
                 }
                 Err(other) => return Err(other),
             }
@@ -341,7 +366,9 @@ impl NetClient {
             }
             if !refused.is_empty() {
                 ever_retried += refused.len() as u64;
-                std::thread::sleep(Duration::from_millis(backoff_ms.clamp(1, 1000)));
+                // Same contract as `estimate_many`: the server's hint is
+                // authoritative up to `MAX_RETRY_AFTER_MS`.
+                std::thread::sleep(Duration::from_millis(backoff_ms.clamp(1, MAX_RETRY_AFTER_MS)));
             }
             pending = refused;
         }
@@ -376,6 +403,259 @@ impl NetClient {
             _ => Err(ClientError::Protocol { context: "expected Tables response" }),
         }
     }
+
+    /// The server's durable-file manifest (replication pull).
+    pub fn fetch_manifest(&mut self) -> Result<Vec<ManifestEntry>, ClientError> {
+        let id = self.fresh_id();
+        match self.request(&Request::FetchManifest { id })? {
+            Response::Manifest { entries, .. } => Ok(entries),
+            _ => Err(ClientError::Protocol { context: "expected Manifest response" }),
+        }
+    }
+
+    /// One byte range of a manifest file: `(total_len, bytes)`.
+    pub fn fetch_chunk(
+        &mut self,
+        path: &str,
+        offset: u64,
+        max_len: u32,
+    ) -> Result<(u64, Vec<u8>), ClientError> {
+        let id = self.fresh_id();
+        let request = Request::FetchChunk { id, path: path.to_string(), offset, max_len };
+        match self.request(&request)? {
+            Response::Chunk { total_len, data, .. } => {
+                if data.len() as u64 > u64::from(max_len) {
+                    return Err(ClientError::Protocol { context: "chunk larger than requested" });
+                }
+                Ok((total_len, data))
+            }
+            _ => Err(ClientError::Protocol { context: "expected Chunk response" }),
+        }
+    }
+}
+
+/// A client over a *list* of endpoints — the primary first, replicas
+/// after — that heals reads across failures:
+///
+/// * **Reads** (`estimate_many`, `stats`, `list_tables`) run on the
+///   current endpoint; a connect failure, a transport error, or a
+///   `Retry{cause: Degraded}` pushback rotates to the next endpoint. A
+///   replica only serves if its advertised last-sync age is within the
+///   caller's staleness bound (health-probed via a `Stats` round-trip
+///   at connect time).
+/// * **Writes** (`observe_batch`, `checkpoint_now`) only ever run
+///   against an endpoint advertising [`ServerRole::Primary`]; replicas
+///   (and their `ReadOnly` refusals) are skipped, never retried.
+///
+/// When every endpoint is down or out of bound the last failure is
+/// surfaced as [`ClientError::NoEndpoint`].
+pub struct FailoverClient {
+    endpoints: Vec<String>,
+    timeout: Duration,
+    max_frame_len: u32,
+    staleness_bound: Duration,
+    active: Option<(usize, NetClient)>,
+}
+
+impl FailoverClient {
+    /// Builds the client and connects to the first reachable endpoint.
+    /// `staleness_bound` caps how old a replica's last successful sync
+    /// may be for it to serve reads.
+    pub fn connect(
+        endpoints: &[impl AsRef<str>],
+        staleness_bound: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut this = FailoverClient {
+            endpoints: endpoints.iter().map(|e| e.as_ref().to_string()).collect(),
+            timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME,
+            staleness_bound,
+            active: None,
+        };
+        if this.endpoints.is_empty() {
+            return Err(ClientError::Protocol { context: "no endpoints configured" });
+        }
+        // Eagerly reach the first live endpoint so configuration errors
+        // surface at build time, not first use.
+        this.with_read(|_| Ok(()))?;
+        Ok(this)
+    }
+
+    /// Wraps one already-connected client (no failover peers). Used to
+    /// upgrade single-endpoint callers without changing semantics.
+    pub fn from_client(client: NetClient) -> Self {
+        let addr =
+            client.stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| String::new());
+        FailoverClient {
+            endpoints: vec![addr],
+            timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME,
+            staleness_bound: Duration::from_secs(u64::MAX / 2000),
+            active: Some((0, client)),
+        }
+    }
+
+    /// The role of the endpoint currently serving, if connected.
+    pub fn active_role(&self) -> Option<ServerRole> {
+        self.active.as_ref().map(|(_, c)| c.server_role())
+    }
+
+    /// True when `e` means "this endpoint cannot serve right now" as
+    /// opposed to "the request itself is wrong": transport failures and
+    /// degraded pushback rotate; semantic errors surface unchanged.
+    fn should_rotate(e: &ClientError) -> bool {
+        matches!(e, ClientError::Wire(_) | ClientError::Retry { cause: RetryCause::Degraded, .. })
+    }
+
+    /// Connects endpoint `idx` (reusing the live connection when it is
+    /// already the active one).
+    fn client_at(&mut self, idx: usize) -> Result<&mut NetClient, ClientError> {
+        let reusable = matches!(self.active, Some((i, _)) if i == idx);
+        if !reusable {
+            let client = NetClient::connect_with(
+                self.endpoints[idx].as_str(),
+                self.timeout,
+                self.max_frame_len,
+            )?;
+            self.active = Some((idx, client));
+        }
+        Ok(&mut self.active.as_mut().expect("just connected").1)
+    }
+
+    /// True when the endpoint may serve reads: primaries always, a
+    /// replica only while its last sync is within the staleness bound.
+    fn read_eligible(client: &mut NetClient, bound: Duration) -> Result<(), ClientError> {
+        if client.server_role() == ServerRole::Primary {
+            return Ok(());
+        }
+        let stats = client.stats()?;
+        let bound_ms = u64::try_from(bound.as_millis()).unwrap_or(u64::MAX);
+        if stats.replica_last_sync_ms > bound_ms {
+            return Err(ClientError::Protocol { context: "replica exceeds the staleness bound" });
+        }
+        Ok(())
+    }
+
+    fn with_read<T>(
+        &mut self,
+        mut op: impl FnMut(&mut NetClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let n = self.endpoints.len();
+        let start = self.active.as_ref().map_or(0, |(i, _)| *i);
+        let mut last: Option<ClientError> = None;
+        for k in 0..n.max(1) {
+            let idx = (start + k) % n;
+            let bound = self.staleness_bound;
+            let outcome = self.client_at(idx).and_then(|client| {
+                Self::read_eligible(client, bound)?;
+                op(client)
+            });
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    // A connection that failed mid-request may be
+                    // desynchronized: reconnect before any reuse.
+                    self.active = None;
+                    if !Self::should_rotate(&e)
+                        && !matches!(
+                            e,
+                            ClientError::Protocol {
+                                context: "replica exceeds the staleness bound",
+                            }
+                        )
+                    {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(ClientError::NoEndpoint {
+            last: Box::new(
+                last.unwrap_or(ClientError::Protocol { context: "no endpoints configured" }),
+            ),
+        })
+    }
+
+    fn with_write<T>(
+        &mut self,
+        mut op: impl FnMut(&mut NetClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let n = self.endpoints.len();
+        let start = self.active.as_ref().map_or(0, |(i, _)| *i);
+        let mut last: Option<ClientError> = None;
+        for k in 0..n.max(1) {
+            let idx = (start + k) % n;
+            let outcome = self.client_at(idx).and_then(|client| {
+                if client.server_role() != ServerRole::Primary {
+                    return Err(ClientError::Server {
+                        code: ErrorCode::ReadOnly,
+                        message: "endpoint is a read-only replica".to_string(),
+                    });
+                }
+                op(client)
+            });
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let skip_replica =
+                        matches!(&e, ClientError::Server { code: ErrorCode::ReadOnly, .. });
+                    if skip_replica {
+                        // The connection itself is fine — keep it for
+                        // reads, but keep looking for a primary.
+                        last = Some(e);
+                        if let Some((i, _)) = &self.active {
+                            if *i != idx {
+                                self.active = None;
+                            }
+                        }
+                        continue;
+                    }
+                    self.active = None;
+                    if !Self::should_rotate(&e) {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(ClientError::NoEndpoint {
+            last: Box::new(
+                last.unwrap_or(ClientError::Protocol { context: "no endpoints configured" }),
+            ),
+        })
+    }
+
+    /// Batched estimates with read failover; same bit-exactness
+    /// contract as [`NetClient::estimate_many`].
+    pub fn estimate_many(&mut self, table: &str, rects: &[Rect]) -> Result<Vec<f64>, ClientError> {
+        self.with_read(|client| client.estimate_many(table, rects))
+    }
+
+    /// Registry + server counters from whichever endpoint serves.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        self.with_read(|client| client.stats())
+    }
+
+    /// Tables from whichever endpoint serves (replicas mirror the
+    /// primary's catalog through shipped meta files).
+    pub fn list_tables(&mut self) -> Result<Vec<(String, Domain)>, ClientError> {
+        self.with_read(|client| client.list_tables())
+    }
+
+    /// One acknowledged feedback batch, primary-only.
+    pub fn observe_batch(
+        &mut self,
+        table: &str,
+        rows: &[ObservedQuery],
+    ) -> Result<ObserveOutcome, ClientError> {
+        self.with_write(|client| client.observe_batch(table, rows))
+    }
+
+    /// Forces a checkpoint, primary-only.
+    pub fn checkpoint_now(&mut self) -> Result<u32, ClientError> {
+        self.with_write(|client| client.checkpoint_now())
+    }
 }
 
 /// A [`CardinalityProvider`] backed by a remote registry over one
@@ -387,7 +667,7 @@ impl NetClient {
 /// Feedback for unknown tables is dropped silently, as the local
 /// registry does.
 pub struct RemoteProvider {
-    client: Mutex<NetClient>,
+    client: Mutex<FailoverClient>,
     domains: HashMap<TableId, Domain>,
 }
 
@@ -398,8 +678,22 @@ impl RemoteProvider {
         Self::new(NetClient::connect(addr)?)
     }
 
-    /// Wraps an already-connected client.
-    pub fn new(mut client: NetClient) -> Result<Self, ClientError> {
+    /// Connects over a primary + replica endpoint list: reads fail over
+    /// to a replica whose last sync is within `staleness_bound`; writes
+    /// only ever reach a primary.
+    pub fn connect_endpoints(
+        endpoints: &[impl AsRef<str>],
+        staleness_bound: Duration,
+    ) -> Result<Self, ClientError> {
+        Self::from_failover(FailoverClient::connect(endpoints, staleness_bound)?)
+    }
+
+    /// Wraps an already-connected client (single endpoint, no failover).
+    pub fn new(client: NetClient) -> Result<Self, ClientError> {
+        Self::from_failover(FailoverClient::from_client(client))
+    }
+
+    fn from_failover(mut client: FailoverClient) -> Result<Self, ClientError> {
         let domains = client
             .list_tables()?
             .into_iter()

@@ -34,10 +34,12 @@ pub mod limiter;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientError, NetClient, ObserveOutcome, RemoteProvider, StreamOutcome};
+pub use client::{
+    ClientError, FailoverClient, NetClient, ObserveOutcome, RemoteProvider, StreamOutcome,
+};
 pub use limiter::{ConcurrencyGate, GatePermit, TokenBucket};
 pub use proto::{
-    ErrorCode, Request, Response, RetryCause, WireError, WireStats, DEFAULT_MAX_FRAME,
-    PROTO_VERSION, PROTO_VERSION_MIN,
+    ErrorCode, Request, Response, RetryCause, ServerRole, WireError, WireStats, DEFAULT_MAX_FRAME,
+    MAX_CHUNK_LEN, PROTO_VERSION, PROTO_VERSION_MIN,
 };
 pub use server::{serve, BackendError, NetBackend, NetServerStats, ServerConfig, ServerHandle};

@@ -36,14 +36,17 @@ use quicksel_data::ObservedQuery;
 use quicksel_geometry::{Domain, Rect};
 use quicksel_persist::codec::{decode_domain, decode_rect, encode_domain, encode_rect};
 use quicksel_persist::format::{crc32, PutBytes, Reader};
-use quicksel_persist::PersistError;
+use quicksel_persist::{ManifestEntry, ManifestKind, PersistError};
 use std::io::{Read, Write};
 
 /// Handshake magic: the first bytes of every `Hello` payload.
 pub const NET_MAGIC: [u8; 4] = *b"QSNW";
 
-/// Newest protocol version this build speaks.
-pub const PROTO_VERSION: u16 = 1;
+/// Newest protocol version this build speaks. Version 2 adds the
+/// replication surface: a server role byte in `HelloAck`,
+/// `FetchManifest`/`FetchChunk` for checkpoint shipping, and
+/// replication lag fields in `StatsReply`.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Oldest protocol version this build still accepts.
 pub const PROTO_VERSION_MIN: u16 = 1;
@@ -237,14 +240,22 @@ const KIND_OBSERVE_BATCH: u8 = 0x11;
 const KIND_STATS: u8 = 0x12;
 const KIND_CHECKPOINT_NOW: u8 = 0x13;
 const KIND_LIST_TABLES: u8 = 0x14;
+const KIND_FETCH_MANIFEST: u8 = 0x15;
+const KIND_FETCH_CHUNK: u8 = 0x16;
 
 const KIND_ESTIMATES: u8 = 0x20;
 const KIND_OBSERVE_ACK: u8 = 0x21;
 const KIND_STATS_REPLY: u8 = 0x22;
 const KIND_CHECKPOINT_DONE: u8 = 0x23;
 const KIND_TABLES: u8 = 0x24;
+const KIND_MANIFEST: u8 = 0x25;
+const KIND_CHUNK: u8 = 0x26;
 const KIND_RETRY: u8 = 0x2E;
 const KIND_ERROR: u8 = 0x2F;
+
+/// Largest chunk a `FetchChunk` may request: well under any sane frame
+/// cap, large enough that a checkpoint ships in a handful of frames.
+pub const MAX_CHUNK_LEN: u32 = 1 << 20;
 
 /// Why the server told the client to back off — each cause is a
 /// different *rate* being protected, so clients can react differently
@@ -300,6 +311,11 @@ pub enum ErrorCode {
     BadRequest,
     /// An internal failure (persistence error during checkpoint, ...).
     Internal,
+    /// The server is a read-only replica: writes (`ObserveBatch`,
+    /// `CheckpointNow`) are refused here and belong on the primary.
+    /// Unlike `Retry`, this is not transient — the client should route
+    /// the write elsewhere, not back off and resend.
+    ReadOnly,
 }
 
 impl ErrorCode {
@@ -310,6 +326,7 @@ impl ErrorCode {
             ErrorCode::Unsupported => 2,
             ErrorCode::BadRequest => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::ReadOnly => 5,
         }
     }
 
@@ -320,7 +337,37 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Unsupported),
             3 => Ok(ErrorCode::BadRequest),
             4 => Ok(ErrorCode::Internal),
+            5 => Ok(ErrorCode::ReadOnly),
             _ => Err(WireError::Invalid { context: "unknown error code" }),
+        }
+    }
+}
+
+/// What a server *is*, advertised in `HelloAck` so clients can route
+/// writes to primaries and bound read staleness on replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerRole {
+    /// Accepts reads and writes; owns the durable state.
+    #[default]
+    Primary,
+    /// Serves reads from shipped state; refuses writes with
+    /// [`ErrorCode::ReadOnly`].
+    Replica,
+}
+
+impl ServerRole {
+    fn to_u8(self) -> u8 {
+        match self {
+            ServerRole::Primary => 0,
+            ServerRole::Replica => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(ServerRole::Primary),
+            1 => Ok(ServerRole::Replica),
+            _ => Err(WireError::Invalid { context: "unknown server role" }),
         }
     }
 }
@@ -359,22 +406,33 @@ pub fn decode_hello(body: &[u8]) -> Result<(u16, u16), WireError> {
     Ok((min, max))
 }
 
-/// Encodes a `HelloAck` body carrying the negotiated version.
-pub fn encode_hello_ack(version: u16) -> Vec<u8> {
-    let mut out = Vec::with_capacity(3);
+/// Encodes a `HelloAck` body carrying the negotiated version and the
+/// server's role. The role travels as a trailing byte that version-1
+/// decoders (which ignore trailing bytes here) skip harmlessly.
+pub fn encode_hello_ack(version: u16, role: ServerRole) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4);
     out.push(KIND_HELLO_ACK);
     out.put_u16(version);
+    out.push(role.to_u8());
     out
 }
 
-/// Decodes a `HelloAck` body into the negotiated version.
-pub fn decode_hello_ack(body: &[u8]) -> Result<u16, WireError> {
+/// Decodes a `HelloAck` body into the negotiated version and server
+/// role. An ack without the role byte (a version-1 server) is a
+/// primary — replicas did not exist before version 2.
+pub fn decode_hello_ack(body: &[u8]) -> Result<(u16, ServerRole), WireError> {
     let mut r = Reader::new(body);
     let kind = r.bytes(1, "hello-ack kind")?[0];
     if kind != KIND_HELLO_ACK {
         return Err(WireError::UnknownKind { kind });
     }
-    r.u16("negotiated version").map_err(WireError::from)
+    let version = r.u16("negotiated version")?;
+    let role = if r.remaining() == 0 {
+        ServerRole::Primary
+    } else {
+        ServerRole::from_u8(r.bytes(1, "server role")?[0])?
+    };
+    Ok((version, role))
 }
 
 /// Picks the protocol version two peers will speak: the highest version
@@ -432,6 +490,24 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// The primary's durable-file manifest — what a replica must mirror.
+    FetchManifest {
+        /// Correlation id.
+        id: u64,
+    },
+    /// A byte range of one manifest file. `offset` past the current
+    /// length returns an empty chunk; ranges are how a replica resumes
+    /// the append-only WAL segment above its local watermark.
+    FetchChunk {
+        /// Correlation id.
+        id: u64,
+        /// Manifest-relative path (`/`-separated).
+        path: String,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Bytes requested, at most [`MAX_CHUNK_LEN`].
+        max_len: u32,
+    },
 }
 
 impl Request {
@@ -442,7 +518,9 @@ impl Request {
             | Request::ObserveBatch { id, .. }
             | Request::Stats { id }
             | Request::CheckpointNow { id }
-            | Request::ListTables { id } => *id,
+            | Request::ListTables { id }
+            | Request::FetchManifest { id }
+            | Request::FetchChunk { id, .. } => *id,
         }
     }
 
@@ -479,6 +557,17 @@ impl Request {
             Request::ListTables { id } => {
                 out.push(KIND_LIST_TABLES);
                 out.put_u64(*id);
+            }
+            Request::FetchManifest { id } => {
+                out.push(KIND_FETCH_MANIFEST);
+                out.put_u64(*id);
+            }
+            Request::FetchChunk { id, path, offset, max_len } => {
+                out.push(KIND_FETCH_CHUNK);
+                out.put_u64(*id);
+                out.put_str(path);
+                out.put_u64(*offset);
+                out.put_u32(*max_len);
             }
         }
         out
@@ -521,6 +610,16 @@ impl Request {
             KIND_STATS => Request::Stats { id },
             KIND_CHECKPOINT_NOW => Request::CheckpointNow { id },
             KIND_LIST_TABLES => Request::ListTables { id },
+            KIND_FETCH_MANIFEST => Request::FetchManifest { id },
+            KIND_FETCH_CHUNK => {
+                let path = r.str("chunk path")?;
+                let offset = r.u64("chunk offset")?;
+                let max_len = r.u32("chunk max len")?;
+                if max_len > MAX_CHUNK_LEN {
+                    return Err(WireError::Invalid { context: "chunk request exceeds cap" });
+                }
+                Request::FetchChunk { id, path, offset, max_len }
+            }
             kind => return Err(WireError::UnknownKind { kind }),
         };
         if r.remaining() != 0 {
@@ -587,6 +686,19 @@ pub struct WireStats {
     pub poisoned_locks: u64,
     /// `Retry { cause: Degraded }` responses this server sent.
     pub degraded_retries_sent: u64,
+    /// This server's role: 0 = primary, 1 = read-only replica.
+    pub role: u64,
+    /// Rows (observed queries) covered by the replica's applied state;
+    /// 0 on a primary.
+    pub replica_applied_watermark: u64,
+    /// Rows the replica is behind the primary's last observed watermark
+    /// (watermark delta); 0 on a primary.
+    pub replica_watermark_lag: u64,
+    /// Milliseconds since the replica's last successful sync;
+    /// `u64::MAX` before the first one. 0 on a primary.
+    pub replica_last_sync_ms: u64,
+    /// Writes refused with [`ErrorCode::ReadOnly`]; 0 on a primary.
+    pub readonly_refusals: u64,
 }
 
 impl WireStats {
@@ -620,6 +732,11 @@ impl WireStats {
             self.degraded_refusals,
             self.poisoned_locks,
             self.degraded_retries_sent,
+            self.role,
+            self.replica_applied_watermark,
+            self.replica_watermark_lag,
+            self.replica_last_sync_ms,
+            self.readonly_refusals,
         ] {
             out.put_u64(v);
         }
@@ -651,6 +768,11 @@ impl WireStats {
             degraded_refusals: r.u64("stats degraded refusals")?,
             poisoned_locks: r.u64("stats poisoned locks")?,
             degraded_retries_sent: r.u64("stats degraded retries")?,
+            role: r.u64("stats role")?,
+            replica_applied_watermark: r.u64("stats applied watermark")?,
+            replica_watermark_lag: r.u64("stats watermark lag")?,
+            replica_last_sync_ms: r.u64("stats last sync age")?,
+            readonly_refusals: r.u64("stats readonly refusals")?,
         })
     }
 }
@@ -703,6 +825,24 @@ pub enum Response {
         /// `(name, domain)` per registered table, sorted by name.
         tables: Vec<(String, Domain)>,
     },
+    /// Answers `FetchManifest`.
+    Manifest {
+        /// Echoed request id.
+        id: u64,
+        /// The primary's durable files, path-sorted.
+        entries: Vec<ManifestEntry>,
+    },
+    /// Answers `FetchChunk`.
+    Chunk {
+        /// Echoed request id.
+        id: u64,
+        /// The file's total length at read time — lets the fetcher know
+        /// whether more chunks remain without a fresh manifest.
+        total_len: u64,
+        /// The bytes at the requested offset; shorter than `max_len` at
+        /// end of file, empty when `offset ≥ total_len`.
+        data: Vec<u8>,
+    },
     /// Admission-control pushback: the request was not processed; try
     /// again after roughly `after_ms`.
     Retry {
@@ -733,6 +873,8 @@ impl Response {
             | Response::StatsReply { id, .. }
             | Response::CheckpointDone { id, .. }
             | Response::Tables { id, .. }
+            | Response::Manifest { id, .. }
+            | Response::Chunk { id, .. }
             | Response::Retry { id, .. }
             | Response::Error { id, .. } => *id,
         }
@@ -774,6 +916,24 @@ impl Response {
                     out.put_str(name);
                     encode_domain(&mut out, domain);
                 }
+            }
+            Response::Manifest { id, entries } => {
+                out.push(KIND_MANIFEST);
+                out.put_u64(*id);
+                out.put_u32(entries.len() as u32);
+                for e in entries {
+                    out.put_str(&e.path);
+                    out.push(e.kind.as_u8());
+                    out.put_u64(e.len);
+                    out.put_u64(e.watermark);
+                }
+            }
+            Response::Chunk { id, total_len, data } => {
+                out.push(KIND_CHUNK);
+                out.put_u64(*id);
+                out.put_u64(*total_len);
+                out.put_u32(data.len() as u32);
+                out.extend_from_slice(data);
             }
             Response::Retry { id, after_ms, cause } => {
                 out.push(KIND_RETRY);
@@ -832,6 +992,31 @@ impl Response {
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 Response::Tables { id, tables }
+            }
+            KIND_MANIFEST => {
+                let n = r.u32("manifest entry count")? as usize;
+                // Each entry costs at least a 4-byte path length, the
+                // kind byte, and two u64s.
+                if n.saturating_mul(21) > r.remaining() {
+                    return Err(WireError::Truncated { context: "manifest entries" });
+                }
+                let entries = (0..n)
+                    .map(|_| {
+                        let path = r.str("manifest path")?;
+                        let kind = ManifestKind::from_u8(r.bytes(1, "manifest kind")?[0])
+                            .ok_or(WireError::Invalid { context: "unknown manifest kind" })?;
+                        let len = r.u64("manifest len")?;
+                        let watermark = r.u64("manifest watermark")?;
+                        Ok::<_, WireError>(ManifestEntry { path, kind, len, watermark })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Response::Manifest { id, entries }
+            }
+            KIND_CHUNK => {
+                let total_len = r.u64("chunk total len")?;
+                let n = r.u32("chunk data len")? as usize;
+                let data = r.bytes(n, "chunk data")?.to_vec();
+                Response::Chunk { id, total_len, data }
             }
             KIND_RETRY => {
                 let after_ms = r.u32("retry backoff")?;
@@ -899,8 +1084,20 @@ mod tests {
         assert_eq!(negotiate((1, 2), (1, 3)).unwrap(), 2);
         assert_eq!(negotiate((2, 5), (1, 3)).unwrap(), 3);
         assert!(matches!(negotiate((1, 2), (3, 4)), Err(WireError::VersionUnsupported { .. })));
-        let ack = encode_hello_ack(2);
-        assert_eq!(decode_hello_ack(&ack).unwrap(), 2);
+        let ack = encode_hello_ack(2, ServerRole::Replica);
+        assert_eq!(decode_hello_ack(&ack).unwrap(), (2, ServerRole::Replica));
+    }
+
+    #[test]
+    fn version_one_hello_ack_without_role_byte_decodes_as_primary() {
+        // A v1 server's ack: kind + negotiated version, nothing after.
+        let mut ack = Vec::new();
+        ack.push(KIND_HELLO_ACK);
+        ack.put_u16(1);
+        assert_eq!(decode_hello_ack(&ack).unwrap(), (1, ServerRole::Primary));
+        // An unknown role byte is corruption, not a silent primary.
+        ack.push(7);
+        assert!(matches!(decode_hello_ack(&ack), Err(WireError::Invalid { .. })));
     }
 
     #[test]
@@ -926,6 +1123,13 @@ mod tests {
             Request::Stats { id: 9 },
             Request::CheckpointNow { id: 10 },
             Request::ListTables { id: 11 },
+            Request::FetchManifest { id: 12 },
+            Request::FetchChunk {
+                id: 13,
+                path: "tables/t-00/shard-000/wal-00000000000000000001.qsl".into(),
+                offset: 4096,
+                max_len: MAX_CHUNK_LEN,
+            },
         ];
         for req in requests {
             let body = req.encode();
@@ -951,17 +1155,52 @@ mod tests {
             },
             Response::CheckpointDone { id: 4, durable_tables: 2 },
             Response::Tables { id: 5, tables: vec![("orders".into(), domain)] },
+            Response::Manifest {
+                id: 8,
+                entries: vec![
+                    ManifestEntry {
+                        path: "tables/t/meta.qsm".into(),
+                        kind: ManifestKind::TableMeta,
+                        len: 64,
+                        watermark: 0,
+                    },
+                    ManifestEntry {
+                        path: "tables/t/shard-000/checkpoint-00000000000000000001.qsc".into(),
+                        kind: ManifestKind::Checkpoint,
+                        len: 4096,
+                        watermark: 17,
+                    },
+                ],
+            },
+            Response::Chunk { id: 9, total_len: 4096, data: vec![0xAB; 100] },
+            Response::Chunk { id: 10, total_len: 0, data: Vec::new() },
             Response::Retry { id: 6, after_ms: 50, cause: RetryCause::IngestRate },
             Response::Error {
                 id: 7,
                 code: ErrorCode::UnknownTable,
                 message: "no such table".into(),
             },
+            Response::Error {
+                id: 11,
+                code: ErrorCode::ReadOnly,
+                message: "replica refuses writes".into(),
+            },
         ];
         for resp in responses {
             let body = resp.encode();
             assert_eq!(Response::decode(&body).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn chunk_request_above_the_cap_is_rejected() {
+        let req = Request::FetchChunk {
+            id: 1,
+            path: "tables/t/meta.qsm".into(),
+            offset: 0,
+            max_len: MAX_CHUNK_LEN + 1,
+        };
+        assert!(matches!(Request::decode(&req.encode()), Err(WireError::Invalid { .. })));
     }
 
     #[test]

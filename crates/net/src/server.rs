@@ -16,12 +16,12 @@
 
 use crate::limiter::{ConcurrencyGate, TokenBucket};
 use crate::proto::{
-    self, ErrorCode, Request, Response, RetryCause, WireError, WireStats, DEFAULT_MAX_FRAME,
-    FRAME_HEADER_LEN, PROTO_VERSION, PROTO_VERSION_MIN,
+    self, ErrorCode, Request, Response, RetryCause, ServerRole, WireError, WireStats,
+    DEFAULT_MAX_FRAME, FRAME_HEADER_LEN, MAX_CHUNK_LEN, PROTO_VERSION, PROTO_VERSION_MIN,
 };
 use quicksel_data::{EstimatorError, ObservedQuery, SnapshotSource};
 use quicksel_geometry::{Domain, Rect};
-use quicksel_persist::PersistLearner;
+use quicksel_persist::{resolve_manifest_path, scan_manifest, ManifestEntry, PersistLearner};
 use quicksel_service::{EstimatorRegistry, TableId};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -121,6 +121,16 @@ pub enum BackendError {
         /// Suggested backoff until the shard's next re-arm probe.
         retry_after_ms: u64,
     },
+    /// The backend understood the request but does not support it
+    /// (e.g. replication fetches against a non-durable registry).
+    Unsupported {
+        /// What was asked for.
+        context: &'static str,
+    },
+    /// The backend serves shipped state read-only; writes belong on the
+    /// primary. Mapped onto [`ErrorCode::ReadOnly`] — a routing signal,
+    /// not a transient pushback.
+    ReadOnly,
     /// An internal failure (persistence, ...).
     Internal(String),
 }
@@ -150,6 +160,31 @@ pub trait NetBackend: Send + Sync + 'static {
 
     /// Registered `(name, domain)` pairs, sorted by name.
     fn tables(&self) -> Vec<(String, Domain)>;
+
+    /// The role advertised in `HelloAck`; backends serving shipped
+    /// state read-only override this to [`ServerRole::Replica`].
+    fn role(&self) -> ServerRole {
+        ServerRole::Primary
+    }
+
+    /// The durable-file manifest replicas mirror. Defaults to
+    /// unsupported — only durable backends have files to ship.
+    fn manifest(&self) -> Result<Vec<ManifestEntry>, BackendError> {
+        Err(BackendError::Unsupported { context: "backend has no durable state to replicate" })
+    }
+
+    /// A byte range of one manifest file: `(total_len, bytes)`. The
+    /// path is manifest-relative; implementations must confine it to
+    /// their durable root.
+    fn fetch_chunk(
+        &self,
+        path: &str,
+        offset: u64,
+        max_len: u32,
+    ) -> Result<(u64, Vec<u8>), BackendError> {
+        let _ = (path, offset, max_len);
+        Err(BackendError::Unsupported { context: "backend has no durable state to replicate" })
+    }
 }
 
 impl<L> NetBackend for EstimatorRegistry<L>
@@ -191,7 +226,13 @@ where
 
     fn registry_stats(&self) -> WireStats {
         let s = self.stats();
+        let repl = s.replication;
         WireStats {
+            role: u64::from(repl.replica),
+            replica_applied_watermark: repl.applied_watermark,
+            replica_watermark_lag: repl.watermark_lag,
+            replica_last_sync_ms: repl.last_sync_ms,
+            readonly_refusals: repl.readonly_refusals,
             tables: s.tables as u64,
             shards: s.shards as u64,
             batches_ingested: s.total.batches_ingested,
@@ -227,6 +268,52 @@ where
             })
             .collect()
     }
+
+    fn manifest(&self) -> Result<Vec<ManifestEntry>, BackendError> {
+        let root = self.durable_root().ok_or(BackendError::Unsupported {
+            context: "registry is not durable; nothing to replicate",
+        })?;
+        scan_manifest(&root).map_err(|e| BackendError::Internal(e.to_string()))
+    }
+
+    fn fetch_chunk(
+        &self,
+        path: &str,
+        offset: u64,
+        max_len: u32,
+    ) -> Result<(u64, Vec<u8>), BackendError> {
+        let root = self.durable_root().ok_or(BackendError::Unsupported {
+            context: "registry is not durable; nothing to replicate",
+        })?;
+        let abs = resolve_manifest_path(&root, path)
+            .map_err(|_| BackendError::BadRequest { context: "manifest path escapes the root" })?;
+        read_file_range(&abs, offset, max_len.min(MAX_CHUNK_LEN))
+    }
+}
+
+/// Reads `[offset, offset + max_len)` of `path`, clamped to the file's
+/// length; returns `(total_len, bytes)`. A file pruned between manifest
+/// and fetch surfaces as `UnknownTable`-free `Internal` — the fetcher
+/// retries against a fresh manifest.
+fn read_file_range(
+    path: &std::path::Path,
+    offset: u64,
+    max_len: u32,
+) -> Result<(u64, Vec<u8>), BackendError> {
+    use std::io::{Seek, SeekFrom};
+    let mut file = std::fs::File::open(path).map_err(|e| BackendError::Internal(e.to_string()))?;
+    let total_len = file.metadata().map_err(|e| BackendError::Internal(e.to_string()))?.len();
+    if offset >= total_len {
+        return Ok((total_len, Vec::new()));
+    }
+    file.seek(SeekFrom::Start(offset)).map_err(|e| BackendError::Internal(e.to_string()))?;
+    let want = u64::from(max_len).min(total_len - offset) as usize;
+    let mut data = vec![0u8; want];
+    // The range [offset, offset+want) is immutable (checkpoints are
+    // rename-complete, WAL bytes below the observed length never
+    // change), so a short read here is an I/O failure, not a race.
+    file.read_exact(&mut data).map_err(|e| BackendError::Internal(e.to_string()))?;
+    Ok((total_len, data))
 }
 
 /// Lifetime counters of one server; see [`ServerHandle::stats`].
@@ -591,7 +678,8 @@ fn handshake<B: NetBackend>(shared: &Shared<B>, stream: &mut TcpStream) -> Resul
     let version = decode_and_negotiate(&hello);
     match version {
         Ok(version) => {
-            proto::write_frame(stream, &proto::encode_hello_ack(version)).map_err(WireError::Io)?;
+            proto::write_frame(stream, &proto::encode_hello_ack(version, shared.backend.role()))
+                .map_err(WireError::Io)?;
             stream.flush().map_err(WireError::Io)?;
             Ok(version)
         }
@@ -675,6 +763,16 @@ fn dispatch<B: NetBackend>(shared: &Shared<B>, request: Request) -> Response {
             Err(e) => backend_error(id, e),
         },
         Request::ListTables { id } => Response::Tables { id, tables: shared.backend.tables() },
+        Request::FetchManifest { id } => match shared.backend.manifest() {
+            Ok(entries) => Response::Manifest { id, entries },
+            Err(e) => backend_error(id, e),
+        },
+        Request::FetchChunk { id, path, offset, max_len } => {
+            match shared.backend.fetch_chunk(&path, offset, max_len) {
+                Ok((total_len, data)) => Response::Chunk { id, total_len, data },
+                Err(e) => backend_error(id, e),
+            }
+        }
     }
     .with_id(id)
 }
@@ -691,6 +789,10 @@ fn backend_error(id: u64, e: BackendError) -> Response {
                 after_ms: retry_after_ms.clamp(1, u64::from(u32::MAX)) as u32,
                 cause: RetryCause::Degraded,
             };
+        }
+        BackendError::Unsupported { context } => (ErrorCode::Unsupported, context.to_string()),
+        BackendError::ReadOnly => {
+            (ErrorCode::ReadOnly, "replica serves reads only; write to the primary".into())
         }
         BackendError::Internal(message) => (ErrorCode::Internal, message),
     };

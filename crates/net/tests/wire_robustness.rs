@@ -72,6 +72,11 @@ fn arb_stats() -> impl Strategy<Value = WireStats> {
             degraded_refusals: b % 129,
             poisoned_locks: a % 3,
             degraded_retries_sent: b % 65,
+            role: a % 2,
+            replica_applied_watermark: a.wrapping_mul(7),
+            replica_watermark_lag: b % 4097,
+            replica_last_sync_ms: if b % 5 == 0 { u64::MAX } else { b % (1 << 22) },
+            readonly_refusals: a % 513,
         }
     })
 }

@@ -409,7 +409,7 @@ fn checkpoint_name(ordinal: u64) -> String {
     format!("checkpoint-{ordinal:020}.{CHECKPOINT_EXT}")
 }
 
-fn parse_checkpoint_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_checkpoint_name(name: &str) -> Option<u64> {
     let rest = name.strip_prefix("checkpoint-")?.strip_suffix(&format!(".{CHECKPOINT_EXT}"))?;
     rest.parse().ok()
 }
@@ -433,7 +433,7 @@ fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
 
 /// Reads just the watermark from a checkpoint's META section; `None` on
 /// any corruption (the caller treats that as "covers nothing").
-fn read_checkpoint_watermark(path: &Path) -> Option<u64> {
+pub(crate) fn read_checkpoint_watermark(path: &Path) -> Option<u64> {
     let bytes = fs::read(path).ok()?;
     let c = Container::open(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, &bytes).ok()?;
     Reader::new(c.section(SEC_META).ok()?).u64("checkpoint watermark").ok()

@@ -25,6 +25,11 @@
 //!   them, and replay skips anything at or below the watermark, so a
 //!   crash at *any* byte boundary neither loses a checkpointed row nor
 //!   double-applies a replayed one.
+//! * [`manifest`] — a path-sorted listing of a durability tree
+//!   (meta + checkpoints + WAL segments) for checkpoint shipping: the
+//!   tmp+rename discipline makes every named file safe to stream as
+//!   raw bytes, so replicas mirror files and reuse the ordinary
+//!   recovery path.
 //!
 //! The service layer (`quicksel-service`) wires these into its publish
 //! loop; this crate owns only formats and files.
@@ -32,6 +37,7 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod format;
+pub mod manifest;
 pub mod wal;
 
 pub use checkpoint::{CheckpointStats, DurabilityOptions, RecoveredShard, ShardDurability};
@@ -39,6 +45,7 @@ pub use codec::{
     decode_domain, decode_rect, decode_state, encode_domain, encode_rect, encode_state,
     STATE_MAGIC, STATE_VERSION,
 };
+pub use manifest::{resolve_manifest_path, scan_manifest, ManifestEntry, ManifestKind};
 pub use wal::{SegmentRead, WalRecord, WalWriter};
 
 use quicksel_core::{QuickSel, StateError};

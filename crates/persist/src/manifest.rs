@@ -1,0 +1,263 @@
+//! A streamable manifest of a durability tree — the unit of replication.
+//!
+//! A primary's durable state is a directory tree of three file kinds,
+//! all written with tmp+rename discipline:
+//!
+//! * `meta.qsm` table descriptors (immutable after registration),
+//! * `checkpoint-<ordinal>.qsc` snapshots (immutable once renamed),
+//! * `wal-<first_seq>.qsl` segments (append-only; every byte below the
+//!   current length is immutable).
+//!
+//! That discipline is what makes replication by *file copy* sound: a
+//! replica can fetch any manifest entry as raw bytes — whole files for
+//! meta and checkpoints, a `[local_len, len)` range for the one segment
+//! that grew — and land in a directory the ordinary recovery path
+//! ([`ShardDurability::recover`](crate::checkpoint::ShardDurability::recover))
+//! reads exactly as it would after a local crash. No replication-specific
+//! decode path exists, so a replica's recovered state is bit-identical to
+//! a primary restart at the same watermark by construction.
+//!
+//! [`scan_manifest`] is deliberately a *snapshot with torn edges
+//! allowed*: it may race a checkpoint rename or a WAL prune on the
+//! primary. That is fine — a vanished file surfaces as a fetch error and
+//! the replica retries against a fresh manifest; recovery tolerates every
+//! intermediate state the primary itself can crash in.
+
+use crate::{checkpoint, wal, PersistError};
+use std::fs;
+use std::path::{Component, Path, PathBuf};
+
+/// What kind of durable artifact a manifest entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ManifestKind {
+    /// A `meta.qsm` table descriptor.
+    TableMeta,
+    /// A finished `*.qsc` checkpoint.
+    Checkpoint,
+    /// A `*.qsl` WAL segment (possibly still growing).
+    WalSegment,
+}
+
+impl ManifestKind {
+    /// Wire tag of this kind.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ManifestKind::TableMeta => 0,
+            ManifestKind::Checkpoint => 1,
+            ManifestKind::WalSegment => 2,
+        }
+    }
+
+    /// Inverse of [`as_u8`](Self::as_u8); `None` for unknown tags.
+    pub fn from_u8(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ManifestKind::TableMeta),
+            1 => Some(ManifestKind::Checkpoint),
+            2 => Some(ManifestKind::WalSegment),
+            _ => None,
+        }
+    }
+}
+
+/// One durable file a replica must mirror.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Path relative to the durability base directory, `/`-separated
+    /// regardless of host platform (it travels over the wire).
+    pub path: String,
+    /// Artifact kind, derived from the file name.
+    pub kind: ManifestKind,
+    /// File length in bytes at scan time. For the active WAL segment
+    /// this is a *low* watermark: the file may have grown since, but
+    /// every byte below `len` is immutable.
+    pub len: u64,
+    /// Sequence watermark: the covered watermark for a checkpoint, the
+    /// first row sequence for a WAL segment, `0` for table meta. Lets a
+    /// replica skip fetching segments entirely below its applied state.
+    pub watermark: u64,
+}
+
+/// Scans a durability base directory (as laid out by
+/// `EstimatorRegistry::register_durable`: `tables/<dir>/shard-<i>/…`)
+/// into a deterministic, path-sorted manifest. `.tmp` files and foreign
+/// extensions are ignored, exactly as recovery ignores them.
+pub fn scan_manifest(base: &Path) -> Result<Vec<ManifestEntry>, PersistError> {
+    let mut entries = Vec::new();
+    scan_dir(base, &mut PathBuf::new(), &mut entries)?;
+    entries.sort_unstable_by(|a, b| a.path.cmp(&b.path));
+    Ok(entries)
+}
+
+fn scan_dir(
+    abs: &Path,
+    rel: &mut PathBuf,
+    out: &mut Vec<ManifestEntry>,
+) -> Result<(), PersistError> {
+    let dir = match fs::read_dir(abs) {
+        Ok(d) => d,
+        // Raced a prune of an empty table dir, or a fresh base with no
+        // tables yet: both mean "nothing here to ship".
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in dir {
+        let entry = entry?;
+        let name_os = entry.file_name();
+        let Some(name) = name_os.to_str() else { continue };
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            rel.push(name);
+            scan_dir(&entry.path(), rel, out)?;
+            rel.pop();
+            continue;
+        }
+        let Some(kind) = classify(name) else { continue };
+        let meta = match entry.metadata() {
+            Ok(m) => m,
+            // The file was pruned between listing and stat; the next
+            // scan simply won't list it.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
+        };
+        let watermark = match kind {
+            ManifestKind::TableMeta => 0,
+            ManifestKind::Checkpoint => {
+                checkpoint::read_checkpoint_watermark(&entry.path()).unwrap_or(0)
+            }
+            ManifestKind::WalSegment => wal::parse_segment_name(name).unwrap_or(0),
+        };
+        out.push(ManifestEntry { path: rel_path(rel, name), kind, len: meta.len(), watermark });
+    }
+    Ok(())
+}
+
+/// Classifies a file name into a manifest kind, or `None` for files
+/// replication must not ship (temp files, probes, foreign artifacts).
+fn classify(name: &str) -> Option<ManifestKind> {
+    if name.ends_with(".tmp") {
+        return None;
+    }
+    if name == "meta.qsm" {
+        Some(ManifestKind::TableMeta)
+    } else if checkpoint::parse_checkpoint_name(name).is_some() {
+        Some(ManifestKind::Checkpoint)
+    } else if wal::parse_segment_name(name).is_some() {
+        Some(ManifestKind::WalSegment)
+    } else {
+        None
+    }
+}
+
+fn rel_path(rel: &Path, name: &str) -> String {
+    let mut s = String::new();
+    for comp in rel.components() {
+        if let Component::Normal(c) = comp {
+            if let Some(c) = c.to_str() {
+                s.push_str(c);
+                s.push('/');
+            }
+        }
+    }
+    s.push_str(name);
+    s
+}
+
+/// Validates a manifest path received from a peer and resolves it under
+/// `base`. Rejects absolute paths, `.`/`..` components, empty
+/// components, and backslashes — a malicious or corrupt peer must not
+/// be able to read or write outside the replica's directory.
+pub fn resolve_manifest_path(base: &Path, rel: &str) -> Result<PathBuf, PersistError> {
+    if rel.is_empty() || rel.len() > 4096 || rel.contains('\\') || rel.starts_with('/') {
+        return Err(PersistError::Invalid { context: "manifest path" });
+    }
+    let mut out = base.to_path_buf();
+    for comp in rel.split('/') {
+        if comp.is_empty() || comp == "." || comp == ".." {
+            return Err(PersistError::Invalid { context: "manifest path component" });
+        }
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{DurabilityOptions, ShardDurability};
+    use quicksel_data::ObservedQuery;
+    use quicksel_geometry::Rect;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("quicksel-manifest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch(n: usize) -> Vec<ObservedQuery> {
+        (0..n)
+            .map(|i| {
+                let l = i as f64;
+                ObservedQuery::new(Rect::from_bounds(&[(l, l + 1.0)]), 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_lists_checkpoints_and_wal_with_watermarks_sorted_by_path() {
+        let base = tmpdir("scan");
+        let shard = base.join("tables/t-00/shard-000");
+        let mut d = ShardDurability::create(&shard, DurabilityOptions::default()).unwrap();
+        d.log_batch(&batch(3)).unwrap();
+        d.write_checkpoint(b"learner", &[]).unwrap();
+        d.log_batch(&batch(2)).unwrap();
+        fs::write(base.join("tables/t-00/meta.qsm"), b"QSTMxxxx").unwrap();
+        fs::write(shard.join("checkpoint-99.tmp"), b"torn").unwrap();
+        fs::write(shard.join("junk.bin"), b"ignored").unwrap();
+
+        let m = scan_manifest(&base).unwrap();
+        let paths: Vec<&str> = m.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "tables/t-00/meta.qsm",
+                "tables/t-00/shard-000/checkpoint-00000000000000000001.qsc",
+                "tables/t-00/shard-000/wal-00000000000000000004.qsl",
+            ]
+        );
+        assert_eq!(m[0].kind, ManifestKind::TableMeta);
+        assert_eq!(m[1].kind, ManifestKind::Checkpoint);
+        assert_eq!(m[1].watermark, 3, "checkpoint covers the three logged rows");
+        assert_eq!(m[2].kind, ManifestKind::WalSegment);
+        assert_eq!(m[2].watermark, 4, "segment watermark is its first row seq");
+        for e in &m {
+            let disk = fs::metadata(resolve_manifest_path(&base, &e.path).unwrap()).unwrap();
+            assert_eq!(e.len, disk.len());
+        }
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn missing_base_scans_empty() {
+        let base = tmpdir("missing");
+        assert!(scan_manifest(&base).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resolve_rejects_escapes() {
+        let base = PathBuf::from("/srv/replica");
+        for bad in ["", "/abs", "../up", "a/../b", "a//b", "a/./b", "a\\b"] {
+            assert!(resolve_manifest_path(&base, bad).is_err(), "{bad:?} must be rejected");
+        }
+        let ok = resolve_manifest_path(&base, "tables/t/shard-000/meta.qsm").unwrap();
+        assert_eq!(ok, base.join("tables/t/shard-000/meta.qsm"));
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in [ManifestKind::TableMeta, ManifestKind::Checkpoint, ManifestKind::WalSegment] {
+            assert_eq!(ManifestKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(ManifestKind::from_u8(9), None);
+    }
+}

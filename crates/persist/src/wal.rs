@@ -49,7 +49,7 @@ pub fn segment_name(first_seq: u64) -> String {
 }
 
 /// Parses `first_seq` back out of a segment file name.
-fn parse_segment_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
     let rest = name.strip_prefix("wal-")?.strip_suffix(&format!(".{SEGMENT_EXT}"))?;
     rest.parse().ok()
 }

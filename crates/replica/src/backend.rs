@@ -1,0 +1,115 @@
+//! The serving side of a replica: a [`NetBackend`] that answers reads
+//! from the most recently applied registry snapshot and refuses writes
+//! with a typed `ReadOnly` error.
+
+use quicksel_data::{ObservedQuery, SnapshotSource};
+use quicksel_geometry::{Domain, Rect};
+use quicksel_net::proto::{ServerRole, WireStats};
+use quicksel_net::{BackendError, NetBackend};
+use quicksel_persist::{ManifestEntry, PersistLearner};
+use quicksel_service::{ArcCell, EstimatorRegistry, ReplicationGauges, TableId};
+use std::sync::Arc;
+
+/// A read-only [`NetBackend`] over an atomically swappable
+/// [`EstimatorRegistry`].
+///
+/// The replication agent rebuilds a fresh registry from shipped files
+/// after every sync (through the ordinary recovery path, so answers are
+/// bit-exact with the primary's checkpoint-acked state) and
+/// [`install`](Self::install)s it here; in-flight reads keep the
+/// previous snapshot — the swap is RCU, never a lock.
+///
+/// Writes (`observe_batch`, `checkpoint_now`) return
+/// [`BackendError::ReadOnly`] and bump the refusal gauge: a replica's
+/// state is exactly what the primary shipped, never locally invented.
+pub struct ReplicaBackend<L: SnapshotSource> {
+    registry: ArcCell<EstimatorRegistry<L>>,
+    gauges: Arc<ReplicationGauges>,
+}
+
+impl<L> ReplicaBackend<L>
+where
+    L: SnapshotSource + PersistLearner + Send + 'static,
+{
+    /// A replica with no applied state yet: every table probe misses
+    /// (estimates degrade to the conservative `1.0` on the client side)
+    /// until the first sync installs a recovered registry.
+    pub fn empty() -> Self {
+        ReplicaBackend {
+            registry: ArcCell::new(Arc::new(EstimatorRegistry::new())),
+            gauges: Arc::new(ReplicationGauges::replica()),
+        }
+    }
+
+    /// The currently serving registry snapshot.
+    pub fn registry(&self) -> Arc<EstimatorRegistry<L>> {
+        self.registry.load()
+    }
+
+    /// The lag/refusal gauge set shared across installed snapshots.
+    pub fn gauges(&self) -> Arc<ReplicationGauges> {
+        Arc::clone(&self.gauges)
+    }
+
+    /// Atomically swaps in a freshly recovered registry. The agent has
+    /// already had the registry adopt the shared gauges, so stats stay
+    /// continuous across the swap.
+    pub fn install(&self, registry: Arc<EstimatorRegistry<L>>) {
+        registry.adopt_replication(self.gauges());
+        self.registry.store(registry);
+    }
+
+    fn refuse(&self) -> BackendError {
+        self.gauges.record_refusal();
+        BackendError::ReadOnly
+    }
+}
+
+impl<L> NetBackend for ReplicaBackend<L>
+where
+    L: SnapshotSource + PersistLearner + Send + 'static,
+{
+    fn estimate_many(&self, table: &TableId, rects: &[Rect]) -> Result<Vec<f64>, BackendError> {
+        NetBackend::estimate_many(&*self.registry.load(), table, rects)
+    }
+
+    fn observe_batch(
+        &self,
+        _table: &TableId,
+        _rows: &[ObservedQuery],
+    ) -> Result<u64, BackendError> {
+        Err(self.refuse())
+    }
+
+    fn registry_stats(&self) -> WireStats {
+        NetBackend::registry_stats(&*self.registry.load())
+    }
+
+    fn checkpoint_now(&self) -> Result<u32, BackendError> {
+        // Checkpointing mutates durable state; on a replica the local
+        // files mirror the primary's and must never be rewritten.
+        Err(self.refuse())
+    }
+
+    fn tables(&self) -> Vec<(String, Domain)> {
+        NetBackend::tables(&*self.registry.load())
+    }
+
+    fn role(&self) -> ServerRole {
+        ServerRole::Replica
+    }
+
+    fn manifest(&self) -> Result<Vec<ManifestEntry>, BackendError> {
+        // Replicas re-export the mirrored files, so replicas can chain.
+        NetBackend::manifest(&*self.registry.load())
+    }
+
+    fn fetch_chunk(
+        &self,
+        path: &str,
+        offset: u64,
+        max_len: u32,
+    ) -> Result<(u64, Vec<u8>), BackendError> {
+        NetBackend::fetch_chunk(&*self.registry.load(), path, offset, max_len)
+    }
+}

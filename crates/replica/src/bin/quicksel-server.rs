@@ -1,8 +1,10 @@
-//! `quicksel-server` — serve an estimator registry over TCP.
+//! `quicksel-server` — serve an estimator registry over TCP, as a
+//! primary or as a read-only replica of another server.
 //!
 //! ```text
 //! quicksel-server [--addr HOST:PORT] [--dir DIR] [--table NAME:DIMS ...]
 //!                 [--shards N] [--workers N] [--ingest-rate ROWS_PER_S]
+//!                 [--replica-of HOST:PORT] [--sync-interval-ms N]
 //! ```
 //!
 //! * `--addr` — bind address (default `127.0.0.1:7878`; port `0` picks
@@ -19,19 +21,31 @@
 //!   sizing, `quicksel_parallel::default_threads`).
 //! * `--ingest-rate` — per-table feedback admission rate in rows/s
 //!   (default unlimited).
+//! * `--replica-of HOST:PORT` — run as a **read-only replica**: pull the
+//!   given server's checkpoints and WAL segments into `--dir`
+//!   (required), rebuild through recovery after every sync, serve
+//!   estimates from the result, and refuse writes with a typed
+//!   `ReadOnly` error. `--table` and `--ingest-rate` do not apply; the
+//!   table catalog is whatever the primary ships.
+//! * `--sync-interval-ms` — pause between replica sync rounds
+//!   (default 500).
 //!
 //! The process serves until it reads `quit` (or EOF) on stdin, then
 //! shuts down gracefully: in-flight requests drain, durable tables get a
-//! final checkpoint.
+//! final checkpoint (primaries only — a replica never writes its
+//! mirror).
 
 use quicksel_core::QuickSel;
 use quicksel_geometry::Domain;
 use quicksel_net::{serve, ServerConfig};
 use quicksel_persist::DurabilityOptions;
+use quicksel_replica::{ReplicaAgent, ReplicaBackend, ReplicaOptions};
 use quicksel_service::{EstimatorRegistry, TableId};
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     addr: String,
@@ -40,12 +54,15 @@ struct Args {
     shards: usize,
     workers: usize,
     ingest_rate: f64,
+    replica_of: Option<String>,
+    sync_interval_ms: u64,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: quicksel-server [--addr HOST:PORT] [--dir DIR] [--table NAME:DIMS ...]\n\
-         \x20                      [--shards N] [--workers N] [--ingest-rate ROWS_PER_S]"
+         \x20                      [--shards N] [--workers N] [--ingest-rate ROWS_PER_S]\n\
+         \x20                      [--replica-of HOST:PORT] [--sync-interval-ms N]"
     );
     ExitCode::FAILURE
 }
@@ -58,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         shards: 2,
         workers: 0,
         ingest_rate: f64::INFINITY,
+        replica_of: None,
+        sync_interval_ms: 500,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,8 +107,17 @@ fn parse_args() -> Result<Args, String> {
                 args.ingest_rate =
                     value("--ingest-rate")?.parse().map_err(|_| "bad --ingest-rate".to_string())?
             }
+            "--replica-of" => args.replica_of = Some(value("--replica-of")?),
+            "--sync-interval-ms" => {
+                args.sync_interval_ms = value("--sync-interval-ms")?
+                    .parse()
+                    .map_err(|_| "bad --sync-interval-ms".to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.replica_of.is_some() && args.dir.is_none() {
+        return Err("--replica-of needs --dir (the local mirror root)".to_string());
     }
     Ok(args)
 }
@@ -105,6 +133,84 @@ fn learner(domain: &Domain, shard: usize) -> QuickSel {
     QuickSel::builder(domain.clone()).fixed_subpops(64).seed(shard as u64).build()
 }
 
+/// Blocks on stdin until `quit` or EOF — the dependency-free shutdown
+/// channel (catching SIGTERM needs libc).
+fn wait_for_quit() {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(line) if line.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve as a read-only replica of `primary`: background pull loop +
+/// the same TCP runtime over a [`ReplicaBackend`].
+fn run_replica(args: &Args, primary: &str) -> ExitCode {
+    let dir = args.dir.as_deref().expect("parse_args enforces --dir");
+    let backend: Arc<ReplicaBackend<QuickSel>> = Arc::new(ReplicaBackend::empty());
+    let mut options = ReplicaOptions::new(primary, dir);
+    options.sync_interval = Duration::from_millis(args.sync_interval_ms.max(1));
+    let mut agent =
+        ReplicaAgent::new(options, Arc::clone(&backend), |_, domain, shard| learner(domain, shard));
+
+    // First sync inline so "listening" means "serving shipped state"
+    // when the primary is up; a down primary is not fatal — the pull
+    // loop keeps retrying with backoff.
+    match agent.sync_once() {
+        Ok(report) => println!(
+            "synced {} manifest entr{} from {primary} ({} row(s) applied, {} behind)",
+            report.entries,
+            if report.entries == 1 { "y" } else { "ies" },
+            report.applied_watermark,
+            report.watermark_lag
+        ),
+        Err(e) => {
+            eprintln!("quicksel-server: initial sync from {primary} failed: {e} (will retry)")
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let puller = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || agent.run(&stop))
+    };
+
+    let config =
+        ServerConfig { addr: args.addr.clone(), workers: args.workers, ..ServerConfig::default() };
+    let mut handle = match serve(Arc::clone(&backend), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("quicksel-server: bind {} failed: {e}", args.addr);
+            stop.store(true, Ordering::SeqCst);
+            let _ = puller.join();
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {} (replica of {primary})", handle.addr());
+    println!("type 'quit' (or close stdin) for graceful shutdown");
+    wait_for_quit();
+
+    println!("draining in-flight requests...");
+    handle.shutdown();
+    stop.store(true, Ordering::SeqCst);
+    let synced = puller.join().unwrap_or(0);
+    let lag = backend.gauges().snapshot();
+    let stats = handle.stats();
+    println!(
+        "served {} request(s) over {} connection(s); {} sync(s), {} row(s) behind at exit, \
+         {} write(s) refused",
+        stats.requests_served,
+        stats.connections_accepted,
+        synced,
+        lag.watermark_lag,
+        lag.readonly_refusals
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -113,6 +219,10 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+
+    if let Some(primary) = args.replica_of.clone() {
+        return run_replica(&args, &primary);
+    }
 
     // Build the registry: recover + durable registration when --dir is
     // given, plain in-memory registration otherwise.
@@ -182,17 +292,7 @@ fn main() -> ExitCode {
     };
     println!("listening on {}", handle.addr());
     println!("type 'quit' (or close stdin) for graceful shutdown");
-
-    // Serve until stdin says stop. (Catching SIGTERM needs libc; the
-    // workspace is dependency-free, so the control channel is stdin.)
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line {
-            Ok(line) if line.trim() == "quit" => break,
-            Ok(_) => continue,
-            Err(_) => break,
-        }
-    }
+    wait_for_quit();
 
     println!("draining in-flight requests...");
     handle.shutdown();

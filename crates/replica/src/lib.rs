@@ -1,0 +1,36 @@
+//! # quicksel-replica — replicated serving for estimator registries
+//!
+//! A primary `quicksel-server` owns the feedback stream and the durable
+//! truth; this crate adds **read-only replicas** that mirror that truth
+//! over the wire and serve estimates from it:
+//!
+//! * [`ReplicaAgent`] — a pull loop that fetches the primary's durable
+//!   manifest (checkpoints, WAL segments, table meta — all immutable or
+//!   append-only thanks to the persist layer's tmp+rename discipline),
+//!   mirrors it into a local root with resumable range fetches, and
+//!   rebuilds the serving registry through the *ordinary recovery
+//!   path*. A replica's answers are therefore bit-exact (`==`) with
+//!   what the primary itself would serve after recovering the same
+//!   bytes — replication adds no second state-transfer format to trust.
+//! * [`ReplicaBackend`] — a [`NetBackend`](quicksel_net::NetBackend)
+//!   that RCU-swaps each recovered registry in, answers reads from the
+//!   newest snapshot, refuses writes with a typed `ReadOnly` error, and
+//!   advertises `ServerRole::Replica` in the handshake. Lag gauges
+//!   (applied watermark, rows behind, last-sync age) flow through the
+//!   ordinary `Stats` response.
+//! * The **`quicksel-server` binary** — `--replica-of HOST:PORT` turns
+//!   the stock server into a replica of another one; everything else
+//!   (admission control, graceful drain, stats) is unchanged.
+//!
+//! Every local mirror write goes through the
+//! [`FaultPlan`](quicksel_fault::FaultPlan) IO seam and every
+//! connection through the [`Dialer`] seam, so the workspace's torture
+//! harness can cut the stream at any byte and kill the primary at any
+//! persist operation, then assert the replica never panics and never
+//! invents rows.
+
+pub mod agent;
+pub mod backend;
+
+pub use agent::{Conn, Dialer, ReplicaAgent, ReplicaError, ReplicaOptions, SyncReport};
+pub use backend::ReplicaBackend;

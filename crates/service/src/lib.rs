@@ -78,7 +78,9 @@ pub mod swap;
 
 pub use provider::{CachedProvider, CardinalityProvider, LearnerProvider, TableId};
 pub use rate::{RateMeter, RATE_WINDOW_SECS};
-pub use registry::{EstimatorRegistry, RecoveryReport, RegistryStats};
+pub use registry::{
+    EstimatorRegistry, RecoveryReport, RegistryStats, ReplicationGauges, ReplicationStats,
+};
 pub use service::{
     HealthState, IngestHandle, IngestRejection, SelectivityService, ServiceStats, ShardRecovery,
     SharedSnapshot,

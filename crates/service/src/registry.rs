@@ -28,6 +28,94 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A point-in-time view of replication health; all-zero on a primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicationStats {
+    /// True when this registry serves shipped state read-only.
+    pub replica: bool,
+    /// Rows (observed queries) covered by the applied state.
+    pub applied_watermark: u64,
+    /// Rows behind the primary's last observed watermark.
+    pub watermark_lag: u64,
+    /// Milliseconds since the last successful sync; `u64::MAX` on a
+    /// replica that has never synced.
+    pub last_sync_ms: u64,
+    /// Writes refused because this registry is read-only.
+    pub readonly_refusals: u64,
+}
+
+/// Lock-free replication gauges, mirrored into [`RegistryStats`] (and
+/// from there onto the wire) the same way the PR-8 serving counters
+/// are. A replication agent owns one `Arc` of these across registry
+/// swaps, so gauges survive each applied snapshot.
+#[derive(Debug)]
+pub struct ReplicationGauges {
+    /// Reference point for the last-sync age; ages are stored as
+    /// offsets from it so the hot path stays atomic-only.
+    epoch: Instant,
+    replica: AtomicU64,
+    applied_watermark: AtomicU64,
+    watermark_lag: AtomicU64,
+    /// Milliseconds from `epoch` to the last successful sync;
+    /// `u64::MAX` = never.
+    last_sync_at_ms: AtomicU64,
+    readonly_refusals: AtomicU64,
+}
+
+impl Default for ReplicationGauges {
+    fn default() -> Self {
+        Self {
+            epoch: Instant::now(),
+            replica: AtomicU64::new(0),
+            applied_watermark: AtomicU64::new(0),
+            watermark_lag: AtomicU64::new(0),
+            last_sync_at_ms: AtomicU64::new(u64::MAX),
+            readonly_refusals: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ReplicationGauges {
+    /// Fresh gauges for a read-only replica (no sync yet).
+    pub fn replica() -> Self {
+        let gauges = Self::default();
+        gauges.replica.store(1, SeqCst);
+        gauges
+    }
+
+    /// Records a completed sync: the watermark the applied state covers
+    /// and how many rows the primary reported beyond it. Resets the
+    /// last-sync age.
+    pub fn record_sync(&self, applied_watermark: u64, watermark_lag: u64) {
+        self.applied_watermark.store(applied_watermark, SeqCst);
+        self.watermark_lag.store(watermark_lag, SeqCst);
+        self.last_sync_at_ms.store(self.epoch.elapsed().as_millis() as u64, SeqCst);
+    }
+
+    /// Counts one refused write; returns the running total.
+    pub fn record_refusal(&self) -> u64 {
+        self.readonly_refusals.fetch_add(1, SeqCst) + 1
+    }
+
+    /// The current gauge values, with the last-sync offset converted to
+    /// an age.
+    pub fn snapshot(&self) -> ReplicationStats {
+        let last_sync_at = self.last_sync_at_ms.load(SeqCst);
+        ReplicationStats {
+            replica: self.replica.load(SeqCst) != 0,
+            applied_watermark: self.applied_watermark.load(SeqCst),
+            watermark_lag: self.watermark_lag.load(SeqCst),
+            last_sync_ms: if last_sync_at == u64::MAX {
+                u64::MAX
+            } else {
+                (self.epoch.elapsed().as_millis() as u64).saturating_sub(last_sync_at)
+            },
+            readonly_refusals: self.readonly_refusals.load(SeqCst),
+        }
+    }
+}
 
 /// Registry-wide counters: aggregated ingestion stats plus the
 /// degradation signals ([`missing_table_probes`](Self::missing_table_probes),
@@ -51,6 +139,8 @@ pub struct RegistryStats {
     pub tables_recovered: u64,
     /// Table directories skipped during recovery (unreadable meta).
     pub recovery_skipped: u64,
+    /// Replication role and lag gauges; all-zero on a primary.
+    pub replication: ReplicationStats,
     /// Per-table breakdowns, sorted by table id.
     pub per_table: Vec<(TableId, ShardedStats)>,
 }
@@ -87,6 +177,14 @@ pub struct EstimatorRegistry<L: SnapshotSource> {
     dropped_feedback: AtomicU64,
     tables_recovered: AtomicU64,
     recovery_skipped: AtomicU64,
+    /// The durable base directory this registry's tables live under
+    /// (set by [`register_durable`](Self::register_durable) /
+    /// [`recover_from`](Self::recover_from)); `None` for an in-memory
+    /// registry. Replication ships the files under it.
+    durable_root: Mutex<Option<PathBuf>>,
+    /// Replication gauges, RCU-swappable so a replication agent can
+    /// carry one gauge set across applied-state registry rebuilds.
+    replication: ArcCell<ReplicationGauges>,
 }
 
 impl<L: SnapshotSource> Default for EstimatorRegistry<L> {
@@ -106,7 +204,32 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
             dropped_feedback: AtomicU64::new(0),
             tables_recovered: AtomicU64::new(0),
             recovery_skipped: AtomicU64::new(0),
+            durable_root: Mutex::new(None),
+            replication: ArcCell::new(Arc::new(ReplicationGauges::default())),
         }
+    }
+
+    /// The durable base directory backing this registry, if any table
+    /// was registered or recovered durably.
+    pub fn durable_root(&self) -> Option<PathBuf> {
+        self.durable_root.lock().expect("durable root lock poisoned").clone()
+    }
+
+    fn set_durable_root(&self, base_dir: &Path) {
+        *self.durable_root.lock().expect("durable root lock poisoned") =
+            Some(base_dir.to_path_buf());
+    }
+
+    /// The registry's replication gauges (shared, lock-free).
+    pub fn replication(&self) -> Arc<ReplicationGauges> {
+        self.replication.load()
+    }
+
+    /// Installs a shared gauge set — a replication agent calls this on
+    /// every applied registry so lag and refusal counts survive the
+    /// swap from one recovered snapshot to the next.
+    pub fn adopt_replication(&self, gauges: Arc<ReplicationGauges>) {
+        self.replication.store(gauges);
     }
 
     /// Clone-and-publish one mutation of the table map under the DDL
@@ -201,6 +324,7 @@ impl<L: SnapshotSource> EstimatorRegistry<L> {
             dropped_feedback: self.dropped_feedback.load(SeqCst),
             tables_recovered: self.tables_recovered.load(SeqCst),
             recovery_skipped: self.recovery_skipped.load(SeqCst),
+            replication: self.replication.load().snapshot(),
             ..RegistryStats::default()
         };
         for (_, t) in &per_table {
@@ -303,6 +427,7 @@ impl<L: SnapshotSource + PersistLearner> EstimatorRegistry<L> {
             ShardedService::open_durable(domain, shards, &dir, opts, make_learner)?;
         let service = Arc::new(service);
         self.register(table, Arc::clone(&service));
+        self.set_durable_root(base_dir);
         Ok((service, recovery))
     }
 
@@ -323,6 +448,7 @@ impl<L: SnapshotSource + PersistLearner> EstimatorRegistry<L> {
         mut make_learner: impl FnMut(&TableId, &Domain, usize) -> L,
     ) -> Result<(Self, RecoveryReport), PersistError> {
         let registry = Self::new();
+        registry.set_durable_root(base_dir);
         let mut report = RecoveryReport::default();
         let tables_root = base_dir.join("tables");
         let mut dirs: Vec<PathBuf> = match fs::read_dir(&tables_root) {
@@ -522,5 +648,87 @@ mod tests {
         assert_eq!(stats.per_table[0].0, orders);
         assert_eq!(stats.per_table[0].1.total.queries_ingested, 6);
         assert_eq!(stats.per_table[1].1.total.queries_ingested, 0);
+    }
+
+    /// Satellite for the replication PR: a base directory holding a mix
+    /// of healthy and corrupt table dirs. The corrupt one is skipped and
+    /// counted — in the report AND in `RegistryStats.recovery_skipped` —
+    /// while every healthy table recovers bit-exact.
+    #[test]
+    fn recovery_skips_corrupt_tables_and_restores_healthy_ones_exactly() {
+        use quicksel_persist::DurabilityOptions;
+
+        let base = std::env::temp_dir()
+            .join(format!("quicksel-registry-mixed-recovery-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        fs::create_dir_all(&base).expect("create scratch dir");
+
+        let reg = EstimatorRegistry::new();
+        let names = ["healthy_a", "healthy_b", "doomed"];
+        for name in names {
+            let d = Domain::of_reals(&[("a", 0.0, 10.0), ("b", 0.0, 10.0)]);
+            reg.register_durable(&base, name, d.clone(), 2, DurabilityOptions::default(), |i| {
+                QuickSel::builder(d.clone())
+                    .refine_policy(RefinePolicy::Manual)
+                    .seed(i as u64)
+                    .build()
+            })
+            .expect("register durable table");
+        }
+        let probe = Rect::from_bounds(&[(1.0, 6.0), (2.0, 7.0)]);
+        for (i, name) in names.iter().enumerate() {
+            for j in 0..4 {
+                let lo = (i * 4 + j) as f64 * 0.5;
+                let rect = Rect::from_bounds(&[(lo, lo + 2.0), (lo, lo + 3.0)]);
+                reg.observe(&TableId::from(*name), &ObservedQuery::new(rect, 0.1 * (j + 1) as f64));
+            }
+        }
+        reg.checkpoint_all().expect("checkpoint");
+        let healthy_before: Vec<f64> = ["healthy_a", "healthy_b"]
+            .iter()
+            .map(|n| reg.estimate(&TableId::from(*n), &Predicate::new().range(0, 1.0, 6.0)))
+            .collect();
+        let expected_a = reg
+            .get(&TableId::from("healthy_a"))
+            .unwrap()
+            .estimate_many(std::slice::from_ref(&probe));
+        drop(reg);
+
+        // Scribble over the doomed table's meta: magic intact is not
+        // enough — the file body no longer checksums.
+        let meta = table_dir(&base, &TableId::from("doomed")).join(TABLE_META_FILE);
+        assert!(meta.exists(), "meta file must exist before corruption");
+        fs::write(&meta, b"QSTM garbage that will not verify").expect("corrupt meta");
+
+        let d = Domain::of_reals(&[("a", 0.0, 10.0), ("b", 0.0, 10.0)]);
+        let (recovered, report) =
+            EstimatorRegistry::recover_from(&base, DurabilityOptions::default(), |_, _, shard| {
+                QuickSel::builder(d.clone())
+                    .refine_policy(RefinePolicy::Manual)
+                    .seed(shard as u64)
+                    .build()
+            })
+            .expect("mixed recovery must not be fatal");
+
+        assert_eq!(report.tables_recovered, 2, "both healthy tables recover");
+        assert_eq!(report.tables_skipped, 1, "the corrupt table is skipped, not fatal");
+        assert_eq!(recovered.stats().recovery_skipped, 1, "skip is visible in stats");
+        assert_eq!(
+            recovered.table_ids(),
+            vec![TableId::from("healthy_a"), TableId::from("healthy_b")]
+        );
+
+        // Healthy tables are bit-exact with their pre-crash state.
+        let healthy_after: Vec<f64> = ["healthy_a", "healthy_b"]
+            .iter()
+            .map(|n| recovered.estimate(&TableId::from(*n), &Predicate::new().range(0, 1.0, 6.0)))
+            .collect();
+        assert_eq!(healthy_after, healthy_before, "recovery changed a healthy table");
+        assert_eq!(
+            recovered.get(&TableId::from("healthy_a")).unwrap().estimate_many(&[probe]),
+            expected_a
+        );
+
+        let _ = fs::remove_dir_all(&base);
     }
 }

@@ -1,0 +1,209 @@
+//! Replicated serving end to end, with a real `kill -9`.
+//!
+//! The example re-executes itself as a child process running the
+//! durable primary (so the kill is a genuine SIGKILL of a separate OS
+//! process, not a polite in-process shutdown), then:
+//!
+//! 1. ingests feedback over the wire with a mid-stream checkpoint,
+//! 2. syncs an in-process replica (checkpoint shipping + WAL ranges
+//!    through the ordinary recovery path) and serves it,
+//! 3. opens a [`FailoverClient`] over `[primary, replica]` and records
+//!    the primary's answers,
+//! 4. SIGKILLs the primary,
+//! 5. asserts reads keep serving through the replica `==` the last
+//!    shipped state, a write surfaces as typed `NoEndpoint`, and a
+//!    direct write to the replica is a typed `ReadOnly` refusal.
+//!
+//! Exits non-zero on any divergence; CI runs it as the
+//! replication-smoke job.
+
+use quicksel::net::{serve, ErrorCode, NetClient, ServerConfig, ServerRole};
+use quicksel::prelude::*;
+use quicksel::{
+    ClientError, DurabilityOptions, EstimatorRegistry, FailoverClient, ReplicaAgent,
+    ReplicaBackend, ReplicaOptions,
+};
+use std::io::BufRead as _;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCHES: usize = 12;
+
+fn domain() -> Domain {
+    Domain::of_reals(&[("x", 0.0, 10.0), ("y", 0.0, 10.0)])
+}
+
+fn learner(seed: u64) -> QuickSel {
+    QuickSel::builder(domain())
+        .refine_policy(RefinePolicy::EveryK(4))
+        .fixed_subpops(32)
+        .seed(seed)
+        .build()
+}
+
+/// Deterministic feedback batch `i`, three observations each.
+fn batch(i: usize) -> Vec<ObservedQuery> {
+    (0..3)
+        .map(|j| {
+            let k = i * 3 + j;
+            let lo_x = (k * 13 % 70) as f64 * 0.1;
+            let lo_y = (k * 29 % 60) as f64 * 0.1;
+            let len = 1.0 + (k % 5) as f64 * 0.7;
+            let rect = Rect::from_bounds(&[(lo_x, lo_x + len), (lo_y, lo_y + len)]);
+            ObservedQuery::new(rect, (k % 10) as f64 * 0.1)
+        })
+        .collect()
+}
+
+/// The probe battery the replica is compared on.
+fn probes() -> Vec<Rect> {
+    let d = domain();
+    (0..16)
+        .map(|i| {
+            let lo = (i % 8) as f64 * 1.1;
+            Predicate::new().range(0, lo, lo + 2.5).range(i % 2, 1.0, 8.0).to_rect(&d)
+        })
+        .collect()
+}
+
+/// The child process: a durable primary on an ephemeral loopback port,
+/// its address printed on stdout, serving until killed.
+fn run_primary(dir: &Path) -> ! {
+    let registry = EstimatorRegistry::new();
+    registry
+        .register_durable(dir, "orders", domain(), 2, DurabilityOptions::default(), |i| {
+            learner(i as u64)
+        })
+        .expect("register durable table");
+    let handle = serve(
+        Arc::new(registry),
+        ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
+    )
+    .expect("bind primary");
+    println!("ADDR {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush address line");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("replication example FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "primary" {
+        run_primary(Path::new(&args[2]));
+    }
+
+    let scratch =
+        std::env::temp_dir().join(format!("quicksel-replication-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let p_dir = scratch.join("primary");
+    let r_dir = scratch.join("replica");
+    std::fs::create_dir_all(&p_dir).expect("create primary dir");
+
+    // 1. The primary in its own OS process, so the kill below is a real
+    //    SIGKILL with no destructors, no flushes, no goodbyes.
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = Command::new(&exe)
+        .arg("primary")
+        .arg(&p_dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn primary process");
+    let mut lines = std::io::BufReader::new(child.stdout.take().expect("child stdout")).lines();
+    let addr = match lines.next() {
+        Some(Ok(line)) if line.starts_with("ADDR ") => line["ADDR ".len()..].to_string(),
+        other => fail(&format!("primary never reported an address: {other:?}")),
+    };
+    println!("primary: pid {} serving on {addr}", child.id());
+
+    // 2. Ingest over the wire with a mid-stream checkpoint, so the
+    //    manifest ships a checkpoint AND a WAL tail beyond it.
+    let mut client = NetClient::connect(addr.as_str()).expect("connect primary");
+    for i in 0..BATCHES {
+        client.observe_batch("orders", &batch(i)).expect("ingest over the wire");
+        if i == BATCHES / 2 {
+            client.checkpoint_now().expect("mid-stream checkpoint");
+        }
+    }
+    let rects = probes();
+    let want = client.estimate_many("orders", &rects).expect("primary estimates");
+    if !want.iter().any(|&v| v > 0.0 && v < 1.0) {
+        fail("degenerate probe battery");
+    }
+
+    // 3. A replica pulls the shipped state and serves it read-only.
+    let backend: Arc<ReplicaBackend<QuickSel>> = Arc::new(ReplicaBackend::empty());
+    let mut agent = ReplicaAgent::new(
+        ReplicaOptions::new(addr.clone(), &r_dir),
+        Arc::clone(&backend),
+        |_, _, shard| learner(shard as u64),
+    );
+    let report = agent.sync_once().expect("replica sync");
+    println!(
+        "replica: synced {} manifest entries, watermark {}",
+        report.entries, report.applied_watermark
+    );
+    let r_handle = serve(
+        Arc::clone(&backend),
+        ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
+    )
+    .expect("bind replica");
+
+    // 4. Failover client over [primary, replica]; reads start on the
+    //    primary and must match what we just recorded.
+    let endpoints = [addr.clone(), r_handle.addr().to_string()];
+    let mut failover =
+        FailoverClient::connect(&endpoints, Duration::from_secs(60)).expect("connect failover");
+    if failover.active_role() != Some(ServerRole::Primary) {
+        fail("failover client must start on the primary");
+    }
+    let before = failover.estimate_many("orders", &rects).expect("reads via primary");
+    if before != want {
+        fail("failover reads diverged from the primary before the kill");
+    }
+
+    // 5. `Child::kill` is SIGKILL on Unix.
+    child.kill().expect("kill primary");
+    let _ = child.wait();
+    println!("primary: killed with SIGKILL");
+
+    // 6. Reads keep flowing, bit-for-bit equal to the shipped state.
+    let after = failover.estimate_many("orders", &rects).expect("reads must fail over");
+    if after != want {
+        fail("failover changed answers after the primary died");
+    }
+    if failover.active_role() != Some(ServerRole::Replica) {
+        fail("reads must now come from the replica");
+    }
+
+    // 7. Writes cannot fail over: the replica refuses, the primary is
+    //    gone, the caller learns via the typed exhaustion error.
+    match failover.observe_batch("orders", &batch(0)) {
+        Err(ClientError::NoEndpoint { .. }) => {}
+        other => fail(&format!("write with no primary must be NoEndpoint, got {other:?}")),
+    }
+    let mut r_client = NetClient::connect(r_handle.addr()).expect("connect replica");
+    match r_client.observe_batch("orders", &batch(0)) {
+        Err(ClientError::Server { code: ErrorCode::ReadOnly, .. }) => {}
+        other => fail(&format!("direct write to the replica must be ReadOnly, got {other:?}")),
+    }
+    let stats = r_client.stats().expect("replica stats");
+    println!(
+        "replica: role {} watermark {} lag {} readonly refusals {}",
+        stats.role,
+        stats.replica_applied_watermark,
+        stats.replica_watermark_lag,
+        stats.readonly_refusals
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("replication example: all checks passed");
+}

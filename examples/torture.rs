@@ -27,6 +27,12 @@
 //! 4. **A cut connection never wounds the server.** After every
 //!    prefix-of-bytes disconnect, a fresh clean client round-trips
 //!    successfully and the server's counters stay coherent.
+//! 5. **Replication never invents state.** With the replication stream
+//!    cut at every response boundary, a sync fails with a typed error,
+//!    never panics, never publishes rows the primary doesn't have, and
+//!    a clean retry converges to `==` the shipped state. With the
+//!    primary killed at every persist-op index and restarted, a fresh
+//!    replica serves `==` whatever the restart recovered.
 //!
 //! Budget knobs (all env vars, for CI smoke runs):
 //!
@@ -40,12 +46,16 @@ use quicksel::fault::{mix, FaultPlan, FaultStream};
 use quicksel::net::proto::{self, Request, Response};
 use quicksel::net::{serve, NetClient, ServerConfig};
 use quicksel::prelude::*;
+use quicksel::replica::{Conn, Dialer};
 use quicksel::service::HealthState;
-use quicksel::{DurabilityOptions, SelectivityService};
+use quicksel::{
+    DurabilityOptions, ReplicaAgent, ReplicaBackend, ReplicaOptions, SelectivityService,
+};
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 // ---------------------------------------------------------------------
@@ -625,6 +635,350 @@ fn wire_sweep(budget: &Budget, seed: u64, violations: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------
+// Phase 5: replication faults — the stream cut at every response
+// boundary, the primary killed at every persist-op index
+// ---------------------------------------------------------------------
+
+/// The registry-level durable workload (one table, one shard) with
+/// `fault` armed, crash-dropped with no final checkpoint. Returns the
+/// acked batch indices, or `None` if the table never opened.
+fn run_registry(dir: &Path, seed: u64, fault: FaultPlan, batches: usize) -> Option<Vec<usize>> {
+    let registry = EstimatorRegistry::new();
+    let service =
+        match registry.register_durable(dir, "orders", domain(), 1, durability(fault), |i| {
+            learner(seed + i as u64)
+        }) {
+            Ok((service, _recovery)) => service,
+            Err(_) => return None,
+        };
+    let mut acked = Vec::new();
+    for i in 0..batches {
+        match service.observe_batch(&batch(seed, i)) {
+            Ok(_) | Err(EstimatorError::Solver(_)) => acked.push(i),
+            Err(EstimatorError::Degraded { .. }) => {
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            Err(_) => {}
+        }
+    }
+    Some(acked)
+}
+
+/// Fault-free registry recovery of `dir` — what a primary that was
+/// `kill -9`'d and restarted serves.
+fn recover_registry(dir: &Path, seed: u64) -> Result<Arc<EstimatorRegistry<QuickSel>>, String> {
+    EstimatorRegistry::recover_from(dir, durability(FaultPlan::disabled()), |_, _, shard| {
+        learner(seed + shard as u64)
+    })
+    .map(|(registry, _report)| Arc::new(registry))
+    .map_err(|e| format!("fault-free primary recovery failed: {e}"))
+}
+
+/// A pass-through stream that records the cumulative byte offset after
+/// every completed read — a superset of the replication stream's
+/// response frame boundaries (`read_frame` reads header then body), so
+/// cutting at each recorded offset covers every boundary and then some.
+struct RecordingStream {
+    inner: TcpStream,
+    offsets: Arc<Mutex<Vec<u64>>>,
+    total: u64,
+}
+
+impl std::io::Read for RecordingStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.total += n as u64;
+        self.offsets.lock().expect("offset log").push(self.total);
+        Ok(n)
+    }
+}
+
+impl std::io::Write for RecordingStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn repl_tcp(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    Ok(stream)
+}
+
+fn serve_small<B: quicksel::net::NetBackend + Send + Sync + 'static>(
+    backend: Arc<B>,
+) -> quicksel::ServerHandle {
+    serve(
+        backend,
+        ServerConfig {
+            workers: 2,
+            shutdown_tick: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn replication_sweep(
+    scratch: &mut Scratch,
+    budget: &Budget,
+    seed: u64,
+    violations: &mut Vec<Violation>,
+) {
+    // The golden primary: a clean durable workload, crash-dropped,
+    // recovered fault-free, served on loopback.
+    let p_dir = scratch.dir("repl-primary");
+    let acked = run_registry(&p_dir, seed, FaultPlan::disabled(), budget.batches)
+        .expect("clean registry run must open");
+    assert_eq!(acked.len(), budget.batches, "clean registry run must ack everything");
+    let primary = match recover_registry(&p_dir, seed) {
+        Ok(primary) => primary,
+        Err(detail) => {
+            violations.push(Violation { phase: "replication", seed, detail });
+            return;
+        }
+    };
+    let handle = serve_small(Arc::clone(&primary));
+    let addr = handle.addr().to_string();
+    let table = TableId::from("orders");
+    let probes = probe_set(seed);
+    let want = primary.get(&table).expect("primary table").estimate_many(&probes);
+    let want_rows = primary.stats().total.queries_ingested;
+
+    // Pass A: one clean sync through a recording stream, collecting
+    // every read-completion offset. The replica it builds must already
+    // be `==` the primary.
+    let offsets = Arc::new(Mutex::new(vec![0u64]));
+    {
+        let r_dir = scratch.dir("repl-clean");
+        let log = Arc::clone(&offsets);
+        let dialer: Dialer = Box::new(move |a: &str| {
+            Ok(Box::new(RecordingStream {
+                inner: repl_tcp(a)?,
+                offsets: Arc::clone(&log),
+                total: 0,
+            }) as Box<dyn Conn>)
+        });
+        let mut options = ReplicaOptions::new(&addr, &r_dir);
+        options.recover = durability(FaultPlan::disabled());
+        let backend = Arc::new(ReplicaBackend::empty());
+        let mut agent = ReplicaAgent::with_dialer(
+            options,
+            Arc::clone(&backend),
+            move |_, _, shard| learner(seed + shard as u64),
+            dialer,
+        );
+        match agent.sync_once() {
+            Ok(report) if report.entries == 0 => {
+                violations.push(Violation {
+                    phase: "replication",
+                    seed,
+                    detail: "clean sync shipped an empty manifest".to_string(),
+                });
+                return;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                violations.push(Violation {
+                    phase: "replication",
+                    seed,
+                    detail: format!("clean sync failed: {e}"),
+                });
+                return;
+            }
+        }
+        let got = backend.registry().get(&table).expect("replica table").estimate_many(&probes);
+        if got != want {
+            violations.push(Violation {
+                phase: "replication",
+                seed,
+                detail: "clean replica diverged from the primary".to_string(),
+            });
+        }
+    }
+
+    // Pass B: cut the replication stream at every recorded offset. The
+    // wounded sync must surface a typed error (or land after the last
+    // needed byte), never panic, never publish rows the primary doesn't
+    // have; a clean retry against the SAME mirror dir must converge to
+    // `==` the last shipped state.
+    let cuts: Vec<u64> = {
+        let mut v = offsets.lock().expect("offset log").clone();
+        v.dedup();
+        v
+    };
+    let swept_cuts = cuts.len().min(budget.max_ops as usize);
+    let mut first_sync_failed = 0usize;
+    for &cut in &cuts[..swept_cuts] {
+        let r_dir = scratch.dir("repl-cut");
+        let armed = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&armed);
+        let dialer: Dialer = Box::new(move |a: &str| {
+            let stream = repl_tcp(a)?;
+            if flag.swap(false, Ordering::SeqCst) {
+                Ok(Box::new(FaultStream::new(stream).cut_read_after(cut)) as Box<dyn Conn>)
+            } else {
+                Ok(Box::new(stream) as Box<dyn Conn>)
+            }
+        });
+        let mut options = ReplicaOptions::new(&addr, &r_dir);
+        options.recover = durability(FaultPlan::disabled());
+        let backend = Arc::new(ReplicaBackend::empty());
+        let mut agent = ReplicaAgent::with_dialer(
+            options,
+            Arc::clone(&backend),
+            move |_, _, shard| learner(seed + shard as u64),
+            dialer,
+        );
+        if agent.sync_once().is_err() {
+            first_sync_failed += 1;
+        }
+        let mid_rows = backend.registry().stats().total.queries_ingested;
+        if mid_rows > want_rows {
+            violations.push(Violation {
+                phase: "replication",
+                seed,
+                detail: format!("cut@{cut}: replica invented rows ({mid_rows} > {want_rows})"),
+            });
+        }
+        match agent.sync_once() {
+            Ok(_) => {
+                let registry = backend.registry();
+                let got = match registry.get(&table) {
+                    Some(service) => service.estimate_many(&probes),
+                    None => {
+                        violations.push(Violation {
+                            phase: "replication",
+                            seed,
+                            detail: format!("cut@{cut}: table missing after the clean retry"),
+                        });
+                        continue;
+                    }
+                };
+                if got != want {
+                    violations.push(Violation {
+                        phase: "replication",
+                        seed,
+                        detail: format!("cut@{cut}: repaired replica diverged from the primary"),
+                    });
+                }
+                let rows = registry.stats().total.queries_ingested;
+                if rows != want_rows {
+                    violations.push(Violation {
+                        phase: "replication",
+                        seed,
+                        detail: format!(
+                            "cut@{cut}: repaired replica holds {rows} rows, primary {want_rows}"
+                        ),
+                    });
+                }
+            }
+            Err(e) => violations.push(Violation {
+                phase: "replication",
+                seed,
+                detail: format!("cut@{cut}: clean retry failed: {e}"),
+            }),
+        }
+    }
+
+    // Pass C: the primary process dies at every persist-op index — the
+    // `kill -9` analog landing inside any WAL append, checkpoint write,
+    // or rename — restarts fault-free, and a fresh replica syncs from
+    // it. Whatever state the restart recovered, the replica must serve
+    // it `==`, and must never hold rows the workload didn't ack.
+    let count = FaultPlan::count_only();
+    {
+        let dir = scratch.dir("repl-kill-count");
+        let _ = run_registry(&dir, seed, count.clone(), budget.batches);
+    }
+    let total_ops = count.ops_seen();
+    let swept_kills = total_ops.min(budget.max_ops);
+    let mut synced = 0usize;
+    let mut never_opened = 0usize;
+    for op in 0..swept_kills {
+        let p_dir = scratch.dir("repl-kill");
+        let Some(acked) = run_registry(&p_dir, seed, FaultPlan::nth(seed, op), budget.batches)
+        else {
+            // The fault landed on the initial open: no primary ever
+            // existed at this index, so there is nothing to replicate.
+            never_opened += 1;
+            continue;
+        };
+        let primary = match recover_registry(&p_dir, seed) {
+            Ok(primary) => primary,
+            Err(detail) => {
+                violations.push(Violation {
+                    phase: "replication",
+                    seed,
+                    detail: format!("op {op}: {detail}"),
+                });
+                continue;
+            }
+        };
+        let p_handle = serve_small(Arc::clone(&primary));
+        let r_dir = scratch.dir("repl-kill-replica");
+        let mut options = ReplicaOptions::new(p_handle.addr().to_string(), &r_dir);
+        options.recover = durability(FaultPlan::disabled());
+        let backend = Arc::new(ReplicaBackend::empty());
+        let mut agent = ReplicaAgent::new(options, Arc::clone(&backend), move |_, _, shard| {
+            learner(seed + shard as u64)
+        });
+        match agent.sync_once() {
+            Ok(_) => {
+                synced += 1;
+                let p_est = primary.get(&table).map(|s| s.estimate_many(&probes));
+                let registry = backend.registry();
+                let r_est = registry.get(&table).map(|s| s.estimate_many(&probes));
+                if r_est != p_est {
+                    violations.push(Violation {
+                        phase: "replication",
+                        seed,
+                        detail: format!("op {op}: replica of the restarted primary diverged"),
+                    });
+                }
+                let p_rows = primary.stats().total.queries_ingested;
+                let r_rows = registry.stats().total.queries_ingested;
+                if r_rows != p_rows {
+                    violations.push(Violation {
+                        phase: "replication",
+                        seed,
+                        detail: format!(
+                            "op {op}: replica holds {r_rows} rows, restarted primary {p_rows}"
+                        ),
+                    });
+                }
+                if r_rows > 2 * acked.len() as u64 {
+                    violations.push(Violation {
+                        phase: "replication",
+                        seed,
+                        detail: format!(
+                            "op {op}: replica invented rows ({r_rows} > {} acked)",
+                            2 * acked.len()
+                        ),
+                    });
+                }
+            }
+            Err(e) => violations.push(Violation {
+                phase: "replication",
+                seed,
+                detail: format!("op {op}: sync against a healthy restarted primary failed: {e}"),
+            }),
+        }
+    }
+    println!(
+        "  replication sweep: {swept_cuts} stream cuts ({first_sync_failed} wounded first syncs, \
+         all repaired), {swept_kills}/{total_ops} primary-death op indices ({never_opened} never \
+         opened, {synced} synced)"
+    );
+}
+
+// ---------------------------------------------------------------------
 
 fn main() {
     let budget = Budget::from_env();
@@ -643,6 +997,7 @@ fn main() {
         read_sweep(&mut scratch, &budget, seed, &mut violations);
         degraded_sweep(&mut scratch, &budget, seed, &mut violations);
         wire_sweep(&budget, seed, &mut violations);
+        replication_sweep(&mut scratch, &budget, seed, &mut violations);
     }
 
     if violations.is_empty() {

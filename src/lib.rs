@@ -29,6 +29,10 @@
 //!   the `quicksel-server` TCP runtime with bounded workers and graceful
 //!   drain, rate-based admission control, and the [`RemoteProvider`]
 //!   planner seam over a remote registry,
+//! * [`replica`] — replicated serving: the checkpoint/WAL shipping
+//!   agent ([`ReplicaAgent`]), the read-only [`ReplicaBackend`], and
+//!   the multi-endpoint [`FailoverClient`] that moves reads to a
+//!   replica (within a staleness bound) when the primary goes away,
 //! * [`baselines`] — STHoles, ISOMER, ISOMER+QP, QueryModel, AutoHist,
 //!   AutoSample.
 //!
@@ -101,6 +105,7 @@ pub use quicksel_linalg as linalg;
 pub use quicksel_net as net;
 pub use quicksel_parallel as parallel;
 pub use quicksel_persist as persist;
+pub use quicksel_replica as replica;
 pub use quicksel_service as service;
 
 pub use quicksel_baselines::{AutoHist, AutoSample, Isomer, IsomerQp, QueryModel, STHoles};
@@ -114,10 +119,11 @@ pub use quicksel_data::{
 pub use quicksel_fault::{FaultPlan, FaultStream, IoFault, IoOp, StreamFault};
 pub use quicksel_geometry::{BoolExpr, Domain, Interval, Predicate, Rect};
 pub use quicksel_net::{
-    ClientError, NetBackend, NetClient, NetServerStats, RemoteProvider, ServerConfig, ServerHandle,
-    WireError, WireStats,
+    ClientError, FailoverClient, NetBackend, NetClient, NetServerStats, RemoteProvider,
+    ServerConfig, ServerHandle, ServerRole, WireError, WireStats,
 };
 pub use quicksel_persist::{DurabilityOptions, PersistError, PersistLearner};
+pub use quicksel_replica::{ReplicaAgent, ReplicaBackend, ReplicaOptions};
 pub use quicksel_service::{
     CachedProvider, CardinalityProvider, DynRegistry, EstimatorRegistry, HealthState,
     LearnerProvider, RecoveryReport, RegistryStats, SelectivityService, ServiceStats,
